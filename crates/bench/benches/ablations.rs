@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the two
+//! approximate states individually, the scribe comparator policy, and
+//! the GI store policy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghostwriter_core::config::{GiStorePolicy, GwConfig};
+use ghostwriter_core::{Protocol, ScribePolicy};
+use ghostwriter_workloads::{compare, LinearRegression};
+use std::hint::black_box;
+
+const CORES: usize = 4;
+
+fn protocol(
+    enable_gs: bool,
+    enable_gi: bool,
+    scribe: ScribePolicy,
+    gi_stores: GiStorePolicy,
+) -> Protocol {
+    Protocol::Ghostwriter(GwConfig {
+        scribe,
+        enable_gs,
+        enable_gi,
+        gi_stores,
+        ..GwConfig::default()
+    })
+}
+
+fn run(p: Protocol) -> (f64, f64, f64) {
+    let cmp = compare(
+        &|| Box::new(LinearRegression::new(11, 600)),
+        CORES,
+        CORES,
+        8,
+        p,
+    );
+    (
+        cmp.speedup_percent(),
+        cmp.normalized_traffic(),
+        cmp.output_error_percent(),
+    )
+}
+
+fn state_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_states");
+    g.sample_size(10);
+    for (label, gs, gi) in [
+        ("gs_and_gi", true, true),
+        ("gs_only", true, false),
+        ("gi_only", false, true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(run(protocol(
+                    gs,
+                    gi,
+                    ScribePolicy::Bitwise,
+                    GiStorePolicy::Fallback,
+                )))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn scribe_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_scribe");
+    g.sample_size(10);
+    for (label, policy) in [
+        ("bitwise", ScribePolicy::Bitwise),
+        ("arithmetic", ScribePolicy::Arithmetic),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run(protocol(true, true, policy, GiStorePolicy::Fallback))))
+        });
+    }
+    g.finish();
+}
+
+fn gi_policy_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_gi_policy");
+    g.sample_size(10);
+    for (label, policy) in [
+        ("fallback", GiStorePolicy::Fallback),
+        ("capture", GiStorePolicy::Capture),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| black_box(run(protocol(true, true, ScribePolicy::Bitwise, policy))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, state_ablation, scribe_ablation, gi_policy_ablation);
+criterion_main!(ablations);

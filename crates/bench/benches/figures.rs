@@ -1,0 +1,113 @@
+//! Criterion benches: one group per paper table/figure, exercising the
+//! exact experiment path at reduced scale so `cargo bench` covers the
+//! whole evaluation quickly. The full-scale numbers come from the
+//! `fig*`/`repro_all` binaries (DESIGN.md §5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ghostwriter_core::{MachineConfig, Protocol};
+use ghostwriter_workloads::{
+    compare, execute, BadDotProduct, GoodDotProduct, ScaleClass,
+};
+use std::hint::black_box;
+
+const CORES: usize = 4;
+
+fn cfg(protocol: Protocol) -> MachineConfig {
+    MachineConfig {
+        cores: CORES,
+        protocol,
+        ..MachineConfig::default()
+    }
+}
+
+fn fig01_false_sharing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig01_false_sharing");
+    g.sample_size(10);
+    g.bench_function("naive_dot", |b| {
+        b.iter(|| {
+            let mut w = BadDotProduct::new(1, 512, false);
+            black_box(execute(&mut w, cfg(Protocol::Mesi), CORES, 0).report.cycles)
+        })
+    });
+    g.bench_function("privatized_dot", |b| {
+        b.iter(|| {
+            let mut w = GoodDotProduct::new(1, 512);
+            black_box(execute(&mut w, cfg(Protocol::Mesi), CORES, 0).report.cycles)
+        })
+    });
+    g.finish();
+}
+
+fn fig02_value_similarity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig02_value_similarity");
+    g.sample_size(10);
+    for entry in ghostwriter_workloads::paper_benchmarks() {
+        g.bench_function(entry.name, |b| {
+            b.iter(|| {
+                let mut w = entry.build(ScaleClass::Test);
+                let out = execute(w.as_mut(), cfg(Protocol::Mesi), CORES, 0);
+                black_box(out.report.stats.similarity.cumulative_fraction(8))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn figs07_to_11_evaluation(c: &mut Criterion) {
+    // One comparison per app covers Figs. 7 (utilization), 8 (traffic),
+    // 9 (energy), 10 (speedup) and 11 (error) — they all derive from the
+    // same baseline/Ghostwriter pair.
+    let mut g = c.benchmark_group("figs07_to_11_evaluation");
+    g.sample_size(10);
+    for entry in ghostwriter_workloads::paper_benchmarks() {
+        g.bench_function(entry.name, |b| {
+            b.iter(|| {
+                let cmp = compare(
+                    &|| entry.build(ScaleClass::Test),
+                    CORES,
+                    CORES,
+                    8,
+                    Protocol::ghostwriter(),
+                );
+                black_box((
+                    cmp.gs_serviced_percent(),
+                    cmp.gi_serviced_percent(),
+                    cmp.normalized_traffic(),
+                    cmp.energy_saved_percent(),
+                    cmp.speedup_percent(),
+                    cmp.output_error_percent(),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn fig12_timeout_sensitivity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig12_timeout_sensitivity");
+    g.sample_size(10);
+    for timeout in [128u64, 512, 1024] {
+        g.bench_function(format!("timeout_{timeout}"), |b| {
+            b.iter(|| {
+                let cmp = compare(
+                    &|| Box::new(BadDotProduct::with_work(0xF16, 512, true, 96)),
+                    CORES,
+                    CORES,
+                    4,
+                    Protocol::ghostwriter_capture(timeout),
+                );
+                black_box((cmp.gi_serviced_percent(), cmp.output_error_percent()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    fig01_false_sharing,
+    fig02_value_similarity,
+    figs07_to_11_evaluation,
+    fig12_timeout_sensitivity
+);
+criterion_main!(figures);

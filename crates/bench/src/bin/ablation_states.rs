@@ -1,0 +1,67 @@
+//! Ablation: the contribution of each approximate state. Runs
+//! linear_regression and jpeg with GS-only, GI-only and both states,
+//! plus both GI store policies (DESIGN.md's interpretive choices).
+
+use ghostwriter_bench::{banner, row, EVAL_CORES};
+use ghostwriter_core::config::{GiStorePolicy, GwConfig};
+use ghostwriter_core::Protocol;
+use ghostwriter_workloads::{compare, paper_benchmarks, ScaleClass};
+
+fn protocol(enable_gs: bool, enable_gi: bool, gi_stores: GiStorePolicy) -> Protocol {
+    Protocol::Ghostwriter(GwConfig {
+        enable_gs,
+        enable_gi,
+        gi_stores,
+        ..GwConfig::default()
+    })
+}
+
+fn main() {
+    banner("Ablation", "GS / GI contribution and GI store policy");
+    let widths = [18usize, 22, 9, 9, 9, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "app".into(),
+                "variant".into(),
+                "traffic".into(),
+                "energy%".into(),
+                "speedup%".into(),
+                "error%".into()
+            ],
+            &widths
+        )
+    );
+    let variants: [(&str, Protocol); 5] = [
+        ("GS+GI (default)", protocol(true, true, GiStorePolicy::Fallback)),
+        ("GS only", protocol(true, false, GiStorePolicy::Fallback)),
+        ("GI only", protocol(false, true, GiStorePolicy::Fallback)),
+        ("GS+GI capture", protocol(true, true, GiStorePolicy::Capture)),
+        ("disabled", protocol(false, false, GiStorePolicy::Fallback)),
+    ];
+    for entry in paper_benchmarks()
+        .into_iter()
+        .filter(|e| e.name == "linear_regression" || e.name == "jpeg")
+    {
+        for (label, p) in &variants {
+            let cmp = compare(&|| entry.build(ScaleClass::Eval), EVAL_CORES, EVAL_CORES, 8, *p);
+            println!(
+                "{}",
+                row(
+                    &[
+                        entry.name.into(),
+                        (*label).into(),
+                        format!("{:.3}", cmp.normalized_traffic()),
+                        format!("{:.1}", cmp.energy_saved_percent()),
+                        format!("{:.1}", cmp.speedup_percent()),
+                        format!("{:.4}", cmp.output_error_percent()),
+                    ],
+                    &widths
+                )
+            );
+        }
+    }
+    println!("\nExpected: GS carries most of linear_regression's benefit;");
+    println!("'disabled' must match the baseline exactly (all zeros).");
+}

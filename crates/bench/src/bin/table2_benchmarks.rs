@@ -1,0 +1,37 @@
+//! Table 2: the benchmark roster.
+
+use ghostwriter_bench::{banner, row};
+use ghostwriter_workloads::{micro_benchmarks, paper_benchmarks};
+
+fn main() {
+    banner("Table 2", "benchmarks");
+    let widths = [20usize, 22, 16, 34, 7];
+    println!(
+        "{}",
+        row(
+            &[
+                "application".into(),
+                "domain".into(),
+                "suite".into(),
+                "input".into(),
+                "error".into()
+            ],
+            &widths
+        )
+    );
+    for e in paper_benchmarks().iter().chain(micro_benchmarks().iter()) {
+        println!(
+            "{}",
+            row(
+                &[
+                    e.name.into(),
+                    e.domain.into(),
+                    e.suite.label().into(),
+                    e.input_desc.into(),
+                    e.metric.label().into()
+                ],
+                &widths
+            )
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Shared harness for the figure/table reproduction binaries.
+//!
+//! Every `fig*`/`table*` binary in `src/bin/` reproduces one table or
+//! figure of the paper's evaluation (DESIGN.md §5 maps them). This crate
+//! holds the common machinery: the evaluation configuration (paper
+//! Table 1, 24 cores), the benchmark sweep runner, and plain-text output
+//! formatting shared by the binaries and `repro_all`.
+
+use ghostwriter_core::{MachineConfig, Protocol};
+use ghostwriter_noc::MessageKind;
+use ghostwriter_workloads::{compare, Comparison, ScaleClass};
+
+/// Number of cores/threads used by the evaluation (paper Table 1).
+pub const EVAL_CORES: usize = 24;
+
+/// The paper's two d-distance settings (§4).
+pub const EVAL_DISTANCES: [u8; 2] = [4, 8];
+
+/// One benchmark evaluated at one d-distance.
+pub struct EvalCell {
+    /// Application name.
+    pub name: &'static str,
+    /// d-distance of the Ghostwriter run.
+    pub d: u8,
+    /// The baseline/Ghostwriter pair.
+    pub cmp: Comparison,
+}
+
+/// Runs the full paper evaluation: every Table 2 application × every
+/// d-distance, baseline MESI vs Ghostwriter on the paper's machine.
+/// `scale` picks the input sizes.
+pub fn eval_paper_suite(scale: ScaleClass, cores: usize, ds: &[u8]) -> Vec<EvalCell> {
+    let mut cells = Vec::new();
+    for entry in ghostwriter_workloads::paper_benchmarks() {
+        for &d in ds {
+            let cmp = compare(
+                &|| entry.build(scale),
+                cores,
+                cores,
+                d,
+                Protocol::ghostwriter(),
+            );
+            cells.push(EvalCell {
+                name: entry.name,
+                d,
+                cmp,
+            });
+        }
+    }
+    cells
+}
+
+/// Machine configuration used by the evaluation binaries.
+pub fn eval_config(protocol: Protocol) -> MachineConfig {
+    MachineConfig {
+        cores: EVAL_CORES,
+        protocol,
+        ..MachineConfig::default()
+    }
+}
+
+/// Prints a figure header in the style shared by all binaries.
+pub fn banner(fig: &str, caption: &str) {
+    println!("================================================================");
+    println!("{fig} — {caption}");
+    println!("================================================================");
+}
+
+/// Formats a value as a percent string.
+pub fn pct(x: f64) -> String {
+    format!("{x:6.2}%")
+}
+
+/// Prints the per-class normalized-traffic stack for one run (Fig. 8 bar).
+pub fn print_traffic_stack(label: &str, split: &[(MessageKind, f64)]) {
+    let total: f64 = split.iter().map(|(_, v)| v).sum();
+    let cols: Vec<String> = split
+        .iter()
+        .map(|(k, v)| format!("{}={:.3}", k.label(), v))
+        .collect();
+    println!("  {label:<28} total={total:.3}  [{}]", cols.join(" "));
+}
+
+/// Serialises the evaluation sweep as CSV (one row per app × d) for
+/// plotting; written by `repro_all --csv <path>`.
+pub fn eval_csv(cells: &[EvalCell]) -> String {
+    let mut out = String::from(concat!(
+        "app,d,gs_serviced_pct,gi_serviced_pct,normalized_traffic,",
+        "energy_saved_pct,speedup_pct,error_pct,base_cycles,gw_cycles,",
+        "base_messages,gw_messages\n"
+    ));
+    for c in cells {
+        out.push_str(&format!(
+            "{},{},{:.4},{:.4},{:.6},{:.4},{:.4},{:.6},{},{},{},{}
+",
+            c.name,
+            c.d,
+            c.cmp.gs_serviced_percent(),
+            c.cmp.gi_serviced_percent(),
+            c.cmp.normalized_traffic(),
+            c.cmp.energy_saved_percent(),
+            c.cmp.speedup_percent(),
+            c.cmp.output_error_percent(),
+            c.cmp.baseline.report.cycles,
+            c.cmp.ghostwriter.report.cycles,
+            c.cmp.baseline.report.stats.traffic.total(),
+            c.cmp.ghostwriter.report.stats.traffic.total(),
+        ));
+    }
+    out
+}
+
+/// A fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_config_is_paper_scale() {
+        let c = eval_config(Protocol::Mesi);
+        assert_eq!(c.cores, 24);
+        assert_eq!(c.l1_kb, 32);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let entry = &ghostwriter_workloads::paper_benchmarks()[1];
+        let cmp = compare(
+            &|| entry.build(ScaleClass::Test),
+            4,
+            4,
+            8,
+            Protocol::ghostwriter(),
+        );
+        let cells = vec![EvalCell {
+            name: entry.name,
+            d: 8,
+            cmp,
+        }];
+        let csv = eval_csv(&cells);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("app,d,"));
+        assert!(lines[1].starts_with("linear_regression,8,"));
+        assert_eq!(lines[1].split(',').count(), lines[0].split(',').count());
+    }
+
+    #[test]
+    fn small_scale_suite_cell_runs() {
+        // One cheap smoke cell: the first benchmark at d=8, 4 cores.
+        let entry = &ghostwriter_workloads::paper_benchmarks()[0];
+        let cmp = compare(
+            &|| entry.build(ScaleClass::Test),
+            4,
+            4,
+            8,
+            Protocol::ghostwriter(),
+        );
+        assert_eq!(cmp.baseline.error_percent, 0.0);
+    }
+}

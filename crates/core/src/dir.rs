@@ -1,0 +1,1173 @@
+//! The shared-L2 bank with its slice of directory state.
+//!
+//! Organisation follows gem5's MESI_Two_Level (which the paper builds on):
+//! the L2 is inclusive and physically distributed, one bank per tile, and
+//! each bank holds the directory entry (sharer list / owner) for the blocks
+//! it homes. Requests for a block are serialised: while a transaction is in
+//! flight the block is *busy* and later requests queue; the requestor's
+//! final `UNBLOCK` releases the block. Invalidation acknowledgements are
+//! collected at the directory, and forwarded data is routed through it —
+//! a latency-neutral simplification (DESIGN.md §2.3) that preserves message
+//! counts per class.
+//!
+//! Inclusion is enforced with recalls: when an L2 victim still has L1
+//! copies, the bank invalidates the sharers (or pulls the owner's data)
+//! before evicting.
+
+use ghostwriter_mem::{BlockAddr, BlockData, LookupResult, SetAssocCache};
+use std::collections::{HashMap, VecDeque};
+
+use crate::msg::{Endpoint, Grant, Msg, Payload};
+use crate::stats::Stats;
+
+/// Directory view of one block.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DirState {
+    /// No L1 holds the block.
+    Np,
+    /// Read-only copies at the set cores (bitmask).
+    Shared(u64),
+    /// One core holds the block in E or M.
+    Owned(usize),
+}
+
+
+#[derive(Clone, Copy, Debug)]
+struct L2Meta {
+    dir: DirState,
+    /// L2 copy differs from DRAM.
+    dirty: bool,
+}
+
+/// A queued L1 request.
+#[derive(Clone, Debug)]
+struct Request {
+    requestor: usize,
+    kind: ReqKind,
+}
+
+#[derive(Clone, Debug)]
+enum ReqKind {
+    Gets,
+    Getx,
+    Upgrade,
+    PutS,
+    PutE,
+    PutM(BlockData),
+}
+
+/// Phase of an in-flight transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Phase {
+    /// Invalidating the sharers of the L2 victim (inclusion recall).
+    RecallInv,
+    /// Pulling the L2 victim's data from its owner.
+    RecallData,
+    /// Waiting for the DRAM fill of the requested block.
+    MemFetch,
+    /// Waiting for invalidation acks on the requested block.
+    InvAcks,
+    /// Waiting for the owner's data on the requested block.
+    OwnerData,
+    /// Waiting for the requestor's UNBLOCK.
+    Unblock,
+}
+
+#[derive(Debug)]
+struct Txn {
+    requestor: usize,
+    kind: TxnKind,
+    phase: Phase,
+    acks_pending: u32,
+    /// L2 victim being recalled before this transaction's fill.
+    recall_victim: Option<BlockAddr>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TxnKind {
+    Gets,
+    Getx,
+    Upgrade,
+}
+
+/// One bank of the shared L2 with its directory slice.
+pub struct DirBank {
+    bank: usize,
+    mem_ctrls: usize,
+    /// MESI grants Exclusive to sole readers; MSI (false) grants Shared.
+    grant_exclusive: bool,
+    cache: SetAssocCache<L2Meta>,
+    busy: HashMap<BlockAddr, Txn>,
+    /// victim block → main transaction block (routes recall responses).
+    recall_of: HashMap<BlockAddr, BlockAddr>,
+    queues: HashMap<BlockAddr, VecDeque<Request>>,
+    /// Requests that found every line of their set pinned by in-flight
+    /// transactions; retried after each transaction completes.
+    stalled: VecDeque<(BlockAddr, Request)>,
+}
+
+impl DirBank {
+    /// Builds bank `bank` with `sets × ways` L2 lines, in a machine with
+    /// `mem_ctrls` memory controllers.
+    pub fn new(bank: usize, sets: usize, ways: usize, mem_ctrls: usize) -> Self {
+        Self::with_base(bank, sets, ways, mem_ctrls, true)
+    }
+
+    /// Like [`DirBank::new`] with an explicit protocol family:
+    /// `grant_exclusive = false` yields MSI behaviour.
+    pub fn with_base(
+        bank: usize,
+        sets: usize,
+        ways: usize,
+        mem_ctrls: usize,
+        grant_exclusive: bool,
+    ) -> Self {
+        assert!(mem_ctrls >= 1);
+        Self {
+            bank,
+            mem_ctrls,
+            grant_exclusive,
+            cache: SetAssocCache::new(sets, ways),
+            busy: HashMap::new(),
+            recall_of: HashMap::new(),
+            queues: HashMap::new(),
+            stalled: VecDeque::new(),
+        }
+    }
+
+    /// Memory controller homing a block (address interleave across the
+    /// mesh-corner controllers).
+    fn mc_of(&self, block: BlockAddr) -> usize {
+        (block.index() % self.mem_ctrls as u64) as usize
+    }
+
+    fn to_l1(&self, core: usize, block: BlockAddr, payload: Payload) -> Msg {
+        Msg {
+            src: Endpoint::Dir(self.bank),
+            dst: Endpoint::L1(core),
+            block,
+            payload,
+        }
+    }
+
+    fn to_mem(&self, block: BlockAddr, payload: Payload) -> Msg {
+        Msg {
+            src: Endpoint::Dir(self.bank),
+            dst: Endpoint::Mem(self.mc_of(block)),
+            block,
+            payload,
+        }
+    }
+
+    /// Directory state of `block` (tests/tracing). `None` = not resident
+    /// in this bank.
+    pub fn dir_state(&self, block: BlockAddr) -> Option<DirState> {
+        self.cache.get(block).map(|l| l.meta.dir)
+    }
+
+    /// True if any transaction is in flight at this bank.
+    pub fn quiescent(&self) -> bool {
+        self.busy.is_empty() && self.stalled.is_empty() && self.queues.values().all(|q| q.is_empty())
+    }
+
+    /// End-of-run functional view of the L2 data for `block`, if resident.
+    pub fn peek_block(&self, block: BlockAddr) -> Option<BlockData> {
+        self.cache.get(block).map(|l| l.data)
+    }
+
+    /// Functional write used by the machine's final flush (owner data
+    /// pushed down without timing). Marks the line dirty.
+    pub fn flush_write(&mut self, block: BlockAddr, data: BlockData) {
+        if let Some(line) = self.cache.get_mut(block) {
+            line.data = data;
+            line.meta.dirty = true;
+            line.meta.dir = DirState::Np;
+        }
+    }
+
+    /// Drains all dirty L2 lines for the final flush to DRAM.
+    pub fn drain_dirty(&mut self) -> Vec<(BlockAddr, BlockData)> {
+        self.cache
+            .iter_mut()
+            .filter(|l| l.meta.dirty)
+            .map(|l| {
+                l.meta.dirty = false;
+                (l.block, l.data)
+            })
+            .collect()
+    }
+
+    /// Handles a message addressed to this bank.
+    pub fn handle_msg(&mut self, msg: Msg, stats: &mut Stats) -> Vec<Msg> {
+        let block = msg.block;
+        let mut out = Vec::new();
+        match msg.payload {
+            Payload::Gets | Payload::Getx | Payload::Upgrade | Payload::PutS | Payload::PutE
+            | Payload::PutM { .. } => {
+                let Endpoint::L1(core) = msg.src else {
+                    panic!("request from non-L1 endpoint {:?}", msg.src)
+                };
+                let kind = match msg.payload {
+                    Payload::Gets => ReqKind::Gets,
+                    Payload::Getx => ReqKind::Getx,
+                    Payload::Upgrade => ReqKind::Upgrade,
+                    Payload::PutS => ReqKind::PutS,
+                    Payload::PutE => ReqKind::PutE,
+                    Payload::PutM { data } => ReqKind::PutM(data),
+                    _ => unreachable!(),
+                };
+                let req = Request {
+                    requestor: core,
+                    kind,
+                };
+                stats.energy_events.l2_tag_probes += 1;
+                if self.is_blocked(block) {
+                    self.queues.entry(block).or_default().push_back(req);
+                } else {
+                    self.start(block, req, stats, &mut out);
+                }
+            }
+            Payload::InvAck => {
+                let Endpoint::L1(_) = msg.src else {
+                    panic!("INV_ACK from non-L1")
+                };
+                self.inv_ack(block, stats, &mut out);
+            }
+            Payload::DataToDir { data, retained } => {
+                self.owner_data(block, data, retained, stats, &mut out);
+            }
+            Payload::MemData { data } => {
+                self.mem_data(block, data, stats, &mut out);
+            }
+            Payload::Unblock => {
+                let txn = self
+                    .busy
+                    .remove(&block)
+                    .unwrap_or_else(|| panic!("bank {}: UNBLOCK for idle block", self.bank));
+                assert_eq!(txn.phase, Phase::Unblock, "UNBLOCK in phase {:?}", txn.phase);
+                self.release(block, stats, &mut out);
+            }
+            p => panic!("bank {}: unexpected message {}", self.bank, p.name()),
+        }
+        out
+    }
+
+    /// A block is blocked if it has an in-flight transaction or is being
+    /// recalled as another transaction's L2 victim.
+    fn is_blocked(&self, block: BlockAddr) -> bool {
+        self.busy.contains_key(&block) || self.recall_of.contains_key(&block)
+    }
+
+    /// Begins servicing a request (block known unblocked).
+    fn start(&mut self, block: BlockAddr, req: Request, stats: &mut Stats, out: &mut Vec<Msg>) {
+        match req.kind {
+            ReqKind::PutS => {
+                if let Some(line) = self.cache.get_mut(block) {
+                    if let DirState::Shared(s) = line.meta.dir {
+                        let s = s & !(1 << req.requestor);
+                        line.meta.dir = if s == 0 { DirState::Np } else { DirState::Shared(s) };
+                    }
+                }
+                // No ack; nothing further.
+            }
+            ReqKind::PutE => {
+                if let Some(line) = self.cache.get_mut(block) {
+                    if line.meta.dir == DirState::Owned(req.requestor) {
+                        line.meta.dir = DirState::Np;
+                    }
+                }
+                out.push(self.to_l1(req.requestor, block, Payload::WbAck));
+            }
+            ReqKind::PutM(data) => {
+                let mut stale = true;
+                if let Some(line) = self.cache.get_mut(block) {
+                    if line.meta.dir == DirState::Owned(req.requestor) {
+                        line.data = data;
+                        line.meta.dirty = true;
+                        line.meta.dir = DirState::Np;
+                        stale = false;
+                        stats.energy_events.l2_writes += 1;
+                    }
+                }
+                // A stale PUTM lost a race with a forward; its data was
+                // already supplied from the writeback buffer. Ack either
+                // way so the L1 releases its buffer entry.
+                let _ = stale;
+                out.push(self.to_l1(req.requestor, block, Payload::WbAck));
+            }
+            ReqKind::Gets | ReqKind::Getx | ReqKind::Upgrade => {
+                let kind = match req.kind {
+                    ReqKind::Gets => TxnKind::Gets,
+                    ReqKind::Getx => TxnKind::Getx,
+                    ReqKind::Upgrade => TxnKind::Upgrade,
+                    _ => unreachable!(),
+                };
+                if self.cache.probe(block).is_some() {
+                    self.busy.insert(
+                        block,
+                        Txn {
+                            requestor: req.requestor,
+                            kind,
+                            phase: Phase::Unblock, // placeholder, set by act
+                            acks_pending: 0,
+                            recall_victim: None,
+                        },
+                    );
+                    self.act_on_line(block, stats, out);
+                } else {
+                    self.begin_fill(block, req, kind, stats, out);
+                }
+            }
+        }
+    }
+
+    /// L2 miss path: allocate a way (recalling an L1-held victim if
+    /// necessary) and fetch the block from memory.
+    fn begin_fill(
+        &mut self,
+        block: BlockAddr,
+        req: Request,
+        kind: TxnKind,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) {
+        let lookup = self
+            .cache
+            .lookup_for_insert_excluding(block, |b| self.is_blocked(b));
+        let Some(lookup) = lookup else {
+            // Every line in the set is pinned by an in-flight transaction;
+            // retry when one completes.
+            self.stalled.push_back((block, req));
+            return;
+        };
+        let mut txn = Txn {
+            requestor: req.requestor,
+            kind,
+            phase: Phase::MemFetch,
+            acks_pending: 0,
+            recall_victim: None,
+        };
+        match lookup {
+            LookupResult::Hit { .. } => unreachable!("begin_fill on resident block"),
+            LookupResult::Free { way } => {
+                // Reserve the way with a placeholder line awaiting fill.
+                self.cache
+                    .insert_at(way, block, L2Meta { dir: DirState::Np, dirty: false }, BlockData::zeroed());
+                out.push(self.to_mem(block, Payload::MemRead));
+                self.busy.insert(block, txn);
+            }
+            LookupResult::Victim { block: victim, .. } => {
+                let vline = self.cache.get(victim).expect("victim resident");
+                match vline.meta.dir {
+                    DirState::Np => {
+                        // Plain L2 eviction.
+                        let vline = self.cache.remove(victim).unwrap();
+                        if vline.meta.dirty {
+                            stats.energy_events.l2_reads += 1;
+                            out.push(self.to_mem(victim, Payload::MemWrite { data: vline.data }));
+                        }
+                        let way = match self.cache.lookup_for_insert(block) {
+                            LookupResult::Free { way } => way,
+                            _ => unreachable!("way just freed"),
+                        };
+                        self.cache.insert_at(
+                            way,
+                            block,
+                            L2Meta { dir: DirState::Np, dirty: false },
+                            BlockData::zeroed(),
+                        );
+                        out.push(self.to_mem(block, Payload::MemRead));
+                        self.busy.insert(block, txn);
+                    }
+                    DirState::Shared(s) => {
+                        // Inclusion recall: invalidate all L1 sharers.
+                        stats.l2_recalls += 1;
+                        txn.phase = Phase::RecallInv;
+                        txn.recall_victim = Some(victim);
+                        txn.acks_pending = s.count_ones();
+                        self.recall_of.insert(victim, block);
+                        for core in bits(s) {
+                            out.push(self.to_l1(core, victim, Payload::Inv));
+                        }
+                        self.busy.insert(block, txn);
+                    }
+                    DirState::Owned(owner) => {
+                        // Inclusion recall: pull the owner's data.
+                        stats.l2_recalls += 1;
+                        txn.phase = Phase::RecallData;
+                        txn.recall_victim = Some(victim);
+                        self.recall_of.insert(victim, block);
+                        out.push(self.to_l1(owner, victim, Payload::FwdGetx));
+                        self.busy.insert(block, txn);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Acts on a transaction whose block is resident and stable in the L2.
+    fn act_on_line(&mut self, block: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+        let txn = self.busy.get_mut(&block).expect("transaction in flight");
+        let req = txn.requestor;
+        let line = self.cache.get(block).expect("line resident");
+        let dir = line.meta.dir;
+        let data = line.data;
+        // Upgrades from a core that is no longer a sharer (it lost an
+        // invalidation race) are converted to GETX and answered with data.
+        let kind = match (txn.kind, dir) {
+            (TxnKind::Upgrade, DirState::Shared(s)) if s & (1 << req) != 0 => TxnKind::Upgrade,
+            (TxnKind::Upgrade, _) => TxnKind::Getx,
+            (k, _) => k,
+        };
+        match (kind, dir) {
+            (TxnKind::Gets, DirState::Np) => {
+                stats.energy_events.l2_reads += 1;
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.phase = Phase::Unblock;
+                if self.grant_exclusive {
+                    // MESI: no sharers, grant Exclusive.
+                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                    out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Exclusive }));
+                } else {
+                    // MSI: readers always get Shared.
+                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Shared(1 << req);
+                    out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Shared }));
+                }
+            }
+            (TxnKind::Gets, DirState::Shared(s)) => {
+                assert_eq!(s & (1 << req), 0, "GETS from listed sharer {req}");
+                stats.energy_events.l2_reads += 1;
+                self.cache.get_mut(block).unwrap().meta.dir = DirState::Shared(s | (1 << req));
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.phase = Phase::Unblock;
+                out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Shared }));
+            }
+            (TxnKind::Gets, DirState::Owned(owner)) => {
+                assert_ne!(owner, req, "GETS from owner");
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.phase = Phase::OwnerData;
+                out.push(self.to_l1(owner, block, Payload::FwdGets));
+            }
+            (TxnKind::Getx, DirState::Np) => {
+                stats.energy_events.l2_reads += 1;
+                self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.kind = TxnKind::Getx;
+                txn.phase = Phase::Unblock;
+                out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Modified }));
+            }
+            (TxnKind::Getx, DirState::Shared(s)) => {
+                let others = s & !(1 << req);
+                assert_ne!(others, 0, "Shared with no sharers");
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.kind = TxnKind::Getx;
+                txn.phase = Phase::InvAcks;
+                txn.acks_pending = others.count_ones();
+                for core in bits(others) {
+                    out.push(self.to_l1(core, block, Payload::Inv));
+                }
+            }
+            (TxnKind::Getx, DirState::Owned(owner)) => {
+                assert_ne!(owner, req, "GETX from owner");
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.kind = TxnKind::Getx;
+                txn.phase = Phase::OwnerData;
+                out.push(self.to_l1(owner, block, Payload::FwdGetx));
+            }
+            (TxnKind::Upgrade, DirState::Shared(s)) => {
+                let others = s & !(1 << req);
+                let txn = self.busy.get_mut(&block).unwrap();
+                if others == 0 {
+                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                    txn.phase = Phase::Unblock;
+                    out.push(self.to_l1(req, block, Payload::UpgAck));
+                } else {
+                    txn.phase = Phase::InvAcks;
+                    txn.acks_pending = others.count_ones();
+                    for core in bits(others) {
+                        out.push(self.to_l1(core, block, Payload::Inv));
+                    }
+                }
+            }
+            (TxnKind::Upgrade, _) => unreachable!("converted above"),
+        }
+    }
+
+    /// An invalidation ack arrived for `block` — either the main block of
+    /// a transaction or an L2 recall victim.
+    fn inv_ack(&mut self, block: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+        if let Some(&main) = self.recall_of.get(&block) {
+            let txn = self.busy.get_mut(&main).expect("recall txn in flight");
+            assert_eq!(txn.phase, Phase::RecallInv);
+            txn.acks_pending -= 1;
+            if txn.acks_pending == 0 {
+                self.finish_recall(main, stats, out);
+            }
+            return;
+        }
+        let txn = self
+            .busy
+            .get_mut(&block)
+            .unwrap_or_else(|| panic!("bank {}: stray INV_ACK for {block:?}", self.bank));
+        assert_eq!(txn.phase, Phase::InvAcks, "INV_ACK in phase {:?}", txn.phase);
+        txn.acks_pending -= 1;
+        if txn.acks_pending > 0 {
+            return;
+        }
+        let req = txn.requestor;
+        let kind = txn.kind;
+        let line = self.cache.get_mut(block).expect("line resident");
+        line.meta.dir = DirState::Owned(req);
+        match kind {
+            TxnKind::Getx => {
+                stats.energy_events.l2_reads += 1;
+                let data = self.cache.get(block).unwrap().data;
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.phase = Phase::Unblock;
+                out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Modified }));
+            }
+            TxnKind::Upgrade => {
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.phase = Phase::Unblock;
+                out.push(self.to_l1(req, block, Payload::UpgAck));
+            }
+            TxnKind::Gets => unreachable!("GETS never collects inv acks"),
+        }
+    }
+
+    /// Owner data arrived — for the main block or a recall victim.
+    fn owner_data(
+        &mut self,
+        block: BlockAddr,
+        data: BlockData,
+        retained: bool,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) {
+        if let Some(&main) = self.recall_of.get(&block) {
+            let txn = self.busy.get_mut(&main).expect("recall txn");
+            assert_eq!(txn.phase, Phase::RecallData);
+            // Fold the owner's data into the victim line before eviction.
+            let line = self.cache.get_mut(block).expect("victim resident");
+            line.data = data;
+            line.meta.dirty = true;
+            line.meta.dir = DirState::Np;
+            stats.energy_events.l2_writes += 1;
+            self.finish_recall(main, stats, out);
+            return;
+        }
+        let txn = self
+            .busy
+            .get_mut(&block)
+            .unwrap_or_else(|| panic!("bank {}: stray owner data for {block:?}", self.bank));
+        assert_eq!(txn.phase, Phase::OwnerData);
+        let req = txn.requestor;
+        let kind = txn.kind;
+        stats.energy_events.l2_writes += 1;
+        stats.energy_events.l2_reads += 1;
+        let line = self.cache.get_mut(block).expect("line resident");
+        line.data = data;
+        line.meta.dirty = true;
+        let old_owner = match line.meta.dir {
+            DirState::Owned(o) => o,
+            s => panic!("owner data but dir state {s:?}"),
+        };
+        let (grant, new_dir) = match kind {
+            TxnKind::Gets => {
+                let mut s = 1u64 << req;
+                if retained {
+                    s |= 1 << old_owner;
+                }
+                (Grant::Shared, DirState::Shared(s))
+            }
+            TxnKind::Getx => (Grant::Modified, DirState::Owned(req)),
+            TxnKind::Upgrade => unreachable!("upgrade never waits on owner data"),
+        };
+        line.meta.dir = new_dir;
+        let txn = self.busy.get_mut(&block).unwrap();
+        txn.phase = Phase::Unblock;
+        out.push(self.to_l1(req, block, Payload::Data { data, grant }));
+    }
+
+    /// DRAM fill arrived for a transaction in `MemFetch`.
+    fn mem_data(&mut self, block: BlockAddr, data: BlockData, stats: &mut Stats, out: &mut Vec<Msg>) {
+        {
+            let txn = self
+                .busy
+                .get_mut(&block)
+                .unwrap_or_else(|| panic!("bank {}: stray MEM_DATA for {block:?}", self.bank));
+            assert_eq!(txn.phase, Phase::MemFetch);
+        }
+        stats.energy_events.l2_writes += 1;
+        let line = self.cache.get_mut(block).expect("placeholder reserved");
+        line.data = data;
+        line.meta.dirty = false;
+        line.meta.dir = DirState::Np;
+        self.act_on_line(block, stats, out);
+    }
+
+    /// Recall of a transaction's L2 victim completed: evict the victim,
+    /// start the DRAM fill of the main block, and release waiters on the
+    /// victim.
+    fn finish_recall(&mut self, main: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+        let txn = self.busy.get_mut(&main).expect("recall txn");
+        let victim = txn.recall_victim.take().expect("victim recorded");
+        txn.phase = Phase::MemFetch;
+        self.recall_of.remove(&victim);
+        let vline = self.cache.remove(victim).expect("victim resident");
+        if vline.meta.dirty {
+            stats.energy_events.l2_reads += 1;
+            out.push(self.to_mem(victim, Payload::MemWrite { data: vline.data }));
+        }
+        // Reserve the freed way for the main block and fetch it.
+        let way = match self.cache.lookup_for_insert(main) {
+            LookupResult::Free { way } => way,
+            r => unreachable!("way just freed, got {r:?}"),
+        };
+        self.cache.insert_at(
+            way,
+            main,
+            L2Meta { dir: DirState::Np, dirty: false },
+            BlockData::zeroed(),
+        );
+        out.push(self.to_mem(main, Payload::MemRead));
+        // Anyone queued on the (now departed) victim can proceed.
+        self.release_queued(victim, stats, out);
+    }
+
+    /// A transaction finished: service queued requests for the block and
+    /// retry set-stalled fills.
+    fn release(&mut self, block: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+        self.release_queued(block, stats, out);
+        self.retry_stalled(stats, out);
+    }
+
+    fn release_queued(&mut self, block: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+        // Process queued requests until one blocks the line again (or the
+        // queue drains). PUTs are synchronous, so several may complete.
+        while !self.is_blocked(block) {
+            let Some(req) = self.queues.get_mut(&block).and_then(|q| q.pop_front()) else {
+                break;
+            };
+            self.start(block, req, stats, out);
+        }
+        if self.queues.get(&block).is_some_and(|q| q.is_empty()) {
+            self.queues.remove(&block);
+        }
+    }
+
+    fn retry_stalled(&mut self, stats: &mut Stats, out: &mut Vec<Msg>) {
+        let n = self.stalled.len();
+        for _ in 0..n {
+            let (block, req) = self.stalled.pop_front().expect("counted");
+            if self.is_blocked(block) {
+                self.queues.entry(block).or_default().push_back(req);
+            } else {
+                self.start(block, req, stats, out);
+            }
+        }
+    }
+}
+
+/// Iterates the set bits of a sharer mask as core indices.
+fn bits(mask: u64) -> impl Iterator<Item = usize> {
+    (0..64).filter(move |i| mask & (1 << i) != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr(n)
+    }
+
+    fn req_msg(core: usize, block: BlockAddr, payload: Payload) -> Msg {
+        Msg {
+            src: Endpoint::L1(core),
+            dst: Endpoint::Dir(0),
+            block,
+            payload,
+        }
+    }
+
+    fn data_of(msg: &Msg) -> (BlockData, Grant) {
+        match msg.payload {
+            Payload::Data { data, grant } => (data, grant),
+            ref p => panic!("expected DATA, got {}", p.name()),
+        }
+    }
+
+    /// Drives the bank plus a perfect memory: answers MemRead with zeroed
+    /// data immediately, swallows MemWrite.
+    fn drive_mem(bank: &mut DirBank, out: Vec<Msg>, stats: &mut Stats) -> Vec<Msg> {
+        let mut result = Vec::new();
+        let mut pending = out;
+        while let Some(msg) = pending.pop() {
+            match (&msg.dst, &msg.payload) {
+                (Endpoint::Mem(_), Payload::MemRead) => {
+                    let reply = Msg {
+                        src: msg.dst,
+                        dst: msg.src,
+                        block: msg.block,
+                        payload: Payload::MemData { data: BlockData::zeroed() },
+                    };
+                    pending.extend(bank.handle_msg(reply, stats));
+                }
+                (Endpoint::Mem(_), Payload::MemWrite { .. }) => {}
+                _ => result.push(msg),
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn msi_bank_grants_shared_to_sole_reader() {
+        let mut bank = DirBank::with_base(0, 16, 4, 1, false);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(3, blk(16), Payload::Gets), &mut stats);
+        let out = drive_mem(&mut bank, out, &mut stats);
+        let (_, grant) = data_of(&out[0]);
+        assert_eq!(grant, Grant::Shared, "MSI never grants E");
+        assert_eq!(bank.dir_state(blk(16)), Some(DirState::Shared(0b1000)));
+        // A subsequent store from the same core must therefore UPGRADE.
+        bank.handle_msg(req_msg(3, blk(16), Payload::Unblock), &mut stats);
+        let out = bank.handle_msg(req_msg(3, blk(16), Payload::Upgrade), &mut stats);
+        assert!(matches!(out[0].payload, Payload::UpgAck));
+        assert_eq!(bank.dir_state(blk(16)), Some(DirState::Owned(3)));
+    }
+
+    #[test]
+    fn cold_gets_grants_exclusive() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(3, blk(16), Payload::Gets), &mut stats);
+        let out = drive_mem(&mut bank, out, &mut stats);
+        assert_eq!(out.len(), 1);
+        let (_, grant) = data_of(&out[0]);
+        assert_eq!(grant, Grant::Exclusive);
+        assert_eq!(out[0].dst, Endpoint::L1(3));
+        assert_eq!(bank.dir_state(blk(16)), Some(DirState::Owned(3)));
+        // Unblock releases the transaction.
+        bank.handle_msg(req_msg(3, blk(16), Payload::Unblock), &mut stats);
+        assert!(bank.quiescent());
+    }
+
+    #[test]
+    fn second_gets_is_forwarded_to_owner() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(1), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(1), Payload::Unblock), &mut stats);
+        // Core 1 GETS: owner (core 0) must be asked for data.
+        let out = bank.handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, Payload::FwdGets));
+        assert_eq!(out[0].dst, Endpoint::L1(0));
+        // Owner responds; both become sharers.
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(1),
+                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+            },
+            &mut stats,
+        );
+        assert_eq!(out.len(), 1);
+        let (_, grant) = data_of(&out[0]);
+        assert_eq!(grant, Grant::Shared);
+        assert_eq!(bank.dir_state(blk(1)), Some(DirState::Shared(0b11)));
+    }
+
+    #[test]
+    fn getx_invalidates_sharers_then_grants_m() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        // Cores 0 and 1 share the block.
+        let out = bank.handle_msg(req_msg(0, blk(2), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(2), Payload::Unblock), &mut stats);
+        let _out = bank.handle_msg(req_msg(1, blk(2), Payload::Gets), &mut stats);
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(2),
+                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+            },
+            &mut stats,
+        );
+        assert!(matches!(out[0].payload, Payload::Data { .. }));
+        bank.handle_msg(req_msg(1, blk(2), Payload::Unblock), &mut stats);
+        assert_eq!(bank.dir_state(blk(2)), Some(DirState::Shared(0b11)));
+        // Core 2 GETX: both sharers invalidated.
+        let out = bank.handle_msg(req_msg(2, blk(2), Payload::Getx), &mut stats);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|m| matches!(m.payload, Payload::Inv)));
+        let out0 = bank.handle_msg(req_msg(0, blk(2), Payload::InvAck), &mut stats);
+        assert!(out0.is_empty());
+        let out1 = bank.handle_msg(req_msg(1, blk(2), Payload::InvAck), &mut stats);
+        assert_eq!(out1.len(), 1);
+        let (_, grant) = data_of(&out1[0]);
+        assert_eq!(grant, Grant::Modified);
+        assert_eq!(bank.dir_state(blk(2)), Some(DirState::Owned(2)));
+    }
+
+    #[test]
+    fn upgrade_from_sole_sharer_is_ack_only() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(3), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(3), Payload::Unblock), &mut stats);
+        // Downgrade to Shared via a second reader + PutS to make core 0 a
+        // sole *shared* holder.
+        let _out = bank.handle_msg(req_msg(1, blk(3), Payload::Gets), &mut stats);
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(3),
+                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+            },
+            &mut stats,
+        );
+        assert_eq!(out.len(), 1);
+        bank.handle_msg(req_msg(1, blk(3), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(1, blk(3), Payload::PutS), &mut stats);
+        assert_eq!(bank.dir_state(blk(3)), Some(DirState::Shared(0b01)));
+        let out = bank.handle_msg(req_msg(0, blk(3), Payload::Upgrade), &mut stats);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, Payload::UpgAck));
+        assert_eq!(bank.dir_state(blk(3)), Some(DirState::Owned(0)));
+    }
+
+    #[test]
+    fn upgrade_from_nonsharer_converts_to_getx() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        // Core 0 owns the block exclusively.
+        let out = bank.handle_msg(req_msg(0, blk(4), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(4), Payload::Unblock), &mut stats);
+        // Core 1 sends an UPGRADE while not a sharer (lost a race):
+        // directory must treat it as GETX and pull data from the owner.
+        let out = bank.handle_msg(req_msg(1, blk(4), Payload::Upgrade), &mut stats);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, Payload::FwdGetx));
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(4),
+                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: false },
+            },
+            &mut stats,
+        );
+        let (_, grant) = data_of(&out[0]);
+        assert_eq!(grant, Grant::Modified);
+        assert_eq!(bank.dir_state(blk(4)), Some(DirState::Owned(1)));
+    }
+
+    #[test]
+    fn requests_queue_behind_busy_block() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(5), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        // Transaction not yet unblocked: core 1's GETS must queue.
+        let out = bank.handle_msg(req_msg(1, blk(5), Payload::Gets), &mut stats);
+        assert!(out.is_empty(), "queued request produced output");
+        // Unblock releases it: owner forward goes out.
+        let out = bank.handle_msg(req_msg(0, blk(5), Payload::Unblock), &mut stats);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, Payload::FwdGets));
+    }
+
+    #[test]
+    fn putm_from_owner_updates_l2() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(6), Payload::Getx), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(6), Payload::Unblock), &mut stats);
+        let mut data = BlockData::zeroed();
+        data.write_word(0, 8, 0xFEED);
+        let out = bank.handle_msg(req_msg(0, blk(6), Payload::PutM { data }), &mut stats);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, Payload::WbAck));
+        assert_eq!(bank.dir_state(blk(6)), Some(DirState::Np));
+        assert_eq!(bank.peek_block(blk(6)).unwrap().read_word(0, 8), 0xFEED);
+    }
+
+    #[test]
+    fn stale_putm_is_acked_and_ignored() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(7), Payload::Getx), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(7), Payload::Unblock), &mut stats);
+        // Ownership moves to core 1.
+        let out = bank.handle_msg(req_msg(1, blk(7), Payload::Getx), &mut stats);
+        assert!(matches!(out[0].payload, Payload::FwdGetx));
+        let mut fresh = BlockData::zeroed();
+        fresh.write_word(0, 8, 1);
+        bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(7),
+                payload: Payload::DataToDir { data: fresh, retained: false },
+            },
+            &mut stats,
+        );
+        bank.handle_msg(req_msg(1, blk(7), Payload::Unblock), &mut stats);
+        // Core 0's stale PUTM (race loser) must be acked but not applied.
+        let mut stale = BlockData::zeroed();
+        stale.write_word(0, 8, 99);
+        let out = bank.handle_msg(req_msg(0, blk(7), Payload::PutM { data: stale }), &mut stats);
+        assert!(matches!(out[0].payload, Payload::WbAck));
+        assert_eq!(bank.dir_state(blk(7)), Some(DirState::Owned(1)));
+        assert_eq!(bank.peek_block(blk(7)).unwrap().read_word(0, 8), 1);
+    }
+
+    #[test]
+    fn pute_clears_owner_and_acks() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(9), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(9), Payload::Unblock), &mut stats);
+        assert_eq!(bank.dir_state(blk(9)), Some(DirState::Owned(0)));
+        // Clean exclusive eviction: ownership clears, data stays valid.
+        let out = bank.handle_msg(req_msg(0, blk(9), Payload::PutE), &mut stats);
+        assert!(matches!(out[0].payload, Payload::WbAck));
+        assert_eq!(bank.dir_state(blk(9)), Some(DirState::Np));
+    }
+
+    #[test]
+    fn puts_from_last_sharer_returns_np() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(10), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(10), Payload::Unblock), &mut stats);
+        // Demote to Shared via second reader, then both PUTS.
+        let out = bank.handle_msg(req_msg(1, blk(10), Payload::Gets), &mut stats);
+        assert!(matches!(out[0].payload, Payload::FwdGets));
+        bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(10),
+                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+            },
+            &mut stats,
+        );
+        bank.handle_msg(req_msg(1, blk(10), Payload::Unblock), &mut stats);
+        let out = bank.handle_msg(req_msg(0, blk(10), Payload::PutS), &mut stats);
+        assert!(out.is_empty(), "PUTS is unacknowledged");
+        assert_eq!(bank.dir_state(blk(10)), Some(DirState::Shared(0b10)));
+        bank.handle_msg(req_msg(1, blk(10), Payload::PutS), &mut stats);
+        assert_eq!(bank.dir_state(blk(10)), Some(DirState::Np));
+    }
+
+    #[test]
+    fn stale_puts_from_nonsharer_is_ignored() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(11), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(11), Payload::Unblock), &mut stats);
+        // Core 5 never held the block: its (stale) PUTS must not corrupt
+        // the owner tracking.
+        bank.handle_msg(req_msg(5, blk(11), Payload::PutS), &mut stats);
+        assert_eq!(bank.dir_state(blk(11)), Some(DirState::Owned(0)));
+        // PUTS for an absent block is also harmless.
+        bank.handle_msg(req_msg(5, blk(999), Payload::PutS), &mut stats);
+        assert_eq!(bank.dir_state(blk(999)), None);
+    }
+
+    #[test]
+    fn queued_requests_service_in_fifo_order() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(12), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        // Two readers queue behind the busy block (no unblock yet).
+        assert!(bank
+            .handle_msg(req_msg(1, blk(12), Payload::Gets), &mut stats)
+            .is_empty());
+        assert!(bank
+            .handle_msg(req_msg(2, blk(12), Payload::Gets), &mut stats)
+            .is_empty());
+        // Unblock: core 1's GETS is serviced first (FIFO).
+        let out = bank.handle_msg(req_msg(0, blk(12), Payload::Unblock), &mut stats);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, Payload::FwdGets));
+        assert_eq!(out[0].dst, Endpoint::L1(0));
+        // Complete it; core 2 is next.
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(12),
+                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+            },
+            &mut stats,
+        );
+        assert_eq!(out[0].dst, Endpoint::L1(1));
+        let out = bank.handle_msg(req_msg(1, blk(12), Payload::Unblock), &mut stats);
+        assert_eq!(out.len(), 1, "core 2's queued GETS proceeds");
+        assert!(matches!(out[0].payload, Payload::Data { .. }));
+        assert_eq!(out[0].dst, Endpoint::L1(2));
+    }
+
+    #[test]
+    fn fill_stalls_when_every_way_is_pinned() {
+        // 1 set x 2 ways: two in-flight fills pin both ways; a third
+        // request must stall, then proceed once a way frees.
+        let mut bank = DirBank::new(0, 1, 2, 1);
+        let mut stats = Stats::default();
+        // Fills for blocks 0 and 1 reserve the two ways (MemRead pending,
+        // no MemData yet).
+        let out0 = bank.handle_msg(req_msg(0, blk(0), Payload::Gets), &mut stats);
+        assert!(matches!(out0[0].payload, Payload::MemRead));
+        let out1 = bank.handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats);
+        assert!(matches!(out1[0].payload, Payload::MemRead));
+        // Third request: both ways pinned -> no output, stalled.
+        let out2 = bank.handle_msg(req_msg(2, blk(2), Payload::Gets), &mut stats);
+        assert!(out2.is_empty(), "stalled fill must wait: {out2:?}");
+        assert!(!bank.quiescent());
+        // Block 0's fill completes and unblocks; the stalled fill retries
+        // (recalling block 0, now owned by core 0).
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::Mem(0),
+                dst: Endpoint::Dir(0),
+                block: blk(0),
+                payload: Payload::MemData { data: BlockData::zeroed() },
+            },
+            &mut stats,
+        );
+        assert!(matches!(out[0].payload, Payload::Data { .. }));
+        let out = bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats);
+        // Retry: block 2 wants a way; block 0 (stable, Owned) is the
+        // victim -> recall forward to core 0.
+        assert!(
+            out.iter().any(|m| matches!(m.payload, Payload::FwdGetx) && m.block == blk(0)),
+            "stalled request should retry via recall: {out:?}"
+        );
+    }
+
+    #[test]
+    fn inclusion_recall_of_shared_victim() {
+        // 1 set x 1 way forces a recall on the second distinct block.
+        let mut bank = DirBank::new(0, 1, 1, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(0), Payload::Gets), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats);
+        // Demote to shared so the recall is an INV sweep: second sharer.
+        let _out = bank.handle_msg(req_msg(1, blk(0), Payload::Gets), &mut stats);
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(0),
+                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+            },
+            &mut stats,
+        );
+        assert_eq!(out.len(), 1);
+        bank.handle_msg(req_msg(1, blk(0), Payload::Unblock), &mut stats);
+        // Block 1 maps to the same (only) set: recall of block 0 expected.
+        let out = bank.handle_msg(req_msg(2, blk(1), Payload::Gets), &mut stats);
+        assert_eq!(out.len(), 2);
+        assert!(out
+            .iter()
+            .all(|m| matches!(m.payload, Payload::Inv) && m.block == blk(0)));
+        // Both sharers ack; the fill proceeds.
+        let out0 = bank.handle_msg(req_msg(0, blk(0), Payload::InvAck), &mut stats);
+        assert!(out0.is_empty());
+        let out1 = bank.handle_msg(req_msg(1, blk(0), Payload::InvAck), &mut stats);
+        let out = drive_mem(&mut bank, out1, &mut stats);
+        assert_eq!(out.len(), 1);
+        let (_, grant) = data_of(&out[0]);
+        assert_eq!(grant, Grant::Exclusive);
+        assert_eq!(stats.l2_recalls, 1);
+        assert!(bank.dir_state(blk(0)).is_none(), "victim evicted");
+    }
+
+    #[test]
+    fn inclusion_recall_of_owned_victim_writes_back() {
+        let mut bank = DirBank::new(0, 1, 1, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(0), Payload::Getx), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats);
+        // Block 1 forces recall of owned block 0.
+        let out = bank.handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out[0].payload, Payload::FwdGetx) && out[0].block == blk(0));
+        let mut dirty = BlockData::zeroed();
+        dirty.write_word(8, 8, 0xAA);
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(0),
+                payload: Payload::DataToDir { data: dirty, retained: false },
+            },
+            &mut stats,
+        );
+        // Expect: MemWrite of victim + MemRead of block 1.
+        let wrote_back = out.iter().any(|m| {
+            matches!(m.payload, Payload::MemWrite { data } if data.read_word(8, 8) == 0xAA)
+                && m.block == blk(0)
+        });
+        assert!(wrote_back, "dirty recall victim must be written back");
+        assert!(out
+            .iter()
+            .any(|m| matches!(m.payload, Payload::MemRead) && m.block == blk(1)));
+    }
+
+    #[test]
+    fn queued_request_on_recall_victim_refetches() {
+        let mut bank = DirBank::new(0, 1, 1, 1);
+        let mut stats = Stats::default();
+        let out = bank.handle_msg(req_msg(0, blk(0), Payload::Getx), &mut stats);
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats);
+        let out = bank.handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats);
+        assert!(matches!(out[0].payload, Payload::FwdGetx));
+        // While block 0 is being recalled, core 2 asks for it: queued.
+        let out = bank.handle_msg(req_msg(2, blk(0), Payload::Gets), &mut stats);
+        assert!(out.is_empty());
+        // Owner answers the recall; block 1 fill begins, and block 0's
+        // queued GETS is only serviceable after the set frees up again —
+        // it lands in the stalled list until block 1's txn completes.
+        let out = bank.handle_msg(
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: blk(0),
+                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: false },
+            },
+            &mut stats,
+        );
+        let out = drive_mem(&mut bank, out, &mut stats);
+        assert_eq!(out.len(), 1, "block 1 data grant");
+        let out = bank.handle_msg(req_msg(1, blk(1), Payload::Unblock), &mut stats);
+        // Now block 0's GETS retries: it recalls block 1... which has an
+        // owner? No — block 1 was granted Exclusive to core 1, so recall
+        // forwards to it.
+        let fwd = out
+            .iter()
+            .find(|m| matches!(m.payload, Payload::FwdGetx))
+            .expect("recall of block 1 to serve queued GETS of block 0");
+        assert_eq!(fwd.block, blk(1));
+    }
+}

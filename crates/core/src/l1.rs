@@ -1,0 +1,1447 @@
+//! The private L1 cache controller: baseline MESI states plus the
+//! Ghostwriter approximate states `GS` and `GI` (paper Fig. 3).
+//!
+//! The controller is written in the *outbox* style: it never talks to the
+//! network or the core directly, it returns a list of [`L1Out`] actions for
+//! the machine to perform. That keeps every transition unit-testable
+//! without building a whole machine.
+//!
+//! State glossary (stable states; `I` always means *tag present, data
+//! stale* — a fully absent block simply has no line):
+//!
+//! | state | permissions | directory view |
+//! |-------|-------------|----------------|
+//! | `I`   | none        | not a sharer   |
+//! | `S`   | read        | sharer         |
+//! | `E`   | read (+silent write→M) | owner |
+//! | `M`   | read/write  | owner          |
+//! | `GS`  | read/write *locally* (hidden) | still a sharer |
+//! | `GI`  | read/write *locally* (hidden) | not tracked |
+//!
+//! Transient states: `IS_D` (GETS outstanding), `IM_AD` (GETX outstanding),
+//! `SM_A` (UPGRADE outstanding; demoted to `IM_AD` if invalidated while
+//! waiting, in which case the directory answers with data instead).
+
+use ghostwriter_mem::{Addr, BlockAddr, BlockData, LookupResult, SetAssocCache};
+use std::collections::HashMap;
+
+use crate::config::GiStorePolicy;
+use crate::msg::{Endpoint, Grant, Msg, Payload};
+use crate::scribe::ScribePolicy;
+use crate::stats::Stats;
+
+/// L1 coherence states (Fig. 3 plus the standard directory-protocol
+/// transients).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum L1State {
+    /// Tag present, data stale, no permissions.
+    I,
+    /// Shared, read-only.
+    S,
+    /// Exclusive clean, silent upgrade to M permitted.
+    E,
+    /// Modified, read/write.
+    M,
+    /// Ghostwriter: locally modified *shared* block, hidden from the
+    /// global view; still on the directory's sharer list.
+    Gs,
+    /// Ghostwriter: locally modified *invalid* block, hidden from the
+    /// global view; untracked, reaped by the periodic timeout.
+    Gi,
+    /// GETS outstanding.
+    IsD,
+    /// GETX outstanding (also UPGRADE after losing the race).
+    ImAd,
+    /// UPGRADE outstanding.
+    SmA,
+}
+
+/// A demand access from the core.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreReq {
+    pub addr: Addr,
+    /// Access width in bytes (1, 2, 4 or 8).
+    pub size: u8,
+    /// Store value (ignored for loads).
+    pub value: u64,
+    pub kind: AccessKind,
+}
+
+/// Demand access flavours. The machine resolves a thread's `scribble` into
+/// `Scribble { d }` only when the core's approximate region is active and
+/// the protocol is Ghostwriter; otherwise it arrives as `Store`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    Load,
+    Store,
+    Scribble { d: u8 },
+}
+
+impl AccessKind {
+    fn is_store_like(self) -> bool {
+        !matches!(self, AccessKind::Load)
+    }
+}
+
+/// Ghostwriter knobs for the L1 (None = baseline MESI).
+#[derive(Clone, Copy, Debug)]
+pub struct GwParams {
+    pub scribe: ScribePolicy,
+    pub enable_gs: bool,
+    pub enable_gi: bool,
+    pub gi_stores: GiStorePolicy,
+    /// §3.5 error bound: max hidden writes before a forced publish.
+    pub max_hidden_writes: Option<u32>,
+}
+
+/// Actions the machine must perform on the controller's behalf.
+#[derive(Debug)]
+pub enum L1Out {
+    /// The outstanding demand access completed with this (load) value.
+    Reply { value: u64 },
+    /// Send a protocol message.
+    Send(Msg),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct L1Meta {
+    state: L1State,
+    /// Hidden (GS/GI) writes since the line's last coherent sync; drives
+    /// the optional §3.5 error bound.
+    hidden_writes: u32,
+}
+
+impl L1Meta {
+    fn new(state: L1State) -> Self {
+        Self {
+            state,
+            hidden_writes: 0,
+        }
+    }
+}
+
+/// Writeback-buffer entry: holds an evicted E/M block until the directory
+/// acknowledges the PUT, and answers forwards that race with the eviction.
+#[derive(Debug)]
+struct WbEntry {
+    data: BlockData,
+}
+
+/// The per-core L1 data-cache controller.
+pub struct L1Cache {
+    core: usize,
+    cache: SetAssocCache<L1Meta>,
+    /// The single outstanding demand miss (in-order blocking core).
+    pending: Option<CoreReq>,
+    wb_buffer: HashMap<BlockAddr, WbEntry>,
+    gw: Option<GwParams>,
+    collect_similarity: bool,
+    home_of: fn(BlockAddr, usize) -> usize,
+    banks: usize,
+}
+
+/// Home L2 bank of a block: low-order interleave across banks.
+pub fn home_bank(block: BlockAddr, banks: usize) -> usize {
+    (block.index() % banks as u64) as usize
+}
+
+impl L1Cache {
+    /// Builds an L1 with `sets × ways` lines for core `core` in a machine
+    /// with `banks` L2 banks.
+    pub fn new(
+        core: usize,
+        sets: usize,
+        ways: usize,
+        banks: usize,
+        gw: Option<GwParams>,
+        collect_similarity: bool,
+    ) -> Self {
+        Self {
+            core,
+            cache: SetAssocCache::new(sets, ways),
+            pending: None,
+            wb_buffer: HashMap::new(),
+            gw,
+            collect_similarity,
+            home_of: home_bank,
+            banks,
+        }
+    }
+
+    /// Core index of this L1.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// True while a demand miss is outstanding (core blocked).
+    pub fn busy(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Coherence state of `block`, if resident (for tests and tracing).
+    pub fn state_of(&self, block: BlockAddr) -> Option<L1State> {
+        self.cache.get(block).map(|l| l.meta.state)
+    }
+
+    /// Word currently stored at `addr` in this cache, if resident
+    /// (for tests: observes hidden GS/GI values).
+    pub fn peek_word(&self, addr: Addr, size: usize) -> Option<u64> {
+        self.cache
+            .get(addr.block())
+            .map(|l| l.data.read_word(addr.offset(), size))
+    }
+
+    fn msg(&self, block: BlockAddr, payload: Payload) -> Msg {
+        let dst = Endpoint::Dir((self.home_of)(block, self.banks));
+        Msg {
+            src: Endpoint::L1(self.core),
+            dst,
+            block,
+            payload,
+        }
+    }
+
+    /// Handles a demand access from the core. Returns either a same-cycle
+    /// `Reply` (hit) or the messages of a coherence transaction (miss);
+    /// in the latter case the core blocks until the fill completes.
+    pub fn access(&mut self, req: CoreReq, stats: &mut Stats) -> Vec<L1Out> {
+        assert!(
+            self.pending.is_none(),
+            "core {} issued a second outstanding access",
+            self.core
+        );
+        match req.kind {
+            AccessKind::Load => stats.loads += 1,
+            AccessKind::Store => stats.stores += 1,
+            AccessKind::Scribble { .. } => stats.scribbles += 1,
+        }
+        let block = req.addr.block();
+        let offset = req.addr.offset();
+        let size = req.size as usize;
+        assert!(
+            req.addr.fits_in_block(size),
+            "access at {:?} size {} crosses a block boundary",
+            req.addr,
+            size
+        );
+
+        if self.cache.probe(block).is_some() {
+            // Similarity profiling (Fig. 2): every store-like access that
+            // finds the block's tag compares the incoming word with the
+            // word it overwrites, irrespective of coherence state.
+            if req.kind.is_store_like() && self.collect_similarity {
+                let old = self
+                    .cache
+                    .get(block)
+                    .expect("probed line present")
+                    .data
+                    .read_word(offset, size);
+                stats.similarity.record(old, req.value, (size * 8) as u32);
+            }
+            let state = self.cache.get(block).unwrap().meta.state;
+            return self.access_tagged(req, state, stats);
+        }
+
+        // True miss: no tag. Allocate a line (evicting if needed) and
+        // start the transaction.
+        stats.energy_events.l1_tag_probes += 1;
+        let mut out = Vec::new();
+        let way = match self.cache.lookup_for_insert(block) {
+            LookupResult::Hit { .. } => unreachable!("probe said absent"),
+            LookupResult::Free { way } => way,
+            LookupResult::Victim { way, block: victim } => {
+                self.evict(victim, stats, &mut out);
+                way
+            }
+        };
+        let (state, payload) = if req.kind.is_store_like() {
+            stats.l1_store_misses += 1;
+            (L1State::ImAd, Payload::Getx)
+        } else {
+            stats.l1_load_misses += 1;
+            (L1State::IsD, Payload::Gets)
+        };
+        self.cache
+            .insert_at(way, block, L1Meta::new(state), BlockData::zeroed());
+        self.pending = Some(req);
+        out.push(L1Out::Send(self.msg(block, payload)));
+        out
+    }
+
+    /// Demand access when the block's tag is present in state `state`.
+    fn access_tagged(&mut self, req: CoreReq, state: L1State, stats: &mut Stats) -> Vec<L1Out> {
+        let block = req.addr.block();
+        let offset = req.addr.offset();
+        let size = req.size as usize;
+        let width = (size * 8) as u32;
+
+        // Whether a scribble passes the scribe comparator against the
+        // word currently in the block (stale or not).
+        let scribble_pass = |line_data: &BlockData, d: u8, gw: &GwParams| {
+            gw.scribe
+                .within(line_data.read_word(offset, size), req.value, width, d as u32)
+        };
+        // §3.5 error bound: once a line has accumulated `max_hidden_writes`
+        // hidden updates without a coherent resync, force the next
+        // scribble down the conventional path (publishing / refetching).
+        let bound_ok = |meta: &L1Meta, gw: &GwParams| match gw.max_hidden_writes {
+            Some(bound) => meta.hidden_writes < bound,
+            None => true,
+        };
+
+        match req.kind {
+            AccessKind::Load => match state {
+                L1State::S | L1State::E | L1State::M | L1State::Gs => {
+                    stats.l1_load_hits += 1;
+                    stats.energy_events.l1_reads += 1;
+                    self.cache.touch(block);
+                    let v = self.cache.get(block).unwrap().data.read_word(offset, size);
+                    vec![L1Out::Reply { value: v }]
+                }
+                L1State::Gi => {
+                    stats.l1_load_hits += 1;
+                    stats.gi_load_hits += 1;
+                    stats.energy_events.l1_reads += 1;
+                    self.cache.touch(block);
+                    let v = self.cache.get(block).unwrap().data.read_word(offset, size);
+                    vec![L1Out::Reply { value: v }]
+                }
+                L1State::I => {
+                    // Coherence (or capacity-invalidated) load miss.
+                    stats.l1_load_misses += 1;
+                    stats.energy_events.l1_tag_probes += 1;
+                    self.cache.get_mut(block).unwrap().meta.state = L1State::IsD;
+                    self.pending = Some(req);
+                    vec![L1Out::Send(self.msg(block, Payload::Gets))]
+                }
+                t => panic!("core {}: load while transient {t:?}", self.core),
+            },
+
+            AccessKind::Store | AccessKind::Scribble { .. } => {
+                let d = match req.kind {
+                    AccessKind::Scribble { d } => Some(d),
+                    _ => None,
+                };
+                match state {
+                    L1State::M => {
+                        self.write_hit(block, offset, size, req.value, stats);
+                        vec![L1Out::Reply { value: 0 }]
+                    }
+                    L1State::E => {
+                        self.write_hit(block, offset, size, req.value, stats);
+                        self.cache.get_mut(block).unwrap().meta.state = L1State::M;
+                        vec![L1Out::Reply { value: 0 }]
+                    }
+                    L1State::Gi => {
+                        // Fig. 3/Fig. 5: loads, conventional stores and
+                        // *passing* scribbles hit on a GI block (hidden
+                        // local writes). What a *failing* scribble does is
+                        // policy (see GiStorePolicy): under `Capture` it
+                        // hits like any store (Fig. 3's Store self-loop);
+                        // under `Fallback` it "falls back to the
+                        // conventional coherence mechanisms" (§3.1) and
+                        // issues a GETX, ending the hidden window (the
+                        // fetched coherent data overwrites the forfeited
+                        // local updates).
+                        let gw = self.gw;
+                        let pass = match (d, &gw) {
+                            (Some(d), Some(gw)) => {
+                                bound_ok(&self.cache.get(block).unwrap().meta, gw)
+                                    && (gw.gi_stores == GiStorePolicy::Capture
+                                        || scribble_pass(
+                                            &self.cache.get(block).unwrap().data,
+                                            d,
+                                            gw,
+                                        ))
+                            }
+                            // Conventional store: Fig. 3 Store self-loop.
+                            (None, _) => true,
+                            (Some(_), None) => unreachable!("GI line without GW params"),
+                        };
+                        if pass {
+                            stats.gi_store_hits += 1;
+                            self.write_hit(block, offset, size, req.value, stats);
+                            self.cache.get_mut(block).unwrap().meta.hidden_writes += 1;
+                            vec![L1Out::Reply { value: 0 }]
+                        } else {
+                            stats.stores_on_invalid_tagged += 1;
+                            stats.l1_store_misses += 1;
+                            stats.energy_events.l1_tag_probes += 1;
+                            stats.gi_breaks += 1;
+                            self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd;
+                            self.pending = Some(req);
+                            vec![L1Out::Send(self.msg(block, Payload::Getx))]
+                        }
+                    }
+                    L1State::S => {
+                        let gw = self.gw;
+                        let pass = matches!((d, &gw), (Some(d), Some(gw))
+                            if gw.enable_gs
+                            && bound_ok(&self.cache.get(block).unwrap().meta, gw)
+                            && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
+                        if pass {
+                            // S → GS: write locally, no coherence actions.
+                            stats.serviced_by_gs += 1;
+                            self.write_hit(block, offset, size, req.value, stats);
+                            let meta = &mut self.cache.get_mut(block).unwrap().meta;
+                            meta.state = L1State::Gs;
+                            meta.hidden_writes += 1;
+                            vec![L1Out::Reply { value: 0 }]
+                        } else {
+                            // Conventional path: UPGRADE.
+                            stats.upgrades_from_s += 1;
+                            stats.l1_store_misses += 1;
+                            stats.energy_events.l1_tag_probes += 1;
+                            self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
+                            self.pending = Some(req);
+                            vec![L1Out::Send(self.msg(block, Payload::Upgrade))]
+                        }
+                    }
+                    L1State::Gs => {
+                        let gw = self.gw;
+                        let pass = matches!((d, &gw), (Some(d), Some(gw))
+                            if bound_ok(&self.cache.get(block).unwrap().meta, gw)
+                            && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
+                        if pass {
+                            stats.gs_hits += 1;
+                            self.write_hit(block, offset, size, req.value, stats);
+                            self.cache.get_mut(block).unwrap().meta.hidden_writes += 1;
+                            vec![L1Out::Reply { value: 0 }]
+                        } else {
+                            // Conventional store from GS publishes the
+                            // locally modified block via UPGRADE (Fig. 3:
+                            // GS --Store/UPGRADE--> M).
+                            stats.upgrades_from_gs += 1;
+                            stats.l1_store_misses += 1;
+                            stats.energy_events.l1_tag_probes += 1;
+                            self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
+                            self.pending = Some(req);
+                            vec![L1Out::Send(self.msg(block, Payload::Upgrade))]
+                        }
+                    }
+                    L1State::I => {
+                        let gw = self.gw;
+                        let pass = matches!((d, &gw), (Some(d), Some(gw))
+                            if gw.enable_gi
+                            && bound_ok(&self.cache.get(block).unwrap().meta, gw)
+                            && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
+                        if pass {
+                            // I → GI: write over the stale data, no GETX.
+                            stats.serviced_by_gi += 1;
+                            self.write_hit(block, offset, size, req.value, stats);
+                            let meta = &mut self.cache.get_mut(block).unwrap().meta;
+                            meta.state = L1State::Gi;
+                            meta.hidden_writes += 1;
+                            vec![L1Out::Reply { value: 0 }]
+                        } else {
+                            stats.stores_on_invalid_tagged += 1;
+                            stats.l1_store_misses += 1;
+                            stats.energy_events.l1_tag_probes += 1;
+                            self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd;
+                            self.pending = Some(req);
+                            vec![L1Out::Send(self.msg(block, Payload::Getx))]
+                        }
+                    }
+                    t => panic!("core {}: store while transient {t:?}", self.core),
+                }
+            }
+        }
+    }
+
+    fn write_hit(&mut self, block: BlockAddr, offset: usize, size: usize, value: u64, stats: &mut Stats) {
+        stats.l1_store_hits += 1;
+        stats.energy_events.l1_writes += 1;
+        self.cache.touch(block);
+        self.cache
+            .get_mut(block)
+            .unwrap()
+            .data
+            .write_word(offset, size, value);
+    }
+
+    /// Evicts `victim` per its state, appending any protocol messages.
+    fn evict(&mut self, victim: BlockAddr, stats: &mut Stats, out: &mut Vec<L1Out>) {
+        let line = self.cache.remove(victim).expect("victim resident");
+        match line.meta.state {
+            L1State::M => {
+                stats.energy_events.l1_reads += 1;
+                assert!(
+                    self.wb_buffer
+                        .insert(victim, WbEntry { data: line.data })
+                        .is_none(),
+                    "double eviction of {victim:?}"
+                );
+                out.push(L1Out::Send(self.msg(victim, Payload::PutM { data: line.data })));
+            }
+            L1State::E => {
+                assert!(self
+                    .wb_buffer
+                    .insert(victim, WbEntry { data: line.data })
+                    .is_none());
+                out.push(L1Out::Send(self.msg(victim, Payload::PutE)));
+            }
+            L1State::S => {
+                out.push(L1Out::Send(self.msg(victim, Payload::PutS)));
+            }
+            L1State::Gs => {
+                // Scribbled updates are forfeited (paper §3.5); tell the
+                // directory we are no longer a sharer.
+                stats.approx_evictions += 1;
+                out.push(L1Out::Send(self.msg(victim, Payload::PutS)));
+            }
+            L1State::Gi => {
+                // Untracked: drop silently, updates forfeited.
+                stats.approx_evictions += 1;
+            }
+            L1State::I => {}
+            t => unreachable!("transient line {t:?} chosen as victim"),
+        }
+    }
+
+    /// Handles a protocol message addressed to this L1.
+    pub fn handle_msg(&mut self, msg: Msg, stats: &mut Stats) -> Vec<L1Out> {
+        let block = msg.block;
+        let dir = msg.src;
+        match msg.payload {
+            Payload::Inv => {
+                stats.energy_events.l1_tag_probes += 1;
+                if let Some(line) = self.cache.get_mut(block) {
+                    match line.meta.state {
+                        L1State::S => line.meta.state = L1State::I,
+                        L1State::Gs => {
+                            line.meta.state = L1State::I;
+                            stats.gs_invalidations += 1;
+                        }
+                        // UPGRADE lost the race: the directory will answer
+                        // it with data; wait in IM_AD.
+                        L1State::SmA => line.meta.state = L1State::ImAd,
+                        // Our own GETS/GETX is queued behind the
+                        // invalidating transaction; the INV targeted the
+                        // copy we since dropped. Ack and keep waiting.
+                        L1State::IsD | L1State::ImAd | L1State::I => {}
+                        t @ (L1State::E | L1State::M | L1State::Gi) => {
+                            panic!("core {}: INV in state {t:?}", self.core)
+                        }
+                    }
+                }
+                vec![L1Out::Send(Msg {
+                    src: Endpoint::L1(self.core),
+                    dst: dir,
+                    block,
+                    payload: Payload::InvAck,
+                })]
+            }
+            Payload::FwdGets => {
+                let (data, retained) = self.forward_data(block, true, stats);
+                vec![L1Out::Send(Msg {
+                    src: Endpoint::L1(self.core),
+                    dst: dir,
+                    block,
+                    payload: Payload::DataToDir { data, retained },
+                })]
+            }
+            Payload::FwdGetx => {
+                let (data, retained) = self.forward_data(block, false, stats);
+                debug_assert!(!retained);
+                vec![L1Out::Send(Msg {
+                    src: Endpoint::L1(self.core),
+                    dst: dir,
+                    block,
+                    payload: Payload::DataToDir { data, retained },
+                })]
+            }
+            Payload::Data { data, grant } => {
+                let req = self
+                    .pending
+                    .take()
+                    .unwrap_or_else(|| panic!("core {}: DATA with no pending miss", self.core));
+                assert_eq!(req.addr.block(), block, "DATA for wrong block");
+                stats.energy_events.l1_writes += 1; // line fill
+                let line = self.cache.get_mut(block).expect("miss line allocated");
+                let value;
+                match line.meta.state {
+                    L1State::IsD => {
+                        assert!(!matches!(grant, Grant::Modified));
+                        line.meta.hidden_writes = 0;
+                        line.data = data;
+                        line.meta.state = match grant {
+                            Grant::Shared => L1State::S,
+                            Grant::Exclusive => L1State::E,
+                            Grant::Modified => unreachable!(),
+                        };
+                        value = line.data.read_word(req.addr.offset(), req.size as usize);
+                    }
+                    L1State::ImAd | L1State::SmA => {
+                        assert!(matches!(grant, Grant::Modified));
+                        line.meta.hidden_writes = 0;
+                        line.data = data;
+                        line.data
+                            .write_word(req.addr.offset(), req.size as usize, req.value);
+                        line.meta.state = L1State::M;
+                        value = 0;
+                    }
+                    t => panic!("core {}: DATA in state {t:?}", self.core),
+                }
+                self.cache.touch(block);
+                vec![
+                    L1Out::Send(Msg {
+                        src: Endpoint::L1(self.core),
+                        dst: dir,
+                        block,
+                        payload: Payload::Unblock,
+                    }),
+                    L1Out::Reply { value },
+                ]
+            }
+            Payload::UpgAck => {
+                let req = self
+                    .pending
+                    .take()
+                    .unwrap_or_else(|| panic!("core {}: UPG_ACK with no pending", self.core));
+                assert_eq!(req.addr.block(), block);
+                stats.energy_events.l1_writes += 1;
+                let line = self.cache.get_mut(block).expect("upgrading line present");
+                assert_eq!(line.meta.state, L1State::SmA, "UPG_ACK outside SM_A");
+                // Keep the (possibly scribbled) block contents and apply
+                // the store: the locally modified data is published —
+                // a coherent resync for the §3.5 error bound.
+                line.data
+                    .write_word(req.addr.offset(), req.size as usize, req.value);
+                line.meta.state = L1State::M;
+                line.meta.hidden_writes = 0;
+                self.cache.touch(block);
+                vec![
+                    L1Out::Send(Msg {
+                        src: Endpoint::L1(self.core),
+                        dst: dir,
+                        block,
+                        payload: Payload::Unblock,
+                    }),
+                    L1Out::Reply { value: 0 },
+                ]
+            }
+            Payload::WbAck => {
+                self.wb_buffer
+                    .remove(&block)
+                    .unwrap_or_else(|| panic!("core {}: WB_ACK without buffer entry", self.core));
+                vec![]
+            }
+            p => panic!("core {}: unexpected message {}", self.core, p.name()),
+        }
+    }
+
+    /// Supplies block data for a directory forward, from the writeback
+    /// buffer or the live line. `downgrade_to_s` is true for FWD_GETS.
+    ///
+    /// The buffer is consulted *first*: a pending PUT means the directory
+    /// has not yet observed our eviction, so any forward necessarily
+    /// targets that old ownership epoch — even if we have meanwhile begun
+    /// a brand-new request on the same block (the line can legitimately
+    /// sit in IS_D/IM_AD here, queued at the directory behind our PUT).
+    fn forward_data(
+        &mut self,
+        block: BlockAddr,
+        downgrade_to_s: bool,
+        stats: &mut Stats,
+    ) -> (BlockData, bool) {
+        if let Some(entry) = self.wb_buffer.get(&block) {
+            // The eviction raced with the forward; answer from the buffer
+            // and let the queued PUT be acked as stale.
+            if let Some(line) = self.cache.get(block) {
+                debug_assert!(
+                    matches!(line.meta.state, L1State::IsD | L1State::ImAd),
+                    "core {}: unexpected state {:?} alongside a writeback buffer entry",
+                    self.core,
+                    line.meta.state
+                );
+            }
+            return (entry.data, false);
+        }
+        if let Some(line) = self.cache.get_mut(block) {
+            match line.meta.state {
+                L1State::E | L1State::M => {
+                    stats.energy_events.l1_reads += 1;
+                    let data = line.data;
+                    line.meta.state = if downgrade_to_s { L1State::S } else { L1State::I };
+                    (data, downgrade_to_s)
+                }
+                t => panic!("core {}: forward in state {t:?}", self.core),
+            }
+        } else {
+            panic!("core {}: forward for unknown block {block:?}", self.core)
+        }
+    }
+
+    /// Context-switch / thread-migration forfeit (paper §3.5): the
+    /// approximate blocks are not tracked by the directory, so their
+    /// hidden updates cannot be switched or migrated — both `GS` and
+    /// `GI` lines revert to `I`. `GS` lines additionally leave the
+    /// sharer list (PUTS), exactly as a descheduled thread's cache
+    /// working set would be treated.
+    pub fn context_switch_forfeit(&mut self, stats: &mut Stats) -> Vec<L1Out> {
+        let mut out = Vec::new();
+        let mut gs_blocks = Vec::new();
+        for line in self.cache.iter_mut() {
+            match line.meta.state {
+                L1State::Gs => {
+                    line.meta.state = L1State::I;
+                    line.meta.hidden_writes = 0;
+                    stats.approx_evictions += 1;
+                    gs_blocks.push(line.block);
+                }
+                L1State::Gi => {
+                    line.meta.state = L1State::I;
+                    line.meta.hidden_writes = 0;
+                    stats.approx_evictions += 1;
+                }
+                _ => {}
+            }
+        }
+        for block in gs_blocks {
+            out.push(L1Out::Send(self.msg(block, Payload::PutS)));
+        }
+        out
+    }
+
+    /// The periodic GI timeout (paper §3.2): returns every `GI` block to
+    /// `I`, forfeiting its hidden updates. Runs once per `gi_timeout`
+    /// cycles per controller.
+    pub fn gi_timeout_sweep(&mut self, stats: &mut Stats) {
+        for line in self.cache.iter_mut() {
+            if line.meta.state == L1State::Gi {
+                line.meta.state = L1State::I;
+                stats.gi_timeouts += 1;
+            }
+        }
+    }
+
+    /// End-of-run functional flush: yields `(block, data)` for every line
+    /// this cache *owns* (E/M) so the machine can build the final coherent
+    /// memory image. GS/GI contents are forfeited, exactly as the protocol
+    /// would forfeit them on invalidation/timeout.
+    pub fn drain_owned(&mut self) -> Vec<(BlockAddr, BlockData)> {
+        let mut owned = Vec::new();
+        for line in self.cache.iter() {
+            match line.meta.state {
+                L1State::E | L1State::M => owned.push((line.block, line.data)),
+                L1State::IsD | L1State::ImAd | L1State::SmA => {
+                    panic!("flush with outstanding transaction on {:?}", line.block)
+                }
+                _ => {}
+            }
+        }
+        // Writeback buffer entries are also unflushed owned data.
+        for (block, entry) in self.wb_buffer.drain() {
+            owned.push((block, entry.data));
+        }
+        owned
+    }
+
+    /// Every resident block and its coherence state (for the protocol
+    /// tester's invariant checks).
+    pub fn resident_blocks(&self) -> Vec<(BlockAddr, L1State)> {
+        self.cache
+            .iter()
+            .map(|l| (l.block, l.meta.state))
+            .collect()
+    }
+
+    /// True if the writeback buffer still holds entries (in-flight PUTs).
+    pub fn has_pending_writebacks(&self) -> bool {
+        !self.wb_buffer.is_empty()
+    }
+
+    /// Number of resident lines in each Ghostwriter state `(GS, GI)`;
+    /// used by tests and the trace example.
+    pub fn approx_occupancy(&self) -> (usize, usize) {
+        let mut gs = 0;
+        let mut gi = 0;
+        for line in self.cache.iter() {
+            match line.meta.state {
+                L1State::Gs => gs += 1,
+                L1State::Gi => gi += 1,
+                _ => {}
+            }
+        }
+        (gs, gi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Grant;
+
+    fn gw_params() -> Option<GwParams> {
+        Some(GwParams {
+            scribe: ScribePolicy::Bitwise,
+            enable_gs: true,
+            enable_gi: true,
+            gi_stores: GiStorePolicy::Fallback,
+            max_hidden_writes: None,
+        })
+    }
+
+    fn l1(gw: Option<GwParams>) -> (L1Cache, Stats) {
+        (L1Cache::new(0, 8, 2, 1, gw, true), Stats::default())
+    }
+
+    fn load(addr: u64) -> CoreReq {
+        CoreReq {
+            addr: Addr(addr),
+            size: 4,
+            value: 0,
+            kind: AccessKind::Load,
+        }
+    }
+
+    fn store(addr: u64, value: u64) -> CoreReq {
+        CoreReq {
+            addr: Addr(addr),
+            size: 4,
+            value,
+            kind: AccessKind::Store,
+        }
+    }
+
+    fn scribble(addr: u64, value: u64, d: u8) -> CoreReq {
+        CoreReq {
+            addr: Addr(addr),
+            size: 4,
+            value,
+            kind: AccessKind::Scribble { d },
+        }
+    }
+
+    fn dir_msg(block: BlockAddr, payload: Payload) -> Msg {
+        Msg {
+            src: Endpoint::Dir(0),
+            dst: Endpoint::L1(0),
+            block,
+            payload,
+        }
+    }
+
+    fn expect_send<'a>(outs: &'a [L1Out], name: &str) -> &'a Msg {
+        outs.iter()
+            .find_map(|o| match o {
+                L1Out::Send(m) if m.payload.name() == name => Some(m),
+                _ => None,
+            })
+            .unwrap_or_else(|| panic!("no {name} in {outs:?}"))
+    }
+
+    fn expect_reply(outs: &[L1Out]) -> u64 {
+        outs.iter()
+            .find_map(|o| match o {
+                L1Out::Reply { value } => Some(*value),
+                _ => None,
+            })
+            .expect("no reply")
+    }
+
+    /// Brings block of `addr` to the given stable state via the protocol.
+    fn bring_to(cache: &mut L1Cache, stats: &mut Stats, addr: u64, target: L1State) {
+        let block = Addr(addr).block();
+        match target {
+            L1State::S => {
+                let outs = cache.access(load(addr), stats);
+                expect_send(&outs, "GETS");
+                cache.handle_msg(
+                    dir_msg(block, Payload::Data { data: BlockData::zeroed(), grant: Grant::Shared }),
+                    stats,
+                );
+            }
+            L1State::E => {
+                let outs = cache.access(load(addr), stats);
+                expect_send(&outs, "GETS");
+                cache.handle_msg(
+                    dir_msg(block, Payload::Data { data: BlockData::zeroed(), grant: Grant::Exclusive }),
+                    stats,
+                );
+            }
+            L1State::M => {
+                let outs = cache.access(store(addr, 7), stats);
+                expect_send(&outs, "GETX");
+                cache.handle_msg(
+                    dir_msg(block, Payload::Data { data: BlockData::zeroed(), grant: Grant::Modified }),
+                    stats,
+                );
+            }
+            L1State::I => {
+                bring_to(cache, stats, addr, L1State::S);
+                cache.handle_msg(dir_msg(block, Payload::Inv), stats);
+            }
+            other => panic!("bring_to({other:?}) unsupported"),
+        }
+        assert_eq!(cache.state_of(block), Some(target));
+    }
+
+    #[test]
+    fn scribble_on_shared_within_d_enters_gs() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        // Block data is zero; writing 15 is within d=4.
+        let outs = c.access(scribble(0x1000, 15, 4), &mut s);
+        assert_eq!(expect_reply(&outs), 0);
+        assert_eq!(outs.len(), 1, "no coherence messages");
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::Gs));
+        assert_eq!(c.peek_word(Addr(0x1000), 4), Some(15));
+        assert_eq!(s.serviced_by_gs, 1);
+        assert_eq!(s.upgrades_from_s, 0);
+    }
+
+    #[test]
+    fn scribble_on_shared_beyond_d_falls_back_to_upgrade() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        // 0 -> 16 differs at bit 4: distance 5 > d=4.
+        let outs = c.access(scribble(0x1000, 16, 4), &mut s);
+        expect_send(&outs, "UPGRADE");
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::SmA));
+        assert_eq!(s.serviced_by_gs, 0);
+        assert_eq!(s.upgrades_from_s, 1);
+        // UPG_ACK completes the store and publishes M.
+        let outs = c.handle_msg(dir_msg(Addr(0x1000).block(), Payload::UpgAck), &mut s);
+        expect_send(&outs, "UNBLOCK");
+        assert_eq!(expect_reply(&outs), 0);
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::M));
+        assert_eq!(c.peek_word(Addr(0x1000), 4), Some(16));
+    }
+
+    #[test]
+    fn conventional_store_on_shared_always_upgrades() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        let outs = c.access(store(0x1000, 1), &mut s);
+        expect_send(&outs, "UPGRADE");
+        assert_eq!(s.upgrades_from_s, 1);
+    }
+
+    #[test]
+    fn scribble_on_invalid_within_d_enters_gi() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x2000, L1State::I);
+        let outs = c.access(scribble(0x2000, 3, 4), &mut s);
+        assert_eq!(outs.len(), 1, "no GETX: {outs:?}");
+        assert_eq!(expect_reply(&outs), 0);
+        assert_eq!(c.state_of(Addr(0x2000).block()), Some(L1State::Gi));
+        assert_eq!(s.serviced_by_gi, 1);
+    }
+
+    #[test]
+    fn scribble_on_invalid_beyond_d_sends_getx() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x2000, L1State::I);
+        let outs = c.access(scribble(0x2000, 0xFFFF, 4), &mut s);
+        expect_send(&outs, "GETX");
+        assert_eq!(s.serviced_by_gi, 0);
+        assert_eq!(s.stores_on_invalid_tagged, 1);
+    }
+
+    #[test]
+    fn gi_hits_loads_and_stores_until_timeout() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x2000, L1State::I);
+        c.access(scribble(0x2000, 3, 4), &mut s);
+        // Fig. 3: Load, Store and Scribble all self-loop on GI.
+        let v = expect_reply(&c.access(load(0x2000), &mut s));
+        assert_eq!(v, 3);
+        c.access(store(0x2000, 100), &mut s);
+        assert_eq!(c.state_of(Addr(0x2000).block()), Some(L1State::Gi));
+        assert_eq!(c.peek_word(Addr(0x2000), 4), Some(100));
+        assert!(s.gi_load_hits >= 1 && s.gi_store_hits >= 1);
+        // Timeout returns the block to I; the hidden update survives as
+        // stale data but permissions are gone.
+        c.gi_timeout_sweep(&mut s);
+        assert_eq!(c.state_of(Addr(0x2000).block()), Some(L1State::I));
+        assert_eq!(s.gi_timeouts, 1);
+        assert_eq!(c.peek_word(Addr(0x2000), 4), Some(100));
+    }
+
+    #[test]
+    fn gs_invalidation_forfeits_updates() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        c.access(scribble(0x1000, 15, 4), &mut s);
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::Gs));
+        let outs = c.handle_msg(dir_msg(Addr(0x1000).block(), Payload::Inv), &mut s);
+        expect_send(&outs, "INV_ACK");
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::I));
+        assert_eq!(s.gs_invalidations, 1);
+    }
+
+    #[test]
+    fn gs_conventional_store_publishes_scribbled_data() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        c.access(scribble(0x1000, 15, 4), &mut s); // hidden write at offset 0
+        let outs = c.access(store(0x1004, 0xAB), &mut s); // different word
+        expect_send(&outs, "UPGRADE");
+        assert_eq!(s.upgrades_from_gs, 1);
+        let outs = c.handle_msg(dir_msg(Addr(0x1000).block(), Payload::UpgAck), &mut s);
+        expect_reply(&outs);
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::M));
+        // Both the scribbled word and the new store are in the M block.
+        assert_eq!(c.peek_word(Addr(0x1000), 4), Some(15));
+        assert_eq!(c.peek_word(Addr(0x1004), 4), Some(0xAB));
+    }
+
+    #[test]
+    fn inv_during_upgrade_demotes_to_imad_and_data_overwrites() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        let outs = c.access(store(0x1000, 5), &mut s);
+        expect_send(&outs, "UPGRADE");
+        // Another core's GETX won the race: INV arrives mid-upgrade.
+        let outs = c.handle_msg(dir_msg(Addr(0x1000).block(), Payload::Inv), &mut s);
+        expect_send(&outs, "INV_ACK");
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::ImAd));
+        // Directory answers the (converted) upgrade with fresh data.
+        let mut fresh = BlockData::zeroed();
+        fresh.write_word(4, 4, 0x77);
+        let outs = c.handle_msg(
+            dir_msg(Addr(0x1000).block(), Payload::Data { data: fresh, grant: Grant::Modified }),
+            &mut s,
+        );
+        expect_send(&outs, "UNBLOCK");
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::M));
+        assert_eq!(c.peek_word(Addr(0x1000), 4), Some(5)); // store applied
+        assert_eq!(c.peek_word(Addr(0x1004), 4), Some(0x77)); // fresh data
+    }
+
+    #[test]
+    fn fwd_gets_downgrades_owner_and_supplies_data() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x3000, L1State::M);
+        let outs = c.handle_msg(dir_msg(Addr(0x3000).block(), Payload::FwdGets), &mut s);
+        let m = expect_send(&outs, "DATA_TO_DIR");
+        match m.payload {
+            Payload::DataToDir { retained, ref data } => {
+                assert!(retained);
+                assert_eq!(data.read_word(0, 4), 7); // store from bring_to
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(c.state_of(Addr(0x3000).block()), Some(L1State::S));
+    }
+
+    #[test]
+    fn fwd_getx_invalidates_owner_but_keeps_stale_tag() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x3000, L1State::M);
+        let outs = c.handle_msg(dir_msg(Addr(0x3000).block(), Payload::FwdGetx), &mut s);
+        expect_send(&outs, "DATA_TO_DIR");
+        // Tag + stale data stay resident: this is the GI opportunity.
+        assert_eq!(c.state_of(Addr(0x3000).block()), Some(L1State::I));
+        assert_eq!(c.peek_word(Addr(0x3000), 4), Some(7));
+    }
+
+    #[test]
+    fn eviction_of_modified_block_uses_writeback_buffer() {
+        let (mut c, mut s) = l1(gw_params());
+        // Fill both ways of a set (blocks 0x0 and 8*64 = same set in
+        // 8-set cache): set = block % 8.
+        bring_to(&mut c, &mut s, 0, L1State::M);
+        bring_to(&mut c, &mut s, 8 * 64, L1State::M);
+        // Third block in the same set evicts the LRU (block 0).
+        let outs = c.access(load(16 * 64), &mut s);
+        let putm = expect_send(&outs, "PUTM");
+        assert_eq!(putm.block, Addr(0).block());
+        expect_send(&outs, "GETS");
+        // A forward racing the writeback is served from the buffer.
+        let outs = c.handle_msg(dir_msg(Addr(0).block(), Payload::FwdGets), &mut s);
+        let m = expect_send(&outs, "DATA_TO_DIR");
+        assert!(matches!(m.payload, Payload::DataToDir { retained: false, .. }));
+        // WB_ACK clears the buffer.
+        c.handle_msg(dir_msg(Addr(0).block(), Payload::WbAck), &mut s);
+    }
+
+    #[test]
+    fn eviction_of_gs_forfeits_and_sends_puts() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0, L1State::S);
+        c.access(scribble(0, 3, 4), &mut s);
+        assert_eq!(c.state_of(Addr(0).block()), Some(L1State::Gs));
+        bring_to(&mut c, &mut s, 8 * 64, L1State::M);
+        let outs = c.access(load(16 * 64), &mut s);
+        let puts = expect_send(&outs, "PUTS");
+        assert_eq!(puts.block, Addr(0).block());
+        assert_eq!(s.approx_evictions, 1);
+        assert!(c.state_of(Addr(0).block()).is_none());
+    }
+
+    #[test]
+    fn eviction_of_gi_is_silent() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0, L1State::I);
+        c.access(scribble(0, 3, 4), &mut s);
+        assert_eq!(c.state_of(Addr(0).block()), Some(L1State::Gi));
+        bring_to(&mut c, &mut s, 8 * 64, L1State::M);
+        let outs = c.access(load(16 * 64), &mut s);
+        assert!(
+            !outs.iter().any(|o| matches!(o, L1Out::Send(m) if m.block == Addr(0).block())),
+            "GI eviction must not notify the directory: {outs:?}"
+        );
+        assert_eq!(s.approx_evictions, 1);
+    }
+
+    #[test]
+    fn scribble_under_mesi_params_never_approximates() {
+        let (mut c, mut s) = l1(None);
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        let outs = c.access(scribble(0x1000, 3, 4), &mut s);
+        expect_send(&outs, "UPGRADE");
+        assert_eq!(s.serviced_by_gs, 0);
+    }
+
+    #[test]
+    fn gs_disabled_falls_back_even_within_d() {
+        let (mut c, mut s) = l1(Some(GwParams {
+            scribe: ScribePolicy::Bitwise,
+            enable_gs: false,
+            enable_gi: true,
+            gi_stores: GiStorePolicy::Fallback,
+            max_hidden_writes: None,
+        }));
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        let outs = c.access(scribble(0x1000, 3, 4), &mut s);
+        expect_send(&outs, "UPGRADE");
+        assert_eq!(s.serviced_by_gs, 0);
+    }
+
+    #[test]
+    fn gi_disabled_falls_back_even_within_d() {
+        let (mut c, mut s) = l1(Some(GwParams {
+            scribe: ScribePolicy::Bitwise,
+            enable_gs: true,
+            enable_gi: false,
+            gi_stores: GiStorePolicy::Fallback,
+            max_hidden_writes: None,
+        }));
+        bring_to(&mut c, &mut s, 0x2000, L1State::I);
+        let outs = c.access(scribble(0x2000, 3, 4), &mut s);
+        expect_send(&outs, "GETX");
+        assert_eq!(s.serviced_by_gi, 0);
+    }
+
+    #[test]
+    fn silent_store_is_zero_distance() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        // d = 0 admits only identical values (silent stores).
+        let outs = c.access(scribble(0x1000, 0, 0), &mut s);
+        assert_eq!(expect_reply(&outs), 0);
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::Gs));
+        assert_eq!(s.serviced_by_gs, 1);
+    }
+
+    #[test]
+    fn store_on_exclusive_silently_upgrades() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x4000, L1State::E);
+        let outs = c.access(store(0x4000, 9), &mut s);
+        assert_eq!(outs.len(), 1);
+        expect_reply(&outs);
+        assert_eq!(c.state_of(Addr(0x4000).block()), Some(L1State::M));
+        assert_eq!(s.l1_store_hits, 1);
+    }
+
+    #[test]
+    fn load_on_invalid_tag_refetches() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x1000, L1State::I);
+        let outs = c.access(load(0x1000), &mut s);
+        expect_send(&outs, "GETS");
+        assert_eq!(s.l1_load_misses, 2); // cold miss in bring_to + this one
+    }
+
+    #[test]
+    fn similarity_histogram_records_overwrites() {
+        let (mut c, mut s) = l1(gw_params());
+        bring_to(&mut c, &mut s, 0x5000, L1State::M);
+        // bring_to's store wrote 7 at offset 0.
+        c.access(store(0x5000, 7), &mut s); // identical: d=0
+        c.access(store(0x5000, 6), &mut s); // 7 -> 6: d=1
+        assert_eq!(s.similarity.count_at(0), 1);
+        assert_eq!(s.similarity.count_at(1), 1);
+    }
+}
+
+#[cfg(test)]
+mod error_bound_tests {
+    use super::*;
+    use crate::msg::Grant;
+
+    fn bounded_l1(bound: u32) -> (L1Cache, Stats) {
+        (
+            L1Cache::new(
+                0,
+                8,
+                2,
+                1,
+                Some(GwParams {
+                    scribe: ScribePolicy::Bitwise,
+                    enable_gs: true,
+                    enable_gi: true,
+                    gi_stores: GiStorePolicy::Fallback,
+                    max_hidden_writes: Some(bound),
+                }),
+                false,
+            ),
+            Stats::default(),
+        )
+    }
+
+    fn scrib(addr: u64, value: u64) -> CoreReq {
+        CoreReq {
+            addr: Addr(addr),
+            size: 4,
+            value,
+            kind: AccessKind::Scribble { d: 4 },
+        }
+    }
+
+    fn to_shared(c: &mut L1Cache, s: &mut Stats, addr: u64) {
+        let outs = c.access(
+            CoreReq {
+                addr: Addr(addr),
+                size: 4,
+                value: 0,
+                kind: AccessKind::Load,
+            },
+            s,
+        );
+        assert!(matches!(outs[0], L1Out::Send(_)));
+        c.handle_msg(
+            Msg {
+                src: Endpoint::Dir(0),
+                dst: Endpoint::L1(0),
+                block: Addr(addr).block(),
+                payload: Payload::Data {
+                    data: BlockData::zeroed(),
+                    grant: Grant::Shared,
+                },
+            },
+            s,
+        );
+    }
+
+    #[test]
+    fn bound_forces_publication_after_n_hidden_writes() {
+        let (mut c, mut s) = bounded_l1(2);
+        to_shared(&mut c, &mut s, 0x1000);
+        // Two hidden writes fit the budget...
+        for v in [1u64, 2] {
+            let outs = c.access(scrib(0x1000, v), &mut s);
+            assert!(
+                matches!(outs[0], L1Out::Reply { .. }),
+                "write {v} should be hidden"
+            );
+        }
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::Gs));
+        // ...the third is forced down the conventional path.
+        let outs = c.access(scrib(0x1000, 3), &mut s);
+        assert!(
+            matches!(&outs[0], L1Out::Send(m) if m.payload.name() == "UPGRADE"),
+            "bound must force an UPGRADE: {outs:?}"
+        );
+        assert_eq!(s.serviced_by_gs, 1);
+        assert_eq!(s.gs_hits, 1);
+    }
+
+    #[test]
+    fn budget_resets_after_coherent_resync() {
+        let (mut c, mut s) = bounded_l1(1);
+        to_shared(&mut c, &mut s, 0x1000);
+        // First scribble hidden, second forced to publish.
+        c.access(scrib(0x1000, 1), &mut s);
+        let outs = c.access(scrib(0x1000, 2), &mut s);
+        assert!(matches!(&outs[0], L1Out::Send(m) if m.payload.name() == "UPGRADE"));
+        // Publication completes: budget is fresh again.
+        c.handle_msg(
+            Msg {
+                src: Endpoint::Dir(0),
+                dst: Endpoint::L1(0),
+                block: Addr(0x1000).block(),
+                payload: Payload::UpgAck,
+            },
+            &mut s,
+        );
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::M));
+        // Back to Shared (remote reader), scribble is hidden once more.
+        c.handle_msg(
+            Msg {
+                src: Endpoint::Dir(0),
+                dst: Endpoint::L1(0),
+                block: Addr(0x1000).block(),
+                payload: Payload::FwdGets,
+            },
+            &mut s,
+        );
+        let outs = c.access(scrib(0x1000, 3), &mut s);
+        assert!(
+            matches!(outs[0], L1Out::Reply { .. }),
+            "budget should have reset: {outs:?}"
+        );
+        assert_eq!(s.serviced_by_gs, 2);
+    }
+
+    #[test]
+    fn unbounded_config_never_forces() {
+        let (mut c, mut s) = (
+            L1Cache::new(
+                0,
+                8,
+                2,
+                1,
+                Some(GwParams {
+                    scribe: ScribePolicy::Bitwise,
+                    enable_gs: true,
+                    enable_gi: true,
+                    gi_stores: GiStorePolicy::Fallback,
+                    max_hidden_writes: None,
+                }),
+                false,
+            ),
+            Stats::default(),
+        );
+        to_shared(&mut c, &mut s, 0x2000);
+        for v in 0..50u64 {
+            let outs = c.access(scrib(0x2000, v % 8), &mut s);
+            assert!(matches!(outs[0], L1Out::Reply { .. }));
+        }
+        assert_eq!(s.serviced_by_gs + s.gs_hits, 50);
+    }
+}
+
+#[cfg(test)]
+mod more_l1_tests {
+    use super::*;
+    use crate::msg::Grant;
+
+    fn l1_mesi() -> (L1Cache, Stats) {
+        (L1Cache::new(0, 8, 2, 1, None, true), Stats::default())
+    }
+
+    fn fill_shared(c: &mut L1Cache, s: &mut Stats, addr: u64, word: u64) {
+        c.access(
+            CoreReq {
+                addr: Addr(addr),
+                size: 4,
+                value: 0,
+                kind: AccessKind::Load,
+            },
+            s,
+        );
+        let mut data = BlockData::zeroed();
+        data.write_word(Addr(addr).offset(), 4, word);
+        c.handle_msg(
+            Msg {
+                src: Endpoint::Dir(0),
+                dst: Endpoint::L1(0),
+                block: Addr(addr).block(),
+                payload: Payload::Data { data, grant: Grant::Shared },
+            },
+            s,
+        );
+    }
+
+    #[test]
+    fn load_returns_filled_word() {
+        let (mut c, mut s) = l1_mesi();
+        fill_shared(&mut c, &mut s, 0x100c, 0xABCD);
+        let outs = c.access(
+            CoreReq {
+                addr: Addr(0x100c),
+                size: 4,
+                value: 0,
+                kind: AccessKind::Load,
+            },
+            &mut s,
+        );
+        match &outs[0] {
+            L1Out::Reply { value } => assert_eq!(*value, 0xABCD),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(s.l1_load_hits, 1);
+        assert_eq!(s.l1_load_misses, 1); // the fill
+    }
+
+    #[test]
+    fn eviction_of_shared_line_sends_puts_without_buffering() {
+        let (mut c, mut s) = l1_mesi();
+        fill_shared(&mut c, &mut s, 0, 1);
+        fill_shared(&mut c, &mut s, 8 * 64, 2);
+        // Third block in set 0 evicts the LRU shared line.
+        let outs = c.access(
+            CoreReq {
+                addr: Addr(16 * 64),
+                size: 4,
+                value: 0,
+                kind: AccessKind::Load,
+            },
+            &mut s,
+        );
+        assert!(outs
+            .iter()
+            .any(|o| matches!(o, L1Out::Send(m) if m.payload.name() == "PUTS")));
+        assert!(!c.has_pending_writebacks(), "PUTS needs no buffer");
+    }
+
+    #[test]
+    fn similarity_collection_can_be_disabled() {
+        let mut c = L1Cache::new(0, 8, 2, 1, None, false);
+        let mut s = Stats::default();
+        fill_shared(&mut c, &mut s, 0x2000, 5);
+        // A store-like access on a present tag would normally record.
+        c.access(
+            CoreReq {
+                addr: Addr(0x2000),
+                size: 4,
+                value: 5,
+                kind: AccessKind::Store,
+            },
+            &mut s,
+        );
+        assert_eq!(s.similarity.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "second outstanding access")]
+    fn double_issue_panics() {
+        let (mut c, mut s) = l1_mesi();
+        let load = CoreReq {
+            addr: Addr(0x3000),
+            size: 4,
+            value: 0,
+            kind: AccessKind::Load,
+        };
+        c.access(load, &mut s);
+        c.access(load, &mut s);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a block boundary")]
+    fn straddling_access_rejected() {
+        let (mut c, mut s) = l1_mesi();
+        c.access(
+            CoreReq {
+                addr: Addr(0x103c + 2),
+                size: 4,
+                value: 0,
+                kind: AccessKind::Load,
+            },
+            &mut s,
+        );
+    }
+
+    #[test]
+    fn resident_blocks_reports_states() {
+        let (mut c, mut s) = l1_mesi();
+        fill_shared(&mut c, &mut s, 0x100, 0);
+        let blocks = c.resident_blocks();
+        assert_eq!(blocks.len(), 1);
+        assert_eq!(blocks[0], (Addr(0x100).block(), L1State::S));
+    }
+}

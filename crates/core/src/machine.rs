@@ -1,0 +1,1091 @@
+//! The simulated chip multiprocessor.
+//!
+//! [`Machine`] assembles the whole system of the paper's Table 1 — cores,
+//! private L1s, the distributed shared L2 with directory slices, the mesh
+//! NoC, the corner memory controllers and DRAM — and runs workload threads
+//! against it under either the baseline MESI protocol or Ghostwriter.
+//!
+//! Timing model: a single deterministic event queue drives everything.
+//! Cores are in-order and blocking; an L1 hit costs `l1_latency`, a miss
+//! blocks the core until the coherence transaction completes. Message
+//! delivery latency is the mesh's contention-free XY latency; L2 banks add
+//! `l2_latency` per access, memory controllers `dram_latency`.
+
+use std::collections::VecDeque;
+
+use ghostwriter_mem::{Addr, BlockAddr, Dram, BLOCK_BYTES};
+use ghostwriter_noc::{Mesh, NodeId};
+use ghostwriter_sim::{EventQueue, ThreadHarness};
+
+use crate::config::{MachineConfig, Protocol};
+use crate::ctx::ThreadCtx;
+use crate::dir::DirBank;
+use crate::l1::{AccessKind, CoreReq, GwParams, L1Cache, L1Out};
+use crate::msg::{Endpoint, Msg, Payload};
+use crate::op::{OpKind, ThreadOp, ThreadReply};
+use crate::stats::{CoreSummary, SimReport, Stats};
+use ghostwriter_energy::EnergyModel;
+
+/// A workload program: one closure per simulated thread.
+pub type Program = Box<dyn FnOnce(&mut ThreadCtx<'_>) + Send + 'static>;
+
+/// Builder/owner of one simulation: allocate memory, load inputs, add
+/// threads, then [`Machine::run`].
+pub struct Machine {
+    config: MachineConfig,
+    energy_model: EnergyModel,
+    dram: Dram,
+    alloc_cursor: u64,
+    programs: Vec<Program>,
+    trace: bool,
+}
+
+/// One protocol message as seen by the (optional) trace recorder.
+#[derive(Clone, Debug)]
+pub struct TraceEntry {
+    /// Cycle the message entered the network.
+    pub cycle: u64,
+    /// Sender.
+    pub src: Endpoint,
+    /// Receiver.
+    pub dst: Endpoint,
+    /// Block address.
+    pub block: BlockAddr,
+    /// Wire name (GETS, UPGRADE, INV, ...).
+    pub name: &'static str,
+}
+
+/// A completed simulation: the report plus functional access to the final
+/// coherent memory image (owned lines flushed through the protocol's
+/// semantics — GS/GI contents forfeited).
+pub struct FinishedRun {
+    /// Timing, traffic, energy and protocol statistics.
+    pub report: SimReport,
+    /// Message trace, if [`Machine::enable_trace`] was called.
+    pub trace: Vec<TraceEntry>,
+    dram: Dram,
+}
+
+impl Machine {
+    /// Creates a machine with the given configuration.
+    pub fn new(config: MachineConfig) -> Self {
+        config.validate();
+        Self {
+            config,
+            energy_model: EnergyModel::default(),
+            dram: Dram::new(),
+            alloc_cursor: 0x1_0000,
+            programs: Vec::new(),
+            trace: false,
+        }
+    }
+
+    /// Records every protocol message into [`FinishedRun::trace`]. Only
+    /// for small scripted scenarios (Figs. 4/5); large runs produce huge
+    /// traces.
+    pub fn enable_trace(&mut self) {
+        self.trace = true;
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Overrides the energy model (defaults to the CACTI/DSENT-class
+    /// constants).
+    pub fn set_energy_model(&mut self, model: EnergyModel) {
+        self.energy_model = model;
+    }
+
+    /// Allocates `bytes` of simulated memory at the given power-of-two
+    /// alignment.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> Addr {
+        assert!(align.is_power_of_two());
+        self.alloc_cursor = (self.alloc_cursor + align - 1) & !(align - 1);
+        let addr = Addr(self.alloc_cursor);
+        self.alloc_cursor += bytes.max(1);
+        addr
+    }
+
+    /// Allocates a region padded out to whole cache blocks — the paper's
+    /// compiler pads annotated structures so a block never mixes
+    /// approximate and non-approximate data (§3.1).
+    pub fn alloc_padded(&mut self, bytes: u64) -> Addr {
+        let b = BLOCK_BYTES as u64;
+        let padded = bytes.div_ceil(b) * b;
+        self.alloc(padded, b)
+    }
+
+    /// Functional pre-run write of raw bytes (input loading).
+    pub fn backdoor_write(&mut self, addr: Addr, bytes: &[u8]) {
+        self.dram.backdoor_write(addr, bytes);
+    }
+
+    /// Functional typed input helpers.
+    pub fn backdoor_write_u32s(&mut self, base: Addr, values: &[u32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.dram
+                .backdoor_write_word(base.add(4 * i as u64), 4, *v as u64);
+        }
+    }
+
+    /// Writes a slice of `i32` inputs.
+    pub fn backdoor_write_i32s(&mut self, base: Addr, values: &[i32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.dram
+                .backdoor_write_word(base.add(4 * i as u64), 4, *v as u32 as u64);
+        }
+    }
+
+    /// Writes a slice of `f32` inputs (bit patterns).
+    pub fn backdoor_write_f32s(&mut self, base: Addr, values: &[f32]) {
+        for (i, v) in values.iter().enumerate() {
+            self.dram
+                .backdoor_write_word(base.add(4 * i as u64), 4, v.to_bits() as u64);
+        }
+    }
+
+    /// Writes a slice of `f64` inputs (bit patterns).
+    pub fn backdoor_write_f64s(&mut self, base: Addr, values: &[f64]) {
+        for (i, v) in values.iter().enumerate() {
+            self.dram
+                .backdoor_write_word(base.add(8 * i as u64), 8, v.to_bits());
+        }
+    }
+
+    /// Writes a slice of bytes-per-element `u8` inputs.
+    pub fn backdoor_write_u8s(&mut self, base: Addr, values: &[u8]) {
+        self.dram.backdoor_write(base, values);
+    }
+
+    /// Adds a simulated thread. Thread `i` runs on core `i`.
+    pub fn add_thread(&mut self, f: impl FnOnce(&mut ThreadCtx<'_>) + Send + 'static) {
+        assert!(
+            self.programs.len() < self.config.cores,
+            "more threads than cores"
+        );
+        self.programs.push(Box::new(f));
+    }
+
+    /// Runs the simulation to completion and returns the report plus the
+    /// final coherent memory image.
+    pub fn run(self) -> FinishedRun {
+        assert!(!self.programs.is_empty(), "no threads to run");
+        let mut engine = Engine::new(self.config, self.energy_model, self.dram, self.programs);
+        engine.trace = self.trace.then(Vec::new);
+        engine.run()
+    }
+}
+
+impl FinishedRun {
+    /// Reads raw bytes from the final coherent memory image.
+    pub fn read(&self, addr: Addr, out: &mut [u8]) {
+        self.dram.backdoor_read(addr, out);
+    }
+
+    /// Reads one `u32`.
+    pub fn read_u32(&self, addr: Addr) -> u32 {
+        self.dram.backdoor_read_word(addr, 4) as u32
+    }
+
+    /// Reads one `i32`.
+    pub fn read_i32(&self, addr: Addr) -> i32 {
+        self.read_u32(addr) as i32
+    }
+
+    /// Reads one `u64`.
+    pub fn read_u64(&self, addr: Addr) -> u64 {
+        self.dram.backdoor_read_word(addr, 8)
+    }
+
+    /// Reads one `i64`.
+    pub fn read_i64(&self, addr: Addr) -> i64 {
+        self.read_u64(addr) as i64
+    }
+
+    /// Reads one `f32`.
+    pub fn read_f32(&self, addr: Addr) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Reads one `f64`.
+    pub fn read_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.read_u64(addr))
+    }
+
+    /// Reads `n` consecutive `f32`s.
+    pub fn read_f32s(&self, base: Addr, n: usize) -> Vec<f32> {
+        (0..n).map(|i| self.read_f32(base.add(4 * i as u64))).collect()
+    }
+
+    /// Reads `n` consecutive `f64`s.
+    pub fn read_f64s(&self, base: Addr, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.read_f64(base.add(8 * i as u64))).collect()
+    }
+
+    /// Reads `n` consecutive `i32`s.
+    pub fn read_i32s(&self, base: Addr, n: usize) -> Vec<i32> {
+        (0..n).map(|i| self.read_i32(base.add(4 * i as u64))).collect()
+    }
+
+    /// Reads `n` consecutive `u32`s.
+    pub fn read_u32s(&self, base: Addr, n: usize) -> Vec<u32> {
+        (0..n).map(|i| self.read_u32(base.add(4 * i as u64))).collect()
+    }
+
+    /// Reads `n` consecutive `i64`s.
+    pub fn read_i64s(&self, base: Addr, n: usize) -> Vec<i64> {
+        (0..n).map(|i| self.read_i64(base.add(8 * i as u64))).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine internals
+// ---------------------------------------------------------------------
+
+#[derive(Debug)]
+enum Ev {
+    /// Core ready for its thread's next operation.
+    Fetch { core: usize },
+    /// Network delivery.
+    Deliver(Msg),
+    /// Periodic GI timeout sweep for one L1 controller.
+    GiTick { core: usize },
+    /// Periodic context switch on one core (§3.5 forfeit).
+    ContextSwitch { core: usize },
+}
+
+struct Engine {
+    cfg: MachineConfig,
+    energy_model: EnergyModel,
+    mesh: Mesh,
+    corners: Vec<NodeId>,
+    queue: EventQueue<Ev>,
+    harness: ThreadHarness<ThreadOp, ThreadReply>,
+    l1s: Vec<L1Cache>,
+    banks: Vec<DirBank>,
+    dram: Dram,
+    /// Machine-global statistics (network, directory, memory, barriers).
+    stats: Stats,
+    /// Per-core statistics (each L1's activity), merged into the total at
+    /// the end of the run.
+    core_stats: Vec<Stats>,
+    /// Reply owed to each thread, delivered at its next Fetch.
+    pending_reply: Vec<Option<ThreadReply>>,
+    /// Active approximate region d-distance per core.
+    approx_d: Vec<Option<u8>>,
+    threads: usize,
+    finished: Vec<bool>,
+    finish_time: Vec<u64>,
+    n_finished: usize,
+    /// Barrier arrival time per waiting core.
+    barrier_wait: Vec<Option<u64>>,
+    gi_timeout: Option<u64>,
+    trace: Option<Vec<TraceEntry>>,
+    /// Per directional link (from, to): cycle at which it is next free.
+    /// Only used when `model_contention` is on.
+    link_free: std::collections::HashMap<(usize, usize), u64>,
+}
+
+impl Engine {
+    fn new(
+        cfg: MachineConfig,
+        energy_model: EnergyModel,
+        dram: Dram,
+        programs: Vec<Program>,
+    ) -> Self {
+        let (w, h) = Mesh::dims_for(cfg.cores);
+        let mesh = Mesh::new(w, h, cfg.router_cycles, cfg.link_cycles);
+        let corners = mesh.corners();
+        let l1_sets = cfg.l1_kb * 1024 / BLOCK_BYTES / cfg.l1_ways;
+        let l2_sets = cfg.l2_bank_kb * 1024 / BLOCK_BYTES / cfg.l2_ways;
+        let gw = match cfg.protocol {
+            Protocol::Mesi => None,
+            Protocol::Ghostwriter(g) => Some(GwParams {
+                scribe: g.scribe,
+                enable_gs: g.enable_gs,
+                enable_gi: g.enable_gi,
+                gi_stores: g.gi_stores,
+                max_hidden_writes: g.max_hidden_writes,
+            }),
+        };
+        let gi_timeout = match cfg.protocol {
+            Protocol::Ghostwriter(g) => Some(g.gi_timeout),
+            Protocol::Mesi => None,
+        };
+        let l1s = (0..cfg.cores)
+            .map(|c| L1Cache::new(c, l1_sets, cfg.l1_ways, cfg.cores, gw, cfg.collect_similarity))
+            .collect();
+        let grant_exclusive = cfg.base_protocol == crate::config::BaseProtocol::Mesi;
+        let banks = (0..cfg.cores)
+            .map(|b| DirBank::with_base(b, l2_sets, cfg.l2_ways, corners.len(), grant_exclusive))
+            .collect();
+
+        let mut harness = ThreadHarness::new();
+        let threads = programs.len();
+        for f in programs {
+            harness.spawn(
+                move |port| {
+                    let mut ctx = ThreadCtx::new(port);
+                    f(&mut ctx);
+                },
+                |panicked| ThreadOp::Exit { panicked },
+            );
+        }
+
+        Self {
+            energy_model,
+            mesh,
+            corners,
+            queue: EventQueue::new(),
+            harness,
+            l1s,
+            banks,
+            dram,
+            stats: Stats::default(),
+            core_stats: (0..cfg.cores).map(|_| Stats::default()).collect(),
+            pending_reply: vec![None; cfg.cores],
+            approx_d: vec![None; cfg.cores],
+            threads,
+            finished: vec![false; cfg.cores],
+            finish_time: vec![0; cfg.cores],
+            n_finished: 0,
+            barrier_wait: vec![None; cfg.cores],
+            gi_timeout,
+            trace: None,
+            link_free: std::collections::HashMap::new(),
+            cfg,
+        }
+    }
+
+    fn node_of(&self, ep: Endpoint) -> NodeId {
+        match ep {
+            Endpoint::L1(i) => NodeId(i),
+            Endpoint::Dir(b) => NodeId(b),
+            Endpoint::Mem(m) => self.corners[m],
+        }
+    }
+
+    /// Routes a message: records traffic, computes latency, schedules
+    /// delivery `extra_delay` (the sender's access time) later.
+    fn send(&mut self, msg: Msg, extra_delay: u64) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEntry {
+                cycle: self.queue.now(),
+                src: msg.src,
+                dst: msg.dst,
+                block: msg.block,
+                name: msg.payload.name(),
+            });
+        }
+        let src = self.node_of(msg.src);
+        let dst = self.node_of(msg.dst);
+        let latency = self
+            .stats
+            .traffic
+            .record(&self.mesh, msg.payload.kind(), src, dst);
+        let delay = if self.cfg.model_contention {
+            self.contended_latency(msg.payload.kind().flits(), src, dst, extra_delay)
+        } else {
+            extra_delay + latency
+        };
+        self.queue.push_after(delay, Ev::Deliver(msg));
+    }
+
+    /// Wormhole-ish contention model: each directional link serializes
+    /// one flit per `link_cycles`; a message's head flit queues behind
+    /// earlier traffic on every link of its XY route, and delivery
+    /// completes when the tail flit arrives.
+    fn contended_latency(&mut self, flits: u64, src: NodeId, dst: NodeId, extra: u64) -> u64 {
+        let start = self.queue.now() + extra;
+        // Injection through the local router.
+        let mut head = start + self.cfg.router_cycles;
+        let route = self.mesh.route(src, dst);
+        for hop in route.windows(2) {
+            let link = (hop[0].0, hop[1].0);
+            let free = self.link_free.get(&link).copied().unwrap_or(0);
+            let begin = head.max(free);
+            // The link is busy until the tail flit has crossed.
+            self.link_free
+                .insert(link, begin + flits * self.cfg.link_cycles);
+            // Head flit reaches the next router and traverses it.
+            head = begin + self.cfg.link_cycles + self.cfg.router_cycles;
+        }
+        // Tail flit trails the head by (flits - 1) link cycles.
+        let done = head + (flits - 1) * self.cfg.link_cycles;
+        done - self.queue.now()
+    }
+
+    fn apply_l1_outs(&mut self, core: usize, outs: Vec<L1Out>) {
+        for out in outs {
+            match out {
+                L1Out::Reply { value } => {
+                    self.pending_reply[core] = Some(value);
+                    self.queue
+                        .push_after(self.cfg.l1_latency, Ev::Fetch { core });
+                }
+                L1Out::Send(msg) => self.send(msg, self.cfg.l1_latency),
+            }
+        }
+    }
+
+    fn run(mut self) -> FinishedRun {
+        for core in 0..self.threads {
+            self.queue.push(0, Ev::Fetch { core });
+        }
+        if let Some(t) = self.gi_timeout {
+            for core in 0..self.cfg.cores {
+                self.queue.push(t, Ev::GiTick { core });
+            }
+        }
+        if let Some(p) = self.cfg.context_switch_period {
+            for core in 0..self.cfg.cores {
+                // Stagger switches across cores like an OS tick would.
+                self.queue
+                    .push(p + core as u64, Ev::ContextSwitch { core });
+            }
+        }
+        while self.n_finished < self.threads {
+            let Some((_, ev)) = self.queue.pop() else {
+                panic!(
+                    "simulation deadlock: {}/{} threads finished, waiting at barrier: {:?}",
+                    self.n_finished,
+                    self.threads,
+                    self.barrier_wait
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, w)| w.is_some())
+                        .map(|(c, _)| c)
+                        .collect::<Vec<_>>()
+                );
+            };
+            self.dispatch(ev);
+        }
+        // Drain in-flight writebacks and acknowledgements.
+        while let Some((_, ev)) = self.queue.pop() {
+            match ev {
+                Ev::GiTick { .. } => {}
+                Ev::Fetch { core } => panic!("fetch for core {core} after all threads finished"),
+                other => self.dispatch(other),
+            }
+        }
+        for bank in &self.banks {
+            assert!(bank.quiescent(), "bank not quiescent after drain");
+        }
+        self.flush();
+        self.harness.join_all();
+
+        // Per-core summaries, then fold every core's counters into the
+        // machine total.
+        let per_core: Vec<CoreSummary> = (0..self.threads)
+            .map(|c| {
+                let s = &self.core_stats[c];
+                CoreSummary {
+                    ops: s.loads + s.stores + s.scribbles,
+                    l1_hits: s.l1_load_hits + s.l1_store_hits,
+                    l1_misses: s.l1_misses(),
+                    approx_serviced: s.serviced_by_gs
+                        + s.gs_hits
+                        + s.serviced_by_gi
+                        + s.gi_store_hits,
+                    finish_cycle: self.finish_time[c],
+                }
+            })
+            .collect();
+        for cs in &self.core_stats {
+            self.stats.merge_from(cs);
+        }
+        // Fold NoC traffic into the energy events.
+        self.stats.energy_events.router_flits = self.stats.traffic.router_flits();
+        self.stats.energy_events.link_flit_hops = self.stats.traffic.flit_hops();
+
+        let cycles = self
+            .finish_time
+            .iter()
+            .take(self.threads)
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let report = SimReport::new(
+            cycles,
+            self.finish_time[..self.threads].to_vec(),
+            self.stats,
+            &self.energy_model,
+        )
+        .with_per_core(per_core);
+        FinishedRun {
+            report,
+            trace: self.trace.take().unwrap_or_default(),
+            dram: self.dram,
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev) {
+        match ev {
+            Ev::Fetch { core } => self.fetch(core),
+            Ev::Deliver(msg) => self.deliver(msg),
+            Ev::GiTick { core } => {
+                if self.n_finished < self.threads {
+                    self.l1s[core].gi_timeout_sweep(&mut self.core_stats[core]);
+                    let t = self.gi_timeout.expect("tick without timeout");
+                    self.queue.push_after(t, Ev::GiTick { core });
+                }
+            }
+            Ev::ContextSwitch { core } => {
+                if self.n_finished < self.threads {
+                    let outs = self.l1s[core].context_switch_forfeit(&mut self.core_stats[core]);
+                    self.apply_l1_outs(core, outs);
+                    let p = self
+                        .cfg
+                        .context_switch_period
+                        .expect("switch without period");
+                    self.queue.push_after(p, Ev::ContextSwitch { core });
+                }
+            }
+        }
+    }
+
+    /// Rendezvous with thread `core`: deliver the owed reply, pull and
+    /// dispatch its next operation.
+    fn fetch(&mut self, core: usize) {
+        if let Some(value) = self.pending_reply[core].take() {
+            self.harness.reply(core, value);
+        }
+        let now = self.queue.now();
+        match self.harness.next_op(core) {
+            ThreadOp::Access {
+                addr,
+                size,
+                kind,
+                value,
+            } => {
+                let kind = match kind {
+                    OpKind::Load => AccessKind::Load,
+                    OpKind::Store => AccessKind::Store,
+                    OpKind::Scribble => match (self.gi_timeout.is_some(), self.approx_d[core]) {
+                        // Scribbles are real only under Ghostwriter inside
+                        // an approximate region, and only when the
+                        // d-distance is legal for the access width: the
+                        // paper's compiler rejects e.g. 8-distance on
+                        // byte data, which would admit any value (§3.1).
+                        (true, Some(d)) if (d as u32) < 8 * size as u32 => {
+                            AccessKind::Scribble { d }
+                        }
+                        _ => AccessKind::Store,
+                    },
+                };
+                let req = CoreReq {
+                    addr: Addr(addr),
+                    size,
+                    value,
+                    kind,
+                };
+                let outs = self.l1s[core].access(req, &mut self.core_stats[core]);
+                self.apply_l1_outs(core, outs);
+            }
+            ThreadOp::Work(cycles) => {
+                self.stats.work_cycles += cycles;
+                self.pending_reply[core] = Some(0);
+                self.queue.push_after(cycles.max(1), Ev::Fetch { core });
+            }
+            ThreadOp::Barrier => {
+                self.barrier_wait[core] = Some(now);
+                self.try_release_barrier();
+            }
+            ThreadOp::ApproxBegin { d } => {
+                self.approx_d[core] = Some(d);
+                self.pending_reply[core] = Some(0);
+                self.queue.push_after(1, Ev::Fetch { core });
+            }
+            ThreadOp::ApproxEnd => {
+                self.approx_d[core] = None;
+                self.pending_reply[core] = Some(0);
+                self.queue.push_after(1, Ev::Fetch { core });
+            }
+            ThreadOp::Exit { panicked } => {
+                if let Some(msg) = panicked {
+                    panic!("simulated thread {core} panicked: {msg}");
+                }
+                self.finished[core] = true;
+                self.finish_time[core] = now;
+                self.n_finished += 1;
+                // A thread exiting may complete a barrier episode.
+                self.try_release_barrier();
+            }
+        }
+    }
+
+    /// Releases the barrier when every live thread has arrived.
+    fn try_release_barrier(&mut self) {
+        let live: Vec<usize> = (0..self.threads).filter(|&c| !self.finished[c]).collect();
+        if live.is_empty() || !live.iter().all(|&c| self.barrier_wait[c].is_some()) {
+            return;
+        }
+        let arrive_max = live
+            .iter()
+            .map(|&c| self.barrier_wait[c].expect("checked"))
+            .max()
+            .expect("nonempty");
+        let release = arrive_max + self.cfg.barrier_cost;
+        self.stats.barriers += 1;
+        for &c in &live {
+            self.barrier_wait[c] = None;
+            self.pending_reply[c] = Some(0);
+            self.queue.push(release.max(self.queue.now()), Ev::Fetch { core: c });
+        }
+    }
+
+    fn deliver(&mut self, msg: Msg) {
+        match msg.dst {
+            Endpoint::L1(core) => {
+                let outs = self.l1s[core].handle_msg(msg, &mut self.core_stats[core]);
+                self.apply_l1_outs(core, outs);
+            }
+            Endpoint::Dir(bank) => {
+                let outs = self.banks[bank].handle_msg(msg, &mut self.stats);
+                for m in outs {
+                    self.send(m, self.cfg.l2_latency);
+                }
+            }
+            Endpoint::Mem(mc) => match msg.payload {
+                Payload::MemRead => {
+                    self.stats.dram_reads += 1;
+                    self.stats.energy_events.dram_reads += 1;
+                    let data = self.dram.read_block(msg.block);
+                    self.send(
+                        Msg {
+                            src: Endpoint::Mem(mc),
+                            dst: msg.src,
+                            block: msg.block,
+                            payload: Payload::MemData { data },
+                        },
+                        self.cfg.dram_latency,
+                    );
+                }
+                Payload::MemWrite { data } => {
+                    self.stats.dram_writes += 1;
+                    self.stats.energy_events.dram_writes += 1;
+                    self.dram.write_block(msg.block, data);
+                }
+                ref p => panic!("memory controller got {}", p.name()),
+            },
+        }
+    }
+
+    /// End-of-run functional flush (DESIGN.md §2): owned L1 lines are
+    /// pushed down into the L2/DRAM; GS/GI contents are forfeited, exactly
+    /// as invalidation/timeout would forfeit them. Produces the memory
+    /// image a joining main thread would observe with coherent loads.
+    fn flush(&mut self) {
+        let mut deferred: VecDeque<(BlockAddr, ghostwriter_mem::BlockData)> = VecDeque::new();
+        for l1 in &mut self.l1s {
+            for (block, data) in l1.drain_owned() {
+                deferred.push_back((block, data));
+            }
+        }
+        for (block, data) in deferred {
+            let bank = crate::l1::home_bank(block, self.banks.len());
+            if self.banks[bank].peek_block(block).is_some() {
+                self.banks[bank].flush_write(block, data);
+            } else {
+                self.dram.write_block(block, data);
+            }
+        }
+        for bank in &mut self.banks {
+            for (block, data) in bank.drain_dirty() {
+                self.dram.write_block(block, data);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MachineConfig, Protocol};
+
+    fn small(protocol: Protocol) -> Machine {
+        Machine::new(MachineConfig::small(4, protocol))
+    }
+
+    #[test]
+    fn single_thread_store_load_round_trip() {
+        let mut m = small(Protocol::Mesi);
+        let a = m.alloc_padded(64);
+        m.add_thread(move |ctx| {
+            ctx.store_u32(a, 0xDEAD_BEEF);
+            let v = ctx.load_u32(a);
+            assert_eq!(v, 0xDEAD_BEEF);
+        });
+        let run = m.run();
+        assert_eq!(run.read_u32(a), 0xDEAD_BEEF);
+        assert!(run.report.cycles > 0);
+        assert_eq!(run.report.stats.loads, 1);
+        assert_eq!(run.report.stats.stores, 1);
+    }
+
+    #[test]
+    fn inputs_visible_through_caches() {
+        let mut m = small(Protocol::Mesi);
+        let a = m.alloc_padded(4 * 16);
+        m.backdoor_write_i32s(a, &(0..16).collect::<Vec<i32>>());
+        m.add_thread(move |ctx| {
+            let mut sum = 0i64;
+            for i in 0..16u64 {
+                sum += ctx.load_i32(a.add(4 * i)) as i64;
+            }
+            ctx.store_i64(a.add(64), sum);
+        });
+        let run = m.run();
+        assert_eq!(run.read_i64(a.add(64)), 120);
+    }
+
+    #[test]
+    fn two_threads_see_coherent_data_under_mesi() {
+        let mut m = small(Protocol::Mesi);
+        let flag = m.alloc_padded(64);
+        let data = m.alloc_padded(64);
+        // Producer writes data then flag; consumer spins on flag, reads
+        // data. Under MESI this must always observe the new value.
+        m.add_thread(move |ctx| {
+            ctx.store_u64(data, 42);
+            ctx.store_u32(flag, 1);
+        });
+        m.add_thread(move |ctx| {
+            while ctx.load_u32(flag) == 0 {
+                ctx.work(10);
+            }
+            let v = ctx.load_u64(data);
+            assert_eq!(v, 42);
+            ctx.store_u64(data.add(8), v + 1);
+        });
+        let run = m.run();
+        assert_eq!(run.read_u64(data.add(8)), 43);
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_threads() {
+        let mut m = small(Protocol::Mesi);
+        let out = m.alloc_padded(64 * 4);
+        for t in 0..4usize {
+            m.add_thread(move |ctx| {
+                let slot = out.add(64 * t as u64);
+                ctx.store_u32(slot, (t + 1) as u32);
+                ctx.barrier();
+                // After the barrier every thread's write is visible.
+                let mut sum = 0;
+                for s in 0..4u64 {
+                    sum += ctx.load_u32(out.add(64 * s));
+                }
+                ctx.store_u32(slot.add(16), sum);
+            });
+        }
+        let run = m.run();
+        for t in 0..4u64 {
+            assert_eq!(run.read_u32(out.add(64 * t + 16)), 10);
+        }
+        assert_eq!(run.report.stats.barriers, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let mut m = small(Protocol::ghostwriter());
+            let shared = m.alloc_padded(64);
+            for t in 0..4usize {
+                m.add_thread(move |ctx| {
+                    ctx.approx_begin(4);
+                    for i in 0..50u32 {
+                        let a = shared.add(4 * t as u64);
+                        let v = ctx.load_u32(a);
+                        ctx.scribble_u32(a, v.wrapping_add(i % 3));
+                    }
+                    ctx.approx_end();
+                });
+            }
+            let r = m.run();
+            (
+                r.report.cycles,
+                r.report.stats.traffic.total(),
+                r.report.stats.serviced_by_gs,
+                r.report.stats.serviced_by_gi,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "simulated thread 0 panicked")]
+    fn workload_panic_propagates() {
+        let mut m = small(Protocol::Mesi);
+        let a = m.alloc_padded(64);
+        m.add_thread(move |ctx| {
+            ctx.store_u32(a, 1);
+            panic!("intentional");
+        });
+        m.run();
+    }
+
+    #[test]
+    fn work_advances_time() {
+        let mut m = small(Protocol::Mesi);
+        let a = m.alloc_padded(64);
+        m.add_thread(move |ctx| {
+            ctx.work(10_000);
+            ctx.store_u32(a, 1);
+        });
+        let run = m.run();
+        assert!(run.report.cycles >= 10_000);
+        assert_eq!(run.report.stats.work_cycles, 10_000);
+    }
+
+    #[test]
+    fn msi_base_protocol_costs_upgrades_on_private_data() {
+        use crate::config::BaseProtocol;
+        let run = |base| {
+            let mut cfg = MachineConfig::small(2, Protocol::Mesi);
+            cfg.base_protocol = base;
+            let mut m = Machine::new(cfg);
+            let a = m.alloc_padded(64);
+            m.add_thread(move |ctx| {
+                // Load-then-store on private data: free under MESI
+                // (E -> silent M), an UPGRADE under MSI.
+                let v = ctx.load_u32(a);
+                ctx.store_u32(a, v + 1);
+            });
+            let r = m.run();
+            (r.report.stats.traffic.total(), r.read_u32(a))
+        };
+        let (mesi_msgs, mesi_v) = run(BaseProtocol::Mesi);
+        let (msi_msgs, msi_v) = run(BaseProtocol::Msi);
+        assert_eq!(mesi_v, 1);
+        assert_eq!(msi_v, 1);
+        assert!(
+            msi_msgs > mesi_msgs,
+            "MSI should pay for the upgrade: {msi_msgs} vs {mesi_msgs}"
+        );
+    }
+
+    #[test]
+    fn ghostwriter_layers_onto_msi() {
+        use crate::config::BaseProtocol;
+        // The paper's generality claim (§3.2): the approximate states
+        // work on other invalidate protocols. Shared scribbles must be
+        // serviced by GS on an MSI base too.
+        let mut cfg = MachineConfig::small(2, Protocol::ghostwriter());
+        cfg.base_protocol = BaseProtocol::Msi;
+        let mut m = Machine::new(cfg);
+        let a = m.alloc_padded(64);
+        for t in 0..2u64 {
+            m.add_thread(move |ctx| {
+                ctx.approx_begin(4);
+                let slot = a.add(4 * t);
+                for i in 0..50u32 {
+                    let v = ctx.load_u32(slot);
+                    ctx.scribble_u32(slot, v + (i & 1));
+                }
+                ctx.approx_end();
+            });
+        }
+        let r = m.run();
+        assert!(
+            r.report.stats.serviced_by_gs > 0,
+            "GS must engage on the MSI base"
+        );
+    }
+
+    #[test]
+    fn mesi_and_demoted_scribbles_are_identical() {
+        // Scribbles outside an approximate region are plain stores, so a
+        // Ghostwriter run without approx_begin must match MESI exactly.
+        let build = |protocol| {
+            let mut m = small(protocol);
+            let a = m.alloc_padded(256);
+            for t in 0..4usize {
+                m.add_thread(move |ctx| {
+                    for i in 0..40u64 {
+                        let addr = a.add(4 * t as u64 + 16 * (i % 4));
+                        let v = ctx.load_u32(addr);
+                        ctx.scribble_u32(addr, v + 1);
+                    }
+                });
+            }
+            let r = m.run();
+            (r.report.cycles, r.report.stats.traffic.total())
+        };
+        assert_eq!(build(Protocol::Mesi), build(Protocol::ghostwriter()));
+    }
+}
+
+#[cfg(test)]
+mod contention_tests {
+    use super::*;
+    use crate::config::{MachineConfig, Protocol};
+
+    fn hot_spot_run(model_contention: bool) -> (u64, u64) {
+        // Many cores hammer blocks homed at one bank: the links into
+        // that tile congest.
+        let mut m = Machine::new(MachineConfig {
+            cores: 8,
+            model_contention,
+            protocol: Protocol::Mesi,
+            ..MachineConfig::default()
+        });
+        let shared = m.alloc_padded(64);
+        for t in 0..8u64 {
+            m.add_thread(move |ctx| {
+                let slot = shared.add(4 * t);
+                for i in 0..50u32 {
+                    let v = ctx.load_u32(slot);
+                    ctx.store_u32(slot, v + i);
+                }
+            });
+        }
+        let r = m.run();
+        (r.report.cycles, r.report.stats.traffic.total())
+    }
+
+    #[test]
+    fn contention_slows_hot_spots_without_changing_traffic() {
+        let (free_cycles, free_msgs) = hot_spot_run(false);
+        let (cont_cycles, cont_msgs) = hot_spot_run(true);
+        assert_eq!(free_msgs, cont_msgs, "contention must not change message counts");
+        assert!(
+            cont_cycles > free_cycles,
+            "congested run should be slower: {cont_cycles} vs {free_cycles}"
+        );
+    }
+
+    #[test]
+    fn contention_model_is_deterministic() {
+        assert_eq!(hot_spot_run(true), hot_spot_run(true));
+    }
+
+    #[test]
+    fn uncontended_single_core_pays_only_tail_serialization() {
+        // One core, sequential misses: no queueing. The contention model
+        // still charges data messages their tail-flit serialization
+        // ((flits-1) x link_cycles per message) but nothing else, so the
+        // gap stays within that bound.
+        let run = |model_contention| {
+            let mut m = Machine::new(MachineConfig {
+                cores: 1,
+                model_contention,
+                protocol: Protocol::Mesi,
+                ..MachineConfig::default()
+            });
+            let a = m.alloc_padded(64 * 16);
+            m.add_thread(move |ctx| {
+                for b in 0..16u64 {
+                    ctx.store_u32(a.add(64 * b), b as u32);
+                }
+            });
+            let r = m.run();
+            (r.report.cycles, r.report.stats.traffic.total())
+        };
+        let (free_cycles, free_msgs) = run(false);
+        let (cont_cycles, cont_msgs) = run(true);
+        assert_eq!(free_msgs, cont_msgs);
+        assert!(cont_cycles >= free_cycles);
+        // At most (DATA_FLITS - 1) extra cycles per message.
+        assert!(cont_cycles - free_cycles <= 4 * free_msgs);
+    }
+}
+
+#[cfg(test)]
+mod per_core_tests {
+    use super::*;
+    use crate::config::{MachineConfig, Protocol};
+
+    #[test]
+    fn per_core_summaries_sum_to_totals() {
+        let mut m = Machine::new(MachineConfig::small(4, Protocol::ghostwriter()));
+        let shared = m.alloc_padded(64);
+        for t in 0..4usize {
+            m.add_thread(move |ctx| {
+                ctx.approx_begin(4);
+                let slot = shared.add(4 * t as u64);
+                // Deliberately unbalanced: core t does (t+1)*30 updates.
+                for i in 0..(t as u32 + 1) * 30 {
+                    let v = ctx.load_u32(slot);
+                    ctx.scribble_u32(slot, v + (i & 1));
+                }
+                ctx.approx_end();
+            });
+        }
+        let run = m.run();
+        let s = &run.report.stats;
+        assert_eq!(run.report.per_core.len(), 4);
+        let ops: u64 = run.report.per_core.iter().map(|c| c.ops).sum();
+        assert_eq!(ops, s.loads + s.stores + s.scribbles);
+        let hits: u64 = run.report.per_core.iter().map(|c| c.l1_hits).sum();
+        assert_eq!(hits, s.l1_load_hits + s.l1_store_hits);
+        let misses: u64 = run.report.per_core.iter().map(|c| c.l1_misses).sum();
+        assert_eq!(misses, s.l1_misses());
+        // The imbalance is visible: core 3 issued 4x core 0's ops.
+        assert!(run.report.per_core[3].ops > run.report.per_core[0].ops * 3);
+        assert!(run.report.imbalance() > 1.0);
+        // Finish cycles in the summary match the report's.
+        for (c, summary) in run.report.per_core.iter().enumerate() {
+            assert_eq!(summary.finish_cycle, run.report.core_finish[c]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod context_switch_tests {
+    use super::*;
+    use crate::config::{MachineConfig, Protocol};
+
+    fn run_with_switches(period: Option<u64>) -> (u64, u64, u32) {
+        let mut m = Machine::new(MachineConfig {
+            cores: 2,
+            protocol: Protocol::ghostwriter(),
+            context_switch_period: period,
+            ..MachineConfig::default()
+        });
+        let block = m.alloc_padded(64);
+        let probe = m.alloc_padded(64);
+        m.add_thread(move |ctx| {
+            ctx.store_u32(block, 1);
+            ctx.barrier();
+            ctx.barrier();
+        });
+        m.add_thread(move |ctx| {
+            ctx.barrier();
+            // Enter GS, then idle long enough for a context switch.
+            let v = ctx.load_u32(block.add(4));
+            ctx.approx_begin(4);
+            ctx.scribble_u32(block.add(4), v + 3);
+            ctx.work(5_000);
+            // Re-read after the (potential) switch.
+            let after = ctx.load_u32(block.add(4));
+            ctx.store_u32(probe, after);
+            ctx.approx_end();
+            ctx.barrier();
+        });
+        let run = m.run();
+        (
+            run.read_u32(probe) as u64,
+            run.report.stats.approx_evictions as u64,
+            run.report.stats.serviced_by_gs as u32,
+        )
+    }
+
+    #[test]
+    fn context_switch_forfeits_hidden_updates() {
+        // Without switches the hidden value survives locally...
+        let (seen_pinned, forfeits_pinned, gs_pinned) = run_with_switches(None);
+        assert_eq!(gs_pinned, 1);
+        assert_eq!(forfeits_pinned, 0);
+        assert_eq!(seen_pinned, 3, "pinned thread keeps its GS value");
+        // ...with a 1000-cycle switch period the GS block is forfeited
+        // during the idle phase and the re-read refetches the coherent
+        // (pre-scribble) value.
+        let (seen_sw, forfeits_sw, gs_sw) = run_with_switches(Some(1_000));
+        assert_eq!(gs_sw, 1);
+        assert!(forfeits_sw >= 1, "switch must forfeit the GS block");
+        assert_eq!(seen_sw, 0, "post-switch read sees the coherent value");
+    }
+}

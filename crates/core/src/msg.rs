@@ -1,0 +1,180 @@
+//! Coherence protocol messages.
+//!
+//! All protocol traffic — L1 requests, directory commands, data transfers,
+//! acknowledgements and memory-controller messages — travels as [`Msg`]
+//! values routed over the mesh by the machine, which records each one in
+//! the Fig. 8 traffic statistics.
+
+use ghostwriter_mem::{BlockAddr, BlockData};
+use ghostwriter_noc::MessageKind;
+
+/// A protocol endpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Endpoint {
+    /// Private L1 cache of core `i` (tile `i`).
+    L1(usize),
+    /// Home L2 bank / directory slice `b` (tile `b`).
+    Dir(usize),
+    /// Memory controller `m` (at mesh corner `m`).
+    Mem(usize),
+}
+
+/// What permission a directory data/ack response grants.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Grant {
+    /// Read-only copy; others may share.
+    Shared,
+    /// Read-only copy, no other sharers (silent upgrade to M allowed).
+    Exclusive,
+    /// Read-write copy.
+    Modified,
+}
+
+/// Message bodies. The comments give the sender → receiver direction.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    // ---- L1 → directory requests ----
+    /// Read-share request (load miss).
+    Gets,
+    /// Read-exclusive request (store miss).
+    Getx,
+    /// S → M permission upgrade (store hit on a shared block).
+    Upgrade,
+    /// Clean shared-copy eviction notice (no ack).
+    PutS,
+    /// Clean exclusive-copy eviction (acked with `WbAck`).
+    PutE,
+    /// Dirty writeback (acked with `WbAck`).
+    PutM { data: BlockData },
+
+    // ---- directory → L1 commands ----
+    /// Invalidate your copy and ack the directory.
+    Inv,
+    /// You own this block: send the data to the directory and downgrade
+    /// to Shared.
+    FwdGets,
+    /// You own this block: send the data to the directory and invalidate.
+    FwdGetx,
+    /// Demand data with a permission grant.
+    Data { data: BlockData, grant: Grant },
+    /// Your `Upgrade` succeeded: you now hold M.
+    UpgAck,
+    /// Your `PutM`/`PutE` completed; release the writeback buffer entry.
+    WbAck,
+
+    // ---- L1 → directory responses ----
+    /// Invalidation acknowledgement.
+    InvAck,
+    /// Owner's reply to `FwdGets`/`FwdGetx`. `retained` is true when the
+    /// owner kept a Shared copy (FwdGets on a live line) and false when it
+    /// invalidated or was answering from its writeback buffer.
+    DataToDir { data: BlockData, retained: bool },
+    /// Transaction complete; the directory may service the next queued
+    /// request for this block.
+    Unblock,
+
+    // ---- directory ↔ memory controller ----
+    /// Fetch a block from DRAM.
+    MemRead,
+    /// DRAM fill data.
+    MemData { data: BlockData },
+    /// Write a block back to DRAM (no ack).
+    MemWrite { data: BlockData },
+}
+
+/// A routed protocol message.
+#[derive(Clone, Debug)]
+pub struct Msg {
+    pub src: Endpoint,
+    pub dst: Endpoint,
+    pub block: BlockAddr,
+    pub payload: Payload,
+}
+
+impl Payload {
+    /// The paper's Fig. 8 traffic class for this message.
+    pub fn kind(&self) -> MessageKind {
+        match self {
+            Payload::Gets => MessageKind::Gets,
+            Payload::Getx => MessageKind::Getx,
+            Payload::Upgrade => MessageKind::Upgrade,
+            Payload::Data { .. }
+            | Payload::DataToDir { .. }
+            | Payload::PutM { .. }
+            | Payload::MemData { .. }
+            | Payload::MemWrite { .. } => MessageKind::Data,
+            Payload::PutS
+            | Payload::PutE
+            | Payload::Inv
+            | Payload::FwdGets
+            | Payload::FwdGetx
+            | Payload::UpgAck
+            | Payload::WbAck
+            | Payload::InvAck
+            | Payload::Unblock
+            | Payload::MemRead => MessageKind::Other,
+        }
+    }
+
+    /// Short wire name used by the protocol trace example.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Payload::Gets => "GETS",
+            Payload::Getx => "GETX",
+            Payload::Upgrade => "UPGRADE",
+            Payload::PutS => "PUTS",
+            Payload::PutE => "PUTE",
+            Payload::PutM { .. } => "PUTM",
+            Payload::Inv => "INV",
+            Payload::FwdGets => "FWD_GETS",
+            Payload::FwdGetx => "FWD_GETX",
+            Payload::Data { .. } => "DATA",
+            Payload::UpgAck => "UPG_ACK",
+            Payload::WbAck => "WB_ACK",
+            Payload::InvAck => "INV_ACK",
+            Payload::DataToDir { .. } => "DATA_TO_DIR",
+            Payload::Unblock => "UNBLOCK",
+            Payload::MemRead => "MEM_READ",
+            Payload::MemData { .. } => "MEM_DATA",
+            Payload::MemWrite { .. } => "MEM_WRITE",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_classes_match_fig8_buckets() {
+        assert_eq!(Payload::Gets.kind(), MessageKind::Gets);
+        assert_eq!(Payload::Getx.kind(), MessageKind::Getx);
+        assert_eq!(Payload::Upgrade.kind(), MessageKind::Upgrade);
+        assert_eq!(
+            Payload::Data {
+                data: BlockData::zeroed(),
+                grant: Grant::Shared
+            }
+            .kind(),
+            MessageKind::Data
+        );
+        assert_eq!(
+            Payload::PutM {
+                data: BlockData::zeroed()
+            }
+            .kind(),
+            MessageKind::Data
+        );
+        assert_eq!(Payload::Inv.kind(), MessageKind::Other);
+        assert_eq!(Payload::InvAck.kind(), MessageKind::Other);
+        assert_eq!(Payload::Unblock.kind(), MessageKind::Other);
+        assert_eq!(Payload::MemRead.kind(), MessageKind::Other);
+        assert_eq!(
+            Payload::MemData {
+                data: BlockData::zeroed()
+            }
+            .kind(),
+            MessageKind::Data
+        );
+    }
+}

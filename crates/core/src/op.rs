@@ -1,0 +1,45 @@
+//! Operations exchanged between workload threads and the engine.
+//!
+//! Workload code never sees these directly; it uses the typed
+//! [`crate::ctx::ThreadCtx`] API, which encodes each call as one
+//! [`ThreadOp`] rendezvous with the engine.
+
+/// Access flavour as issued by the thread. The engine demotes `Scribble`
+/// to `Store` when the core is outside an approximate region or the
+/// machine runs the MESI baseline — mirroring how the paper's compiler
+/// only emits scribble instructions for annotated regions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OpKind {
+    Load,
+    Store,
+    Scribble,
+}
+
+/// One operation submitted by a simulated thread.
+#[derive(Clone, Debug)]
+pub enum ThreadOp {
+    /// A memory access of `size` bytes at `addr` (`value` ignored for
+    /// loads).
+    Access {
+        addr: u64,
+        size: u8,
+        kind: OpKind,
+        value: u64,
+    },
+    /// Charge `cycles` of local compute time.
+    Work(u64),
+    /// Wait until every live thread reaches its barrier.
+    Barrier,
+    /// `setaprx d` — start an approximate region with the given
+    /// d-distance (paper §3.1 `approx_begin` + `approx_dist`).
+    ApproxBegin { d: u8 },
+    /// `endaprx` — leave the approximate region (paper `approx_end`).
+    ApproxEnd,
+    /// Thread completed; `panicked` carries the panic message if the
+    /// workload closure unwound.
+    Exit { panicked: Option<String> },
+}
+
+/// Engine reply to a [`ThreadOp`]: the loaded value for loads, 0 for
+/// everything else.
+pub type ThreadReply = u64;

@@ -1,0 +1,362 @@
+//! Simulation statistics and the end-of-run report.
+//!
+//! Every quantity the paper's evaluation section plots is collected here:
+//! coherence traffic by message class (Fig. 8), approximate-state service
+//! counters (Fig. 7), energy events (Fig. 9), cycle counts (Figs. 1/10),
+//! and the store value-similarity histogram (Fig. 2).
+
+use ghostwriter_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
+use ghostwriter_noc::{MessageKind, TrafficStats};
+
+use crate::scribe::SimilarityHistogram;
+
+/// Raw counters accumulated during a run.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    // ---- instruction stream ----
+    /// Loads issued by all cores.
+    pub loads: u64,
+    /// Conventional stores issued (including scribbles demoted outside
+    /// approximate regions or under the MESI baseline).
+    pub stores: u64,
+    /// Scribbles issued inside an active approximate region.
+    pub scribbles: u64,
+    /// Explicit compute cycles charged via `ctx.work`.
+    pub work_cycles: u64,
+    /// Barrier episodes.
+    pub barriers: u64,
+
+    // ---- L1 behaviour ----
+    /// Loads that hit in the L1 (any readable state, including GS/GI).
+    pub l1_load_hits: u64,
+    /// Loads that missed (GETS issued).
+    pub l1_load_misses: u64,
+    /// Stores/scribbles serviced without a coherence transaction.
+    pub l1_store_hits: u64,
+    /// Stores/scribbles that took a coherence transaction
+    /// (GETX or UPGRADE).
+    pub l1_store_misses: u64,
+
+    // ---- Ghostwriter counters (Fig. 7) ----
+    /// Scribbles on an S block that passed the d-check: `S → GS`.
+    pub serviced_by_gs: u64,
+    /// Stores (or failed scribbles) on an S block: conventional UPGRADE.
+    pub upgrades_from_s: u64,
+    /// Scribbles on a tag-present Invalid block that passed: `I → GI`.
+    pub serviced_by_gi: u64,
+    /// Stores (or failed scribbles) on a tag-present Invalid block:
+    /// conventional GETX.
+    pub stores_on_invalid_tagged: u64,
+    /// Subsequent store/scribble hits on GS blocks.
+    pub gs_hits: u64,
+    /// Load hits on GI blocks (stale reads).
+    pub gi_load_hits: u64,
+    /// Store/scribble hits on GI blocks (hidden writes).
+    pub gi_store_hits: u64,
+    /// Conventional stores on GS blocks that published via UPGRADE.
+    pub upgrades_from_gs: u64,
+    /// GS blocks returned to I by a remote invalidation (updates lost).
+    pub gs_invalidations: u64,
+    /// GI blocks returned to I by the periodic timeout (updates lost).
+    pub gi_timeouts: u64,
+    /// GI windows ended early by a failed scribble falling back to a
+    /// conventional GETX (updates lost, store published).
+    pub gi_breaks: u64,
+    /// GS/GI blocks evicted by replacement (updates lost).
+    pub approx_evictions: u64,
+
+    // ---- memory system ----
+    /// DRAM block reads / writes.
+    pub dram_reads: u64,
+    pub dram_writes: u64,
+    /// L2 recalls (inclusive-victim invalidations of L1 copies).
+    pub l2_recalls: u64,
+
+    // ---- figures ----
+    /// NoC traffic by message class.
+    pub traffic: TrafficStats,
+    /// Per-event energy counts.
+    pub energy_events: EnergyEvents,
+    /// Fig. 2 store value-similarity histogram.
+    pub similarity: SimilarityHistogram,
+}
+
+impl Stats {
+    /// Fraction (0..=1) of stores that would have missed on a Shared
+    /// block but were serviced by `GS` — the paper's Fig. 7a ("store/
+    /// scribble hits on GS", §4.1): GS entries plus subsequent GS hits,
+    /// over those plus the conventional upgrades.
+    pub fn gs_service_fraction(&self) -> f64 {
+        let serviced = self.serviced_by_gs + self.gs_hits;
+        ratio(
+            serviced,
+            serviced + self.upgrades_from_s + self.upgrades_from_gs,
+        )
+    }
+
+    /// Fraction of stores that would have missed on an Invalid
+    /// (tag-present) block but were serviced by `GI` — Fig. 7b: GI
+    /// entries plus store hits on GI, over those plus conventional
+    /// stores on invalid-tagged blocks.
+    pub fn gi_service_fraction(&self) -> f64 {
+        let serviced = self.serviced_by_gi + self.gi_store_hits;
+        ratio(serviced, serviced + self.stores_on_invalid_tagged)
+    }
+
+    /// All demand accesses that reached the L1.
+    pub fn l1_accesses(&self) -> u64 {
+        self.l1_load_hits + self.l1_load_misses + self.l1_store_hits + self.l1_store_misses
+    }
+
+    /// Demand misses (coherence transactions started).
+    pub fn l1_misses(&self) -> u64 {
+        self.l1_load_misses + self.l1_store_misses
+    }
+}
+
+impl Stats {
+    /// Folds `other` into `self` (used to combine per-core and global
+    /// statistics into the run total).
+    pub fn merge_from(&mut self, other: &Stats) {
+        self.loads += other.loads;
+        self.stores += other.stores;
+        self.scribbles += other.scribbles;
+        self.work_cycles += other.work_cycles;
+        self.barriers += other.barriers;
+        self.l1_load_hits += other.l1_load_hits;
+        self.l1_load_misses += other.l1_load_misses;
+        self.l1_store_hits += other.l1_store_hits;
+        self.l1_store_misses += other.l1_store_misses;
+        self.serviced_by_gs += other.serviced_by_gs;
+        self.upgrades_from_s += other.upgrades_from_s;
+        self.serviced_by_gi += other.serviced_by_gi;
+        self.stores_on_invalid_tagged += other.stores_on_invalid_tagged;
+        self.gs_hits += other.gs_hits;
+        self.gi_load_hits += other.gi_load_hits;
+        self.gi_store_hits += other.gi_store_hits;
+        self.upgrades_from_gs += other.upgrades_from_gs;
+        self.gs_invalidations += other.gs_invalidations;
+        self.gi_timeouts += other.gi_timeouts;
+        self.gi_breaks += other.gi_breaks;
+        self.approx_evictions += other.approx_evictions;
+        self.dram_reads += other.dram_reads;
+        self.dram_writes += other.dram_writes;
+        self.l2_recalls += other.l2_recalls;
+        self.traffic.merge(&other.traffic);
+        self.energy_events.merge(&other.energy_events);
+        self.similarity.merge(&other.similarity);
+    }
+}
+
+/// Per-core activity summary (derived from each core's L1 statistics).
+#[derive(Clone, Debug, Default)]
+pub struct CoreSummary {
+    /// Instructions issued by the core (loads + stores + scribbles).
+    pub ops: u64,
+    /// L1 demand hits.
+    pub l1_hits: u64,
+    /// L1 demand misses (coherence transactions).
+    pub l1_misses: u64,
+    /// Stores serviced by the approximate states (entries + hits).
+    pub approx_serviced: u64,
+    /// Cycle at which the core's thread finished.
+    pub finish_cycle: u64,
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// The report produced by [`crate::machine::Machine::run`].
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// Total simulated cycles (latest core finish time).
+    pub cycles: u64,
+    /// Per-core finish times.
+    pub core_finish: Vec<u64>,
+    /// Raw counters (whole machine).
+    pub stats: Stats,
+    /// Per-core activity summaries (loads/stores/hits/misses per core).
+    pub per_core: Vec<CoreSummary>,
+    /// Energy model evaluated over the run's events.
+    pub energy: EnergyBreakdown,
+}
+
+impl SimReport {
+    /// Builds a report, evaluating `model` over the collected events.
+    pub fn new(cycles: u64, core_finish: Vec<u64>, stats: Stats, model: &EnergyModel) -> Self {
+        let energy = model.evaluate(&stats.energy_events);
+        Self {
+            cycles,
+            core_finish,
+            stats,
+            per_core: Vec::new(),
+            energy,
+        }
+    }
+
+    /// Attaches per-core summaries (set by the machine).
+    pub fn with_per_core(mut self, per_core: Vec<CoreSummary>) -> Self {
+        self.per_core = per_core;
+        self
+    }
+
+    /// Load-imbalance factor: latest finish time over the mean finish
+    /// time (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.core_finish.is_empty() {
+            return 1.0;
+        }
+        let max = *self.core_finish.iter().max().expect("nonempty") as f64;
+        let mean = self.core_finish.iter().sum::<u64>() as f64 / self.core_finish.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    }
+
+    /// Speedup of this run relative to `baseline` in percent
+    /// (the paper's Fig. 10: `(t_base / t_this - 1) × 100`).
+    pub fn speedup_percent_vs(&self, baseline: &SimReport) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        (baseline.cycles as f64 / self.cycles as f64 - 1.0) * 100.0
+    }
+
+    /// Coherence traffic of this run normalized to `baseline`
+    /// (Fig. 8 bar height).
+    pub fn normalized_traffic_vs(&self, baseline: &SimReport) -> f64 {
+        let b = baseline.stats.traffic.total();
+        if b == 0 {
+            return 1.0;
+        }
+        self.stats.traffic.total() as f64 / b as f64
+    }
+
+    /// Per-class normalized traffic (each class normalized to the
+    /// *baseline total*, so the stacked classes sum to
+    /// [`SimReport::normalized_traffic_vs`]).
+    pub fn normalized_traffic_by_class_vs(&self, baseline: &SimReport) -> Vec<(MessageKind, f64)> {
+        let b = baseline.stats.traffic.total().max(1) as f64;
+        MessageKind::ALL
+            .iter()
+            .map(|&k| (k, self.stats.traffic.count(k) as f64 / b))
+            .collect()
+    }
+
+    /// Percent dynamic energy saved vs `baseline` (Fig. 9).
+    pub fn energy_saved_percent_vs(&self, baseline: &SimReport) -> f64 {
+        self.energy.percent_saved_vs(&baseline.energy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_from_sums_counters() {
+        let mut a = Stats {
+            loads: 3,
+            serviced_by_gs: 2,
+            dram_reads: 1,
+            ..Default::default()
+        };
+        let b = Stats {
+            loads: 4,
+            serviced_by_gs: 5,
+            gi_timeouts: 7,
+            ..Default::default()
+        };
+        a.merge_from(&b);
+        assert_eq!(a.loads, 7);
+        assert_eq!(a.serviced_by_gs, 7);
+        assert_eq!(a.gi_timeouts, 7);
+        assert_eq!(a.dram_reads, 1);
+    }
+
+    #[test]
+    fn imbalance_math() {
+        let mut r = report(100, Stats::default());
+        r.core_finish = vec![100, 100, 100, 100];
+        assert!((r.imbalance() - 1.0).abs() < 1e-12);
+        r.core_finish = vec![50, 150];
+        assert!((r.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    fn report(cycles: u64, stats: Stats) -> SimReport {
+        SimReport::new(cycles, vec![cycles], stats, &EnergyModel::default())
+    }
+
+    #[test]
+    fn service_fractions() {
+        let s = Stats {
+            serviced_by_gs: 30,
+            upgrades_from_s: 70,
+            serviced_by_gi: 5,
+            stores_on_invalid_tagged: 15,
+            ..Default::default()
+        };
+        assert!((s.gs_service_fraction() - 0.30).abs() < 1e-12);
+        assert!((s.gi_service_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn service_fraction_zero_when_no_events() {
+        let s = Stats::default();
+        assert_eq!(s.gs_service_fraction(), 0.0);
+        assert_eq!(s.gi_service_fraction(), 0.0);
+    }
+
+    #[test]
+    fn speedup_math() {
+        let base = report(2000, Stats::default());
+        let fast = report(1600, Stats::default());
+        assert!((fast.speedup_percent_vs(&base) - 25.0).abs() < 1e-9);
+        assert!((base.speedup_percent_vs(&base)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalized_traffic_classes_sum_to_total() {
+        use ghostwriter_noc::Mesh;
+        let mesh = Mesh::with_paper_timing(2, 2);
+        let mut base_stats = Stats::default();
+        for _ in 0..10 {
+            base_stats
+                .traffic
+                .record(&mesh, MessageKind::Getx, ghostwriter_noc::NodeId(0), ghostwriter_noc::NodeId(1));
+        }
+        let mut gw_stats = Stats::default();
+        for _ in 0..6 {
+            gw_stats
+                .traffic
+                .record(&mesh, MessageKind::Getx, ghostwriter_noc::NodeId(0), ghostwriter_noc::NodeId(1));
+        }
+        let base = report(100, base_stats);
+        let gw = report(100, gw_stats);
+        let split = gw.normalized_traffic_by_class_vs(&base);
+        let sum: f64 = split.iter().map(|(_, v)| v).sum();
+        assert!((sum - gw.normalized_traffic_vs(&base)).abs() < 1e-12);
+        assert!((sum - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_access_accounting() {
+        let s = Stats {
+            l1_load_hits: 10,
+            l1_load_misses: 2,
+            l1_store_hits: 5,
+            l1_store_misses: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.l1_accesses(), 20);
+        assert_eq!(s.l1_misses(), 5);
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the scribe comparator's algebra.
+
+use ghostwriter_core::scribe::{arithmetic_distance, bit_distance, ScribePolicy};
+use proptest::prelude::*;
+
+proptest! {
+    /// bit-distance is symmetric and zero exactly on equality (within
+    /// the access width).
+    #[test]
+    fn bit_distance_symmetric_and_reflexive(a in any::<u64>(), b in any::<u64>(), w in prop_oneof![Just(8u32), Just(16), Just(32), Just(64)]) {
+        prop_assert_eq!(bit_distance(a, b, w), bit_distance(b, a, w));
+        prop_assert_eq!(bit_distance(a, a, w), 0);
+        let mask = if w == 64 { u64::MAX } else { (1u64 << w) - 1 };
+        prop_assert_eq!(bit_distance(a, b, w) == 0, a & mask == b & mask);
+    }
+
+    /// The `within` predicate is monotone in d and saturates at the
+    /// access width.
+    #[test]
+    fn within_monotone_in_d(a in any::<u64>(), b in any::<u64>(), w in prop_oneof![Just(8u32), Just(16), Just(32), Just(64)]) {
+        let mut prev = false;
+        for d in 0..=w {
+            let now = ScribePolicy::Bitwise.within(a, b, w, d);
+            prop_assert!(!prev || now, "within must be monotone in d");
+            prev = now;
+        }
+        prop_assert!(ScribePolicy::Bitwise.within(a, b, w, w), "d = width admits everything");
+    }
+
+    /// Bit-distance d implies the values differ by less than 2^d
+    /// arithmetically (the converse does not hold: 127 vs 128).
+    #[test]
+    fn bit_distance_bounds_arithmetic_difference(a in any::<u64>(), b in any::<u64>()) {
+        let d = bit_distance(a, b, 64);
+        if d < 64 {
+            prop_assert!(arithmetic_distance(a, b, 64) < (1u64 << d));
+        }
+    }
+
+    /// Arithmetic distance is a metric-ish: symmetric, zero iff equal
+    /// (mod width), bounded by half the ring.
+    #[test]
+    fn arithmetic_distance_properties(a in any::<u64>(), b in any::<u64>(), w in prop_oneof![Just(8u32), Just(16), Just(32)]) {
+        let mask = (1u64 << w) - 1;
+        prop_assert_eq!(arithmetic_distance(a, b, w), arithmetic_distance(b, a, w));
+        prop_assert_eq!(arithmetic_distance(a, b, w) == 0, a & mask == b & mask);
+        prop_assert!(arithmetic_distance(a, b, w) <= mask.div_ceil(2));
+    }
+
+    /// The arithmetic policy admits everything the bitwise policy admits
+    /// at the same d... is FALSE in general (carry pairs); but both admit
+    /// silent stores at every d, and neither admits anything at d=0
+    /// except equality.
+    #[test]
+    fn policies_agree_on_silent_stores(v in any::<u64>(), d in 0u32..32) {
+        for policy in [ScribePolicy::Bitwise, ScribePolicy::Arithmetic] {
+            prop_assert!(policy.within(v, v, 32, d));
+        }
+        let other = v ^ 1;
+        for policy in [ScribePolicy::Bitwise, ScribePolicy::Arithmetic] {
+            prop_assert!(!policy.within(v, other, 32, 0));
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The paper's Fig. 3 state machine, checked exhaustively as a
+//! transition table: for every reachable stable L1 state and every
+//! demand/network event, assert the resulting state and the class of
+//! coherence action taken.
+
+use ghostwriter_core::config::GiStorePolicy;
+use ghostwriter_core::l1::{AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
+use ghostwriter_core::msg::{Endpoint, Grant, Msg, Payload};
+use ghostwriter_core::scribe::ScribePolicy;
+use ghostwriter_core::{Addr, Stats};
+use ghostwriter_mem::BlockData;
+
+const ADDR: u64 = 0x4000;
+
+fn l1() -> (L1Cache, Stats) {
+    (
+        L1Cache::new(
+            0,
+            8,
+            2,
+            1,
+            Some(GwParams {
+                scribe: ScribePolicy::Bitwise,
+                enable_gs: true,
+                enable_gi: true,
+                gi_stores: GiStorePolicy::Fallback,
+                max_hidden_writes: None,
+            }),
+            false,
+        ),
+        Stats::default(),
+    )
+}
+
+fn req(kind: AccessKind, value: u64) -> CoreReq {
+    CoreReq {
+        addr: Addr(ADDR),
+        size: 4,
+        value,
+        kind,
+    }
+}
+
+fn dir_msg(payload: Payload) -> Msg {
+    Msg {
+        src: Endpoint::Dir(0),
+        dst: Endpoint::L1(0),
+        block: Addr(ADDR).block(),
+        payload,
+    }
+}
+
+/// Observable outcome class of one transition.
+#[derive(Debug, PartialEq, Eq)]
+enum Action {
+    /// Serviced locally, no messages.
+    Hit,
+    /// Sent the named request and blocked.
+    Sent(&'static str),
+}
+
+fn classify(outs: &[L1Out]) -> Action {
+    let sent: Vec<&str> = outs
+        .iter()
+        .filter_map(|o| match o {
+            L1Out::Send(m) => Some(m.payload.name()),
+            _ => None,
+        })
+        .collect();
+    match sent.as_slice() {
+        [] => Action::Hit,
+        [one] => Action::Sent(match *one {
+            "GETS" => "GETS",
+            "GETX" => "GETX",
+            "UPGRADE" => "UPGRADE",
+            other => panic!("unexpected message {other}"),
+        }),
+        more => panic!("multiple messages {more:?}"),
+    }
+}
+
+/// Drives the L1 into `target` for block ADDR via protocol messages.
+fn prepare(target: L1State) -> (L1Cache, Stats) {
+    let (mut c, mut s) = l1();
+    let block = Addr(ADDR).block();
+    match target {
+        L1State::S | L1State::E => {
+            c.access(req(AccessKind::Load, 0), &mut s);
+            let grant = if target == L1State::S {
+                Grant::Shared
+            } else {
+                Grant::Exclusive
+            };
+            c.handle_msg(
+                dir_msg(Payload::Data {
+                    data: BlockData::zeroed(),
+                    grant,
+                }),
+                &mut s,
+            );
+        }
+        L1State::M => {
+            c.access(req(AccessKind::Store, 0), &mut s);
+            c.handle_msg(
+                dir_msg(Payload::Data {
+                    data: BlockData::zeroed(),
+                    grant: Grant::Modified,
+                }),
+                &mut s,
+            );
+        }
+        L1State::I => {
+            let (cc, ss) = prepare(L1State::S);
+            let (mut cc, mut ss) = (cc, ss);
+            cc.handle_msg(dir_msg(Payload::Inv), &mut ss);
+            assert_eq!(cc.state_of(block), Some(L1State::I));
+            return (cc, ss);
+        }
+        L1State::Gs => {
+            let (mut cc, mut ss) = prepare(L1State::S);
+            cc.access(req(AccessKind::Scribble { d: 4 }, 1), &mut ss);
+            assert_eq!(cc.state_of(block), Some(L1State::Gs));
+            return (cc, ss);
+        }
+        L1State::Gi => {
+            let (mut cc, mut ss) = prepare(L1State::I);
+            cc.access(req(AccessKind::Scribble { d: 4 }, 1), &mut ss);
+            assert_eq!(cc.state_of(block), Some(L1State::Gi));
+            return (cc, ss);
+        }
+        other => panic!("prepare({other:?}) unsupported"),
+    }
+    assert_eq!(c.state_of(block), Some(target));
+    (c, s)
+}
+
+/// One row of the Fig. 3 table: (start state, access, value) →
+/// (action, end state). Values are chosen against block contents that
+/// are 0 (fresh grants) or 1 (after the preparing scribble), with d = 4:
+/// value 3 passes the check, value 0x100 fails it.
+#[test]
+fn fig3_transition_table() {
+    use AccessKind::*;
+    use L1State::*;
+    let pass = 3u64;
+    let fail = 0x100u64;
+    let rows: Vec<(L1State, AccessKind, u64, Action, L1State)> = vec![
+        // Loads hit in every readable state.
+        (S, Load, 0, Action::Hit, S),
+        (E, Load, 0, Action::Hit, E),
+        (M, Load, 0, Action::Hit, M),
+        (Gs, Load, 0, Action::Hit, Gs),
+        (Gi, Load, 0, Action::Hit, Gi),
+        (I, Load, 0, Action::Sent("GETS"), IsD),
+        // Conventional stores.
+        (S, Store, 7, Action::Sent("UPGRADE"), SmA),
+        (E, Store, 7, Action::Hit, M),
+        (M, Store, 7, Action::Hit, M),
+        (Gs, Store, 7, Action::Sent("UPGRADE"), SmA),
+        (Gi, Store, 7, Action::Hit, Gi), // Fig. 3 Store self-loop
+        (I, Store, 7, Action::Sent("GETX"), ImAd),
+        // Scribbles within d.
+        (S, Scribble { d: 4 }, pass, Action::Hit, Gs),
+        (E, Scribble { d: 4 }, pass, Action::Hit, M),
+        (M, Scribble { d: 4 }, pass, Action::Hit, M),
+        (Gs, Scribble { d: 4 }, pass, Action::Hit, Gs),
+        (Gi, Scribble { d: 4 }, pass, Action::Hit, Gi),
+        (I, Scribble { d: 4 }, pass, Action::Hit, Gi),
+        // Scribbles beyond d fall back to the conventional path.
+        (S, Scribble { d: 4 }, fail, Action::Sent("UPGRADE"), SmA),
+        (E, Scribble { d: 4 }, fail, Action::Hit, M),
+        (M, Scribble { d: 4 }, fail, Action::Hit, M),
+        (Gs, Scribble { d: 4 }, fail, Action::Sent("UPGRADE"), SmA),
+        (Gi, Scribble { d: 4 }, fail, Action::Sent("GETX"), ImAd),
+        (I, Scribble { d: 4 }, fail, Action::Sent("GETX"), ImAd),
+    ];
+    for (start, kind, value, want_action, want_state) in rows {
+        let (mut c, mut s) = prepare(start);
+        let outs = c.access(req(kind, value), &mut s);
+        let action = classify(&outs);
+        assert_eq!(
+            action,
+            want_action,
+            "{start:?} + {kind:?}({value:#x}) took the wrong action"
+        );
+        assert_eq!(
+            c.state_of(Addr(ADDR).block()),
+            Some(want_state),
+            "{start:?} + {kind:?}({value:#x}) ended in the wrong state"
+        );
+    }
+}
+
+/// Invalidations per Fig. 3: S and GS collapse to I (keeping the tag),
+/// transients persist, and the ack always flows.
+#[test]
+fn invalidation_rows() {
+    use L1State::*;
+    for (start, want) in [(S, I), (Gs, I), (I, I)] {
+        let (mut c, mut s) = prepare(start);
+        let outs = c.handle_msg(dir_msg(Payload::Inv), &mut s);
+        assert!(
+            outs.iter().any(|o| matches!(o, L1Out::Send(m)
+                if m.payload.name() == "INV_ACK")),
+            "{start:?}: INV must be acked"
+        );
+        assert_eq!(c.state_of(Addr(ADDR).block()), Some(want), "{start:?}");
+    }
+}
+
+/// Timeout per Fig. 3: GI → I (and nothing else moves).
+#[test]
+fn timeout_rows() {
+    use L1State::*;
+    for (start, want) in [(Gi, I), (Gs, Gs), (S, S), (M, M), (E, E), (I, I)] {
+        let (mut c, mut s) = prepare(start);
+        c.gi_timeout_sweep(&mut s);
+        assert_eq!(c.state_of(Addr(ADDR).block()), Some(want), "{start:?}");
+    }
+}
+
+/// Forward handling: owners supply data; FWD_GETS downgrades to S,
+/// FWD_GETX leaves a tagged Invalid line (the GI opportunity).
+#[test]
+fn forward_rows() {
+    use L1State::*;
+    for (start, fwd, want) in [
+        (M, Payload::FwdGets, S),
+        (E, Payload::FwdGets, S),
+        (M, Payload::FwdGetx, I),
+        (E, Payload::FwdGetx, I),
+    ] {
+        let (mut c, mut s) = prepare(start);
+        let outs = c.handle_msg(dir_msg(fwd.clone()), &mut s);
+        assert!(
+            outs.iter().any(|o| matches!(o, L1Out::Send(m)
+                if m.payload.name() == "DATA_TO_DIR")),
+            "{start:?} + {}: owner must supply data",
+            fwd.name()
+        );
+        assert_eq!(
+            c.state_of(Addr(ADDR).block()),
+            Some(want),
+            "{start:?} + {}",
+            fwd.name()
+        );
+    }
+}
+
+/// The Capture policy flips exactly one row of the table: a failing
+/// scribble on GI hits instead of sending GETX.
+#[test]
+fn capture_policy_flips_the_gi_fail_row() {
+    let (mut c, mut s) = (
+        L1Cache::new(
+            0,
+            8,
+            2,
+            1,
+            Some(GwParams {
+                scribe: ScribePolicy::Bitwise,
+                enable_gs: true,
+                enable_gi: true,
+                gi_stores: GiStorePolicy::Capture,
+                max_hidden_writes: None,
+            }),
+            false,
+        ),
+        Stats::default(),
+    );
+    // Reach GI: S → INV → I → passing scribble.
+    c.access(req(AccessKind::Load, 0), &mut s);
+    c.handle_msg(
+        dir_msg(Payload::Data {
+            data: BlockData::zeroed(),
+            grant: Grant::Shared,
+        }),
+        &mut s,
+    );
+    c.handle_msg(dir_msg(Payload::Inv), &mut s);
+    c.access(req(AccessKind::Scribble { d: 4 }, 1), &mut s);
+    assert_eq!(c.state_of(Addr(ADDR).block()), Some(L1State::Gi));
+    // Failing scribble: hits under Capture.
+    let outs = c.access(req(AccessKind::Scribble { d: 4 }, 0x100), &mut s);
+    assert_eq!(classify(&outs), Action::Hit);
+    assert_eq!(c.state_of(Addr(ADDR).block()), Some(L1State::Gi));
+}

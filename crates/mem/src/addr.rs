@@ -1,0 +1,132 @@
+//! Address arithmetic.
+//!
+//! The whole simulator uses 64-byte cache blocks (the paper's Table 1), so
+//! the block geometry is fixed at compile time; set counts and associativity
+//! remain runtime-configurable.
+
+/// log2 of the cache block size.
+pub const BLOCK_OFFSET_BITS: u32 = 6;
+/// Cache block size in bytes (64 B, per the paper's Table 1).
+pub const BLOCK_BYTES: usize = 1 << BLOCK_OFFSET_BITS;
+
+/// A byte address in the simulated physical address space.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+/// A block-aligned address, stored as `byte_address >> 6`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BlockAddr(pub u64);
+
+impl std::fmt::Debug for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Addr({:#x})", self.0)
+    }
+}
+
+impl std::fmt::Debug for BlockAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Block({:#x})", self.0 << BLOCK_OFFSET_BITS)
+    }
+}
+
+impl std::fmt::Display for Addr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl Addr {
+    /// The block containing this byte.
+    #[inline]
+    pub fn block(self) -> BlockAddr {
+        BlockAddr(self.0 >> BLOCK_OFFSET_BITS)
+    }
+
+    /// Byte offset within the containing block.
+    #[inline]
+    pub fn offset(self) -> usize {
+        (self.0 as usize) & (BLOCK_BYTES - 1)
+    }
+
+    /// Address advanced by `bytes`. (Deliberately named `add`: it is the
+    /// pointer-arithmetic primitive of the workload API and takes a byte
+    /// count, not another address, so `std::ops::Add` would be wrong.)
+    #[inline]
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, bytes: u64) -> Addr {
+        Addr(self.0 + bytes)
+    }
+
+    /// True if an access of `size` bytes at this address stays within one
+    /// cache block. All simulated accesses must (the allocator aligns
+    /// naturally, matching real ISAs' aligned loads/stores).
+    #[inline]
+    pub fn fits_in_block(self, size: usize) -> bool {
+        self.offset() + size <= BLOCK_BYTES
+    }
+
+    /// True if the address is naturally aligned for an access of `size`
+    /// bytes (`size` must be a power of two).
+    #[inline]
+    pub fn is_aligned(self, size: usize) -> bool {
+        debug_assert!(size.is_power_of_two());
+        self.0 & (size as u64 - 1) == 0
+    }
+}
+
+impl BlockAddr {
+    /// Byte address of the first byte of the block.
+    #[inline]
+    pub fn base(self) -> Addr {
+        Addr(self.0 << BLOCK_OFFSET_BITS)
+    }
+
+    /// Raw block number (used for set indexing and bank interleaving).
+    #[inline]
+    pub fn index(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_split_round_trips() {
+        let a = Addr(0x1234_5678);
+        assert_eq!(a.block().base().0, 0x1234_5640);
+        assert_eq!(a.offset(), 0x38);
+        assert_eq!(a.block().base().add(a.offset() as u64), a);
+    }
+
+    #[test]
+    fn fits_in_block_at_boundaries() {
+        let base = Addr(0x1000);
+        assert!(base.fits_in_block(64));
+        assert!(!base.add(1).fits_in_block(64));
+        assert!(base.add(56).fits_in_block(8));
+        assert!(base.add(60).fits_in_block(4));
+        assert!(!base.add(61).fits_in_block(4));
+        assert!(base.add(63).fits_in_block(1));
+    }
+
+    #[test]
+    fn alignment() {
+        assert!(Addr(0x1000).is_aligned(8));
+        assert!(Addr(0x1004).is_aligned(4));
+        assert!(!Addr(0x1004).is_aligned(8));
+        assert!(Addr(0x1001).is_aligned(1));
+    }
+
+    #[test]
+    fn adjacent_addresses_same_block() {
+        // The false-sharing primitive: two 4-byte slots 4 bytes apart land
+        // in the same block unless they straddle a 64-byte boundary.
+        let a = Addr(0x2000);
+        let b = a.add(4);
+        assert_eq!(a.block(), b.block());
+        let c = a.add(64);
+        assert_ne!(a.block(), c.block());
+    }
+}

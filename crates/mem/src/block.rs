@@ -1,0 +1,144 @@
+//! The 64-byte cache block payload.
+
+use crate::addr::BLOCK_BYTES;
+
+/// Contents of one cache block. Words are read and written little-endian at
+/// their natural alignment, matching an x86 machine (the paper simulates
+/// x86 in gem5).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct BlockData {
+    bytes: [u8; BLOCK_BYTES],
+}
+
+impl Default for BlockData {
+    fn default() -> Self {
+        Self::zeroed()
+    }
+}
+
+impl std::fmt::Debug for BlockData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BlockData[")?;
+        for chunk in self.bytes.chunks(8) {
+            for b in chunk {
+                write!(f, "{b:02x}")?;
+            }
+            write!(f, " ")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl BlockData {
+    /// An all-zero block (fresh DRAM in the simulator).
+    #[inline]
+    pub fn zeroed() -> Self {
+        Self {
+            bytes: [0; BLOCK_BYTES],
+        }
+    }
+
+    /// Builds a block from raw bytes.
+    #[inline]
+    pub fn from_bytes(bytes: [u8; BLOCK_BYTES]) -> Self {
+        Self { bytes }
+    }
+
+    /// Raw view of the block.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8; BLOCK_BYTES] {
+        &self.bytes
+    }
+
+    /// Mutable raw view of the block.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8; BLOCK_BYTES] {
+        &mut self.bytes
+    }
+
+    /// Reads a word of `size` bytes (1, 2, 4 or 8) at byte `offset`,
+    /// zero-extended to 64 bits.
+    ///
+    /// # Panics
+    /// Panics if the access crosses the block boundary or `size` is not a
+    /// supported width.
+    #[inline]
+    pub fn read_word(&self, offset: usize, size: usize) -> u64 {
+        assert!(offset + size <= BLOCK_BYTES, "access crosses block");
+        let mut buf = [0u8; 8];
+        buf[..size].copy_from_slice(&self.bytes[offset..offset + size]);
+        match size {
+            1 | 2 | 4 | 8 => u64::from_le_bytes(buf),
+            _ => panic!("unsupported access width {size}"),
+        }
+    }
+
+    /// Writes the low `size` bytes of `value` at byte `offset`.
+    #[inline]
+    pub fn write_word(&mut self, offset: usize, size: usize, value: u64) {
+        assert!(offset + size <= BLOCK_BYTES, "access crosses block");
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported width {size}");
+        let le = value.to_le_bytes();
+        self.bytes[offset..offset + size].copy_from_slice(&le[..size]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut b = BlockData::zeroed();
+        b.write_word(0, 1, 0xAB);
+        b.write_word(2, 2, 0xBEEF);
+        b.write_word(4, 4, 0xDEAD_BEEF);
+        b.write_word(8, 8, 0x0123_4567_89AB_CDEF);
+        assert_eq!(b.read_word(0, 1), 0xAB);
+        assert_eq!(b.read_word(2, 2), 0xBEEF);
+        assert_eq!(b.read_word(4, 4), 0xDEAD_BEEF);
+        assert_eq!(b.read_word(8, 8), 0x0123_4567_89AB_CDEF);
+    }
+
+    #[test]
+    fn writes_are_little_endian() {
+        let mut b = BlockData::zeroed();
+        b.write_word(0, 4, 0x0403_0201);
+        assert_eq!(&b.as_bytes()[..4], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn narrow_write_preserves_neighbours() {
+        let mut b = BlockData::zeroed();
+        b.write_word(0, 8, u64::MAX);
+        b.write_word(2, 2, 0);
+        assert_eq!(b.read_word(0, 8), 0xFFFF_FFFF_0000_FFFF);
+    }
+
+    #[test]
+    fn truncates_value_to_width() {
+        let mut b = BlockData::zeroed();
+        b.write_word(0, 1, 0x1FF);
+        assert_eq!(b.read_word(0, 1), 0xFF);
+        assert_eq!(b.read_word(1, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses block")]
+    fn straddling_access_panics() {
+        let b = BlockData::zeroed();
+        b.read_word(61, 4);
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        // Floats travel through the simulator as raw bit patterns.
+        let mut b = BlockData::zeroed();
+        let f = -1234.5678_f32;
+        b.write_word(12, 4, f.to_bits() as u64);
+        assert_eq!(f32::from_bits(b.read_word(12, 4) as u32), f);
+        let d = 2.718281828_f64;
+        b.write_word(16, 8, d.to_bits());
+        assert_eq!(f64::from_bits(b.read_word(16, 8)), d);
+    }
+}

@@ -1,0 +1,311 @@
+//! Generic set-associative cache array with per-line metadata and data.
+//!
+//! The coherence layer instantiates this twice: once per L1 (metadata = L1
+//! coherence state) and once per L2 bank (metadata = directory entry). The
+//! array itself knows nothing about coherence; it only manages tags, data,
+//! and pseudo-LRU victims.
+
+use crate::addr::BlockAddr;
+use crate::block::BlockData;
+use crate::plru::TreePlru;
+
+/// One cache line: a tagged block with caller-defined metadata.
+#[derive(Clone, Debug)]
+pub struct Line<M> {
+    /// Block address held by this line (the full block number doubles as
+    /// the tag; storing it whole costs nothing in a simulator).
+    pub block: BlockAddr,
+    pub meta: M,
+    pub data: BlockData,
+}
+
+/// Result of a victim search for an insertion.
+#[derive(Debug, PartialEq, Eq)]
+pub enum LookupResult {
+    /// The block is already present at this way.
+    Hit { way: usize },
+    /// A free way is available.
+    Free { way: usize },
+    /// The set is full; the pseudo-LRU way and its block are reported so
+    /// the caller can run its eviction protocol.
+    Victim { way: usize, block: BlockAddr },
+}
+
+/// A set-associative array of `sets × ways` lines.
+#[derive(Debug)]
+pub struct SetAssocCache<M> {
+    sets: usize,
+    ways: usize,
+    lines: Vec<Option<Line<M>>>,
+    plru: Vec<TreePlru>,
+}
+
+impl<M> SetAssocCache<M> {
+    /// Creates a cache with the given geometry. `sets` and `ways` must be
+    /// powers of two (`ways` ≤ 64).
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            ways.is_power_of_two() && (1..=64).contains(&ways),
+            "ways must be a power of two in 1..=64"
+        );
+        Self {
+            sets,
+            ways,
+            lines: (0..sets * ways).map(|_| None).collect(),
+            plru: vec![TreePlru::new(); sets],
+        }
+    }
+
+    /// Builds a cache from a capacity in bytes and associativity, with
+    /// 64-byte blocks — e.g. `from_capacity(32 * 1024, 2)` is the paper's
+    /// L1 (256 sets × 2 ways).
+    pub fn from_capacity(capacity_bytes: usize, ways: usize) -> Self {
+        let blocks = capacity_bytes / crate::addr::BLOCK_BYTES;
+        assert!(blocks.is_multiple_of(ways), "capacity not divisible by ways");
+        Self::new(blocks / ways, ways)
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    #[inline]
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() as usize) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    /// Looks up `block`; returns its way on hit (does not touch PLRU).
+    pub fn probe(&self, block: BlockAddr) -> Option<usize> {
+        let set = self.set_of(block);
+        (0..self.ways).find(|&w| {
+            self.lines[self.slot(set, w)]
+                .as_ref()
+                .is_some_and(|l| l.block == block)
+        })
+    }
+
+    /// Immutable access to a resident line.
+    pub fn get(&self, block: BlockAddr) -> Option<&Line<M>> {
+        let way = self.probe(block)?;
+        self.lines[self.slot(self.set_of(block), way)].as_ref()
+    }
+
+    /// Mutable access to a resident line (does not touch PLRU; call
+    /// [`SetAssocCache::touch`] for accesses that should update recency).
+    pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut Line<M>> {
+        let way = self.probe(block)?;
+        let slot = self.slot(self.set_of(block), way);
+        self.lines[slot].as_mut()
+    }
+
+    /// Marks `block` most-recently-used. No-op if not resident.
+    pub fn touch(&mut self, block: BlockAddr) {
+        if let Some(way) = self.probe(block) {
+            let set = self.set_of(block);
+            self.plru[set].touch(self.ways, way);
+        }
+    }
+
+    /// Classifies what an insertion of `block` would need: hit, free way,
+    /// or eviction of the PLRU victim.
+    pub fn lookup_for_insert(&self, block: BlockAddr) -> LookupResult {
+        let set = self.set_of(block);
+        if let Some(way) = self.probe(block) {
+            return LookupResult::Hit { way };
+        }
+        if let Some(way) = (0..self.ways).find(|&w| self.lines[self.slot(set, w)].is_none()) {
+            return LookupResult::Free { way };
+        }
+        let way = self.plru[set].victim(self.ways);
+        let victim = self.lines[self.slot(set, way)]
+            .as_ref()
+            .expect("full set has a line in every way")
+            .block;
+        LookupResult::Victim { way, block: victim }
+    }
+
+    /// Like [`SetAssocCache::lookup_for_insert`], but never proposes a
+    /// victim for which `pinned` returns true (lines with in-flight
+    /// transactions in the directory). Prefers the pseudo-LRU victim when
+    /// eligible, otherwise any unpinned line. Returns `None` when the set
+    /// is full and every line is pinned — the caller must stall.
+    pub fn lookup_for_insert_excluding(
+        &self,
+        block: BlockAddr,
+        pinned: impl Fn(BlockAddr) -> bool,
+    ) -> Option<LookupResult> {
+        match self.lookup_for_insert(block) {
+            r @ (LookupResult::Hit { .. } | LookupResult::Free { .. }) => Some(r),
+            LookupResult::Victim { way, block: victim } if !pinned(victim) => {
+                Some(LookupResult::Victim { way, block: victim })
+            }
+            LookupResult::Victim { .. } => {
+                let set = self.set_of(block);
+                (0..self.ways).find_map(|w| {
+                    let line = self.lines[self.slot(set, w)].as_ref()?;
+                    (!pinned(line.block)).then_some(LookupResult::Victim {
+                        way: w,
+                        block: line.block,
+                    })
+                })
+            }
+        }
+    }
+
+    /// Inserts (or replaces) a line for `block` at `way` and touches it.
+    /// Returns the displaced line, if any.
+    pub fn insert_at(
+        &mut self,
+        way: usize,
+        block: BlockAddr,
+        meta: M,
+        data: BlockData,
+    ) -> Option<Line<M>> {
+        let set = self.set_of(block);
+        let slot = self.slot(set, way);
+        let old = self.lines[slot].replace(Line { block, meta, data });
+        self.plru[set].touch(self.ways, way);
+        old
+    }
+
+    /// Removes `block` from the cache, returning its line.
+    pub fn remove(&mut self, block: BlockAddr) -> Option<Line<M>> {
+        let way = self.probe(block)?;
+        let slot = self.slot(self.set_of(block), way);
+        self.lines[slot].take()
+    }
+
+    /// Iterates over all resident lines.
+    pub fn iter(&self) -> impl Iterator<Item = &Line<M>> {
+        self.lines.iter().filter_map(|l| l.as_ref())
+    }
+
+    /// Iterates mutably over all resident lines.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut Line<M>> {
+        self.lines.iter_mut().filter_map(|l| l.as_mut())
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blk(n: u64) -> BlockAddr {
+        BlockAddr(n)
+    }
+
+    #[test]
+    fn hit_free_victim_classification() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(4, 2);
+        // Blocks 0, 4, 8 all map to set 0.
+        assert_eq!(c.lookup_for_insert(blk(0)), LookupResult::Free { way: 0 });
+        c.insert_at(0, blk(0), 1, BlockData::zeroed());
+        assert_eq!(c.lookup_for_insert(blk(0)), LookupResult::Hit { way: 0 });
+        assert_eq!(c.lookup_for_insert(blk(4)), LookupResult::Free { way: 1 });
+        c.insert_at(1, blk(4), 2, BlockData::zeroed());
+        // Set full; way 0 holds the older block 0.
+        c.touch(blk(4));
+        assert_eq!(
+            c.lookup_for_insert(blk(8)),
+            LookupResult::Victim {
+                way: 0,
+                block: blk(0)
+            }
+        );
+    }
+
+    #[test]
+    fn from_capacity_matches_paper_geometry() {
+        let l1: SetAssocCache<()> = SetAssocCache::from_capacity(32 * 1024, 2);
+        assert_eq!(l1.sets(), 256);
+        assert_eq!(l1.ways(), 2);
+        let l2: SetAssocCache<()> = SetAssocCache::from_capacity(128 * 1024, 8);
+        assert_eq!(l2.sets(), 256);
+        assert_eq!(l2.ways(), 8);
+    }
+
+    #[test]
+    fn insert_remove_round_trip() {
+        let mut c: SetAssocCache<&'static str> = SetAssocCache::new(8, 2);
+        let mut d = BlockData::zeroed();
+        d.write_word(0, 8, 42);
+        c.insert_at(0, blk(3), "meta", d);
+        assert_eq!(c.get(blk(3)).unwrap().meta, "meta");
+        assert_eq!(c.get(blk(3)).unwrap().data.read_word(0, 8), 42);
+        let line = c.remove(blk(3)).unwrap();
+        assert_eq!(line.block, blk(3));
+        assert!(c.get(blk(3)).is_none());
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn different_sets_do_not_interfere() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(4, 2);
+        for n in 0..4 {
+            c.insert_at(0, blk(n), 0, BlockData::zeroed());
+        }
+        for n in 0..4 {
+            assert!(c.get(blk(n)).is_some());
+        }
+        assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent_in_two_way() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(1, 2);
+        c.insert_at(0, blk(0), 0, BlockData::zeroed());
+        c.insert_at(1, blk(1), 0, BlockData::zeroed());
+        c.touch(blk(0)); // 1 is now LRU
+        match c.lookup_for_insert(blk(2)) {
+            LookupResult::Victim { block, .. } => assert_eq!(block, blk(1)),
+            other => panic!("expected victim, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn excluding_lookup_skips_pinned_victims() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(1, 2);
+        c.insert_at(0, blk(0), 0, BlockData::zeroed());
+        c.insert_at(1, blk(1), 0, BlockData::zeroed());
+        // PLRU victim is block 0; pin it and the other line is offered.
+        c.touch(blk(1));
+        match c.lookup_for_insert_excluding(blk(2), |b| b == blk(0)) {
+            Some(LookupResult::Victim { block, .. }) => assert_eq!(block, blk(1)),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Everything pinned: stall.
+        assert!(c.lookup_for_insert_excluding(blk(2), |_| true).is_none());
+        // Hit and free results pass through untouched.
+        assert_eq!(
+            c.lookup_for_insert_excluding(blk(0), |_| true),
+            Some(LookupResult::Hit { way: 0 })
+        );
+    }
+
+    #[test]
+    fn get_mut_allows_in_place_update() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(2, 2);
+        c.insert_at(0, blk(0), 7, BlockData::zeroed());
+        c.get_mut(blk(0)).unwrap().data.write_word(8, 4, 0x55);
+        c.get_mut(blk(0)).unwrap().meta = 9;
+        assert_eq!(c.get(blk(0)).unwrap().data.read_word(8, 4), 0x55);
+        assert_eq!(c.get(blk(0)).unwrap().meta, 9);
+    }
+}

@@ -1,0 +1,136 @@
+//! Sparse, byte-accurate main memory.
+//!
+//! The paper's machine has 2 GB of DDR3; the simulator backs it with a hash
+//! map of touched blocks so address-space size costs nothing. Unwritten
+//! memory reads as zero (gem5's functional memory behaves the same way).
+
+use std::collections::HashMap;
+
+use crate::addr::{Addr, BlockAddr, BLOCK_BYTES};
+use crate::block::BlockData;
+
+/// Sparse main-memory model with block-granularity timing accesses and
+/// byte-granularity functional ("backdoor") accesses for loading inputs and
+/// reading back results.
+#[derive(Debug, Default)]
+pub struct Dram {
+    blocks: HashMap<u64, BlockData>,
+}
+
+impl Dram {
+    /// Empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a whole block (timing path: used by the memory controllers).
+    pub fn read_block(&self, block: BlockAddr) -> BlockData {
+        self.blocks
+            .get(&block.index())
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Writes a whole block (timing path).
+    pub fn write_block(&mut self, block: BlockAddr, data: BlockData) {
+        self.blocks.insert(block.index(), data);
+    }
+
+    /// Functional byte write, used to load workload inputs before the
+    /// simulation starts. Never touches timing or energy statistics.
+    pub fn backdoor_write(&mut self, addr: Addr, bytes: &[u8]) {
+        let mut a = addr;
+        let mut remaining = bytes;
+        while !remaining.is_empty() {
+            let off = a.offset();
+            let n = (BLOCK_BYTES - off).min(remaining.len());
+            let block = self.blocks.entry(a.block().index()).or_default();
+            block.as_bytes_mut()[off..off + n].copy_from_slice(&remaining[..n]);
+            remaining = &remaining[n..];
+            a = a.add(n as u64);
+        }
+    }
+
+    /// Functional byte read, used to extract results after the simulation.
+    pub fn backdoor_read(&self, addr: Addr, out: &mut [u8]) {
+        let mut a = addr;
+        let mut remaining: &mut [u8] = out;
+        while !remaining.is_empty() {
+            let off = a.offset();
+            let n = (BLOCK_BYTES - off).min(remaining.len());
+            let block = self.read_block(a.block());
+            remaining[..n].copy_from_slice(&block.as_bytes()[off..off + n]);
+            remaining = &mut remaining[n..];
+            a = a.add(n as u64);
+        }
+    }
+
+    /// Functional typed write helpers.
+    pub fn backdoor_write_word(&mut self, addr: Addr, size: usize, value: u64) {
+        assert!(addr.fits_in_block(size), "backdoor word crosses block");
+        let block = self.blocks.entry(addr.block().index()).or_default();
+        block.write_word(addr.offset(), size, value);
+    }
+
+    /// Functional typed read helper.
+    pub fn backdoor_read_word(&self, addr: Addr, size: usize) -> u64 {
+        assert!(addr.fits_in_block(size), "backdoor word crosses block");
+        self.read_block(addr.block()).read_word(addr.offset(), size)
+    }
+
+    /// Number of blocks ever touched (for memory-footprint reporting).
+    pub fn touched_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_memory_is_zero() {
+        let d = Dram::new();
+        assert_eq!(d.read_block(BlockAddr(123)), BlockData::zeroed());
+        assert_eq!(d.backdoor_read_word(Addr(0x8000), 8), 0);
+    }
+
+    #[test]
+    fn block_write_read_round_trip() {
+        let mut d = Dram::new();
+        let mut b = BlockData::zeroed();
+        b.write_word(0, 8, 0xDEAD);
+        d.write_block(BlockAddr(5), b);
+        assert_eq!(d.read_block(BlockAddr(5)).read_word(0, 8), 0xDEAD);
+    }
+
+    #[test]
+    fn backdoor_spans_block_boundaries() {
+        let mut d = Dram::new();
+        let payload: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        d.backdoor_write(Addr(0x1030), &payload); // straddles 4 blocks
+        let mut out = vec![0u8; 200];
+        d.backdoor_read(Addr(0x1030), &mut out);
+        assert_eq!(out, payload);
+        // And the surrounding bytes stayed zero.
+        assert_eq!(d.backdoor_read_word(Addr(0x1028), 8), 0);
+    }
+
+    #[test]
+    fn backdoor_word_helpers() {
+        let mut d = Dram::new();
+        d.backdoor_write_word(Addr(0x2004), 4, 0xABCD_EF01);
+        assert_eq!(d.backdoor_read_word(Addr(0x2004), 4), 0xABCD_EF01);
+        // Same data visible through the timing path.
+        assert_eq!(d.read_block(Addr(0x2004).block()).read_word(4, 4), 0xABCD_EF01);
+    }
+
+    #[test]
+    fn touched_blocks_counts_unique() {
+        let mut d = Dram::new();
+        d.backdoor_write_word(Addr(0), 8, 1);
+        d.backdoor_write_word(Addr(8), 8, 2); // same block
+        d.backdoor_write_word(Addr(64), 8, 3); // next block
+        assert_eq!(d.touched_blocks(), 2);
+    }
+}

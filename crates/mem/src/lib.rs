@@ -1,0 +1,27 @@
+//! Data-accurate memory structures for the Ghostwriter CMP simulator.
+//!
+//! Unlike trace-driven cache models that track only tags, every structure
+//! here stores the actual 64-byte block contents. This is load-bearing for
+//! the Ghostwriter protocol: blocks in the approximate `GS`/`GI` states hold
+//! locally-modified values that are *hidden* from the rest of the machine,
+//! and stale values read from them feed back into the running computation —
+//! that is precisely how the paper's output error arises.
+//!
+//! Provided here:
+//! * [`addr`] — address arithmetic (block/line split, access widths);
+//! * [`block`] — the 64-byte [`block::BlockData`] with typed word access;
+//! * [`plru`] — tree pseudo-LRU replacement state;
+//! * [`cache`] — a generic set-associative cache array;
+//! * [`dram`] — a sparse, byte-accurate main-memory model.
+
+pub mod addr;
+pub mod block;
+pub mod cache;
+pub mod dram;
+pub mod plru;
+
+pub use addr::{Addr, BlockAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
+pub use block::BlockData;
+pub use cache::{Line, LookupResult, SetAssocCache};
+pub use dram::Dram;
+pub use plru::TreePlru;

@@ -1,0 +1,122 @@
+//! Tree pseudo-LRU replacement state, as used by the paper's L1 (2-way) and
+//! L2 (8-way) caches.
+//!
+//! A binary tree of direction bits sits over the ways of a set: each access
+//! flips the bits along the path to the accessed way to point *away* from
+//! it; the victim is found by following the bits from the root. For 2 ways
+//! this degenerates to true LRU (one bit); for 8 ways it is the classic
+//! 7-bit tree-PLRU.
+
+/// Tree-PLRU state for one cache set. Supports power-of-two associativity
+/// up to 64.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TreePlru {
+    /// Tree bits, node 1 is the root (heap layout; index 0 unused).
+    bits: u64,
+}
+
+impl TreePlru {
+    /// Fresh state: victim search walks all-zero bits to way 0.
+    pub fn new() -> Self {
+        Self { bits: 0 }
+    }
+
+    #[inline]
+    fn levels(ways: usize) -> u32 {
+        debug_assert!(ways.is_power_of_two() && (1..=64).contains(&ways));
+        ways.trailing_zeros()
+    }
+
+    /// Marks `way` as most-recently used in a set of `ways` ways.
+    #[inline]
+    pub fn touch(&mut self, ways: usize, way: usize) {
+        debug_assert!(way < ways);
+        let levels = Self::levels(ways);
+        let mut node = 1usize;
+        for level in (0..levels).rev() {
+            let go_right = (way >> level) & 1 == 1;
+            // Point the bit away from the accessed child.
+            if go_right {
+                self.bits &= !(1 << node); // 0 = "left is older"
+            } else {
+                self.bits |= 1 << node; // 1 = "right is older"
+            }
+            node = node * 2 + usize::from(go_right);
+        }
+    }
+
+    /// Returns the pseudo-least-recently-used way of a set of `ways` ways.
+    #[inline]
+    pub fn victim(&self, ways: usize) -> usize {
+        let levels = Self::levels(ways);
+        let mut node = 1usize;
+        let mut way = 0usize;
+        for _ in 0..levels {
+            let bit = (self.bits >> node) & 1;
+            way = (way << 1) | bit as usize;
+            node = node * 2 + bit as usize;
+        }
+        way
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_way_is_true_lru() {
+        let mut p = TreePlru::new();
+        p.touch(2, 0);
+        assert_eq!(p.victim(2), 1);
+        p.touch(2, 1);
+        assert_eq!(p.victim(2), 0);
+        p.touch(2, 0);
+        assert_eq!(p.victim(2), 1);
+    }
+
+    #[test]
+    fn victim_never_most_recent() {
+        for ways in [2usize, 4, 8, 16] {
+            let mut p = TreePlru::new();
+            for i in 0..1000 {
+                let w = (i * 7 + 3) % ways;
+                p.touch(ways, w);
+                assert_ne!(p.victim(ways), w, "ways={ways} touch={w}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_touch_cycles_victims() {
+        // Touching ways 0..8 in order leaves way 0 as the PLRU victim.
+        let mut p = TreePlru::new();
+        for w in 0..8 {
+            p.touch(8, w);
+        }
+        assert_eq!(p.victim(8), 0);
+    }
+
+    #[test]
+    fn eight_way_victim_avoids_recently_touched_half() {
+        // Tree-PLRU guarantees the victim lies outside the most recently
+        // touched subtree: touch only ways 0..4 and the victim must come
+        // from ways 4..8, and vice versa.
+        let mut p = TreePlru::new();
+        for w in 0..4 {
+            p.touch(8, w);
+        }
+        assert!(p.victim(8) >= 4, "victim {} in touched half", p.victim(8));
+        let mut q = TreePlru::new();
+        for w in 4..8 {
+            q.touch(8, w);
+        }
+        assert!(q.victim(8) < 4, "victim {} in touched half", q.victim(8));
+    }
+
+    #[test]
+    fn fresh_state_victim_is_zero() {
+        assert_eq!(TreePlru::new().victim(8), 0);
+        assert_eq!(TreePlru::new().victim(2), 0);
+    }
+}

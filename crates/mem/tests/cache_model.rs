@@ -1,0 +1,102 @@
+//! Property test: the set-associative cache behaves like a bounded map —
+//! checked against a HashMap oracle under random operation sequences.
+
+use ghostwriter_mem::{BlockAddr, BlockData, LookupResult, SetAssocCache};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Remove(u64),
+    Touch(u64),
+    WriteWord(u64, usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u64..64, any::<u64>()).prop_map(|(b, v)| Op::Insert(b, v)),
+        (0u64..64).prop_map(Op::Remove),
+        (0u64..64).prop_map(Op::Touch),
+        (0u64..64, 0usize..8, any::<u64>()).prop_map(|(b, w, v)| Op::WriteWord(b, w * 8, v)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn cache_matches_oracle(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut cache: SetAssocCache<u8> = SetAssocCache::new(4, 2);
+        let mut oracle: HashMap<u64, BlockData> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(b, v) => {
+                    let block = BlockAddr(b);
+                    let mut data = BlockData::zeroed();
+                    data.write_word(0, 8, v);
+                    match cache.lookup_for_insert(block) {
+                        LookupResult::Hit { way } | LookupResult::Free { way } => {
+                            cache.insert_at(way, block, 0, data);
+                        }
+                        LookupResult::Victim { way, block: victim } => {
+                            oracle.remove(&victim.index());
+                            cache.insert_at(way, block, 0, data);
+                        }
+                    }
+                    oracle.insert(b, data);
+                }
+                Op::Remove(b) => {
+                    let c = cache.remove(BlockAddr(b)).map(|l| l.data);
+                    let o = oracle.remove(&b);
+                    prop_assert_eq!(c.is_some(), o.is_some());
+                    if let (Some(c), Some(o)) = (c, o) {
+                        prop_assert_eq!(c, o);
+                    }
+                }
+                Op::Touch(b) => cache.touch(BlockAddr(b)),
+                Op::WriteWord(b, off, v) => {
+                    if let Some(line) = cache.get_mut(BlockAddr(b)) {
+                        line.data.write_word(off, 8, v);
+                        oracle.get_mut(&b).expect("oracle in sync").write_word(off, 8, v);
+                    } else {
+                        prop_assert!(!oracle.contains_key(&b));
+                    }
+                }
+            }
+            // Full-state agreement after every step.
+            prop_assert_eq!(cache.occupancy(), oracle.len());
+            for (b, data) in &oracle {
+                let line = cache.get(BlockAddr(*b));
+                prop_assert!(line.is_some(), "oracle block {} missing from cache", b);
+                prop_assert_eq!(&line.unwrap().data, data);
+            }
+        }
+    }
+
+    /// A set never holds more lines than its associativity, and victims
+    /// always come from the right set.
+    #[test]
+    fn victims_come_from_the_probed_set(blocks in proptest::collection::vec(0u64..256, 1..64)) {
+        let mut cache: SetAssocCache<()> = SetAssocCache::new(8, 2);
+        for b in blocks {
+            let block = BlockAddr(b);
+            match cache.lookup_for_insert(block) {
+                LookupResult::Hit { .. } => {}
+                LookupResult::Free { way } => {
+                    cache.insert_at(way, block, (), BlockData::zeroed());
+                }
+                LookupResult::Victim { way, block: victim } => {
+                    prop_assert_eq!(victim.index() % 8, b % 8, "victim from wrong set");
+                    cache.remove(victim);
+                    let way2 = match cache.lookup_for_insert(block) {
+                        LookupResult::Free { way } => way,
+                        r => return Err(TestCaseError::fail(format!("expected free way, got {r:?}"))),
+                    };
+                    prop_assert_eq!(way, way2);
+                    cache.insert_at(way2, block, (), BlockData::zeroed());
+                }
+            }
+        }
+        prop_assert!(cache.occupancy() <= 16);
+    }
+}

@@ -1,0 +1,25 @@
+//! Mesh network-on-chip model for the Ghostwriter CMP simulator.
+//!
+//! Reproduces the paper's Table 1 network: a 2-D mesh with dimension-order
+//! (XY) routing, a 1-cycle router and a 1-cycle link per hop, and four
+//! memory/directory controllers attached at the mesh corners.
+//!
+//! The model is *contention-free*: each message's latency is a pure
+//! function of its route, and the router/link traversals it performs are
+//! recorded as flit·hop counts that drive the DSENT-style energy model
+//! (see `ghostwriter-energy`). DESIGN.md §7.4 documents this substitution
+//! for gem5's Garnet.
+
+pub mod mesh;
+pub mod traffic;
+
+pub use mesh::{Mesh, NodeId};
+pub use traffic::{MessageKind, TrafficStats};
+
+/// Flits in a short control message (requests, invalidations, acks):
+/// one 16-byte flit carries address + command.
+pub const CONTROL_FLITS: u64 = 1;
+
+/// Flits in a data-bearing message: 8-byte header + 64-byte block payload
+/// in 16-byte flits.
+pub const DATA_FLITS: u64 = 5;

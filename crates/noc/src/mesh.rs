@@ -1,0 +1,238 @@
+//! Mesh topology and XY routing.
+
+/// A tile in the mesh. Every tile hosts a core + private L1 + one bank of
+/// the shared L2 (with its slice of directory state); the four corner tiles
+/// additionally host the memory controllers.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub usize);
+
+/// A `width × height` 2-D mesh with dimension-order routing.
+///
+/// ```
+/// use ghostwriter_noc::{Mesh, NodeId};
+/// let mesh = Mesh::with_paper_timing(6, 4); // the paper's 24 tiles
+/// assert_eq!(mesh.nodes(), 24);
+/// assert_eq!(mesh.hops(NodeId(0), NodeId(23)), 8);
+/// assert_eq!(mesh.corners().len(), 4);      // memory controllers
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mesh {
+    width: usize,
+    height: usize,
+    router_cycles: u64,
+    link_cycles: u64,
+}
+
+impl Mesh {
+    /// Creates a mesh. `router_cycles`/`link_cycles` are the per-hop router
+    /// and link traversal latencies (both 1 in the paper's Table 1).
+    pub fn new(width: usize, height: usize, router_cycles: u64, link_cycles: u64) -> Self {
+        assert!(width >= 1 && height >= 1, "mesh must be at least 1x1");
+        Self {
+            width,
+            height,
+            router_cycles,
+            link_cycles,
+        }
+    }
+
+    /// The paper's configuration: 1-cycle router, 1-cycle link.
+    pub fn with_paper_timing(width: usize, height: usize) -> Self {
+        Self::new(width, height, 1, 1)
+    }
+
+    /// Picks mesh dimensions for `nodes` tiles: the most square factoring,
+    /// preferring wider than tall (24 → 6×4).
+    pub fn dims_for(nodes: usize) -> (usize, usize) {
+        assert!(nodes >= 1);
+        let mut best = (nodes, 1);
+        let mut h = 1;
+        while h * h <= nodes {
+            if nodes.is_multiple_of(h) {
+                best = (nodes / h, h);
+            }
+            h += 1;
+        }
+        best
+    }
+
+    /// Mesh width (x extent).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Mesh height (y extent).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Total tiles.
+    pub fn nodes(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// (x, y) coordinates of a node.
+    #[inline]
+    pub fn coords(&self, node: NodeId) -> (usize, usize) {
+        debug_assert!(node.0 < self.nodes());
+        (node.0 % self.width, node.0 / self.width)
+    }
+
+    /// Node at (x, y).
+    #[inline]
+    pub fn node_at(&self, x: usize, y: usize) -> NodeId {
+        debug_assert!(x < self.width && y < self.height);
+        NodeId(y * self.width + x)
+    }
+
+    /// Manhattan hop count of the XY route from `src` to `dst`.
+    #[inline]
+    pub fn hops(&self, src: NodeId, dst: NodeId) -> u64 {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        (sx.abs_diff(dx) + sy.abs_diff(dy)) as u64
+    }
+
+    /// Number of router traversals on the route (XY routing visits one
+    /// router per tile on the path, including source and destination).
+    #[inline]
+    pub fn routers_on_route(&self, src: NodeId, dst: NodeId) -> u64 {
+        self.hops(src, dst) + 1
+    }
+
+    /// Contention-free message latency from `src` to `dst` in cycles:
+    /// one router traversal per visited tile plus one link per hop. A
+    /// message to the local tile still pays one router traversal
+    /// (injection/ejection through the local crossbar).
+    #[inline]
+    pub fn latency(&self, src: NodeId, dst: NodeId) -> u64 {
+        let hops = self.hops(src, dst);
+        (hops + 1) * self.router_cycles + hops * self.link_cycles
+    }
+
+    /// The sequence of tiles an XY-routed message traverses, in order
+    /// (x first, then y). Used for per-link traffic accounting and tests.
+    pub fn route(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let mut path = vec![src];
+        let mut x = sx;
+        let mut y = sy;
+        while x != dx {
+            x = if dx > x { x + 1 } else { x - 1 };
+            path.push(self.node_at(x, y));
+        }
+        while y != dy {
+            y = if dy > y { y + 1 } else { y - 1 };
+            path.push(self.node_at(x, y));
+        }
+        path
+    }
+
+    /// The four corner tiles (hosting the memory controllers, mirroring the
+    /// paper's "4 directory controllers at mesh corners").
+    pub fn corners(&self) -> Vec<NodeId> {
+        let mut cs = vec![
+            self.node_at(0, 0),
+            self.node_at(self.width - 1, 0),
+            self.node_at(0, self.height - 1),
+            self.node_at(self.width - 1, self.height - 1),
+        ];
+        cs.dedup();
+        cs.sort();
+        cs.dedup();
+        cs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_prefer_square() {
+        assert_eq!(Mesh::dims_for(24), (6, 4));
+        assert_eq!(Mesh::dims_for(16), (4, 4));
+        assert_eq!(Mesh::dims_for(8), (4, 2));
+        assert_eq!(Mesh::dims_for(4), (2, 2));
+        assert_eq!(Mesh::dims_for(1), (1, 1));
+        assert_eq!(Mesh::dims_for(7), (7, 1));
+    }
+
+    #[test]
+    fn coords_round_trip() {
+        let m = Mesh::with_paper_timing(6, 4);
+        for n in 0..24 {
+            let (x, y) = m.coords(NodeId(n));
+            assert_eq!(m.node_at(x, y), NodeId(n));
+        }
+    }
+
+    #[test]
+    fn hops_are_manhattan() {
+        let m = Mesh::with_paper_timing(6, 4);
+        assert_eq!(m.hops(m.node_at(0, 0), m.node_at(5, 3)), 8);
+        assert_eq!(m.hops(m.node_at(2, 1), m.node_at(2, 1)), 0);
+        assert_eq!(m.hops(m.node_at(1, 0), m.node_at(4, 0)), 3);
+    }
+
+    #[test]
+    fn latency_paper_timing() {
+        let m = Mesh::with_paper_timing(6, 4);
+        // Local delivery: one router traversal.
+        assert_eq!(m.latency(NodeId(0), NodeId(0)), 1);
+        // One hop: 2 routers + 1 link = 3 cycles.
+        assert_eq!(m.latency(m.node_at(0, 0), m.node_at(1, 0)), 3);
+        // Corner to corner: 8 hops -> 9 routers + 8 links = 17 cycles.
+        assert_eq!(m.latency(m.node_at(0, 0), m.node_at(5, 3)), 17);
+    }
+
+    #[test]
+    fn route_is_x_then_y() {
+        let m = Mesh::with_paper_timing(4, 4);
+        let path = m.route(m.node_at(0, 0), m.node_at(2, 2));
+        let expect: Vec<NodeId> = vec![
+            m.node_at(0, 0),
+            m.node_at(1, 0),
+            m.node_at(2, 0),
+            m.node_at(2, 1),
+            m.node_at(2, 2),
+        ];
+        assert_eq!(path, expect);
+    }
+
+    #[test]
+    fn route_length_matches_hops() {
+        let m = Mesh::with_paper_timing(6, 4);
+        for s in 0..24 {
+            for d in 0..24 {
+                let r = m.route(NodeId(s), NodeId(d));
+                assert_eq!(r.len() as u64, m.hops(NodeId(s), NodeId(d)) + 1);
+                assert_eq!(*r.first().unwrap(), NodeId(s));
+                assert_eq!(*r.last().unwrap(), NodeId(d));
+            }
+        }
+    }
+
+    #[test]
+    fn corners_of_paper_mesh() {
+        let m = Mesh::with_paper_timing(6, 4);
+        assert_eq!(
+            m.corners(),
+            vec![NodeId(0), NodeId(5), NodeId(18), NodeId(23)]
+        );
+    }
+
+    #[test]
+    fn corners_degenerate_meshes() {
+        assert_eq!(Mesh::with_paper_timing(1, 1).corners(), vec![NodeId(0)]);
+        assert_eq!(
+            Mesh::with_paper_timing(2, 1).corners(),
+            vec![NodeId(0), NodeId(1)]
+        );
+        assert_eq!(
+            Mesh::with_paper_timing(2, 2).corners(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+    }
+}

@@ -1,0 +1,185 @@
+//! Coherence-traffic accounting.
+//!
+//! Every message the protocol sends is classified into one of the paper's
+//! Fig. 8 buckets and its router/link traversals recorded; these feed both
+//! the traffic-reduction figure and the DSENT-style network energy model.
+
+use crate::mesh::{Mesh, NodeId};
+use crate::{CONTROL_FLITS, DATA_FLITS};
+
+/// The paper's Fig. 8 message classes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MessageKind {
+    /// Read-share requests.
+    Gets,
+    /// Read-exclusive requests.
+    Getx,
+    /// Shared→exclusive permission upgrades.
+    Upgrade,
+    /// Block-data transfers (demand data, forwarded data, writeback data).
+    Data,
+    /// Everything else: INV, acks, forwards, PUTs, unblocks, memory
+    /// messages.
+    Other,
+}
+
+impl MessageKind {
+    /// All classes in the paper's stacking order.
+    pub const ALL: [MessageKind; 5] = [
+        MessageKind::Other,
+        MessageKind::Data,
+        MessageKind::Gets,
+        MessageKind::Upgrade,
+        MessageKind::Getx,
+    ];
+
+    /// Flits in a message of this class.
+    #[inline]
+    pub fn flits(self) -> u64 {
+        match self {
+            MessageKind::Data => DATA_FLITS,
+            _ => CONTROL_FLITS,
+        }
+    }
+
+    /// Display label used by the figure harness.
+    pub fn label(self) -> &'static str {
+        match self {
+            MessageKind::Gets => "GETS",
+            MessageKind::Getx => "GETX",
+            MessageKind::Upgrade => "UPGRADE",
+            MessageKind::Data => "Data",
+            MessageKind::Other => "Other",
+        }
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        match self {
+            MessageKind::Gets => 0,
+            MessageKind::Getx => 1,
+            MessageKind::Upgrade => 2,
+            MessageKind::Data => 3,
+            MessageKind::Other => 4,
+        }
+    }
+}
+
+/// Accumulated network traffic for one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficStats {
+    counts: [u64; 5],
+    flit_hops: u64,
+    router_flits: u64,
+}
+
+impl TrafficStats {
+    /// Fresh, all-zero statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message of `kind` routed from `src` to `dst` on `mesh`;
+    /// returns the contention-free delivery latency in cycles.
+    pub fn record(&mut self, mesh: &Mesh, kind: MessageKind, src: NodeId, dst: NodeId) -> u64 {
+        let flits = kind.flits();
+        let hops = mesh.hops(src, dst);
+        self.counts[kind.idx()] += 1;
+        self.flit_hops += flits * hops;
+        self.router_flits += flits * mesh.routers_on_route(src, dst);
+        mesh.latency(src, dst)
+    }
+
+    /// Message count for one class.
+    pub fn count(&self, kind: MessageKind) -> u64 {
+        self.counts[kind.idx()]
+    }
+
+    /// Total messages of all classes.
+    pub fn total_messages(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total coherence *transactions* as the paper plots them in Fig. 8:
+    /// the sum over all message classes (each message is one transaction
+    /// edge in the protocol).
+    pub fn total(&self) -> u64 {
+        self.total_messages()
+    }
+
+    /// Flit·link-traversal count (drives link energy).
+    pub fn flit_hops(&self) -> u64 {
+        self.flit_hops
+    }
+
+    /// Flit·router-traversal count (drives router energy).
+    pub fn router_flits(&self) -> u64 {
+        self.router_flits
+    }
+
+    /// Merges another stats object into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for i in 0..5 {
+            self.counts[i] += other.counts[i];
+        }
+        self.flit_hops += other.flit_hops;
+        self.router_flits += other.router_flits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_counts_and_latency() {
+        let mesh = Mesh::with_paper_timing(4, 2);
+        let mut t = TrafficStats::new();
+        let lat = t.record(&mesh, MessageKind::Gets, NodeId(0), NodeId(3));
+        assert_eq!(lat, mesh.latency(NodeId(0), NodeId(3)));
+        assert_eq!(t.count(MessageKind::Gets), 1);
+        assert_eq!(t.count(MessageKind::Getx), 0);
+        // 3 hops × 1 flit.
+        assert_eq!(t.flit_hops(), 3);
+        assert_eq!(t.router_flits(), 4);
+    }
+
+    #[test]
+    fn data_messages_cost_five_flits() {
+        let mesh = Mesh::with_paper_timing(4, 2);
+        let mut t = TrafficStats::new();
+        t.record(&mesh, MessageKind::Data, NodeId(0), NodeId(1));
+        assert_eq!(t.flit_hops(), DATA_FLITS);
+        assert_eq!(t.router_flits(), 2 * DATA_FLITS);
+    }
+
+    #[test]
+    fn local_message_costs_router_but_no_link() {
+        let mesh = Mesh::with_paper_timing(2, 2);
+        let mut t = TrafficStats::new();
+        t.record(&mesh, MessageKind::Other, NodeId(2), NodeId(2));
+        assert_eq!(t.flit_hops(), 0);
+        assert_eq!(t.router_flits(), CONTROL_FLITS);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mesh = Mesh::with_paper_timing(2, 2);
+        let mut a = TrafficStats::new();
+        let mut b = TrafficStats::new();
+        a.record(&mesh, MessageKind::Getx, NodeId(0), NodeId(3));
+        b.record(&mesh, MessageKind::Getx, NodeId(3), NodeId(0));
+        b.record(&mesh, MessageKind::Upgrade, NodeId(1), NodeId(2));
+        a.merge(&b);
+        assert_eq!(a.count(MessageKind::Getx), 2);
+        assert_eq!(a.count(MessageKind::Upgrade), 1);
+        assert_eq!(a.total_messages(), 3);
+    }
+
+    #[test]
+    fn all_classes_have_distinct_labels() {
+        let labels: std::collections::HashSet<_> =
+            MessageKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 5);
+    }
+}

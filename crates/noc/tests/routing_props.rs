@@ -1,0 +1,80 @@
+//! Property tests for mesh routing.
+
+use ghostwriter_noc::{Mesh, MessageKind, NodeId, TrafficStats};
+use proptest::prelude::*;
+
+fn mesh_strategy() -> impl Strategy<Value = Mesh> {
+    (1usize..=8, 1usize..=8).prop_map(|(w, h)| Mesh::with_paper_timing(w, h))
+}
+
+proptest! {
+    /// Routes start at the source, end at the destination, and take
+    /// exactly `hops` links, each between mesh neighbours.
+    #[test]
+    fn routes_are_connected_neighbour_paths(mesh in mesh_strategy(), s in 0usize..64, d in 0usize..64) {
+        let src = NodeId(s % mesh.nodes());
+        let dst = NodeId(d % mesh.nodes());
+        let route = mesh.route(src, dst);
+        prop_assert_eq!(route[0], src);
+        prop_assert_eq!(*route.last().unwrap(), dst);
+        prop_assert_eq!(route.len() as u64, mesh.hops(src, dst) + 1);
+        for hop in route.windows(2) {
+            let (ax, ay) = mesh.coords(hop[0]);
+            let (bx, by) = mesh.coords(hop[1]);
+            prop_assert_eq!(ax.abs_diff(bx) + ay.abs_diff(by), 1, "non-neighbour hop");
+        }
+    }
+
+    /// Hop counts are symmetric and satisfy the triangle inequality.
+    #[test]
+    fn hops_form_a_metric(mesh in mesh_strategy(), a in 0usize..64, b in 0usize..64, c in 0usize..64) {
+        let (a, b, c) = (
+            NodeId(a % mesh.nodes()),
+            NodeId(b % mesh.nodes()),
+            NodeId(c % mesh.nodes()),
+        );
+        prop_assert_eq!(mesh.hops(a, b), mesh.hops(b, a));
+        prop_assert_eq!(mesh.hops(a, a), 0);
+        prop_assert!(mesh.hops(a, c) <= mesh.hops(a, b) + mesh.hops(b, c));
+    }
+
+    /// XY routing is deterministic and dimension-ordered: the route
+    /// never moves in Y before X is resolved.
+    #[test]
+    fn xy_routing_is_dimension_ordered(mesh in mesh_strategy(), s in 0usize..64, d in 0usize..64) {
+        let src = NodeId(s % mesh.nodes());
+        let dst = NodeId(d % mesh.nodes());
+        let route = mesh.route(src, dst);
+        let (dx, _) = mesh.coords(dst);
+        let mut seen_y_move = false;
+        for hop in route.windows(2) {
+            let (ax, ay) = mesh.coords(hop[0]);
+            let (bx, by) = mesh.coords(hop[1]);
+            if ay != by {
+                seen_y_move = true;
+                prop_assert_eq!(ax, dx, "Y move before X resolved");
+            }
+            if ax != bx {
+                prop_assert!(!seen_y_move, "X move after Y started");
+            }
+        }
+    }
+
+    /// Traffic accounting: total flit-hops equals the sum of per-message
+    /// flits × hops, independent of recording order.
+    #[test]
+    fn traffic_is_order_independent(mesh in mesh_strategy(), msgs in proptest::collection::vec((0usize..64, 0usize..64, any::<bool>()), 1..32)) {
+        let record_all = |order: &[(usize, usize, bool)]| {
+            let mut t = TrafficStats::new();
+            for &(s, d, data) in order {
+                let kind = if data { MessageKind::Data } else { MessageKind::Gets };
+                t.record(&mesh, kind, NodeId(s % mesh.nodes()), NodeId(d % mesh.nodes()));
+            }
+            (t.flit_hops(), t.router_flits(), t.total_messages())
+        };
+        let fwd = record_all(&msgs);
+        let mut rev = msgs.clone();
+        rev.reverse();
+        prop_assert_eq!(fwd, record_all(&rev));
+    }
+}

@@ -1,0 +1,266 @@
+//! Execution-driven thread harness.
+//!
+//! Each simulated thread runs as a real OS thread. Every operation against
+//! the simulated machine is a *rendezvous*: the workload thread sends an
+//! operation over a zero-capacity channel and blocks until the engine
+//! replies. The engine pulls the next operation of a core only when that
+//! core is architecturally ready, so the interleaving of operations — and
+//! hence the whole simulation — is decided entirely by the (deterministic)
+//! engine, never by the OS scheduler.
+//!
+//! Workload closures are given a [`ThreadPort`] through which higher layers
+//! (the `ThreadCtx` API in `ghostwriter-core`) issue operations.
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::thread::JoinHandle;
+
+/// Engine-side view of one workload thread.
+pub struct EngineSide<Op, Reply> {
+    op_rx: Receiver<Op>,
+    reply_tx: Sender<Reply>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// Workload-side half of the rendezvous: issue an operation, block for the
+/// reply.
+pub struct ThreadPort<Op, Reply> {
+    op_tx: Sender<Op>,
+    reply_rx: Receiver<Reply>,
+    tid: usize,
+}
+
+impl<Op, Reply> ThreadPort<Op, Reply> {
+    /// Identifier of this simulated thread (== core index it runs on).
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// Sends `op` to the engine and blocks until the engine replies.
+    ///
+    /// # Panics
+    /// Panics if the engine has gone away (simulation aborted).
+    pub fn call(&self, op: Op) -> Reply {
+        self.op_tx
+            .send(op)
+            .expect("simulation engine dropped while thread still running");
+        self.reply_rx
+            .recv()
+            .expect("simulation engine dropped while thread awaiting reply")
+    }
+
+    /// Sends `op` without waiting for a reply (used for the final
+    /// end-of-thread notification).
+    pub fn send_oneway(&self, op: Op) {
+        // The engine may already have dropped its receiver when tearing
+        // down after an error; the notification is then moot.
+        let _ = self.op_tx.send(op);
+    }
+}
+
+/// Spawns and tracks the OS threads backing the simulated threads.
+///
+/// `Op` must provide a "thread finished" marker (via the `finish` closure
+/// given at spawn time) so the engine can tell voluntary completion apart
+/// from a wedged thread, and a "thread panicked" marker for diagnostics.
+pub struct ThreadHarness<Op, Reply> {
+    threads: Vec<EngineSide<Op, Reply>>,
+}
+
+impl<Op: Send + 'static, Reply: Send + 'static> Default for ThreadHarness<Op, Reply> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Op: Send + 'static, Reply: Send + 'static> ThreadHarness<Op, Reply> {
+    /// Creates an empty harness.
+    pub fn new() -> Self {
+        Self {
+            threads: Vec::new(),
+        }
+    }
+
+    /// Number of spawned threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// True if no threads were spawned.
+    pub fn is_empty(&self) -> bool {
+        self.threads.is_empty()
+    }
+
+    /// Spawns a workload thread. `body` runs on a fresh OS thread with a
+    /// [`ThreadPort`]; when it returns (or panics) the marker produced by
+    /// `on_exit` is sent to the engine as the thread's last operation.
+    ///
+    /// Returns the thread id (index).
+    pub fn spawn<F, X>(&mut self, body: F, on_exit: X) -> usize
+    where
+        F: FnOnce(&ThreadPort<Op, Reply>) + Send + 'static,
+        X: FnOnce(Option<String>) -> Op + Send + 'static,
+    {
+        let tid = self.threads.len();
+        // Zero-capacity channels: both directions rendezvous.
+        let (op_tx, op_rx) = bounded::<Op>(0);
+        let (reply_tx, reply_rx) = bounded::<Reply>(0);
+        let port = ThreadPort {
+            op_tx,
+            reply_rx,
+            tid,
+        };
+        let join = std::thread::Builder::new()
+            .name(format!("gw-sim-thread-{tid}"))
+            .spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| body(&port)));
+                let failure = result.err().map(|payload| {
+                    payload
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "<non-string panic payload>".to_string())
+                });
+                port.send_oneway(on_exit(failure));
+            })
+            .expect("failed to spawn simulated thread");
+        self.threads.push(EngineSide {
+            op_rx,
+            reply_tx,
+            join: Some(join),
+        });
+        tid
+    }
+
+    /// Blocks until thread `tid` submits its next operation.
+    ///
+    /// This is the engine's rendezvous point: it must only be called when
+    /// the simulated core is ready for the thread's next instruction.
+    pub fn next_op(&self, tid: usize) -> Op {
+        self.threads[tid]
+            .op_rx
+            .recv()
+            .expect("workload thread hung up without sending exit marker")
+    }
+
+    /// Delivers `reply` to thread `tid`, unblocking its pending `call`.
+    pub fn reply(&self, tid: usize, reply: Reply) {
+        self.threads[tid]
+            .reply_tx
+            .send(reply)
+            .expect("workload thread dropped its reply receiver");
+    }
+
+    /// Joins all OS threads. Call after every thread has sent its exit
+    /// marker; joining earlier deadlocks.
+    pub fn join_all(&mut self) {
+        for t in &mut self.threads {
+            if let Some(h) = t.join.take() {
+                h.join().expect("workload thread panicked after exit marker");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Op {
+        Add(u64),
+        Exit(Option<String>),
+    }
+
+    #[test]
+    fn rendezvous_round_trip() {
+        let mut h: ThreadHarness<Op, u64> = ThreadHarness::new();
+        let tid = h.spawn(
+            |port| {
+                let mut acc = 0;
+                for i in 1..=5 {
+                    acc = port.call(Op::Add(i));
+                }
+                assert_eq!(acc, 15);
+            },
+            Op::Exit,
+        );
+        let mut sum = 0;
+        loop {
+            match h.next_op(tid) {
+                Op::Add(x) => {
+                    sum += x;
+                    h.reply(tid, sum);
+                }
+                Op::Exit(err) => {
+                    assert!(err.is_none());
+                    break;
+                }
+            }
+        }
+        assert_eq!(sum, 15);
+        h.join_all();
+    }
+
+    #[test]
+    fn engine_controls_interleaving() {
+        // Two threads; engine alternates strictly. The observed sequence
+        // must follow the engine's schedule, not the OS scheduler's whim.
+        let mut h: ThreadHarness<Op, u64> = ThreadHarness::new();
+        for _ in 0..2 {
+            h.spawn(
+                |port| {
+                    for i in 0..10 {
+                        port.call(Op::Add(i));
+                    }
+                },
+                Op::Exit,
+            );
+        }
+        let mut log = Vec::new();
+        let mut done = [false; 2];
+        let mut turn = 0;
+        while !(done[0] && done[1]) {
+            if done[turn] {
+                turn = 1 - turn;
+                continue;
+            }
+            match h.next_op(turn) {
+                Op::Add(x) => {
+                    log.push((turn, x));
+                    h.reply(turn, 0);
+                }
+                Op::Exit(_) => done[turn] = true,
+            }
+            turn = 1 - turn;
+        }
+        // Strict alternation while both alive.
+        for pair in log.chunks(2).take(10) {
+            if pair.len() == 2 {
+                assert_ne!(pair[0].0, pair[1].0);
+            }
+        }
+        h.join_all();
+    }
+
+    #[test]
+    fn panic_in_workload_reported_via_exit_marker() {
+        let mut h: ThreadHarness<Op, u64> = ThreadHarness::new();
+        let tid = h.spawn(
+            |port| {
+                port.call(Op::Add(1));
+                panic!("boom in workload");
+            },
+            Op::Exit,
+        );
+        match h.next_op(tid) {
+            Op::Add(_) => h.reply(tid, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+        match h.next_op(tid) {
+            Op::Exit(Some(msg)) => assert!(msg.contains("boom in workload")),
+            other => panic!("unexpected {other:?}"),
+        }
+        h.join_all();
+    }
+}

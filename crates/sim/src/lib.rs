@@ -1,0 +1,26 @@
+//! Deterministic discrete-event simulation kernel for the Ghostwriter CMP
+//! simulator.
+//!
+//! This crate provides the two pieces of machinery every component of the
+//! simulated machine is built on:
+//!
+//! * [`EventQueue`] — a time-ordered event queue with deterministic FIFO
+//!   ordering for events scheduled at the same cycle, so a simulation run is
+//!   a pure function of its inputs.
+//! * [`harness`] — the execution-driven thread harness. Simulated threads
+//!   run as real OS threads; every operation they perform against the
+//!   simulated machine is a rendezvous with the single-threaded engine, so
+//!   workload computation costs wall-clock time but zero simulated time.
+//!
+//! The kernel knows nothing about caches or coherence; those live in
+//! `ghostwriter-core`.
+
+pub mod harness;
+pub mod queue;
+
+pub use harness::{ThreadHarness, ThreadPort};
+pub use queue::EventQueue;
+
+/// Simulated time, measured in core clock cycles (1 GHz in the paper's
+/// configuration, so one cycle is one nanosecond).
+pub type Cycle = u64;

@@ -1,0 +1,240 @@
+//! Deterministic time-ordered event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// An entry in the queue: ordered by `(time, seq)` so that two events
+/// scheduled for the same cycle pop in the order they were pushed. This is
+/// what makes whole-machine simulation deterministic: the heap alone would
+/// break ties arbitrarily.
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// A min-heap of events keyed by simulated cycle, FIFO within a cycle.
+///
+/// ```
+/// use ghostwriter_sim::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.push(10, "b");
+/// q.push(5, "a");
+/// q.push(10, "c");
+/// assert_eq!(q.pop(), Some((5, "a")));
+/// assert_eq!(q.pop(), Some((10, "b")));
+/// assert_eq!(q.pop(), Some((10, "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    next_seq: u64,
+    /// Time of the most recently popped event; pushes in the past are a bug.
+    now: Cycle,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at cycle 0.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Schedules `event` at absolute cycle `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is in the past (before the last popped event) —
+    /// scheduling backwards in time is always a component bug.
+    pub fn push(&mut self, time: Cycle, event: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: t={time} < now={}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, event }));
+    }
+
+    /// Schedules `event` `delay` cycles after the current time.
+    pub fn push_after(&mut self, delay: Cycle, event: E) {
+        self.push(self.now + delay, event);
+    }
+
+    /// Pops the earliest event, advancing the simulated clock to its time.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(entry) = self.heap.pop()?;
+        debug_assert!(entry.time >= self.now);
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+
+    /// Peeks at the time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, 3);
+        q.push(10, 1);
+        q.push(20, 2);
+        assert_eq!(q.pop(), Some((10, 1)));
+        assert_eq!(q.pop(), Some((20, 2)));
+        assert_eq!(q.pop(), Some((30, 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_cycle() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.now(), 0);
+        q.push(5, ());
+        q.pop();
+        assert_eq!(q.now(), 5);
+        q.push_after(3, ());
+        assert_eq!(q.pop(), Some((8, ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn push_in_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(10, ());
+        q.pop();
+        q.push(5, ());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, 0);
+        q.push(2, 0);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        assert_eq!(q.peek_time(), Some(1));
+    }
+
+    #[test]
+    fn interleaved_push_pop_is_deterministic() {
+        // Two identical interleavings must yield identical pop sequences.
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut out = Vec::new();
+            q.push(0, 0u32);
+            q.push(0, 1);
+            while let Some((t, v)) = q.pop() {
+                out.push((t, v));
+                if v < 6 {
+                    q.push(t + (v as u64 % 3), v + 2);
+                }
+            }
+            out
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Pops come out sorted by time, FIFO within a time, regardless
+        /// of push order — checked against a stable-sort oracle.
+        #[test]
+        fn pops_match_stable_sort_oracle(times in proptest::collection::vec(0u64..50, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.push(t, i);
+            }
+            let mut oracle: Vec<(u64, usize)> = times.iter().copied().zip(0..).collect();
+            oracle.sort_by_key(|&(t, _)| t); // stable: preserves push order
+            let mut popped = Vec::new();
+            while let Some(p) = q.pop() {
+                popped.push(p);
+            }
+            prop_assert_eq!(popped, oracle);
+        }
+
+        /// Interleaved push/pop never violates the clock monotonicity.
+        #[test]
+        fn clock_is_monotone(ops in proptest::collection::vec((0u64..20, any::<bool>()), 1..100)) {
+            let mut q = EventQueue::new();
+            let mut last = 0;
+            for (delay, do_pop) in ops {
+                q.push_after(delay, ());
+                if do_pop {
+                    if let Some((t, ())) = q.pop() {
+                        prop_assert!(t >= last);
+                        last = t;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! The paper's running example (§2, Listings 1 & 2): parallel dot product.
+//!
+//! * [`BadDotProduct`] — Listing 1: every thread accumulates directly into
+//!   `total[thread_id]`, a packed `i32` array, so up to 16 threads' slots
+//!   share one cache block. Each accumulation is load + store on the same
+//!   falsely-shared block: the pathological migratory false-sharing
+//!   pattern. This is also the Fig. 12 timeout-sensitivity
+//!   microbenchmark (`bad_dot_product`).
+//! * [`GoodDotProduct`] — Listing 2: each thread accumulates in a register
+//!   and performs one final store into a block-padded slot.
+//!
+//! Inputs mirror the Fig. 12 setup ("integers ranging in values from 0 to
+//! 255"), drawn with a zero-heavy distribution typical of sparse
+//! error-tolerant kernels, which is what gives the accumulator stream its
+//! bit-wise value similarity (DESIGN.md §7.3).
+
+use ghostwriter_core::{Addr, FinishedRun, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metric;
+use crate::runner::Workload;
+
+/// Generates the shared input vectors `a` and `b`.
+fn gen_inputs(seed: u64, n: usize) -> (Vec<i32>, Vec<i32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gen = |_: usize| -> i32 {
+        // Zero-heavy sparse values in 0..=255.
+        if rng.gen_bool(0.70) {
+            0
+        } else if rng.gen_bool(0.8) {
+            rng.gen_range(1..16)
+        } else {
+            rng.gen_range(16..256)
+        }
+    };
+    let a: Vec<i32> = (0..n).map(&mut gen).collect();
+    let b: Vec<i32> = (0..n).map(&mut gen).collect();
+    (a, b)
+}
+
+/// Splits `0..n` into `threads` contiguous chunks.
+fn chunk(n: usize, threads: usize, tid: usize) -> std::ops::Range<usize> {
+    let per = n.div_ceil(threads);
+    let lo = (tid * per).min(n);
+    let hi = ((tid + 1) * per).min(n);
+    lo..hi
+}
+
+/// Listing 1: false-sharing-prone parallel dot product.
+pub struct BadDotProduct {
+    n: usize,
+    a: Vec<i32>,
+    b: Vec<i32>,
+    threads: usize,
+    total_base: Addr,
+    /// Whether stores to `total` are scribbles (the Fig. 12 configuration)
+    /// or conventional stores (the Fig. 1 baseline behaviour).
+    approximate: bool,
+    /// Compute cycles charged per point (models the surrounding loop
+    /// body; Fig. 1 uses a tight loop, Fig. 12 a realistic one).
+    work_per_point: u64,
+}
+
+impl BadDotProduct {
+    /// `n` input elements, seeded inputs. `approximate` enables scribbles
+    /// on the shared accumulator array.
+    pub fn new(seed: u64, n: usize, approximate: bool) -> Self {
+        Self::with_work(seed, n, approximate, 1)
+    }
+
+    /// Like [`BadDotProduct::new`] with an explicit per-point compute
+    /// cost.
+    pub fn with_work(seed: u64, n: usize, approximate: bool, work_per_point: u64) -> Self {
+        let (a, b) = gen_inputs(seed, n);
+        Self {
+            n,
+            a,
+            b,
+            threads: 0,
+            total_base: Addr(0),
+            approximate,
+            work_per_point,
+        }
+    }
+
+    /// Address of thread `t`'s accumulator slot (packed, 4-byte stride —
+    /// the false sharing is the point).
+    fn slot(&self, t: usize) -> Addr {
+        self.total_base.add(4 * t as u64)
+    }
+}
+
+impl Workload for BadDotProduct {
+    fn name(&self) -> &'static str {
+        "bad_dot_product"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Mpe
+    }
+
+    fn build(&mut self, m: &mut Machine, threads: usize, d: u8) {
+        self.threads = threads;
+        let a_base = m.alloc_padded(4 * self.n as u64);
+        let b_base = m.alloc_padded(4 * self.n as u64);
+        // The shared accumulator array: *packed*, exactly as Listing 1.
+        self.total_base = m.alloc_padded(4 * threads as u64);
+        m.backdoor_write_i32s(a_base, &self.a);
+        m.backdoor_write_i32s(b_base, &self.b);
+        let n = self.n;
+        let approximate = self.approximate;
+        let total_base = self.total_base;
+        let work = self.work_per_point;
+        for t in 0..threads {
+            let range = chunk(n, threads, t);
+            m.add_thread(move |ctx| {
+                if approximate {
+                    ctx.approx_begin(d);
+                }
+                let slot = total_base.add(4 * t as u64);
+                for i in range {
+                    let x = ctx.load_i32(a_base.add(4 * i as u64));
+                    let y = ctx.load_i32(b_base.add(4 * i as u64));
+                    ctx.work(work); // the multiply-add + loop body
+                    let acc = ctx.load_i32(slot);
+                    let v = acc.wrapping_add(x.wrapping_mul(y));
+                    if approximate {
+                        ctx.scribble_i32(slot, v);
+                    } else {
+                        ctx.store_i32(slot, v);
+                    }
+                }
+                if approximate {
+                    ctx.approx_end();
+                }
+            });
+        }
+    }
+
+    fn output(&self, run: &FinishedRun) -> Vec<f64> {
+        (0..self.threads)
+            .map(|t| run.read_i32(self.slot(t)) as f64)
+            .collect()
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        (0..self.threads)
+            .map(|t| {
+                chunk(self.n, self.threads, t)
+                    .map(|i| (self.a[i] as i64) * (self.b[i] as i64))
+                    .sum::<i64>() as f64
+            })
+            .collect()
+    }
+}
+
+/// Listing 2: privatized parallel dot product (register accumulator, one
+/// final store into a padded slot).
+pub struct GoodDotProduct {
+    n: usize,
+    a: Vec<i32>,
+    b: Vec<i32>,
+    threads: usize,
+    total_base: Addr,
+}
+
+impl GoodDotProduct {
+    /// `n` input elements with the same distribution as
+    /// [`BadDotProduct`].
+    pub fn new(seed: u64, n: usize) -> Self {
+        let (a, b) = gen_inputs(seed, n);
+        Self {
+            n,
+            a,
+            b,
+            threads: 0,
+            total_base: Addr(0),
+        }
+    }
+}
+
+impl Workload for GoodDotProduct {
+    fn name(&self) -> &'static str {
+        "good_dot_product"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Mpe
+    }
+
+    fn build(&mut self, m: &mut Machine, threads: usize, _d: u8) {
+        self.threads = threads;
+        let a_base = m.alloc_padded(4 * self.n as u64);
+        let b_base = m.alloc_padded(4 * self.n as u64);
+        // One cache block per thread: no false sharing.
+        self.total_base = m.alloc_padded(64 * threads as u64);
+        m.backdoor_write_i32s(a_base, &self.a);
+        m.backdoor_write_i32s(b_base, &self.b);
+        let n = self.n;
+        let total_base = self.total_base;
+        for t in 0..threads {
+            let range = chunk(n, threads, t);
+            m.add_thread(move |ctx| {
+                let mut sum = 0i32;
+                for i in range {
+                    let x = ctx.load_i32(a_base.add(4 * i as u64));
+                    let y = ctx.load_i32(b_base.add(4 * i as u64));
+                    ctx.work(1);
+                    sum = sum.wrapping_add(x.wrapping_mul(y));
+                }
+                ctx.store_i32(total_base.add(64 * t as u64), sum);
+            });
+        }
+    }
+
+    fn output(&self, run: &FinishedRun) -> Vec<f64> {
+        (0..self.threads)
+            .map(|t| run.read_i32(self.total_base.add(64 * t as u64)) as f64)
+            .collect()
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        (0..self.threads)
+            .map(|t| {
+                chunk(self.n, self.threads, t)
+                    .map(|i| (self.a[i] as i64) * (self.b[i] as i64))
+                    .sum::<i64>() as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute;
+    use ghostwriter_core::{MachineConfig, Protocol};
+
+    #[test]
+    fn chunking_covers_everything_once() {
+        for n in [0usize, 1, 7, 64, 100] {
+            for threads in [1usize, 2, 3, 8] {
+                let mut seen = vec![0u8; n];
+                for t in 0..threads {
+                    for i in chunk(n, threads, t) {
+                        seen[i] += 1;
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "n={n} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_dot_exact_under_mesi() {
+        let mut w = BadDotProduct::new(7, 256, true);
+        let out = execute(
+            &mut w,
+            MachineConfig::small(4, Protocol::Mesi),
+            4,
+            4,
+        );
+        assert_eq!(out.error_percent, 0.0);
+        assert_eq!(out.output, w.reference());
+    }
+
+    #[test]
+    fn good_dot_exact_under_both_protocols() {
+        for protocol in [Protocol::Mesi, Protocol::ghostwriter()] {
+            let mut w = GoodDotProduct::new(7, 256);
+            let out = execute(&mut w, MachineConfig::small(4, protocol), 4, 4);
+            assert_eq!(out.error_percent, 0.0, "protocol {protocol:?}");
+        }
+    }
+
+    #[test]
+    fn bad_dot_exhibits_false_sharing_misses() {
+        let mut w = BadDotProduct::new(7, 512, false);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::Mesi), 4, 4);
+        // The packed accumulator array must generate store coherence
+        // misses (upgrades/GETX after remote invalidations).
+        assert!(
+            out.report.stats.l1_store_misses > 100,
+            "expected heavy store misses, got {}",
+            out.report.stats.l1_store_misses
+        );
+    }
+
+    #[test]
+    fn good_dot_has_few_coherence_misses() {
+        let mut w = GoodDotProduct::new(7, 512);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::Mesi), 4, 4);
+        assert!(
+            out.report.stats.l1_store_misses < 20,
+            "privatized version should not miss: {}",
+            out.report.stats.l1_store_misses
+        );
+    }
+
+    #[test]
+    fn ghostwriter_reduces_bad_dot_traffic() {
+        let run = |protocol| {
+            let mut w = BadDotProduct::new(7, 512, true);
+            execute(&mut w, MachineConfig::small(4, protocol), 4, 4)
+        };
+        let base = run(Protocol::Mesi);
+        let gw = run(Protocol::ghostwriter());
+        assert!(
+            gw.report.stats.traffic.total() < base.report.stats.traffic.total(),
+            "Ghostwriter should cut coherence traffic: {} vs {}",
+            gw.report.stats.traffic.total(),
+            base.report.stats.traffic.total()
+        );
+        assert!(gw.report.stats.serviced_by_gs + gw.report.stats.serviced_by_gi > 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Phoenix `histogram`.
+//!
+//! Counts the R/G/B value distribution of an image. Following the Phoenix
+//! map/reduce structure: each thread counts its pixel chunk into a
+//! *block-padded private* partial histogram (no sharing in the map phase),
+//! then after a barrier the threads cooperatively reduce the partials into
+//! the shared final histogram, each owning a contiguous bin range.
+//!
+//! As in the paper (§4.2), this layout shows very little *runtime* false
+//! sharing — the shared-array writes are few and mostly disjoint — so
+//! Ghostwriter should neither help nor hurt: same performance, zero error.
+
+use ghostwriter_core::{Addr, FinishedRun, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metric;
+use crate::runner::Workload;
+
+const BINS: usize = 256;
+const CHANNELS: usize = 3;
+
+/// The `histogram` workload over a synthetic RGB image.
+pub struct Histogram {
+    /// Interleaved RGB bytes.
+    pixels: Vec<u8>,
+    threads: usize,
+    final_base: Addr,
+}
+
+impl Histogram {
+    /// `pixels` RGB pixels (3 bytes each), seeded. The synthetic image has
+    /// smooth channel distributions like a natural photo.
+    pub fn new(seed: u64, pixel_count: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pixels = Vec::with_capacity(pixel_count * CHANNELS);
+        for _ in 0..pixel_count {
+            // Channel values cluster per-region, as in natural images.
+            let base: u8 = rng.gen();
+            for _ in 0..CHANNELS {
+                let jitter: i16 = rng.gen_range(-24..=24);
+                pixels.push((base as i16 + jitter).clamp(0, 255) as u8);
+            }
+        }
+        Self {
+            pixels,
+            threads: 0,
+            final_base: Addr(0),
+        }
+    }
+
+    fn exact_counts(&self) -> Vec<i64> {
+        let mut counts = vec![0i64; BINS * CHANNELS];
+        for (i, &p) in self.pixels.iter().enumerate() {
+            counts[(i % CHANNELS) * BINS + p as usize] += 1;
+        }
+        counts
+    }
+}
+
+impl Workload for Histogram {
+    fn name(&self) -> &'static str {
+        "histogram"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Mpe
+    }
+
+    fn build(&mut self, m: &mut Machine, threads: usize, d: u8) {
+        self.threads = threads;
+        let n = self.pixels.len() / CHANNELS; // pixel count
+        let img_base = m.alloc_padded(self.pixels.len() as u64);
+        m.backdoor_write_u8s(img_base, &self.pixels);
+        // Private partials: one padded region per thread.
+        let partial_stride = (BINS * CHANNELS * 4).div_ceil(64) as u64 * 64;
+        let partials_base = m.alloc_padded(partial_stride * threads as u64);
+        // Shared final histogram (the annotated, approximatable array).
+        self.final_base = m.alloc_padded((BINS * CHANNELS * 4) as u64);
+        let final_base = self.final_base;
+
+        let pixels_per = n.div_ceil(threads);
+        for t in 0..threads {
+            let lo = (t * pixels_per).min(n);
+            let hi = ((t + 1) * pixels_per).min(n);
+            // Reduce phase: thread t owns a contiguous range of the
+            // 768 final bins.
+            let bins_per = (BINS * CHANNELS).div_ceil(threads);
+            let bin_lo = (t * bins_per).min(BINS * CHANNELS);
+            let bin_hi = ((t + 1) * bins_per).min(BINS * CHANNELS);
+            let my_partial = partials_base.add(partial_stride * t as u64);
+            m.add_thread(move |ctx| {
+                // Map: count privately (still through simulated memory,
+                // but thread-private padded blocks — M-state hits).
+                for i in (lo..hi).map(|p| p * CHANNELS) {
+                    for c in 0..CHANNELS {
+                        let v = ctx.load_u8(img_base.add((i + c) as u64)) as usize;
+                        let slot = my_partial.add(((c * BINS + v) * 4) as u64);
+                        let cur = ctx.load_i32(slot);
+                        ctx.store_i32(slot, cur + 1);
+                    }
+                }
+                ctx.barrier();
+                // Reduce: sum all threads' partials for my bin range into
+                // the shared final histogram.
+                ctx.approx_begin(d);
+                for bin in bin_lo..bin_hi {
+                    let mut sum = 0i32;
+                    for u in 0..threads {
+                        let p = partials_base.add(partial_stride * u as u64 + (bin * 4) as u64);
+                        sum += ctx.load_i32(p);
+                    }
+                    ctx.scribble_i32(final_base.add((bin * 4) as u64), sum);
+                }
+                ctx.approx_end();
+            });
+        }
+    }
+
+    fn output(&self, run: &FinishedRun) -> Vec<f64> {
+        (0..BINS * CHANNELS)
+            .map(|b| run.read_i32(self.final_base.add((b * 4) as u64)) as f64)
+            .collect()
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        self.exact_counts().iter().map(|&c| c as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute;
+    use ghostwriter_core::{MachineConfig, Protocol};
+
+    #[test]
+    fn exact_under_mesi() {
+        let mut w = Histogram::new(3, 600);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::Mesi), 4, 8);
+        assert_eq!(out.error_percent, 0.0);
+        // All 600 pixels counted in each channel.
+        let per_channel: f64 = out.output[..BINS].iter().sum();
+        assert_eq!(per_channel, 600.0);
+    }
+
+    #[test]
+    fn little_false_sharing_and_no_error_under_ghostwriter() {
+        // Paper §4.3: histogram shows negligible coherence misses, so
+        // Ghostwriter neither helps nor hurts, and introduces ~no error.
+        // Paper-sized caches (the tiny test L1 would add capacity misses
+        // that have nothing to do with sharing), 4 cores.
+        let run = |protocol| {
+            let mut w = Histogram::new(3, 600);
+            let cfg = MachineConfig {
+                cores: 4,
+                protocol,
+                ..MachineConfig::default()
+            };
+            execute(&mut w, cfg, 4, 8)
+        };
+        let base = run(Protocol::Mesi);
+        let gw = run(Protocol::ghostwriter());
+        let miss_rate =
+            base.report.stats.l1_misses() as f64 / base.report.stats.l1_accesses() as f64;
+        assert!(miss_rate < 0.10, "histogram should have few misses: {miss_rate}");
+        assert!(gw.error_percent < 1.0, "error {}%", gw.error_percent);
+        // Cycle counts stay in the same ballpark (no regression).
+        let ratio = gw.report.cycles as f64 / base.report.cycles as f64;
+        assert!(ratio < 1.05, "Ghostwriter must not slow histogram down: {ratio}");
+    }
+}

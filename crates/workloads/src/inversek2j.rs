@@ -1,0 +1,172 @@
+//! AxBench `inversek2j`: inverse kinematics for a 2-joint robotic arm.
+//!
+//! For each target point `(x, y)` the kernel computes the two joint angles
+//! `(θ1, θ2)` placing the end effector there. Threads process point chunks
+//! and write into two packed shared angle arrays; writes are adjacent
+//! across chunk boundaries, giving light boundary false sharing. Angle
+//! values for nearby targets are close, so a fair share of the boundary
+//! rewrites pass the scribe check.
+
+use ghostwriter_core::{Addr, FinishedRun, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metric;
+use crate::runner::Workload;
+
+/// Arm segment lengths (AxBench uses 0.5/0.5).
+const L1: f32 = 0.5;
+const L2: f32 = 0.5;
+
+/// Forward kinematics: joint angles to end-effector position.
+pub fn forward(th1: f32, th2: f32) -> (f32, f32) {
+    (
+        L1 * th1.cos() + L2 * (th1 + th2).cos(),
+        L1 * th1.sin() + L2 * (th1 + th2).sin(),
+    )
+}
+
+/// Inverse kinematics for the 2-joint arm (elbow-down solution).
+pub fn inverse(x: f32, y: f32) -> (f32, f32) {
+    let d2 = x * x + y * y;
+    let c2 = ((d2 - L1 * L1 - L2 * L2) / (2.0 * L1 * L2)).clamp(-1.0, 1.0);
+    let th2 = c2.acos();
+    let k1 = L1 + L2 * th2.cos();
+    let k2 = L2 * th2.sin();
+    let th1 = y.atan2(x) - k2.atan2(k1);
+    (th1, th2)
+}
+
+/// The `inversek2j` workload.
+pub struct InverseK2J {
+    targets: Vec<(f32, f32)>,
+    threads: usize,
+    th1_base: Addr,
+    th2_base: Addr,
+}
+
+impl InverseK2J {
+    /// `n` reachable targets, generated from seeded joint angles (so every
+    /// point is within the arm's annulus, as AxBench does).
+    pub fn new(seed: u64, n: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let targets = (0..n)
+            .map(|_| {
+                let th1: f32 = rng.gen_range(0.1..1.4);
+                let th2: f32 = rng.gen_range(0.1..1.4);
+                forward(th1, th2)
+            })
+            .collect();
+        Self {
+            targets,
+            threads: 0,
+            th1_base: Addr(0),
+            th2_base: Addr(0),
+        }
+    }
+}
+
+impl Workload for InverseK2J {
+    fn name(&self) -> &'static str {
+        "inversek2j"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Nrmse
+    }
+
+    fn build(&mut self, m: &mut Machine, threads: usize, d: u8) {
+        self.threads = threads;
+        let n = self.targets.len();
+        let x_base = m.alloc_padded((n * 4) as u64);
+        let y_base = m.alloc_padded((n * 4) as u64);
+        m.backdoor_write_f32s(x_base, &self.targets.iter().map(|t| t.0).collect::<Vec<_>>());
+        m.backdoor_write_f32s(y_base, &self.targets.iter().map(|t| t.1).collect::<Vec<_>>());
+        self.th1_base = m.alloc_padded((n * 4) as u64);
+        self.th2_base = m.alloc_padded((n * 4) as u64);
+        let (th1_base, th2_base) = (self.th1_base, self.th2_base);
+
+        for t in 0..threads {
+            // Strided partition: adjacent points go to different threads,
+            // so the packed angle arrays see sustained false sharing (the
+            // AxBench kernel parallelised with a static OpenMP schedule of
+            // chunk 1).
+            let my: Vec<usize> = (t..n).step_by(threads).collect();
+            m.add_thread(move |ctx| {
+                ctx.approx_begin(d);
+                for i in my {
+                    let x = ctx.load_f32(x_base.add((i * 4) as u64));
+                    let y = ctx.load_f32(y_base.add((i * 4) as u64));
+                    ctx.work(30); // acos/atan2 pipeline
+                    let (th1, th2) = inverse(x, y);
+                    ctx.scribble_f32(th1_base.add((i * 4) as u64), th1);
+                    ctx.scribble_f32(th2_base.add((i * 4) as u64), th2);
+                }
+                ctx.approx_end();
+            });
+        }
+    }
+
+    fn output(&self, run: &FinishedRun) -> Vec<f64> {
+        let n = self.targets.len();
+        let mut out: Vec<f64> = run
+            .read_f32s(self.th1_base, n)
+            .into_iter()
+            .map(f64::from)
+            .collect();
+        out.extend(run.read_f32s(self.th2_base, n).into_iter().map(f64::from));
+        out
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .targets
+            .iter()
+            .map(|&(x, y)| inverse(x, y).0 as f64)
+            .collect();
+        out.extend(self.targets.iter().map(|&(x, y)| inverse(x, y).1 as f64));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute;
+    use ghostwriter_core::{MachineConfig, Protocol};
+
+    #[test]
+    fn inverse_inverts_forward() {
+        for (th1, th2) in [(0.3f32, 0.8f32), (1.0, 0.2), (0.5, 1.3)] {
+            let (x, y) = forward(th1, th2);
+            let (r1, r2) = inverse(x, y);
+            let (xx, yy) = forward(r1, r2);
+            assert!((x - xx).abs() < 1e-4 && (y - yy).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn exact_under_mesi() {
+        let mut w = InverseK2J::new(13, 300);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::Mesi), 4, 8);
+        assert_eq!(out.error_percent, 0.0);
+    }
+
+    #[test]
+    fn strided_writes_cause_sharing_misses() {
+        let mut w = InverseK2J::new(13, 300);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::Mesi), 4, 8);
+        assert!(
+            out.report.stats.l1_store_misses > 50,
+            "strided angle writes should contend: {}",
+            out.report.stats.l1_store_misses
+        );
+    }
+
+    #[test]
+    fn low_error_under_ghostwriter() {
+        let mut w = InverseK2J::new(13, 300);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::ghostwriter()), 4, 8);
+        assert!(out.error_percent < 5.0, "NRMSE {}%", out.error_percent);
+    }
+}

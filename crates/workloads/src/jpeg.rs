@@ -1,0 +1,365 @@
+//! AxBench `jpeg`: DCT-based image compression pipeline.
+//!
+//! Three phases over 8×8 tiles of a grayscale image, separated by
+//! barriers, with the tile→thread assignment *rotated* between phases:
+//!
+//! 1. **DCT** — thread `t` transforms its tiles into the shared integer
+//!    coefficient array;
+//! 2. **Quantize** — thread `t+1` quantizes *in place*: each coefficient
+//!    is replaced by its dequantized value `(v/q)·q`, which differs from
+//!    `v` by less than the quantisation step — textbook bit-wise value
+//!    similarity. Because the quantizer of a tile is a different core
+//!    than its DCT producer, the loads bring the blocks in Shared state
+//!    and the scribbles transition them to `GS` (producer-consumer
+//!    sharing, paper Fig. 5);
+//! 3. **Reconstruct** — thread `t+2` inverse-transforms into the output
+//!    image.
+//!
+//! Coefficients are stored *plane-major* (all tiles' DC terms
+//! contiguous, then all first AC terms, ...), the layout transform coders
+//! use for entropy-friendly scanning. A 64-byte block of a plane spans 16
+//! tiles, so the chunk-adjacent threads contend on plane blocks:
+//! migratory false sharing inside each phase, producer-consumer sharing
+//! across the rotated phases — the mixture the paper reports for jpeg
+//! (§4.2), exercising both `GS` and `GI`. The in-place quantisation
+//! writes values within one quantisation step of what they overwrite, so
+//! hidden/lost approximate updates perturb the output by less than the
+//! quantiser already does.
+
+use ghostwriter_core::{Addr, FinishedRun, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metric;
+use crate::runner::Workload;
+
+const TILE: usize = 8;
+
+/// Standard JPEG luminance quantization table (quality ~50).
+#[rustfmt::skip]
+pub const QUANT: [i32; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Rounds a coefficient to its quantisation grid: `round(v/q)·q`.
+/// The result differs from `v` by at most `q/2` — the bit-wise value
+/// similarity the in-place quantisation pass exploits.
+pub fn quantize(v: i32, q: i32) -> i32 {
+    let r = if v >= 0 { (v + q / 2) / q } else { -((-v + q / 2) / q) };
+    r * q
+}
+
+/// 8×8 forward DCT-II with the orthonormal scaling JPEG uses.
+pub fn dct8x8(pixels: &[f32; 64], out: &mut [f32; 64]) {
+    for v in 0..TILE {
+        for u in 0..TILE {
+            let cu = if u == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cv = if v == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let mut s = 0.0f32;
+            for y in 0..TILE {
+                for x in 0..TILE {
+                    s += (pixels[y * TILE + x] - 128.0)
+                        * (((2 * x + 1) as f32) * u as f32 * std::f32::consts::PI / 16.0).cos()
+                        * (((2 * y + 1) as f32) * v as f32 * std::f32::consts::PI / 16.0).cos();
+                }
+            }
+            out[v * TILE + u] = 0.25 * cu * cv * s;
+        }
+    }
+}
+
+/// 8×8 inverse DCT.
+pub fn idct8x8(coeffs: &[f32; 64], out: &mut [f32; 64]) {
+    for y in 0..TILE {
+        for x in 0..TILE {
+            let mut s = 0.0f32;
+            for v in 0..TILE {
+                for u in 0..TILE {
+                    let cu = if u == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    let cv = if v == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    s += cu
+                        * cv
+                        * coeffs[v * TILE + u]
+                        * (((2 * x + 1) as f32) * u as f32 * std::f32::consts::PI / 16.0).cos()
+                        * (((2 * y + 1) as f32) * v as f32 * std::f32::consts::PI / 16.0).cos();
+                }
+            }
+            out[y * TILE + x] = 0.25 * s + 128.0;
+        }
+    }
+}
+
+/// The `jpeg` workload over a `width × height` grayscale image
+/// (multiples of 8).
+pub struct Jpeg {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+    threads: usize,
+    out_base: Addr,
+}
+
+impl Jpeg {
+    /// Synthetic photo-like image: smooth gradients plus texture.
+    pub fn new(seed: u64, width: usize, height: usize) -> Self {
+        assert!(width.is_multiple_of(TILE) && height.is_multiple_of(TILE));
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pixels = (0..width * height)
+            .map(|i| {
+                let (x, y) = (i % width, i / width);
+                let grad = (x * 255 / width + y * 127 / height) as i32 / 2 + 32;
+                let texture: i32 = rng.gen_range(-12..=12);
+                (grad + texture).clamp(0, 255) as u8
+            })
+            .collect();
+        Self {
+            width,
+            height,
+            pixels,
+            threads: 0,
+            out_base: Addr(0),
+        }
+    }
+
+    fn tiles(&self) -> usize {
+        (self.width / TILE) * (self.height / TILE)
+    }
+
+    /// Pixel indices (row-major in the image) of tile `k`.
+    fn tile_pixels(&self, k: usize) -> impl Iterator<Item = usize> + '_ {
+        let tiles_x = self.width / TILE;
+        let (tx, ty) = (k % tiles_x, k / tiles_x);
+        (0..TILE * TILE).map(move |i| {
+            let (x, y) = (i % TILE, i / TILE);
+            (ty * TILE + y) * self.width + (tx * TILE + x)
+        })
+    }
+
+    /// Precise pipeline: DCT → in-place quantize/dequantize → IDCT.
+    fn exact_pipeline(&self) -> Vec<i32> {
+        let mut out = vec![0i32; self.width * self.height];
+        for k in 0..self.tiles() {
+            let mut tile = [0f32; 64];
+            for (slot, pi) in self.tile_pixels(k).enumerate() {
+                tile[slot] = self.pixels[pi] as f32;
+            }
+            let mut coeffs = [0f32; 64];
+            dct8x8(&tile, &mut coeffs);
+            // Integer coefficients, as stored in the shared array.
+            let mut ic = [0i32; 64];
+            for i in 0..64 {
+                ic[i] = coeffs[i].round() as i32;
+            }
+            // In-place dequantized values.
+            let mut deq = [0f32; 64];
+            for i in 0..64 {
+                let q = quantize(ic[i], QUANT[i]);
+                deq[i] = q as f32;
+            }
+            let mut rec = [0f32; 64];
+            idct8x8(&deq, &mut rec);
+            for (slot, pi) in self.tile_pixels(k).enumerate() {
+                out[pi] = rec[slot].round().clamp(0.0, 255.0) as i32;
+            }
+        }
+        out
+    }
+}
+
+impl Workload for Jpeg {
+    fn name(&self) -> &'static str {
+        "jpeg"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Nrmse
+    }
+
+    fn build(&mut self, m: &mut Machine, threads: usize, d: u8) {
+        self.threads = threads;
+        let tiles = self.tiles();
+        let n_px = self.width * self.height;
+        let img_base = m.alloc_padded(n_px as u64);
+        m.backdoor_write_u8s(img_base, &self.pixels);
+        // Shared intermediate: integer DCT coefficients, *plane-major*
+        // ([plane i][tile k] at (i*tiles + k)); quantisation rewrites it
+        // in place.
+        let coeff_base = m.alloc_padded((tiles * 64 * 4) as u64);
+        // Output image: bytes, written with conventional stores — the
+        // programmer does not annotate it (a lost pixel write would not
+        // be value-similar to anything, §3.1's legality guidance).
+        self.out_base = m.alloc_padded(n_px as u64);
+        let out_base = self.out_base;
+
+        let width = self.width;
+        let tiles_x = self.width / TILE;
+        let chunk = tiles.div_ceil(threads);
+        let range_of = move |t: usize| -> (usize, usize) {
+            ((t * chunk).min(tiles), ((t + 1) * chunk).min(tiles))
+        };
+
+        for t in 0..threads {
+            // Chunked tile ranges, rotated between phases: the quantizer
+            // and reconstructor of a tile run on different cores than its
+            // producer (Fig. 5's migrating producer).
+            let (lo, hi) = range_of(t);
+            let (qlo, qhi) = range_of((t + 1) % threads);
+            let (rlo, rhi) = range_of((t + 2) % threads);
+            m.add_thread(move |ctx| {
+                let tile_px = |k: usize, i: usize| -> u64 {
+                    let (tx, ty) = (k % tiles_x, k / tiles_x);
+                    let (x, y) = (i % TILE, i / TILE);
+                    ((ty * TILE + y) * width + (tx * TILE + x)) as u64
+                };
+                let plane_addr =
+                    move |i: usize, k: usize| -> u64 { ((i * tiles + k) * 4) as u64 };
+                // Phase 1: DCT; scatter coefficients into the planes.
+                // Conventional stores: fresh coefficients are not
+                // value-similar to the zero-initialised planes, so the
+                // programmer leaves this phase un-annotated (§3.1).
+                let mut coeffs_of = vec![[0f32; 64]; hi - lo];
+                for k in lo..hi {
+                    let mut tile = [0f32; 64];
+                    for (slot, item) in tile.iter_mut().enumerate() {
+                        *item = ctx.load_u8(img_base.add(tile_px(k, slot))) as f32;
+                    }
+                    dct8x8(&tile, &mut coeffs_of[k - lo]);
+                    ctx.work(256);
+                }
+                // Plane-major scatter: revisits each contended plane
+                // block once per own tile.
+                #[allow(clippy::needless_range_loop)] // i indexes two arrays
+                for i in 0..64 {
+                    for k in lo..hi {
+                        ctx.store_i32(
+                            coeff_base.add(plane_addr(i, k)),
+                            coeffs_of[k - lo][i].round() as i32,
+                        );
+                    }
+                }
+                ctx.barrier();
+                // Phase 2 (the annotated approximate region): in-place
+                // quantize/dequantize, plane-major, on the rotated chunk.
+                // Gather-then-scatter: the gather loads warm the tags;
+                // by the time the scatter writes back, contending
+                // neighbours may have invalidated the blocks, and the
+                // scribbles — each within one quantisation step of the
+                // stale value — hit GS on still-shared blocks and GI on
+                // invalidated ones (paper Fig. 5).
+                ctx.approx_begin(d);
+                let mut vals = vec![0i32; qhi - qlo];
+                #[allow(clippy::needless_range_loop)] // i indexes QUANT too
+                for i in 0..64 {
+                    for k in qlo..qhi {
+                        vals[k - qlo] = ctx.load_i32(coeff_base.add(plane_addr(i, k)));
+                    }
+                    ctx.work(2 * (qhi - qlo) as u64);
+                    for k in qlo..qhi {
+                        ctx.scribble_i32(
+                            coeff_base.add(plane_addr(i, k)),
+                            quantize(vals[k - qlo], QUANT[i]),
+                        );
+                    }
+                }
+                ctx.approx_end();
+                ctx.barrier();
+                // Phase 3: gather + IDCT into the output image
+                // (conventional stores).
+                for k in rlo..rhi {
+                    let mut deq = [0f32; 64];
+                    for (i, item) in deq.iter_mut().enumerate() {
+                        let q = ctx.load_i32(coeff_base.add(plane_addr(i, k)));
+                        *item = q as f32;
+                    }
+                    let mut rec = [0f32; 64];
+                    idct8x8(&deq, &mut rec);
+                    ctx.work(256);
+                    for (i, &p) in rec.iter().enumerate() {
+                        let px = p.round().clamp(0.0, 255.0) as u8;
+                        ctx.store_u8(out_base.add(tile_px(k, i)), px);
+                    }
+                }
+            });
+        }
+    }
+
+    fn output(&self, run: &FinishedRun) -> Vec<f64> {
+        let mut bytes = vec![0u8; self.width * self.height];
+        run.read(self.out_base, &mut bytes);
+        bytes.into_iter().map(f64::from).collect()
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        self.exact_pipeline().iter().map(|&p| p as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute;
+    use ghostwriter_core::{MachineConfig, Protocol};
+
+    #[test]
+    fn dct_idct_round_trip() {
+        let mut pixels = [0f32; 64];
+        for (i, p) in pixels.iter_mut().enumerate() {
+            *p = ((i * 7) % 256) as f32;
+        }
+        let mut coeffs = [0f32; 64];
+        let mut back = [0f32; 64];
+        dct8x8(&pixels, &mut coeffs);
+        idct8x8(&coeffs, &mut back);
+        for i in 0..64 {
+            assert!((pixels[i] - back[i]).abs() < 0.01, "i={i}");
+        }
+    }
+
+    #[test]
+    fn dct_dc_coefficient_is_mean() {
+        let pixels = [200f32; 64];
+        let mut coeffs = [0f32; 64];
+        dct8x8(&pixels, &mut coeffs);
+        // DC = 8 * (mean - 128) = 8 * 72 = 576.
+        assert!((coeffs[0] - 576.0).abs() < 0.01);
+        assert!(coeffs[1..].iter().all(|c| c.abs() < 0.01));
+    }
+
+    #[test]
+    fn exact_under_mesi() {
+        let mut w = Jpeg::new(17, 16, 16);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::Mesi), 4, 8);
+        assert_eq!(out.error_percent, 0.0);
+    }
+
+    #[test]
+    fn quantization_error_is_modest_in_reference() {
+        let w = Jpeg::new(17, 16, 16);
+        let rec = w.exact_pipeline();
+        // Quantized reconstruction stays near the original image.
+        let mut max_err = 0;
+        for (i, &p) in w.pixels.iter().enumerate() {
+            max_err = max_err.max((rec[i] - p as i32).abs());
+        }
+        assert!(max_err < 60, "quantization destroyed the image: {max_err}");
+    }
+
+    #[test]
+    fn ghostwriter_uses_both_states_with_low_error() {
+        let mut w = Jpeg::new(17, 16, 16);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::ghostwriter()), 4, 8);
+        let s = &out.report.stats;
+        assert!(
+            s.serviced_by_gs + s.serviced_by_gi > 0,
+            "jpeg should exercise the approximate states"
+        );
+        assert!(out.error_percent < 10.0, "NRMSE {}%", out.error_percent);
+    }
+}

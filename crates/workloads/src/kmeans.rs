@@ -1,0 +1,267 @@
+//! Phoenix `kmeans` (extension workload, beyond the paper's Table 2).
+//!
+//! Lloyd's algorithm over 2-D integer points, structured like the
+//! Phoenix map-reduce version: each iteration the threads assign their
+//! point chunk to the nearest centroid, accumulating into *private*
+//! partial sums, then after a barrier cooperatively reduce the partials
+//! into the packed shared centroid array.
+//!
+//! Ghostwriter angle: after the first few iterations the centroids move
+//! very little, so the reduce phase's writes are bit-wise similar to the
+//! values they overwrite — prime scribble territory. Because later
+//! iterations *read* the (possibly stale) centroids to assign points,
+//! this workload also exercises error feedback through control-flow-like
+//! data, which is why its error is larger than the write-once kernels'.
+
+use ghostwriter_core::{Addr, FinishedRun, Machine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::metrics::Metric;
+use crate::runner::Workload;
+
+/// The `kmeans` workload: `n` points, `k` clusters, `iters` iterations.
+pub struct KMeans {
+    points: Vec<(i32, i32)>,
+    k: usize,
+    iters: usize,
+    threads: usize,
+    centroid_base: Addr,
+}
+
+impl KMeans {
+    /// Seeded points drawn around `k` well-separated cluster centres.
+    pub fn new(seed: u64, n: usize, k: usize, iters: usize) -> Self {
+        assert!(k >= 1 && n >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centres: Vec<(i32, i32)> = (0..k)
+            .map(|_| (rng.gen_range(0..4096), rng.gen_range(0..4096)))
+            .collect();
+        let points = (0..n)
+            .map(|i| {
+                let (cx, cy) = centres[i % k];
+                (
+                    (cx + rng.gen_range(-256..=256)).clamp(0, 4095),
+                    (cy + rng.gen_range(-256..=256)).clamp(0, 4095),
+                )
+            })
+            .collect();
+        Self {
+            points,
+            k,
+            iters,
+            threads: 0,
+            centroid_base: Addr(0),
+        }
+    }
+
+    /// Initial centroids: the first `k` points (deterministic).
+    fn initial_centroids(&self) -> Vec<(i32, i32)> {
+        self.points[..self.k].to_vec()
+    }
+
+    fn nearest(centroids: &[(i32, i32)], p: (i32, i32)) -> usize {
+        let mut best = 0;
+        let mut best_d = i64::MAX;
+        for (c, &(cx, cy)) in centroids.iter().enumerate() {
+            let dx = (p.0 - cx) as i64;
+            let dy = (p.1 - cy) as i64;
+            let d = dx * dx + dy * dy;
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Precise reference: the same chunked/reduced algorithm run
+    /// sequentially (integer arithmetic is order-independent, so only
+    /// the per-iteration structure matters).
+    fn exact(&self) -> Vec<(i32, i32)> {
+        let mut centroids = self.initial_centroids();
+        for _ in 0..self.iters {
+            let mut sums = vec![(0i64, 0i64, 0i64); self.k];
+            for &p in &self.points {
+                let c = Self::nearest(&centroids, p);
+                sums[c].0 += p.0 as i64;
+                sums[c].1 += p.1 as i64;
+                sums[c].2 += 1;
+            }
+            for c in 0..self.k {
+                if sums[c].2 > 0 {
+                    centroids[c] = ((sums[c].0 / sums[c].2) as i32, (sums[c].1 / sums[c].2) as i32);
+                }
+            }
+        }
+        centroids
+    }
+}
+
+impl Workload for KMeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn metric(&self) -> Metric {
+        Metric::Nrmse
+    }
+
+    fn build(&mut self, m: &mut Machine, threads: usize, d: u8) {
+        self.threads = threads;
+        let n = self.points.len();
+        let k = self.k;
+        let iters = self.iters;
+        let px_base = m.alloc_padded((n * 4) as u64);
+        let py_base = m.alloc_padded((n * 4) as u64);
+        m.backdoor_write_i32s(px_base, &self.points.iter().map(|p| p.0).collect::<Vec<_>>());
+        m.backdoor_write_i32s(py_base, &self.points.iter().map(|p| p.1).collect::<Vec<_>>());
+        // Shared centroid array, packed (cx, cy) pairs: k*8 bytes, so
+        // several clusters' centroids share each block — reduce-phase
+        // false sharing.
+        self.centroid_base = m.alloc_padded((k * 8) as u64);
+        let init = self.initial_centroids();
+        for (c, &(cx, cy)) in init.iter().enumerate() {
+            m.backdoor_write_i32s(self.centroid_base.add((c * 8) as u64), &[cx, cy]);
+        }
+        let centroid_base = self.centroid_base;
+        // Per-thread partial sums: block-padded private regions of
+        // k * (sx, sy, count) i64-ish i32 triples (i32 is enough at this
+        // scale).
+        let partial_stride = ((k * 12) as u64).div_ceil(64) * 64;
+        let partials_base = m.alloc_padded(partial_stride * threads as u64);
+
+        let chunk = n.div_ceil(threads);
+        for t in 0..threads {
+            let lo = (t * chunk).min(n);
+            let hi = ((t + 1) * chunk).min(n);
+            // Reduce assignment: thread t owns a contiguous centroid
+            // range.
+            let kc = k.div_ceil(threads);
+            let klo = (t * kc).min(k);
+            let khi = ((t + 1) * kc).min(k);
+            let my_partial = partials_base.add(partial_stride * t as u64);
+            m.add_thread(move |ctx| {
+                ctx.approx_begin(d);
+                for _ in 0..iters {
+                    // Zero my partials (private blocks, M-state hits).
+                    for c in 0..k {
+                        for f in 0..3u64 {
+                            ctx.store_i32(my_partial.add((c * 12) as u64 + 4 * f), 0);
+                        }
+                    }
+                    // Map: assign my points against the shared (possibly
+                    // stale) centroids.
+                    for i in lo..hi {
+                        let px = ctx.load_i32(px_base.add((i * 4) as u64));
+                        let py = ctx.load_i32(py_base.add((i * 4) as u64));
+                        let mut best = 0usize;
+                        let mut best_d = i64::MAX;
+                        for c in 0..k {
+                            let cx = ctx.load_i32(centroid_base.add((c * 8) as u64));
+                            let cy = ctx.load_i32(centroid_base.add((c * 8 + 4) as u64));
+                            let dx = (px - cx) as i64;
+                            let dy = (py - cy) as i64;
+                            let dist = dx * dx + dy * dy;
+                            if dist < best_d {
+                                best_d = dist;
+                                best = c;
+                            }
+                        }
+                        ctx.work(4 * k as u64);
+                        let slot = my_partial.add((best * 12) as u64);
+                        let sx = ctx.load_i32(slot);
+                        ctx.store_i32(slot, sx + px);
+                        let sy = ctx.load_i32(slot.add(4));
+                        ctx.store_i32(slot.add(4), sy + py);
+                        let cnt = ctx.load_i32(slot.add(8));
+                        ctx.store_i32(slot.add(8), cnt + 1);
+                    }
+                    ctx.barrier();
+                    // Reduce: fold all partials for my centroid range and
+                    // scribble the new centroids (bit-wise similar to the
+                    // old ones once the clustering stabilises).
+                    for c in klo..khi {
+                        let mut sx = 0i64;
+                        let mut sy = 0i64;
+                        let mut cnt = 0i64;
+                        for u in 0..threads {
+                            let p = partials_base
+                                .add(partial_stride * u as u64 + (c * 12) as u64);
+                            sx += ctx.load_i32(p) as i64;
+                            sy += ctx.load_i32(p.add(4)) as i64;
+                            cnt += ctx.load_i32(p.add(8)) as i64;
+                        }
+                        if cnt > 0 {
+                            ctx.scribble_i32(
+                                centroid_base.add((c * 8) as u64),
+                                (sx / cnt) as i32,
+                            );
+                            ctx.scribble_i32(
+                                centroid_base.add((c * 8 + 4) as u64),
+                                (sy / cnt) as i32,
+                            );
+                        }
+                    }
+                    ctx.barrier();
+                }
+                ctx.approx_end();
+            });
+        }
+    }
+
+    fn output(&self, run: &FinishedRun) -> Vec<f64> {
+        (0..self.k)
+            .flat_map(|c| {
+                [
+                    run.read_i32(self.centroid_base.add((c * 8) as u64)) as f64,
+                    run.read_i32(self.centroid_base.add((c * 8 + 4) as u64)) as f64,
+                ]
+            })
+            .collect()
+    }
+
+    fn reference(&self) -> Vec<f64> {
+        self.exact()
+            .into_iter()
+            .flat_map(|(x, y)| [x as f64, y as f64])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::execute;
+    use ghostwriter_core::{MachineConfig, Protocol};
+
+    #[test]
+    fn exact_under_mesi() {
+        let mut w = KMeans::new(21, 120, 4, 3);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::Mesi), 4, 8);
+        assert_eq!(out.error_percent, 0.0);
+    }
+
+    #[test]
+    fn clusters_converge_to_centres() {
+        let w = KMeans::new(21, 200, 4, 6);
+        let finals = w.exact();
+        // Every final centroid sits inside the point bounding box and
+        // the centroids are distinct (separated input clusters).
+        for &(x, y) in &finals {
+            assert!((0..4096).contains(&x) && (0..4096).contains(&y));
+        }
+        for i in 0..finals.len() {
+            for j in i + 1..finals.len() {
+                assert_ne!(finals[i], finals[j], "centroids collapsed");
+            }
+        }
+    }
+
+    #[test]
+    fn low_error_under_ghostwriter() {
+        let mut w = KMeans::new(21, 120, 4, 3);
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::ghostwriter()), 4, 8);
+        assert!(out.error_percent < 5.0, "NRMSE {}%", out.error_percent);
+    }
+}

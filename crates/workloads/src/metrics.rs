@@ -1,0 +1,159 @@
+//! Output-quality metrics (paper Table 2, after Akturk et al., ref. 4).
+//!
+//! Each application reports either **MPE** (maximum percent error) or
+//! **NRMSE** (normalized root-mean-squared error) of its output against a
+//! precise execution of the same algorithm.
+
+/// Which metric an application reports.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Maximum percent error.
+    Mpe,
+    /// Normalized root-mean-squared error (normalized by the reference's
+    /// value range), in percent.
+    Nrmse,
+}
+
+impl Metric {
+    /// Short label as printed in the paper's Table 2.
+    pub fn label(self) -> &'static str {
+        match self {
+            Metric::Mpe => "MPE",
+            Metric::Nrmse => "NRMSE",
+        }
+    }
+
+    /// Evaluates the metric, in percent.
+    pub fn evaluate(self, reference: &[f64], actual: &[f64]) -> f64 {
+        match self {
+            Metric::Mpe => mpe(reference, actual),
+            Metric::Nrmse => nrmse(reference, actual),
+        }
+    }
+}
+
+/// Maximum percent error: `max_i |a_i - r_i| / denom_i × 100`.
+///
+/// For near-zero reference elements the denominator falls back to the mean
+/// reference magnitude, so a tiny absolute wobble on a zero element cannot
+/// report an unbounded percentage.
+///
+/// ```
+/// use ghostwriter_workloads::mpe;
+/// assert_eq!(mpe(&[100.0, 200.0], &[101.0, 210.0]), 5.0);
+/// ```
+pub fn mpe(reference: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(reference.len(), actual.len(), "output length mismatch");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let mean_abs =
+        reference.iter().map(|r| r.abs()).sum::<f64>() / reference.len() as f64;
+    let floor = if mean_abs > 0.0 { mean_abs } else { 1.0 };
+    reference
+        .iter()
+        .zip(actual)
+        .map(|(&r, &a)| {
+            let denom = r.abs().max(floor);
+            ((a - r).abs() / denom) * 100.0
+        })
+        .fold(0.0, f64::max)
+}
+
+/// Normalized RMSE in percent: `RMSE / (max(r) - min(r)) × 100`, falling
+/// back to the mean magnitude when the reference is constant.
+///
+/// ```
+/// use ghostwriter_workloads::nrmse;
+/// let r = [0.0, 10.0];
+/// assert!((nrmse(&r, &r) - 0.0).abs() < 1e-12);
+/// assert!(nrmse(&r, &[1.0, 10.0]) > 7.0);
+/// ```
+pub fn nrmse(reference: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(reference.len(), actual.len(), "output length mismatch");
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let mse = reference
+        .iter()
+        .zip(actual)
+        .map(|(&r, &a)| (a - r) * (a - r))
+        .sum::<f64>()
+        / reference.len() as f64;
+    let rmse = mse.sqrt();
+    let (min, max) = reference
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &r| {
+            (lo.min(r), hi.max(r))
+        });
+    let range = max - min;
+    let denom = if range > 0.0 {
+        range
+    } else {
+        let mean_abs = reference.iter().map(|r| r.abs()).sum::<f64>() / reference.len() as f64;
+        if mean_abs > 0.0 {
+            mean_abs
+        } else {
+            1.0
+        }
+    };
+    (rmse / denom) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_outputs_have_zero_error() {
+        let r = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(mpe(&r, &r), 0.0);
+        assert_eq!(nrmse(&r, &r), 0.0);
+    }
+
+    #[test]
+    fn mpe_is_max_relative_error() {
+        let r = vec![100.0, 200.0];
+        let a = vec![101.0, 210.0]; // 1% and 5%
+        assert!((mpe(&r, &a) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpe_handles_zero_reference_elements() {
+        let r = vec![0.0, 100.0];
+        let a = vec![1.0, 100.0];
+        // Denominator for the zero element is the mean magnitude (50).
+        assert!((mpe(&r, &a) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nrmse_normalizes_by_range() {
+        let r = vec![0.0, 10.0];
+        let a = vec![1.0, 10.0];
+        // RMSE = sqrt(0.5) ≈ 0.7071, range = 10 → ≈ 7.071%.
+        assert!((nrmse(&r, &a) - 7.0710678).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nrmse_constant_reference_falls_back_to_magnitude() {
+        let r = vec![5.0, 5.0];
+        let a = vec![5.0, 6.0];
+        // RMSE = sqrt(0.5), denom = 5.
+        assert!((nrmse(&r, &a) - 100.0 * 0.5f64.sqrt() / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn metric_dispatch() {
+        let r = vec![10.0];
+        let a = vec![11.0];
+        assert!((Metric::Mpe.evaluate(&r, &a) - 10.0).abs() < 1e-9);
+        assert_eq!(Metric::Mpe.label(), "MPE");
+        assert_eq!(Metric::Nrmse.label(), "NRMSE");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mpe(&[1.0], &[1.0, 2.0]);
+    }
+}

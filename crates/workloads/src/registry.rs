@@ -1,0 +1,274 @@
+//! The benchmark roster (paper Table 2) and factory functions.
+//!
+//! Each entry describes one application and can build identically-seeded
+//! instances at a chosen scale, so the evaluation harness can run the same
+//! inputs under both protocols.
+
+use crate::blackscholes::BlackScholes;
+use crate::dot::{BadDotProduct, GoodDotProduct};
+use crate::histogram::Histogram;
+use crate::inversek2j::InverseK2J;
+use crate::jpeg::Jpeg;
+use crate::kmeans::KMeans;
+use crate::linreg::LinearRegression;
+use crate::metrics::Metric;
+use crate::pca::Pca;
+use crate::runner::Workload;
+use crate::sobel::Sobel;
+
+/// Which suite an application comes from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Suite {
+    /// Phoenix map-reduce benchmarks (pthreads in the paper).
+    Phoenix,
+    /// AxBench approximate-computing benchmarks (OpenMP in the paper).
+    AxBench,
+    /// The paper's §2 / Fig. 12 microbenchmarks.
+    Micro,
+}
+
+impl Suite {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Suite::Phoenix => "Phoenix",
+            Suite::AxBench => "AxBench",
+            Suite::Micro => "Microbenchmark",
+        }
+    }
+}
+
+/// How large an instance to build.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScaleClass {
+    /// Small inputs for unit/integration tests (seconds).
+    Test,
+    /// The evaluation scale used by the figure harness (DESIGN.md §7.3
+    /// documents the reduction from the paper's input sizes).
+    Eval,
+}
+
+/// One Table 2 row.
+pub struct BenchmarkEntry {
+    /// Application name as in the paper.
+    pub name: &'static str,
+    /// Application domain (Table 2).
+    pub domain: &'static str,
+    /// Source suite.
+    pub suite: Suite,
+    /// Input description at evaluation scale.
+    pub input_desc: &'static str,
+    /// Error metric.
+    pub metric: Metric,
+    factory: fn(ScaleClass) -> Box<dyn Workload>,
+}
+
+impl BenchmarkEntry {
+    /// Builds a fresh, deterministically-seeded instance.
+    pub fn build(&self, scale: ScaleClass) -> Box<dyn Workload> {
+        (self.factory)(scale)
+    }
+}
+
+const SEED: u64 = 0xC0FFEE;
+
+/// The six paper applications (Table 2).
+pub fn paper_benchmarks() -> Vec<BenchmarkEntry> {
+    vec![
+        BenchmarkEntry {
+            name: "histogram",
+            domain: "Image Processing",
+            suite: Suite::Phoenix,
+            input_desc: "synthetic RGB image",
+            metric: Metric::Mpe,
+            factory: |s| {
+                Box::new(Histogram::new(
+                    SEED,
+                    match s {
+                        ScaleClass::Test => 600,
+                        ScaleClass::Eval => 6_000,
+                    },
+                ))
+            },
+        },
+        BenchmarkEntry {
+            name: "linear_regression",
+            domain: "Machine Learning",
+            suite: Suite::Phoenix,
+            input_desc: "synthetic point file",
+            metric: Metric::Mpe,
+            factory: |s| {
+                Box::new(LinearRegression::new(
+                    SEED,
+                    match s {
+                        ScaleClass::Test => 400,
+                        ScaleClass::Eval => 6_000,
+                    },
+                ))
+            },
+        },
+        BenchmarkEntry {
+            name: "pca",
+            domain: "Machine Learning",
+            suite: Suite::Phoenix,
+            input_desc: "synthetic matrix",
+            metric: Metric::Nrmse,
+            factory: |s| match s {
+                ScaleClass::Test => Box::new(Pca::new(SEED, 16, 24)),
+                ScaleClass::Eval => Box::new(Pca::new(SEED, 40, 48)),
+            },
+        },
+        BenchmarkEntry {
+            name: "blackscholes",
+            domain: "Financial Analysis",
+            suite: Suite::AxBench,
+            input_desc: "synthetic options",
+            metric: Metric::Mpe,
+            factory: |s| {
+                Box::new(BlackScholes::new(
+                    SEED,
+                    match s {
+                        ScaleClass::Test => 300,
+                        ScaleClass::Eval => 4_000,
+                    },
+                ))
+            },
+        },
+        BenchmarkEntry {
+            name: "inversek2j",
+            domain: "Robotics",
+            suite: Suite::AxBench,
+            input_desc: "synthetic reachable points",
+            metric: Metric::Nrmse,
+            factory: |s| {
+                Box::new(InverseK2J::new(
+                    SEED,
+                    match s {
+                        ScaleClass::Test => 300,
+                        ScaleClass::Eval => 4_000,
+                    },
+                ))
+            },
+        },
+        BenchmarkEntry {
+            name: "jpeg",
+            domain: "Image Compression",
+            suite: Suite::AxBench,
+            input_desc: "synthetic grayscale image",
+            metric: Metric::Nrmse,
+            factory: |s| match s {
+                ScaleClass::Test => Box::new(Jpeg::new(SEED, 16, 16)),
+                ScaleClass::Eval => Box::new(Jpeg::new(SEED, 64, 64)),
+            },
+        },
+    ]
+}
+
+/// Extension workloads from the same suites, beyond the paper's
+/// Table 2 (used by the `extended_eval` binary).
+pub fn extended_benchmarks() -> Vec<BenchmarkEntry> {
+    vec![
+        BenchmarkEntry {
+            name: "kmeans",
+            domain: "Machine Learning",
+            suite: Suite::Phoenix,
+            input_desc: "clustered 2-D integer points",
+            metric: Metric::Nrmse,
+            factory: |s| match s {
+                ScaleClass::Test => Box::new(KMeans::new(SEED, 120, 4, 3)),
+                ScaleClass::Eval => Box::new(KMeans::new(SEED, 600, 8, 5)),
+            },
+        },
+        BenchmarkEntry {
+            name: "sobel",
+            domain: "Image Processing",
+            suite: Suite::AxBench,
+            input_desc: "synthetic grayscale image",
+            metric: Metric::Nrmse,
+            factory: |s| match s {
+                ScaleClass::Test => Box::new(Sobel::new(SEED, 24, 24)),
+                ScaleClass::Eval => Box::new(Sobel::new(SEED, 64, 64)),
+            },
+        },
+    ]
+}
+
+/// The §2 microbenchmarks (Fig. 1, Fig. 12).
+pub fn micro_benchmarks() -> Vec<BenchmarkEntry> {
+    vec![
+        BenchmarkEntry {
+            name: "bad_dot_product",
+            domain: "Microbenchmark",
+            suite: Suite::Micro,
+            input_desc: "sparse integer vectors (0..=255)",
+            metric: Metric::Mpe,
+            factory: |s| {
+                Box::new(BadDotProduct::new(
+                    SEED,
+                    match s {
+                        ScaleClass::Test => 512,
+                        ScaleClass::Eval => 8_000,
+                    },
+                    true,
+                ))
+            },
+        },
+        BenchmarkEntry {
+            name: "good_dot_product",
+            domain: "Microbenchmark",
+            suite: Suite::Micro,
+            input_desc: "sparse integer vectors (0..=255)",
+            metric: Metric::Mpe,
+            factory: |s| {
+                Box::new(GoodDotProduct::new(
+                    SEED,
+                    match s {
+                        ScaleClass::Test => 512,
+                        ScaleClass::Eval => 8_000,
+                    },
+                ))
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roster_matches_table2() {
+        let b = paper_benchmarks();
+        let names: Vec<_> = b.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "histogram",
+                "linear_regression",
+                "pca",
+                "blackscholes",
+                "inversek2j",
+                "jpeg"
+            ]
+        );
+        // Metrics as in Table 2.
+        assert_eq!(b[0].metric, Metric::Mpe);
+        assert_eq!(b[2].metric, Metric::Nrmse);
+        assert_eq!(b[5].metric, Metric::Nrmse);
+        assert_eq!(b[0].suite, Suite::Phoenix);
+        assert_eq!(b[3].suite, Suite::AxBench);
+    }
+
+    #[test]
+    fn factories_build_named_workloads() {
+        for entry in paper_benchmarks()
+            .iter()
+            .chain(micro_benchmarks().iter())
+            .chain(extended_benchmarks().iter())
+        {
+            let w = entry.build(ScaleClass::Test);
+            assert_eq!(w.name(), entry.name);
+            assert_eq!(w.metric(), entry.metric);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Quality auto-tuning (paper §3.5).
+//!
+//! The paper points to auto-tuning frameworks (Green, SAGE, ...) that
+//! "automatically select the approximate regions and d-distance for an
+//! output quality target specified by the user". This module implements
+//! that loop for Ghostwriter: given a workload and an output-error
+//! budget, it profiles candidate d-distances against the precise
+//! baseline and returns the most aggressive setting whose measured error
+//! stays within budget — mirroring the offline profile-guided flow the
+//! paper describes (§3.1, §3.5).
+
+use ghostwriter_core::Protocol;
+
+use crate::runner::{compare, Comparison, Workload};
+
+/// One profiled candidate.
+#[derive(Clone, Copy, Debug)]
+pub struct Candidate {
+    /// d-distance evaluated.
+    pub d: u8,
+    /// Measured output error, percent.
+    pub error_percent: f64,
+    /// Speedup over the precise baseline, percent.
+    pub speedup_percent: f64,
+    /// Coherence traffic normalized to the baseline.
+    pub normalized_traffic: f64,
+}
+
+/// Outcome of an auto-tuning run.
+pub struct TuneResult {
+    /// Chosen d-distance (under the default Fallback GI policy, d = 0
+    /// approximates only silent stores and is exact).
+    pub chosen_d: u8,
+    /// The chosen candidate's measurements.
+    pub chosen: Candidate,
+    /// Every candidate profiled, in evaluation order.
+    pub profile: Vec<Candidate>,
+}
+
+/// Default candidate ladder, most aggressive first.
+pub const DEFAULT_LADDER: [u8; 6] = [12, 8, 6, 4, 2, 0];
+
+/// Profiles `factory`'s workload over `ladder` (descending d) and picks
+/// the largest d whose output error is within `error_budget_percent`.
+///
+/// `protocol` must be a Ghostwriter variant; the same configuration
+/// (timeout, policies) is used at every d.
+pub fn autotune(
+    factory: &dyn Fn() -> Box<dyn Workload>,
+    cores: usize,
+    threads: usize,
+    error_budget_percent: f64,
+    ladder: &[u8],
+    protocol: Protocol,
+) -> TuneResult {
+    assert!(protocol.is_ghostwriter(), "tuning needs Ghostwriter");
+    assert!(!ladder.is_empty());
+    let mut profile = Vec::new();
+    let mut chosen: Option<Candidate> = None;
+    for &d in ladder {
+        let cmp: Comparison = compare(factory, cores, threads, d, protocol);
+        let cand = Candidate {
+            d,
+            error_percent: cmp.output_error_percent(),
+            speedup_percent: cmp.speedup_percent(),
+            normalized_traffic: cmp.normalized_traffic(),
+        };
+        profile.push(cand);
+        if cand.error_percent <= error_budget_percent {
+            chosen = Some(cand);
+            break; // ladder is descending: first fit is the largest d
+        }
+    }
+    let chosen = chosen.unwrap_or_else(|| {
+        // No ladder entry met the budget. Profile d = 0 too (silent
+        // stores only — exact under the default Fallback GI policy) and
+        // pick the minimum-error candidate overall.
+        if !ladder.contains(&0) {
+            let cmp = compare(factory, cores, threads, 0, protocol);
+            profile.push(Candidate {
+                d: 0,
+                error_percent: cmp.output_error_percent(),
+                speedup_percent: cmp.speedup_percent(),
+                normalized_traffic: cmp.normalized_traffic(),
+            });
+        }
+        *profile
+            .iter()
+            .min_by(|a, b| {
+                a.error_percent
+                    .partial_cmp(&b.error_percent)
+                    .expect("errors are finite")
+            })
+            .expect("profile nonempty")
+    });
+    TuneResult {
+        chosen_d: chosen.d,
+        chosen,
+        profile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dot::BadDotProduct;
+    use crate::jpeg::Jpeg;
+
+    #[test]
+    fn tuned_error_respects_budget() {
+        let result = autotune(
+            &|| Box::new(Jpeg::new(17, 16, 16)),
+            4,
+            4,
+            0.5,
+            &DEFAULT_LADDER,
+            Protocol::ghostwriter(),
+        );
+        assert!(
+            result.chosen.error_percent <= 0.5,
+            "budget violated: {}",
+            result.chosen.error_percent
+        );
+    }
+
+    #[test]
+    fn looser_budget_allows_larger_d() {
+        let run = |budget| {
+            autotune(
+                &|| Box::new(Jpeg::new(17, 16, 16)),
+                4,
+                4,
+                budget,
+                &DEFAULT_LADDER,
+                Protocol::ghostwriter(),
+            )
+            .chosen_d
+        };
+        let tight = run(0.0);
+        let loose = run(100.0);
+        assert!(loose >= tight, "loose {loose} < tight {tight}");
+        assert_eq!(run(100.0), DEFAULT_LADDER[0], "everything fits");
+    }
+
+    #[test]
+    fn impossible_budget_picks_minimum_error() {
+        // The pathological microbenchmark under Capture semantics has
+        // error at every d (even d = 0: silent-store entries to GI
+        // capture later stores), so a zero budget cannot be met; the
+        // tuner must return the least-bad candidate.
+        let result = autotune(
+            &|| Box::new(BadDotProduct::with_work(1, 400, true, 8)),
+            4,
+            4,
+            0.0,
+            &[8, 4],
+            Protocol::ghostwriter_capture(256),
+        );
+        assert_eq!(result.profile.len(), 3, "both ladder rungs + d=0");
+        let min = result
+            .profile
+            .iter()
+            .map(|c| c.error_percent)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(result.chosen.error_percent, min);
+    }
+
+    #[test]
+    fn zero_budget_met_by_d0_under_fallback() {
+        // Under the default Fallback policy, d = 0 (silent stores only)
+        // is exact, so even a zero budget is satisfiable.
+        let result = autotune(
+            &|| Box::new(BadDotProduct::with_work(1, 400, true, 8)),
+            4,
+            4,
+            0.0,
+            &[4, 0],
+            Protocol::ghostwriter(),
+        );
+        assert_eq!(result.chosen.error_percent, 0.0);
+    }
+}

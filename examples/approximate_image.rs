@@ -1,0 +1,45 @@
+//! An end-to-end error-tolerant pipeline: the jpeg workload (DCT →
+//! in-place quantization → reconstruction) on a 24-core machine, showing
+//! the accuracy/efficiency trade-off Ghostwriter offers at different
+//! d-distances.
+//!
+//! ```text
+//! cargo run --release --example approximate_image
+//! ```
+
+use ghostwriter::core::{MachineConfig, Protocol};
+use ghostwriter::workloads::{execute, Jpeg};
+
+fn main() {
+    println!("jpeg 64x64, 24 threads");
+    println!("config            | cycles  | messages | NRMSE");
+    let run_one = |protocol: Protocol, d: u8, label: &str| {
+        let mut w = Jpeg::new(0xA11CE, 64, 64);
+        let out = execute(
+            &mut w,
+            MachineConfig {
+                cores: 24,
+                protocol,
+                ..MachineConfig::default()
+            },
+            24,
+            d,
+        );
+        println!(
+            "{label:<17} | {:>7} | {:>8} | {:.4}%",
+            out.report.cycles,
+            out.report.stats.traffic.total(),
+            out.error_percent
+        );
+        (out.report.cycles, out.report.stats.traffic.total())
+    };
+    let (bc, bm) = run_one(Protocol::Mesi, 0, "MESI (exact)");
+    for d in [2u8, 4, 8] {
+        let (c, m) = run_one(Protocol::ghostwriter(), d, &format!("Ghostwriter d={d}"));
+        println!(
+            "                  -> speedup {:+.1}%, traffic {:+.1}%",
+            (bc as f64 / c as f64 - 1.0) * 100.0,
+            (m as f64 / bm as f64 - 1.0) * 100.0
+        );
+    }
+}

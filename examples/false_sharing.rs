@@ -1,0 +1,43 @@
+//! The paper's §2 motivation (Fig. 1): the naive parallel dot product of
+//! Listing 1 collapses under false sharing while the privatized Listing 2
+//! scales — and Ghostwriter recovers most of the naive version's loss
+//! without touching the source.
+//!
+//! ```text
+//! cargo run --release --example false_sharing
+//! ```
+
+use ghostwriter::core::{MachineConfig, Protocol};
+use ghostwriter::workloads::{execute, BadDotProduct, GoodDotProduct, Workload};
+
+fn cycles(w: &mut dyn Workload, threads: usize, protocol: Protocol) -> u64 {
+    let cfg = MachineConfig {
+        cores: threads,
+        protocol,
+        ..MachineConfig::default()
+    };
+    execute(w, cfg, threads, 8).report.cycles
+}
+
+fn main() {
+    let n = 6_000;
+    println!("threads | naive/MESI | naive/Ghostwriter | privatized");
+    let base = cycles(&mut BadDotProduct::new(7, n, true), 1, Protocol::Mesi);
+    for threads in [1usize, 2, 4, 8, 16] {
+        let naive = cycles(&mut BadDotProduct::new(7, n, true), threads, Protocol::Mesi);
+        let gw = cycles(
+            &mut BadDotProduct::new(7, n, true),
+            threads,
+            Protocol::ghostwriter(),
+        );
+        let good = cycles(&mut GoodDotProduct::new(7, n), threads, Protocol::Mesi);
+        println!(
+            "{threads:>7} | {:>9.2}x | {:>16.2}x | {:>9.2}x",
+            base as f64 / naive as f64,
+            base as f64 / gw as f64,
+            base as f64 / good as f64,
+        );
+    }
+    println!("\nThe scribbled naive version recovers scaling on-the-fly;");
+    println!("the privatized rewrite remains the software fix.");
+}

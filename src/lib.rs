@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the Ghostwriter simulator's public API.
+pub use ghostwriter_core as core;
+pub use ghostwriter_energy as energy;
+pub use ghostwriter_mem as mem;
+pub use ghostwriter_noc as noc;
+pub use ghostwriter_sim as sim;
+pub use ghostwriter_workloads as workloads;

@@ -1,0 +1,159 @@
+//! Property-based coherence tests: randomized multi-threaded access
+//! patterns driven through the full machine.
+//!
+//! * Under baseline MESI, with one writer per address, every reader
+//!   observes a non-decreasing sequence of that writer's (increasing)
+//!   values — the coherence/SC guarantee of the write-invalidate
+//!   protocol — and the final memory holds each writer's last value.
+//! * Under Ghostwriter, conventional (non-annotated) data keeps the same
+//!   guarantee even while scribble chaos runs on a disjoint approximate
+//!   pool, and nothing deadlocks or panics.
+
+#![allow(clippy::needless_range_loop)] // indices are thread/block ids
+
+use ghostwriter::core::{Machine, MachineConfig, Protocol};
+use ghostwriter::mem::Addr;
+use proptest::prelude::*;
+
+/// One reader/writer schedule: per thread, a list of (address index,
+/// optional work) steps.
+#[derive(Debug, Clone)]
+struct Plan {
+    threads: usize,
+    blocks: usize,
+    steps: Vec<Vec<(usize, u8)>>,
+    small_l2: bool,
+}
+
+fn plan_strategy() -> impl Strategy<Value = Plan> {
+    (2usize..=4, 2usize..=8, any::<bool>())
+        .prop_flat_map(|(threads, blocks, small_l2)| {
+            let step = (0..blocks, 0u8..4);
+            let thread_steps = proptest::collection::vec(step, 10..40);
+            proptest::collection::vec(thread_steps, threads..=threads).prop_map(
+                move |steps| Plan {
+                    threads,
+                    blocks,
+                    steps,
+                    small_l2,
+                },
+            )
+        })
+}
+
+fn config(threads: usize, small_l2: bool, protocol: Protocol) -> MachineConfig {
+    if small_l2 {
+        // Tiny caches force L1 evictions and L2 inclusion recalls.
+        MachineConfig::small(threads, protocol)
+    } else {
+        MachineConfig {
+            cores: threads,
+            protocol,
+            ..MachineConfig::default()
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Single-writer-per-address MESI runs: readers observe monotone
+    /// values, final state is each writer's last write.
+    #[test]
+    fn mesi_single_writer_monotonic(plan in plan_strategy()) {
+        let mut m = Machine::new(config(plan.threads, plan.small_l2, Protocol::Mesi));
+        // Writer t owns slot t within each block (false sharing on
+        // purpose); readers read any slot.
+        let base = m.alloc_padded(64 * plan.blocks as u64);
+        let threads = plan.threads;
+        let blocks = plan.blocks;
+        let mut writes_per = vec![vec![0u32; blocks]; threads];
+        for (t, steps) in plan.steps.iter().enumerate() {
+            for &(b, _) in steps {
+                writes_per[t][b] += 1;
+            }
+        }
+        for (t, steps) in plan.steps.clone().into_iter().enumerate() {
+            m.add_thread(move |ctx| {
+                let mut counters = vec![0u32; blocks];
+                let mut seen = vec![vec![0u32; threads]; blocks];
+                for (b, w) in steps {
+                    let my_slot = base.add(64 * b as u64 + 4 * t as u64);
+                    counters[b] += 1;
+                    ctx.store_u32(my_slot, counters[b]);
+                    if w > 0 {
+                        ctx.work(w as u64);
+                    }
+                    // Read every other writer's slot in this block and
+                    // check monotonicity.
+                    for u in 0..threads {
+                        let v = ctx.load_u32(base.add(64 * b as u64 + 4 * u as u64));
+                        assert!(
+                            v >= seen[b][u],
+                            "reader {t} saw block {b} writer {u} go backwards: {v} < {}",
+                            seen[b][u]
+                        );
+                        seen[b][u] = v;
+                    }
+                }
+            });
+        }
+        let run = m.run();
+        for t in 0..threads {
+            for b in 0..blocks {
+                let v = run.read_u32(Addr(base.0 + 64 * b as u64 + 4 * t as u64));
+                prop_assert_eq!(v, writes_per[t][b], "final value thread {} block {}", t, b);
+            }
+        }
+    }
+
+    /// Scribble chaos on an approximate pool never corrupts conventional
+    /// data and never deadlocks, under both GI-store policies.
+    #[test]
+    fn ghostwriter_conventional_data_stays_exact(plan in plan_strategy(), capture in any::<bool>()) {
+        let protocol = if capture {
+            Protocol::ghostwriter_capture(256)
+        } else {
+            Protocol::ghostwriter()
+        };
+        let mut m = Machine::new(config(plan.threads, plan.small_l2, protocol));
+        let approx = m.alloc_padded(64 * plan.blocks as u64);
+        let exact = m.alloc_padded(64 * plan.blocks as u64);
+        let threads = plan.threads;
+        let blocks = plan.blocks;
+        let mut writes_per = vec![vec![0u32; blocks]; threads];
+        for (t, steps) in plan.steps.iter().enumerate() {
+            for &(b, _) in steps {
+                writes_per[t][b] += 1;
+            }
+        }
+        for (t, steps) in plan.steps.clone().into_iter().enumerate() {
+            m.add_thread(move |ctx| {
+                ctx.approx_begin(4);
+                let mut counters = vec![0u32; blocks];
+                for (b, w) in steps {
+                    // Approximate chaos: read-modify-scribble a falsely
+                    // shared slot.
+                    let a_slot = approx.add(64 * b as u64 + 4 * t as u64);
+                    let v = ctx.load_u32(a_slot);
+                    ctx.scribble_u32(a_slot, v.wrapping_add(w as u32));
+                    // Conventional ground truth.
+                    let e_slot = exact.add(64 * b as u64 + 4 * t as u64);
+                    counters[b] += 1;
+                    ctx.store_u32(e_slot, counters[b]);
+                    if w > 0 {
+                        ctx.work(w as u64);
+                    }
+                }
+                ctx.approx_end();
+            });
+        }
+        let run = m.run();
+        for t in 0..threads {
+            for b in 0..blocks {
+                let v = run.read_u32(Addr(exact.0 + 64 * b as u64 + 4 * t as u64));
+                prop_assert_eq!(v, writes_per[t][b], "conventional slot {} {}", t, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! The simulator is a pure function of its inputs: repeated runs of every
+//! workload under both protocols produce identical cycle counts, message
+//! counts, energy events and outputs.
+
+use ghostwriter::core::{MachineConfig, Protocol};
+use ghostwriter::workloads::{execute, paper_benchmarks, ScaleClass};
+
+fn fingerprint(protocol: Protocol) -> Vec<(u64, u64, u64, u64, String)> {
+    paper_benchmarks()
+        .iter()
+        .map(|entry| {
+            let mut w = entry.build(ScaleClass::Test);
+            let out = execute(
+                w.as_mut(),
+                MachineConfig {
+                    cores: 4,
+                    protocol,
+                    ..MachineConfig::default()
+                },
+                4,
+                8,
+            );
+            (
+                out.report.cycles,
+                out.report.stats.traffic.total(),
+                out.report.stats.serviced_by_gs,
+                out.report.stats.serviced_by_gi,
+                format!("{:?}", out.output),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn mesi_runs_are_deterministic() {
+    assert_eq!(fingerprint(Protocol::Mesi), fingerprint(Protocol::Mesi));
+}
+
+#[test]
+fn ghostwriter_runs_are_deterministic() {
+    assert_eq!(
+        fingerprint(Protocol::ghostwriter()),
+        fingerprint(Protocol::ghostwriter())
+    );
+}

@@ -1,0 +1,236 @@
+//! Machine-level tests of the paper's programmer-model details (§3.1,
+//! §3.5) and this reproduction's extensions.
+
+use ghostwriter::core::config::GwConfig;
+use ghostwriter::core::{Machine, MachineConfig, Protocol};
+use ghostwriter::workloads::{compare, BadDotProduct};
+
+fn machine(cores: usize, protocol: Protocol) -> Machine {
+    Machine::new(MachineConfig {
+        cores,
+        protocol,
+        ..MachineConfig::default()
+    })
+}
+
+/// §3.1: `approx_dist` can be re-programmed between regions (the
+/// `setaprx` instruction): the same store value is approximated under a
+/// loose region and published under a tight one.
+#[test]
+fn per_region_d_distances() {
+    let mut m = machine(2, Protocol::ghostwriter());
+    let block = m.alloc_padded(64);
+    m.add_thread(move |ctx| {
+        for r in 0..8u32 {
+            ctx.store_u32(block, 0x100 * r);
+            ctx.barrier();
+            ctx.barrier();
+        }
+    });
+    m.add_thread(move |ctx| {
+        let mut gs_like_hits = 0u32;
+        for r in 0..8u32 {
+            ctx.barrier();
+            let v = ctx.load_u32(block.add(4));
+            // First half: tight region (d=1) — delta 2 always publishes.
+            // Second half: loose region (d=4) — delta 2 is absorbed.
+            let d = if r < 4 { 1 } else { 4 };
+            ctx.approx_begin(d);
+            ctx.scribble_u32(block.add(4), v + 2);
+            ctx.approx_end();
+            gs_like_hits += 1;
+            ctx.barrier();
+        }
+        assert_eq!(gs_like_hits, 8);
+    });
+    let run = m.run();
+    let s = &run.report.stats;
+    // The loose region's scribbles (4 of them) were serviced by GS; the
+    // tight region's went conventional.
+    assert_eq!(s.serviced_by_gs + s.gs_hits, 4, "loose-region scribbles");
+    assert!(s.upgrades_from_s + s.stores_on_invalid_tagged >= 4);
+}
+
+/// §3.1: `approx_end` does not flush — blocks already in GS remain
+/// usable for computation (loads still hit and see the local values).
+#[test]
+fn approx_end_keeps_gs_blocks_warm() {
+    let mut m = machine(2, Protocol::ghostwriter());
+    let block = m.alloc_padded(64);
+    let result = m.alloc_padded(64);
+    m.add_thread(move |ctx| {
+        ctx.store_u32(block, 5);
+        ctx.barrier();
+        ctx.barrier();
+    });
+    m.add_thread(move |ctx| {
+        ctx.barrier();
+        // Enter GS with a hidden write...
+        let v = ctx.load_u32(block.add(4));
+        ctx.approx_begin(4);
+        ctx.scribble_u32(block.add(4), v + 3);
+        ctx.approx_end();
+        // ...after approx_end the local copy still serves loads (hit,
+        // hidden value visible to this core).
+        let local = ctx.load_u32(block.add(4));
+        ctx.store_u32(result, local);
+        ctx.barrier();
+    });
+    let run = m.run();
+    assert_eq!(run.read_u32(result), 3, "load after approx_end sees the local GS value");
+    assert_eq!(run.report.stats.serviced_by_gs, 1);
+}
+
+/// Extension (§3.5): the runtime error bound caps the pathological
+/// microbenchmark's error under the Capture policy with only a modest
+/// traffic give-back.
+#[test]
+fn error_bound_tames_capture_divergence() {
+    let run = |bound| {
+        let p = Protocol::Ghostwriter(GwConfig {
+            gi_stores: ghostwriter::core::GiStorePolicy::Capture,
+            max_hidden_writes: bound,
+            ..GwConfig::default()
+        });
+        compare(
+            &|| Box::new(BadDotProduct::with_work(0xF16, 1_200, true, 64)),
+            8,
+            8,
+            4,
+            p,
+        )
+    };
+    let unbounded = run(None);
+    let bounded = run(Some(4));
+    assert!(
+        bounded.output_error_percent() < unbounded.output_error_percent() / 2.0
+            || unbounded.output_error_percent() < 1.0,
+        "bound must cut error: {} vs {}",
+        bounded.output_error_percent(),
+        unbounded.output_error_percent()
+    );
+    assert!(
+        bounded.normalized_traffic() < 1.0,
+        "bounded run should still save traffic"
+    );
+}
+
+/// Fig. 12's direction at machine level: under Capture semantics, a
+/// longer GI timeout hides more work and loses more of it.
+#[test]
+fn longer_timeout_means_more_error_under_capture() {
+    let run = |timeout| {
+        compare(
+            &|| Box::new(BadDotProduct::with_work(0xF16, 1_200, true, 64)),
+            8,
+            8,
+            4,
+            Protocol::ghostwriter_capture(timeout),
+        )
+    };
+    let short = run(128);
+    let long = run(2048);
+    assert!(
+        long.output_error_percent() >= short.output_error_percent(),
+        "error should grow with the timeout: {} vs {}",
+        long.output_error_percent(),
+        short.output_error_percent()
+    );
+    assert!(
+        long.normalized_traffic() <= short.normalized_traffic() + 1e-9,
+        "traffic should shrink with the timeout"
+    );
+}
+
+/// The d-legality rule (§3.1): d ≥ 8 on byte accesses demotes to
+/// conventional stores — byte data is never blanket-approximated.
+#[test]
+fn byte_scribbles_at_d8_are_demoted() {
+    let mut m = machine(2, Protocol::ghostwriter());
+    let block = m.alloc_padded(64);
+    m.add_thread(move |ctx| {
+        ctx.store_u8(block, 1);
+        ctx.barrier();
+        ctx.barrier();
+    });
+    m.add_thread(move |ctx| {
+        ctx.barrier();
+        let _ = ctx.load_u8(block.add(1));
+        ctx.approx_begin(8);
+        // Byte store at d=8: would admit any value, so it must take the
+        // conventional UPGRADE path instead of entering GS.
+        ctx.scribble_u8(block.add(1), 200);
+        ctx.approx_end();
+        ctx.barrier();
+    });
+    let run = m.run();
+    assert_eq!(run.report.stats.serviced_by_gs, 0);
+    assert_eq!(run.report.stats.scribbles, 0, "demoted to a store");
+    assert_eq!(run.read_u32(block.add(0)) & 0xFF, 1);
+}
+
+/// Energy accounting sanity at machine level: events are populated, the
+/// split matches the model, and Ghostwriter's savings come from fewer
+/// events, not different constants.
+#[test]
+fn energy_accounting_is_consistent() {
+    use ghostwriter::energy::EnergyModel;
+    let run = |protocol| {
+        let mut m = machine(4, protocol);
+        let shared = m.alloc_padded(64);
+        for t in 0..4u64 {
+            m.add_thread(move |ctx| {
+                ctx.approx_begin(4);
+                let slot = shared.add(4 * t);
+                for i in 0..100u32 {
+                    let v = ctx.load_u32(slot);
+                    ctx.scribble_u32(slot, v + (i & 1));
+                }
+                ctx.approx_end();
+            });
+        }
+        m.run().report
+    };
+    let base = run(Protocol::Mesi);
+    let gw = run(Protocol::ghostwriter());
+    for r in [&base, &gw] {
+        let ev = &r.stats.energy_events;
+        assert!(ev.l1_reads > 0 && ev.l1_writes > 0);
+        assert_eq!(ev.router_flits, r.stats.traffic.router_flits());
+        assert_eq!(ev.link_flit_hops, r.stats.traffic.flit_hops());
+        // Re-evaluating the model over the events reproduces the report.
+        let again = EnergyModel::default().evaluate(ev);
+        assert_eq!(again.memory_pj, r.energy.memory_pj);
+        assert_eq!(again.network_pj, r.energy.network_pj);
+    }
+    assert!(gw.energy.total_pj() < base.energy.total_pj());
+}
+
+/// The machine honours custom energy models.
+#[test]
+fn custom_energy_model_scales_results() {
+    use ghostwriter::energy::EnergyModel;
+    let run = |scale: f64| {
+        let mut m = machine(2, Protocol::Mesi);
+        let mut model = EnergyModel::default();
+        model.l1_read_pj *= scale;
+        model.l1_write_pj *= scale;
+        model.l2_read_pj *= scale;
+        model.l2_write_pj *= scale;
+        model.l2_tag_pj *= scale;
+        model.l1_tag_pj *= scale;
+        model.dram_read_pj *= scale;
+        model.dram_write_pj *= scale;
+        m.set_energy_model(model);
+        let a = m.alloc_padded(64);
+        m.add_thread(move |ctx| {
+            for i in 0..50u32 {
+                ctx.store_u32(a, i);
+            }
+        });
+        m.run().report.energy.memory_pj
+    };
+    let base = run(1.0);
+    let doubled = run(2.0);
+    assert!((doubled - 2.0 * base).abs() < 1e-6);
+}

@@ -1,0 +1,77 @@
+//! The headline reproduction, pinned as a regression test: the paper's
+//! strongest result (linear_regression under Ghostwriter) must keep its
+//! shape — large speedup and traffic cut at near-zero output error — and
+//! the no-false-sharing applications must remain completely unaffected.
+//!
+//! Runs at paper scale (24 cores, Eval inputs), a few seconds.
+
+use ghostwriter::core::Protocol;
+use ghostwriter::workloads::{compare, paper_benchmarks, ScaleClass};
+
+#[test]
+fn linear_regression_headline_shape() {
+    let entry = paper_benchmarks()
+        .into_iter()
+        .find(|e| e.name == "linear_regression")
+        .expect("registry");
+    let cmp = compare(
+        &|| entry.build(ScaleClass::Eval),
+        24,
+        24,
+        8,
+        Protocol::ghostwriter(),
+    );
+    // Paper: 27.2-37.3% speedup, -22.8% traffic, 63.7-69.1% GS service,
+    // <0.12% error. Our regression bands are looser but directional.
+    assert!(
+        cmp.speedup_percent() > 15.0,
+        "speedup collapsed: {:.1}%",
+        cmp.speedup_percent()
+    );
+    assert!(
+        cmp.normalized_traffic() < 0.8,
+        "traffic reduction lost: {:.3}",
+        cmp.normalized_traffic()
+    );
+    assert!(
+        cmp.gs_serviced_percent() > 60.0,
+        "GS utilization lost: {:.1}%",
+        cmp.gs_serviced_percent()
+    );
+    assert!(
+        cmp.output_error_percent() < 0.12,
+        "error above the paper's ceiling: {:.4}%",
+        cmp.output_error_percent()
+    );
+    assert!(cmp.energy_saved_percent() > 15.0);
+}
+
+#[test]
+fn no_false_sharing_apps_are_untouched() {
+    for name in ["histogram", "blackscholes", "inversek2j"] {
+        let entry = paper_benchmarks()
+            .into_iter()
+            .find(|e| e.name == name)
+            .expect("registry");
+        let cmp = compare(
+            &|| entry.build(ScaleClass::Eval),
+            24,
+            24,
+            8,
+            Protocol::ghostwriter(),
+        );
+        // Paper §4.3: "Ghostwriter does not provide performance gains nor
+        // does it degrade performance for applications that do not show
+        // false sharing... It also does not introduce error."
+        assert_eq!(
+            cmp.baseline.report.cycles, cmp.ghostwriter.report.cycles,
+            "{name}: cycles changed"
+        );
+        assert_eq!(
+            cmp.baseline.report.stats.traffic.total(),
+            cmp.ghostwriter.report.stats.traffic.total(),
+            "{name}: traffic changed"
+        );
+        assert_eq!(cmp.output_error_percent(), 0.0, "{name}: error introduced");
+    }
+}

@@ -1,0 +1,82 @@
+//! Cross-crate exactness invariants:
+//! * every workload under baseline MESI reproduces the precise reference
+//!   bit-exactly (the parallel protocol is correct);
+//! * every workload under Ghostwriter with d = 0 is also exact — only
+//!   silent stores are approximated, and forfeiting a silent store cannot
+//!   change memory.
+
+use ghostwriter::core::Protocol;
+use ghostwriter::workloads::{
+    execute, extended_benchmarks, micro_benchmarks, paper_benchmarks, ScaleClass,
+};
+use ghostwriter::core::MachineConfig;
+
+const THREADS: usize = 4;
+
+fn cfg(protocol: Protocol) -> MachineConfig {
+    MachineConfig {
+        cores: THREADS,
+        protocol,
+        ..MachineConfig::default()
+    }
+}
+
+#[test]
+fn all_workloads_exact_under_mesi() {
+    for entry in paper_benchmarks()
+        .iter()
+        .chain(micro_benchmarks().iter())
+        .chain(extended_benchmarks().iter())
+    {
+        let mut w = entry.build(ScaleClass::Test);
+        let out = execute(w.as_mut(), cfg(Protocol::Mesi), THREADS, 8);
+        assert_eq!(
+            out.error_percent, 0.0,
+            "{} must be exact under MESI",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn all_workloads_exact_under_ghostwriter_d0() {
+    for entry in paper_benchmarks()
+        .iter()
+        .chain(micro_benchmarks().iter())
+        .chain(extended_benchmarks().iter())
+    {
+        let mut w = entry.build(ScaleClass::Test);
+        let out = execute(w.as_mut(), cfg(Protocol::ghostwriter()), THREADS, 0);
+        assert_eq!(
+            out.error_percent, 0.0,
+            "{} must be exact at d=0 (silent stores only)",
+            entry.name
+        );
+    }
+}
+
+#[test]
+fn disabled_approx_states_behave_like_mesi() {
+    // Ghostwriter with both approximate states disabled must equal the
+    // baseline in timing AND traffic, not just output.
+    use ghostwriter::core::config::GwConfig;
+    let gw_off = Protocol::Ghostwriter(GwConfig {
+        enable_gs: false,
+        enable_gi: false,
+        ..GwConfig::default()
+    });
+    for entry in paper_benchmarks() {
+        let mut a = entry.build(ScaleClass::Test);
+        let mut b = entry.build(ScaleClass::Test);
+        let base = execute(a.as_mut(), cfg(Protocol::Mesi), THREADS, 8);
+        let off = execute(b.as_mut(), cfg(gw_off), THREADS, 8);
+        assert_eq!(base.report.cycles, off.report.cycles, "{}", entry.name);
+        assert_eq!(
+            base.report.stats.traffic.total(),
+            off.report.stats.traffic.total(),
+            "{}",
+            entry.name
+        );
+        assert_eq!(off.error_percent, 0.0, "{}", entry.name);
+    }
+}
