@@ -90,5 +90,10 @@ fn gi_policy_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(ablations, state_ablation, scribe_ablation, gi_policy_ablation);
+criterion_group!(
+    ablations,
+    state_ablation,
+    scribe_ablation,
+    gi_policy_ablation
+);
 criterion_main!(ablations);

@@ -5,9 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ghostwriter_core::{MachineConfig, Protocol};
-use ghostwriter_workloads::{
-    compare, execute, BadDotProduct, GoodDotProduct, ScaleClass,
-};
+use ghostwriter_workloads::{compare, execute, BadDotProduct, GoodDotProduct, ScaleClass};
 use std::hint::black_box;
 
 const CORES: usize = 4;

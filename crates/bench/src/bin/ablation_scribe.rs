@@ -38,7 +38,13 @@ fn main() {
                     scribe,
                     ..GwConfig::default()
                 });
-                let cmp = compare(&|| entry.build(ScaleClass::Eval), EVAL_CORES, EVAL_CORES, d, p);
+                let cmp = compare(
+                    &|| entry.build(ScaleClass::Eval),
+                    EVAL_CORES,
+                    EVAL_CORES,
+                    d,
+                    p,
+                );
                 println!(
                     "{}",
                     row(

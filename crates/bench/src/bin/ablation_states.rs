@@ -34,10 +34,16 @@ fn main() {
         )
     );
     let variants: [(&str, Protocol); 5] = [
-        ("GS+GI (default)", protocol(true, true, GiStorePolicy::Fallback)),
+        (
+            "GS+GI (default)",
+            protocol(true, true, GiStorePolicy::Fallback),
+        ),
         ("GS only", protocol(true, false, GiStorePolicy::Fallback)),
         ("GI only", protocol(false, true, GiStorePolicy::Fallback)),
-        ("GS+GI capture", protocol(true, true, GiStorePolicy::Capture)),
+        (
+            "GS+GI capture",
+            protocol(true, true, GiStorePolicy::Capture),
+        ),
         ("disabled", protocol(false, false, GiStorePolicy::Fallback)),
     ];
     for entry in paper_benchmarks()
@@ -45,7 +51,13 @@ fn main() {
         .filter(|e| e.name == "linear_regression" || e.name == "jpeg")
     {
         for (label, p) in &variants {
-            let cmp = compare(&|| entry.build(ScaleClass::Eval), EVAL_CORES, EVAL_CORES, 8, *p);
+            let cmp = compare(
+                &|| entry.build(ScaleClass::Eval),
+                EVAL_CORES,
+                EVAL_CORES,
+                8,
+                *p,
+            );
             println!(
                 "{}",
                 row(

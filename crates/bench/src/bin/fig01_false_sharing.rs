@@ -25,7 +25,11 @@ fn main() {
     println!(
         "{}",
         row(
-            &["threads".into(), "naive (L.1)".into(), "private (L.2)".into()],
+            &[
+                "threads".into(),
+                "naive (L.1)".into(),
+                "private (L.2)".into()
+            ],
             &widths
         )
     );

@@ -14,7 +14,9 @@ fn main() {
     let ds = [0u32, 1, 2, 4, 8, 12, 16, 24, 32];
     let mut header = vec!["app".to_string()];
     header.extend(ds.iter().map(|d| format!("<={d}")));
-    let widths: Vec<usize> = std::iter::once(18usize).chain(ds.iter().map(|_| 7)).collect();
+    let widths: Vec<usize> = std::iter::once(18usize)
+        .chain(ds.iter().map(|_| 7))
+        .collect();
     for suite in [Suite::AxBench, Suite::Phoenix] {
         println!("\n[{}]", suite.label());
         println!("{}", row(&header, &widths));

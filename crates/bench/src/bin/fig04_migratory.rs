@@ -54,7 +54,10 @@ fn scenario(protocol: Protocol) -> (u64, Vec<String>) {
 }
 
 fn main() {
-    banner("Figure 4", "migratory false sharing: MESI vs Ghostwriter GS");
+    banner(
+        "Figure 4",
+        "migratory false sharing: MESI vs Ghostwriter GS",
+    );
     let (mesi_msgs, mesi_trace) = scenario(Protocol::Mesi);
     let (gw_msgs, gw_trace) = scenario(Protocol::ghostwriter());
     println!("\n(a) baseline MESI — {mesi_msgs} coherence messages");

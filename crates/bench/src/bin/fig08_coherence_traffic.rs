@@ -1,7 +1,9 @@
 //! Fig. 8: coherence traffic (GETX / UPGRADE / GETS / Data / Other),
 //! normalized to the MESI baseline, at d-distances 0 (baseline), 4, 8.
 
-use ghostwriter_bench::{banner, eval_paper_suite, print_traffic_stack, EVAL_CORES, EVAL_DISTANCES};
+use ghostwriter_bench::{
+    banner, eval_paper_suite, print_traffic_stack, EVAL_CORES, EVAL_DISTANCES,
+};
 use ghostwriter_workloads::ScaleClass;
 
 fn main() {

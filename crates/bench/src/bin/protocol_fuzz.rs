@@ -7,6 +7,7 @@
 //! ```
 
 use ghostwriter_core::tester::{ProtocolTester, TesterConfig};
+use ghostwriter_core::GiStorePolicy;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -24,6 +25,12 @@ fn main() {
             l2_sets: 2 << (seed % 2),
             l2_ways: 2,
             scribble_prob: if seed % 3 == 0 { 0.4 } else { 0.0 },
+            gi_stores: if seed % 6 == 0 {
+                GiStorePolicy::Capture
+            } else {
+                GiStorePolicy::Fallback
+            },
+            gi_timeout_prob: if seed % 5 == 0 { 0.02 } else { 0.0 },
             deliver_bias: 0.5 + (seed % 5) as f64 * 0.1,
             msi: seed % 4 == 1,
         };

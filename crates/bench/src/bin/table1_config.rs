@@ -8,7 +8,10 @@ fn main() {
     banner("Table 1", "simulation configuration");
     let c = eval_config(Protocol::ghostwriter());
     let (w, h) = Mesh::dims_for(c.cores);
-    println!("Cores      : {} in-order cores, 1 cycle/op issue, 1 GHz", c.cores);
+    println!(
+        "Cores      : {} in-order cores, 1 cycle/op issue, 1 GHz",
+        c.cores
+    );
     println!(
         "L1         : private {} kB D-cache, {}-way, 64 B blocks, tree-PLRU, {}-cycle",
         c.l1_kb, c.l1_ways, c.l1_latency

@@ -1,0 +1,109 @@
+//! Exhaustive small-configuration sweeps (the acceptance gate): every
+//! interleaving of every bounded program must be invariant-clean for
+//! MESI, MSI and Ghostwriter. Bounded to seconds; the deeper sweeps
+//! live behind `--ignored`.
+
+use ghostwriter_check::{sweep, Mutation, ProtocolKind};
+
+fn assert_clean(kind: ProtocolKind, cores: usize, blocks: usize, ops: usize) {
+    let report = sweep(kind, cores, blocks, ops, false, None);
+    if let Some((program, cex)) = &report.counterexample {
+        panic!(
+            "{kind:?} {cores}c/{blocks}b sweep found a violation\nprogram: {program:?}\n{}",
+            cex.render(cores)
+        );
+    }
+    assert!(
+        !report.truncated,
+        "{kind:?} sweep was truncated, not exhaustive"
+    );
+    assert!(report.programs > 0 && report.states > report.programs);
+}
+
+#[test]
+fn mesi_two_core_one_block_exhaustive() {
+    assert_clean(ProtocolKind::Mesi, 2, 1, 2);
+}
+
+#[test]
+fn msi_two_core_one_block_exhaustive() {
+    assert_clean(ProtocolKind::Msi, 2, 1, 2);
+}
+
+#[test]
+fn ghostwriter_two_core_one_block_exhaustive() {
+    assert_clean(ProtocolKind::Ghostwriter, 2, 1, 2);
+}
+
+#[test]
+fn ghostwriter_with_timeout_interleavings() {
+    // Single-step programs with GI-timeout sweeps woven into the
+    // schedule: the timeout path must be race-free too.
+    let report = sweep(ProtocolKind::Ghostwriter, 2, 1, 1, true, None);
+    if let Some((program, cex)) = &report.counterexample {
+        panic!(
+            "timeout sweep violation\nprogram: {program:?}\n{}",
+            cex.render(2)
+        );
+    }
+    assert!(!report.truncated);
+}
+
+#[test]
+fn mutations_are_caught_by_the_sweep() {
+    // The sweep must be able to find both seeded bugs on its own —
+    // no hand-picked program.
+    let skip = sweep(
+        ProtocolKind::Mesi,
+        2,
+        1,
+        2,
+        false,
+        Some(Mutation::SkipInvalidation),
+    );
+    let (_, cex) = skip
+        .counterexample
+        .expect("skipped invalidation must be caught");
+    assert!(cex.trace.len() <= 20, "not shrunk:\n{}", cex.render(2));
+
+    let drop = sweep(
+        ProtocolKind::Mesi,
+        2,
+        1,
+        2,
+        false,
+        Some(Mutation::DropInvAck),
+    );
+    let (_, cex) = drop.counterexample.expect("dropped ack must be caught");
+    assert!(cex.trace.len() <= 20, "not shrunk:\n{}", cex.render(2));
+}
+
+// ---- deeper sweeps, seconds-to-minutes: `cargo test -- --ignored` ----
+
+#[test]
+#[ignore]
+fn mesi_two_core_two_block_exhaustive() {
+    assert_clean(ProtocolKind::Mesi, 2, 2, 2);
+}
+
+#[test]
+#[ignore]
+fn mesi_three_core_one_block_exhaustive() {
+    assert_clean(ProtocolKind::Mesi, 3, 1, 2);
+}
+
+#[test]
+#[ignore]
+fn ghostwriter_two_core_two_block_exhaustive() {
+    assert_clean(ProtocolKind::Ghostwriter, 2, 2, 2);
+}
+
+#[test]
+#[ignore]
+fn ghostwriter_three_core_timeouts_exhaustive() {
+    let report = sweep(ProtocolKind::Ghostwriter, 3, 1, 1, true, None);
+    if let Some((program, cex)) = &report.counterexample {
+        panic!("violation\nprogram: {program:?}\n{}", cex.render(3));
+    }
+    assert!(!report.truncated);
+}

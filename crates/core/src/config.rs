@@ -13,7 +13,7 @@ use crate::scribe::ScribePolicy;
 /// approximate data a window can capture). Both are implemented;
 /// `Fallback` is the default, `Capture` reproduces Fig. 12's regime. The
 /// `ablation_gi_policy` bench compares them.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub enum GiStorePolicy {
     /// Failed scribbles issue a conventional GETX (§3.1 reading).
     #[default]

@@ -21,7 +21,7 @@ use crate::msg::{Endpoint, Grant, Msg, Payload};
 use crate::stats::Stats;
 
 /// Directory view of one block.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum DirState {
     /// No L1 holds the block.
     Np,
@@ -31,8 +31,7 @@ pub enum DirState {
     Owned(usize),
 }
 
-
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Hash)]
 struct L2Meta {
     dir: DirState,
     /// L2 copy differs from DRAM.
@@ -40,13 +39,13 @@ struct L2Meta {
 }
 
 /// A queued L1 request.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 struct Request {
     requestor: usize,
     kind: ReqKind,
 }
 
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 enum ReqKind {
     Gets,
     Getx,
@@ -57,7 +56,7 @@ enum ReqKind {
 }
 
 /// Phase of an in-flight transaction.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 enum Phase {
     /// Invalidating the sharers of the L2 victim (inclusion recall).
     RecallInv,
@@ -73,7 +72,7 @@ enum Phase {
     Unblock,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 struct Txn {
     requestor: usize,
     kind: TxnKind,
@@ -83,7 +82,7 @@ struct Txn {
     recall_victim: Option<BlockAddr>,
 }
 
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 enum TxnKind {
     Gets,
     Getx,
@@ -91,6 +90,10 @@ enum TxnKind {
 }
 
 /// One bank of the shared L2 with its directory slice.
+///
+/// `Clone` snapshots the full architectural state — the model checker
+/// forks a bank at every branching point of its search.
+#[derive(Clone)]
 pub struct DirBank {
     bank: usize,
     mem_ctrls: usize,
@@ -104,6 +107,29 @@ pub struct DirBank {
     /// Requests that found every line of their set pinned by in-flight
     /// transactions; retried after each transaction completes.
     stalled: VecDeque<(BlockAddr, Request)>,
+}
+
+impl std::hash::Hash for DirBank {
+    /// Architectural-state hash for the model checker's visited set. The
+    /// unordered maps are hashed in sorted block order so equal states
+    /// hash equally regardless of insertion history; `stalled` keeps its
+    /// order because retry order is architecturally visible.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.bank.hash(state);
+        self.mem_ctrls.hash(state);
+        self.grant_exclusive.hash(state);
+        self.cache.hash(state);
+        let mut busy: Vec<_> = self.busy.iter().collect();
+        busy.sort_by_key(|(b, _)| **b);
+        busy.hash(state);
+        let mut recalls: Vec<_> = self.recall_of.iter().collect();
+        recalls.sort();
+        recalls.hash(state);
+        let mut queues: Vec<_> = self.queues.iter().collect();
+        queues.sort_by_key(|(b, _)| **b);
+        queues.hash(state);
+        self.stalled.hash(state);
+    }
 }
 
 impl DirBank {
@@ -167,7 +193,9 @@ impl DirBank {
 
     /// True if any transaction is in flight at this bank.
     pub fn quiescent(&self) -> bool {
-        self.busy.is_empty() && self.stalled.is_empty() && self.queues.values().all(|q| q.is_empty())
+        self.busy.is_empty()
+            && self.stalled.is_empty()
+            && self.queues.values().all(|q| q.is_empty())
     }
 
     /// End-of-run functional view of the L2 data for `block`, if resident.
@@ -202,7 +230,11 @@ impl DirBank {
         let block = msg.block;
         let mut out = Vec::new();
         match msg.payload {
-            Payload::Gets | Payload::Getx | Payload::Upgrade | Payload::PutS | Payload::PutE
+            Payload::Gets
+            | Payload::Getx
+            | Payload::Upgrade
+            | Payload::PutS
+            | Payload::PutE
             | Payload::PutM { .. } => {
                 let Endpoint::L1(core) = msg.src else {
                     panic!("request from non-L1 endpoint {:?}", msg.src)
@@ -244,7 +276,12 @@ impl DirBank {
                     .busy
                     .remove(&block)
                     .unwrap_or_else(|| panic!("bank {}: UNBLOCK for idle block", self.bank));
-                assert_eq!(txn.phase, Phase::Unblock, "UNBLOCK in phase {:?}", txn.phase);
+                assert_eq!(
+                    txn.phase,
+                    Phase::Unblock,
+                    "UNBLOCK in phase {:?}",
+                    txn.phase
+                );
                 self.release(block, stats, &mut out);
             }
             p => panic!("bank {}: unexpected message {}", self.bank, p.name()),
@@ -265,7 +302,11 @@ impl DirBank {
                 if let Some(line) = self.cache.get_mut(block) {
                     if let DirState::Shared(s) = line.meta.dir {
                         let s = s & !(1 << req.requestor);
-                        line.meta.dir = if s == 0 { DirState::Np } else { DirState::Shared(s) };
+                        line.meta.dir = if s == 0 {
+                            DirState::Np
+                        } else {
+                            DirState::Shared(s)
+                        };
                     }
                 }
                 // No ack; nothing further.
@@ -351,8 +392,15 @@ impl DirBank {
             LookupResult::Hit { .. } => unreachable!("begin_fill on resident block"),
             LookupResult::Free { way } => {
                 // Reserve the way with a placeholder line awaiting fill.
-                self.cache
-                    .insert_at(way, block, L2Meta { dir: DirState::Np, dirty: false }, BlockData::zeroed());
+                self.cache.insert_at(
+                    way,
+                    block,
+                    L2Meta {
+                        dir: DirState::Np,
+                        dirty: false,
+                    },
+                    BlockData::zeroed(),
+                );
                 out.push(self.to_mem(block, Payload::MemRead));
                 self.busy.insert(block, txn);
             }
@@ -373,7 +421,10 @@ impl DirBank {
                         self.cache.insert_at(
                             way,
                             block,
-                            L2Meta { dir: DirState::Np, dirty: false },
+                            L2Meta {
+                                dir: DirState::Np,
+                                dirty: false,
+                            },
                             BlockData::zeroed(),
                         );
                         out.push(self.to_mem(block, Payload::MemRead));
@@ -427,11 +478,25 @@ impl DirBank {
                 if self.grant_exclusive {
                     // MESI: no sharers, grant Exclusive.
                     self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
-                    out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Exclusive }));
+                    out.push(self.to_l1(
+                        req,
+                        block,
+                        Payload::Data {
+                            data,
+                            grant: Grant::Exclusive,
+                        },
+                    ));
                 } else {
                     // MSI: readers always get Shared.
                     self.cache.get_mut(block).unwrap().meta.dir = DirState::Shared(1 << req);
-                    out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Shared }));
+                    out.push(self.to_l1(
+                        req,
+                        block,
+                        Payload::Data {
+                            data,
+                            grant: Grant::Shared,
+                        },
+                    ));
                 }
             }
             (TxnKind::Gets, DirState::Shared(s)) => {
@@ -440,7 +505,14 @@ impl DirBank {
                 self.cache.get_mut(block).unwrap().meta.dir = DirState::Shared(s | (1 << req));
                 let txn = self.busy.get_mut(&block).unwrap();
                 txn.phase = Phase::Unblock;
-                out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Shared }));
+                out.push(self.to_l1(
+                    req,
+                    block,
+                    Payload::Data {
+                        data,
+                        grant: Grant::Shared,
+                    },
+                ));
             }
             (TxnKind::Gets, DirState::Owned(owner)) => {
                 assert_ne!(owner, req, "GETS from owner");
@@ -454,7 +526,14 @@ impl DirBank {
                 let txn = self.busy.get_mut(&block).unwrap();
                 txn.kind = TxnKind::Getx;
                 txn.phase = Phase::Unblock;
-                out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Modified }));
+                out.push(self.to_l1(
+                    req,
+                    block,
+                    Payload::Data {
+                        data,
+                        grant: Grant::Modified,
+                    },
+                ));
             }
             (TxnKind::Getx, DirState::Shared(s)) => {
                 let others = s & !(1 << req);
@@ -509,7 +588,12 @@ impl DirBank {
             .busy
             .get_mut(&block)
             .unwrap_or_else(|| panic!("bank {}: stray INV_ACK for {block:?}", self.bank));
-        assert_eq!(txn.phase, Phase::InvAcks, "INV_ACK in phase {:?}", txn.phase);
+        assert_eq!(
+            txn.phase,
+            Phase::InvAcks,
+            "INV_ACK in phase {:?}",
+            txn.phase
+        );
         txn.acks_pending -= 1;
         if txn.acks_pending > 0 {
             return;
@@ -524,7 +608,14 @@ impl DirBank {
                 let data = self.cache.get(block).unwrap().data;
                 let txn = self.busy.get_mut(&block).unwrap();
                 txn.phase = Phase::Unblock;
-                out.push(self.to_l1(req, block, Payload::Data { data, grant: Grant::Modified }));
+                out.push(self.to_l1(
+                    req,
+                    block,
+                    Payload::Data {
+                        data,
+                        grant: Grant::Modified,
+                    },
+                ));
             }
             TxnKind::Upgrade => {
                 let txn = self.busy.get_mut(&block).unwrap();
@@ -590,7 +681,13 @@ impl DirBank {
     }
 
     /// DRAM fill arrived for a transaction in `MemFetch`.
-    fn mem_data(&mut self, block: BlockAddr, data: BlockData, stats: &mut Stats, out: &mut Vec<Msg>) {
+    fn mem_data(
+        &mut self,
+        block: BlockAddr,
+        data: BlockData,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) {
         {
             let txn = self
                 .busy
@@ -627,7 +724,10 @@ impl DirBank {
         self.cache.insert_at(
             way,
             main,
-            L2Meta { dir: DirState::Np, dirty: false },
+            L2Meta {
+                dir: DirState::Np,
+                dirty: false,
+            },
             BlockData::zeroed(),
         );
         out.push(self.to_mem(main, Payload::MemRead));
@@ -710,7 +810,9 @@ mod tests {
                         src: msg.dst,
                         dst: msg.src,
                         block: msg.block,
-                        payload: Payload::MemData { data: BlockData::zeroed() },
+                        payload: Payload::MemData {
+                            data: BlockData::zeroed(),
+                        },
                     };
                     pending.extend(bank.handle_msg(reply, stats));
                 }
@@ -771,7 +873,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(1),
-                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+                payload: Payload::DataToDir {
+                    data: BlockData::zeroed(),
+                    retained: true,
+                },
             },
             &mut stats,
         );
@@ -795,7 +900,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(2),
-                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+                payload: Payload::DataToDir {
+                    data: BlockData::zeroed(),
+                    retained: true,
+                },
             },
             &mut stats,
         );
@@ -830,7 +938,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(3),
-                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+                payload: Payload::DataToDir {
+                    data: BlockData::zeroed(),
+                    retained: true,
+                },
             },
             &mut stats,
         );
@@ -862,7 +973,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(4),
-                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: false },
+                payload: Payload::DataToDir {
+                    data: BlockData::zeroed(),
+                    retained: false,
+                },
             },
             &mut stats,
         );
@@ -919,7 +1033,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(7),
-                payload: Payload::DataToDir { data: fresh, retained: false },
+                payload: Payload::DataToDir {
+                    data: fresh,
+                    retained: false,
+                },
             },
             &mut stats,
         );
@@ -927,7 +1044,10 @@ mod tests {
         // Core 0's stale PUTM (race loser) must be acked but not applied.
         let mut stale = BlockData::zeroed();
         stale.write_word(0, 8, 99);
-        let out = bank.handle_msg(req_msg(0, blk(7), Payload::PutM { data: stale }), &mut stats);
+        let out = bank.handle_msg(
+            req_msg(0, blk(7), Payload::PutM { data: stale }),
+            &mut stats,
+        );
         assert!(matches!(out[0].payload, Payload::WbAck));
         assert_eq!(bank.dir_state(blk(7)), Some(DirState::Owned(1)));
         assert_eq!(bank.peek_block(blk(7)).unwrap().read_word(0, 8), 1);
@@ -962,7 +1082,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(10),
-                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+                payload: Payload::DataToDir {
+                    data: BlockData::zeroed(),
+                    retained: true,
+                },
             },
             &mut stats,
         );
@@ -1014,7 +1137,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(12),
-                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+                payload: Payload::DataToDir {
+                    data: BlockData::zeroed(),
+                    retained: true,
+                },
             },
             &mut stats,
         );
@@ -1048,7 +1174,9 @@ mod tests {
                 src: Endpoint::Mem(0),
                 dst: Endpoint::Dir(0),
                 block: blk(0),
-                payload: Payload::MemData { data: BlockData::zeroed() },
+                payload: Payload::MemData {
+                    data: BlockData::zeroed(),
+                },
             },
             &mut stats,
         );
@@ -1057,7 +1185,8 @@ mod tests {
         // Retry: block 2 wants a way; block 0 (stable, Owned) is the
         // victim -> recall forward to core 0.
         assert!(
-            out.iter().any(|m| matches!(m.payload, Payload::FwdGetx) && m.block == blk(0)),
+            out.iter()
+                .any(|m| matches!(m.payload, Payload::FwdGetx) && m.block == blk(0)),
             "stalled request should retry via recall: {out:?}"
         );
     }
@@ -1077,7 +1206,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(0),
-                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: true },
+                payload: Payload::DataToDir {
+                    data: BlockData::zeroed(),
+                    retained: true,
+                },
             },
             &mut stats,
         );
@@ -1119,7 +1251,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(0),
-                payload: Payload::DataToDir { data: dirty, retained: false },
+                payload: Payload::DataToDir {
+                    data: dirty,
+                    retained: false,
+                },
             },
             &mut stats,
         );
@@ -1154,7 +1289,10 @@ mod tests {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: blk(0),
-                payload: Payload::DataToDir { data: BlockData::zeroed(), retained: false },
+                payload: Payload::DataToDir {
+                    data: BlockData::zeroed(),
+                    retained: false,
+                },
             },
             &mut stats,
         );

@@ -1,0 +1,924 @@
+//! Shared protocol-exercising harness: the virtual network plus the
+//! controller-stepping and invariant-checking machinery used by both the
+//! random walker ([`crate::tester`]) and the bounded model checker
+//! (`ghostwriter-check`).
+//!
+//! The full machine is timing-deterministic, so it only ever explores one
+//! message interleaving per program. This harness instead drives the
+//! *same* L1 and directory controllers through a virtual network whose
+//! delivery order is chosen by the caller — randomly by the walker,
+//! exhaustively by the checker — preserving only the per-(source,
+//! destination) FIFO property the real NoC guarantees.
+//!
+//! A [`System`] owns the controllers, DRAM, in-flight messages and the
+//! value-oracle bookkeeping. The caller decides *what happens next*
+//! (issue an access, deliver a message, fire a GI timeout); the harness
+//! applies it and reports invariant violations as [`Violation`] values
+//! instead of panicking, so the checker can turn them into shrunk
+//! counterexamples. Controller-internal `panic!`s (unhandled protocol
+//! races) still propagate and are caught by the checker separately.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::hash::{Hash, Hasher};
+
+use ghostwriter_mem::{Addr, BlockAddr, Dram};
+
+use crate::config::GiStorePolicy;
+use crate::dir::{DirBank, DirState};
+use crate::l1::{home_bank, AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
+use crate::msg::{Endpoint, Msg, Payload};
+use crate::stats::Stats;
+
+/// Static shape of a harness system.
+#[derive(Clone, Copy, Debug)]
+pub struct SystemConfig {
+    /// Number of L1 caches / cores (also the number of L2 banks).
+    pub cores: usize,
+    /// Number of distinct blocks in the address pool.
+    pub blocks: usize,
+    /// L1 geometry (small to force evictions).
+    pub l1_sets: usize,
+    /// L1 associativity.
+    pub l1_ways: usize,
+    /// L2 geometry (small to force inclusion recalls).
+    pub l2_sets: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// Ghostwriter parameters; `None` runs the precise base protocol.
+    pub gw: Option<GwParams>,
+    /// Use the MSI protocol family (no Exclusive grants).
+    pub msi: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            cores: 4,
+            blocks: 12,
+            l1_sets: 2,
+            l1_ways: 2,
+            l2_sets: 4,
+            l2_ways: 2,
+            gw: None,
+            msi: false,
+        }
+    }
+}
+
+/// An access the caller can issue on a core. The harness owns address
+/// assignment: every block has one 8-byte slot per core, each written
+/// only by its owning core (single-writer-per-address, false sharing
+/// across cores by construction) with an increasing sequence, which is
+/// what makes the data-value oracle checkable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Load `writer`'s slot of the block.
+    Load { writer: usize },
+    /// Store the next sequence number to the issuing core's own slot.
+    Store,
+    /// Scribble the next sequence number with bit-distance `d`.
+    Scribble { d: u8 },
+}
+
+/// A detected protocol-invariant violation. `Display` gives the
+/// human-readable description the tester panics with and the checker
+/// prints under a counterexample.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// SWMR: more than one E/M copy of a block.
+    MultipleWriters { block: usize, writers: usize },
+    /// SWMR: an E/M copy coexists with S copies elsewhere.
+    WriterWithSharers { block: usize, sharers: usize },
+    /// Directory says Owned but the owner field disagrees with L1 state.
+    OwnerMismatch {
+        block: usize,
+        dir_owner: usize,
+        l1_owner: Option<usize>,
+    },
+    /// Directory sharer bitmap disagrees with actual L1 states.
+    SharerMismatch { block: usize, dir: u64, actual: u64 },
+    /// Directory says Np (or untracked) but L1 copies exist.
+    UntrackedCopies {
+        block: usize,
+        sharers: u64,
+        owner: Option<usize>,
+    },
+    /// An L1 line is stuck in a transient state at quiescence.
+    TransientAtQuiescence {
+        core: usize,
+        block: usize,
+        state: L1State,
+    },
+    /// A precise Shared copy differs from the L2's data at quiescence.
+    SharedDiverges {
+        core: usize,
+        block: usize,
+        word: usize,
+    },
+    /// A load observed a value the single writer never wrote.
+    UnwrittenValue {
+        core: usize,
+        writer: usize,
+        block: usize,
+        value: u64,
+    },
+    /// A precise reader saw a single-writer slot go backwards.
+    NonMonotoneRead {
+        core: usize,
+        writer: usize,
+        block: usize,
+        value: u64,
+        prev: u64,
+    },
+    /// A directory bank still has live transactions at quiescence.
+    BankBusyAtQuiescence { bank: usize },
+    /// A core still has an outstanding access at quiescence.
+    L1BusyAtQuiescence { core: usize },
+    /// A writeback was never acknowledged.
+    UnackedWriteback { core: usize },
+    /// A GS/GI line exists on a block the program never scribbled (or in
+    /// a configuration with Ghostwriter disabled) — approximate state
+    /// leaked into precise data.
+    ApproxLeak {
+        core: usize,
+        block: usize,
+        state: L1State,
+    },
+    /// A load of a never-scribbled block was serviced by a GI line.
+    GiServicedPreciseLoad { core: usize, block: usize },
+    /// A line accumulated more hidden writes than the §3.5 bound allows.
+    HiddenWritesOverBound {
+        core: usize,
+        block: usize,
+        count: u32,
+        bound: u32,
+    },
+    /// A scribble was serviced hidden although the scribe comparator
+    /// rejects the value pair at the configured distance.
+    ScribeBoundBypassed {
+        core: usize,
+        block: usize,
+        old: u64,
+        new: u64,
+        d: u8,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MultipleWriters { block, writers } => {
+                write!(f, "block {block}: {writers} writable (E/M) copies")
+            }
+            Violation::WriterWithSharers { block, sharers } => write!(
+                f,
+                "block {block}: writable copy coexists with {sharers} shared copies"
+            ),
+            Violation::OwnerMismatch {
+                block,
+                dir_owner,
+                l1_owner,
+            } => write!(
+                f,
+                "block {block}: directory owner {dir_owner} but L1 owner {l1_owner:?}"
+            ),
+            Violation::SharerMismatch { block, dir, actual } => write!(
+                f,
+                "block {block}: directory sharers {dir:#b} but actual {actual:#b}"
+            ),
+            Violation::UntrackedCopies {
+                block,
+                sharers,
+                owner,
+            } => write!(
+                f,
+                "block {block}: untracked copies (sharers {sharers:#b}, owner {owner:?})"
+            ),
+            Violation::TransientAtQuiescence { core, block, state } => {
+                write!(
+                    f,
+                    "core {core} stuck in transient {state:?} on block {block}"
+                )
+            }
+            Violation::SharedDiverges { core, block, word } => write!(
+                f,
+                "block {block} word {word}: core {core}'s S copy diverges from L2"
+            ),
+            Violation::UnwrittenValue {
+                core,
+                writer,
+                block,
+                value,
+            } => write!(
+                f,
+                "core {core} read unwritten value {value} from writer {writer} block {block}"
+            ),
+            Violation::NonMonotoneRead {
+                core,
+                writer,
+                block,
+                value,
+                prev,
+            } => write!(
+                f,
+                "core {core} saw writer {writer} block {block} go backwards: {value} < {prev}"
+            ),
+            Violation::BankBusyAtQuiescence { bank } => {
+                write!(f, "directory bank {bank} not quiescent")
+            }
+            Violation::L1BusyAtQuiescence { core } => {
+                write!(
+                    f,
+                    "core {core}'s access never completed: liveness violation"
+                )
+            }
+            Violation::UnackedWriteback { core } => {
+                write!(f, "core {core}: writeback never acknowledged")
+            }
+            Violation::ApproxLeak { core, block, state } => write!(
+                f,
+                "core {core} holds {state:?} on block {block} which was never scribbled"
+            ),
+            Violation::GiServicedPreciseLoad { core, block } => write!(
+                f,
+                "core {core}: GI line serviced a precise load of block {block}"
+            ),
+            Violation::HiddenWritesOverBound {
+                core,
+                block,
+                count,
+                bound,
+            } => write!(
+                f,
+                "core {core} block {block}: {count} hidden writes exceed the bound {bound}"
+            ),
+            Violation::ScribeBoundBypassed {
+                core,
+                block,
+                old,
+                new,
+                d,
+            } => write!(
+                f,
+                "core {core} block {block}: scribble {old} -> {new} serviced hidden \
+                 but is outside d={d}"
+            ),
+        }
+    }
+}
+
+#[derive(Clone, Debug, Hash)]
+struct PendingAccess {
+    addr: Addr,
+    kind: AccessKind,
+}
+
+/// Flattens an endpoint into a virtual-network node id: L1s first, then
+/// directory banks, then memory controllers.
+pub fn node_key(ep: Endpoint, cores: usize) -> usize {
+    match ep {
+        Endpoint::L1(i) => i,
+        Endpoint::Dir(b) => cores + b,
+        Endpoint::Mem(m) => 2 * cores + m,
+    }
+}
+
+/// The harness system: real controllers, DRAM, the virtual network and
+/// the value-oracle bookkeeping. `Clone` snapshots everything — the
+/// model checker forks a `System` at every branching point.
+#[derive(Clone)]
+pub struct System {
+    cfg: SystemConfig,
+    l1s: Vec<L1Cache>,
+    banks: Vec<DirBank>,
+    dram: Dram,
+    stats: Stats,
+    /// Virtual network: per-(src, dst) FIFO channels. A BTreeMap keeps
+    /// channel iteration order deterministic.
+    net: BTreeMap<(usize, usize), VecDeque<Msg>>,
+    /// Outstanding access per core.
+    pending: Vec<Option<PendingAccess>>,
+    /// Single-writer discipline: next sequence number per (core, block).
+    next_seq: Vec<Vec<u64>>,
+    /// Monotone-read oracle: last value seen per (reader, block × writer).
+    last_seen: Vec<Vec<u64>>,
+    /// Block indices the program has scribbled — the approximate data
+    /// set; value oracles relax and GS/GI containment is checked
+    /// against it.
+    scribbled: BTreeSet<usize>,
+    completed: usize,
+    messages: usize,
+}
+
+impl System {
+    /// Builds a quiescent system of `cfg`'s shape.
+    pub fn new(cfg: SystemConfig) -> Self {
+        assert!(cfg.cores >= 1 && cfg.blocks >= 1);
+        let l1s = (0..cfg.cores)
+            .map(|c| L1Cache::new(c, cfg.l1_sets, cfg.l1_ways, cfg.cores, cfg.gw, false))
+            .collect();
+        let banks = (0..cfg.cores)
+            .map(|b| DirBank::with_base(b, cfg.l2_sets, cfg.l2_ways, 1, !cfg.msi))
+            .collect();
+        Self {
+            l1s,
+            banks,
+            dram: Dram::new(),
+            stats: Stats::default(),
+            net: BTreeMap::new(),
+            pending: (0..cfg.cores).map(|_| None).collect(),
+            next_seq: vec![vec![1; cfg.blocks]; cfg.cores],
+            last_seen: vec![vec![0; cfg.blocks * cfg.cores]; cfg.cores],
+            scribbled: BTreeSet::new(),
+            completed: 0,
+            messages: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this system was built with.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Accesses issued and completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed
+    }
+
+    /// Messages delivered so far.
+    pub fn messages(&self) -> usize {
+        self.messages
+    }
+
+    /// Accumulated controller statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Byte address of block index `b`'s slot owned by `writer`.
+    pub fn slot(&self, writer: usize, b: usize) -> Addr {
+        Addr(0x10_0000 + (b as u64) * 64 + (writer as u64) * 8)
+    }
+
+    /// Block address of block index `b`.
+    pub fn block_of(&self, b: usize) -> BlockAddr {
+        self.slot(0, b).block()
+    }
+
+    /// True if `core` can issue a new access.
+    pub fn core_idle(&self, core: usize) -> bool {
+        self.pending[core].is_none()
+    }
+
+    /// Cores with no outstanding access.
+    pub fn idle_cores(&self) -> Vec<usize> {
+        (0..self.cfg.cores).filter(|&c| self.core_idle(c)).collect()
+    }
+
+    /// Cores blocked on an outstanding access.
+    pub fn busy_cores(&self) -> Vec<usize> {
+        (0..self.cfg.cores)
+            .filter(|&c| !self.core_idle(c))
+            .collect()
+    }
+
+    /// L1 coherence state of pool block `b` at `core` (for tests).
+    pub fn l1_state(&self, core: usize, b: usize) -> Option<L1State> {
+        self.l1s[core].state_of(self.block_of(b))
+    }
+
+    /// Non-empty virtual-network channels, in deterministic order.
+    pub fn channels(&self) -> Vec<(usize, usize)> {
+        self.net
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(&k, _)| k)
+            .collect()
+    }
+
+    /// The message at the head of channel `key`, if any.
+    pub fn peek_channel(&self, key: (usize, usize)) -> Option<&Msg> {
+        self.net.get(&key).and_then(|q| q.front())
+    }
+
+    /// True when nothing is in flight: no queued messages and no core
+    /// has an outstanding access.
+    pub fn quiescent(&self) -> bool {
+        self.net.values().all(|q| q.is_empty()) && self.pending.iter().all(|p| p.is_none())
+    }
+
+    /// True when `core` holds at least one GI line (a GI-timeout sweep
+    /// would change state).
+    pub fn has_gi(&self, core: usize) -> bool {
+        self.l1s[core]
+            .resident_blocks()
+            .iter()
+            .any(|&(_, s)| s == L1State::Gi)
+    }
+
+    fn enqueue(&mut self, msg: Msg) {
+        let key = (
+            node_key(msg.src, self.cfg.cores),
+            node_key(msg.dst, self.cfg.cores),
+        );
+        self.net.entry(key).or_default().push_back(msg);
+    }
+
+    /// Fault-injection hook for the model checker's mutation testing:
+    /// removes and returns the head of channel `key` without delivering
+    /// it (a lost message).
+    pub fn drop_message(&mut self, key: (usize, usize)) -> Option<Msg> {
+        self.net.get_mut(&key).and_then(|q| q.pop_front())
+    }
+
+    /// Fault-injection hook: enqueues an arbitrary message, as a buggy
+    /// or byzantine controller would.
+    pub fn inject(&mut self, msg: Msg) {
+        self.enqueue(msg);
+    }
+
+    fn handle_l1_outs(&mut self, core: usize, outs: Vec<L1Out>) -> Result<(), Violation> {
+        for out in outs {
+            match out {
+                L1Out::Send(m) => self.enqueue(m),
+                L1Out::Reply { value } => {
+                    let p = self.pending[core].take().expect("reply without access");
+                    self.completed += 1;
+                    if matches!(p.kind, AccessKind::Load) {
+                        // Which (writer, block) slot was read?
+                        let rel = p.addr.0 - 0x10_0000;
+                        let b = (rel / 64) as usize;
+                        let writer = ((rel % 64) / 8) as usize;
+                        // Loads only ever observe values the single
+                        // writer actually wrote (zero = initial state).
+                        if value >= self.next_seq[writer][b] {
+                            return Err(Violation::UnwrittenValue {
+                                core,
+                                writer,
+                                block: b,
+                                value,
+                            });
+                        }
+                        // Coherence order makes single-writer reads
+                        // monotone per reader — but only on blocks the
+                        // program never scribbled: GS/GI copies serve
+                        // stale values by design.
+                        if !self.scribbled.contains(&b) {
+                            let idx = b * self.cfg.cores + writer;
+                            let prev = self.last_seen[core][idx];
+                            if value < prev {
+                                return Err(Violation::NonMonotoneRead {
+                                    core,
+                                    writer,
+                                    block: b,
+                                    value,
+                                    prev,
+                                });
+                            }
+                            self.last_seen[core][idx] = value;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Issues `op` on idle `core` against pool block `b`, then runs the
+    /// any-time invariant checks.
+    ///
+    /// # Panics
+    /// Panics if `core` is busy or the indices are out of range — those
+    /// are caller bugs, not protocol violations.
+    pub fn issue(&mut self, core: usize, b: usize, op: Op) -> Result<(), Violation> {
+        assert!(core < self.cfg.cores && b < self.cfg.blocks);
+        assert!(self.core_idle(core), "core {core} already has an access");
+        let (addr, kind, value) = match op {
+            Op::Load { writer } => {
+                assert!(writer < self.cfg.cores);
+                (self.slot(writer, b), AccessKind::Load, 0)
+            }
+            Op::Store => {
+                let v = self.next_seq[core][b];
+                self.next_seq[core][b] += 1;
+                (self.slot(core, b), AccessKind::Store, v)
+            }
+            Op::Scribble { d } => {
+                let v = self.next_seq[core][b];
+                self.next_seq[core][b] += 1;
+                self.scribbled.insert(b);
+                (self.slot(core, b), AccessKind::Scribble { d }, v)
+            }
+        };
+        let block = addr.block();
+        // Pre-access observations for the externally re-checked
+        // Ghostwriter invariants.
+        let pre_state = self.l1s[core].state_of(block);
+        let pre_word = self.l1s[core].peek_word(addr, 8);
+        // A block is precise until the program scribbles it; GI may
+        // legally serve loads of scribbled (error-tolerant) data only.
+        let block_precise = !self.scribbled.contains(&b);
+        self.pending[core] = Some(PendingAccess { addr, kind });
+        let req = CoreReq {
+            addr,
+            size: 8,
+            value,
+            kind,
+        };
+        let outs = self.l1s[core].access(req, &mut self.stats);
+        let replied = outs.iter().any(|o| matches!(o, L1Out::Reply { .. }));
+        let post_state = self.l1s[core].state_of(block);
+
+        // A GI line may only service loads of approximate (scribbled)
+        // data; a precise load hitting on GI would silently read a value
+        // coherence never sanctioned.
+        if matches!(op, Op::Load { .. })
+            && replied
+            && pre_state == Some(L1State::Gi)
+            && block_precise
+        {
+            return Err(Violation::GiServicedPreciseLoad { core, block: b });
+        }
+
+        // Scribe comparator re-verification: a scribble serviced hidden
+        // (line left in GS/GI) must have passed the configured-distance
+        // comparison against the word it overwrote — except a failing
+        // scribble on an already-GI line under the Capture policy, which
+        // hits by design.
+        if let Op::Scribble { d } = op {
+            if replied && matches!(post_state, Some(L1State::Gs) | Some(L1State::Gi)) {
+                let gw = self.cfg.gw.expect("scribble without GW params");
+                let capture_hit =
+                    gw.gi_stores == GiStorePolicy::Capture && pre_state == Some(L1State::Gi);
+                if !capture_hit {
+                    let old = pre_word.expect("hidden service requires a resident tag");
+                    if !gw.scribe.within(old, value, 64, u32::from(d)) {
+                        return Err(Violation::ScribeBoundBypassed {
+                            core,
+                            block: b,
+                            old,
+                            new: value,
+                            d,
+                        });
+                    }
+                }
+            }
+        }
+
+        self.handle_l1_outs(core, outs)?;
+        self.check_ghostwriter()
+    }
+
+    /// Delivers the message at the head of channel `key` (FIFO within
+    /// the channel), then runs the any-time invariant checks.
+    ///
+    /// # Panics
+    /// Panics if the channel is empty — callers pick from
+    /// [`System::channels`].
+    pub fn deliver(&mut self, key: (usize, usize)) -> Result<(), Violation> {
+        let msg = self
+            .net
+            .get_mut(&key)
+            .and_then(|q| q.pop_front())
+            .expect("deliver from empty channel");
+        self.messages += 1;
+        if std::env::var_os("GW_TESTER_TRACE").is_some() {
+            eprintln!(
+                "deliver {:<12} {:?} -> {:?}  {:?}",
+                msg.payload.name(),
+                msg.src,
+                msg.dst,
+                msg.block
+            );
+        }
+        match msg.dst {
+            Endpoint::L1(core) => {
+                let outs = self.l1s[core].handle_msg(msg, &mut self.stats);
+                self.handle_l1_outs(core, outs)?;
+            }
+            Endpoint::Dir(bank) => {
+                let outs = self.banks[bank].handle_msg(msg, &mut self.stats);
+                for m in outs {
+                    self.enqueue(m);
+                }
+            }
+            Endpoint::Mem(_) => match msg.payload {
+                Payload::MemRead => {
+                    let data = self.dram.read_block(msg.block);
+                    self.enqueue(Msg {
+                        src: msg.dst,
+                        dst: msg.src,
+                        block: msg.block,
+                        payload: Payload::MemData { data },
+                    });
+                }
+                Payload::MemWrite { data } => self.dram.write_block(msg.block, data),
+                ref p => panic!("memory controller got {}", p.name()),
+            },
+        }
+        self.check_ghostwriter()
+    }
+
+    /// Fires the periodic GI timeout on `core`: every GI line reverts to
+    /// I, forfeiting hidden updates (paper §3.2).
+    pub fn gi_timeout(&mut self, core: usize) {
+        self.l1s[core].gi_timeout_sweep(&mut self.stats);
+    }
+
+    /// Context-switch forfeit on `core` (paper §3.5): GS/GI lines revert
+    /// to I; GS lines notify the directory with PutS.
+    pub fn context_switch(&mut self, core: usize) -> Result<(), Violation> {
+        let outs = self.l1s[core].context_switch_forfeit(&mut self.stats);
+        self.handle_l1_outs(core, outs)
+    }
+
+    /// SWMR: never two writable copies, never writable + readable
+    /// elsewhere. Valid at any instant.
+    pub fn check_swmr(&self) -> Result<(), Violation> {
+        for b in 0..self.cfg.blocks {
+            let block = self.block_of(b);
+            let mut writable = 0;
+            let mut readable_elsewhere = 0;
+            for l1 in &self.l1s {
+                match l1.state_of(block) {
+                    Some(L1State::M) | Some(L1State::E) => writable += 1,
+                    Some(L1State::S) => readable_elsewhere += 1,
+                    _ => {}
+                }
+            }
+            if writable > 1 {
+                return Err(Violation::MultipleWriters {
+                    block: b,
+                    writers: writable,
+                });
+            }
+            if writable == 1 && readable_elsewhere > 0 {
+                return Err(Violation::WriterWithSharers {
+                    block: b,
+                    sharers: readable_elsewhere,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Ghostwriter containment invariants, valid at any instant:
+    /// GS/GI lines exist only on blocks the program scribbled (never in
+    /// a precise configuration), and hidden-write counts respect the
+    /// §3.5 error bound.
+    pub fn check_ghostwriter(&self) -> Result<(), Violation> {
+        let pool: BTreeMap<BlockAddr, usize> = (0..self.cfg.blocks)
+            .map(|b| (self.block_of(b), b))
+            .collect();
+        for (c, l1) in self.l1s.iter().enumerate() {
+            for (block, state) in l1.resident_blocks() {
+                let b = *pool.get(&block).expect("block outside the pool");
+                if matches!(state, L1State::Gs | L1State::Gi)
+                    && (self.cfg.gw.is_none() || !self.scribbled.contains(&b))
+                {
+                    return Err(Violation::ApproxLeak {
+                        core: c,
+                        block: b,
+                        state,
+                    });
+                }
+                if let Some(bound) = self.cfg.gw.and_then(|g| g.max_hidden_writes) {
+                    if matches!(state, L1State::Gs | L1State::Gi) {
+                        let count = l1.hidden_writes_of(block).unwrap_or(0);
+                        if count > bound {
+                            return Err(Violation::HiddenWritesOverBound {
+                                core: c,
+                                block: b,
+                                count,
+                                bound,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Directory accuracy + data-value invariant + liveness residue;
+    /// only meaningful at quiescence (no in-flight messages or
+    /// accesses).
+    pub fn check_quiescent(&self) -> Result<(), Violation> {
+        for (c, p) in self.pending.iter().enumerate() {
+            if p.is_some() {
+                return Err(Violation::L1BusyAtQuiescence { core: c });
+            }
+        }
+        for (c, l1) in self.l1s.iter().enumerate() {
+            if l1.has_pending_writebacks() {
+                return Err(Violation::UnackedWriteback { core: c });
+            }
+        }
+        for (bk, bank) in self.banks.iter().enumerate() {
+            if !bank.quiescent() {
+                return Err(Violation::BankBusyAtQuiescence { bank: bk });
+            }
+        }
+        for b in 0..self.cfg.blocks {
+            let block = self.block_of(b);
+            let bank = home_bank(block, self.cfg.cores);
+            let dir = self.banks[bank].dir_state(block);
+            let mut sharers = 0u64;
+            let mut owner = None;
+            for (c, l1) in self.l1s.iter().enumerate() {
+                match l1.state_of(block) {
+                    Some(L1State::S) | Some(L1State::Gs) => sharers |= 1 << c,
+                    Some(L1State::M) | Some(L1State::E) => {
+                        if let Some(prev) = owner {
+                            return Err(Violation::MultipleWriters {
+                                block: b,
+                                writers: 2 + usize::from(prev == c),
+                            });
+                        }
+                        owner = Some(c);
+                    }
+                    Some(L1State::I) | Some(L1State::Gi) | None => {}
+                    Some(t) => {
+                        return Err(Violation::TransientAtQuiescence {
+                            core: c,
+                            block: b,
+                            state: t,
+                        })
+                    }
+                }
+            }
+            match (dir, owner) {
+                (Some(DirState::Owned(o)), Some(c)) => {
+                    if o != c {
+                        return Err(Violation::OwnerMismatch {
+                            block: b,
+                            dir_owner: o,
+                            l1_owner: Some(c),
+                        });
+                    }
+                }
+                (Some(DirState::Owned(o)), None) => {
+                    return Err(Violation::OwnerMismatch {
+                        block: b,
+                        dir_owner: o,
+                        l1_owner: None,
+                    });
+                }
+                (Some(DirState::Shared(s)), _) => {
+                    if s != sharers {
+                        return Err(Violation::SharerMismatch {
+                            block: b,
+                            dir: s,
+                            actual: sharers,
+                        });
+                    }
+                    if let Some(c) = owner {
+                        return Err(Violation::OwnerMismatch {
+                            block: b,
+                            dir_owner: c,
+                            l1_owner: Some(c),
+                        });
+                    }
+                }
+                (Some(DirState::Np), _) | (None, _) => {
+                    if sharers != 0 || owner.is_some() {
+                        return Err(Violation::UntrackedCopies {
+                            block: b,
+                            sharers,
+                            owner,
+                        });
+                    }
+                }
+            }
+            // Data-value invariant: precise Shared copies equal the L2
+            // data (GS copies are legitimately divergent).
+            if let Some(l2_data) = self.banks[bank].peek_block(block) {
+                for (c, l1) in self.l1s.iter().enumerate() {
+                    if l1.state_of(block) == Some(L1State::S) {
+                        for w in 0..8 {
+                            let a = block.base().add(8 * w);
+                            if l1.peek_word(a, 8) != Some(l2_data.read_word(8 * w as usize, 8)) {
+                                return Err(Violation::SharedDiverges {
+                                    core: c,
+                                    block: b,
+                                    word: w as usize,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.check_swmr()?;
+        self.check_ghostwriter()
+    }
+
+    /// 128-bit canonical fingerprint of the architectural state, for the
+    /// model checker's visited set. Two systems with equal fingerprints
+    /// behave identically under equal future action sequences: the hash
+    /// covers the controllers (including PLRU bits), the in-flight
+    /// message channels, outstanding accesses, DRAM contents of the
+    /// block pool and the value-oracle bookkeeping. Statistics and the
+    /// completed/messages counters are excluded — they never influence a
+    /// transition or a check.
+    pub fn fingerprint(&self) -> u128 {
+        let lo = self.hash_with_salt(0x9E37_79B9_7F4A_7C15);
+        let hi = self.hash_with_salt(0xC2B2_AE3D_27D4_EB4F);
+        (u128::from(hi) << 64) | u128::from(lo)
+    }
+
+    fn hash_with_salt(&self, salt: u64) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        salt.hash(&mut h);
+        self.l1s.iter().for_each(|l1| l1.hash(&mut h));
+        self.banks.iter().for_each(|b| b.hash(&mut h));
+        self.net.hash(&mut h);
+        self.pending.hash(&mut h);
+        self.next_seq.hash(&mut h);
+        self.last_seen.hash(&mut h);
+        self.scribbled.hash(&mut h);
+        for b in 0..self.cfg.blocks {
+            self.dram.read_block(self.block_of(b)).hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg2() -> SystemConfig {
+        SystemConfig {
+            cores: 2,
+            blocks: 1,
+            ..SystemConfig::default()
+        }
+    }
+
+    fn drain(sys: &mut System) {
+        let mut guard = 0;
+        loop {
+            let chans = sys.channels();
+            let Some(&key) = chans.first() else { break };
+            sys.deliver(key).unwrap();
+            guard += 1;
+            assert!(guard < 10_000, "network never drained");
+        }
+    }
+
+    #[test]
+    fn store_then_remote_load_round_trips() {
+        let mut sys = System::new(cfg2());
+        sys.issue(0, 0, Op::Store).unwrap();
+        drain(&mut sys);
+        sys.issue(1, 0, Op::Load { writer: 0 }).unwrap();
+        drain(&mut sys);
+        assert!(sys.quiescent());
+        assert_eq!(sys.completed(), 2);
+        sys.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn fingerprint_stable_and_sensitive() {
+        let mut a = System::new(cfg2());
+        let b = System::new(cfg2());
+        assert_eq!(a.fingerprint(), b.fingerprint(), "fresh systems agree");
+        let before = a.fingerprint();
+        a.issue(0, 0, Op::Store).unwrap();
+        assert_ne!(a.fingerprint(), before, "issuing changes the fingerprint");
+        // Clones fork without sharing.
+        let fork = a.clone();
+        assert_eq!(a.fingerprint(), fork.fingerprint());
+        drain(&mut a);
+        assert_ne!(a.fingerprint(), fork.fingerprint());
+    }
+
+    #[test]
+    fn unwritten_value_detected_via_injection() {
+        // Inject a Data grant carrying a value the writer never wrote;
+        // the oracle must flag the read.
+        let mut sys = System::new(cfg2());
+        sys.issue(0, 0, Op::Load { writer: 1 }).unwrap();
+        let block = sys.block_of(0);
+        // Drop the outgoing GETS and answer with forged data ourselves.
+        let chans = sys.channels();
+        assert_eq!(chans.len(), 1);
+        sys.drop_message(chans[0]).unwrap();
+        let mut data = ghostwriter_mem::BlockData::zeroed();
+        data.write_word(8, 8, 777); // writer 1's slot, never written
+        sys.inject(Msg {
+            src: Endpoint::Dir(home_bank(block, 2)),
+            dst: Endpoint::L1(0),
+            block,
+            payload: Payload::Data {
+                data,
+                grant: crate::msg::Grant::Shared,
+            },
+        });
+        let key = sys.channels()[0];
+        let err = sys.deliver(key).unwrap_err();
+        assert!(matches!(err, Violation::UnwrittenValue { value: 777, .. }));
+    }
+}

@@ -32,7 +32,7 @@ use crate::stats::Stats;
 
 /// L1 coherence states (Fig. 3 plus the standard directory-protocol
 /// transients).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum L1State {
     /// Tag present, data stale, no permissions.
     I,
@@ -57,7 +57,7 @@ pub enum L1State {
 }
 
 /// A demand access from the core.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Hash)]
 pub struct CoreReq {
     pub addr: Addr,
     /// Access width in bytes (1, 2, 4 or 8).
@@ -70,7 +70,7 @@ pub struct CoreReq {
 /// Demand access flavours. The machine resolves a thread's `scribble` into
 /// `Scribble { d }` only when the core's approximate region is active and
 /// the protocol is Ghostwriter; otherwise it arrives as `Store`.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum AccessKind {
     Load,
     Store,
@@ -84,7 +84,7 @@ impl AccessKind {
 }
 
 /// Ghostwriter knobs for the L1 (None = baseline MESI).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Hash)]
 pub struct GwParams {
     pub scribe: ScribePolicy,
     pub enable_gs: bool,
@@ -103,7 +103,7 @@ pub enum L1Out {
     Send(Msg),
 }
 
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Hash)]
 struct L1Meta {
     state: L1State,
     /// Hidden (GS/GI) writes since the line's last coherent sync; drives
@@ -122,12 +122,16 @@ impl L1Meta {
 
 /// Writeback-buffer entry: holds an evicted E/M block until the directory
 /// acknowledges the PUT, and answers forwards that race with the eviction.
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 struct WbEntry {
     data: BlockData,
 }
 
 /// The per-core L1 data-cache controller.
+///
+/// `Clone` snapshots the full architectural state — the model checker
+/// forks a controller at every branching point of its search.
+#[derive(Clone)]
 pub struct L1Cache {
     core: usize,
     cache: SetAssocCache<L1Meta>,
@@ -138,6 +142,24 @@ pub struct L1Cache {
     collect_similarity: bool,
     home_of: fn(BlockAddr, usize) -> usize,
     banks: usize,
+}
+
+impl std::hash::Hash for L1Cache {
+    /// Architectural-state hash for the model checker's visited set.
+    ///
+    /// `home_of` is a fn pointer fixed per configuration and
+    /// `collect_similarity` only gates write-only statistics; neither can
+    /// influence a future protocol transition, so both are excluded.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.core.hash(state);
+        self.cache.hash(state);
+        self.pending.hash(state);
+        let mut wb: Vec<_> = self.wb_buffer.iter().collect();
+        wb.sort_by_key(|(b, _)| **b);
+        wb.hash(state);
+        self.gw.hash(state);
+        self.banks.hash(state);
+    }
 }
 
 /// Home L2 bank of a block: low-order interleave across banks.
@@ -181,6 +203,12 @@ impl L1Cache {
     /// Coherence state of `block`, if resident (for tests and tracing).
     pub fn state_of(&self, block: BlockAddr) -> Option<L1State> {
         self.cache.get(block).map(|l| l.meta.state)
+    }
+
+    /// Hidden-write count of `block`, if resident (for the model
+    /// checker's §3.5 error-bound invariant).
+    pub fn hidden_writes_of(&self, block: BlockAddr) -> Option<u32> {
+        self.cache.get(block).map(|l| l.meta.hidden_writes)
     }
 
     /// Word currently stored at `addr` in this cache, if resident
@@ -278,8 +306,12 @@ impl L1Cache {
         // Whether a scribble passes the scribe comparator against the
         // word currently in the block (stale or not).
         let scribble_pass = |line_data: &BlockData, d: u8, gw: &GwParams| {
-            gw.scribe
-                .within(line_data.read_word(offset, size), req.value, width, d as u32)
+            gw.scribe.within(
+                line_data.read_word(offset, size),
+                req.value,
+                width,
+                d as u32,
+            )
         };
         // §3.5 error bound: once a line has accumulated `max_hidden_writes`
         // hidden updates without a coherent resync, force the next
@@ -448,7 +480,14 @@ impl L1Cache {
         }
     }
 
-    fn write_hit(&mut self, block: BlockAddr, offset: usize, size: usize, value: u64, stats: &mut Stats) {
+    fn write_hit(
+        &mut self,
+        block: BlockAddr,
+        offset: usize,
+        size: usize,
+        value: u64,
+        stats: &mut Stats,
+    ) {
         stats.l1_store_hits += 1;
         stats.energy_events.l1_writes += 1;
         self.cache.touch(block);
@@ -471,7 +510,9 @@ impl L1Cache {
                         .is_none(),
                     "double eviction of {victim:?}"
                 );
-                out.push(L1Out::Send(self.msg(victim, Payload::PutM { data: line.data })));
+                out.push(L1Out::Send(
+                    self.msg(victim, Payload::PutM { data: line.data }),
+                ));
             }
             L1State::E => {
                 assert!(self
@@ -662,7 +703,11 @@ impl L1Cache {
                 L1State::E | L1State::M => {
                     stats.energy_events.l1_reads += 1;
                     let data = line.data;
-                    line.meta.state = if downgrade_to_s { L1State::S } else { L1State::I };
+                    line.meta.state = if downgrade_to_s {
+                        L1State::S
+                    } else {
+                        L1State::I
+                    };
                     (data, downgrade_to_s)
                 }
                 t => panic!("core {}: forward in state {t:?}", self.core),
@@ -740,10 +785,7 @@ impl L1Cache {
     /// Every resident block and its coherence state (for the protocol
     /// tester's invariant checks).
     pub fn resident_blocks(&self) -> Vec<(BlockAddr, L1State)> {
-        self.cache
-            .iter()
-            .map(|l| (l.block, l.meta.state))
-            .collect()
+        self.cache.iter().map(|l| (l.block, l.meta.state)).collect()
     }
 
     /// True if the writeback buffer still holds entries (in-flight PUTs).
@@ -848,7 +890,13 @@ mod tests {
                 let outs = cache.access(load(addr), stats);
                 expect_send(&outs, "GETS");
                 cache.handle_msg(
-                    dir_msg(block, Payload::Data { data: BlockData::zeroed(), grant: Grant::Shared }),
+                    dir_msg(
+                        block,
+                        Payload::Data {
+                            data: BlockData::zeroed(),
+                            grant: Grant::Shared,
+                        },
+                    ),
                     stats,
                 );
             }
@@ -856,7 +904,13 @@ mod tests {
                 let outs = cache.access(load(addr), stats);
                 expect_send(&outs, "GETS");
                 cache.handle_msg(
-                    dir_msg(block, Payload::Data { data: BlockData::zeroed(), grant: Grant::Exclusive }),
+                    dir_msg(
+                        block,
+                        Payload::Data {
+                            data: BlockData::zeroed(),
+                            grant: Grant::Exclusive,
+                        },
+                    ),
                     stats,
                 );
             }
@@ -864,7 +918,13 @@ mod tests {
                 let outs = cache.access(store(addr, 7), stats);
                 expect_send(&outs, "GETX");
                 cache.handle_msg(
-                    dir_msg(block, Payload::Data { data: BlockData::zeroed(), grant: Grant::Modified }),
+                    dir_msg(
+                        block,
+                        Payload::Data {
+                            data: BlockData::zeroed(),
+                            grant: Grant::Modified,
+                        },
+                    ),
                     stats,
                 );
             }
@@ -1001,7 +1061,13 @@ mod tests {
         let mut fresh = BlockData::zeroed();
         fresh.write_word(4, 4, 0x77);
         let outs = c.handle_msg(
-            dir_msg(Addr(0x1000).block(), Payload::Data { data: fresh, grant: Grant::Modified }),
+            dir_msg(
+                Addr(0x1000).block(),
+                Payload::Data {
+                    data: fresh,
+                    grant: Grant::Modified,
+                },
+            ),
             &mut s,
         );
         expect_send(&outs, "UNBLOCK");
@@ -1052,7 +1118,13 @@ mod tests {
         // A forward racing the writeback is served from the buffer.
         let outs = c.handle_msg(dir_msg(Addr(0).block(), Payload::FwdGets), &mut s);
         let m = expect_send(&outs, "DATA_TO_DIR");
-        assert!(matches!(m.payload, Payload::DataToDir { retained: false, .. }));
+        assert!(matches!(
+            m.payload,
+            Payload::DataToDir {
+                retained: false,
+                ..
+            }
+        ));
         // WB_ACK clears the buffer.
         c.handle_msg(dir_msg(Addr(0).block(), Payload::WbAck), &mut s);
     }
@@ -1080,7 +1152,9 @@ mod tests {
         bring_to(&mut c, &mut s, 8 * 64, L1State::M);
         let outs = c.access(load(16 * 64), &mut s);
         assert!(
-            !outs.iter().any(|o| matches!(o, L1Out::Send(m) if m.block == Addr(0).block())),
+            !outs
+                .iter()
+                .any(|o| matches!(o, L1Out::Send(m) if m.block == Addr(0).block())),
             "GI eviction must not notify the directory: {outs:?}"
         );
         assert_eq!(s.approx_evictions, 1);
@@ -1341,7 +1415,10 @@ mod more_l1_tests {
                 src: Endpoint::Dir(0),
                 dst: Endpoint::L1(0),
                 block: Addr(addr).block(),
-                payload: Payload::Data { data, grant: Grant::Shared },
+                payload: Payload::Data {
+                    data,
+                    grant: Grant::Shared,
+                },
             },
             s,
         );

@@ -182,7 +182,11 @@ mod tests {
         let mut m = Machine::new(MachineConfig::small(1, Protocol::Mesi));
         let a = ArrayU8::alloc(&mut m, 3);
         let b = ArrayU8::alloc(&mut m, 3);
-        assert_ne!(a.addr(0).block(), b.addr(0).block(), "views must not share blocks");
+        assert_ne!(
+            a.addr(0).block(),
+            b.addr(0).block(),
+            "views must not share blocks"
+        );
     }
 
     #[test]

@@ -54,6 +54,7 @@
 pub mod config;
 pub mod ctx;
 pub mod dir;
+pub mod harness;
 pub mod l1;
 pub mod layout;
 pub mod machine;
@@ -65,6 +66,7 @@ pub mod tester;
 
 pub use config::{BaseProtocol, GiStorePolicy, MachineConfig, Protocol};
 pub use ctx::ThreadCtx;
+pub use harness::{node_key, Op, System, SystemConfig, Violation};
 pub use machine::{FinishedRun, Machine, Program};
 pub use scribe::{bit_distance, ScribePolicy, SimilarityHistogram};
 pub use stats::{SimReport, Stats};

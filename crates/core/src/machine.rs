@@ -216,27 +216,37 @@ impl FinishedRun {
 
     /// Reads `n` consecutive `f32`s.
     pub fn read_f32s(&self, base: Addr, n: usize) -> Vec<f32> {
-        (0..n).map(|i| self.read_f32(base.add(4 * i as u64))).collect()
+        (0..n)
+            .map(|i| self.read_f32(base.add(4 * i as u64)))
+            .collect()
     }
 
     /// Reads `n` consecutive `f64`s.
     pub fn read_f64s(&self, base: Addr, n: usize) -> Vec<f64> {
-        (0..n).map(|i| self.read_f64(base.add(8 * i as u64))).collect()
+        (0..n)
+            .map(|i| self.read_f64(base.add(8 * i as u64)))
+            .collect()
     }
 
     /// Reads `n` consecutive `i32`s.
     pub fn read_i32s(&self, base: Addr, n: usize) -> Vec<i32> {
-        (0..n).map(|i| self.read_i32(base.add(4 * i as u64))).collect()
+        (0..n)
+            .map(|i| self.read_i32(base.add(4 * i as u64)))
+            .collect()
     }
 
     /// Reads `n` consecutive `u32`s.
     pub fn read_u32s(&self, base: Addr, n: usize) -> Vec<u32> {
-        (0..n).map(|i| self.read_u32(base.add(4 * i as u64))).collect()
+        (0..n)
+            .map(|i| self.read_u32(base.add(4 * i as u64)))
+            .collect()
     }
 
     /// Reads `n` consecutive `i64`s.
     pub fn read_i64s(&self, base: Addr, n: usize) -> Vec<i64> {
-        (0..n).map(|i| self.read_i64(base.add(8 * i as u64))).collect()
+        (0..n)
+            .map(|i| self.read_i64(base.add(8 * i as u64)))
+            .collect()
     }
 }
 
@@ -315,7 +325,16 @@ impl Engine {
             Protocol::Mesi => None,
         };
         let l1s = (0..cfg.cores)
-            .map(|c| L1Cache::new(c, l1_sets, cfg.l1_ways, cfg.cores, gw, cfg.collect_similarity))
+            .map(|c| {
+                L1Cache::new(
+                    c,
+                    l1_sets,
+                    cfg.l1_ways,
+                    cfg.cores,
+                    gw,
+                    cfg.collect_similarity,
+                )
+            })
             .collect();
         let grant_exclusive = cfg.base_protocol == crate::config::BaseProtocol::Mesi;
         let banks = (0..cfg.cores)
@@ -442,8 +461,7 @@ impl Engine {
         if let Some(p) = self.cfg.context_switch_period {
             for core in 0..self.cfg.cores {
                 // Stagger switches across cores like an OS tick would.
-                self.queue
-                    .push(p + core as u64, Ev::ContextSwitch { core });
+                self.queue.push(p + core as u64, Ev::ContextSwitch { core });
             }
         }
         while self.n_finished < self.threads {
@@ -632,7 +650,8 @@ impl Engine {
         for &c in &live {
             self.barrier_wait[c] = None;
             self.pending_reply[c] = Some(0);
-            self.queue.push(release.max(self.queue.now()), Ev::Fetch { core: c });
+            self.queue
+                .push(release.max(self.queue.now()), Ev::Fetch { core: c });
         }
     }
 
@@ -950,7 +969,10 @@ mod contention_tests {
     fn contention_slows_hot_spots_without_changing_traffic() {
         let (free_cycles, free_msgs) = hot_spot_run(false);
         let (cont_cycles, cont_msgs) = hot_spot_run(true);
-        assert_eq!(free_msgs, cont_msgs, "contention must not change message counts");
+        assert_eq!(
+            free_msgs, cont_msgs,
+            "contention must not change message counts"
+        );
         assert!(
             cont_cycles > free_cycles,
             "congested run should be slower: {cont_cycles} vs {free_cycles}"
@@ -1068,7 +1090,7 @@ mod context_switch_tests {
         let run = m.run();
         (
             run.read_u32(probe) as u64,
-            run.report.stats.approx_evictions as u64,
+            run.report.stats.approx_evictions,
             run.report.stats.serviced_by_gs as u32,
         )
     }

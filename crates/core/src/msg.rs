@@ -9,7 +9,7 @@ use ghostwriter_mem::{BlockAddr, BlockData};
 use ghostwriter_noc::MessageKind;
 
 /// A protocol endpoint.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum Endpoint {
     /// Private L1 cache of core `i` (tile `i`).
     L1(usize),
@@ -20,7 +20,7 @@ pub enum Endpoint {
 }
 
 /// What permission a directory data/ack response grants.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub enum Grant {
     /// Read-only copy; others may share.
     Shared,
@@ -31,7 +31,7 @@ pub enum Grant {
 }
 
 /// Message bodies. The comments give the sender → receiver direction.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum Payload {
     // ---- L1 → directory requests ----
     /// Read-share request (load miss).
@@ -83,7 +83,7 @@ pub enum Payload {
 }
 
 /// A routed protocol message.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Msg {
     pub src: Endpoint,
     pub dst: Endpoint,

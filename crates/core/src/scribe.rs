@@ -13,7 +13,7 @@
 //! benches.
 
 /// How the scribe decides two words are "approximately similar".
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub enum ScribePolicy {
     /// The paper's bit-wise d-distance: values match if all bits above the
     /// `d` least-significant bits are identical.

@@ -329,15 +329,21 @@ mod tests {
         let mesh = Mesh::with_paper_timing(2, 2);
         let mut base_stats = Stats::default();
         for _ in 0..10 {
-            base_stats
-                .traffic
-                .record(&mesh, MessageKind::Getx, ghostwriter_noc::NodeId(0), ghostwriter_noc::NodeId(1));
+            base_stats.traffic.record(
+                &mesh,
+                MessageKind::Getx,
+                ghostwriter_noc::NodeId(0),
+                ghostwriter_noc::NodeId(1),
+            );
         }
         let mut gw_stats = Stats::default();
         for _ in 0..6 {
-            gw_stats
-                .traffic
-                .record(&mesh, MessageKind::Getx, ghostwriter_noc::NodeId(0), ghostwriter_noc::NodeId(1));
+            gw_stats.traffic.record(
+                &mesh,
+                MessageKind::Getx,
+                ghostwriter_noc::NodeId(0),
+                ghostwriter_noc::NodeId(1),
+            );
         }
         let base = report(100, base_stats);
         let gw = report(100, gw_stats);

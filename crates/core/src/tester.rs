@@ -1,11 +1,11 @@
 //! Random protocol tester (in the spirit of gem5's Ruby random tester).
 //!
-//! The full machine is timing-deterministic, so it only ever explores one
-//! message interleaving per program. This tester drives the *same* L1 and
-//! directory controllers through a virtual network that delivers messages
-//! in adversarially random (but seeded, reproducible) order — preserving
-//! only the per-(source, destination) FIFO property the real NoC
-//! guarantees — and checks the protocol's global invariants:
+//! One of the two consumers of the shared [`crate::harness`]: drives the
+//! real L1 and directory controllers through the harness's virtual
+//! network, choosing adversarially random (but seeded, reproducible)
+//! delivery orders — the bounded model checker in `ghostwriter-check` is
+//! the other consumer, enumerating every order instead. The invariants
+//! themselves live in [`crate::harness::System`]:
 //!
 //! * **SWMR** — at most one writable (E/M) copy of a block, and never a
 //!   writable copy concurrently with readable (S) copies elsewhere;
@@ -16,20 +16,19 @@
 //!   is the paper's feature, not a bug);
 //! * **single-writer data** — with one designated writer per address
 //!   writing an increasing sequence, readers only ever observe values the
-//!   writer wrote, in non-decreasing order (precise data only);
+//!   writer wrote, in non-decreasing order (precise blocks only);
+//! * **Ghostwriter containment** — GS/GI lines only on scribbled blocks,
+//!   hidden-write counts within the §3.5 bound, the scribe comparator
+//!   honoured on every hidden service;
 //! * **liveness** — every issued access eventually completes.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, VecDeque};
-
-use ghostwriter_mem::{Addr, BlockAddr, Dram};
 
 use crate::config::GiStorePolicy;
-use crate::l1::{home_bank, AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
-use crate::msg::{Endpoint, Msg, Payload};
+use crate::harness::{Op, System, SystemConfig};
+use crate::l1::GwParams;
 use crate::scribe::ScribePolicy;
-use crate::stats::Stats;
 
 /// Configuration of a fuzzing run.
 #[derive(Clone, Copy, Debug)]
@@ -50,6 +49,10 @@ pub struct TesterConfig {
     pub l2_ways: usize,
     /// Enable Ghostwriter states with this probability of scribbles.
     pub scribble_prob: f64,
+    /// What a failing scribble does on a GI block (Ghostwriter runs).
+    pub gi_stores: GiStorePolicy,
+    /// Probability, per step, of firing a random core's GI-timeout sweep.
+    pub gi_timeout_prob: f64,
     /// Bias towards delivering messages vs issuing new accesses.
     pub deliver_bias: f64,
     /// Use the MSI protocol family (no Exclusive grants).
@@ -67,8 +70,33 @@ impl Default for TesterConfig {
             l2_sets: 4,
             l2_ways: 2,
             scribble_prob: 0.0,
+            gi_stores: GiStorePolicy::Fallback,
+            gi_timeout_prob: 0.0,
             deliver_bias: 0.7,
             msi: false,
+        }
+    }
+}
+
+impl TesterConfig {
+    /// The harness shape this fuzz configuration drives.
+    pub fn system(&self) -> SystemConfig {
+        let gw = (self.scribble_prob > 0.0).then_some(GwParams {
+            scribe: ScribePolicy::Bitwise,
+            enable_gs: true,
+            enable_gi: true,
+            gi_stores: self.gi_stores,
+            max_hidden_writes: None,
+        });
+        SystemConfig {
+            cores: self.cores,
+            blocks: self.blocks,
+            l1_sets: self.l1_sets,
+            l1_ways: self.l1_ways,
+            l2_sets: self.l2_sets,
+            l2_ways: self.l2_ways,
+            gw,
+            msi: self.msi,
         }
     }
 }
@@ -82,11 +110,8 @@ pub struct TesterReport {
     pub messages: usize,
     /// Invariant-check passes performed.
     pub checks: usize,
-}
-
-struct PendingAccess {
-    addr: Addr,
-    kind: AccessKind,
+    /// GI lines returned to I by timeout sweeps.
+    pub gi_timeouts: u64,
 }
 
 /// The random protocol tester. Panics on any invariant violation
@@ -100,308 +125,65 @@ struct PendingAccess {
 pub struct ProtocolTester {
     cfg: TesterConfig,
     rng: StdRng,
-    l1s: Vec<L1Cache>,
-    banks: Vec<crate::dir::DirBank>,
-    dram: Dram,
-    stats: Stats,
-    /// Virtual network: per-(src, dst) FIFO channels. A BTreeMap keeps
-    /// channel-selection order deterministic for a given seed.
-    net: BTreeMap<(usize, usize), VecDeque<Msg>>,
-    /// Outstanding access per core.
-    pending: Vec<Option<PendingAccess>>,
-    /// Single-writer discipline: next sequence number per (writer, block).
-    next_seq: Vec<Vec<u64>>,
-    /// Monotone-read check: last value observed per (reader, block).
-    last_seen: Vec<Vec<u64>>,
+    sys: System,
     issued: usize,
-    report: TesterReport,
-}
-
-/// Flattens an endpoint into a virtual-network node id.
-fn node_key(ep: Endpoint, cores: usize) -> usize {
-    match ep {
-        Endpoint::L1(i) => i,
-        Endpoint::Dir(b) => cores + b,
-        Endpoint::Mem(m) => 2 * cores + m,
-    }
+    checks: usize,
 }
 
 impl ProtocolTester {
     /// Builds a tester with `seed`-reproducible randomness.
     pub fn new(cfg: TesterConfig, seed: u64) -> Self {
-        assert!(cfg.cores >= 1 && cfg.blocks >= 1);
-        let gw = (cfg.scribble_prob > 0.0).then_some(GwParams {
-            scribe: ScribePolicy::Bitwise,
-            enable_gs: true,
-            enable_gi: true,
-            gi_stores: GiStorePolicy::Fallback,
-            max_hidden_writes: None,
-        });
-        let l1s = (0..cfg.cores)
-            .map(|c| L1Cache::new(c, cfg.l1_sets, cfg.l1_ways, cfg.cores, gw, false))
-            .collect();
-        let banks = (0..cfg.cores)
-            .map(|b| {
-                crate::dir::DirBank::with_base(b, cfg.l2_sets, cfg.l2_ways, 1, !cfg.msi)
-            })
-            .collect();
         Self {
             rng: StdRng::seed_from_u64(seed),
-            l1s,
-            banks,
-            dram: Dram::new(),
-            stats: Stats::default(),
-            net: BTreeMap::new(),
-            pending: (0..cfg.cores).map(|_| None).collect(),
-            next_seq: vec![vec![1; cfg.blocks]; cfg.cores],
-            last_seen: vec![vec![0; cfg.blocks]; cfg.cores],
+            sys: System::new(cfg.system()),
             issued: 0,
-            report: TesterReport::default(),
+            checks: 0,
             cfg,
-        }
-    }
-
-    /// Byte address of block index `b`'s slot owned by `writer`
-    /// (one 8-byte slot per core per block: single-writer-per-address,
-    /// false sharing across cores by construction).
-    fn slot(&self, writer: usize, b: usize) -> Addr {
-        Addr(0x10_0000 + (b as u64) * 64 + (writer as u64) * 8)
-    }
-
-    fn block_of(&self, b: usize) -> BlockAddr {
-        self.slot(0, b).block()
-    }
-
-    fn enqueue(&mut self, msg: Msg) {
-        let key = (
-            node_key(msg.src, self.cfg.cores),
-            node_key(msg.dst, self.cfg.cores),
-        );
-        self.net.entry(key).or_default().push_back(msg);
-    }
-
-    fn handle_l1_outs(&mut self, core: usize, outs: Vec<L1Out>) {
-        for out in outs {
-            match out {
-                L1Out::Send(m) => self.enqueue(m),
-                L1Out::Reply { value } => {
-                    let p = self.pending[core].take().expect("reply without access");
-                    if matches!(p.kind, AccessKind::Load) {
-                        // Which (writer, block) slot was read?
-                        let rel = p.addr.0 - 0x10_0000;
-                        let b = (rel / 64) as usize;
-                        let writer = ((rel % 64) / 8) as usize;
-                        // Loads only ever observe values the single
-                        // writer actually wrote (zero = initial state).
-                        assert!(
-                            value < self.next_seq[writer][b],
-                            "core {core} read unwritten value {value} from writer {writer} block {b}"
-                        );
-                        // Under pure MESI, reads of a single-writer slot
-                        // are monotone per reader (coherence order).
-                        // Scribbling legitimately serves stale values, so
-                        // the monotonicity oracle only applies when the
-                        // run is precise.
-                        if self.cfg.scribble_prob == 0.0 {
-                            let idx = b * self.cfg.cores + writer;
-                            assert!(
-                                value >= self.last_seen[core][idx],
-                                "core {core} saw writer {writer} block {b} go backwards: \
-                                 {value} < {}",
-                                self.last_seen[core][idx]
-                            );
-                            self.last_seen[core][idx] = value;
-                        }
-                    }
-                    self.report.completed += 1;
-                }
-            }
         }
     }
 
     /// Issues a random access on an idle core.
     fn issue(&mut self) {
-        let idle: Vec<usize> = (0..self.cfg.cores)
-            .filter(|&c| self.pending[c].is_none())
-            .collect();
+        let idle = self.sys.idle_cores();
         if idle.is_empty() {
             return;
         }
         let core = idle[self.rng.gen_range(0..idle.len())];
         let b = self.rng.gen_range(0..self.cfg.blocks);
-        let load = self.rng.gen_bool(0.5);
-        let (addr, kind, value) = if load {
+        let op = if self.rng.gen_bool(0.5) {
             // Read any writer's slot in the block.
-            let writer = self.rng.gen_range(0..self.cfg.cores);
-            (self.slot(writer, b), AccessKind::Load, 0)
+            Op::Load {
+                writer: self.rng.gen_range(0..self.cfg.cores),
+            }
+        } else if self.rng.gen_bool(self.cfg.scribble_prob) {
+            Op::Scribble { d: 4 }
         } else {
-            // Write my own slot: next sequence number.
-            let v = self.next_seq[core][b];
-            self.next_seq[core][b] += 1;
-            let kind = if self.rng.gen_bool(self.cfg.scribble_prob) {
-                AccessKind::Scribble { d: 4 }
-            } else {
-                AccessKind::Store
-            };
-            (self.slot(core, b), kind, v)
-        };
-        // Scribbled slots would break the monotone-read oracle (stale
-        // reads are legal there), so under scribbling we only check
-        // liveness and structural invariants, not values.
-        self.pending[core] = Some(PendingAccess { addr, kind });
-        let req = CoreReq {
-            addr,
-            size: 8,
-            value,
-            kind,
+            Op::Store
         };
         if std::env::var_os("GW_TESTER_TRACE").is_some() {
-            eprintln!("issue core {core} {kind:?} at {addr:?}");
+            eprintln!("issue core {core} {op:?} on block {b}");
         }
-        let outs = self.l1s[core].access(req, &mut self.stats);
         self.issued += 1;
-        self.handle_l1_outs(core, outs);
+        if let Err(v) = self.sys.issue(core, b, op) {
+            panic!("invariant violated on issue {op:?} at core {core}: {v}");
+        }
     }
 
     /// Delivers one random in-flight message (FIFO within its channel).
     fn deliver(&mut self) -> bool {
-        let keys: Vec<(usize, usize)> = self
-            .net
-            .iter()
-            .filter(|(_, q)| !q.is_empty())
-            .map(|(&k, _)| k)
-            .collect();
+        let keys = self.sys.channels();
         if keys.is_empty() {
             return false;
         }
         let key = keys[self.rng.gen_range(0..keys.len())];
-        let msg = self
-            .net
-            .get_mut(&key)
-            .and_then(|q| q.pop_front())
-            .expect("nonempty channel");
-        self.report.messages += 1;
-        if std::env::var_os("GW_TESTER_TRACE").is_some() {
-            eprintln!(
-                "deliver {:<12} {:?} -> {:?}  {:?}",
-                msg.payload.name(),
-                msg.src,
-                msg.dst,
-                msg.block
-            );
-        }
-        match msg.dst {
-            Endpoint::L1(core) => {
-                let outs = self.l1s[core].handle_msg(msg, &mut self.stats);
-                self.handle_l1_outs(core, outs);
-            }
-            Endpoint::Dir(bank) => {
-                let outs = self.banks[bank].handle_msg(msg, &mut self.stats);
-                for m in outs {
-                    self.enqueue(m);
-                }
-            }
-            Endpoint::Mem(_) => match msg.payload {
-                Payload::MemRead => {
-                    let data = self.dram.read_block(msg.block);
-                    self.enqueue(Msg {
-                        src: msg.dst,
-                        dst: msg.src,
-                        block: msg.block,
-                        payload: Payload::MemData { data },
-                    });
-                }
-                Payload::MemWrite { data } => self.dram.write_block(msg.block, data),
-                ref p => panic!("memory controller got {}", p.name()),
-            },
+        if let Err(v) = self.sys.deliver(key) {
+            panic!("invariant violated delivering on channel {key:?}: {v}");
         }
         true
     }
 
-    /// SWMR: never two writable copies; never writable + readable
-    /// elsewhere. Checked continuously (valid at any instant).
-    fn check_swmr(&mut self) {
-        self.report.checks += 1;
-        for b in 0..self.cfg.blocks {
-            let block = self.block_of(b);
-            let mut writable = 0;
-            let mut readable_elsewhere = 0;
-            for l1 in &self.l1s {
-                match l1.state_of(block) {
-                    Some(L1State::M) | Some(L1State::E) => writable += 1,
-                    Some(L1State::S) => readable_elsewhere += 1,
-                    _ => {}
-                }
-            }
-            assert!(writable <= 1, "block {b}: {writable} writable copies");
-            assert!(
-                writable == 0 || readable_elsewhere == 0,
-                "block {b}: writable copy coexists with {readable_elsewhere} shared copies"
-            );
-        }
-    }
-
-    /// Directory accuracy + data-value invariant; only meaningful at
-    /// quiescence (no in-flight messages or accesses).
-    fn check_quiescent(&self) {
-        for b in 0..self.cfg.blocks {
-            let block = self.block_of(b);
-            let bank = home_bank(block, self.cfg.cores);
-            let dir = self.banks[bank].dir_state(block);
-            let mut sharers = 0u64;
-            let mut owner = None;
-            for (c, l1) in self.l1s.iter().enumerate() {
-                match l1.state_of(block) {
-                    Some(L1State::S) | Some(L1State::Gs) => sharers |= 1 << c,
-                    Some(L1State::M) | Some(L1State::E) => {
-                        assert!(owner.is_none());
-                        owner = Some(c);
-                    }
-                    Some(L1State::I) | Some(L1State::Gi) | None => {}
-                    Some(t) => panic!("core {c} stuck in transient {t:?} at quiescence"),
-                }
-            }
-            match (dir, owner) {
-                (Some(crate::dir::DirState::Owned(o)), Some(c)) => {
-                    assert_eq!(o, c, "block {b}: directory owner mismatch")
-                }
-                (Some(crate::dir::DirState::Owned(_)), None) => {
-                    panic!("block {b}: directory says owned, no L1 owner")
-                }
-                (Some(crate::dir::DirState::Shared(s)), _) => {
-                    assert_eq!(s, sharers, "block {b}: sharer list mismatch");
-                    assert!(owner.is_none());
-                }
-                (Some(crate::dir::DirState::Np), _) | (None, _) => {
-                    assert_eq!(sharers, 0, "block {b}: untracked sharers");
-                    assert!(owner.is_none(), "block {b}: untracked owner");
-                }
-            }
-            // Data-value invariant: Shared copies equal the L2 data
-            // (GS copies are legitimately divergent).
-            if let Some(l2_data) = self.banks[bank].peek_block(block) {
-                for (c, l1) in self.l1s.iter().enumerate() {
-                    if l1.state_of(block) == Some(L1State::S) {
-                        for w in 0..8 {
-                            let a = block.base().add(8 * w);
-                            assert_eq!(
-                                l1.peek_word(a, 8),
-                                Some(l2_data.read_word(8 * w as usize, 8)),
-                                "block {b} word {w}: core {c}'s S copy diverges from L2"
-                            );
-                        }
-                    }
-                }
-            }
-        }
-    }
-
     /// Runs the full fuzz schedule and the end-of-run checks.
     pub fn run(mut self) -> TesterReport {
-        // Widen last_seen to (blocks × cores) entries per reader.
-        for row in &mut self.last_seen {
-            row.resize(self.cfg.blocks * self.cfg.cores, 0);
-        }
         while self.issued < self.cfg.accesses {
             if self.rng.gen_bool(self.cfg.deliver_bias) {
                 if !self.deliver() {
@@ -410,8 +192,15 @@ impl ProtocolTester {
             } else {
                 self.issue();
             }
+            if self.cfg.gi_timeout_prob > 0.0 && self.rng.gen_bool(self.cfg.gi_timeout_prob) {
+                let core = self.rng.gen_range(0..self.cfg.cores);
+                self.sys.gi_timeout(core);
+            }
             if self.issued.is_multiple_of(16) {
-                self.check_swmr();
+                self.checks += 1;
+                if let Err(v) = self.sys.check_swmr() {
+                    panic!("invariant violated after {} accesses: {v}", self.issued);
+                }
             }
         }
         // Drain: deliver everything until the system is quiescent.
@@ -420,23 +209,17 @@ impl ProtocolTester {
             guard += 1;
             assert!(guard < 1_000_000, "network never drained (livelock)");
         }
-        assert!(
-            self.pending.iter().all(|p| p.is_none()),
-            "accesses never completed: liveness violation"
-        );
-        for bank in &self.banks {
-            assert!(bank.quiescent(), "directory bank not quiescent");
+        assert!(self.sys.quiescent(), "accesses never completed");
+        self.checks += 1;
+        if let Err(v) = self.sys.check_quiescent() {
+            panic!("invariant violated at quiescence: {v}");
         }
-        for l1 in &self.l1s {
-            assert!(!l1.busy(), "L1 still blocked at quiescence");
-            assert!(
-                !l1.has_pending_writebacks(),
-                "writeback never acknowledged"
-            );
+        TesterReport {
+            completed: self.sys.completed(),
+            messages: self.sys.messages(),
+            checks: self.checks,
+            gi_timeouts: self.sys.stats().gi_timeouts,
         }
-        self.check_swmr();
-        self.check_quiescent();
-        self.report
     }
 }
 
@@ -490,8 +273,9 @@ mod tests {
 
     #[test]
     fn ghostwriter_fuzz_structural_invariants_hold() {
-        // With scribbles in the mix the value oracle is off, but SWMR,
-        // directory accuracy and liveness must still hold.
+        // With scribbles in the mix the value oracle relaxes on the
+        // scribbled blocks, but SWMR, directory accuracy, containment
+        // and liveness must still hold.
         let cfg = TesterConfig {
             scribble_prob: 0.5,
             accesses: 600,
@@ -501,6 +285,45 @@ mod tests {
             ProtocolTester::new(cfg, 2000 + seed).run();
         }
     }
+
+    #[test]
+    fn ghostwriter_fuzz_with_capture_policy() {
+        // Capture keeps failing scribbles on GI blocks local instead of
+        // falling back to GETX; all structural invariants must survive.
+        let cfg = TesterConfig {
+            scribble_prob: 0.5,
+            gi_stores: GiStorePolicy::Capture,
+            accesses: 600,
+            ..TesterConfig::default()
+        };
+        for seed in 0..10 {
+            ProtocolTester::new(cfg, 4000 + seed).run();
+        }
+    }
+
+    #[test]
+    fn gi_timeout_sweeps_return_gi_blocks_to_invalid() {
+        // With frequent timeouts and heavy scribbling, GI lines must be
+        // reclaimed by the timeout path (GI → I) and the run must stay
+        // invariant-clean. Across this seed range the sweeps always
+        // catch at least one live GI line.
+        let cfg = TesterConfig {
+            scribble_prob: 0.7,
+            gi_timeout_prob: 0.05,
+            accesses: 600,
+            ..TesterConfig::default()
+        };
+        let mut total_timeouts = 0;
+        for seed in 0..10 {
+            let report = ProtocolTester::new(cfg, 5000 + seed).run();
+            assert_eq!(report.completed, 600, "seed {seed}");
+            total_timeouts += report.gi_timeouts;
+        }
+        assert!(
+            total_timeouts > 0,
+            "no GI line was ever reclaimed by a timeout sweep"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -508,7 +331,8 @@ mod long_fuzz {
     use super::*;
 
     /// Heavy sweep (run with `--ignored`): many seeds across stressful
-    /// geometries, with and without scribbles.
+    /// geometries, with and without scribbles, both GI store policies
+    /// and occasional timeout sweeps.
     #[test]
     #[ignore]
     fn thousand_seed_sweep() {
@@ -522,6 +346,12 @@ mod long_fuzz {
                 l2_sets: 2 << (seed % 2),
                 l2_ways: 2,
                 scribble_prob: if seed % 3 == 0 { 0.4 } else { 0.0 },
+                gi_stores: if seed % 6 == 0 {
+                    GiStorePolicy::Capture
+                } else {
+                    GiStorePolicy::Fallback
+                },
+                gi_timeout_prob: if seed % 5 == 0 { 0.02 } else { 0.0 },
                 deliver_bias: 0.5 + (seed % 5) as f64 * 0.1,
                 msi: seed % 4 == 1,
             };

@@ -179,8 +179,7 @@ fn fig3_transition_table() {
         let outs = c.access(req(kind, value), &mut s);
         let action = classify(&outs);
         assert_eq!(
-            action,
-            want_action,
+            action, want_action,
             "{start:?} + {kind:?}({value:#x}) took the wrong action"
         );
         assert_eq!(

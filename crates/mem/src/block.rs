@@ -5,7 +5,7 @@ use crate::addr::BLOCK_BYTES;
 /// Contents of one cache block. Words are read and written little-endian at
 /// their natural alignment, matching an x86 machine (the paper simulates
 /// x86 in gem5).
-#[derive(Clone, Copy, PartialEq, Eq)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct BlockData {
     bytes: [u8; BLOCK_BYTES],
 }
@@ -137,7 +137,7 @@ mod tests {
         let f = -1234.5678_f32;
         b.write_word(12, 4, f.to_bits() as u64);
         assert_eq!(f32::from_bits(b.read_word(12, 4) as u32), f);
-        let d = 2.718281828_f64;
+        let d = std::f64::consts::E;
         b.write_word(16, 8, d.to_bits());
         assert_eq!(f64::from_bits(b.read_word(16, 8)), d);
     }

@@ -10,7 +10,7 @@ use crate::block::BlockData;
 use crate::plru::TreePlru;
 
 /// One cache line: a tagged block with caller-defined metadata.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct Line<M> {
     /// Block address held by this line (the full block number doubles as
     /// the tag; storing it whole costs nothing in a simulator).
@@ -32,7 +32,11 @@ pub enum LookupResult {
 }
 
 /// A set-associative array of `sets × ways` lines.
-#[derive(Debug)]
+///
+/// `Hash` covers the complete replacement-relevant state (tags, data,
+/// metadata, PLRU bits), so equal hashes mean equal future behaviour —
+/// the model checker's state canonicalisation relies on this.
+#[derive(Clone, Debug, Hash)]
 pub struct SetAssocCache<M> {
     sets: usize,
     ways: usize,
@@ -62,7 +66,10 @@ impl<M> SetAssocCache<M> {
     /// L1 (256 sets × 2 ways).
     pub fn from_capacity(capacity_bytes: usize, ways: usize) -> Self {
         let blocks = capacity_bytes / crate::addr::BLOCK_BYTES;
-        assert!(blocks.is_multiple_of(ways), "capacity not divisible by ways");
+        assert!(
+            blocks.is_multiple_of(ways),
+            "capacity not divisible by ways"
+        );
         Self::new(blocks / ways, ways)
     }
 

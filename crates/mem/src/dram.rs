@@ -12,7 +12,7 @@ use crate::block::BlockData;
 /// Sparse main-memory model with block-granularity timing accesses and
 /// byte-granularity functional ("backdoor") accesses for loading inputs and
 /// reading back results.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Dram {
     blocks: HashMap<u64, BlockData>,
 }
@@ -25,10 +25,7 @@ impl Dram {
 
     /// Reads a whole block (timing path: used by the memory controllers).
     pub fn read_block(&self, block: BlockAddr) -> BlockData {
-        self.blocks
-            .get(&block.index())
-            .copied()
-            .unwrap_or_default()
+        self.blocks.get(&block.index()).copied().unwrap_or_default()
     }
 
     /// Writes a whole block (timing path).
@@ -122,7 +119,10 @@ mod tests {
         d.backdoor_write_word(Addr(0x2004), 4, 0xABCD_EF01);
         assert_eq!(d.backdoor_read_word(Addr(0x2004), 4), 0xABCD_EF01);
         // Same data visible through the timing path.
-        assert_eq!(d.read_block(Addr(0x2004).block()).read_word(4, 4), 0xABCD_EF01);
+        assert_eq!(
+            d.read_block(Addr(0x2004).block()).read_word(4, 4),
+            0xABCD_EF01
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 /// Tree-PLRU state for one cache set. Supports power-of-two associativity
 /// up to 64.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct TreePlru {
     /// Tree bits, node 1 is the root (heap layout; index 0 unused).
     bits: u64,

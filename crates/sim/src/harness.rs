@@ -156,7 +156,8 @@ impl<Op: Send + 'static, Reply: Send + 'static> ThreadHarness<Op, Reply> {
     pub fn join_all(&mut self) {
         for t in &mut self.threads {
             if let Some(h) = t.join.take() {
-                h.join().expect("workload thread panicked after exit marker");
+                h.join()
+                    .expect("workload thread panicked after exit marker");
             }
         }
     }

@@ -107,11 +107,26 @@ impl Workload for BlackScholes {
         let v_base = m.alloc_padded((n * 4) as u64);
         let t_base = m.alloc_padded((n * 4) as u64);
         let c_base = m.alloc_padded(n as u64);
-        m.backdoor_write_f32s(s_base, &self.options.iter().map(|o| o.s).collect::<Vec<_>>());
-        m.backdoor_write_f32s(k_base, &self.options.iter().map(|o| o.k).collect::<Vec<_>>());
-        m.backdoor_write_f32s(r_base, &self.options.iter().map(|o| o.r).collect::<Vec<_>>());
-        m.backdoor_write_f32s(v_base, &self.options.iter().map(|o| o.v).collect::<Vec<_>>());
-        m.backdoor_write_f32s(t_base, &self.options.iter().map(|o| o.t).collect::<Vec<_>>());
+        m.backdoor_write_f32s(
+            s_base,
+            &self.options.iter().map(|o| o.s).collect::<Vec<_>>(),
+        );
+        m.backdoor_write_f32s(
+            k_base,
+            &self.options.iter().map(|o| o.k).collect::<Vec<_>>(),
+        );
+        m.backdoor_write_f32s(
+            r_base,
+            &self.options.iter().map(|o| o.r).collect::<Vec<_>>(),
+        );
+        m.backdoor_write_f32s(
+            v_base,
+            &self.options.iter().map(|o| o.v).collect::<Vec<_>>(),
+        );
+        m.backdoor_write_f32s(
+            t_base,
+            &self.options.iter().map(|o| o.t).collect::<Vec<_>>(),
+        );
         m.backdoor_write_u8s(
             c_base,
             &self

@@ -255,12 +255,7 @@ mod tests {
     #[test]
     fn bad_dot_exact_under_mesi() {
         let mut w = BadDotProduct::new(7, 256, true);
-        let out = execute(
-            &mut w,
-            MachineConfig::small(4, Protocol::Mesi),
-            4,
-            4,
-        );
+        let out = execute(&mut w, MachineConfig::small(4, Protocol::Mesi), 4, 4);
         assert_eq!(out.error_percent, 0.0);
         assert_eq!(out.output, w.reference());
     }

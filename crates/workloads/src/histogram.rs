@@ -163,10 +163,16 @@ mod tests {
         let gw = run(Protocol::ghostwriter());
         let miss_rate =
             base.report.stats.l1_misses() as f64 / base.report.stats.l1_accesses() as f64;
-        assert!(miss_rate < 0.10, "histogram should have few misses: {miss_rate}");
+        assert!(
+            miss_rate < 0.10,
+            "histogram should have few misses: {miss_rate}"
+        );
         assert!(gw.error_percent < 1.0, "error {}%", gw.error_percent);
         // Cycle counts stay in the same ballpark (no regression).
         let ratio = gw.report.cycles as f64 / base.report.cycles as f64;
-        assert!(ratio < 1.05, "Ghostwriter must not slow histogram down: {ratio}");
+        assert!(
+            ratio < 1.05,
+            "Ghostwriter must not slow histogram down: {ratio}"
+        );
     }
 }

@@ -80,8 +80,14 @@ impl Workload for InverseK2J {
         let n = self.targets.len();
         let x_base = m.alloc_padded((n * 4) as u64);
         let y_base = m.alloc_padded((n * 4) as u64);
-        m.backdoor_write_f32s(x_base, &self.targets.iter().map(|t| t.0).collect::<Vec<_>>());
-        m.backdoor_write_f32s(y_base, &self.targets.iter().map(|t| t.1).collect::<Vec<_>>());
+        m.backdoor_write_f32s(
+            x_base,
+            &self.targets.iter().map(|t| t.0).collect::<Vec<_>>(),
+        );
+        m.backdoor_write_f32s(
+            y_base,
+            &self.targets.iter().map(|t| t.1).collect::<Vec<_>>(),
+        );
         self.th1_base = m.alloc_padded((n * 4) as u64);
         self.th2_base = m.alloc_padded((n * 4) as u64);
         let (th1_base, th2_base) = (self.th1_base, self.th2_base);
@@ -166,7 +172,12 @@ mod tests {
     #[test]
     fn low_error_under_ghostwriter() {
         let mut w = InverseK2J::new(13, 300);
-        let out = execute(&mut w, MachineConfig::small(4, Protocol::ghostwriter()), 4, 8);
+        let out = execute(
+            &mut w,
+            MachineConfig::small(4, Protocol::ghostwriter()),
+            4,
+            8,
+        );
         assert!(out.error_percent < 5.0, "NRMSE {}%", out.error_percent);
     }
 }

@@ -52,7 +52,11 @@ pub const QUANT: [i32; 64] = [
 /// The result differs from `v` by at most `q/2` — the bit-wise value
 /// similarity the in-place quantisation pass exploits.
 pub fn quantize(v: i32, q: i32) -> i32 {
-    let r = if v >= 0 { (v + q / 2) / q } else { -((-v + q / 2) / q) };
+    let r = if v >= 0 {
+        (v + q / 2) / q
+    } else {
+        -((-v + q / 2) / q)
+    };
     r * q
 }
 
@@ -60,8 +64,16 @@ pub fn quantize(v: i32, q: i32) -> i32 {
 pub fn dct8x8(pixels: &[f32; 64], out: &mut [f32; 64]) {
     for v in 0..TILE {
         for u in 0..TILE {
-            let cu = if u == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
-            let cv = if v == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+            let cu = if u == 0 {
+                std::f32::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
+            let cv = if v == 0 {
+                std::f32::consts::FRAC_1_SQRT_2
+            } else {
+                1.0
+            };
             let mut s = 0.0f32;
             for y in 0..TILE {
                 for x in 0..TILE {
@@ -82,8 +94,16 @@ pub fn idct8x8(coeffs: &[f32; 64], out: &mut [f32; 64]) {
             let mut s = 0.0f32;
             for v in 0..TILE {
                 for u in 0..TILE {
-                    let cu = if u == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
-                    let cv = if v == 0 { std::f32::consts::FRAC_1_SQRT_2 } else { 1.0 };
+                    let cu = if u == 0 {
+                        std::f32::consts::FRAC_1_SQRT_2
+                    } else {
+                        1.0
+                    };
+                    let cv = if v == 0 {
+                        std::f32::consts::FRAC_1_SQRT_2
+                    } else {
+                        1.0
+                    };
                     s += cu
                         * cv
                         * coeffs[v * TILE + u]
@@ -218,8 +238,7 @@ impl Workload for Jpeg {
                     let (x, y) = (i % TILE, i / TILE);
                     ((ty * TILE + y) * width + (tx * TILE + x)) as u64
                 };
-                let plane_addr =
-                    move |i: usize, k: usize| -> u64 { ((i * tiles + k) * 4) as u64 };
+                let plane_addr = move |i: usize, k: usize| -> u64 { ((i * tiles + k) * 4) as u64 };
                 // Phase 1: DCT; scatter coefficients into the planes.
                 // Conventional stores: fresh coefficients are not
                 // value-similar to the zero-initialised planes, so the
@@ -354,7 +373,12 @@ mod tests {
     #[test]
     fn ghostwriter_uses_both_states_with_low_error() {
         let mut w = Jpeg::new(17, 16, 16);
-        let out = execute(&mut w, MachineConfig::small(4, Protocol::ghostwriter()), 4, 8);
+        let out = execute(
+            &mut w,
+            MachineConfig::small(4, Protocol::ghostwriter()),
+            4,
+            8,
+        );
         let s = &out.report.stats;
         assert!(
             s.serviced_by_gs + s.serviced_by_gi > 0,

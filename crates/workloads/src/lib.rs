@@ -21,8 +21,8 @@ pub mod linreg;
 pub mod metrics;
 pub mod pca;
 pub mod registry;
-pub mod sobel;
 pub mod runner;
+pub mod sobel;
 pub mod tuner;
 
 pub use blackscholes::BlackScholes;
@@ -31,10 +31,12 @@ pub use histogram::Histogram;
 pub use inversek2j::InverseK2J;
 pub use jpeg::Jpeg;
 pub use kmeans::KMeans;
-pub use sobel::Sobel;
 pub use linreg::LinearRegression;
 pub use metrics::{mpe, nrmse, Metric};
 pub use pca::Pca;
-pub use registry::{extended_benchmarks, micro_benchmarks, paper_benchmarks, BenchmarkEntry, ScaleClass, Suite};
+pub use registry::{
+    extended_benchmarks, micro_benchmarks, paper_benchmarks, BenchmarkEntry, ScaleClass, Suite,
+};
 pub use runner::{compare, compare_default, execute, Comparison, RunOutcome, Workload};
+pub use sobel::Sobel;
 pub use tuner::{autotune, Candidate, TuneResult, DEFAULT_LADDER};

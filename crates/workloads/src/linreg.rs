@@ -229,7 +229,12 @@ mod tests {
     #[test]
     fn ghostwriter_services_stores_with_low_error() {
         let mut w = LinearRegression::new(11, 400);
-        let out = execute(&mut w, MachineConfig::small(4, Protocol::ghostwriter()), 4, 8);
+        let out = execute(
+            &mut w,
+            MachineConfig::small(4, Protocol::ghostwriter()),
+            4,
+            8,
+        );
         assert!(
             out.report.stats.serviced_by_gs > 0,
             "GS must service some shared-store misses"

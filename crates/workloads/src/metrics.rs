@@ -47,8 +47,7 @@ pub fn mpe(reference: &[f64], actual: &[f64]) -> f64 {
     if reference.is_empty() {
         return 0.0;
     }
-    let mean_abs =
-        reference.iter().map(|r| r.abs()).sum::<f64>() / reference.len() as f64;
+    let mean_abs = reference.iter().map(|r| r.abs()).sum::<f64>() / reference.len() as f64;
     let floor = if mean_abs > 0.0 { mean_abs } else { 1.0 };
     reference
         .iter()

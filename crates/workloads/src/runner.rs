@@ -135,7 +135,8 @@ pub fn compare(
     let mut base_w = factory();
     let baseline = execute(base_w.as_mut(), mk_cfg(Protocol::Mesi), threads, d);
     assert_eq!(
-        baseline.error_percent, 0.0,
+        baseline.error_percent,
+        0.0,
         "{}: baseline MESI must be exact",
         base_w.name()
     );

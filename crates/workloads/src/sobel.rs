@@ -52,8 +52,8 @@ impl Sobel {
         let mut pixels: Vec<u8> = (0..width * height)
             .map(|i| {
                 let (x, y) = (i % width, i / width);
-                ((x * 96 / width + y * 64 / height) as i32 + rng.gen_range(-3..=3))
-                    .clamp(0, 255) as u8
+                ((x * 96 / width + y * 64 / height) as i32 + rng.gen_range(-3..=3)).clamp(0, 255)
+                    as u8
             })
             .collect();
         for _ in 0..3 {
@@ -198,7 +198,12 @@ mod tests {
     #[test]
     fn low_error_under_ghostwriter() {
         let mut w = Sobel::new(23, 24, 24);
-        let out = execute(&mut w, MachineConfig::small(4, Protocol::ghostwriter()), 4, 8);
+        let out = execute(
+            &mut w,
+            MachineConfig::small(4, Protocol::ghostwriter()),
+            4,
+            8,
+        );
         assert!(out.error_percent < 5.0, "NRMSE {}%", out.error_percent);
     }
 }

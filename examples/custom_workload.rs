@@ -75,7 +75,11 @@ fn main() {
     // A smooth signal with occasional steps (mostly-similar values).
     let n = 2048;
     let signal: Vec<i32> = (0..n)
-        .map(|i| 500 + ((i as f64) / 40.0).sin() as i32 * 4 + (i as i32 % 7) + if i % 400 == 0 { 300 } else { 0 })
+        .map(|i| {
+            500 + ((i as f64) / 40.0).sin() as i32 * 4
+                + (i as i32 % 7)
+                + if i % 400 == 0 { 300 } else { 0 }
+        })
         .collect();
     let exact = reference(&signal, 8);
 

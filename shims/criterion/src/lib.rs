@@ -1,0 +1,179 @@
+//! Offline drop-in subset of the `criterion` 0.5 API.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `criterion` to this shim (see `[patch.crates-io]` in the root
+//! manifest). It runs each benchmark as a plain timing loop and prints
+//! the mean wall-clock time per iteration — no warm-up modelling,
+//! statistics, or HTML reports. Honors `--bench` (ignored) and filters
+//! benchmarks by any other CLI argument, like upstream's substring
+//! filter, so `cargo bench <name>` still narrows the run.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Units the measured time is reported against.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Skip argv[0] and harness flags; any bare argument is a
+        // benchmark-name substring filter, as with upstream criterion.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            filter,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Accepted for API parity with `Criterion::configure_from_args`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut total = Duration::ZERO;
+        let mut iters_total = 0u64;
+        for _ in 0..samples {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            total += b.elapsed;
+            iters_total += b.iters;
+        }
+        let mean = total.as_secs_f64() / iters_total.max(1) as f64;
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  {:.3e} elem/s", n as f64 / mean)
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  {:.3e} B/s", n as f64 / mean)
+            }
+            _ => String::new(),
+        };
+        println!("{full:<48} time: {:>12.3?} /iter{rate}", Duration::from_secs_f64(mean));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Build the group-runner functions (subset of `criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Build `main` from group runners (subset of `criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        // Bypass Default: under `cargo test <filter>` the harness argv
+        // would otherwise be picked up as a benchmark-name filter.
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 10,
+        };
+        let mut g = c.benchmark_group("shim_smoke");
+        g.sample_size(2);
+        let mut runs = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        g.finish();
+        assert!(runs >= 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline drop-in subset of the `proptest` 1.x API.
+//!
+//! The build container has no registry access, so the workspace patches
+//! `proptest` to this shim (see `[patch.crates-io]` in the root
+//! manifest). It covers the surface the repo's property tests use:
+//!
+//! * the `proptest!` macro (with optional `#![proptest_config(...)]`),
+//! * `Strategy` with `prop_map` / `prop_flat_map` / `boxed`,
+//! * range, tuple, `Just`, `any::<T>()` and `collection::vec` strategies,
+//! * `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! * `ProptestConfig` and `TestCaseError`.
+//!
+//! Cases are generated from deterministic per-test seeds. On failure the
+//! offending seed is appended to `proptest-regressions/<file>.txt` next
+//! to the test's source file (mirroring upstream's failure persistence),
+//! and seeds already recorded there are replayed before fresh cases —
+//! so committed regression files keep guarding against recurrences.
+//! Unlike upstream there is no value-tree shrinking: the failure report
+//! carries the full generated inputs instead.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    pub use crate::strategy::{vec, SizeRange};
+}
+
+/// `Strategy::prop_map`-style combinators and inputs.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// The `proptest!` macro: deterministic, regression-replaying runner.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_proptest(
+                    file!(),
+                    stringify!($name),
+                    &config,
+                    |rng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), rng);)+
+                        let inputs = format!(
+                            concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                            $(&$arg),+
+                        );
+                        let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                        (inputs, outcome)
+                    },
+                );
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Union of strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {:?} != {:?}: {}",
+            l,
+            r,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}

@@ -73,12 +73,10 @@ fn parse() -> Options {
         run_compare: false,
     };
     let next_num = |args: &mut dyn Iterator<Item = String>, flag: &str| -> u64 {
-        args.next()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("{flag} needs a numeric argument");
-                usage()
-            })
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} needs a numeric argument");
+            usage()
+        })
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -167,7 +165,13 @@ fn main() {
         let base = execute(base_w.as_mut(), base_cfg, threads, o.d);
         let mut gw_w = entry.build(scale);
         let g = execute(gw_w.as_mut(), cfg(gw), threads, o.d);
-        println!("{} @ {} cores, d={} ({})", entry.name, o.cores, o.d, entry.metric.label());
+        println!(
+            "{} @ {} cores, d={} ({})",
+            entry.name,
+            o.cores,
+            o.d,
+            entry.metric.label()
+        );
         println!(
             "  baseline : {:>9} cycles  {:>8} messages",
             base.report.cycles,
@@ -233,7 +237,11 @@ fn main() {
         out.report.energy.memory_pj / 1000.0,
         out.report.energy.network_pj / 1000.0
     );
-    println!("  output error     : {:.4}% ({})", out.error_percent, entry.metric.label());
+    println!(
+        "  output error     : {:.4}% ({})",
+        out.error_percent,
+        entry.metric.label()
+    );
     println!(
         "  load imbalance   : {:.3} (max finish / mean finish)",
         out.report.imbalance()

@@ -26,19 +26,16 @@ struct Plan {
 }
 
 fn plan_strategy() -> impl Strategy<Value = Plan> {
-    (2usize..=4, 2usize..=8, any::<bool>())
-        .prop_flat_map(|(threads, blocks, small_l2)| {
-            let step = (0..blocks, 0u8..4);
-            let thread_steps = proptest::collection::vec(step, 10..40);
-            proptest::collection::vec(thread_steps, threads..=threads).prop_map(
-                move |steps| Plan {
-                    threads,
-                    blocks,
-                    steps,
-                    small_l2,
-                },
-            )
+    (2usize..=4, 2usize..=8, any::<bool>()).prop_flat_map(|(threads, blocks, small_l2)| {
+        let step = (0..blocks, 0u8..4);
+        let thread_steps = proptest::collection::vec(step, 10..40);
+        proptest::collection::vec(thread_steps, threads..=threads).prop_map(move |steps| Plan {
+            threads,
+            blocks,
+            steps,
+            small_l2,
         })
+    })
 }
 
 fn config(threads: usize, small_l2: bool, protocol: Protocol) -> MachineConfig {

@@ -77,7 +77,11 @@ fn approx_end_keeps_gs_blocks_warm() {
         ctx.barrier();
     });
     let run = m.run();
-    assert_eq!(run.read_u32(result), 3, "load after approx_end sees the local GS value");
+    assert_eq!(
+        run.read_u32(result),
+        3,
+        "load after approx_end sees the local GS value"
+    );
     assert_eq!(run.report.stats.serviced_by_gs, 1);
 }
 

@@ -58,7 +58,10 @@ fn fig4_ghostwriter_eliminates_upgrade_round() {
     // Ghostwriter core 1's scribbles hit in GS, leaving only core 0's
     // conventional stores (exactly Fig. 4b, where "STORE c / UPGRADE"
     // remains in epoch 2).
-    assert!(mesi_upg >= 8, "baseline should upgrade both cores: {mesi_upg}");
+    assert!(
+        mesi_upg >= 8,
+        "baseline should upgrade both cores: {mesi_upg}"
+    );
     assert!(
         gw_upg <= mesi_upg / 2,
         "GS should absorb core 1's upgrades: {gw_upg} vs {mesi_upg}"

@@ -5,11 +5,11 @@
 //!   silent stores are approximated, and forfeiting a silent store cannot
 //!   change memory.
 
+use ghostwriter::core::MachineConfig;
 use ghostwriter::core::Protocol;
 use ghostwriter::workloads::{
     execute, extended_benchmarks, micro_benchmarks, paper_benchmarks, ScaleClass,
 };
-use ghostwriter::core::MachineConfig;
 
 const THREADS: usize = 4;
 
