@@ -1,58 +1,11 @@
-//! Ablation: NoC link contention. The default latency model is
-//! contention-free (DESIGN.md §7.4); this binary re-runs the two
-//! false-sharing applications with per-link serialization enabled to
-//! verify the claimed direction of the substitution — eliminating
-//! coherence messages helps *more* when links queue.
-
-use ghostwriter_bench::{banner, row, EVAL_CORES};
-use ghostwriter_core::{MachineConfig, Protocol};
-use ghostwriter_workloads::{execute, paper_benchmarks, ScaleClass};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run ablation_contention` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Ablation", "contention-free vs link-contended NoC");
-    let widths = [18usize, 14, 12, 12];
-    println!(
-        "{}",
-        row(
-            &[
-                "app".into(),
-                "NoC model".into(),
-                "base cyc".into(),
-                "speedup %".into()
-            ],
-            &widths
-        )
-    );
-    for entry in paper_benchmarks()
+    let args = ["run".to_string(), "ablation_contention".to_string()]
         .into_iter()
-        .filter(|e| e.name == "linear_regression" || e.name == "jpeg")
-    {
-        for (label, contended) in [("free", false), ("contended", true)] {
-            let run = |protocol| {
-                let mut w = entry.build(ScaleClass::Eval);
-                let cfg = MachineConfig {
-                    cores: EVAL_CORES,
-                    protocol,
-                    model_contention: contended,
-                    ..MachineConfig::default()
-                };
-                execute(w.as_mut(), cfg, EVAL_CORES, 8).report.cycles
-            };
-            let base = run(Protocol::Mesi);
-            let gw = run(Protocol::ghostwriter());
-            println!(
-                "{}",
-                row(
-                    &[
-                        entry.name.into(),
-                        label.into(),
-                        base.to_string(),
-                        format!("{:.1}", (base as f64 / gw as f64 - 1.0) * 100.0),
-                    ],
-                    &widths
-                )
-            );
-        }
-    }
-    println!("\nExpected: the contended NoC amplifies Ghostwriter's speedup.");
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,59 +1,11 @@
-//! Extension (paper §3.5): a light-weight runtime error bound. After
-//! `max_hidden_writes` hidden approximate updates without a coherent
-//! resync, the next scribble is forced to publish. Sweeping the bound on
-//! the pathological Fig. 12 microbenchmark (Capture GI policy, where
-//! unbounded approximation diverges hardest) shows the error/traffic
-//! trade-off the paper's §3.5 anticipates.
-
-use ghostwriter_bench::{banner, row, EVAL_CORES};
-use ghostwriter_core::config::{GiStorePolicy, GwConfig};
-use ghostwriter_core::Protocol;
-use ghostwriter_workloads::{compare, BadDotProduct};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run ablation_error_bound` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner(
-        "Ablation",
-        "runtime error bound (§3.5) on bad_dot_product, Capture GI, d=4",
-    );
-    let widths = [12usize, 14, 14, 18];
-    println!(
-        "{}",
-        row(
-            &[
-                "bound".into(),
-                "error (MPE)%".into(),
-                "traffic".into(),
-                "serviced by GI %".into()
-            ],
-            &widths
-        )
-    );
-    for bound in [None, Some(64), Some(16), Some(4), Some(1)] {
-        let p = Protocol::Ghostwriter(GwConfig {
-            gi_stores: GiStorePolicy::Capture,
-            max_hidden_writes: bound,
-            ..GwConfig::default()
-        });
-        let cmp = compare(
-            &|| Box::new(BadDotProduct::with_work(0xF16, 8_000, true, 96)),
-            EVAL_CORES,
-            EVAL_CORES,
-            4,
-            p,
-        );
-        println!(
-            "{}",
-            row(
-                &[
-                    bound.map_or("unbounded".into(), |b| b.to_string()),
-                    format!("{:.1}", cmp.output_error_percent()),
-                    format!("{:.3}", cmp.normalized_traffic()),
-                    format!("{:.1}", cmp.gi_serviced_percent()),
-                ],
-                &widths
-            )
-        );
-    }
-    println!("\nExpected: tighter bounds trade coherence-traffic savings for");
-    println!("bounded worst-case error, taming the paper's pathological case.");
+    let args = ["run".to_string(), "ablation_error_bound".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

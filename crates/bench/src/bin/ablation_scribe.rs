@@ -1,68 +1,11 @@
-//! Ablation: bit-wise vs arithmetic scribe comparator (the paper's §3.4
-//! future-work variant, which also admits carry pairs like 127/128 and
-//! -1/0).
-
-use ghostwriter_bench::{banner, row, EVAL_CORES};
-use ghostwriter_core::config::GwConfig;
-use ghostwriter_core::{Protocol, ScribePolicy};
-use ghostwriter_workloads::{compare, paper_benchmarks, ScaleClass};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run ablation_scribe` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Ablation", "scribe comparator: bit-wise vs arithmetic");
-    let widths = [18usize, 12, 4, 9, 9, 9, 10];
-    println!(
-        "{}",
-        row(
-            &[
-                "app".into(),
-                "comparator".into(),
-                "d".into(),
-                "GS%".into(),
-                "traffic".into(),
-                "speedup%".into(),
-                "error%".into()
-            ],
-            &widths
-        )
-    );
-    for entry in paper_benchmarks()
+    let args = ["run".to_string(), "ablation_scribe".to_string()]
         .into_iter()
-        .filter(|e| e.name == "linear_regression" || e.name == "jpeg")
-    {
-        for (label, scribe) in [
-            ("bitwise", ScribePolicy::Bitwise),
-            ("arithmetic", ScribePolicy::Arithmetic),
-        ] {
-            for d in [4u8, 8] {
-                let p = Protocol::Ghostwriter(GwConfig {
-                    scribe,
-                    ..GwConfig::default()
-                });
-                let cmp = compare(
-                    &|| entry.build(ScaleClass::Eval),
-                    EVAL_CORES,
-                    EVAL_CORES,
-                    d,
-                    p,
-                );
-                println!(
-                    "{}",
-                    row(
-                        &[
-                            entry.name.into(),
-                            label.into(),
-                            d.to_string(),
-                            format!("{:.1}", cmp.gs_serviced_percent()),
-                            format!("{:.3}", cmp.normalized_traffic()),
-                            format!("{:.1}", cmp.speedup_percent()),
-                            format!("{:.4}", cmp.output_error_percent()),
-                        ],
-                        &widths
-                    )
-                );
-            }
-        }
-    }
-    println!("\nThe arithmetic comparator admits carry-crossing neighbours");
-    println!("(paper §3.4), trading a little more error for more coverage.");
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,79 +1,11 @@
-//! Ablation: the contribution of each approximate state. Runs
-//! linear_regression and jpeg with GS-only, GI-only and both states,
-//! plus both GI store policies (DESIGN.md's interpretive choices).
-
-use ghostwriter_bench::{banner, row, EVAL_CORES};
-use ghostwriter_core::config::{GiStorePolicy, GwConfig};
-use ghostwriter_core::Protocol;
-use ghostwriter_workloads::{compare, paper_benchmarks, ScaleClass};
-
-fn protocol(enable_gs: bool, enable_gi: bool, gi_stores: GiStorePolicy) -> Protocol {
-    Protocol::Ghostwriter(GwConfig {
-        enable_gs,
-        enable_gi,
-        gi_stores,
-        ..GwConfig::default()
-    })
-}
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run ablation_states` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Ablation", "GS / GI contribution and GI store policy");
-    let widths = [18usize, 22, 9, 9, 9, 10];
-    println!(
-        "{}",
-        row(
-            &[
-                "app".into(),
-                "variant".into(),
-                "traffic".into(),
-                "energy%".into(),
-                "speedup%".into(),
-                "error%".into()
-            ],
-            &widths
-        )
-    );
-    let variants: [(&str, Protocol); 5] = [
-        (
-            "GS+GI (default)",
-            protocol(true, true, GiStorePolicy::Fallback),
-        ),
-        ("GS only", protocol(true, false, GiStorePolicy::Fallback)),
-        ("GI only", protocol(false, true, GiStorePolicy::Fallback)),
-        (
-            "GS+GI capture",
-            protocol(true, true, GiStorePolicy::Capture),
-        ),
-        ("disabled", protocol(false, false, GiStorePolicy::Fallback)),
-    ];
-    for entry in paper_benchmarks()
+    let args = ["run".to_string(), "ablation_states".to_string()]
         .into_iter()
-        .filter(|e| e.name == "linear_regression" || e.name == "jpeg")
-    {
-        for (label, p) in &variants {
-            let cmp = compare(
-                &|| entry.build(ScaleClass::Eval),
-                EVAL_CORES,
-                EVAL_CORES,
-                8,
-                *p,
-            );
-            println!(
-                "{}",
-                row(
-                    &[
-                        entry.name.into(),
-                        (*label).into(),
-                        format!("{:.3}", cmp.normalized_traffic()),
-                        format!("{:.1}", cmp.energy_saved_percent()),
-                        format!("{:.1}", cmp.speedup_percent()),
-                        format!("{:.4}", cmp.output_error_percent()),
-                    ],
-                    &widths
-                )
-            );
-        }
-    }
-    println!("\nExpected: GS carries most of linear_regression's benefit;");
-    println!("'disabled' must match the baseline exactly (all zeros).");
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,54 +1,11 @@
-//! Extension (paper §3.5): per-application d-distance auto-tuning for a
-//! user-specified output-quality target, in the spirit of the Green/SAGE
-//! frameworks the paper cites.
-
-use ghostwriter_bench::{banner, row, EVAL_CORES};
-use ghostwriter_core::Protocol;
-use ghostwriter_workloads::{autotune, paper_benchmarks, ScaleClass, DEFAULT_LADDER};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run autotune` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner(
-        "Auto-tuning",
-        "largest d-distance meeting a 0.5% output-error budget",
-    );
-    let widths = [18usize, 10, 10, 12, 10];
-    println!(
-        "{}",
-        row(
-            &[
-                "app".into(),
-                "chosen d".into(),
-                "error %".into(),
-                "speedup %".into(),
-                "traffic".into()
-            ],
-            &widths
-        )
-    );
-    for entry in paper_benchmarks() {
-        let result = autotune(
-            &|| entry.build(ScaleClass::Eval),
-            EVAL_CORES,
-            EVAL_CORES,
-            0.5,
-            &DEFAULT_LADDER,
-            Protocol::ghostwriter(),
-        );
-        println!(
-            "{}",
-            row(
-                &[
-                    entry.name.into(),
-                    result.chosen_d.to_string(),
-                    format!("{:.4}", result.chosen.error_percent),
-                    format!("{:.1}", result.chosen.speedup_percent),
-                    format!("{:.3}", result.chosen.normalized_traffic),
-                ],
-                &widths
-            )
-        );
-    }
-    println!("\nApplications with no runtime false sharing tune straight to");
-    println!("the most aggressive setting (nothing diverges); error-prone");
-    println!("ones settle where the budget binds.");
+    let args = ["run".to_string(), "autotune".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,55 +1,11 @@
-//! Extension evaluation: the Figs. 7-11 quantities for the extra
-//! Phoenix/AxBench workloads (`kmeans`, `sobel`) that go beyond the
-//! paper's Table 2.
-
-use ghostwriter_bench::{banner, row, EVAL_CORES, EVAL_DISTANCES};
-use ghostwriter_core::Protocol;
-use ghostwriter_workloads::{compare, extended_benchmarks, ScaleClass};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run extended_eval` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Extended evaluation", "kmeans and sobel (beyond Table 2)");
-    let widths = [10usize, 3, 9, 9, 9, 9, 9, 9];
-    println!(
-        "{}",
-        row(
-            &[
-                "app".into(),
-                "d".into(),
-                "GS%".into(),
-                "GI%".into(),
-                "traffic".into(),
-                "energy%".into(),
-                "speedup%".into(),
-                "error%".into()
-            ],
-            &widths
-        )
-    );
-    for entry in extended_benchmarks() {
-        for d in EVAL_DISTANCES {
-            let cmp = compare(
-                &|| entry.build(ScaleClass::Eval),
-                EVAL_CORES,
-                EVAL_CORES,
-                d,
-                Protocol::ghostwriter(),
-            );
-            println!(
-                "{}",
-                row(
-                    &[
-                        entry.name.into(),
-                        d.to_string(),
-                        format!("{:.1}", cmp.gs_serviced_percent()),
-                        format!("{:.1}", cmp.gi_serviced_percent()),
-                        format!("{:.3}", cmp.normalized_traffic()),
-                        format!("{:.1}", cmp.energy_saved_percent()),
-                        format!("{:.1}", cmp.speedup_percent()),
-                        format!("{:.4}", cmp.output_error_percent()),
-                    ],
-                    &widths
-                )
-            );
-        }
-    }
+    let args = ["run".to_string(), "extended_eval".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,56 +1,11 @@
-//! Fig. 1: speedup of the Listing 1 (false-sharing) and Listing 2
-//! (privatized) parallel dot products over single-threaded execution, for
-//! increasing thread counts, under the baseline MESI protocol.
-
-use ghostwriter_bench::{banner, row};
-use ghostwriter_core::{MachineConfig, Protocol};
-use ghostwriter_workloads::{execute, BadDotProduct, GoodDotProduct, Workload};
-
-fn cycles_of(w: &mut dyn Workload, threads: usize) -> u64 {
-    let cfg = MachineConfig {
-        cores: threads.max(1),
-        protocol: Protocol::Mesi,
-        ..MachineConfig::default()
-    };
-    execute(w, cfg, threads, 0).report.cycles
-}
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig01` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner(
-        "Figure 1",
-        "dot-product speedup vs thread count (MESI baseline)",
-    );
-    let n = 8_000;
-    let widths = [8usize, 14, 14];
-    println!(
-        "{}",
-        row(
-            &[
-                "threads".into(),
-                "naive (L.1)".into(),
-                "private (L.2)".into()
-            ],
-            &widths
-        )
-    );
-    let base_bad = cycles_of(&mut BadDotProduct::new(1, n, false), 1);
-    let base_good = cycles_of(&mut GoodDotProduct::new(1, n), 1);
-    for threads in [1usize, 2, 4, 8, 16, 24] {
-        let bad = cycles_of(&mut BadDotProduct::new(1, n, false), threads);
-        let good = cycles_of(&mut GoodDotProduct::new(1, n), threads);
-        println!(
-            "{}",
-            row(
-                &[
-                    threads.to_string(),
-                    format!("{:.2}x", base_bad as f64 / bad as f64),
-                    format!("{:.2}x", base_good as f64 / good as f64),
-                ],
-                &widths
-            )
-        );
-    }
-    println!();
-    println!("Paper shape: the naive version stops scaling (or slows down)");
-    println!("with more threads while the privatized version scales.");
+    let args = ["run".to_string(), "fig01".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,38 +1,11 @@
-//! Fig. 2: cumulative distribution of the bit-wise d-distance between
-//! store values and the values they overwrite, per application
-//! (independent of coherence state; measured under the MESI baseline).
-
-use ghostwriter_bench::{banner, eval_config, row};
-use ghostwriter_core::Protocol;
-use ghostwriter_workloads::{execute, paper_benchmarks, ScaleClass, Suite};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig02` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner(
-        "Figure 2",
-        "cumulative d-distance distribution of overwritten store values",
-    );
-    let ds = [0u32, 1, 2, 4, 8, 12, 16, 24, 32];
-    let mut header = vec!["app".to_string()];
-    header.extend(ds.iter().map(|d| format!("<={d}")));
-    let widths: Vec<usize> = std::iter::once(18usize)
-        .chain(ds.iter().map(|_| 7))
+    let args = ["run".to_string(), "fig02".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
         .collect();
-    for suite in [Suite::AxBench, Suite::Phoenix] {
-        println!("\n[{}]", suite.label());
-        println!("{}", row(&header, &widths));
-        for entry in paper_benchmarks().iter().filter(|e| e.suite == suite) {
-            let mut w = entry.build(ScaleClass::Eval);
-            let out = execute(w.as_mut(), eval_config(Protocol::Mesi), 24, 0);
-            let hist = &out.report.stats.similarity;
-            let mut cells = vec![entry.name.to_string()];
-            cells.extend(
-                ds.iter()
-                    .map(|&d| format!("{:.3}", hist.cumulative_fraction(d))),
-            );
-            println!("{}", row(&cells, &widths));
-        }
-    }
-    println!();
-    println!("Paper shape: a sizeable fraction of stores are 0-distance");
-    println!("(silent) and the curves rise steeply through d=4..8.");
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,79 +1,11 @@
-//! Fig. 4: the migratory false-sharing pattern, baseline MESI vs
-//! Ghostwriter's GS state. Two cores alternately load and store/scribble
-//! different offsets of the same block; the message traces show the
-//! UPGRADE/invalidation round disappearing under Ghostwriter.
-
-use ghostwriter_bench::banner;
-use ghostwriter_core::{Machine, MachineConfig, Protocol};
-
-fn scenario(protocol: Protocol) -> (u64, Vec<String>) {
-    let mut m = Machine::new(MachineConfig {
-        cores: 2,
-        protocol,
-        ..MachineConfig::default()
-    });
-    m.enable_trace();
-    let block = m.alloc_padded(64);
-    let rounds = 4u32;
-    // Core 0: epoch 0 store to offset 0, later loads (Fig. 4 epochs).
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
-        for r in 0..rounds {
-            ctx.store_u32(block, r); // conventional store, offset 0
-            ctx.barrier();
-            ctx.barrier();
-            let _ = ctx.load_u32(block); // re-read own offset
-            ctx.barrier();
-        }
-        ctx.approx_end();
-    });
-    // Core 1: loads offset 1, then scribbles a similar value to it.
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
-        for r in 0..rounds {
-            ctx.barrier();
-            let v = ctx.load_u32(block.add(4));
-            ctx.scribble_u32(block.add(4), v + (r & 1));
-            ctx.barrier();
-            ctx.barrier();
-        }
-        ctx.approx_end();
-    });
-    let run = m.run();
-    let lines = run
-        .trace
-        .iter()
-        .map(|t| {
-            format!(
-                "cycle {:>5}  {:<10} {:?} -> {:?}  {:?}",
-                t.cycle, t.name, t.src, t.dst, t.block
-            )
-        })
-        .collect();
-    (run.report.stats.traffic.total(), lines)
-}
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig04` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner(
-        "Figure 4",
-        "migratory false sharing: MESI vs Ghostwriter GS",
-    );
-    let (mesi_msgs, mesi_trace) = scenario(Protocol::Mesi);
-    let (gw_msgs, gw_trace) = scenario(Protocol::ghostwriter());
-    println!("\n(a) baseline MESI — {mesi_msgs} coherence messages");
-    for l in &mesi_trace {
-        println!("  {l}");
-    }
-    println!("\n(b) Ghostwriter — {gw_msgs} coherence messages");
-    for l in &gw_trace {
-        println!("  {l}");
-    }
-    println!(
-        "\nGhostwriter eliminates {} of {} messages ({:.1}%): the scribble",
-        mesi_msgs - gw_msgs,
-        mesi_msgs,
-        100.0 * (mesi_msgs - gw_msgs) as f64 / mesi_msgs as f64
-    );
-    println!("hits in GS without an UPGRADE, and core 0's re-reads stay hits.");
-    assert!(gw_msgs < mesi_msgs, "GS must reduce messages");
+    let args = ["run".to_string(), "fig04".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

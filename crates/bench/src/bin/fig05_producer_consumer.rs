@@ -1,92 +1,11 @@
-//! Fig. 5: the producer-consumer pattern with Ghostwriter's GI state.
-//! Core 0 produces, core 2 consumes, core 1 becomes the next producer:
-//! under Ghostwriter its scribble to the invalidated block enters GI
-//! without a GETX, and the consumer's load stays a hit.
-
-use ghostwriter_bench::banner;
-use ghostwriter_core::{Machine, MachineConfig, Protocol};
-
-fn scenario(protocol: Protocol) -> (u64, u64, Vec<String>) {
-    let mut m = Machine::new(MachineConfig {
-        cores: 3,
-        protocol,
-        ..MachineConfig::default()
-    });
-    m.enable_trace();
-    let block = m.alloc_padded(64);
-    let rounds = 4u32;
-    // Core 0: first producer (conventional store to offset 0).
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
-        for r in 0..rounds {
-            ctx.store_u32(block, 100 + r);
-            ctx.barrier(); // epoch 0 -> 1
-            ctx.barrier(); // epoch 1 -> 2
-        }
-        ctx.approx_end();
-    });
-    // Core 1: next producer — holds a stale copy, scribbles offset 1.
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
-        // Warm core 1's cache so its copy exists (tag present) and is
-        // then invalidated by core 0's store.
-        let _ = ctx.load_u32(block.add(4));
-        for r in 0..rounds {
-            ctx.barrier();
-            let v = ctx.load_u32(block.add(4));
-            ctx.scribble_u32(block.add(4), v + (r & 1));
-            ctx.barrier();
-        }
-        ctx.approx_end();
-    });
-    // Core 2: consumer — reads offset 0 every epoch.
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
-        for _ in 0..rounds {
-            ctx.barrier();
-            let _ = ctx.load_u32(block);
-            ctx.barrier();
-        }
-        ctx.approx_end();
-    });
-    let run = m.run();
-    let getx = run
-        .trace
-        .iter()
-        .filter(|t| t.name == "GETX" || t.name == "UPGRADE")
-        .count() as u64;
-    let lines = run
-        .trace
-        .iter()
-        .map(|t| {
-            format!(
-                "cycle {:>5}  {:<10} {:?} -> {:?}",
-                t.cycle, t.name, t.src, t.dst
-            )
-        })
-        .collect();
-    (run.report.stats.traffic.total(), getx, lines)
-}
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig05` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner(
-        "Figure 5",
-        "producer-consumer sharing: MESI vs Ghostwriter GI",
-    );
-    let (mesi_msgs, mesi_getx, mesi_trace) = scenario(Protocol::Mesi);
-    let (gw_msgs, gw_getx, gw_trace) = scenario(Protocol::ghostwriter());
-    println!("\n(a) baseline MESI — {mesi_msgs} messages, {mesi_getx} GETX/UPGRADE");
-    for l in mesi_trace.iter().take(30) {
-        println!("  {l}");
-    }
-    println!("\n(b) Ghostwriter — {gw_msgs} messages, {gw_getx} GETX/UPGRADE");
-    for l in gw_trace.iter().take(30) {
-        println!("  {l}");
-    }
-    println!(
-        "\nGhostwriter: {} fewer messages, {} fewer exclusive requests.",
-        mesi_msgs.saturating_sub(gw_msgs),
-        mesi_getx.saturating_sub(gw_getx)
-    );
-    assert!(gw_getx < mesi_getx, "GI must reduce exclusive requests");
+    let args = ["run".to_string(), "fig05".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,62 +1,11 @@
-//! Fig. 7: percentage of stores that would have missed on (a) Shared
-//! blocks but were serviced by GS, and (b) Invalid blocks but were
-//! serviced by GI, at d-distances 4 and 8.
-
-use ghostwriter_bench::{banner, eval_paper_suite, row, EVAL_CORES, EVAL_DISTANCES};
-use ghostwriter_workloads::ScaleClass;
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig07` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Figure 7", "approximate state utilization (GS / GI)");
-    let cells = eval_paper_suite(ScaleClass::Eval, EVAL_CORES, &EVAL_DISTANCES);
-    let widths = [18usize, 4, 18, 18];
-    println!(
-        "{}",
-        row(
-            &[
-                "app".into(),
-                "d".into(),
-                "serviced by GS %".into(),
-                "serviced by GI %".into()
-            ],
-            &widths
-        )
-    );
-    let mut avg = [[0.0f64; 2]; 2];
-    let mut n = [0usize; 2];
-    for c in &cells {
-        let di = usize::from(c.d == 8);
-        let gs = c.cmp.gs_serviced_percent();
-        let gi = c.cmp.gi_serviced_percent();
-        avg[di][0] += gs;
-        avg[di][1] += gi;
-        n[di] += 1;
-        println!(
-            "{}",
-            row(
-                &[
-                    c.name.into(),
-                    c.d.to_string(),
-                    format!("{gs:.1}"),
-                    format!("{gi:.1}")
-                ],
-                &widths
-            )
-        );
-    }
-    for (di, d) in [4, 8].iter().enumerate() {
-        println!(
-            "{}",
-            row(
-                &[
-                    "Avg.".into(),
-                    d.to_string(),
-                    format!("{:.1}", avg[di][0] / n[di] as f64),
-                    format!("{:.1}", avg[di][1] / n[di] as f64)
-                ],
-                &widths
-            )
-        );
-    }
-    println!("\nPaper: GS avg 18.7% (d=4) / 21.5% (d=8); GI avg 4.2% / 9.7%;");
-    println!("linear_regression GS 63.7-69.1%; utilization grows with d.");
+    let args = ["run".to_string(), "fig07".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,43 +1,11 @@
-//! Fig. 8: coherence traffic (GETX / UPGRADE / GETS / Data / Other),
-//! normalized to the MESI baseline, at d-distances 0 (baseline), 4, 8.
-
-use ghostwriter_bench::{
-    banner, eval_paper_suite, print_traffic_stack, EVAL_CORES, EVAL_DISTANCES,
-};
-use ghostwriter_workloads::ScaleClass;
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig08` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Figure 8", "normalized coherence traffic by message class");
-    let cells = eval_paper_suite(ScaleClass::Eval, EVAL_CORES, &EVAL_DISTANCES);
-    let mut avg = [0.0f64; 2];
-    let mut n = [0usize; 2];
-    let mut last = "";
-    for c in &cells {
-        if c.name != last {
-            println!("\n{}:", c.name);
-            let base_split = c
-                .cmp
-                .baseline
-                .report
-                .normalized_traffic_by_class_vs(&c.cmp.baseline.report);
-            print_traffic_stack("d=0 (baseline MESI)", &base_split);
-            last = c.name;
-        }
-        let split = c
-            .cmp
-            .ghostwriter
-            .report
-            .normalized_traffic_by_class_vs(&c.cmp.baseline.report);
-        print_traffic_stack(&format!("d={}", c.d), &split);
-        let di = usize::from(c.d == 8);
-        avg[di] += c.cmp.normalized_traffic();
-        n[di] += 1;
-    }
-    println!();
-    for (di, d) in [4, 8].iter().enumerate() {
-        println!(
-            "Average reduction at d={d}: {:.2}% (paper: 2.75% at d=4, 6.25% at d=8)",
-            (1.0 - avg[di] / n[di] as f64) * 100.0
-        );
-    }
+    let args = ["run".to_string(), "fig08".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

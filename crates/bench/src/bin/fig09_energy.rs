@@ -1,55 +1,11 @@
-//! Fig. 9: dynamic energy saved in the NoC and memory hierarchy,
-//! normalized to the MESI baseline, at d-distances 4 and 8.
-
-use ghostwriter_bench::{banner, eval_paper_suite, row, EVAL_CORES, EVAL_DISTANCES};
-use ghostwriter_workloads::ScaleClass;
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig09` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Figure 9", "NoC + memory-hierarchy dynamic energy saved");
-    let cells = eval_paper_suite(ScaleClass::Eval, EVAL_CORES, &EVAL_DISTANCES);
-    let widths = [18usize, 4, 12, 12, 12];
-    println!(
-        "{}",
-        row(
-            &[
-                "app".into(),
-                "d".into(),
-                "memory %".into(),
-                "network %".into(),
-                "total %".into()
-            ],
-            &widths
-        )
-    );
-    let mut avg = [0.0f64; 2];
-    let mut n = [0usize; 2];
-    for c in &cells {
-        let b = &c.cmp.baseline.report.energy;
-        let g = &c.cmp.ghostwriter.report.energy;
-        let mem = (1.0 - g.memory_pj / b.memory_pj) * 100.0;
-        let net = (1.0 - g.network_pj / b.network_pj) * 100.0;
-        let tot = c.cmp.energy_saved_percent();
-        let di = usize::from(c.d == 8);
-        avg[di] += tot;
-        n[di] += 1;
-        println!(
-            "{}",
-            row(
-                &[
-                    c.name.into(),
-                    c.d.to_string(),
-                    format!("{mem:.1}"),
-                    format!("{net:.1}"),
-                    format!("{tot:.1}")
-                ],
-                &widths
-            )
-        );
-    }
-    for (di, d) in [4, 8].iter().enumerate() {
-        println!(
-            "Average at d={d}: {:.1}% (paper: 7.8% at d=4, 11.2% at d=8; max 50.1%)",
-            avg[di] / n[di] as f64
-        );
-    }
+    let args = ["run".to_string(), "fig09".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

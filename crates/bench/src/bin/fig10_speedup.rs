@@ -1,38 +1,11 @@
-//! Fig. 10: speedup of Ghostwriter over the MESI baseline at d-distances
-//! 4 and 8.
-
-use ghostwriter_bench::{banner, eval_paper_suite, row, EVAL_CORES, EVAL_DISTANCES};
-use ghostwriter_workloads::ScaleClass;
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig10` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Figure 10", "speedup over baseline MESI");
-    let cells = eval_paper_suite(ScaleClass::Eval, EVAL_CORES, &EVAL_DISTANCES);
-    let widths = [18usize, 4, 12];
-    println!(
-        "{}",
-        row(&["app".into(), "d".into(), "speedup %".into()], &widths)
-    );
-    let mut avg = [0.0f64; 2];
-    let mut n = [0usize; 2];
-    for c in &cells {
-        let sp = c.cmp.speedup_percent();
-        let di = usize::from(c.d == 8);
-        avg[di] += sp;
-        n[di] += 1;
-        println!(
-            "{}",
-            row(
-                &[c.name.into(), c.d.to_string(), format!("{sp:.1}")],
-                &widths
-            )
-        );
-    }
-    for (di, d) in [4, 8].iter().enumerate() {
-        println!(
-            "Average at d={d}: {:.1}% (paper: 4.7% at d=4, 6.5% at d=8; max 37.3%)",
-            avg[di] / n[di] as f64
-        );
-    }
-    println!("\nPaper shape: large gains only for apps with runtime false");
-    println!("sharing (linear_regression, jpeg); no slowdown for the rest.");
+    let args = ["run".to_string(), "fig10".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,48 +1,11 @@
-//! Fig. 11: application output error under Ghostwriter at d-distances 4
-//! and 8 (MPE or NRMSE per Table 2), vs a precise execution.
-
-use ghostwriter_bench::{banner, eval_paper_suite, row, EVAL_CORES, EVAL_DISTANCES};
-use ghostwriter_workloads::{paper_benchmarks, ScaleClass};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig11` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Figure 11", "output error under Ghostwriter");
-    let metric_of: std::collections::HashMap<&str, &str> = paper_benchmarks()
-        .iter()
-        .map(|e| (e.name, e.metric.label()))
+    let args = ["run".to_string(), "fig11".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
         .collect();
-    let cells = eval_paper_suite(ScaleClass::Eval, EVAL_CORES, &EVAL_DISTANCES);
-    let widths = [18usize, 4, 8, 12];
-    println!(
-        "{}",
-        row(
-            &["app".into(), "d".into(), "metric".into(), "error %".into()],
-            &widths
-        )
-    );
-    let mut avg = [0.0f64; 2];
-    let mut n = [0usize; 2];
-    for c in &cells {
-        let e = c.cmp.output_error_percent();
-        let di = usize::from(c.d == 8);
-        avg[di] += e;
-        n[di] += 1;
-        println!(
-            "{}",
-            row(
-                &[
-                    c.name.into(),
-                    c.d.to_string(),
-                    (*metric_of.get(c.name).unwrap_or(&"?")).into(),
-                    format!("{e:.4}")
-                ],
-                &widths
-            )
-        );
-    }
-    for (di, d) in [4, 8].iter().enumerate() {
-        println!(
-            "Average at d={d}: {:.4}% (paper: < 0.02% average, < 0.12% max)",
-            avg[di] / n[di] as f64
-        );
-    }
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,55 +1,11 @@
-//! Fig. 12: GI-state utilization and output error of the bad_dot_product
-//! microbenchmark vs the GI timeout period (128 / 512 / 1024 cycles),
-//! with 4-distance scribbles.
-
-use ghostwriter_bench::{banner, row, EVAL_CORES};
-use ghostwriter_core::Protocol;
-use ghostwriter_workloads::{compare, BadDotProduct, ScaleClass};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run fig12` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner(
-        "Figure 12",
-        "GI timeout sensitivity (bad_dot_product, 4-distance)",
-    );
-    let _ = ScaleClass::Eval;
-    let n = 8_000;
-    let widths = [10usize, 18, 14, 14];
-    println!(
-        "{}",
-        row(
-            &[
-                "timeout".into(),
-                "serviced by GI %".into(),
-                "error (MPE)%".into(),
-                "traffic".into()
-            ],
-            &widths
-        )
-    );
-    for timeout in [128u64, 512, 1024] {
-        // The Capture GI-store policy (Fig. 3's Store self-loop) is what
-        // produces the paper's utilization/error trade-off; see
-        // GiStorePolicy.
-        let cmp = compare(
-            &|| Box::new(BadDotProduct::with_work(0xF16, n, true, 96)),
-            EVAL_CORES,
-            EVAL_CORES,
-            4,
-            Protocol::ghostwriter_capture(timeout),
-        );
-        println!(
-            "{}",
-            row(
-                &[
-                    timeout.to_string(),
-                    format!("{:.1}", cmp.gi_serviced_percent()),
-                    format!("{:.1}", cmp.output_error_percent()),
-                    format!("{:.3}", cmp.normalized_traffic()),
-                ],
-                &widths
-            )
-        );
-    }
-    println!("\nPaper shape: longer timeouts raise GI utilization (up to");
-    println!("72.4% at 1024) and raise error (15.3% at 128 to 60.8% at 1024).");
+    let args = ["run".to_string(), "fig12".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,49 +1,24 @@
 //! Deep-dive value-similarity profiler (the instrumentation behind
-//! Fig. 2): full per-distance histograms of overwritten store values for
-//! one application.
+//! Fig. 2), served from the experiment engine's result cache: the
+//! default `linear_regression` profile at the evaluation core count is
+//! the Fig. 2 cell, so a warm cache answers instantly.
 //!
 //! ```text
 //! profile_similarity [app] [cores]
 //! ```
 
-use ghostwriter_bench::{banner, eval_config};
-use ghostwriter_core::Protocol;
-use ghostwriter_workloads::{execute, extended_benchmarks, micro_benchmarks, paper_benchmarks};
+use ghostwriter_exp::experiments::{profile_similarity_render, profile_similarity_spec};
+use ghostwriter_exp::{Engine, Scale};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let app = args.next().unwrap_or_else(|| "linear_regression".into());
     let cores: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(24);
-    let entry = paper_benchmarks()
-        .into_iter()
-        .chain(extended_benchmarks())
-        .chain(micro_benchmarks())
-        .find(|e| e.name == app)
-        .unwrap_or_else(|| {
-            eprintln!("unknown app {app}");
-            std::process::exit(2)
-        });
-    banner(
-        "Value-similarity profile",
-        &format!("{app} under baseline MESI, {cores} cores"),
-    );
-    let mut w = entry.build(ghostwriter_workloads::ScaleClass::Eval);
-    let mut cfg = eval_config(Protocol::Mesi);
-    cfg.cores = cores;
-    let out = execute(w.as_mut(), cfg, cores, 0);
-    let h = &out.report.stats.similarity;
-    println!("stores profiled: {}", h.total());
-    println!("\n  d   exact-count   P(<=d)   bar");
-    let mut last = 0.0;
-    for d in 0..=32u32 {
-        let frac = h.cumulative_fraction(d);
-        if d > 16 && (frac - last).abs() < 1e-9 && h.count_at(d) == 0 {
-            continue; // skip empty tail rows
-        }
-        let bar = "#".repeat((frac * 50.0) as usize);
-        println!("{d:>3}  {:>11}  {frac:>6.3}   {bar}", h.count_at(d));
-        last = frac;
+    if ghostwriter_workloads::find_benchmark(&app).is_none() {
+        eprintln!("unknown app {app}");
+        std::process::exit(2);
     }
-    println!("\nPaper Fig. 2: on average 22.8% of overwritten values are");
-    println!("0-distance, 36.4% within 4 and 43.7% within 8.");
+    let spec = profile_similarity_spec(&app, cores, Scale::Eval);
+    let (records, _) = Engine::new(1).run(&spec.runs);
+    print!("{}", profile_similarity_render(&spec, &records));
 }

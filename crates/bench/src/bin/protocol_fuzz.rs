@@ -1,47 +1,28 @@
 //! Random protocol fuzzer (gem5 Ruby-random-tester style): drives the L1
 //! and directory controllers through adversarial message orderings and
 //! checks SWMR, directory accuracy, data-value and liveness invariants.
+//! The sweep is deterministic in (seeds, accesses), so it runs through
+//! the experiment engine's result cache like any other cell.
 //!
 //! ```text
 //! protocol_fuzz [seeds] [accesses]
 //! ```
 
-use ghostwriter_core::tester::{ProtocolTester, TesterConfig};
-use ghostwriter_core::GiStorePolicy;
+use ghostwriter_exp::{Engine, RunKind, RunSpec};
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
     let accesses: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(800);
     let t0 = std::time::Instant::now();
-    let mut total_msgs = 0usize;
-    for seed in 0..seeds {
-        let cfg = TesterConfig {
-            cores: 2 + (seed % 7) as usize,
-            blocks: 8 + (seed % 29) as usize,
-            accesses,
-            l1_sets: 1 << (seed % 3),
-            l1_ways: 2,
-            l2_sets: 2 << (seed % 2),
-            l2_ways: 2,
-            scribble_prob: if seed % 3 == 0 { 0.4 } else { 0.0 },
-            gi_stores: if seed % 6 == 0 {
-                GiStorePolicy::Capture
-            } else {
-                GiStorePolicy::Fallback
-            },
-            gi_timeout_prob: if seed % 5 == 0 { 0.02 } else { 0.0 },
-            deliver_bias: 0.5 + (seed % 5) as f64 * 0.1,
-            msi: seed % 4 == 1,
-        };
-        let report = ProtocolTester::new(cfg, seed).run();
-        total_msgs += report.messages;
-        if seed % 50 == 49 {
-            println!("seed {seed}: ok ({} messages so far)", total_msgs);
-        }
-    }
+    let spec = RunSpec {
+        id: "fuzz".into(),
+        kind: RunKind::Fuzz { seeds, accesses },
+    };
+    let (records, _) = Engine::new(1).run(&[spec]);
+    let msgs = records[0].extra_value("messages").unwrap_or(0.0) as u64;
     println!(
-        "PASS: {seeds} seeds x {accesses} accesses, {total_msgs} messages, {:.1}s",
+        "PASS: {seeds} seeds x {accesses} accesses, {msgs} messages, {:.1}s",
         t0.elapsed().as_secs_f64()
     );
 }

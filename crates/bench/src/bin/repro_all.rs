@@ -1,112 +1,12 @@
-//! Runs the entire paper evaluation (Figs. 7-11 share one sweep; Figs.
-//! 1, 2, 12 and the scripted Figs. 4/5 checks run separately) and prints
-//! every reproduced row. The output of this binary is the source for
-//! EXPERIMENTS.md.
-
-use ghostwriter_bench::{
-    banner, eval_csv, eval_paper_suite, print_traffic_stack, row, EVAL_CORES, EVAL_DISTANCES,
-};
-use ghostwriter_workloads::{paper_benchmarks, ScaleClass};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench repro-all` (runs every registered experiment as one
+//! deduplicated, cached sweep; writes all reports plus `eval.csv`).
+//! Extra flags (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner(
-        "Ghostwriter reproduction",
-        "full evaluation sweep (paper Figs. 7-11)",
-    );
-    let t0 = std::time::Instant::now();
-    let cells = eval_paper_suite(ScaleClass::Eval, EVAL_CORES, &EVAL_DISTANCES);
-    let metric_of: std::collections::HashMap<&str, &str> = paper_benchmarks()
-        .iter()
-        .map(|e| (e.name, e.metric.label()))
+    let args = ["repro-all".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
         .collect();
-
-    let widths = [18usize, 3, 9, 9, 9, 9, 9, 10, 9];
-    println!(
-        "{}",
-        row(
-            &[
-                "app".into(),
-                "d".into(),
-                "GS%".into(),
-                "GI%".into(),
-                "traffic".into(),
-                "energy%".into(),
-                "speedup%".into(),
-                "metric".into(),
-                "error%".into()
-            ],
-            &widths
-        )
-    );
-    let mut sums = [[0.0f64; 5]; 2];
-    let mut n = [0usize; 2];
-    for c in &cells {
-        let di = usize::from(c.d == 8);
-        let vals = [
-            c.cmp.gs_serviced_percent(),
-            c.cmp.gi_serviced_percent(),
-            c.cmp.normalized_traffic(),
-            c.cmp.energy_saved_percent(),
-            c.cmp.speedup_percent(),
-        ];
-        for (s, v) in sums[di].iter_mut().zip(vals) {
-            *s += v;
-        }
-        n[di] += 1;
-        println!(
-            "{}",
-            row(
-                &[
-                    c.name.into(),
-                    c.d.to_string(),
-                    format!("{:.1}", vals[0]),
-                    format!("{:.1}", vals[1]),
-                    format!("{:.3}", vals[2]),
-                    format!("{:.1}", vals[3]),
-                    format!("{:.1}", vals[4]),
-                    (*metric_of.get(c.name).unwrap_or(&"?")).into(),
-                    format!("{:.4}", c.cmp.output_error_percent()),
-                ],
-                &widths
-            )
-        );
-    }
-    println!();
-    for (di, d) in [4u8, 8].iter().enumerate() {
-        let k = n[di] as f64;
-        println!(
-            "Avg d={d}: GS {:.1}%  GI {:.1}%  traffic {:.3}  energy {:.1}%  speedup {:.1}%",
-            sums[di][0] / k,
-            sums[di][1] / k,
-            sums[di][2] / k,
-            sums[di][3] / k,
-            sums[di][4] / k
-        );
-    }
-
-    println!("\nPer-class traffic stacks (Fig. 8):");
-    let mut last = "";
-    for c in &cells {
-        if c.name != last {
-            println!("{}:", c.name);
-            last = c.name;
-        }
-        let split = c
-            .cmp
-            .ghostwriter
-            .report
-            .normalized_traffic_by_class_vs(&c.cmp.baseline.report);
-        print_traffic_stack(&format!("d={}", c.d), &split);
-    }
-    // Optional CSV dump: `repro_all --csv <path>`.
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        if a == "--csv" {
-            let path = args.next().expect("--csv needs a path");
-            std::fs::write(&path, eval_csv(&cells)).expect("write csv");
-            println!("\nWrote {path}");
-        }
-    }
-    println!("\nSweep wall-clock: {:.1}s", t0.elapsed().as_secs_f64());
-    println!("Run fig01/fig02/fig04/fig05/fig12 binaries for the remaining figures.");
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,40 +1,11 @@
-//! Table 1: the simulated machine configuration.
-
-use ghostwriter_bench::{banner, eval_config};
-use ghostwriter_core::Protocol;
-use ghostwriter_noc::Mesh;
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run table1` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Table 1", "simulation configuration");
-    let c = eval_config(Protocol::ghostwriter());
-    let (w, h) = Mesh::dims_for(c.cores);
-    println!(
-        "Cores      : {} in-order cores, 1 cycle/op issue, 1 GHz",
-        c.cores
-    );
-    println!(
-        "L1         : private {} kB D-cache, {}-way, 64 B blocks, tree-PLRU, {}-cycle",
-        c.l1_kb, c.l1_ways, c.l1_latency
-    );
-    println!(
-        "L2         : shared, {} kB per core ({} banks), {}-way, 64 B blocks, tree-PLRU, {}-cycle, inclusive",
-        c.l2_bank_kb, c.cores, c.l2_ways, c.l2_latency
-    );
-    match c.protocol {
-        Protocol::Ghostwriter(gw) => println!(
-            "Coherence  : Ghostwriter protocol (baseline MESI), d-distance 4 and 8, {}-cycle GI timeout",
-            gw.gi_timeout
-        ),
-        Protocol::Mesi => println!("Coherence  : MESI directory protocol"),
-    }
-    println!(
-        "Network    : {w}x{h} mesh, XY routing, {}-cycle router, {}-cycle link, {} memory controllers at mesh corners",
-        c.router_cycles,
-        c.link_cycles,
-        Mesh::with_paper_timing(w, h).corners().len()
-    );
-    println!(
-        "DRAM       : sparse backing store, {}-cycle access (DDR3-1600 class)",
-        c.dram_latency
-    );
+    let args = ["run".to_string(), "table1".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

@@ -1,37 +1,11 @@
-//! Table 2: the benchmark roster.
-
-use ghostwriter_bench::{banner, row};
-use ghostwriter_workloads::{micro_benchmarks, paper_benchmarks};
+//! Thin wrapper over the experiment engine: equivalent to
+//! `gwbench run table2` (same cache, same report). Extra flags
+//! (`--jobs N`, `--smoke`, `--no-cache`, ...) are forwarded.
 
 fn main() {
-    banner("Table 2", "benchmarks");
-    let widths = [20usize, 22, 16, 34, 7];
-    println!(
-        "{}",
-        row(
-            &[
-                "application".into(),
-                "domain".into(),
-                "suite".into(),
-                "input".into(),
-                "error".into()
-            ],
-            &widths
-        )
-    );
-    for e in paper_benchmarks().iter().chain(micro_benchmarks().iter()) {
-        println!(
-            "{}",
-            row(
-                &[
-                    e.name.into(),
-                    e.domain.into(),
-                    e.suite.label().into(),
-                    e.input_desc.into(),
-                    e.metric.label().into()
-                ],
-                &widths
-            )
-        );
-    }
+    let args = ["run".to_string(), "table2".to_string()]
+        .into_iter()
+        .chain(std::env::args().skip(1))
+        .collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
 }

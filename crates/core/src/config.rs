@@ -211,6 +211,17 @@ impl MachineConfig {
         }
     }
 
+    /// Canonical configuration key for content-addressed result caching.
+    ///
+    /// Built from the derived `Debug` representation, which covers every
+    /// field (including the nested protocol/scribe/timeout options), so
+    /// adding a configuration knob automatically changes the key — a new
+    /// knob can never silently alias cached results produced before it
+    /// existed. The `cfgv1:` prefix versions the scheme itself.
+    pub fn cache_key(&self) -> String {
+        format!("cfgv1:{self:?}")
+    }
+
     /// Validates internal consistency; called by the machine builder.
     pub fn validate(&self) {
         assert!(self.cores >= 1 && self.cores <= 64, "1..=64 cores");
@@ -276,5 +287,29 @@ mod tests {
     #[should_panic(expected = "GI timeout")]
     fn zero_timeout_rejected() {
         MachineConfig::small(2, Protocol::ghostwriter_with_timeout(0)).validate();
+    }
+
+    #[test]
+    fn cache_key_separates_every_knob() {
+        let base = MachineConfig::small(4, Protocol::Mesi);
+        let same = MachineConfig::small(4, Protocol::Mesi);
+        assert_eq!(base.cache_key(), same.cache_key());
+        let variants = [
+            MachineConfig::small(5, Protocol::Mesi),
+            MachineConfig::small(4, Protocol::ghostwriter()),
+            MachineConfig::small(4, Protocol::ghostwriter_with_timeout(512)),
+            MachineConfig::small(4, Protocol::ghostwriter_capture(1024)),
+            MachineConfig {
+                model_contention: true,
+                ..MachineConfig::small(4, Protocol::Mesi)
+            },
+            MachineConfig {
+                base_protocol: BaseProtocol::Msi,
+                ..MachineConfig::small(4, Protocol::Mesi)
+            },
+        ];
+        for v in &variants {
+            assert_ne!(base.cache_key(), v.cache_key(), "{v:?}");
+        }
     }
 }

@@ -1,0 +1,513 @@
+//! Hand-rolled, dependency-free JSON reader/writer.
+//!
+//! The offline build policy forbids serde (DESIGN.md §8), but the
+//! experiment engine needs a durable on-disk format for [`crate::Stats`]
+//! records. This module implements the subset of JSON the workspace
+//! needs: objects (order-preserving), arrays, strings, booleans, null,
+//! and numbers split into unsigned/signed integers and finite floats so
+//! `u64` counters round-trip exactly (an `f64` mantissa cannot hold
+//! `u64::MAX`).
+//!
+//! The writer is canonical: a given [`Json`] value always serializes to
+//! the same byte sequence (object fields keep insertion order, floats
+//! use Rust's shortest round-trip formatting), which is what lets the
+//! result cache promise byte-identical hits and lets golden tests diff
+//! snapshots textually.
+
+use std::fmt;
+
+/// A parsed or to-be-written JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Non-negative integer (preserves full `u64` precision).
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Finite float; the writer rejects NaN/inf.
+    F64(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Order-preserving object (no duplicate-key checking; the writer
+    /// emits fields in insertion order).
+    Obj(Vec<(String, Json)>),
+}
+
+/// A parse or schema error with the byte offset where it occurred.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JsonError {
+    /// Byte offset in the input (0 for schema errors on parsed values).
+    pub pos: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn err<T>(pos: usize, msg: impl Into<String>) -> Result<T, JsonError> {
+    Err(JsonError {
+        pos,
+        msg: msg.into(),
+    })
+}
+
+impl Json {
+    /// Convenience constructor for an object under construction.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Appends a field to an object; panics on non-objects (builder
+    /// misuse, not data-dependent).
+    pub fn push(&mut self, key: &str, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.to_string(), value)),
+            _ => panic!("Json::push on a non-object"),
+        }
+        self
+    }
+
+    /// Field lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Required-field lookup with a schema error on absence.
+    pub fn field(&self, key: &str) -> Result<&Json, JsonError> {
+        self.get(key).ok_or_else(|| JsonError {
+            pos: 0,
+            msg: format!("missing field `{key}`"),
+        })
+    }
+
+    /// Unsigned integer view (accepts exact non-negative `I64` too).
+    pub fn as_u64(&self) -> Result<u64, JsonError> {
+        match *self {
+            Json::U64(v) => Ok(v),
+            Json::I64(v) if v >= 0 => Ok(v as u64),
+            ref other => err(0, format!("expected unsigned integer, got {other:?}")),
+        }
+    }
+
+    /// Float view (integers widen; `u64` values above 2^53 lose
+    /// precision here, so counters should be read with [`Json::as_u64`]).
+    pub fn as_f64(&self) -> Result<f64, JsonError> {
+        match *self {
+            Json::F64(v) => Ok(v),
+            Json::U64(v) => Ok(v as f64),
+            Json::I64(v) => Ok(v as f64),
+            ref other => err(0, format!("expected number, got {other:?}")),
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Result<&str, JsonError> {
+        match self {
+            Json::Str(s) => Ok(s),
+            other => err(0, format!("expected string, got {other:?}")),
+        }
+    }
+
+    /// Array view.
+    pub fn as_arr(&self) -> Result<&[Json], JsonError> {
+        match self {
+            Json::Arr(items) => Ok(items),
+            other => err(0, format!("expected array, got {other:?}")),
+        }
+    }
+
+    /// Serializes canonically with 2-space indentation and a trailing
+    /// newline (the cache-file format).
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(0));
+        out.push('\n');
+        out
+    }
+
+    /// Serializes canonically on one line (used inside checksums).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::U64(v) => out.push_str(&v.to_string()),
+            Json::I64(v) => out.push_str(&v.to_string()),
+            Json::F64(v) => {
+                assert!(v.is_finite(), "JSON cannot represent NaN/inf");
+                // `{:?}` is Rust's shortest representation that parses
+                // back to the identical f64.
+                out.push_str(&format!("{v:?}"));
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, '[', ']', items.len(), |out, i, ind| {
+                items[i].write(out, ind)
+            }),
+            Json::Obj(fields) => write_seq(out, indent, '{', '}', fields.len(), |out, i, ind| {
+                let (k, v) = &fields[i];
+                write_escaped(out, k);
+                out.push_str(": ");
+                v.write(out, ind);
+            }),
+        }
+    }
+
+    /// Parses a complete JSON document (rejects trailing garbage).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return err(pos, "trailing characters after document");
+        }
+        Ok(value)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize, Option<usize>),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    let inner = indent.map(|n| n + 1);
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        match inner {
+            Some(n) => {
+                out.push('\n');
+                out.push_str(&"  ".repeat(n));
+            }
+            None => {
+                if i > 0 {
+                    out.push(' ');
+                }
+            }
+        }
+        item(out, i, inner);
+    }
+    if let Some(n) = indent {
+        out.push('\n');
+        out.push_str(&"  ".repeat(n));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), JsonError> {
+    if *pos < bytes.len() && bytes[*pos] == b {
+        *pos += 1;
+        Ok(())
+    } else {
+        err(*pos, format!("expected `{}`", b as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => err(*pos, "unexpected end of input"),
+        Some(b'{') => parse_obj(bytes, pos),
+        Some(b'[') => parse_arr(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        err(*pos, format!("expected `{lit}`"))
+    }
+}
+
+fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        fields.push((key, value));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return err(*pos, "expected `,` or `}`"),
+        }
+    }
+}
+
+fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return err(*pos, "expected `,` or `]`"),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return err(*pos, "unterminated string"),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or_else(|| JsonError {
+                            pos: *pos,
+                            msg: "truncated \\u escape".into(),
+                        })?;
+                        let code = u32::from_str_radix(std::str::from_utf8(hex).unwrap_or("x"), 16)
+                            .map_err(|_| JsonError {
+                                pos: *pos,
+                                msg: "bad \\u escape".into(),
+                            })?;
+                        // Surrogate pairs are not needed by our own
+                        // writer; reject rather than mis-decode.
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return err(*pos, "unpaired surrogate in \\u escape"),
+                        }
+                        *pos += 4;
+                    }
+                    _ => return err(*pos, "bad escape"),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so the
+                // byte stream is valid UTF-8).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
+                    pos: *pos,
+                    msg: "invalid utf-8".into(),
+                })?;
+                let c = rest.chars().next().expect("nonempty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'0'..=b'9' => *pos += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                is_float = true;
+                *pos += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("digits are ascii");
+    if text.is_empty() || text == "-" {
+        return err(start, "expected a number");
+    }
+    if is_float {
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(Json::F64(v)),
+            _ => err(start, format!("bad float `{text}`")),
+        }
+    } else if let Some(neg) = text.strip_prefix('-') {
+        match neg.parse::<i64>() {
+            Ok(v) => Ok(Json::I64(-v)),
+            Err(_) => err(start, format!("integer out of range `{text}`")),
+        }
+    } else {
+        match text.parse::<u64>() {
+            Ok(v) => Ok(Json::U64(v)),
+            Err(_) => err(start, format!("integer out of range `{text}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_edge_integers() {
+        for v in [0u64, 1, 2_u64.pow(53) + 1, u64::MAX] {
+            let text = Json::U64(v).to_compact();
+            assert_eq!(Json::parse(&text).unwrap(), Json::U64(v), "value {v}");
+        }
+        let text = Json::I64(i64::MIN + 1).to_compact();
+        assert_eq!(Json::parse(&text).unwrap(), Json::I64(i64::MIN + 1));
+    }
+
+    #[test]
+    fn round_trips_floats_exactly() {
+        for v in [0.0f64, -0.5, 1.0 / 3.0, 6.02e23, 5e-324, f64::MAX] {
+            let text = Json::F64(v).to_compact();
+            match Json::parse(&text).unwrap() {
+                Json::F64(back) => assert_eq!(back.to_bits(), v.to_bits(), "value {v}"),
+                // 0.0 serializes as "0.0" so it always stays a float.
+                other => panic!("expected float, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn writer_rejects_nan() {
+        Json::F64(f64::NAN).to_compact();
+    }
+
+    #[test]
+    fn string_escapes() {
+        let s = "a\"b\\c\nd\te\u{1}f — π";
+        let text = Json::Str(s.into()).to_compact();
+        assert_eq!(Json::parse(&text).unwrap(), Json::Str(s.into()));
+        assert!(text.contains("\\u0001"));
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let mut o = Json::obj();
+        o.push("z", Json::U64(1)).push("a", Json::U64(2));
+        let text = o.to_compact();
+        assert_eq!(text, r#"{"z": 1, "a": 2}"#);
+        assert_eq!(Json::parse(&text).unwrap(), o);
+    }
+
+    #[test]
+    fn pretty_and_compact_parse_identically() {
+        let mut o = Json::obj();
+        o.push(
+            "xs",
+            Json::Arr(vec![Json::U64(1), Json::Null, Json::Bool(true)]),
+        );
+        o.push("nested", {
+            let mut n = Json::obj();
+            n.push("f", Json::F64(2.5));
+            n
+        });
+        assert_eq!(
+            Json::parse(&o.to_pretty()).unwrap(),
+            Json::parse(&o.to_compact()).unwrap()
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "\"\\q\"",
+            "{} junk",
+            "nan",
+            "18446744073709551616",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accessors_report_schema_errors() {
+        let doc = Json::parse(r#"{"n": 3, "s": "x"}"#).unwrap();
+        assert_eq!(doc.field("n").unwrap().as_u64().unwrap(), 3);
+        assert!(doc.field("missing").is_err());
+        assert!(doc.field("s").unwrap().as_u64().is_err());
+        assert_eq!(doc.field("s").unwrap().as_str().unwrap(), "x");
+    }
+}

@@ -55,6 +55,7 @@ pub mod config;
 pub mod ctx;
 pub mod dir;
 pub mod harness;
+pub mod json;
 pub mod l1;
 pub mod layout;
 pub mod machine;
@@ -62,11 +63,13 @@ pub mod msg;
 pub mod op;
 pub mod scribe;
 pub mod stats;
+pub mod stats_io;
 pub mod tester;
 
 pub use config::{BaseProtocol, GiStorePolicy, MachineConfig, Protocol};
 pub use ctx::ThreadCtx;
 pub use harness::{node_key, Op, System, SystemConfig, Violation};
+pub use json::{Json, JsonError};
 pub use machine::{FinishedRun, Machine, Program};
 pub use scribe::{bit_distance, ScribePolicy, SimilarityHistogram};
 pub use stats::{SimReport, Stats};

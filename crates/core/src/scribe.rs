@@ -128,6 +128,13 @@ impl SimilarityHistogram {
         self.total
     }
 
+    /// Reconstructs a histogram from per-distance counts (the experiment
+    /// engine's JSON deserializer); the total is rederived.
+    pub fn from_counts(counts: [u64; 65]) -> Self {
+        let total = counts.iter().sum();
+        Self { counts, total }
+    }
+
     /// Raw count at exactly distance `d`.
     pub fn count_at(&self, d: u32) -> u64 {
         self.counts[d as usize]

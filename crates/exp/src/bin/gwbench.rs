@@ -1,0 +1,10 @@
+//! `gwbench`: the single entry point for every paper experiment.
+//!
+//! See `ghostwriter_exp::cli` for the command reference. The old
+//! per-figure binaries in `crates/bench` remain as thin wrappers around
+//! the same engine.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(ghostwriter_exp::cli::main_with_args(args));
+}

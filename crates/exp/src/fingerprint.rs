@@ -1,0 +1,105 @@
+//! 128-bit FNV-1a fingerprints for content-addressed result caching.
+//!
+//! A run's identity is a canonical key string (configuration + workload
+//! id + input seed + spec revision); the fingerprint is FNV-1a over
+//! those bytes at 128-bit width, which is collision-safe for the
+//! O(10³)-entry caches this engine manages and — unlike `std`'s
+//! `DefaultHasher` — stable across Rust versions and processes, a hard
+//! requirement for an on-disk cache.
+
+/// FNV-1a at 128-bit width (offset basis / prime from the FNV spec).
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// A 128-bit content fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl Fingerprint {
+    /// Fingerprints a byte string.
+    pub fn of(bytes: &[u8]) -> Fingerprint {
+        let mut h = FNV128_OFFSET;
+        for &b in bytes {
+            h ^= b as u128;
+            h = h.wrapping_mul(FNV128_PRIME);
+        }
+        Fingerprint(h)
+    }
+
+    /// Fingerprints a sequence of strings with unambiguous framing
+    /// (each part is preceded by its length, so `["ab","c"]` and
+    /// `["a","bc"]` differ).
+    pub fn of_parts<'a>(parts: impl IntoIterator<Item = &'a str>) -> Fingerprint {
+        let mut h = FNV128_OFFSET;
+        for part in parts {
+            for &b in part.len().to_le_bytes().iter().chain(part.as_bytes()) {
+                h ^= b as u128;
+                h = h.wrapping_mul(FNV128_PRIME);
+            }
+        }
+        Fingerprint(h)
+    }
+
+    /// 32-hex-digit form (cache file names, golden snapshots).
+    pub fn hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the [`Fingerprint::hex`] form.
+    pub fn from_hex(s: &str) -> Option<Fingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(Fingerprint)
+    }
+}
+
+/// 64-bit FNV-1a, used for the cheap in-file corruption checksum (the
+/// 128-bit variant is reserved for identity).
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv1a_vectors() {
+        // 64-bit reference vectors from the FNV spec.
+        assert_eq!(fnv64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+        // 128-bit empty input must be the offset basis.
+        assert_eq!(Fingerprint::of(b"").0, FNV128_OFFSET);
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let f = Fingerprint::of(b"ghostwriter");
+        assert_eq!(Fingerprint::from_hex(&f.hex()), Some(f));
+        assert_eq!(f.hex().len(), 32);
+        assert!(Fingerprint::from_hex("xyz").is_none());
+    }
+
+    #[test]
+    fn part_framing_is_unambiguous() {
+        assert_ne!(
+            Fingerprint::of_parts(["ab", "c"]),
+            Fingerprint::of_parts(["a", "bc"])
+        );
+        assert_ne!(
+            Fingerprint::of_parts(["a", ""]),
+            Fingerprint::of_parts(["a"])
+        );
+        assert_eq!(
+            Fingerprint::of_parts(["a", "b"]),
+            Fingerprint::of_parts(["a", "b"])
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! A work-stealing thread pool for embarrassingly parallel run matrices.
+//!
+//! Every simulation (`Machine::run`) is single-threaded and independent,
+//! so the engine's only parallel structure is a shared job queue that
+//! idle workers steal from — the longest-running sweep cell never blocks
+//! shorter ones behind a static partition. Results are tagged with their
+//! submission index and reassembled in order, so the output is invariant
+//! under scheduling: `--jobs 1` and `--jobs 8` produce identical vectors
+//! (the golden-stats determinism suite asserts exactly this).
+//!
+//! Workers communicate through the vendored `crossbeam` channel shim;
+//! the queue itself is a mutexed deque, which at this job granularity
+//! (whole simulations, milliseconds to minutes each) is uncontended.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// Applies `f` to every item on `jobs` worker threads, preserving input
+/// order in the output. `f` receives `(index, item)`.
+pub fn map_parallel<I, O, F>(jobs: usize, items: Vec<I>, f: F) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(usize, I) -> O + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n.max(1));
+    if workers <= 1 {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, it)| f(i, it))
+            .collect();
+    }
+    let queue: Mutex<VecDeque<(usize, I)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let (tx, rx) = crossbeam::channel::bounded::<(usize, O)>(n);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let queue = &queue;
+            let f = &f;
+            scope.spawn(move || {
+                loop {
+                    let job = queue.lock().expect("pool queue poisoned").pop_front();
+                    match job {
+                        Some((idx, item)) => {
+                            let out = f(idx, item);
+                            // The channel holds `n` slots, so sends never
+                            // block; an error means the receiver died.
+                            tx.send((idx, out)).expect("pool receiver dropped");
+                        }
+                        None => break,
+                    }
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let (idx, out) = rx.recv().expect("worker died before finishing");
+            slots[idx] = Some(out);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every index filled"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_across_thread_counts() {
+        let items: Vec<u64> = (0..50).collect();
+        let seq = map_parallel(1, items.clone(), |i, x| (i as u64) * 1000 + x * x);
+        for jobs in [2, 4, 8] {
+            let par = map_parallel(jobs, items.clone(), |i, x| (i as u64) * 1000 + x * x);
+            assert_eq!(seq, par, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let out = map_parallel(4, (0..97).collect::<Vec<_>>(), |_, x: i32| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            x
+        });
+        assert_eq!(out.len(), 97);
+        assert_eq!(counter.load(Ordering::SeqCst), 97);
+    }
+
+    #[test]
+    fn empty_and_single_item_edges() {
+        assert!(map_parallel(4, Vec::<u8>::new(), |_, x| x).is_empty());
+        assert_eq!(map_parallel(4, vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn idle_workers_steal_the_tail() {
+        // One slow job first: with static partitioning the second worker
+        // would sit idle; with stealing, the fast jobs all finish on the
+        // other worker. Hard to assert timing portably, so assert the
+        // result only — the scheduling property is the absence of a
+        // partition in the implementation.
+        let out = map_parallel(2, vec![30u64, 1, 1, 1, 1, 1], |_, ms| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            ms
+        });
+        assert_eq!(out, vec![30, 1, 1, 1, 1, 1]);
+    }
+}

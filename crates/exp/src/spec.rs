@@ -1,0 +1,260 @@
+//! The declarative experiment model.
+//!
+//! An [`ExperimentSpec`] is a named, data-driven run matrix: every
+//! figure, table and ablation of the paper declares the exact grid of
+//! (workload × machine configuration × seed) cells it needs, and the
+//! engine executes whatever is not already cached. Identity is textual:
+//! each [`RunSpec`] lowers to a canonical `cache_key` string covering
+//! the full machine configuration, the workload identity (including its
+//! input seed), the thread count and d-distance, plus the global
+//! [`SPEC_REVISION`]; the 128-bit fingerprint of that key addresses the
+//! result cache. Two experiments that declare the same cell (the Fig.
+//! 7–11 sweep is shared six ways) therefore share one cached run.
+
+use ghostwriter_core::{MachineConfig, Protocol};
+use ghostwriter_workloads::{find_benchmark, ScaleClass, Workload};
+
+use crate::fingerprint::Fingerprint;
+
+/// Bumped whenever run semantics change in a way that must invalidate
+/// every previously cached result (simulator behaviour fixes, stat
+/// definition changes, record schema changes).
+pub const SPEC_REVISION: u32 = 1;
+
+/// Input scale for a whole experiment: the paper's evaluation inputs or
+/// the small smoke/test grid used by CI and the golden suite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scale {
+    /// Paper-scale inputs (24-core machine, `ScaleClass::Eval`).
+    Eval,
+    /// Seconds-scale inputs (small machine, `ScaleClass::Test`).
+    Smoke,
+}
+
+impl Scale {
+    /// The workload input-size class for this scale.
+    pub fn class(self) -> ScaleClass {
+        match self {
+            Scale::Eval => ScaleClass::Eval,
+            Scale::Smoke => ScaleClass::Test,
+        }
+    }
+}
+
+/// How to (re)build one workload instance.
+#[derive(Clone, Debug)]
+pub enum WorkloadSpec {
+    /// A registry application (Table 2, extended, or micro roster) at a
+    /// given input scale with an explicit input seed.
+    Registry {
+        name: String,
+        scale: ScaleClass,
+        seed: u64,
+    },
+    /// The §2 naive dot product with explicit parameters (Figs. 1/12 and
+    /// the error-bound ablation use off-roster variants).
+    BadDot {
+        seed: u64,
+        n: usize,
+        approximate: bool,
+        work_per_point: u64,
+    },
+    /// The §2 privatized dot product.
+    GoodDot { seed: u64, n: usize },
+}
+
+impl WorkloadSpec {
+    /// Registry shorthand.
+    pub fn registry(name: &str, scale: ScaleClass, seed: u64) -> Self {
+        WorkloadSpec::Registry {
+            name: name.to_string(),
+            scale,
+            seed,
+        }
+    }
+
+    /// Canonical identity (feeds the cache key).
+    pub fn key(&self) -> String {
+        match self {
+            WorkloadSpec::Registry { name, scale, seed } => {
+                format!("wl:registry:{name}:{scale:?}:seed={seed}")
+            }
+            WorkloadSpec::BadDot {
+                seed,
+                n,
+                approximate,
+                work_per_point,
+            } => format!("wl:bad_dot:n={n}:approx={approximate}:work={work_per_point}:seed={seed}"),
+            WorkloadSpec::GoodDot { seed, n } => format!("wl:good_dot:n={n}:seed={seed}"),
+        }
+    }
+
+    /// Builds a fresh instance; the explicit seed in the spec is the
+    /// only entropy source any workload sees.
+    pub fn build(&self) -> Box<dyn Workload> {
+        match self {
+            WorkloadSpec::Registry { name, scale, seed } => find_benchmark(name)
+                .unwrap_or_else(|| panic!("unknown workload `{name}`"))
+                .build_seeded(*scale, *seed),
+            WorkloadSpec::BadDot {
+                seed,
+                n,
+                approximate,
+                work_per_point,
+            } => Box::new(ghostwriter_workloads::BadDotProduct::with_work(
+                *seed,
+                *n,
+                *approximate,
+                *work_per_point,
+            )),
+            WorkloadSpec::GoodDot { seed, n } => {
+                Box::new(ghostwriter_workloads::GoodDotProduct::new(*seed, *n))
+            }
+        }
+    }
+}
+
+/// The hand-scripted §2 sharing-pattern scenarios (message-trace
+/// figures; see [`crate::scenarios`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Scenario {
+    /// Fig. 4: migratory false sharing, 2 cores.
+    Fig04Migratory,
+    /// Fig. 5: producer–consumer with a stale next producer, 3 cores.
+    Fig05ProducerConsumer,
+}
+
+/// What one run executes.
+#[derive(Clone, Debug)]
+pub enum RunKind {
+    /// One workload execution on one machine.
+    Workload {
+        workload: WorkloadSpec,
+        config: MachineConfig,
+        threads: usize,
+        d: u8,
+    },
+    /// One scripted scenario (records its message trace).
+    Scenario {
+        scenario: Scenario,
+        protocol: Protocol,
+    },
+    /// The random protocol fuzzer (deterministic across its seed range;
+    /// records the message count it drove).
+    Fuzz { seeds: u64, accesses: usize },
+}
+
+/// One cell of a run matrix: a stable experiment-local id plus the work.
+#[derive(Clone, Debug)]
+pub struct RunSpec {
+    /// Experiment-local label, e.g. `histogram/d4/gw` (not part of the
+    /// cache identity — the same work under different labels still
+    /// shares a cache entry).
+    pub id: String,
+    pub kind: RunKind,
+}
+
+impl RunSpec {
+    /// Canonical identity string: everything that determines the run's
+    /// result, and nothing that doesn't.
+    pub fn cache_key(&self) -> String {
+        let body = match &self.kind {
+            RunKind::Workload {
+                workload,
+                config,
+                threads,
+                d,
+            } => format!(
+                "workload|{}|{}|threads={threads}|d={d}",
+                workload.key(),
+                config.cache_key()
+            ),
+            RunKind::Scenario { scenario, protocol } => {
+                format!("scenario|{scenario:?}|{protocol:?}")
+            }
+            RunKind::Fuzz { seeds, accesses } => format!("fuzz|seeds={seeds}|accesses={accesses}"),
+        };
+        format!("rev={SPEC_REVISION}|{body}")
+    }
+
+    /// Content address of this run's result.
+    pub fn fingerprint(&self) -> Fingerprint {
+        Fingerprint::of_parts(["ghostwriter-exp", &self.cache_key()])
+    }
+}
+
+/// A named run matrix (one figure/table/ablation at one scale).
+#[derive(Clone, Debug)]
+pub struct ExperimentSpec {
+    /// The owning experiment's name (e.g. `fig07`).
+    pub experiment: &'static str,
+    /// The cells, in render order.
+    pub runs: Vec<RunSpec>,
+}
+
+impl ExperimentSpec {
+    /// Index of the run with the given id (renderers look cells up by
+    /// label; a typo is a programming error, hence the panic).
+    pub fn index_of(&self, id: &str) -> usize {
+        self.runs
+            .iter()
+            .position(|r| r.id == id)
+            .unwrap_or_else(|| panic!("{}: no run labelled `{id}`", self.experiment))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(seed: u64, threads: usize, cfg: MachineConfig) -> RunSpec {
+        RunSpec {
+            id: "x".into(),
+            kind: RunKind::Workload {
+                workload: WorkloadSpec::registry("histogram", ScaleClass::Test, seed),
+                config: cfg,
+                threads,
+                d: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn fingerprint_covers_config_seed_and_threads() {
+        let base = spec(1, 4, MachineConfig::small(4, Protocol::Mesi));
+        assert_eq!(
+            base.fingerprint(),
+            spec(1, 4, MachineConfig::small(4, Protocol::Mesi)).fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            spec(2, 4, MachineConfig::small(4, Protocol::Mesi)).fingerprint(),
+            "seed must change the fingerprint"
+        );
+        assert_ne!(
+            base.fingerprint(),
+            spec(1, 2, MachineConfig::small(4, Protocol::Mesi)).fingerprint(),
+            "thread count must change the fingerprint"
+        );
+        assert_ne!(
+            base.fingerprint(),
+            spec(1, 4, MachineConfig::small(4, Protocol::ghostwriter())).fingerprint(),
+            "protocol must change the fingerprint"
+        );
+    }
+
+    #[test]
+    fn id_is_a_label_not_an_identity() {
+        let mut a = spec(1, 4, MachineConfig::small(4, Protocol::Mesi));
+        let mut b = a.clone();
+        a.id = "first".into();
+        b.id = "second".into();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn registry_workload_builds() {
+        let w = WorkloadSpec::registry("jpeg", ScaleClass::Test, 42).build();
+        assert_eq!(w.name(), "jpeg");
+    }
+}

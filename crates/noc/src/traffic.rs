@@ -117,6 +117,23 @@ impl TrafficStats {
         self.router_flits
     }
 
+    /// Reconstructs statistics from raw counters (the experiment
+    /// engine's JSON deserializer). `counts` maps each class to its
+    /// message count.
+    pub fn from_raw(
+        counts: impl Fn(MessageKind) -> u64,
+        flit_hops: u64,
+        router_flits: u64,
+    ) -> Self {
+        let mut t = TrafficStats::new();
+        for kind in MessageKind::ALL {
+            t.counts[kind.idx()] = counts(kind);
+        }
+        t.flit_hops = flit_hops;
+        t.router_flits = router_flits;
+        t
+    }
+
     /// Merges another stats object into this one.
     pub fn merge(&mut self, other: &TrafficStats) {
         for i in 0..5 {

@@ -145,9 +145,13 @@ impl Workload for BadDotProduct {
     }
 
     fn reference(&self) -> Vec<f64> {
-        (0..self.threads)
+        // Before `build` assigns a thread count, fall back to a single
+        // sequential partition (the per-chunk sums stay a pure function
+        // of the seeded inputs either way).
+        let parts = self.threads.max(1);
+        (0..parts)
             .map(|t| {
-                chunk(self.n, self.threads, t)
+                chunk(self.n, parts, t)
                     .map(|i| (self.a[i] as i64) * (self.b[i] as i64))
                     .sum::<i64>() as f64
             })
@@ -221,9 +225,13 @@ impl Workload for GoodDotProduct {
     }
 
     fn reference(&self) -> Vec<f64> {
-        (0..self.threads)
+        // Before `build` assigns a thread count, fall back to a single
+        // sequential partition (the per-chunk sums stay a pure function
+        // of the seeded inputs either way).
+        let parts = self.threads.max(1);
+        (0..parts)
             .map(|t| {
-                chunk(self.n, self.threads, t)
+                chunk(self.n, parts, t)
                     .map(|i| (self.a[i] as i64) * (self.b[i] as i64))
                     .sum::<i64>() as f64
             })

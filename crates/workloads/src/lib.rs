@@ -35,7 +35,8 @@ pub use linreg::LinearRegression;
 pub use metrics::{mpe, nrmse, Metric};
 pub use pca::Pca;
 pub use registry::{
-    extended_benchmarks, micro_benchmarks, paper_benchmarks, BenchmarkEntry, ScaleClass, Suite,
+    extended_benchmarks, find_benchmark, micro_benchmarks, paper_benchmarks, BenchmarkEntry,
+    ScaleClass, Suite, DEFAULT_SEED,
 };
 pub use runner::{compare, compare_default, execute, Comparison, RunOutcome, Workload};
 pub use sobel::Sobel;

@@ -80,10 +80,14 @@ impl LinearRegression {
     }
 
     /// Per-thread exact sums, mirroring the simulated partitioning.
+    /// Before `build` assigns a thread count this degenerates to a
+    /// single sequential partition, which yields the same regression
+    /// (only the totals feed `regression_from`).
     fn exact_sums(&self) -> Vec<[i64; 5]> {
-        let mut sums = vec![[0i64; 5]; self.threads];
+        let parts = self.threads.max(1);
+        let mut sums = vec![[0i64; 5]; parts];
         for (i, &(x, y)) in self.points.iter().enumerate() {
-            let t = i % self.threads;
+            let t = i % parts;
             let (x, y) = (x as i64, y as i64);
             sums[t][0] += x;
             sums[t][1] += y;

@@ -60,17 +60,38 @@ pub struct BenchmarkEntry {
     pub input_desc: &'static str,
     /// Error metric.
     pub metric: Metric,
-    factory: fn(ScaleClass) -> Box<dyn Workload>,
+    factory: fn(ScaleClass, u64) -> Box<dyn Workload>,
 }
 
 impl BenchmarkEntry {
-    /// Builds a fresh, deterministically-seeded instance.
+    /// Builds a fresh instance with the default evaluation seed.
     pub fn build(&self, scale: ScaleClass) -> Box<dyn Workload> {
-        (self.factory)(scale)
+        self.build_seeded(scale, DEFAULT_SEED)
+    }
+
+    /// Builds a fresh instance with an explicit input seed.
+    ///
+    /// Every workload constructor requires a seed (none may reach for an
+    /// ambient entropy source), so threading the experiment spec's seed
+    /// through here is the *only* way inputs are generated — identical
+    /// seeds give bit-identical inputs, and the experiment engine's
+    /// cache fingerprints include this seed.
+    pub fn build_seeded(&self, scale: ScaleClass, seed: u64) -> Box<dyn Workload> {
+        (self.factory)(scale, seed)
     }
 }
 
-const SEED: u64 = 0xC0FFEE;
+/// The evaluation-default input seed (EXPERIMENTS.md provenance).
+pub const DEFAULT_SEED: u64 = 0xC0FFEE;
+
+/// Looks a benchmark up by name across all three rosters.
+pub fn find_benchmark(name: &str) -> Option<BenchmarkEntry> {
+    paper_benchmarks()
+        .into_iter()
+        .chain(extended_benchmarks())
+        .chain(micro_benchmarks())
+        .find(|e| e.name == name)
+}
 
 /// The six paper applications (Table 2).
 pub fn paper_benchmarks() -> Vec<BenchmarkEntry> {
@@ -81,9 +102,9 @@ pub fn paper_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::Phoenix,
             input_desc: "synthetic RGB image",
             metric: Metric::Mpe,
-            factory: |s| {
+            factory: |s, seed| {
                 Box::new(Histogram::new(
-                    SEED,
+                    seed,
                     match s {
                         ScaleClass::Test => 600,
                         ScaleClass::Eval => 6_000,
@@ -97,9 +118,9 @@ pub fn paper_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::Phoenix,
             input_desc: "synthetic point file",
             metric: Metric::Mpe,
-            factory: |s| {
+            factory: |s, seed| {
                 Box::new(LinearRegression::new(
-                    SEED,
+                    seed,
                     match s {
                         ScaleClass::Test => 400,
                         ScaleClass::Eval => 6_000,
@@ -113,9 +134,9 @@ pub fn paper_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::Phoenix,
             input_desc: "synthetic matrix",
             metric: Metric::Nrmse,
-            factory: |s| match s {
-                ScaleClass::Test => Box::new(Pca::new(SEED, 16, 24)),
-                ScaleClass::Eval => Box::new(Pca::new(SEED, 40, 48)),
+            factory: |s, seed| match s {
+                ScaleClass::Test => Box::new(Pca::new(seed, 16, 24)),
+                ScaleClass::Eval => Box::new(Pca::new(seed, 40, 48)),
             },
         },
         BenchmarkEntry {
@@ -124,9 +145,9 @@ pub fn paper_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::AxBench,
             input_desc: "synthetic options",
             metric: Metric::Mpe,
-            factory: |s| {
+            factory: |s, seed| {
                 Box::new(BlackScholes::new(
-                    SEED,
+                    seed,
                     match s {
                         ScaleClass::Test => 300,
                         ScaleClass::Eval => 4_000,
@@ -140,9 +161,9 @@ pub fn paper_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::AxBench,
             input_desc: "synthetic reachable points",
             metric: Metric::Nrmse,
-            factory: |s| {
+            factory: |s, seed| {
                 Box::new(InverseK2J::new(
-                    SEED,
+                    seed,
                     match s {
                         ScaleClass::Test => 300,
                         ScaleClass::Eval => 4_000,
@@ -156,9 +177,9 @@ pub fn paper_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::AxBench,
             input_desc: "synthetic grayscale image",
             metric: Metric::Nrmse,
-            factory: |s| match s {
-                ScaleClass::Test => Box::new(Jpeg::new(SEED, 16, 16)),
-                ScaleClass::Eval => Box::new(Jpeg::new(SEED, 64, 64)),
+            factory: |s, seed| match s {
+                ScaleClass::Test => Box::new(Jpeg::new(seed, 16, 16)),
+                ScaleClass::Eval => Box::new(Jpeg::new(seed, 64, 64)),
             },
         },
     ]
@@ -174,9 +195,9 @@ pub fn extended_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::Phoenix,
             input_desc: "clustered 2-D integer points",
             metric: Metric::Nrmse,
-            factory: |s| match s {
-                ScaleClass::Test => Box::new(KMeans::new(SEED, 120, 4, 3)),
-                ScaleClass::Eval => Box::new(KMeans::new(SEED, 600, 8, 5)),
+            factory: |s, seed| match s {
+                ScaleClass::Test => Box::new(KMeans::new(seed, 120, 4, 3)),
+                ScaleClass::Eval => Box::new(KMeans::new(seed, 600, 8, 5)),
             },
         },
         BenchmarkEntry {
@@ -185,9 +206,9 @@ pub fn extended_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::AxBench,
             input_desc: "synthetic grayscale image",
             metric: Metric::Nrmse,
-            factory: |s| match s {
-                ScaleClass::Test => Box::new(Sobel::new(SEED, 24, 24)),
-                ScaleClass::Eval => Box::new(Sobel::new(SEED, 64, 64)),
+            factory: |s, seed| match s {
+                ScaleClass::Test => Box::new(Sobel::new(seed, 24, 24)),
+                ScaleClass::Eval => Box::new(Sobel::new(seed, 64, 64)),
             },
         },
     ]
@@ -202,9 +223,9 @@ pub fn micro_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::Micro,
             input_desc: "sparse integer vectors (0..=255)",
             metric: Metric::Mpe,
-            factory: |s| {
+            factory: |s, seed| {
                 Box::new(BadDotProduct::new(
-                    SEED,
+                    seed,
                     match s {
                         ScaleClass::Test => 512,
                         ScaleClass::Eval => 8_000,
@@ -219,9 +240,9 @@ pub fn micro_benchmarks() -> Vec<BenchmarkEntry> {
             suite: Suite::Micro,
             input_desc: "sparse integer vectors (0..=255)",
             metric: Metric::Mpe,
-            factory: |s| {
+            factory: |s, seed| {
                 Box::new(GoodDotProduct::new(
-                    SEED,
+                    seed,
                     match s {
                         ScaleClass::Test => 512,
                         ScaleClass::Eval => 8_000,
@@ -269,6 +290,33 @@ mod tests {
             let w = entry.build(ScaleClass::Test);
             assert_eq!(w.name(), entry.name);
             assert_eq!(w.metric(), entry.metric);
+        }
+    }
+
+    #[test]
+    fn find_benchmark_spans_all_rosters() {
+        for name in ["histogram", "kmeans", "bad_dot_product"] {
+            assert_eq!(find_benchmark(name).expect(name).name, name);
+        }
+        assert!(find_benchmark("nonesuch").is_none());
+    }
+
+    #[test]
+    fn explicit_seed_reaches_every_workload() {
+        // Same seed ⇒ bit-identical inputs (compared via the precise
+        // reference output); different seed ⇒ different inputs. This is
+        // the audit for the "no workload constructs its own unseeded
+        // generator" rule: inputs must be a pure function of the seed.
+        for entry in paper_benchmarks()
+            .iter()
+            .chain(micro_benchmarks().iter())
+            .chain(extended_benchmarks().iter())
+        {
+            let a = entry.build_seeded(ScaleClass::Test, 7).reference();
+            let b = entry.build_seeded(ScaleClass::Test, 7).reference();
+            let c = entry.build_seeded(ScaleClass::Test, 8).reference();
+            assert_eq!(a, b, "{}: same seed must give identical inputs", entry.name);
+            assert_ne!(a, c, "{}: seed must actually vary the inputs", entry.name);
         }
     }
 }
