@@ -9,10 +9,14 @@
 //! ```text
 //! gwcheck --cores 2 --blocks 1 --ops 2 --protocol mesi
 //! gwcheck --protocol gw --gi-timeouts
-//! gwcheck --protocol mesi --mutation skip-inv   # prove it catches bugs
+//! gwcheck --protocol mesi --mutation skip-inv        # prove it catches bugs
+//! gwcheck --protocol gw --gi-timeouts \
+//!         --mutation delete-row:gi_timeout           # table-row deletion
+//! gwcheck --require-coverage                          # CI coverage gate
 //! ```
 
 use ghostwriter_check::{sweep, Mutation, ProtocolKind};
+use ghostwriter_core::{Coverage, Reach};
 
 const USAGE: &str = "\
 gwcheck — bounded exhaustive model checker for the Ghostwriter protocol
@@ -27,8 +31,18 @@ OPTIONS:
     --protocol <P>       mesi | msi | gw (repeatable; when omitted, all
                          three protocols are swept)
     --gi-timeouts        interleave GI-timeout sweeps (gw only)
-    --mutation <M>       seed a bug: skip-inv | drop-inv-ack
+    --mutation <M>       seed a bug: skip-inv | drop-inv-ack |
+                         delete-row:<row> (delete a transition-table row
+                         by its name from docs/protocol-table.md, e.g.
+                         delete-row:gi_timeout)
+    --require-coverage   after sweeping, also run the supplementary
+                         gw ops=1 +gi-timeouts sweep, then exit 1 if any
+                         checker-reachable table row went unexercised
     -h, --help           print this help
+
+Every run ends with a transition-coverage summary — how many rows of the
+shared L1/directory transition table (crates/core/src/proto.rs) the
+explored state spaces exercised.
 ";
 
 struct Args {
@@ -38,6 +52,7 @@ struct Args {
     protocols: Vec<ProtocolKind>,
     gi_timeouts: bool,
     mutation: Option<Mutation>,
+    require_coverage: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -48,6 +63,7 @@ fn parse_args() -> Result<Args, String> {
         protocols: Vec::new(),
         gi_timeouts: false,
         mutation: None,
+        require_coverage: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -71,6 +87,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--gi-timeouts" => args.gi_timeouts = true,
+            "--require-coverage" => args.require_coverage = true,
             "--mutation" => {
                 let m = value("--mutation")?;
                 args.mutation =
@@ -105,13 +122,29 @@ fn main() {
         }
     };
     let mut failed = false;
-    for &kind in &args.protocols {
-        let gi = args.gi_timeouts && kind == ProtocolKind::Ghostwriter;
+    let mut coverage = Coverage::default();
+    // One (protocol, ops, gi-timeouts) sweep cell per requested protocol;
+    // --require-coverage appends the supplementary gw ops=2 sweep with
+    // timeout interleavings, since the GI-timeout row only fires in
+    // schedules that form a GI line (two ops on the victim core) and
+    // then fire the sweep.
+    let mut cells: Vec<(ProtocolKind, usize, bool)> = args
+        .protocols
+        .iter()
+        .map(|&kind| {
+            let gi = args.gi_timeouts && kind == ProtocolKind::Ghostwriter;
+            (kind, args.ops, gi)
+        })
+        .collect();
+    if args.require_coverage && !cells.contains(&(ProtocolKind::Ghostwriter, 2, true)) {
+        cells.push((ProtocolKind::Ghostwriter, 2, true));
+    }
+    for (kind, ops, gi) in cells {
         let label = format!(
             "{kind:?} {}c/{}b ops={}{}{}",
             args.cores,
             args.blocks,
-            args.ops,
+            ops,
             if gi { " +gi-timeouts" } else { "" },
             match args.mutation {
                 Some(m) => format!(" +mutation({m:?})"),
@@ -119,8 +152,9 @@ fn main() {
             },
         );
         let start = std::time::Instant::now();
-        let report = sweep(kind, args.cores, args.blocks, args.ops, gi, args.mutation);
+        let report = sweep(kind, args.cores, args.blocks, ops, gi, args.mutation);
         let secs = start.elapsed().as_secs_f64();
+        coverage.merge(&report.coverage);
         match &report.counterexample {
             None => {
                 println!(
@@ -152,6 +186,22 @@ fn main() {
                 print!("{}", cex.render(args.cores));
             }
         }
+    }
+    let (l1_hit, l1_total) = coverage.l1_reached();
+    let (dir_hit, dir_total) = coverage.dir_reached();
+    println!(
+        "coverage: L1 {l1_hit}/{l1_total} rows, directory {dir_hit}/{dir_total} rows \
+         (excluding defensive rows; see docs/protocol-table.md)"
+    );
+    let uncovered = coverage.unreached(Reach::Check);
+    if !uncovered.is_empty() {
+        println!("  checker-reachable rows not exercised: {uncovered:?}");
+        if args.require_coverage {
+            println!("FAIL  --require-coverage: the sweep must reach every checker-reachable row");
+            failed = true;
+        }
+    } else if args.require_coverage {
+        println!("PASS  --require-coverage: every checker-reachable row exercised");
     }
     std::process::exit(if failed { 1 } else { 0 });
 }

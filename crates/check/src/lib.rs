@@ -32,7 +32,8 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use ghostwriter_core::harness::{Op, System, SystemConfig, Violation};
 use ghostwriter_core::l1::GwParams;
 use ghostwriter_core::msg::{Msg, Payload};
-use ghostwriter_core::{GiStorePolicy, ScribePolicy};
+use ghostwriter_core::proto::find_row;
+use ghostwriter_core::{Coverage, GiStorePolicy, ScribePolicy};
 
 /// One step of a core's access program: an operation against a pool
 /// block index.
@@ -93,10 +94,18 @@ pub enum Mutation {
     /// An INV_ACK delivery is silently lost: the directory waits for an
     /// acknowledgement that never arrives (breaks liveness).
     DropInvAck,
+    /// The named transition-table row is deleted from the protocol: the
+    /// first time a controller dispatches through it, it raises a
+    /// [`ghostwriter_core::ProtocolError`] instead (caught by the
+    /// checker as an invariant violation and shrunk like any other).
+    DeleteRow(&'static str),
 }
 
 impl Mutation {
     pub fn parse(s: &str) -> Option<Self> {
+        if let Some(name) = s.strip_prefix("delete-row:") {
+            return find_row(name).map(|row| Self::DeleteRow(row.name()));
+        }
         match s {
             "skip-inv" => Some(Self::SkipInvalidation),
             "drop-inv-ack" => Some(Self::DropInvAck),
@@ -160,6 +169,10 @@ pub struct CheckReport {
     /// True if the depth or state bound cut the search short — the space
     /// was *not* exhausted.
     pub truncated: bool,
+    /// Union of the transition-table rows exercised anywhere in the
+    /// explored state space (union over all DFS branches; counts are an
+    /// over-approximation, zero/non-zero is exact).
+    pub coverage: Coverage,
     /// First failure found, already shrunk, if any.
     pub counterexample: Option<Counterexample>,
 }
@@ -251,10 +264,7 @@ impl Checker {
                     _ => sys.deliver(key),
                 }
             }
-            Action::GiTimeout { core } => {
-                sys.gi_timeout(core);
-                Ok(())
-            }
+            Action::GiTimeout { core } => sys.gi_timeout(core),
         }));
         match step_result {
             Ok(Ok(())) => sys.check_swmr().map_err(Failure::Invariant),
@@ -280,6 +290,17 @@ impl Checker {
         }
     }
 
+    /// The initial system, with any [`Mutation::DeleteRow`] applied at
+    /// construction (the row is deleted from the shared table, so both
+    /// the search and every shrinking replay see the same mutant).
+    fn initial_system(&self) -> System {
+        let mut cfg = self.sys;
+        if let Some(Mutation::DeleteRow(name)) = self.mutation {
+            cfg.disabled_row = Some(name);
+        }
+        System::new(cfg)
+    }
+
     /// Runs the bounded exhaustive search. Stops at the first failure,
     /// which is returned shrunk.
     pub fn check(&self) -> CheckReport {
@@ -288,9 +309,10 @@ impl Checker {
             transitions: 0,
             max_depth: 0,
             truncated: false,
+            coverage: Coverage::default(),
             counterexample: None,
         };
-        let sys = System::new(self.sys);
+        let sys = self.initial_system();
         let pcs = vec![0usize; self.sys.cores];
         let mut visited: HashSet<(u128, Vec<usize>)> = HashSet::new();
         visited.insert((sys.fingerprint(), pcs.clone()));
@@ -328,7 +350,9 @@ impl Checker {
             let mut next_pcs = pcs.to_vec();
             path.push(action);
             report.transitions += 1;
-            match self.apply(&mut next, &mut next_pcs, action) {
+            let applied = self.apply(&mut next, &mut next_pcs, action);
+            report.coverage.merge(&next.stats().coverage);
+            match applied {
                 Err(failure) => {
                     let cex = Counterexample {
                         trace: path.clone(),
@@ -357,7 +381,7 @@ impl Checker {
     /// `None` if the trace is clean (or contains an action that is not
     /// enabled at its position — relevant while shrinking).
     pub fn replay(&self, trace: &[Action]) -> Option<Failure> {
-        let mut sys = System::new(self.sys);
+        let mut sys = self.initial_system();
         let mut pcs = vec![0usize; self.sys.cores];
         for &action in trace {
             if !self.enabled(&sys, &pcs).contains(&action) {
@@ -464,6 +488,7 @@ pub fn check_config(kind: ProtocolKind, cores: usize, blocks: usize) -> SystemCo
         l2_ways: pow2_at_least(blocks),
         gw,
         msi: matches!(kind, ProtocolKind::Msi),
+        disabled_row: None,
     }
 }
 
@@ -517,6 +542,8 @@ pub struct SweepReport {
     pub states: usize,
     pub transitions: usize,
     pub truncated: bool,
+    /// Union of the per-program [`CheckReport::coverage`] unions.
+    pub coverage: Coverage,
     pub counterexample: Option<(Program, Counterexample)>,
 }
 
@@ -542,6 +569,7 @@ pub fn sweep(
         report.states += r.states;
         report.transitions += r.transitions;
         report.truncated |= r.truncated;
+        report.coverage.merge(&r.coverage);
         if let Some(cex) = r.counterexample {
             report.counterexample = Some((program, cex));
             return report;

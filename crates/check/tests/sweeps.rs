@@ -3,7 +3,9 @@
 //! MESI, MSI and Ghostwriter. Bounded to seconds; the deeper sweeps
 //! live behind `--ignored`.
 
-use ghostwriter_check::{sweep, Mutation, ProtocolKind};
+use ghostwriter_check::{sweep, Failure, Mutation, ProtocolKind};
+use ghostwriter_core::harness::Violation;
+use ghostwriter_core::L1RowId;
 
 fn assert_clean(kind: ProtocolKind, cores: usize, blocks: usize, ops: usize) {
     let report = sweep(kind, cores, blocks, ops, false, None);
@@ -18,6 +20,10 @@ fn assert_clean(kind: ProtocolKind, cores: usize, blocks: usize, ops: usize) {
         "{kind:?} sweep was truncated, not exhaustive"
     );
     assert!(report.programs > 0 && report.states > report.programs);
+    assert!(
+        !report.coverage.is_empty(),
+        "{kind:?} sweep recorded no transition coverage"
+    );
 }
 
 #[test]
@@ -37,9 +43,12 @@ fn ghostwriter_two_core_one_block_exhaustive() {
 
 #[test]
 fn ghostwriter_with_timeout_interleavings() {
-    // Single-step programs with GI-timeout sweeps woven into the
-    // schedule: the timeout path must be race-free too.
-    let report = sweep(ProtocolKind::Ghostwriter, 2, 1, 1, true, None);
+    // Two-step programs with GI-timeout sweeps woven into the schedule:
+    // the timeout path must be race-free too. Two ops per core is the
+    // minimum that forms a GI line at all (the victim needs an op to
+    // acquire a tag and another to scribble it after invalidation), so
+    // ops=1 would make this sweep vacuous.
+    let report = sweep(ProtocolKind::Ghostwriter, 2, 1, 2, true, None);
     if let Some((program, cex)) = &report.counterexample {
         panic!(
             "timeout sweep violation\nprogram: {program:?}\n{}",
@@ -47,6 +56,10 @@ fn ghostwriter_with_timeout_interleavings() {
         );
     }
     assert!(!report.truncated);
+    assert!(
+        report.coverage.l1_hits(L1RowId::GiTimeout) > 0,
+        "timeout interleavings must exercise the gi_timeout row"
+    );
 }
 
 #[test]
@@ -76,6 +89,31 @@ fn mutations_are_caught_by_the_sweep() {
     );
     let (_, cex) = drop.counterexample.expect("dropped ack must be caught");
     assert!(cex.trace.len() <= 20, "not shrunk:\n{}", cex.render(2));
+}
+
+#[test]
+fn deleted_gi_timeout_row_caught_as_protocol_error() {
+    // The table-level mutation: deleting the gi_timeout row from the
+    // shared transition table must surface as a typed ProtocolError the
+    // first time a schedule fires a timeout sweep on a live GI line —
+    // found by the exhaustive search and shrunk like any other bug.
+    let mutation = Mutation::parse("delete-row:gi_timeout").expect("known row name");
+    let report = sweep(ProtocolKind::Ghostwriter, 2, 1, 2, true, Some(mutation));
+    let (_, cex) = report
+        .counterexample
+        .expect("deleted gi_timeout row must be caught");
+    assert!(
+        matches!(cex.failure, Failure::Invariant(Violation::Protocol(_))),
+        "expected a protocol error, got: {}",
+        cex.failure
+    );
+    assert!(cex.trace.len() <= 20, "not shrunk:\n{}", cex.render(2));
+}
+
+#[test]
+fn unknown_row_names_do_not_parse() {
+    assert!(Mutation::parse("delete-row:no_such_row").is_none());
+    assert!(Mutation::parse("delete-row:").is_none());
 }
 
 // ---- deeper sweeps, seconds-to-minutes: `cargo test -- --ignored` ----

@@ -18,6 +18,7 @@ use ghostwriter_mem::{BlockAddr, BlockData, LookupResult, SetAssocCache};
 use std::collections::{HashMap, VecDeque};
 
 use crate::msg::{Endpoint, Grant, Msg, Payload};
+use crate::proto::{Controller, DirRowId, DirRowSet, Homing, ProtocolError};
 use crate::stats::Stats;
 
 /// Directory view of one block.
@@ -96,9 +97,13 @@ enum TxnKind {
 #[derive(Clone)]
 pub struct DirBank {
     bank: usize,
-    mem_ctrls: usize,
-    /// MESI grants Exclusive to sole readers; MSI (false) grants Shared.
-    grant_exclusive: bool,
+    /// Homes blocks onto the mesh-corner memory controllers.
+    mem_homing: Homing,
+    /// Live transition-table rows (MESI grants Exclusive to sole readers;
+    /// MSI swaps that row for a Shared grant).
+    rows: DirRowSet,
+    /// Row deleted by a checker mutation: firing it is a protocol error.
+    disabled: Option<DirRowId>,
     cache: SetAssocCache<L2Meta>,
     busy: HashMap<BlockAddr, Txn>,
     /// victim block → main transaction block (routes recall responses).
@@ -116,8 +121,7 @@ impl std::hash::Hash for DirBank {
     /// order because retry order is architecturally visible.
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.bank.hash(state);
-        self.mem_ctrls.hash(state);
-        self.grant_exclusive.hash(state);
+        self.mem_homing.hash(state);
         self.cache.hash(state);
         let mut busy: Vec<_> = self.busy.iter().collect();
         busy.sort_by_key(|(b, _)| **b);
@@ -148,11 +152,11 @@ impl DirBank {
         mem_ctrls: usize,
         grant_exclusive: bool,
     ) -> Self {
-        assert!(mem_ctrls >= 1);
         Self {
             bank,
-            mem_ctrls,
-            grant_exclusive,
+            mem_homing: Homing::new(mem_ctrls),
+            rows: DirRowSet::for_config(grant_exclusive),
+            disabled: None,
             cache: SetAssocCache::new(sets, ways),
             busy: HashMap::new(),
             recall_of: HashMap::new(),
@@ -161,10 +165,48 @@ impl DirBank {
         }
     }
 
+    /// Deletes the named table row (checker mutation): any access that
+    /// needs it afterwards is a protocol error. Returns false if the name
+    /// is not a directory row.
+    pub fn disable_row(&mut self, name: &str) -> bool {
+        match DirRowId::by_name(name) {
+            Some(id) => {
+                self.disabled = Some(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn ctl(&self) -> Controller {
+        Controller::Dir { bank: self.bank }
+    }
+
+    /// Table dispatch: records the row hit in the coverage counters and
+    /// refuses to fire a row deleted by a checker mutation.
+    fn row(&self, id: DirRowId, stats: &mut Stats) -> Result<(), ProtocolError> {
+        stats.coverage.dir[id as usize] += 1;
+        if self.disabled == Some(id) {
+            return Err(ProtocolError::row(
+                self.ctl(),
+                id.name(),
+                "row deleted by mutation",
+            ));
+        }
+        Ok(())
+    }
+
+    /// An error (`Reach::Never`) row fired: record the hit and build the
+    /// protocol error the caller returns.
+    fn error(&self, id: DirRowId, stats: &mut Stats, detail: impl Into<String>) -> ProtocolError {
+        stats.coverage.dir[id as usize] += 1;
+        ProtocolError::row(self.ctl(), id.name(), detail)
+    }
+
     /// Memory controller homing a block (address interleave across the
     /// mesh-corner controllers).
     fn mc_of(&self, block: BlockAddr) -> usize {
-        (block.index() % self.mem_ctrls as u64) as usize
+        self.mem_homing.home(block)
     }
 
     fn to_l1(&self, core: usize, block: BlockAddr, payload: Payload) -> Msg {
@@ -226,67 +268,80 @@ impl DirBank {
     }
 
     /// Handles a message addressed to this bank.
-    pub fn handle_msg(&mut self, msg: Msg, stats: &mut Stats) -> Vec<Msg> {
+    ///
+    /// `Err` means the transition table has no row for this message in the
+    /// current directory state — a protocol error the harness surfaces as
+    /// a violation.
+    pub fn handle_msg(&mut self, msg: Msg, stats: &mut Stats) -> Result<Vec<Msg>, ProtocolError> {
         let block = msg.block;
         let mut out = Vec::new();
-        match msg.payload {
-            Payload::Gets
-            | Payload::Getx
-            | Payload::Upgrade
-            | Payload::PutS
-            | Payload::PutE
-            | Payload::PutM { .. } => {
-                let Endpoint::L1(core) = msg.src else {
-                    panic!("request from non-L1 endpoint {:?}", msg.src)
-                };
-                let kind = match msg.payload {
-                    Payload::Gets => ReqKind::Gets,
-                    Payload::Getx => ReqKind::Getx,
-                    Payload::Upgrade => ReqKind::Upgrade,
-                    Payload::PutS => ReqKind::PutS,
-                    Payload::PutE => ReqKind::PutE,
-                    Payload::PutM { data } => ReqKind::PutM(data),
-                    _ => unreachable!(),
-                };
-                let req = Request {
-                    requestor: core,
-                    kind,
-                };
-                stats.energy_events.l2_tag_probes += 1;
-                if self.is_blocked(block) {
-                    self.queues.entry(block).or_default().push_back(req);
-                } else {
-                    self.start(block, req, stats, &mut out);
-                }
+        // L1 requests are decoded up front so the dispatch below needs no
+        // second (partial) match on the payload.
+        let req_kind = match msg.payload {
+            Payload::Gets => Some(ReqKind::Gets),
+            Payload::Getx => Some(ReqKind::Getx),
+            Payload::Upgrade => Some(ReqKind::Upgrade),
+            Payload::PutS => Some(ReqKind::PutS),
+            Payload::PutE => Some(ReqKind::PutE),
+            Payload::PutM { data } => Some(ReqKind::PutM(data)),
+            _ => None,
+        };
+        if let Some(kind) = req_kind {
+            let Endpoint::L1(core) = msg.src else {
+                panic!("request from non-L1 endpoint {:?}", msg.src)
+            };
+            let req = Request {
+                requestor: core,
+                kind,
+            };
+            stats.energy_events.l2_tag_probes += 1;
+            if self.is_blocked(block) {
+                self.row(DirRowId::ReqQueued, stats)?;
+                self.queues.entry(block).or_default().push_back(req);
+            } else {
+                self.start(block, req, stats, &mut out)?;
             }
+            return Ok(out);
+        }
+        match msg.payload {
             Payload::InvAck => {
                 let Endpoint::L1(_) = msg.src else {
                     panic!("INV_ACK from non-L1")
                 };
-                self.inv_ack(block, stats, &mut out);
+                self.inv_ack(block, stats, &mut out)?;
             }
             Payload::DataToDir { data, retained } => {
-                self.owner_data(block, data, retained, stats, &mut out);
+                self.owner_data(block, data, retained, stats, &mut out)?;
             }
             Payload::MemData { data } => {
-                self.mem_data(block, data, stats, &mut out);
+                self.mem_data(block, data, stats, &mut out)?;
             }
             Payload::Unblock => {
-                let txn = self
-                    .busy
-                    .remove(&block)
-                    .unwrap_or_else(|| panic!("bank {}: UNBLOCK for idle block", self.bank));
+                let Some(txn) = self.busy.remove(&block) else {
+                    return Err(self.error(
+                        DirRowId::StrayUnblock,
+                        stats,
+                        format!("UNBLOCK for idle block {block:?}"),
+                    ));
+                };
                 assert_eq!(
                     txn.phase,
                     Phase::Unblock,
                     "UNBLOCK in phase {:?}",
                     txn.phase
                 );
-                self.release(block, stats, &mut out);
+                self.row(DirRowId::Unblock, stats)?;
+                self.release(block, stats, &mut out)?;
             }
-            p => panic!("bank {}: unexpected message {}", self.bank, p.name()),
+            ref p => {
+                return Err(self.error(
+                    DirRowId::DirUnexpectedMsg,
+                    stats,
+                    format!("unexpected message {}", p.name()),
+                ))
+            }
         }
-        out
+        Ok(out)
     }
 
     /// A block is blocked if it has an in-flight transaction or is being
@@ -296,10 +351,27 @@ impl DirBank {
     }
 
     /// Begins servicing a request (block known unblocked).
-    fn start(&mut self, block: BlockAddr, req: Request, stats: &mut Stats, out: &mut Vec<Msg>) {
+    fn start(
+        &mut self,
+        block: BlockAddr,
+        req: Request,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
         match req.kind {
             ReqKind::PutS => {
-                if let Some(line) = self.cache.get_mut(block) {
+                let listed = matches!(
+                    self.cache.get(block).map(|l| l.meta.dir),
+                    Some(DirState::Shared(s)) if s & (1 << req.requestor) != 0
+                );
+                let row = if listed {
+                    DirRowId::PutSSharer
+                } else {
+                    DirRowId::PutSStale
+                };
+                self.row(row, stats)?;
+                if listed {
+                    let line = self.cache.get_mut(block).unwrap();
                     if let DirState::Shared(s) = line.meta.dir {
                         let s = s & !(1 << req.requestor);
                         line.meta.dir = if s == 0 {
@@ -312,36 +384,45 @@ impl DirBank {
                 // No ack; nothing further.
             }
             ReqKind::PutE => {
-                if let Some(line) = self.cache.get_mut(block) {
-                    if line.meta.dir == DirState::Owned(req.requestor) {
-                        line.meta.dir = DirState::Np;
-                    }
+                let owner = self.cache.get(block).map(|l| l.meta.dir)
+                    == Some(DirState::Owned(req.requestor));
+                let row = if owner {
+                    DirRowId::PutEOwner
+                } else {
+                    DirRowId::PutEStale
+                };
+                self.row(row, stats)?;
+                if owner {
+                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Np;
                 }
                 out.push(self.to_l1(req.requestor, block, Payload::WbAck));
             }
             ReqKind::PutM(data) => {
-                let mut stale = true;
-                if let Some(line) = self.cache.get_mut(block) {
-                    if line.meta.dir == DirState::Owned(req.requestor) {
-                        line.data = data;
-                        line.meta.dirty = true;
-                        line.meta.dir = DirState::Np;
-                        stale = false;
-                        stats.energy_events.l2_writes += 1;
-                    }
-                }
+                let owner = self.cache.get(block).map(|l| l.meta.dir)
+                    == Some(DirState::Owned(req.requestor));
                 // A stale PUTM lost a race with a forward; its data was
                 // already supplied from the writeback buffer. Ack either
                 // way so the L1 releases its buffer entry.
-                let _ = stale;
+                let row = if owner {
+                    DirRowId::PutMOwner
+                } else {
+                    DirRowId::PutMStale
+                };
+                self.row(row, stats)?;
+                if owner {
+                    let line = self.cache.get_mut(block).unwrap();
+                    line.data = data;
+                    line.meta.dirty = true;
+                    line.meta.dir = DirState::Np;
+                    stats.energy_events.l2_writes += 1;
+                }
                 out.push(self.to_l1(req.requestor, block, Payload::WbAck));
             }
             ReqKind::Gets | ReqKind::Getx | ReqKind::Upgrade => {
                 let kind = match req.kind {
                     ReqKind::Gets => TxnKind::Gets,
                     ReqKind::Getx => TxnKind::Getx,
-                    ReqKind::Upgrade => TxnKind::Upgrade,
-                    _ => unreachable!(),
+                    _ => TxnKind::Upgrade,
                 };
                 if self.cache.probe(block).is_some() {
                     self.busy.insert(
@@ -354,12 +435,13 @@ impl DirBank {
                             recall_victim: None,
                         },
                     );
-                    self.act_on_line(block, stats, out);
+                    self.act_on_line(block, stats, out)?;
                 } else {
-                    self.begin_fill(block, req, kind, stats, out);
+                    self.begin_fill(block, req, kind, stats, out)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// L2 miss path: allocate a way (recalling an L1-held victim if
@@ -371,15 +453,16 @@ impl DirBank {
         kind: TxnKind,
         stats: &mut Stats,
         out: &mut Vec<Msg>,
-    ) {
+    ) -> Result<(), ProtocolError> {
         let lookup = self
             .cache
             .lookup_for_insert_excluding(block, |b| self.is_blocked(b));
         let Some(lookup) = lookup else {
             // Every line in the set is pinned by an in-flight transaction;
             // retry when one completes.
+            self.row(DirRowId::FillStalled, stats)?;
             self.stalled.push_back((block, req));
-            return;
+            return Ok(());
         };
         let mut txn = Txn {
             requestor: req.requestor,
@@ -389,8 +472,14 @@ impl DirBank {
             recall_victim: None,
         };
         match lookup {
-            LookupResult::Hit { .. } => unreachable!("begin_fill on resident block"),
+            LookupResult::Hit { .. } => {
+                return Err(ProtocolError::internal(
+                    self.ctl(),
+                    format!("begin_fill on resident block {block:?}"),
+                ))
+            }
             LookupResult::Free { way } => {
+                self.row(DirRowId::FillFree, stats)?;
                 // Reserve the way with a placeholder line awaiting fill.
                 self.cache.insert_at(
                     way,
@@ -408,6 +497,7 @@ impl DirBank {
                 let vline = self.cache.get(victim).expect("victim resident");
                 match vline.meta.dir {
                     DirState::Np => {
+                        self.row(DirRowId::FillEvictNp, stats)?;
                         // Plain L2 eviction.
                         let vline = self.cache.remove(victim).unwrap();
                         if vline.meta.dirty {
@@ -416,7 +506,12 @@ impl DirBank {
                         }
                         let way = match self.cache.lookup_for_insert(block) {
                             LookupResult::Free { way } => way,
-                            _ => unreachable!("way just freed"),
+                            r => {
+                                return Err(ProtocolError::internal(
+                                    self.ctl(),
+                                    format!("way just freed for {block:?}, got {r:?}"),
+                                ))
+                            }
                         };
                         self.cache.insert_at(
                             way,
@@ -431,6 +526,7 @@ impl DirBank {
                         self.busy.insert(block, txn);
                     }
                     DirState::Shared(s) => {
+                        self.row(DirRowId::FillRecallShared, stats)?;
                         // Inclusion recall: invalidate all L1 sharers.
                         stats.l2_recalls += 1;
                         txn.phase = Phase::RecallInv;
@@ -443,6 +539,7 @@ impl DirBank {
                         self.busy.insert(block, txn);
                     }
                     DirState::Owned(owner) => {
+                        self.row(DirRowId::FillRecallOwned, stats)?;
                         // Inclusion recall: pull the owner's data.
                         stats.l2_recalls += 1;
                         txn.phase = Phase::RecallData;
@@ -454,10 +551,16 @@ impl DirBank {
                 }
             }
         }
+        Ok(())
     }
 
     /// Acts on a transaction whose block is resident and stable in the L2.
-    fn act_on_line(&mut self, block: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+    fn act_on_line(
+        &mut self,
+        block: BlockAddr,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
         let txn = self.busy.get_mut(&block).expect("transaction in flight");
         let req = txn.requestor;
         let line = self.cache.get(block).expect("line resident");
@@ -467,15 +570,24 @@ impl DirBank {
         // invalidation race) are converted to GETX and answered with data.
         let kind = match (txn.kind, dir) {
             (TxnKind::Upgrade, DirState::Shared(s)) if s & (1 << req) != 0 => TxnKind::Upgrade,
-            (TxnKind::Upgrade, _) => TxnKind::Getx,
+            (TxnKind::Upgrade, _) => {
+                self.row(DirRowId::UpgradeRace, stats)?;
+                TxnKind::Getx
+            }
             (k, _) => k,
         };
         match (kind, dir) {
             (TxnKind::Gets, DirState::Np) => {
+                let row = if self.rows.contains(DirRowId::GetsNpExclusive) {
+                    DirRowId::GetsNpExclusive
+                } else {
+                    DirRowId::GetsNpShared
+                };
+                self.row(row, stats)?;
                 stats.energy_events.l2_reads += 1;
                 let txn = self.busy.get_mut(&block).unwrap();
                 txn.phase = Phase::Unblock;
-                if self.grant_exclusive {
+                if row == DirRowId::GetsNpExclusive {
                     // MESI: no sharers, grant Exclusive.
                     self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
                     out.push(self.to_l1(
@@ -501,6 +613,7 @@ impl DirBank {
             }
             (TxnKind::Gets, DirState::Shared(s)) => {
                 assert_eq!(s & (1 << req), 0, "GETS from listed sharer {req}");
+                self.row(DirRowId::GetsShared, stats)?;
                 stats.energy_events.l2_reads += 1;
                 self.cache.get_mut(block).unwrap().meta.dir = DirState::Shared(s | (1 << req));
                 let txn = self.busy.get_mut(&block).unwrap();
@@ -516,11 +629,13 @@ impl DirBank {
             }
             (TxnKind::Gets, DirState::Owned(owner)) => {
                 assert_ne!(owner, req, "GETS from owner");
+                self.row(DirRowId::GetsOwned, stats)?;
                 let txn = self.busy.get_mut(&block).unwrap();
                 txn.phase = Phase::OwnerData;
                 out.push(self.to_l1(owner, block, Payload::FwdGets));
             }
             (TxnKind::Getx, DirState::Np) => {
+                self.row(DirRowId::GetxNp, stats)?;
                 stats.energy_events.l2_reads += 1;
                 self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
                 let txn = self.busy.get_mut(&block).unwrap();
@@ -538,6 +653,7 @@ impl DirBank {
             (TxnKind::Getx, DirState::Shared(s)) => {
                 let others = s & !(1 << req);
                 assert_ne!(others, 0, "Shared with no sharers");
+                self.row(DirRowId::GetxShared, stats)?;
                 let txn = self.busy.get_mut(&block).unwrap();
                 txn.kind = TxnKind::Getx;
                 txn.phase = Phase::InvAcks;
@@ -548,6 +664,7 @@ impl DirBank {
             }
             (TxnKind::Getx, DirState::Owned(owner)) => {
                 assert_ne!(owner, req, "GETX from owner");
+                self.row(DirRowId::GetxOwned, stats)?;
                 let txn = self.busy.get_mut(&block).unwrap();
                 txn.kind = TxnKind::Getx;
                 txn.phase = Phase::OwnerData;
@@ -555,6 +672,12 @@ impl DirBank {
             }
             (TxnKind::Upgrade, DirState::Shared(s)) => {
                 let others = s & !(1 << req);
+                let row = if others == 0 {
+                    DirRowId::UpgradeSole
+                } else {
+                    DirRowId::UpgradeInv
+                };
+                self.row(row, stats)?;
                 let txn = self.busy.get_mut(&block).unwrap();
                 if others == 0 {
                     self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
@@ -568,26 +691,41 @@ impl DirBank {
                     }
                 }
             }
-            (TxnKind::Upgrade, _) => unreachable!("converted above"),
+            (TxnKind::Upgrade, d) => {
+                return Err(ProtocolError::internal(
+                    self.ctl(),
+                    format!("unconverted upgrade on {block:?} with dir {d:?}"),
+                ))
+            }
         }
+        Ok(())
     }
 
     /// An invalidation ack arrived for `block` — either the main block of
     /// a transaction or an L2 recall victim.
-    fn inv_ack(&mut self, block: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+    fn inv_ack(
+        &mut self,
+        block: BlockAddr,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
         if let Some(&main) = self.recall_of.get(&block) {
+            self.row(DirRowId::RecallInvAck, stats)?;
             let txn = self.busy.get_mut(&main).expect("recall txn in flight");
             assert_eq!(txn.phase, Phase::RecallInv);
             txn.acks_pending -= 1;
             if txn.acks_pending == 0 {
-                self.finish_recall(main, stats, out);
+                self.finish_recall(main, stats, out)?;
             }
-            return;
+            return Ok(());
         }
-        let txn = self
-            .busy
-            .get_mut(&block)
-            .unwrap_or_else(|| panic!("bank {}: stray INV_ACK for {block:?}", self.bank));
+        let Some(txn) = self.busy.get_mut(&block) else {
+            return Err(self.error(
+                DirRowId::StrayInvAck,
+                stats,
+                format!("stray INV_ACK for {block:?}"),
+            ));
+        };
         assert_eq!(
             txn.phase,
             Phase::InvAcks,
@@ -596,10 +734,23 @@ impl DirBank {
         );
         txn.acks_pending -= 1;
         if txn.acks_pending > 0 {
-            return;
+            self.row(DirRowId::InvAckPending, stats)?;
+            return Ok(());
         }
         let req = txn.requestor;
         let kind = txn.kind;
+        let row = match kind {
+            TxnKind::Getx => DirRowId::InvAckLastGetx,
+            TxnKind::Upgrade => DirRowId::InvAckLastUpgrade,
+            TxnKind::Gets => {
+                return Err(self.error(
+                    DirRowId::InvAckGets,
+                    stats,
+                    format!("GETS on {block:?} collected an inv ack"),
+                ))
+            }
+        };
+        self.row(row, stats)?;
         let line = self.cache.get_mut(block).expect("line resident");
         line.meta.dir = DirState::Owned(req);
         match kind {
@@ -617,13 +768,13 @@ impl DirBank {
                     },
                 ));
             }
-            TxnKind::Upgrade => {
+            _ => {
                 let txn = self.busy.get_mut(&block).unwrap();
                 txn.phase = Phase::Unblock;
                 out.push(self.to_l1(req, block, Payload::UpgAck));
             }
-            TxnKind::Gets => unreachable!("GETS never collects inv acks"),
         }
+        Ok(())
     }
 
     /// Owner data arrived — for the main block or a recall victim.
@@ -634,8 +785,9 @@ impl DirBank {
         retained: bool,
         stats: &mut Stats,
         out: &mut Vec<Msg>,
-    ) {
+    ) -> Result<(), ProtocolError> {
         if let Some(&main) = self.recall_of.get(&block) {
+            self.row(DirRowId::RecallOwnerData, stats)?;
             let txn = self.busy.get_mut(&main).expect("recall txn");
             assert_eq!(txn.phase, Phase::RecallData);
             // Fold the owner's data into the victim line before eviction.
@@ -644,25 +796,45 @@ impl DirBank {
             line.meta.dirty = true;
             line.meta.dir = DirState::Np;
             stats.energy_events.l2_writes += 1;
-            self.finish_recall(main, stats, out);
-            return;
+            self.finish_recall(main, stats, out)?;
+            return Ok(());
         }
-        let txn = self
-            .busy
-            .get_mut(&block)
-            .unwrap_or_else(|| panic!("bank {}: stray owner data for {block:?}", self.bank));
+        let Some(txn) = self.busy.get_mut(&block) else {
+            return Err(self.error(
+                DirRowId::StrayOwnerData,
+                stats,
+                format!("stray owner data for {block:?}"),
+            ));
+        };
         assert_eq!(txn.phase, Phase::OwnerData);
         let req = txn.requestor;
         let kind = txn.kind;
+        let row = match kind {
+            TxnKind::Gets => DirRowId::OwnerDataGets,
+            TxnKind::Getx => DirRowId::OwnerDataGetx,
+            TxnKind::Upgrade => {
+                return Err(self.error(
+                    DirRowId::OwnerDataUpgrade,
+                    stats,
+                    format!("upgrade on {block:?} waited on owner data"),
+                ))
+            }
+        };
+        self.row(row, stats)?;
+        let old_owner = match self.cache.get(block).expect("line resident").meta.dir {
+            DirState::Owned(o) => o,
+            s => {
+                return Err(ProtocolError::internal(
+                    self.ctl(),
+                    format!("owner data for {block:?} but dir state {s:?}"),
+                ))
+            }
+        };
         stats.energy_events.l2_writes += 1;
         stats.energy_events.l2_reads += 1;
-        let line = self.cache.get_mut(block).expect("line resident");
+        let line = self.cache.get_mut(block).unwrap();
         line.data = data;
         line.meta.dirty = true;
-        let old_owner = match line.meta.dir {
-            DirState::Owned(o) => o,
-            s => panic!("owner data but dir state {s:?}"),
-        };
         let (grant, new_dir) = match kind {
             TxnKind::Gets => {
                 let mut s = 1u64 << req;
@@ -671,13 +843,13 @@ impl DirBank {
                 }
                 (Grant::Shared, DirState::Shared(s))
             }
-            TxnKind::Getx => (Grant::Modified, DirState::Owned(req)),
-            TxnKind::Upgrade => unreachable!("upgrade never waits on owner data"),
+            _ => (Grant::Modified, DirState::Owned(req)),
         };
         line.meta.dir = new_dir;
         let txn = self.busy.get_mut(&block).unwrap();
         txn.phase = Phase::Unblock;
         out.push(self.to_l1(req, block, Payload::Data { data, grant }));
+        Ok(())
     }
 
     /// DRAM fill arrived for a transaction in `MemFetch`.
@@ -687,26 +859,35 @@ impl DirBank {
         data: BlockData,
         stats: &mut Stats,
         out: &mut Vec<Msg>,
-    ) {
-        {
-            let txn = self
-                .busy
-                .get_mut(&block)
-                .unwrap_or_else(|| panic!("bank {}: stray MEM_DATA for {block:?}", self.bank));
-            assert_eq!(txn.phase, Phase::MemFetch);
+    ) -> Result<(), ProtocolError> {
+        match self.busy.get(&block) {
+            Some(txn) => assert_eq!(txn.phase, Phase::MemFetch),
+            None => {
+                return Err(self.error(
+                    DirRowId::StrayMemData,
+                    stats,
+                    format!("stray MEM_DATA for {block:?}"),
+                ))
+            }
         }
+        self.row(DirRowId::MemData, stats)?;
         stats.energy_events.l2_writes += 1;
         let line = self.cache.get_mut(block).expect("placeholder reserved");
         line.data = data;
         line.meta.dirty = false;
         line.meta.dir = DirState::Np;
-        self.act_on_line(block, stats, out);
+        self.act_on_line(block, stats, out)
     }
 
     /// Recall of a transaction's L2 victim completed: evict the victim,
     /// start the DRAM fill of the main block, and release waiters on the
     /// victim.
-    fn finish_recall(&mut self, main: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+    fn finish_recall(
+        &mut self,
+        main: BlockAddr,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
         let txn = self.busy.get_mut(&main).expect("recall txn");
         let victim = txn.recall_victim.take().expect("victim recorded");
         txn.phase = Phase::MemFetch;
@@ -719,7 +900,12 @@ impl DirBank {
         // Reserve the freed way for the main block and fetch it.
         let way = match self.cache.lookup_for_insert(main) {
             LookupResult::Free { way } => way,
-            r => unreachable!("way just freed, got {r:?}"),
+            r => {
+                return Err(ProtocolError::internal(
+                    self.ctl(),
+                    format!("way just freed for {main:?}, got {r:?}"),
+                ))
+            }
         };
         self.cache.insert_at(
             way,
@@ -732,40 +918,56 @@ impl DirBank {
         );
         out.push(self.to_mem(main, Payload::MemRead));
         // Anyone queued on the (now departed) victim can proceed.
-        self.release_queued(victim, stats, out);
+        self.release_queued(victim, stats, out)
     }
 
     /// A transaction finished: service queued requests for the block and
     /// retry set-stalled fills.
-    fn release(&mut self, block: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
-        self.release_queued(block, stats, out);
-        self.retry_stalled(stats, out);
+    fn release(
+        &mut self,
+        block: BlockAddr,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
+        self.release_queued(block, stats, out)?;
+        self.retry_stalled(stats, out)
     }
 
-    fn release_queued(&mut self, block: BlockAddr, stats: &mut Stats, out: &mut Vec<Msg>) {
+    fn release_queued(
+        &mut self,
+        block: BlockAddr,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
         // Process queued requests until one blocks the line again (or the
         // queue drains). PUTs are synchronous, so several may complete.
         while !self.is_blocked(block) {
             let Some(req) = self.queues.get_mut(&block).and_then(|q| q.pop_front()) else {
                 break;
             };
-            self.start(block, req, stats, out);
+            self.start(block, req, stats, out)?;
         }
         if self.queues.get(&block).is_some_and(|q| q.is_empty()) {
             self.queues.remove(&block);
         }
+        Ok(())
     }
 
-    fn retry_stalled(&mut self, stats: &mut Stats, out: &mut Vec<Msg>) {
+    fn retry_stalled(
+        &mut self,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
         let n = self.stalled.len();
         for _ in 0..n {
             let (block, req) = self.stalled.pop_front().expect("counted");
             if self.is_blocked(block) {
                 self.queues.entry(block).or_default().push_back(req);
             } else {
-                self.start(block, req, stats, out);
+                self.start(block, req, stats, out)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -814,7 +1016,7 @@ mod tests {
                             data: BlockData::zeroed(),
                         },
                     };
-                    pending.extend(bank.handle_msg(reply, stats));
+                    pending.extend(bank.handle_msg(reply, stats).unwrap());
                 }
                 (Endpoint::Mem(_), Payload::MemWrite { .. }) => {}
                 _ => result.push(msg),
@@ -827,14 +1029,19 @@ mod tests {
     fn msi_bank_grants_shared_to_sole_reader() {
         let mut bank = DirBank::with_base(0, 16, 4, 1, false);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(3, blk(16), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(3, blk(16), Payload::Gets), &mut stats)
+            .unwrap();
         let out = drive_mem(&mut bank, out, &mut stats);
         let (_, grant) = data_of(&out[0]);
         assert_eq!(grant, Grant::Shared, "MSI never grants E");
         assert_eq!(bank.dir_state(blk(16)), Some(DirState::Shared(0b1000)));
         // A subsequent store from the same core must therefore UPGRADE.
-        bank.handle_msg(req_msg(3, blk(16), Payload::Unblock), &mut stats);
-        let out = bank.handle_msg(req_msg(3, blk(16), Payload::Upgrade), &mut stats);
+        bank.handle_msg(req_msg(3, blk(16), Payload::Unblock), &mut stats)
+            .unwrap();
+        let out = bank
+            .handle_msg(req_msg(3, blk(16), Payload::Upgrade), &mut stats)
+            .unwrap();
         assert!(matches!(out[0].payload, Payload::UpgAck));
         assert_eq!(bank.dir_state(blk(16)), Some(DirState::Owned(3)));
     }
@@ -843,7 +1050,9 @@ mod tests {
     fn cold_gets_grants_exclusive() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(3, blk(16), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(3, blk(16), Payload::Gets), &mut stats)
+            .unwrap();
         let out = drive_mem(&mut bank, out, &mut stats);
         assert_eq!(out.len(), 1);
         let (_, grant) = data_of(&out[0]);
@@ -851,7 +1060,8 @@ mod tests {
         assert_eq!(out[0].dst, Endpoint::L1(3));
         assert_eq!(bank.dir_state(blk(16)), Some(DirState::Owned(3)));
         // Unblock releases the transaction.
-        bank.handle_msg(req_msg(3, blk(16), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(3, blk(16), Payload::Unblock), &mut stats)
+            .unwrap();
         assert!(bank.quiescent());
     }
 
@@ -859,27 +1069,34 @@ mod tests {
     fn second_gets_is_forwarded_to_owner() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(1), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(1), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(1), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(1), Payload::Unblock), &mut stats)
+            .unwrap();
         // Core 1 GETS: owner (core 0) must be asked for data.
-        let out = bank.handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, Payload::FwdGets));
         assert_eq!(out[0].dst, Endpoint::L1(0));
         // Owner responds; both become sharers.
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::L1(0),
-                dst: Endpoint::Dir(0),
-                block: blk(1),
-                payload: Payload::DataToDir {
-                    data: BlockData::zeroed(),
-                    retained: true,
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::L1(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(1),
+                    payload: Payload::DataToDir {
+                        data: BlockData::zeroed(),
+                        retained: true,
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         assert_eq!(out.len(), 1);
         let (_, grant) = data_of(&out[0]);
         assert_eq!(grant, Grant::Shared);
@@ -891,32 +1108,46 @@ mod tests {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
         // Cores 0 and 1 share the block.
-        let out = bank.handle_msg(req_msg(0, blk(2), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(2), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(2), Payload::Unblock), &mut stats);
-        let _out = bank.handle_msg(req_msg(1, blk(2), Payload::Gets), &mut stats);
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::L1(0),
-                dst: Endpoint::Dir(0),
-                block: blk(2),
-                payload: Payload::DataToDir {
-                    data: BlockData::zeroed(),
-                    retained: true,
+        bank.handle_msg(req_msg(0, blk(2), Payload::Unblock), &mut stats)
+            .unwrap();
+        let _out = bank
+            .handle_msg(req_msg(1, blk(2), Payload::Gets), &mut stats)
+            .unwrap();
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::L1(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(2),
+                    payload: Payload::DataToDir {
+                        data: BlockData::zeroed(),
+                        retained: true,
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         assert!(matches!(out[0].payload, Payload::Data { .. }));
-        bank.handle_msg(req_msg(1, blk(2), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(1, blk(2), Payload::Unblock), &mut stats)
+            .unwrap();
         assert_eq!(bank.dir_state(blk(2)), Some(DirState::Shared(0b11)));
         // Core 2 GETX: both sharers invalidated.
-        let out = bank.handle_msg(req_msg(2, blk(2), Payload::Getx), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(2, blk(2), Payload::Getx), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|m| matches!(m.payload, Payload::Inv)));
-        let out0 = bank.handle_msg(req_msg(0, blk(2), Payload::InvAck), &mut stats);
+        let out0 = bank
+            .handle_msg(req_msg(0, blk(2), Payload::InvAck), &mut stats)
+            .unwrap();
         assert!(out0.is_empty());
-        let out1 = bank.handle_msg(req_msg(1, blk(2), Payload::InvAck), &mut stats);
+        let out1 = bank
+            .handle_msg(req_msg(1, blk(2), Payload::InvAck), &mut stats)
+            .unwrap();
         assert_eq!(out1.len(), 1);
         let (_, grant) = data_of(&out1[0]);
         assert_eq!(grant, Grant::Modified);
@@ -927,29 +1158,40 @@ mod tests {
     fn upgrade_from_sole_sharer_is_ack_only() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(3), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(3), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(3), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(3), Payload::Unblock), &mut stats)
+            .unwrap();
         // Downgrade to Shared via a second reader + PutS to make core 0 a
         // sole *shared* holder.
-        let _out = bank.handle_msg(req_msg(1, blk(3), Payload::Gets), &mut stats);
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::L1(0),
-                dst: Endpoint::Dir(0),
-                block: blk(3),
-                payload: Payload::DataToDir {
-                    data: BlockData::zeroed(),
-                    retained: true,
+        let _out = bank
+            .handle_msg(req_msg(1, blk(3), Payload::Gets), &mut stats)
+            .unwrap();
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::L1(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(3),
+                    payload: Payload::DataToDir {
+                        data: BlockData::zeroed(),
+                        retained: true,
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         assert_eq!(out.len(), 1);
-        bank.handle_msg(req_msg(1, blk(3), Payload::Unblock), &mut stats);
-        bank.handle_msg(req_msg(1, blk(3), Payload::PutS), &mut stats);
+        bank.handle_msg(req_msg(1, blk(3), Payload::Unblock), &mut stats)
+            .unwrap();
+        bank.handle_msg(req_msg(1, blk(3), Payload::PutS), &mut stats)
+            .unwrap();
         assert_eq!(bank.dir_state(blk(3)), Some(DirState::Shared(0b01)));
-        let out = bank.handle_msg(req_msg(0, blk(3), Payload::Upgrade), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(3), Payload::Upgrade), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, Payload::UpgAck));
         assert_eq!(bank.dir_state(blk(3)), Some(DirState::Owned(0)));
@@ -960,26 +1202,33 @@ mod tests {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
         // Core 0 owns the block exclusively.
-        let out = bank.handle_msg(req_msg(0, blk(4), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(4), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(4), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(4), Payload::Unblock), &mut stats)
+            .unwrap();
         // Core 1 sends an UPGRADE while not a sharer (lost a race):
         // directory must treat it as GETX and pull data from the owner.
-        let out = bank.handle_msg(req_msg(1, blk(4), Payload::Upgrade), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(1, blk(4), Payload::Upgrade), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, Payload::FwdGetx));
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::L1(0),
-                dst: Endpoint::Dir(0),
-                block: blk(4),
-                payload: Payload::DataToDir {
-                    data: BlockData::zeroed(),
-                    retained: false,
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::L1(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(4),
+                    payload: Payload::DataToDir {
+                        data: BlockData::zeroed(),
+                        retained: false,
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         let (_, grant) = data_of(&out[0]);
         assert_eq!(grant, Grant::Modified);
         assert_eq!(bank.dir_state(blk(4)), Some(DirState::Owned(1)));
@@ -989,13 +1238,19 @@ mod tests {
     fn requests_queue_behind_busy_block() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(5), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(5), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
         // Transaction not yet unblocked: core 1's GETS must queue.
-        let out = bank.handle_msg(req_msg(1, blk(5), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(1, blk(5), Payload::Gets), &mut stats)
+            .unwrap();
         assert!(out.is_empty(), "queued request produced output");
         // Unblock releases it: owner forward goes out.
-        let out = bank.handle_msg(req_msg(0, blk(5), Payload::Unblock), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(5), Payload::Unblock), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, Payload::FwdGets));
     }
@@ -1004,12 +1259,17 @@ mod tests {
     fn putm_from_owner_updates_l2() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(6), Payload::Getx), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(6), Payload::Getx), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(6), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(6), Payload::Unblock), &mut stats)
+            .unwrap();
         let mut data = BlockData::zeroed();
         data.write_word(0, 8, 0xFEED);
-        let out = bank.handle_msg(req_msg(0, blk(6), Payload::PutM { data }), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(6), Payload::PutM { data }), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, Payload::WbAck));
         assert_eq!(bank.dir_state(blk(6)), Some(DirState::Np));
@@ -1020,11 +1280,16 @@ mod tests {
     fn stale_putm_is_acked_and_ignored() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(7), Payload::Getx), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(7), Payload::Getx), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(7), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(7), Payload::Unblock), &mut stats)
+            .unwrap();
         // Ownership moves to core 1.
-        let out = bank.handle_msg(req_msg(1, blk(7), Payload::Getx), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(1, blk(7), Payload::Getx), &mut stats)
+            .unwrap();
         assert!(matches!(out[0].payload, Payload::FwdGetx));
         let mut fresh = BlockData::zeroed();
         fresh.write_word(0, 8, 1);
@@ -1039,30 +1304,61 @@ mod tests {
                 },
             },
             &mut stats,
-        );
-        bank.handle_msg(req_msg(1, blk(7), Payload::Unblock), &mut stats);
+        )
+        .unwrap();
+        bank.handle_msg(req_msg(1, blk(7), Payload::Unblock), &mut stats)
+            .unwrap();
         // Core 0's stale PUTM (race loser) must be acked but not applied.
         let mut stale = BlockData::zeroed();
         stale.write_word(0, 8, 99);
-        let out = bank.handle_msg(
-            req_msg(0, blk(7), Payload::PutM { data: stale }),
-            &mut stats,
-        );
+        let out = bank
+            .handle_msg(
+                req_msg(0, blk(7), Payload::PutM { data: stale }),
+                &mut stats,
+            )
+            .unwrap();
         assert!(matches!(out[0].payload, Payload::WbAck));
         assert_eq!(bank.dir_state(blk(7)), Some(DirState::Owned(1)));
         assert_eq!(bank.peek_block(blk(7)).unwrap().read_word(0, 8), 1);
+        assert!(stats.coverage.dir_hits(DirRowId::PutMStale) > 0);
+    }
+
+    #[test]
+    fn stale_pute_is_acked_and_ignored() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        let mut stats = Stats::default();
+        let out = bank
+            .handle_msg(req_msg(0, blk(8), Payload::Gets), &mut stats)
+            .unwrap();
+        let _ = drive_mem(&mut bank, out, &mut stats);
+        bank.handle_msg(req_msg(0, blk(8), Payload::Unblock), &mut stats)
+            .unwrap();
+        assert_eq!(bank.dir_state(blk(8)), Some(DirState::Owned(0)));
+        // Core 3 never owned the block: its PUTE is acked (the L1 waits
+        // for the ack to clear its writeback buffer) but changes nothing.
+        let out = bank
+            .handle_msg(req_msg(3, blk(8), Payload::PutE), &mut stats)
+            .unwrap();
+        assert!(matches!(out[0].payload, Payload::WbAck));
+        assert_eq!(bank.dir_state(blk(8)), Some(DirState::Owned(0)));
+        assert!(stats.coverage.dir_hits(DirRowId::PutEStale) > 0);
     }
 
     #[test]
     fn pute_clears_owner_and_acks() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(9), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(9), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(9), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(9), Payload::Unblock), &mut stats)
+            .unwrap();
         assert_eq!(bank.dir_state(blk(9)), Some(DirState::Owned(0)));
         // Clean exclusive eviction: ownership clears, data stays valid.
-        let out = bank.handle_msg(req_msg(0, blk(9), Payload::PutE), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(9), Payload::PutE), &mut stats)
+            .unwrap();
         assert!(matches!(out[0].payload, Payload::WbAck));
         assert_eq!(bank.dir_state(blk(9)), Some(DirState::Np));
     }
@@ -1071,11 +1367,16 @@ mod tests {
     fn puts_from_last_sharer_returns_np() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(10), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(10), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(10), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(10), Payload::Unblock), &mut stats)
+            .unwrap();
         // Demote to Shared via second reader, then both PUTS.
-        let out = bank.handle_msg(req_msg(1, blk(10), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(1, blk(10), Payload::Gets), &mut stats)
+            .unwrap();
         assert!(matches!(out[0].payload, Payload::FwdGets));
         bank.handle_msg(
             Msg {
@@ -1088,12 +1389,17 @@ mod tests {
                 },
             },
             &mut stats,
-        );
-        bank.handle_msg(req_msg(1, blk(10), Payload::Unblock), &mut stats);
-        let out = bank.handle_msg(req_msg(0, blk(10), Payload::PutS), &mut stats);
+        )
+        .unwrap();
+        bank.handle_msg(req_msg(1, blk(10), Payload::Unblock), &mut stats)
+            .unwrap();
+        let out = bank
+            .handle_msg(req_msg(0, blk(10), Payload::PutS), &mut stats)
+            .unwrap();
         assert!(out.is_empty(), "PUTS is unacknowledged");
         assert_eq!(bank.dir_state(blk(10)), Some(DirState::Shared(0b10)));
-        bank.handle_msg(req_msg(1, blk(10), Payload::PutS), &mut stats);
+        bank.handle_msg(req_msg(1, blk(10), Payload::PutS), &mut stats)
+            .unwrap();
         assert_eq!(bank.dir_state(blk(10)), Some(DirState::Np));
     }
 
@@ -1101,15 +1407,20 @@ mod tests {
     fn stale_puts_from_nonsharer_is_ignored() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(11), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(11), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(11), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(11), Payload::Unblock), &mut stats)
+            .unwrap();
         // Core 5 never held the block: its (stale) PUTS must not corrupt
         // the owner tracking.
-        bank.handle_msg(req_msg(5, blk(11), Payload::PutS), &mut stats);
+        bank.handle_msg(req_msg(5, blk(11), Payload::PutS), &mut stats)
+            .unwrap();
         assert_eq!(bank.dir_state(blk(11)), Some(DirState::Owned(0)));
         // PUTS for an absent block is also harmless.
-        bank.handle_msg(req_msg(5, blk(999), Payload::PutS), &mut stats);
+        bank.handle_msg(req_msg(5, blk(999), Payload::PutS), &mut stats)
+            .unwrap();
         assert_eq!(bank.dir_state(blk(999)), None);
     }
 
@@ -1117,35 +1428,45 @@ mod tests {
     fn queued_requests_service_in_fifo_order() {
         let mut bank = DirBank::new(0, 16, 4, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(12), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(12), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
         // Two readers queue behind the busy block (no unblock yet).
         assert!(bank
             .handle_msg(req_msg(1, blk(12), Payload::Gets), &mut stats)
+            .unwrap()
             .is_empty());
         assert!(bank
             .handle_msg(req_msg(2, blk(12), Payload::Gets), &mut stats)
+            .unwrap()
             .is_empty());
         // Unblock: core 1's GETS is serviced first (FIFO).
-        let out = bank.handle_msg(req_msg(0, blk(12), Payload::Unblock), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(12), Payload::Unblock), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, Payload::FwdGets));
         assert_eq!(out[0].dst, Endpoint::L1(0));
         // Complete it; core 2 is next.
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::L1(0),
-                dst: Endpoint::Dir(0),
-                block: blk(12),
-                payload: Payload::DataToDir {
-                    data: BlockData::zeroed(),
-                    retained: true,
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::L1(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(12),
+                    payload: Payload::DataToDir {
+                        data: BlockData::zeroed(),
+                        retained: true,
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         assert_eq!(out[0].dst, Endpoint::L1(1));
-        let out = bank.handle_msg(req_msg(1, blk(12), Payload::Unblock), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(1, blk(12), Payload::Unblock), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 1, "core 2's queued GETS proceeds");
         assert!(matches!(out[0].payload, Payload::Data { .. }));
         assert_eq!(out[0].dst, Endpoint::L1(2));
@@ -1159,29 +1480,39 @@ mod tests {
         let mut stats = Stats::default();
         // Fills for blocks 0 and 1 reserve the two ways (MemRead pending,
         // no MemData yet).
-        let out0 = bank.handle_msg(req_msg(0, blk(0), Payload::Gets), &mut stats);
+        let out0 = bank
+            .handle_msg(req_msg(0, blk(0), Payload::Gets), &mut stats)
+            .unwrap();
         assert!(matches!(out0[0].payload, Payload::MemRead));
-        let out1 = bank.handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats);
+        let out1 = bank
+            .handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats)
+            .unwrap();
         assert!(matches!(out1[0].payload, Payload::MemRead));
         // Third request: both ways pinned -> no output, stalled.
-        let out2 = bank.handle_msg(req_msg(2, blk(2), Payload::Gets), &mut stats);
+        let out2 = bank
+            .handle_msg(req_msg(2, blk(2), Payload::Gets), &mut stats)
+            .unwrap();
         assert!(out2.is_empty(), "stalled fill must wait: {out2:?}");
         assert!(!bank.quiescent());
         // Block 0's fill completes and unblocks; the stalled fill retries
         // (recalling block 0, now owned by core 0).
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::Mem(0),
-                dst: Endpoint::Dir(0),
-                block: blk(0),
-                payload: Payload::MemData {
-                    data: BlockData::zeroed(),
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::Mem(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(0),
+                    payload: Payload::MemData {
+                        data: BlockData::zeroed(),
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         assert!(matches!(out[0].payload, Payload::Data { .. }));
-        let out = bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats)
+            .unwrap();
         // Retry: block 2 wants a way; block 0 (stable, Owned) is the
         // victim -> recall forward to core 0.
         assert!(
@@ -1189,6 +1520,7 @@ mod tests {
                 .any(|m| matches!(m.payload, Payload::FwdGetx) && m.block == blk(0)),
             "stalled request should retry via recall: {out:?}"
         );
+        assert!(stats.coverage.dir_hits(DirRowId::FillStalled) > 0);
     }
 
     #[test]
@@ -1196,35 +1528,49 @@ mod tests {
         // 1 set x 1 way forces a recall on the second distinct block.
         let mut bank = DirBank::new(0, 1, 1, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(0), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(0), Payload::Gets), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats)
+            .unwrap();
         // Demote to shared so the recall is an INV sweep: second sharer.
-        let _out = bank.handle_msg(req_msg(1, blk(0), Payload::Gets), &mut stats);
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::L1(0),
-                dst: Endpoint::Dir(0),
-                block: blk(0),
-                payload: Payload::DataToDir {
-                    data: BlockData::zeroed(),
-                    retained: true,
+        let _out = bank
+            .handle_msg(req_msg(1, blk(0), Payload::Gets), &mut stats)
+            .unwrap();
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::L1(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(0),
+                    payload: Payload::DataToDir {
+                        data: BlockData::zeroed(),
+                        retained: true,
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         assert_eq!(out.len(), 1);
-        bank.handle_msg(req_msg(1, blk(0), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(1, blk(0), Payload::Unblock), &mut stats)
+            .unwrap();
         // Block 1 maps to the same (only) set: recall of block 0 expected.
-        let out = bank.handle_msg(req_msg(2, blk(1), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(2, blk(1), Payload::Gets), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 2);
         assert!(out
             .iter()
             .all(|m| matches!(m.payload, Payload::Inv) && m.block == blk(0)));
         // Both sharers ack; the fill proceeds.
-        let out0 = bank.handle_msg(req_msg(0, blk(0), Payload::InvAck), &mut stats);
+        let out0 = bank
+            .handle_msg(req_msg(0, blk(0), Payload::InvAck), &mut stats)
+            .unwrap();
         assert!(out0.is_empty());
-        let out1 = bank.handle_msg(req_msg(1, blk(0), Payload::InvAck), &mut stats);
+        let out1 = bank
+            .handle_msg(req_msg(1, blk(0), Payload::InvAck), &mut stats)
+            .unwrap();
         let out = drive_mem(&mut bank, out1, &mut stats);
         assert_eq!(out.len(), 1);
         let (_, grant) = data_of(&out[0]);
@@ -1237,27 +1583,34 @@ mod tests {
     fn inclusion_recall_of_owned_victim_writes_back() {
         let mut bank = DirBank::new(0, 1, 1, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(0), Payload::Getx), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(0), Payload::Getx), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats);
+        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats)
+            .unwrap();
         // Block 1 forces recall of owned block 0.
-        let out = bank.handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats)
+            .unwrap();
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, Payload::FwdGetx) && out[0].block == blk(0));
         let mut dirty = BlockData::zeroed();
         dirty.write_word(8, 8, 0xAA);
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::L1(0),
-                dst: Endpoint::Dir(0),
-                block: blk(0),
-                payload: Payload::DataToDir {
-                    data: dirty,
-                    retained: false,
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::L1(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(0),
+                    payload: Payload::DataToDir {
+                        data: dirty,
+                        retained: false,
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         // Expect: MemWrite of victim + MemRead of block 1.
         let wrote_back = out.iter().any(|m| {
             matches!(m.payload, Payload::MemWrite { data } if data.read_word(8, 8) == 0xAA)
@@ -1273,32 +1626,43 @@ mod tests {
     fn queued_request_on_recall_victim_refetches() {
         let mut bank = DirBank::new(0, 1, 1, 1);
         let mut stats = Stats::default();
-        let out = bank.handle_msg(req_msg(0, blk(0), Payload::Getx), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(0, blk(0), Payload::Getx), &mut stats)
+            .unwrap();
         let _ = drive_mem(&mut bank, out, &mut stats);
-        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats);
-        let out = bank.handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats);
+        bank.handle_msg(req_msg(0, blk(0), Payload::Unblock), &mut stats)
+            .unwrap();
+        let out = bank
+            .handle_msg(req_msg(1, blk(1), Payload::Gets), &mut stats)
+            .unwrap();
         assert!(matches!(out[0].payload, Payload::FwdGetx));
         // While block 0 is being recalled, core 2 asks for it: queued.
-        let out = bank.handle_msg(req_msg(2, blk(0), Payload::Gets), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(2, blk(0), Payload::Gets), &mut stats)
+            .unwrap();
         assert!(out.is_empty());
         // Owner answers the recall; block 1 fill begins, and block 0's
         // queued GETS is only serviceable after the set frees up again —
         // it lands in the stalled list until block 1's txn completes.
-        let out = bank.handle_msg(
-            Msg {
-                src: Endpoint::L1(0),
-                dst: Endpoint::Dir(0),
-                block: blk(0),
-                payload: Payload::DataToDir {
-                    data: BlockData::zeroed(),
-                    retained: false,
+        let out = bank
+            .handle_msg(
+                Msg {
+                    src: Endpoint::L1(0),
+                    dst: Endpoint::Dir(0),
+                    block: blk(0),
+                    payload: Payload::DataToDir {
+                        data: BlockData::zeroed(),
+                        retained: false,
+                    },
                 },
-            },
-            &mut stats,
-        );
+                &mut stats,
+            )
+            .unwrap();
         let out = drive_mem(&mut bank, out, &mut stats);
         assert_eq!(out.len(), 1, "block 1 data grant");
-        let out = bank.handle_msg(req_msg(1, blk(1), Payload::Unblock), &mut stats);
+        let out = bank
+            .handle_msg(req_msg(1, blk(1), Payload::Unblock), &mut stats)
+            .unwrap();
         // Now block 0's GETS retries: it recalls block 1... which has an
         // owner? No — block 1 was granted Exclusive to core 1, so recall
         // forwards to it.

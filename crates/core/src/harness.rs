@@ -15,8 +15,11 @@
 //! (issue an access, deliver a message, fire a GI timeout); the harness
 //! applies it and reports invariant violations as [`Violation`] values
 //! instead of panicking, so the checker can turn them into shrunk
-//! counterexamples. Controller-internal `panic!`s (unhandled protocol
-//! races) still propagate and are caught by the checker separately.
+//! counterexamples. A controller that reaches a `(state, event)` pair
+//! with no transition-table row returns a typed
+//! [`crate::proto::ProtocolError`], surfaced here as
+//! [`Violation::Protocol`]; only caller-contract bugs still panic (and
+//! are caught by the checker separately).
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::hash::{Hash, Hasher};
@@ -27,6 +30,7 @@ use crate::config::GiStorePolicy;
 use crate::dir::{DirBank, DirState};
 use crate::l1::{home_bank, AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
 use crate::msg::{Endpoint, Msg, Payload};
+use crate::proto::ProtocolError;
 use crate::stats::Stats;
 
 /// Static shape of a harness system.
@@ -48,6 +52,9 @@ pub struct SystemConfig {
     pub gw: Option<GwParams>,
     /// Use the MSI protocol family (no Exclusive grants).
     pub msi: bool,
+    /// Transition-table row (by name) deleted for mutation testing:
+    /// firing it becomes a [`Violation::Protocol`].
+    pub disabled_row: Option<&'static str>,
 }
 
 impl Default for SystemConfig {
@@ -61,6 +68,7 @@ impl Default for SystemConfig {
             l2_ways: 2,
             gw: None,
             msi: false,
+            disabled_row: None,
         }
     }
 }
@@ -162,6 +170,9 @@ pub enum Violation {
         new: u64,
         d: u8,
     },
+    /// A controller hit a `(state, event)` pair with no transition-table
+    /// row — a missing or deleted row in `core::proto`.
+    Protocol(ProtocolError),
 }
 
 impl std::fmt::Display for Violation {
@@ -263,6 +274,7 @@ impl std::fmt::Display for Violation {
                 "core {core} block {block}: scribble {old} -> {new} serviced hidden \
                  but is outside d={d}"
             ),
+            Violation::Protocol(e) => write!(f, "{e}"),
         }
     }
 }
@@ -314,12 +326,22 @@ impl System {
     /// Builds a quiescent system of `cfg`'s shape.
     pub fn new(cfg: SystemConfig) -> Self {
         assert!(cfg.cores >= 1 && cfg.blocks >= 1);
-        let l1s = (0..cfg.cores)
+        let mut l1s: Vec<L1Cache> = (0..cfg.cores)
             .map(|c| L1Cache::new(c, cfg.l1_sets, cfg.l1_ways, cfg.cores, cfg.gw, false))
             .collect();
-        let banks = (0..cfg.cores)
+        let mut banks: Vec<DirBank> = (0..cfg.cores)
             .map(|b| DirBank::with_base(b, cfg.l2_sets, cfg.l2_ways, 1, !cfg.msi))
             .collect();
+        if let Some(name) = cfg.disabled_row {
+            let mut known = false;
+            for l1 in &mut l1s {
+                known |= l1.disable_row(name);
+            }
+            for bank in &mut banks {
+                known |= bank.disable_row(name);
+            }
+            assert!(known, "no protocol row named {name:?}");
+        }
         Self {
             l1s,
             banks,
@@ -526,7 +548,9 @@ impl System {
             value,
             kind,
         };
-        let outs = self.l1s[core].access(req, &mut self.stats);
+        let outs = self.l1s[core]
+            .access(req, &mut self.stats)
+            .map_err(Violation::Protocol)?;
         let replied = outs.iter().any(|o| matches!(o, L1Out::Reply { .. }));
         let post_state = self.l1s[core].state_of(block);
 
@@ -594,11 +618,15 @@ impl System {
         }
         match msg.dst {
             Endpoint::L1(core) => {
-                let outs = self.l1s[core].handle_msg(msg, &mut self.stats);
+                let outs = self.l1s[core]
+                    .handle_msg(msg, &mut self.stats)
+                    .map_err(Violation::Protocol)?;
                 self.handle_l1_outs(core, outs)?;
             }
             Endpoint::Dir(bank) => {
-                let outs = self.banks[bank].handle_msg(msg, &mut self.stats);
+                let outs = self.banks[bank]
+                    .handle_msg(msg, &mut self.stats)
+                    .map_err(Violation::Protocol)?;
                 for m in outs {
                     self.enqueue(m);
                 }
@@ -622,14 +650,18 @@ impl System {
 
     /// Fires the periodic GI timeout on `core`: every GI line reverts to
     /// I, forfeiting hidden updates (paper §3.2).
-    pub fn gi_timeout(&mut self, core: usize) {
-        self.l1s[core].gi_timeout_sweep(&mut self.stats);
+    pub fn gi_timeout(&mut self, core: usize) -> Result<(), Violation> {
+        self.l1s[core]
+            .gi_timeout_sweep(&mut self.stats)
+            .map_err(Violation::Protocol)
     }
 
     /// Context-switch forfeit on `core` (paper §3.5): GS/GI lines revert
     /// to I; GS lines notify the directory with PutS.
     pub fn context_switch(&mut self, core: usize) -> Result<(), Violation> {
-        let outs = self.l1s[core].context_switch_forfeit(&mut self.stats);
+        let outs = self.l1s[core]
+            .context_switch_forfeit(&mut self.stats)
+            .map_err(Violation::Protocol)?;
         self.handle_l1_outs(core, outs)
     }
 

@@ -27,6 +27,7 @@ use std::collections::HashMap;
 
 use crate::config::GiStorePolicy;
 use crate::msg::{Endpoint, Grant, Msg, Payload};
+use crate::proto::{Controller, Homing, L1RowId, L1RowSet, ProtocolError};
 use crate::scribe::ScribePolicy;
 use crate::stats::Stats;
 
@@ -140,16 +141,23 @@ pub struct L1Cache {
     wb_buffer: HashMap<BlockAddr, WbEntry>,
     gw: Option<GwParams>,
     collect_similarity: bool,
-    home_of: fn(BlockAddr, usize) -> usize,
-    banks: usize,
+    homing: Homing,
+    /// The live transition-table subset for this configuration
+    /// (`core::proto`): MESI/ablation variants are row deltas, and the
+    /// guards below consult this set instead of config flags.
+    rows: L1RowSet,
+    /// Row deleted by a checker mutation (`delete-row:<name>`); firing
+    /// it raises a [`ProtocolError`].
+    disabled: Option<L1RowId>,
 }
 
 impl std::hash::Hash for L1Cache {
     /// Architectural-state hash for the model checker's visited set.
     ///
-    /// `home_of` is a fn pointer fixed per configuration and
-    /// `collect_similarity` only gates write-only statistics; neither can
-    /// influence a future protocol transition, so both are excluded.
+    /// `collect_similarity` only gates write-only statistics and `rows`/
+    /// `disabled` are fixed per configuration (derived from `gw` and the
+    /// mutation under test); none can diverge between two states of one
+    /// search, so they are excluded.
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.core.hash(state);
         self.cache.hash(state);
@@ -158,13 +166,13 @@ impl std::hash::Hash for L1Cache {
         wb.sort_by_key(|(b, _)| **b);
         wb.hash(state);
         self.gw.hash(state);
-        self.banks.hash(state);
+        self.homing.hash(state);
     }
 }
 
 /// Home L2 bank of a block: low-order interleave across banks.
 pub fn home_bank(block: BlockAddr, banks: usize) -> usize {
-    (block.index() % banks as u64) as usize
+    Homing::new(banks).home(block)
 }
 
 impl L1Cache {
@@ -185,9 +193,49 @@ impl L1Cache {
             wb_buffer: HashMap::new(),
             gw,
             collect_similarity,
-            home_of: home_bank,
-            banks,
+            homing: Homing::new(banks),
+            rows: L1RowSet::for_config(gw.as_ref()),
+            disabled: None,
         }
+    }
+
+    /// Deletes the named table row (checker mutation support): the next
+    /// time the row fires, the controller reports a [`ProtocolError`]
+    /// instead of transitioning. Returns false for names that are not L1
+    /// rows.
+    pub fn disable_row(&mut self, name: &str) -> bool {
+        match L1RowId::by_name(name) {
+            Some(id) => {
+                self.disabled = Some(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn ctl(&self) -> Controller {
+        Controller::L1 { core: self.core }
+    }
+
+    /// Table dispatch: records the row hit in the coverage counters and
+    /// refuses to fire a row deleted by a checker mutation.
+    fn row(&self, id: L1RowId, stats: &mut Stats) -> Result<(), ProtocolError> {
+        stats.coverage.l1[id as usize] += 1;
+        if self.disabled == Some(id) {
+            return Err(ProtocolError::row(
+                self.ctl(),
+                id.name(),
+                "row deleted by mutation",
+            ));
+        }
+        Ok(())
+    }
+
+    /// An error (`Reach::Never`) row fired: record the hit and build the
+    /// protocol error the caller returns.
+    fn error(&self, id: L1RowId, stats: &mut Stats, detail: impl Into<String>) -> ProtocolError {
+        stats.coverage.l1[id as usize] += 1;
+        ProtocolError::row(self.ctl(), id.name(), detail)
     }
 
     /// Core index of this L1.
@@ -220,7 +268,7 @@ impl L1Cache {
     }
 
     fn msg(&self, block: BlockAddr, payload: Payload) -> Msg {
-        let dst = Endpoint::Dir((self.home_of)(block, self.banks));
+        let dst = Endpoint::Dir(self.homing.home(block));
         Msg {
             src: Endpoint::L1(self.core),
             dst,
@@ -232,7 +280,10 @@ impl L1Cache {
     /// Handles a demand access from the core. Returns either a same-cycle
     /// `Reply` (hit) or the messages of a coherence transaction (miss);
     /// in the latter case the core blocks until the fill completes.
-    pub fn access(&mut self, req: CoreReq, stats: &mut Stats) -> Vec<L1Out> {
+    ///
+    /// `Err` means the transition table has no row for what happened — a
+    /// protocol error the harness surfaces as a violation.
+    pub fn access(&mut self, req: CoreReq, stats: &mut Stats) -> Result<Vec<L1Out>, ProtocolError> {
         assert!(
             self.pending.is_none(),
             "core {} issued a second outstanding access",
@@ -275,29 +326,43 @@ impl L1Cache {
         stats.energy_events.l1_tag_probes += 1;
         let mut out = Vec::new();
         let way = match self.cache.lookup_for_insert(block) {
-            LookupResult::Hit { .. } => unreachable!("probe said absent"),
+            LookupResult::Hit { .. } => {
+                return Err(ProtocolError::internal(
+                    self.ctl(),
+                    format!("lookup hit on {block:?} after probe said absent"),
+                ))
+            }
             LookupResult::Free { way } => way,
             LookupResult::Victim { way, block: victim } => {
-                self.evict(victim, stats, &mut out);
+                self.evict(victim, stats, &mut out)?;
                 way
             }
         };
-        let (state, payload) = if req.kind.is_store_like() {
+        let (row, state, payload) = if req.kind.is_store_like() {
+            (L1RowId::MissStore, L1State::ImAd, Payload::Getx)
+        } else {
+            (L1RowId::MissLoad, L1State::IsD, Payload::Gets)
+        };
+        self.row(row, stats)?;
+        if req.kind.is_store_like() {
             stats.l1_store_misses += 1;
-            (L1State::ImAd, Payload::Getx)
         } else {
             stats.l1_load_misses += 1;
-            (L1State::IsD, Payload::Gets)
-        };
+        }
         self.cache
             .insert_at(way, block, L1Meta::new(state), BlockData::zeroed());
         self.pending = Some(req);
         out.push(L1Out::Send(self.msg(block, payload)));
-        out
+        Ok(out)
     }
 
     /// Demand access when the block's tag is present in state `state`.
-    fn access_tagged(&mut self, req: CoreReq, state: L1State, stats: &mut Stats) -> Vec<L1Out> {
+    fn access_tagged(
+        &mut self,
+        req: CoreReq,
+        state: L1State,
+        stats: &mut Stats,
+    ) -> Result<Vec<L1Out>, ProtocolError> {
         let block = req.addr.block();
         let offset = req.addr.offset();
         let size = req.size as usize;
@@ -324,29 +389,36 @@ impl L1Cache {
         match req.kind {
             AccessKind::Load => match state {
                 L1State::S | L1State::E | L1State::M | L1State::Gs => {
+                    self.row(L1RowId::LoadHit, stats)?;
                     stats.l1_load_hits += 1;
                     stats.energy_events.l1_reads += 1;
                     self.cache.touch(block);
                     let v = self.cache.get(block).unwrap().data.read_word(offset, size);
-                    vec![L1Out::Reply { value: v }]
+                    Ok(vec![L1Out::Reply { value: v }])
                 }
                 L1State::Gi => {
+                    self.row(L1RowId::LoadHitGi, stats)?;
                     stats.l1_load_hits += 1;
                     stats.gi_load_hits += 1;
                     stats.energy_events.l1_reads += 1;
                     self.cache.touch(block);
                     let v = self.cache.get(block).unwrap().data.read_word(offset, size);
-                    vec![L1Out::Reply { value: v }]
+                    Ok(vec![L1Out::Reply { value: v }])
                 }
                 L1State::I => {
                     // Coherence (or capacity-invalidated) load miss.
+                    self.row(L1RowId::LoadInvalid, stats)?;
                     stats.l1_load_misses += 1;
                     stats.energy_events.l1_tag_probes += 1;
                     self.cache.get_mut(block).unwrap().meta.state = L1State::IsD;
                     self.pending = Some(req);
-                    vec![L1Out::Send(self.msg(block, Payload::Gets))]
+                    Ok(vec![L1Out::Send(self.msg(block, Payload::Gets))])
                 }
-                t => panic!("core {}: load while transient {t:?}", self.core),
+                t => Err(self.error(
+                    L1RowId::LoadTransient,
+                    stats,
+                    format!("load while transient {t:?}"),
+                )),
             },
 
             AccessKind::Store | AccessKind::Scribble { .. } => {
@@ -356,13 +428,15 @@ impl L1Cache {
                 };
                 match state {
                     L1State::M => {
+                        self.row(L1RowId::StoreHitM, stats)?;
                         self.write_hit(block, offset, size, req.value, stats);
-                        vec![L1Out::Reply { value: 0 }]
+                        Ok(vec![L1Out::Reply { value: 0 }])
                     }
                     L1State::E => {
+                        self.row(L1RowId::StoreHitE, stats)?;
                         self.write_hit(block, offset, size, req.value, stats);
                         self.cache.get_mut(block).unwrap().meta.state = L1State::M;
-                        vec![L1Out::Reply { value: 0 }]
+                        Ok(vec![L1Out::Reply { value: 0 }])
                     }
                     L1State::Gi => {
                         // Fig. 3/Fig. 5: loads, conventional stores and
@@ -377,9 +451,13 @@ impl L1Cache {
                         // local updates).
                         let gw = self.gw;
                         let pass = match (d, &gw) {
+                            // A failing scribble only breaks the window
+                            // when the GI-break row is live (Fallback);
+                            // under Capture the table deletes it and the
+                            // scribble is captured like a store.
                             (Some(d), Some(gw)) => {
                                 bound_ok(&self.cache.get(block).unwrap().meta, gw)
-                                    && (gw.gi_stores == GiStorePolicy::Capture
+                                    && (!self.rows.contains(L1RowId::GiBreak)
                                         || scribble_pass(
                                             &self.cache.get(block).unwrap().data,
                                             d,
@@ -388,45 +466,56 @@ impl L1Cache {
                             }
                             // Conventional store: Fig. 3 Store self-loop.
                             (None, _) => true,
-                            (Some(_), None) => unreachable!("GI line without GW params"),
+                            (Some(_), None) => {
+                                return Err(ProtocolError::internal(
+                                    self.ctl(),
+                                    format!("GI line {block:?} without GW params"),
+                                ))
+                            }
                         };
                         if pass {
+                            self.row(L1RowId::GiStoreHit, stats)?;
                             stats.gi_store_hits += 1;
                             self.write_hit(block, offset, size, req.value, stats);
                             self.cache.get_mut(block).unwrap().meta.hidden_writes += 1;
-                            vec![L1Out::Reply { value: 0 }]
+                            Ok(vec![L1Out::Reply { value: 0 }])
                         } else {
+                            self.row(L1RowId::GiBreak, stats)?;
                             stats.stores_on_invalid_tagged += 1;
                             stats.l1_store_misses += 1;
                             stats.energy_events.l1_tag_probes += 1;
                             stats.gi_breaks += 1;
                             self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd;
                             self.pending = Some(req);
-                            vec![L1Out::Send(self.msg(block, Payload::Getx))]
+                            Ok(vec![L1Out::Send(self.msg(block, Payload::Getx))])
                         }
                     }
                     L1State::S => {
+                        // The S→GS entry row is a table delta: removed
+                        // under the baseline and the no-GS ablation.
                         let gw = self.gw;
-                        let pass = matches!((d, &gw), (Some(d), Some(gw))
-                            if gw.enable_gs
-                            && bound_ok(&self.cache.get(block).unwrap().meta, gw)
-                            && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
+                        let pass = self.rows.contains(L1RowId::EnterGs)
+                            && matches!((d, &gw), (Some(d), Some(gw))
+                                if bound_ok(&self.cache.get(block).unwrap().meta, gw)
+                                && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
                         if pass {
                             // S → GS: write locally, no coherence actions.
+                            self.row(L1RowId::EnterGs, stats)?;
                             stats.serviced_by_gs += 1;
                             self.write_hit(block, offset, size, req.value, stats);
                             let meta = &mut self.cache.get_mut(block).unwrap().meta;
                             meta.state = L1State::Gs;
                             meta.hidden_writes += 1;
-                            vec![L1Out::Reply { value: 0 }]
+                            Ok(vec![L1Out::Reply { value: 0 }])
                         } else {
                             // Conventional path: UPGRADE.
+                            self.row(L1RowId::UpgradeFromS, stats)?;
                             stats.upgrades_from_s += 1;
                             stats.l1_store_misses += 1;
                             stats.energy_events.l1_tag_probes += 1;
                             self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
                             self.pending = Some(req);
-                            vec![L1Out::Send(self.msg(block, Payload::Upgrade))]
+                            Ok(vec![L1Out::Send(self.msg(block, Payload::Upgrade))])
                         }
                     }
                     L1State::Gs => {
@@ -435,46 +524,56 @@ impl L1Cache {
                             if bound_ok(&self.cache.get(block).unwrap().meta, gw)
                             && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
                         if pass {
+                            self.row(L1RowId::GsHit, stats)?;
                             stats.gs_hits += 1;
                             self.write_hit(block, offset, size, req.value, stats);
                             self.cache.get_mut(block).unwrap().meta.hidden_writes += 1;
-                            vec![L1Out::Reply { value: 0 }]
+                            Ok(vec![L1Out::Reply { value: 0 }])
                         } else {
                             // Conventional store from GS publishes the
                             // locally modified block via UPGRADE (Fig. 3:
                             // GS --Store/UPGRADE--> M).
+                            self.row(L1RowId::UpgradeFromGs, stats)?;
                             stats.upgrades_from_gs += 1;
                             stats.l1_store_misses += 1;
                             stats.energy_events.l1_tag_probes += 1;
                             self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
                             self.pending = Some(req);
-                            vec![L1Out::Send(self.msg(block, Payload::Upgrade))]
+                            Ok(vec![L1Out::Send(self.msg(block, Payload::Upgrade))])
                         }
                     }
                     L1State::I => {
+                        // The I→GI entry row is a table delta: removed
+                        // under the baseline and the no-GI ablation.
                         let gw = self.gw;
-                        let pass = matches!((d, &gw), (Some(d), Some(gw))
-                            if gw.enable_gi
-                            && bound_ok(&self.cache.get(block).unwrap().meta, gw)
-                            && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
+                        let pass = self.rows.contains(L1RowId::EnterGi)
+                            && matches!((d, &gw), (Some(d), Some(gw))
+                                if bound_ok(&self.cache.get(block).unwrap().meta, gw)
+                                && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
                         if pass {
                             // I → GI: write over the stale data, no GETX.
+                            self.row(L1RowId::EnterGi, stats)?;
                             stats.serviced_by_gi += 1;
                             self.write_hit(block, offset, size, req.value, stats);
                             let meta = &mut self.cache.get_mut(block).unwrap().meta;
                             meta.state = L1State::Gi;
                             meta.hidden_writes += 1;
-                            vec![L1Out::Reply { value: 0 }]
+                            Ok(vec![L1Out::Reply { value: 0 }])
                         } else {
+                            self.row(L1RowId::StoreInvalid, stats)?;
                             stats.stores_on_invalid_tagged += 1;
                             stats.l1_store_misses += 1;
                             stats.energy_events.l1_tag_probes += 1;
                             self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd;
                             self.pending = Some(req);
-                            vec![L1Out::Send(self.msg(block, Payload::Getx))]
+                            Ok(vec![L1Out::Send(self.msg(block, Payload::Getx))])
                         }
                     }
-                    t => panic!("core {}: store while transient {t:?}", self.core),
+                    t => Err(self.error(
+                        L1RowId::StoreTransient,
+                        stats,
+                        format!("store while transient {t:?}"),
+                    )),
                 }
             }
         }
@@ -499,10 +598,16 @@ impl L1Cache {
     }
 
     /// Evicts `victim` per its state, appending any protocol messages.
-    fn evict(&mut self, victim: BlockAddr, stats: &mut Stats, out: &mut Vec<L1Out>) {
+    fn evict(
+        &mut self,
+        victim: BlockAddr,
+        stats: &mut Stats,
+        out: &mut Vec<L1Out>,
+    ) -> Result<(), ProtocolError> {
         let line = self.cache.remove(victim).expect("victim resident");
         match line.meta.state {
             L1State::M => {
+                self.row(L1RowId::EvictM, stats)?;
                 stats.energy_events.l1_reads += 1;
                 assert!(
                     self.wb_buffer
@@ -515,6 +620,7 @@ impl L1Cache {
                 ));
             }
             L1State::E => {
+                self.row(L1RowId::EvictE, stats)?;
                 assert!(self
                     .wb_buffer
                     .insert(victim, WbEntry { data: line.data })
@@ -522,109 +628,155 @@ impl L1Cache {
                 out.push(L1Out::Send(self.msg(victim, Payload::PutE)));
             }
             L1State::S => {
+                self.row(L1RowId::EvictS, stats)?;
                 out.push(L1Out::Send(self.msg(victim, Payload::PutS)));
             }
             L1State::Gs => {
                 // Scribbled updates are forfeited (paper §3.5); tell the
                 // directory we are no longer a sharer.
+                self.row(L1RowId::EvictGs, stats)?;
                 stats.approx_evictions += 1;
                 out.push(L1Out::Send(self.msg(victim, Payload::PutS)));
             }
             L1State::Gi => {
                 // Untracked: drop silently, updates forfeited.
+                self.row(L1RowId::EvictGi, stats)?;
                 stats.approx_evictions += 1;
             }
-            L1State::I => {}
-            t => unreachable!("transient line {t:?} chosen as victim"),
+            L1State::I => self.row(L1RowId::EvictI, stats)?,
+            t => {
+                return Err(self.error(
+                    L1RowId::EvictTransient,
+                    stats,
+                    format!("transient line {t:?} chosen as victim"),
+                ))
+            }
         }
+        Ok(())
     }
 
     /// Handles a protocol message addressed to this L1.
-    pub fn handle_msg(&mut self, msg: Msg, stats: &mut Stats) -> Vec<L1Out> {
+    ///
+    /// `Err` means the transition table has no row for `(state, payload)`
+    /// — a protocol error the harness surfaces as a violation.
+    pub fn handle_msg(&mut self, msg: Msg, stats: &mut Stats) -> Result<Vec<L1Out>, ProtocolError> {
         let block = msg.block;
         let dir = msg.src;
         match msg.payload {
             Payload::Inv => {
                 stats.energy_events.l1_tag_probes += 1;
-                if let Some(line) = self.cache.get_mut(block) {
-                    match line.meta.state {
-                        L1State::S => line.meta.state = L1State::I,
-                        L1State::Gs => {
-                            line.meta.state = L1State::I;
-                            stats.gs_invalidations += 1;
-                        }
-                        // UPGRADE lost the race: the directory will answer
-                        // it with data; wait in IM_AD.
-                        L1State::SmA => line.meta.state = L1State::ImAd,
-                        // Our own GETS/GETX is queued behind the
-                        // invalidating transaction; the INV targeted the
-                        // copy we since dropped. Ack and keep waiting.
-                        L1State::IsD | L1State::ImAd | L1State::I => {}
-                        t @ (L1State::E | L1State::M | L1State::Gi) => {
-                            panic!("core {}: INV in state {t:?}", self.core)
-                        }
+                let row = match self.cache.get(block).map(|l| l.meta.state) {
+                    Some(L1State::S) => L1RowId::InvSharer,
+                    Some(L1State::Gs) => L1RowId::InvGs,
+                    // UPGRADE lost the race: the directory will answer
+                    // it with data; wait in IM_AD.
+                    Some(L1State::SmA) => L1RowId::InvSmA,
+                    // Our own GETS/GETX is queued behind the
+                    // invalidating transaction; the INV targeted the
+                    // copy we since dropped (or the tag is gone
+                    // entirely). Ack and keep waiting.
+                    Some(L1State::IsD | L1State::ImAd | L1State::I) | None => L1RowId::InvStale,
+                    Some(t @ (L1State::E | L1State::M | L1State::Gi)) => {
+                        return Err(self.error(
+                            L1RowId::InvWriter,
+                            stats,
+                            format!("INV in state {t:?}"),
+                        ))
                     }
+                };
+                self.row(row, stats)?;
+                match row {
+                    L1RowId::InvSharer => {
+                        self.cache.get_mut(block).unwrap().meta.state = L1State::I
+                    }
+                    L1RowId::InvGs => {
+                        self.cache.get_mut(block).unwrap().meta.state = L1State::I;
+                        stats.gs_invalidations += 1;
+                    }
+                    L1RowId::InvSmA => {
+                        self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd
+                    }
+                    _ => {}
                 }
-                vec![L1Out::Send(Msg {
+                Ok(vec![L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
                     payload: Payload::InvAck,
-                })]
+                })])
             }
             Payload::FwdGets => {
-                let (data, retained) = self.forward_data(block, true, stats);
-                vec![L1Out::Send(Msg {
+                let (data, retained) = self.forward_data(block, true, stats)?;
+                Ok(vec![L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
                     payload: Payload::DataToDir { data, retained },
-                })]
+                })])
             }
             Payload::FwdGetx => {
-                let (data, retained) = self.forward_data(block, false, stats);
+                let (data, retained) = self.forward_data(block, false, stats)?;
                 debug_assert!(!retained);
-                vec![L1Out::Send(Msg {
+                Ok(vec![L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
                     payload: Payload::DataToDir { data, retained },
-                })]
+                })])
             }
             Payload::Data { data, grant } => {
-                let req = self
-                    .pending
-                    .take()
-                    .unwrap_or_else(|| panic!("core {}: DATA with no pending miss", self.core));
-                assert_eq!(req.addr.block(), block, "DATA for wrong block");
+                let req = match self.pending.take() {
+                    Some(req) => req,
+                    None => {
+                        return Err(self.error(
+                            L1RowId::DataUnexpected,
+                            stats,
+                            format!("DATA for {block:?} with no pending miss"),
+                        ))
+                    }
+                };
+                if req.addr.block() != block {
+                    return Err(self.error(
+                        L1RowId::DataUnexpected,
+                        stats,
+                        format!("DATA for {block:?} while missing on {:?}", req.addr.block()),
+                    ));
+                }
+                let row = match (self.cache.get(block).map(|l| l.meta.state), grant) {
+                    (Some(L1State::IsD), Grant::Shared) => L1RowId::DataFillShared,
+                    (Some(L1State::IsD), Grant::Exclusive) => L1RowId::DataFillExcl,
+                    (Some(L1State::ImAd | L1State::SmA), Grant::Modified) => L1RowId::DataFillM,
+                    (t, g) => {
+                        return Err(self.error(
+                            L1RowId::DataUnexpected,
+                            stats,
+                            format!("DATA with grant {g:?} in state {t:?}"),
+                        ))
+                    }
+                };
+                self.row(row, stats)?;
                 stats.energy_events.l1_writes += 1; // line fill
                 let line = self.cache.get_mut(block).expect("miss line allocated");
-                let value;
-                match line.meta.state {
-                    L1State::IsD => {
-                        assert!(!matches!(grant, Grant::Modified));
-                        line.meta.hidden_writes = 0;
-                        line.data = data;
-                        line.meta.state = match grant {
-                            Grant::Shared => L1State::S,
-                            Grant::Exclusive => L1State::E,
-                            Grant::Modified => unreachable!(),
-                        };
-                        value = line.data.read_word(req.addr.offset(), req.size as usize);
+                line.meta.hidden_writes = 0;
+                line.data = data;
+                let value = match row {
+                    L1RowId::DataFillShared => {
+                        line.meta.state = L1State::S;
+                        line.data.read_word(req.addr.offset(), req.size as usize)
                     }
-                    L1State::ImAd | L1State::SmA => {
-                        assert!(matches!(grant, Grant::Modified));
-                        line.meta.hidden_writes = 0;
-                        line.data = data;
+                    L1RowId::DataFillExcl => {
+                        line.meta.state = L1State::E;
+                        line.data.read_word(req.addr.offset(), req.size as usize)
+                    }
+                    _ => {
                         line.data
                             .write_word(req.addr.offset(), req.size as usize, req.value);
                         line.meta.state = L1State::M;
-                        value = 0;
+                        0
                     }
-                    t => panic!("core {}: DATA in state {t:?}", self.core),
-                }
+                };
                 self.cache.touch(block);
-                vec![
+                Ok(vec![
                     L1Out::Send(Msg {
                         src: Endpoint::L1(self.core),
                         dst: dir,
@@ -632,17 +784,42 @@ impl L1Cache {
                         payload: Payload::Unblock,
                     }),
                     L1Out::Reply { value },
-                ]
+                ])
             }
             Payload::UpgAck => {
-                let req = self
-                    .pending
-                    .take()
-                    .unwrap_or_else(|| panic!("core {}: UPG_ACK with no pending", self.core));
-                assert_eq!(req.addr.block(), block);
+                let req = match self.pending.take() {
+                    Some(req) => req,
+                    None => {
+                        return Err(self.error(
+                            L1RowId::UpgAckUnexpected,
+                            stats,
+                            format!("UPG_ACK for {block:?} with no pending"),
+                        ))
+                    }
+                };
+                if req.addr.block() != block {
+                    return Err(self.error(
+                        L1RowId::UpgAckUnexpected,
+                        stats,
+                        format!(
+                            "UPG_ACK for {block:?} while missing on {:?}",
+                            req.addr.block()
+                        ),
+                    ));
+                }
+                match self.cache.get(block).map(|l| l.meta.state) {
+                    Some(L1State::SmA) => {}
+                    t => {
+                        return Err(self.error(
+                            L1RowId::UpgAckUnexpected,
+                            stats,
+                            format!("UPG_ACK in state {t:?} (outside SM_A)"),
+                        ))
+                    }
+                }
+                self.row(L1RowId::UpgAck, stats)?;
                 stats.energy_events.l1_writes += 1;
                 let line = self.cache.get_mut(block).expect("upgrading line present");
-                assert_eq!(line.meta.state, L1State::SmA, "UPG_ACK outside SM_A");
                 // Keep the (possibly scribbled) block contents and apply
                 // the store: the locally modified data is published —
                 // a coherent resync for the §3.5 error bound.
@@ -651,7 +828,7 @@ impl L1Cache {
                 line.meta.state = L1State::M;
                 line.meta.hidden_writes = 0;
                 self.cache.touch(block);
-                vec![
+                Ok(vec![
                     L1Out::Send(Msg {
                         src: Endpoint::L1(self.core),
                         dst: dir,
@@ -659,15 +836,24 @@ impl L1Cache {
                         payload: Payload::Unblock,
                     }),
                     L1Out::Reply { value: 0 },
-                ]
+                ])
             }
-            Payload::WbAck => {
-                self.wb_buffer
-                    .remove(&block)
-                    .unwrap_or_else(|| panic!("core {}: WB_ACK without buffer entry", self.core));
-                vec![]
-            }
-            p => panic!("core {}: unexpected message {}", self.core, p.name()),
+            Payload::WbAck => match self.wb_buffer.remove(&block) {
+                Some(_) => {
+                    self.row(L1RowId::WbAck, stats)?;
+                    Ok(vec![])
+                }
+                None => Err(self.error(
+                    L1RowId::WbAckUnexpected,
+                    stats,
+                    format!("WB_ACK for {block:?} without buffer entry"),
+                )),
+            },
+            ref p => Err(self.error(
+                L1RowId::L1UnexpectedMsg,
+                stats,
+                format!("unexpected message {}", p.name()),
+            )),
         }
     }
 
@@ -684,10 +870,11 @@ impl L1Cache {
         block: BlockAddr,
         downgrade_to_s: bool,
         stats: &mut Stats,
-    ) -> (BlockData, bool) {
+    ) -> Result<(BlockData, bool), ProtocolError> {
         if let Some(entry) = self.wb_buffer.get(&block) {
             // The eviction raced with the forward; answer from the buffer
             // and let the queued PUT be acked as stale.
+            let data = entry.data;
             if let Some(line) = self.cache.get(block) {
                 debug_assert!(
                     matches!(line.meta.state, L1State::IsD | L1State::ImAd),
@@ -696,24 +883,37 @@ impl L1Cache {
                     line.meta.state
                 );
             }
-            return (entry.data, false);
+            self.row(L1RowId::FwdWbRace, stats)?;
+            return Ok((data, false));
         }
-        if let Some(line) = self.cache.get_mut(block) {
-            match line.meta.state {
-                L1State::E | L1State::M => {
-                    stats.energy_events.l1_reads += 1;
-                    let data = line.data;
-                    line.meta.state = if downgrade_to_s {
-                        L1State::S
-                    } else {
-                        L1State::I
-                    };
-                    (data, downgrade_to_s)
-                }
-                t => panic!("core {}: forward in state {t:?}", self.core),
+        match self.cache.get(block).map(|l| l.meta.state) {
+            Some(L1State::E | L1State::M) => {
+                let row = if downgrade_to_s {
+                    L1RowId::FwdGetsOwner
+                } else {
+                    L1RowId::FwdGetxOwner
+                };
+                self.row(row, stats)?;
+                stats.energy_events.l1_reads += 1;
+                let line = self.cache.get_mut(block).unwrap();
+                let data = line.data;
+                line.meta.state = if downgrade_to_s {
+                    L1State::S
+                } else {
+                    L1State::I
+                };
+                Ok((data, downgrade_to_s))
             }
-        } else {
-            panic!("core {}: forward for unknown block {block:?}", self.core)
+            Some(t) => Err(self.error(
+                L1RowId::FwdBadState,
+                stats,
+                format!("forward in state {t:?}"),
+            )),
+            None => Err(self.error(
+                L1RowId::FwdBadState,
+                stats,
+                format!("forward for unknown block {block:?}"),
+            )),
         }
     }
 
@@ -723,41 +923,51 @@ impl L1Cache {
     /// `GI` lines revert to `I`. `GS` lines additionally leave the
     /// sharer list (PUTS), exactly as a descheduled thread's cache
     /// working set would be treated.
-    pub fn context_switch_forfeit(&mut self, stats: &mut Stats) -> Vec<L1Out> {
+    pub fn context_switch_forfeit(
+        &mut self,
+        stats: &mut Stats,
+    ) -> Result<Vec<L1Out>, ProtocolError> {
+        let approx: Vec<(BlockAddr, L1State)> = self
+            .cache
+            .iter()
+            .filter(|l| matches!(l.meta.state, L1State::Gs | L1State::Gi))
+            .map(|l| (l.block, l.meta.state))
+            .collect();
         let mut out = Vec::new();
-        let mut gs_blocks = Vec::new();
-        for line in self.cache.iter_mut() {
-            match line.meta.state {
-                L1State::Gs => {
-                    line.meta.state = L1State::I;
-                    line.meta.hidden_writes = 0;
-                    stats.approx_evictions += 1;
-                    gs_blocks.push(line.block);
-                }
-                L1State::Gi => {
-                    line.meta.state = L1State::I;
-                    line.meta.hidden_writes = 0;
-                    stats.approx_evictions += 1;
-                }
-                _ => {}
+        for (block, state) in approx {
+            let row = if state == L1State::Gs {
+                L1RowId::CtxForfeitGs
+            } else {
+                L1RowId::CtxForfeitGi
+            };
+            self.row(row, stats)?;
+            let line = self.cache.get_mut(block).unwrap();
+            line.meta.state = L1State::I;
+            line.meta.hidden_writes = 0;
+            stats.approx_evictions += 1;
+            if state == L1State::Gs {
+                out.push(L1Out::Send(self.msg(block, Payload::PutS)));
             }
         }
-        for block in gs_blocks {
-            out.push(L1Out::Send(self.msg(block, Payload::PutS)));
-        }
-        out
+        Ok(out)
     }
 
     /// The periodic GI timeout (paper §3.2): returns every `GI` block to
     /// `I`, forfeiting its hidden updates. Runs once per `gi_timeout`
     /// cycles per controller.
-    pub fn gi_timeout_sweep(&mut self, stats: &mut Stats) {
-        for line in self.cache.iter_mut() {
-            if line.meta.state == L1State::Gi {
-                line.meta.state = L1State::I;
-                stats.gi_timeouts += 1;
-            }
+    pub fn gi_timeout_sweep(&mut self, stats: &mut Stats) -> Result<(), ProtocolError> {
+        let gi_blocks: Vec<BlockAddr> = self
+            .cache
+            .iter()
+            .filter(|l| l.meta.state == L1State::Gi)
+            .map(|l| l.block)
+            .collect();
+        for block in gi_blocks {
+            self.row(L1RowId::GiTimeout, stats)?;
+            self.cache.get_mut(block).unwrap().meta.state = L1State::I;
+            stats.gi_timeouts += 1;
         }
+        Ok(())
     }
 
     /// End-of-run functional flush: yields `(block, data)` for every line
@@ -887,50 +1097,58 @@ mod tests {
         let block = Addr(addr).block();
         match target {
             L1State::S => {
-                let outs = cache.access(load(addr), stats);
+                let outs = cache.access(load(addr), stats).unwrap();
                 expect_send(&outs, "GETS");
-                cache.handle_msg(
-                    dir_msg(
-                        block,
-                        Payload::Data {
-                            data: BlockData::zeroed(),
-                            grant: Grant::Shared,
-                        },
-                    ),
-                    stats,
-                );
+                cache
+                    .handle_msg(
+                        dir_msg(
+                            block,
+                            Payload::Data {
+                                data: BlockData::zeroed(),
+                                grant: Grant::Shared,
+                            },
+                        ),
+                        stats,
+                    )
+                    .unwrap();
             }
             L1State::E => {
-                let outs = cache.access(load(addr), stats);
+                let outs = cache.access(load(addr), stats).unwrap();
                 expect_send(&outs, "GETS");
-                cache.handle_msg(
-                    dir_msg(
-                        block,
-                        Payload::Data {
-                            data: BlockData::zeroed(),
-                            grant: Grant::Exclusive,
-                        },
-                    ),
-                    stats,
-                );
+                cache
+                    .handle_msg(
+                        dir_msg(
+                            block,
+                            Payload::Data {
+                                data: BlockData::zeroed(),
+                                grant: Grant::Exclusive,
+                            },
+                        ),
+                        stats,
+                    )
+                    .unwrap();
             }
             L1State::M => {
-                let outs = cache.access(store(addr, 7), stats);
+                let outs = cache.access(store(addr, 7), stats).unwrap();
                 expect_send(&outs, "GETX");
-                cache.handle_msg(
-                    dir_msg(
-                        block,
-                        Payload::Data {
-                            data: BlockData::zeroed(),
-                            grant: Grant::Modified,
-                        },
-                    ),
-                    stats,
-                );
+                cache
+                    .handle_msg(
+                        dir_msg(
+                            block,
+                            Payload::Data {
+                                data: BlockData::zeroed(),
+                                grant: Grant::Modified,
+                            },
+                        ),
+                        stats,
+                    )
+                    .unwrap();
             }
             L1State::I => {
                 bring_to(cache, stats, addr, L1State::S);
-                cache.handle_msg(dir_msg(block, Payload::Inv), stats);
+                cache
+                    .handle_msg(dir_msg(block, Payload::Inv), stats)
+                    .unwrap();
             }
             other => panic!("bring_to({other:?}) unsupported"),
         }
@@ -942,7 +1160,7 @@ mod tests {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
         // Block data is zero; writing 15 is within d=4.
-        let outs = c.access(scribble(0x1000, 15, 4), &mut s);
+        let outs = c.access(scribble(0x1000, 15, 4), &mut s).unwrap();
         assert_eq!(expect_reply(&outs), 0);
         assert_eq!(outs.len(), 1, "no coherence messages");
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::Gs));
@@ -956,13 +1174,15 @@ mod tests {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
         // 0 -> 16 differs at bit 4: distance 5 > d=4.
-        let outs = c.access(scribble(0x1000, 16, 4), &mut s);
+        let outs = c.access(scribble(0x1000, 16, 4), &mut s).unwrap();
         expect_send(&outs, "UPGRADE");
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::SmA));
         assert_eq!(s.serviced_by_gs, 0);
         assert_eq!(s.upgrades_from_s, 1);
         // UPG_ACK completes the store and publishes M.
-        let outs = c.handle_msg(dir_msg(Addr(0x1000).block(), Payload::UpgAck), &mut s);
+        let outs = c
+            .handle_msg(dir_msg(Addr(0x1000).block(), Payload::UpgAck), &mut s)
+            .unwrap();
         expect_send(&outs, "UNBLOCK");
         assert_eq!(expect_reply(&outs), 0);
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::M));
@@ -973,7 +1193,7 @@ mod tests {
     fn conventional_store_on_shared_always_upgrades() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
-        let outs = c.access(store(0x1000, 1), &mut s);
+        let outs = c.access(store(0x1000, 1), &mut s).unwrap();
         expect_send(&outs, "UPGRADE");
         assert_eq!(s.upgrades_from_s, 1);
     }
@@ -982,7 +1202,7 @@ mod tests {
     fn scribble_on_invalid_within_d_enters_gi() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x2000, L1State::I);
-        let outs = c.access(scribble(0x2000, 3, 4), &mut s);
+        let outs = c.access(scribble(0x2000, 3, 4), &mut s).unwrap();
         assert_eq!(outs.len(), 1, "no GETX: {outs:?}");
         assert_eq!(expect_reply(&outs), 0);
         assert_eq!(c.state_of(Addr(0x2000).block()), Some(L1State::Gi));
@@ -993,7 +1213,7 @@ mod tests {
     fn scribble_on_invalid_beyond_d_sends_getx() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x2000, L1State::I);
-        let outs = c.access(scribble(0x2000, 0xFFFF, 4), &mut s);
+        let outs = c.access(scribble(0x2000, 0xFFFF, 4), &mut s).unwrap();
         expect_send(&outs, "GETX");
         assert_eq!(s.serviced_by_gi, 0);
         assert_eq!(s.stores_on_invalid_tagged, 1);
@@ -1003,17 +1223,17 @@ mod tests {
     fn gi_hits_loads_and_stores_until_timeout() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x2000, L1State::I);
-        c.access(scribble(0x2000, 3, 4), &mut s);
+        c.access(scribble(0x2000, 3, 4), &mut s).unwrap();
         // Fig. 3: Load, Store and Scribble all self-loop on GI.
-        let v = expect_reply(&c.access(load(0x2000), &mut s));
+        let v = expect_reply(&c.access(load(0x2000), &mut s).unwrap());
         assert_eq!(v, 3);
-        c.access(store(0x2000, 100), &mut s);
+        c.access(store(0x2000, 100), &mut s).unwrap();
         assert_eq!(c.state_of(Addr(0x2000).block()), Some(L1State::Gi));
         assert_eq!(c.peek_word(Addr(0x2000), 4), Some(100));
         assert!(s.gi_load_hits >= 1 && s.gi_store_hits >= 1);
         // Timeout returns the block to I; the hidden update survives as
         // stale data but permissions are gone.
-        c.gi_timeout_sweep(&mut s);
+        c.gi_timeout_sweep(&mut s).unwrap();
         assert_eq!(c.state_of(Addr(0x2000).block()), Some(L1State::I));
         assert_eq!(s.gi_timeouts, 1);
         assert_eq!(c.peek_word(Addr(0x2000), 4), Some(100));
@@ -1023,9 +1243,11 @@ mod tests {
     fn gs_invalidation_forfeits_updates() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
-        c.access(scribble(0x1000, 15, 4), &mut s);
+        c.access(scribble(0x1000, 15, 4), &mut s).unwrap();
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::Gs));
-        let outs = c.handle_msg(dir_msg(Addr(0x1000).block(), Payload::Inv), &mut s);
+        let outs = c
+            .handle_msg(dir_msg(Addr(0x1000).block(), Payload::Inv), &mut s)
+            .unwrap();
         expect_send(&outs, "INV_ACK");
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::I));
         assert_eq!(s.gs_invalidations, 1);
@@ -1035,11 +1257,13 @@ mod tests {
     fn gs_conventional_store_publishes_scribbled_data() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
-        c.access(scribble(0x1000, 15, 4), &mut s); // hidden write at offset 0
-        let outs = c.access(store(0x1004, 0xAB), &mut s); // different word
+        c.access(scribble(0x1000, 15, 4), &mut s).unwrap(); // hidden write at offset 0
+        let outs = c.access(store(0x1004, 0xAB), &mut s).unwrap(); // different word
         expect_send(&outs, "UPGRADE");
         assert_eq!(s.upgrades_from_gs, 1);
-        let outs = c.handle_msg(dir_msg(Addr(0x1000).block(), Payload::UpgAck), &mut s);
+        let outs = c
+            .handle_msg(dir_msg(Addr(0x1000).block(), Payload::UpgAck), &mut s)
+            .unwrap();
         expect_reply(&outs);
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::M));
         // Both the scribbled word and the new store are in the M block.
@@ -1051,25 +1275,29 @@ mod tests {
     fn inv_during_upgrade_demotes_to_imad_and_data_overwrites() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
-        let outs = c.access(store(0x1000, 5), &mut s);
+        let outs = c.access(store(0x1000, 5), &mut s).unwrap();
         expect_send(&outs, "UPGRADE");
         // Another core's GETX won the race: INV arrives mid-upgrade.
-        let outs = c.handle_msg(dir_msg(Addr(0x1000).block(), Payload::Inv), &mut s);
+        let outs = c
+            .handle_msg(dir_msg(Addr(0x1000).block(), Payload::Inv), &mut s)
+            .unwrap();
         expect_send(&outs, "INV_ACK");
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::ImAd));
         // Directory answers the (converted) upgrade with fresh data.
         let mut fresh = BlockData::zeroed();
         fresh.write_word(4, 4, 0x77);
-        let outs = c.handle_msg(
-            dir_msg(
-                Addr(0x1000).block(),
-                Payload::Data {
-                    data: fresh,
-                    grant: Grant::Modified,
-                },
-            ),
-            &mut s,
-        );
+        let outs = c
+            .handle_msg(
+                dir_msg(
+                    Addr(0x1000).block(),
+                    Payload::Data {
+                        data: fresh,
+                        grant: Grant::Modified,
+                    },
+                ),
+                &mut s,
+            )
+            .unwrap();
         expect_send(&outs, "UNBLOCK");
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::M));
         assert_eq!(c.peek_word(Addr(0x1000), 4), Some(5)); // store applied
@@ -1080,14 +1308,16 @@ mod tests {
     fn fwd_gets_downgrades_owner_and_supplies_data() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x3000, L1State::M);
-        let outs = c.handle_msg(dir_msg(Addr(0x3000).block(), Payload::FwdGets), &mut s);
+        let outs = c
+            .handle_msg(dir_msg(Addr(0x3000).block(), Payload::FwdGets), &mut s)
+            .unwrap();
         let m = expect_send(&outs, "DATA_TO_DIR");
         match m.payload {
             Payload::DataToDir { retained, ref data } => {
                 assert!(retained);
                 assert_eq!(data.read_word(0, 4), 7); // store from bring_to
             }
-            _ => unreachable!(),
+            ref p => panic!("expected DATA_TO_DIR, got {}", p.name()),
         }
         assert_eq!(c.state_of(Addr(0x3000).block()), Some(L1State::S));
     }
@@ -1096,7 +1326,9 @@ mod tests {
     fn fwd_getx_invalidates_owner_but_keeps_stale_tag() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x3000, L1State::M);
-        let outs = c.handle_msg(dir_msg(Addr(0x3000).block(), Payload::FwdGetx), &mut s);
+        let outs = c
+            .handle_msg(dir_msg(Addr(0x3000).block(), Payload::FwdGetx), &mut s)
+            .unwrap();
         expect_send(&outs, "DATA_TO_DIR");
         // Tag + stale data stay resident: this is the GI opportunity.
         assert_eq!(c.state_of(Addr(0x3000).block()), Some(L1State::I));
@@ -1111,12 +1343,14 @@ mod tests {
         bring_to(&mut c, &mut s, 0, L1State::M);
         bring_to(&mut c, &mut s, 8 * 64, L1State::M);
         // Third block in the same set evicts the LRU (block 0).
-        let outs = c.access(load(16 * 64), &mut s);
+        let outs = c.access(load(16 * 64), &mut s).unwrap();
         let putm = expect_send(&outs, "PUTM");
         assert_eq!(putm.block, Addr(0).block());
         expect_send(&outs, "GETS");
         // A forward racing the writeback is served from the buffer.
-        let outs = c.handle_msg(dir_msg(Addr(0).block(), Payload::FwdGets), &mut s);
+        let outs = c
+            .handle_msg(dir_msg(Addr(0).block(), Payload::FwdGets), &mut s)
+            .unwrap();
         let m = expect_send(&outs, "DATA_TO_DIR");
         assert!(matches!(
             m.payload,
@@ -1126,17 +1360,19 @@ mod tests {
             }
         ));
         // WB_ACK clears the buffer.
-        c.handle_msg(dir_msg(Addr(0).block(), Payload::WbAck), &mut s);
+        c.handle_msg(dir_msg(Addr(0).block(), Payload::WbAck), &mut s)
+            .unwrap();
+        assert!(s.coverage.l1_hits(L1RowId::FwdWbRace) > 0);
     }
 
     #[test]
     fn eviction_of_gs_forfeits_and_sends_puts() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0, L1State::S);
-        c.access(scribble(0, 3, 4), &mut s);
+        c.access(scribble(0, 3, 4), &mut s).unwrap();
         assert_eq!(c.state_of(Addr(0).block()), Some(L1State::Gs));
         bring_to(&mut c, &mut s, 8 * 64, L1State::M);
-        let outs = c.access(load(16 * 64), &mut s);
+        let outs = c.access(load(16 * 64), &mut s).unwrap();
         let puts = expect_send(&outs, "PUTS");
         assert_eq!(puts.block, Addr(0).block());
         assert_eq!(s.approx_evictions, 1);
@@ -1147,10 +1383,10 @@ mod tests {
     fn eviction_of_gi_is_silent() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0, L1State::I);
-        c.access(scribble(0, 3, 4), &mut s);
+        c.access(scribble(0, 3, 4), &mut s).unwrap();
         assert_eq!(c.state_of(Addr(0).block()), Some(L1State::Gi));
         bring_to(&mut c, &mut s, 8 * 64, L1State::M);
-        let outs = c.access(load(16 * 64), &mut s);
+        let outs = c.access(load(16 * 64), &mut s).unwrap();
         assert!(
             !outs
                 .iter()
@@ -1158,13 +1394,35 @@ mod tests {
             "GI eviction must not notify the directory: {outs:?}"
         );
         assert_eq!(s.approx_evictions, 1);
+        assert!(s.coverage.l1_hits(L1RowId::EvictGi) > 0);
+    }
+
+    #[test]
+    fn context_switch_forfeits_gs_and_gi_lines() {
+        let (mut c, mut s) = l1(gw_params());
+        // Distinct sets so nothing evicts before the forfeit.
+        bring_to(&mut c, &mut s, 0x1000, L1State::S);
+        c.access(scribble(0x1000, 3, 4), &mut s).unwrap();
+        bring_to(&mut c, &mut s, 0x1040, L1State::I);
+        c.access(scribble(0x1040, 3, 4), &mut s).unwrap();
+        bring_to(&mut c, &mut s, 0x1080, L1State::M);
+        let outs = c.context_switch_forfeit(&mut s).unwrap();
+        // The GS line notifies the directory; the GI line drops silently;
+        // precise lines are untouched.
+        let puts = expect_send(&outs, "PUTS");
+        assert_eq!(puts.block, Addr(0x1000).block());
+        assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::I));
+        assert_eq!(c.state_of(Addr(0x1040).block()), Some(L1State::I));
+        assert_eq!(c.state_of(Addr(0x1080).block()), Some(L1State::M));
+        assert!(s.coverage.l1_hits(L1RowId::CtxForfeitGs) > 0);
+        assert!(s.coverage.l1_hits(L1RowId::CtxForfeitGi) > 0);
     }
 
     #[test]
     fn scribble_under_mesi_params_never_approximates() {
         let (mut c, mut s) = l1(None);
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
-        let outs = c.access(scribble(0x1000, 3, 4), &mut s);
+        let outs = c.access(scribble(0x1000, 3, 4), &mut s).unwrap();
         expect_send(&outs, "UPGRADE");
         assert_eq!(s.serviced_by_gs, 0);
     }
@@ -1179,7 +1437,7 @@ mod tests {
             max_hidden_writes: None,
         }));
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
-        let outs = c.access(scribble(0x1000, 3, 4), &mut s);
+        let outs = c.access(scribble(0x1000, 3, 4), &mut s).unwrap();
         expect_send(&outs, "UPGRADE");
         assert_eq!(s.serviced_by_gs, 0);
     }
@@ -1194,7 +1452,7 @@ mod tests {
             max_hidden_writes: None,
         }));
         bring_to(&mut c, &mut s, 0x2000, L1State::I);
-        let outs = c.access(scribble(0x2000, 3, 4), &mut s);
+        let outs = c.access(scribble(0x2000, 3, 4), &mut s).unwrap();
         expect_send(&outs, "GETX");
         assert_eq!(s.serviced_by_gi, 0);
     }
@@ -1204,7 +1462,7 @@ mod tests {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x1000, L1State::S);
         // d = 0 admits only identical values (silent stores).
-        let outs = c.access(scribble(0x1000, 0, 0), &mut s);
+        let outs = c.access(scribble(0x1000, 0, 0), &mut s).unwrap();
         assert_eq!(expect_reply(&outs), 0);
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::Gs));
         assert_eq!(s.serviced_by_gs, 1);
@@ -1214,7 +1472,7 @@ mod tests {
     fn store_on_exclusive_silently_upgrades() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x4000, L1State::E);
-        let outs = c.access(store(0x4000, 9), &mut s);
+        let outs = c.access(store(0x4000, 9), &mut s).unwrap();
         assert_eq!(outs.len(), 1);
         expect_reply(&outs);
         assert_eq!(c.state_of(Addr(0x4000).block()), Some(L1State::M));
@@ -1225,7 +1483,7 @@ mod tests {
     fn load_on_invalid_tag_refetches() {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x1000, L1State::I);
-        let outs = c.access(load(0x1000), &mut s);
+        let outs = c.access(load(0x1000), &mut s).unwrap();
         expect_send(&outs, "GETS");
         assert_eq!(s.l1_load_misses, 2); // cold miss in bring_to + this one
     }
@@ -1235,8 +1493,8 @@ mod tests {
         let (mut c, mut s) = l1(gw_params());
         bring_to(&mut c, &mut s, 0x5000, L1State::M);
         // bring_to's store wrote 7 at offset 0.
-        c.access(store(0x5000, 7), &mut s); // identical: d=0
-        c.access(store(0x5000, 6), &mut s); // 7 -> 6: d=1
+        c.access(store(0x5000, 7), &mut s).unwrap(); // identical: d=0
+        c.access(store(0x5000, 6), &mut s).unwrap(); // 7 -> 6: d=1
         assert_eq!(s.similarity.count_at(0), 1);
         assert_eq!(s.similarity.count_at(1), 1);
     }
@@ -1277,15 +1535,17 @@ mod error_bound_tests {
     }
 
     fn to_shared(c: &mut L1Cache, s: &mut Stats, addr: u64) {
-        let outs = c.access(
-            CoreReq {
-                addr: Addr(addr),
-                size: 4,
-                value: 0,
-                kind: AccessKind::Load,
-            },
-            s,
-        );
+        let outs = c
+            .access(
+                CoreReq {
+                    addr: Addr(addr),
+                    size: 4,
+                    value: 0,
+                    kind: AccessKind::Load,
+                },
+                s,
+            )
+            .unwrap();
         assert!(matches!(outs[0], L1Out::Send(_)));
         c.handle_msg(
             Msg {
@@ -1298,7 +1558,8 @@ mod error_bound_tests {
                 },
             },
             s,
-        );
+        )
+        .unwrap();
     }
 
     #[test]
@@ -1307,7 +1568,7 @@ mod error_bound_tests {
         to_shared(&mut c, &mut s, 0x1000);
         // Two hidden writes fit the budget...
         for v in [1u64, 2] {
-            let outs = c.access(scrib(0x1000, v), &mut s);
+            let outs = c.access(scrib(0x1000, v), &mut s).unwrap();
             assert!(
                 matches!(outs[0], L1Out::Reply { .. }),
                 "write {v} should be hidden"
@@ -1315,7 +1576,7 @@ mod error_bound_tests {
         }
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::Gs));
         // ...the third is forced down the conventional path.
-        let outs = c.access(scrib(0x1000, 3), &mut s);
+        let outs = c.access(scrib(0x1000, 3), &mut s).unwrap();
         assert!(
             matches!(&outs[0], L1Out::Send(m) if m.payload.name() == "UPGRADE"),
             "bound must force an UPGRADE: {outs:?}"
@@ -1329,8 +1590,8 @@ mod error_bound_tests {
         let (mut c, mut s) = bounded_l1(1);
         to_shared(&mut c, &mut s, 0x1000);
         // First scribble hidden, second forced to publish.
-        c.access(scrib(0x1000, 1), &mut s);
-        let outs = c.access(scrib(0x1000, 2), &mut s);
+        c.access(scrib(0x1000, 1), &mut s).unwrap();
+        let outs = c.access(scrib(0x1000, 2), &mut s).unwrap();
         assert!(matches!(&outs[0], L1Out::Send(m) if m.payload.name() == "UPGRADE"));
         // Publication completes: budget is fresh again.
         c.handle_msg(
@@ -1341,7 +1602,8 @@ mod error_bound_tests {
                 payload: Payload::UpgAck,
             },
             &mut s,
-        );
+        )
+        .unwrap();
         assert_eq!(c.state_of(Addr(0x1000).block()), Some(L1State::M));
         // Back to Shared (remote reader), scribble is hidden once more.
         c.handle_msg(
@@ -1352,8 +1614,9 @@ mod error_bound_tests {
                 payload: Payload::FwdGets,
             },
             &mut s,
-        );
-        let outs = c.access(scrib(0x1000, 3), &mut s);
+        )
+        .unwrap();
+        let outs = c.access(scrib(0x1000, 3), &mut s).unwrap();
         assert!(
             matches!(outs[0], L1Out::Reply { .. }),
             "budget should have reset: {outs:?}"
@@ -1382,7 +1645,7 @@ mod error_bound_tests {
         );
         to_shared(&mut c, &mut s, 0x2000);
         for v in 0..50u64 {
-            let outs = c.access(scrib(0x2000, v % 8), &mut s);
+            let outs = c.access(scrib(0x2000, v % 8), &mut s).unwrap();
             assert!(matches!(outs[0], L1Out::Reply { .. }));
         }
         assert_eq!(s.serviced_by_gs + s.gs_hits, 50);
@@ -1407,7 +1670,8 @@ mod more_l1_tests {
                 kind: AccessKind::Load,
             },
             s,
-        );
+        )
+        .unwrap();
         let mut data = BlockData::zeroed();
         data.write_word(Addr(addr).offset(), 4, word);
         c.handle_msg(
@@ -1421,22 +1685,25 @@ mod more_l1_tests {
                 },
             },
             s,
-        );
+        )
+        .unwrap();
     }
 
     #[test]
     fn load_returns_filled_word() {
         let (mut c, mut s) = l1_mesi();
         fill_shared(&mut c, &mut s, 0x100c, 0xABCD);
-        let outs = c.access(
-            CoreReq {
-                addr: Addr(0x100c),
-                size: 4,
-                value: 0,
-                kind: AccessKind::Load,
-            },
-            &mut s,
-        );
+        let outs = c
+            .access(
+                CoreReq {
+                    addr: Addr(0x100c),
+                    size: 4,
+                    value: 0,
+                    kind: AccessKind::Load,
+                },
+                &mut s,
+            )
+            .unwrap();
         match &outs[0] {
             L1Out::Reply { value } => assert_eq!(*value, 0xABCD),
             other => panic!("{other:?}"),
@@ -1451,15 +1718,17 @@ mod more_l1_tests {
         fill_shared(&mut c, &mut s, 0, 1);
         fill_shared(&mut c, &mut s, 8 * 64, 2);
         // Third block in set 0 evicts the LRU shared line.
-        let outs = c.access(
-            CoreReq {
-                addr: Addr(16 * 64),
-                size: 4,
-                value: 0,
-                kind: AccessKind::Load,
-            },
-            &mut s,
-        );
+        let outs = c
+            .access(
+                CoreReq {
+                    addr: Addr(16 * 64),
+                    size: 4,
+                    value: 0,
+                    kind: AccessKind::Load,
+                },
+                &mut s,
+            )
+            .unwrap();
         assert!(outs
             .iter()
             .any(|o| matches!(o, L1Out::Send(m) if m.payload.name() == "PUTS")));
@@ -1480,7 +1749,8 @@ mod more_l1_tests {
                 kind: AccessKind::Store,
             },
             &mut s,
-        );
+        )
+        .unwrap();
         assert_eq!(s.similarity.total(), 0);
     }
 
@@ -1494,8 +1764,8 @@ mod more_l1_tests {
             value: 0,
             kind: AccessKind::Load,
         };
-        c.access(load, &mut s);
-        c.access(load, &mut s);
+        c.access(load, &mut s).unwrap();
+        c.access(load, &mut s).unwrap();
     }
 
     #[test]
@@ -1510,7 +1780,8 @@ mod more_l1_tests {
                 kind: AccessKind::Load,
             },
             &mut s,
-        );
+        )
+        .unwrap();
     }
 
     #[test]

@@ -545,14 +545,18 @@ impl Engine {
             Ev::Deliver(msg) => self.deliver(msg),
             Ev::GiTick { core } => {
                 if self.n_finished < self.threads {
-                    self.l1s[core].gi_timeout_sweep(&mut self.core_stats[core]);
+                    self.l1s[core]
+                        .gi_timeout_sweep(&mut self.core_stats[core])
+                        .unwrap_or_else(|e| panic!("protocol error: {e}"));
                     let t = self.gi_timeout.expect("tick without timeout");
                     self.queue.push_after(t, Ev::GiTick { core });
                 }
             }
             Ev::ContextSwitch { core } => {
                 if self.n_finished < self.threads {
-                    let outs = self.l1s[core].context_switch_forfeit(&mut self.core_stats[core]);
+                    let outs = self.l1s[core]
+                        .context_switch_forfeit(&mut self.core_stats[core])
+                        .unwrap_or_else(|e| panic!("protocol error: {e}"));
                     self.apply_l1_outs(core, outs);
                     let p = self
                         .cfg
@@ -599,7 +603,9 @@ impl Engine {
                     value,
                     kind,
                 };
-                let outs = self.l1s[core].access(req, &mut self.core_stats[core]);
+                let outs = self.l1s[core]
+                    .access(req, &mut self.core_stats[core])
+                    .unwrap_or_else(|e| panic!("protocol error: {e}"));
                 self.apply_l1_outs(core, outs);
             }
             ThreadOp::Work(cycles) => {
@@ -658,11 +664,15 @@ impl Engine {
     fn deliver(&mut self, msg: Msg) {
         match msg.dst {
             Endpoint::L1(core) => {
-                let outs = self.l1s[core].handle_msg(msg, &mut self.core_stats[core]);
+                let outs = self.l1s[core]
+                    .handle_msg(msg, &mut self.core_stats[core])
+                    .unwrap_or_else(|e| panic!("protocol error: {e}"));
                 self.apply_l1_outs(core, outs);
             }
             Endpoint::Dir(bank) => {
-                let outs = self.banks[bank].handle_msg(msg, &mut self.stats);
+                let outs = self.banks[bank]
+                    .handle_msg(msg, &mut self.stats)
+                    .unwrap_or_else(|e| panic!("protocol error: {e}"));
                 for m in outs {
                     self.send(m, self.cfg.l2_latency);
                 }

@@ -1,0 +1,1121 @@
+//! The declarative protocol core: one transition table for MESI+GS/GI.
+//!
+//! Both controllers (`l1`, `dir`) dispatch through this module: every
+//! coherence transition they execute is a named *row* of the tables
+//! below, declared once as `(state, event) → guard / micro-ops / next
+//! state`. The controllers interpret the micro-ops with their existing
+//! hand-tuned code, but each arm is gated through [`L1Cache`]'s /
+//! [`DirBank`]'s row dispatch, which
+//!
+//! * bumps the per-row hit counter in [`Coverage`] (threaded through
+//!   [`crate::stats::Stats`], reported by `gwcheck`/`gwbench`),
+//! * returns a typed [`ProtocolError`] instead of aborting when an
+//!   impossible `(state, event)` pair fires (the former `unreachable!()`
+//!   arms are now [`Reach::Never`] rows), and
+//! * refuses to fire a row deleted by a seeded checker mutation
+//!   (`delete-row:<name>`), so the model checker can prove each row is
+//!   load-bearing.
+//!
+//! Protocol variants are *table deltas*, not code forks: [`L1RowSet`] /
+//! [`DirRowSet`] compute the live row subset from the configuration
+//! (pure MESI removes every GS/GI row; MSI removes the E-grant row; the
+//! `ablation_states` configs remove exactly the GS or GI entry rows),
+//! and the controllers' guards consult that set instead of scattered
+//! `if config` branches.
+//!
+//! [`L1Cache`]: crate::l1::L1Cache
+//! [`DirBank`]: crate::dir::DirBank
+
+use ghostwriter_mem::BlockAddr;
+
+use crate::config::GiStorePolicy;
+use crate::l1::GwParams;
+
+/// Bank homing: which L2 bank (or memory controller) a block maps to.
+/// Low-order interleave across `banks`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct Homing {
+    banks: usize,
+}
+
+impl Homing {
+    /// Homing over `banks` targets (`banks >= 1`).
+    pub fn new(banks: usize) -> Self {
+        assert!(banks >= 1, "homing needs at least one bank");
+        Self { banks }
+    }
+
+    /// Home bank of `block`.
+    pub fn home(self, block: BlockAddr) -> usize {
+        (block.index() % self.banks as u64) as usize
+    }
+
+    /// Number of banks interleaved across.
+    pub fn banks(self) -> usize {
+        self.banks
+    }
+}
+
+/// Which controller raised a [`ProtocolError`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Controller {
+    L1 { core: usize },
+    Dir { bank: usize },
+}
+
+impl std::fmt::Display for Controller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Controller::L1 { core } => write!(f, "L1 core {core}"),
+            Controller::Dir { bank } => write!(f, "directory bank {bank}"),
+        }
+    }
+}
+
+/// A typed protocol error: an `(state, event)` pair fired for which the
+/// transition table has no row (a [`Reach::Never`] row, an internal
+/// consistency breach, or a row deleted by a checker mutation).
+///
+/// These used to be `unreachable!()` aborts; they now propagate through
+/// `core::harness` as `Violation::Protocol`, so `gwcheck` and the random
+/// tester shrink and replay them like any other counterexample.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProtocolError {
+    /// Where it fired.
+    pub controller: Controller,
+    /// The table row that fired, when the error corresponds to one
+    /// (`None` for internal-consistency breaches outside the table).
+    pub row: Option<&'static str>,
+    /// Human-readable specifics (states, payloads, block).
+    pub detail: String,
+}
+
+impl ProtocolError {
+    /// Error for a named table row firing (a `Never` row or deleted row).
+    pub fn row(controller: Controller, row: &'static str, detail: impl Into<String>) -> Self {
+        Self {
+            controller,
+            row: Some(row),
+            detail: detail.into(),
+        }
+    }
+
+    /// Internal-consistency error with no table row.
+    pub fn internal(controller: Controller, detail: impl Into<String>) -> Self {
+        Self {
+            controller,
+            row: None,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.row {
+            Some(row) => write!(
+                f,
+                "{}: no transition for row `{row}`: {}",
+                self.controller, self.detail
+            ),
+            None => write!(f, "{}: {}", self.controller, self.detail),
+        }
+    }
+}
+
+/// How a table row is expected to be reached (drives the coverage gate
+/// and the golden transition-coverage snapshot).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Reach {
+    /// Reached by the tier-1 `gwcheck` sweeps (exhaustive 2-core,
+    /// 1-block, 2-ops-per-core, pool-sized caches).
+    Check,
+    /// Out of the tier-1 checker's reach — needs 3-op sequences, a
+    /// third sharer, or evictions the pool-sized 2-op configs rule
+    /// out — but reached by the `gwbench --smoke` workloads.
+    Bench,
+    /// Only driven by dedicated unit tests (e.g. the context-switch
+    /// forfeit: no smoke experiment sets a context-switch period; or
+    /// stale PUTE/PUTM races the smoke grids never lose).
+    Unit,
+    /// Intentionally unreachable: the protocol can never produce this
+    /// `(state, event)` pair; firing it is a [`ProtocolError`].
+    Never,
+}
+
+impl Reach {
+    /// Lower-case label used in reports and the golden snapshot.
+    pub fn label(self) -> &'static str {
+        match self {
+            Reach::Check => "check",
+            Reach::Bench => "bench",
+            Reach::Unit => "unit",
+            Reach::Never => "never",
+        }
+    }
+}
+
+/// One micro-op of a row's action list. The controllers interpret these
+/// with their existing code; the list is the declarative spec rendered
+/// into `docs/protocol-table.md`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MicroOp {
+    /// Send a protocol message of the named wire kind.
+    Send(&'static str),
+    /// Complete the outstanding core access (reply to the core).
+    Reply,
+    /// Allocate a way for the block (may fire an eviction row first).
+    AllocWay,
+    /// Remove the line/entry from the cache.
+    EvictWay,
+    /// Update the pLRU replacement state.
+    Touch,
+    /// Run the scribe d-distance comparator against the resident word.
+    ScribeCompare,
+    /// Write the access value into the line.
+    WriteWord,
+    /// Install block data into the line.
+    FillLine,
+    /// Move the evicted line into the writeback buffer.
+    BufferWb,
+    /// Release the writeback-buffer entry.
+    ReleaseWb,
+    /// Increment the hidden-writes budget (§3.5 error bound).
+    HiddenWrite,
+    /// Reset the hidden-writes budget (coherent resync).
+    ResetBudget,
+    /// Update the directory entry as described.
+    SetDir(&'static str),
+    /// Account one invalidation acknowledgement.
+    CollectAck,
+    /// Bump the named statistics counter.
+    Stat(&'static str),
+    /// Raise a [`ProtocolError`] (the row is an error row).
+    Error,
+}
+
+impl MicroOp {
+    fn render(self) -> String {
+        match self {
+            MicroOp::Send(p) => format!("send {p}"),
+            MicroOp::Reply => "reply".into(),
+            MicroOp::AllocWay => "alloc way".into(),
+            MicroOp::EvictWay => "evict way".into(),
+            MicroOp::Touch => "touch pLRU".into(),
+            MicroOp::ScribeCompare => "scribe compare".into(),
+            MicroOp::WriteWord => "write word".into(),
+            MicroOp::FillLine => "fill line".into(),
+            MicroOp::BufferWb => "buffer wb".into(),
+            MicroOp::ReleaseWb => "release wb".into(),
+            MicroOp::HiddenWrite => "hidden++".into(),
+            MicroOp::ResetBudget => "hidden=0".into(),
+            MicroOp::SetDir(d) => format!("dir:={d}"),
+            MicroOp::CollectAck => "collect ack".into(),
+            MicroOp::Stat(s) => format!("stat {s}"),
+            MicroOp::Error => "protocol error".into(),
+        }
+    }
+}
+
+macro_rules! rows {
+    (
+        $(#[$attr:meta])*
+        $id:ident, $row:ident, $rows_const:ident, $count:ident;
+        $( $variant:ident : $name:literal =
+            { $state:literal, $event:literal, $guard:literal, $next:literal,
+              [$($op:expr),* $(,)?], $reach:ident } ),+ $(,)?
+    ) => {
+        $(#[$attr])*
+        #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+        #[repr(usize)]
+        pub enum $id {
+            $( $variant ),+
+        }
+
+        impl $id {
+            /// Number of rows in this controller's table.
+            pub const COUNT: usize = $count;
+
+            /// Stable row name (CLI, docs, golden snapshot).
+            pub fn name(self) -> &'static str {
+                $rows_const[self as usize].name
+            }
+
+            /// The table row for this id.
+            pub fn row(self) -> &'static $row {
+                &$rows_const[self as usize]
+            }
+
+            /// Every row id, in table order.
+            pub fn all() -> impl Iterator<Item = $id> {
+                $rows_const.iter().map(|r| r.id)
+            }
+
+            /// Looks a row up by its stable name.
+            pub fn by_name(name: &str) -> Option<$id> {
+                $rows_const.iter().find(|r| r.name == name).map(|r| r.id)
+            }
+        }
+
+        const $count: usize = [$( $id::$variant ),+].len();
+
+        /// The controller's transition table, indexed by row id.
+        pub static $rows_const: [$row; $count] = [
+            $( $row {
+                id: $id::$variant,
+                name: $name,
+                state: $state,
+                event: $event,
+                guard: $guard,
+                next: $next,
+                ops: &[$($op),*],
+                reach: Reach::$reach,
+            } ),+
+        ];
+    };
+}
+
+/// One row of the L1 transition table.
+#[derive(Debug)]
+pub struct L1Row {
+    pub id: L1RowId,
+    /// Stable name (used by `delete-row:<name>` and the docs).
+    pub name: &'static str,
+    /// Source state (as rendered; `*` = any, `-` = no line).
+    pub state: &'static str,
+    /// Decoded event: a `CoreReq` kind or a `Msg` payload.
+    pub event: &'static str,
+    /// Guard condition (`-` = unconditional).
+    pub guard: &'static str,
+    /// Next state (`=` means unchanged).
+    pub next: &'static str,
+    /// Declarative micro-op list the controller interprets.
+    pub ops: &'static [MicroOp],
+    pub reach: Reach,
+}
+
+use MicroOp::*;
+
+rows! {
+    /// Row ids of the L1 controller table ([`L1_ROWS`]).
+    L1RowId, L1Row, L1_ROWS, L1_ROW_COUNT;
+
+    // -- demand accesses: no tag present ------------------------------
+    MissLoad: "miss_load" =
+        { "-", "Load", "-", "IS_D",
+          [AllocWay, Stat("l1_load_misses"), Send("GETS")], Check },
+    MissStore: "miss_store" =
+        { "-", "Store|Scribble", "-", "IM_AD",
+          [AllocWay, Stat("l1_store_misses"), Send("GETX")], Check },
+
+    // -- demand accesses: tag present ---------------------------------
+    LoadHit: "load_hit" =
+        { "S|E|M|GS", "Load", "-", "=",
+          [Stat("l1_load_hits"), Touch, Reply], Check },
+    LoadHitGi: "load_hit_gi" =
+        { "GI", "Load", "-", "=",
+          [Stat("gi_load_hits"), Touch, Reply], Bench },
+    LoadInvalid: "load_invalid_tag" =
+        { "I", "Load", "-", "IS_D",
+          [Stat("l1_load_misses"), Send("GETS")], Check },
+    LoadTransient: "load_in_transient" =
+        { "IS_D|IM_AD|SM_A", "Load", "-", "-",
+          [Error], Never },
+    StoreHitM: "store_hit_m" =
+        { "M", "Store|Scribble", "-", "=",
+          [Stat("l1_store_hits"), Touch, WriteWord, Reply], Check },
+    StoreHitE: "store_hit_e" =
+        { "E", "Store|Scribble", "-", "M",
+          [Stat("l1_store_hits"), Touch, WriteWord, Reply], Check },
+    GiStoreHit: "gi_store_hit" =
+        { "GI", "Store|Scribble", "budget ok; store, Capture, or scribe pass", "=",
+          [ScribeCompare, Stat("gi_store_hits"), Touch, WriteWord, HiddenWrite, Reply],
+          Bench },
+    GiBreak: "gi_scribble_break" =
+        { "GI", "Scribble", "Fallback; budget hit or scribe fail", "IM_AD",
+          [ScribeCompare, Stat("gi_breaks"), Send("GETX")], Bench },
+    EnterGs: "scribble_s_to_gs" =
+        { "S", "Scribble", "GS enabled; budget ok; scribe pass", "GS",
+          [ScribeCompare, Stat("serviced_by_gs"), Touch, WriteWord, HiddenWrite, Reply],
+          Check },
+    UpgradeFromS: "store_s_upgrade" =
+        { "S", "Store|Scribble", "conventional path", "SM_A",
+          [Stat("upgrades_from_s"), Send("UPGRADE")], Check },
+    GsHit: "gs_hit" =
+        { "GS", "Scribble", "budget ok; scribe pass", "=",
+          [ScribeCompare, Stat("gs_hits"), Touch, WriteWord, HiddenWrite, Reply], Bench },
+    UpgradeFromGs: "store_gs_upgrade" =
+        { "GS", "Store|Scribble", "conventional path (publish)", "SM_A",
+          [Stat("upgrades_from_gs"), Send("UPGRADE")], Bench },
+    EnterGi: "scribble_i_to_gi" =
+        { "I", "Scribble", "GI enabled; budget ok; scribe pass", "GI",
+          [ScribeCompare, Stat("serviced_by_gi"), Touch, WriteWord, HiddenWrite, Reply],
+          Check },
+    StoreInvalid: "store_invalid_tag" =
+        { "I", "Store|Scribble", "conventional path", "IM_AD",
+          [Stat("stores_on_invalid_tagged"), Send("GETX")], Check },
+    StoreTransient: "store_in_transient" =
+        { "IS_D|IM_AD|SM_A", "Store|Scribble", "-", "-",
+          [Error], Never },
+
+    // -- victim eviction ----------------------------------------------
+    EvictM: "evict_m" =
+        { "M", "evict", "-", "-",
+          [EvictWay, BufferWb, Send("PUTM")], Bench },
+    EvictE: "evict_e" =
+        { "E", "evict", "-", "-",
+          [EvictWay, BufferWb, Send("PUTE")], Bench },
+    EvictS: "evict_s" =
+        { "S", "evict", "-", "-",
+          [EvictWay, Send("PUTS")], Bench },
+    EvictGs: "evict_gs" =
+        { "GS", "evict", "-", "-",
+          [EvictWay, Stat("approx_evictions"), Send("PUTS")], Bench },
+    EvictGi: "evict_gi" =
+        { "GI", "evict", "-", "-",
+          [EvictWay, Stat("approx_evictions")], Unit },
+    EvictI: "evict_i" =
+        { "I", "evict", "-", "-",
+          [EvictWay], Bench },
+    EvictTransient: "evict_transient" =
+        { "IS_D|IM_AD|SM_A", "evict", "-", "-",
+          [Error], Never },
+
+    // -- protocol messages --------------------------------------------
+    InvSharer: "inv_s" =
+        { "S", "INV", "-", "I",
+          [Send("INV_ACK")], Check },
+    InvGs: "inv_gs" =
+        { "GS", "INV", "-", "I",
+          [Stat("gs_invalidations"), Send("INV_ACK")], Check },
+    InvSmA: "inv_sm_a" =
+        { "SM_A", "INV", "-", "IM_AD",
+          [Send("INV_ACK")], Check },
+    InvStale: "inv_stale" =
+        { "IS_D|IM_AD|I|-", "INV", "-", "=",
+          [Send("INV_ACK")], Bench },
+    InvWriter: "inv_writer" =
+        { "E|M|GI", "INV", "-", "-",
+          [Error], Never },
+    FwdGetsOwner: "fwd_gets_owner" =
+        { "E|M", "FWD_GETS", "-", "S",
+          [Send("DATA_TO_DIR")], Check },
+    FwdGetxOwner: "fwd_getx_owner" =
+        { "E|M", "FWD_GETX", "-", "I",
+          [Send("DATA_TO_DIR")], Check },
+    FwdWbRace: "fwd_wb_race" =
+        { "wb buffer", "FWD_GETS|FWD_GETX", "PUT in flight", "=",
+          [Send("DATA_TO_DIR")], Unit },
+    FwdBadState: "fwd_bad_state" =
+        { "*", "FWD_GETS|FWD_GETX", "no owned line, no wb entry", "-",
+          [Error], Never },
+    DataFillShared: "data_fill_s" =
+        { "IS_D", "DATA(S)", "-", "S",
+          [ResetBudget, FillLine, Touch, Send("UNBLOCK"), Reply], Check },
+    DataFillExcl: "data_fill_e" =
+        { "IS_D", "DATA(E)", "-", "E",
+          [ResetBudget, FillLine, Touch, Send("UNBLOCK"), Reply], Check },
+    DataFillM: "data_fill_m" =
+        { "IM_AD|SM_A", "DATA(M)", "-", "M",
+          [ResetBudget, FillLine, WriteWord, Touch, Send("UNBLOCK"), Reply], Check },
+    DataUnexpected: "data_unexpected" =
+        { "*", "DATA", "no pending miss, wrong block or wrong grant", "-",
+          [Error], Never },
+    UpgAck: "upg_ack" =
+        { "SM_A", "UPG_ACK", "-", "M",
+          [ResetBudget, WriteWord, Touch, Send("UNBLOCK"), Reply], Check },
+    UpgAckUnexpected: "upg_ack_unexpected" =
+        { "*", "UPG_ACK", "no pending upgrade", "-",
+          [Error], Never },
+    WbAck: "wb_ack" =
+        { "wb buffer", "WB_ACK", "-", "-",
+          [ReleaseWb], Bench },
+    WbAckUnexpected: "wb_ack_unexpected" =
+        { "-", "WB_ACK", "no buffer entry", "-",
+          [Error], Never },
+    L1UnexpectedMsg: "l1_unexpected_msg" =
+        { "*", "other payload", "-", "-",
+          [Error], Never },
+
+    // -- asynchronous sweeps ------------------------------------------
+    CtxForfeitGs: "ctx_switch_gs" =
+        { "GS", "context switch", "-", "I",
+          [ResetBudget, Stat("approx_evictions"), Send("PUTS")], Unit },
+    CtxForfeitGi: "ctx_switch_gi" =
+        { "GI", "context switch", "-", "I",
+          [ResetBudget, Stat("approx_evictions")], Unit },
+    GiTimeout: "gi_timeout" =
+        { "GI", "timeout", "-", "I",
+          [Stat("gi_timeouts")], Check },
+}
+
+/// One row of the directory transition table.
+#[derive(Debug)]
+pub struct DirRow {
+    pub id: DirRowId,
+    pub name: &'static str,
+    /// Directory state (`NP`, `S(x)`, `O(x)`) or transaction phase.
+    pub state: &'static str,
+    pub event: &'static str,
+    pub guard: &'static str,
+    pub next: &'static str,
+    pub ops: &'static [MicroOp],
+    pub reach: Reach,
+}
+
+rows! {
+    /// Row ids of the directory controller table ([`DIR_ROWS`]).
+    DirRowId, DirRow, DIR_ROWS, DIR_ROW_COUNT;
+
+    // -- request admission --------------------------------------------
+    ReqQueued: "req_queued" =
+        { "busy", "GETS|GETX|UPGRADE|PUT*", "transaction in flight", "=",
+          [], Check },
+
+    // -- eviction notices ---------------------------------------------
+    PutSSharer: "puts_sharer" =
+        { "S(s)", "PUTS", "requestor is a sharer", "S(s-req) or NP",
+          [SetDir("drop sharer")], Bench },
+    PutSStale: "puts_stale" =
+        { "*", "PUTS", "requestor not a sharer", "=",
+          [], Bench },
+    PutEOwner: "pute_owner" =
+        { "O(req)", "PUTE", "-", "NP",
+          [SetDir("NP"), Send("WB_ACK")], Bench },
+    PutEStale: "pute_stale" =
+        { "*", "PUTE", "requestor not owner", "=",
+          [Send("WB_ACK")], Unit },
+    PutMOwner: "putm_owner" =
+        { "O(req)", "PUTM", "-", "NP",
+          [Stat("l2_writes"), FillLine, SetDir("NP"), Send("WB_ACK")], Bench },
+    PutMStale: "putm_stale" =
+        { "*", "PUTM", "requestor not owner", "=",
+          [Send("WB_ACK")], Unit },
+
+    // -- requests on a resident line ----------------------------------
+    GetsNpExclusive: "gets_np_grant_e" =
+        { "NP", "GETS", "MESI (E grant enabled)", "O(req)",
+          [Stat("l2_reads"), SetDir("O(req)"), Send("DATA(E)")], Check },
+    GetsNpShared: "gets_np_grant_s" =
+        { "NP", "GETS", "MSI (E grant disabled)", "S{req}",
+          [Stat("l2_reads"), SetDir("S{req}"), Send("DATA(S)")], Check },
+    GetsShared: "gets_shared" =
+        { "S(s)", "GETS", "-", "S(s+req)",
+          [Stat("l2_reads"), SetDir("add sharer"), Send("DATA(S)")], Check },
+    GetsOwned: "gets_owned" =
+        { "O(o)", "GETS", "-", "await owner data",
+          [Send("FWD_GETS")], Check },
+    GetxNp: "getx_np" =
+        { "NP", "GETX", "-", "O(req)",
+          [Stat("l2_reads"), SetDir("O(req)"), Send("DATA(M)")], Check },
+    GetxShared: "getx_shared" =
+        { "S(s)", "GETX", "-", "collect acks",
+          [Send("INV")], Check },
+    GetxOwned: "getx_owned" =
+        { "O(o)", "GETX", "-", "await owner data",
+          [Send("FWD_GETX")], Check },
+    UpgradeSole: "upgrade_sole" =
+        { "S({req})", "UPGRADE", "no other sharer", "O(req)",
+          [SetDir("O(req)"), Send("UPG_ACK")], Check },
+    UpgradeInv: "upgrade_inv" =
+        { "S(s)", "UPGRADE", "other sharers", "collect acks",
+          [Send("INV")], Check },
+    UpgradeRace: "upgrade_race" =
+        { "*", "UPGRADE", "requestor no longer a sharer", "as GETX",
+          [], Check },
+
+    // -- L2 fill / recall ---------------------------------------------
+    FillFree: "fill_free" =
+        { "absent", "GETS|GETX|UPGRADE", "free way", "fetching",
+          [AllocWay, Send("MEM_READ")], Check },
+    FillEvictNp: "fill_evict_np" =
+        { "absent", "GETS|GETX|UPGRADE", "victim NP", "fetching",
+          [EvictWay, AllocWay, Send("MEM_READ")], Bench },
+    FillRecallShared: "fill_recall_shared" =
+        { "absent", "GETS|GETX|UPGRADE", "victim S(s)", "recalling",
+          [Stat("l2_recalls"), Send("INV")], Bench },
+    FillRecallOwned: "fill_recall_owned" =
+        { "absent", "GETS|GETX|UPGRADE", "victim O(o)", "recalling",
+          [Stat("l2_recalls"), Send("FWD_GETX")], Bench },
+    FillStalled: "fill_stalled" =
+        { "absent", "GETS|GETX|UPGRADE", "every way busy", "stalled",
+          [], Unit },
+
+    // -- invalidation acks --------------------------------------------
+    RecallInvAck: "recall_inv_ack" =
+        { "recalling", "INV_ACK", "victim of a recall", "fetching when last",
+          [CollectAck], Bench },
+    InvAckPending: "inv_ack_pending" =
+        { "collect acks", "INV_ACK", "more acks outstanding", "=",
+          [CollectAck], Bench },
+    InvAckLastGetx: "inv_ack_last_getx" =
+        { "collect acks", "INV_ACK", "last ack, GETX", "O(req)",
+          [CollectAck, Stat("l2_reads"), SetDir("O(req)"), Send("DATA(M)")], Check },
+    InvAckLastUpgrade: "inv_ack_last_upgrade" =
+        { "collect acks", "INV_ACK", "last ack, UPGRADE", "O(req)",
+          [CollectAck, SetDir("O(req)"), Send("UPG_ACK")], Check },
+    InvAckGets: "inv_ack_gets" =
+        { "collect acks", "INV_ACK", "GETS transaction", "-",
+          [Error], Never },
+
+    // -- owner data ---------------------------------------------------
+    RecallOwnerData: "recall_owner_data" =
+        { "recalling", "DATA_TO_DIR", "victim of a recall", "fetching",
+          [Stat("l2_writes"), FillLine, EvictWay, Send("MEM_WRITE"), Send("MEM_READ")],
+          Bench },
+    OwnerDataGets: "owner_data_gets" =
+        { "await owner data", "DATA_TO_DIR", "GETS transaction", "S(o+req) or S{req}",
+          [Stat("l2_writes"), FillLine, SetDir("sharers"), Send("DATA(S)")], Check },
+    OwnerDataGetx: "owner_data_getx" =
+        { "await owner data", "DATA_TO_DIR", "GETX transaction", "O(req)",
+          [Stat("l2_writes"), FillLine, SetDir("O(req)"), Send("DATA(M)")], Check },
+    OwnerDataUpgrade: "owner_data_upgrade" =
+        { "await owner data", "DATA_TO_DIR", "UPGRADE transaction", "-",
+          [Error], Never },
+
+    // -- memory fill / completion -------------------------------------
+    MemData: "mem_data" =
+        { "fetching", "MEM_DATA", "-", "act on filled line",
+          [Stat("l2_writes"), FillLine], Check },
+    Unblock: "unblock" =
+        { "completing", "UNBLOCK", "-", "idle (release queue)",
+          [], Check },
+
+    // -- stray traffic ------------------------------------------------
+    StrayInvAck: "stray_inv_ack" =
+        { "idle", "INV_ACK", "no transaction", "-",
+          [Error], Never },
+    StrayOwnerData: "stray_owner_data" =
+        { "idle", "DATA_TO_DIR", "no transaction", "-",
+          [Error], Never },
+    StrayMemData: "stray_mem_data" =
+        { "idle", "MEM_DATA", "no transaction", "-",
+          [Error], Never },
+    StrayUnblock: "stray_unblock" =
+        { "idle", "UNBLOCK", "no transaction", "-",
+          [Error], Never },
+    DirUnexpectedMsg: "dir_unexpected_msg" =
+        { "*", "other payload", "-", "-",
+          [Error], Never },
+}
+
+/// A row from either controller's table.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RowRef {
+    L1(L1RowId),
+    Dir(DirRowId),
+}
+
+impl RowRef {
+    /// Stable row name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RowRef::L1(id) => id.name(),
+            RowRef::Dir(id) => id.name(),
+        }
+    }
+}
+
+/// Looks a row up by name across both tables (row names are unique).
+pub fn find_row(name: &str) -> Option<RowRef> {
+    L1RowId::by_name(name)
+        .map(RowRef::L1)
+        .or_else(|| DirRowId::by_name(name).map(RowRef::Dir))
+}
+
+/// The live subset of L1 table rows under one configuration. Protocol
+/// variants and ablations are deltas on this set: the controller's
+/// guards ask `contains` instead of reading config flags.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct L1RowSet(u64);
+
+impl L1RowSet {
+    const fn full() -> Self {
+        Self((1u64 << L1_ROW_COUNT) - 1)
+    }
+
+    const fn without(self, id: L1RowId) -> Self {
+        Self(self.0 & !(1u64 << id as usize))
+    }
+
+    /// True if `id` is a live row under this configuration.
+    pub fn contains(self, id: L1RowId) -> bool {
+        self.0 & (1u64 << id as usize) != 0
+    }
+
+    /// Rows removed relative to `other` (for the docs/tests).
+    pub fn removed_from(self, other: Self) -> Vec<L1RowId> {
+        L1RowId::all()
+            .filter(|&id| other.contains(id) && !self.contains(id))
+            .collect()
+    }
+
+    /// The full Ghostwriter table minus the GS/GI entry rows the
+    /// configuration disables: `enable_gs = false` removes exactly
+    /// [`L1RowId::EnterGs`], `enable_gi = false` removes exactly
+    /// [`L1RowId::EnterGi`], and `GiStorePolicy::Capture` removes
+    /// [`L1RowId::GiBreak`] (a failing scribble is captured like a
+    /// store instead of breaking the hidden window).
+    pub fn ghostwriter(gw: &GwParams) -> Self {
+        let mut set = Self::full();
+        if !gw.enable_gs {
+            set = set.without(L1RowId::EnterGs);
+        }
+        if !gw.enable_gi {
+            set = set.without(L1RowId::EnterGi);
+        }
+        if gw.gi_stores == GiStorePolicy::Capture {
+            set = set.without(L1RowId::GiBreak);
+        }
+        set
+    }
+
+    /// The pure-MESI baseline: the Ghostwriter table minus every GS/GI
+    /// row. With no scribe configured the GS/GI states can never be
+    /// entered, so all rows touching them are dead.
+    pub const fn mesi_baseline() -> Self {
+        Self::full()
+            .without(L1RowId::EnterGs)
+            .without(L1RowId::EnterGi)
+            .without(L1RowId::GiStoreHit)
+            .without(L1RowId::GiBreak)
+            .without(L1RowId::GsHit)
+            .without(L1RowId::UpgradeFromGs)
+            .without(L1RowId::LoadHitGi)
+            .without(L1RowId::InvGs)
+            .without(L1RowId::EvictGs)
+            .without(L1RowId::EvictGi)
+            .without(L1RowId::CtxForfeitGs)
+            .without(L1RowId::CtxForfeitGi)
+            .without(L1RowId::GiTimeout)
+    }
+
+    /// Row set for an optional Ghostwriter configuration.
+    pub fn for_config(gw: Option<&GwParams>) -> Self {
+        match gw {
+            Some(gw) => Self::ghostwriter(gw),
+            None => Self::mesi_baseline(),
+        }
+    }
+}
+
+/// The live subset of directory table rows under one configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct DirRowSet(u64);
+
+impl DirRowSet {
+    const fn full() -> Self {
+        Self((1u64 << DIR_ROW_COUNT) - 1)
+    }
+
+    const fn without(self, id: DirRowId) -> Self {
+        Self(self.0 & !(1u64 << id as usize))
+    }
+
+    /// True if `id` is a live row under this configuration.
+    pub fn contains(self, id: DirRowId) -> bool {
+        self.0 & (1u64 << id as usize) != 0
+    }
+
+    /// MESI directory: exclusive grants enabled, so the MSI-only
+    /// shared-grant row is dead.
+    pub const fn mesi() -> Self {
+        Self::full().without(DirRowId::GetsNpShared)
+    }
+
+    /// MSI directory: the MESI table minus the E-grant row (plus the
+    /// shared-grant row it replaces).
+    pub const fn msi() -> Self {
+        Self::full().without(DirRowId::GetsNpExclusive)
+    }
+
+    /// Row set for a directory with/without exclusive grants.
+    pub fn for_config(grant_exclusive: bool) -> Self {
+        if grant_exclusive {
+            Self::mesi()
+        } else {
+            Self::msi()
+        }
+    }
+}
+
+/// Per-row hit counters for both controllers. Threaded through
+/// [`crate::stats::Stats`] (but deliberately *not* serialized into
+/// records: coverage is observability, not a result).
+#[derive(Clone, Debug)]
+pub struct Coverage {
+    pub l1: [u64; L1_ROW_COUNT],
+    pub dir: [u64; DIR_ROW_COUNT],
+}
+
+impl Default for Coverage {
+    fn default() -> Self {
+        Self {
+            l1: [0; L1_ROW_COUNT],
+            dir: [0; DIR_ROW_COUNT],
+        }
+    }
+}
+
+impl Coverage {
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &Coverage) {
+        for (a, b) in self.l1.iter_mut().zip(&other.l1) {
+            *a += b;
+        }
+        for (a, b) in self.dir.iter_mut().zip(&other.dir) {
+            *a += b;
+        }
+    }
+
+    /// True if no row has fired at all (e.g. stats deserialized from a
+    /// cached record, which never carries coverage).
+    pub fn is_empty(&self) -> bool {
+        self.l1.iter().all(|&c| c == 0) && self.dir.iter().all(|&c| c == 0)
+    }
+
+    /// Hit count of an L1 row.
+    pub fn l1_hits(&self, id: L1RowId) -> u64 {
+        self.l1[id as usize]
+    }
+
+    /// Hit count of a directory row.
+    pub fn dir_hits(&self, id: DirRowId) -> u64 {
+        self.dir[id as usize]
+    }
+
+    /// `(reached, total)` over the L1 table, excluding `Never` rows.
+    pub fn l1_reached(&self) -> (usize, usize) {
+        let live: Vec<_> = L1RowId::all()
+            .filter(|id| id.row().reach != Reach::Never)
+            .collect();
+        let hit = live.iter().filter(|&&id| self.l1_hits(id) > 0).count();
+        (hit, live.len())
+    }
+
+    /// `(reached, total)` over the directory table, excluding `Never`
+    /// rows.
+    pub fn dir_reached(&self) -> (usize, usize) {
+        let live: Vec<_> = DirRowId::all()
+            .filter(|id| id.row().reach != Reach::Never)
+            .collect();
+        let hit = live.iter().filter(|&&id| self.dir_hits(id) > 0).count();
+        (hit, live.len())
+    }
+
+    /// Names of unreached rows of the given reach class.
+    pub fn unreached(&self, class: Reach) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for id in L1RowId::all() {
+            if id.row().reach == class && self.l1_hits(id) == 0 {
+                out.push(id.name());
+            }
+        }
+        for id in DirRowId::all() {
+            if id.row().reach == class && self.dir_hits(id) == 0 {
+                out.push(id.name());
+            }
+        }
+        out
+    }
+
+    /// Names of `Never` rows that *did* fire (each firing also raised a
+    /// [`ProtocolError`], so this should stay empty).
+    pub fn fired_never_rows(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for id in L1RowId::all() {
+            if id.row().reach == Reach::Never && self.l1_hits(id) > 0 {
+                out.push(id.name());
+            }
+        }
+        for id in DirRowId::all() {
+            if id.row().reach == Reach::Never && self.dir_hits(id) > 0 {
+                out.push(id.name());
+            }
+        }
+        out
+    }
+}
+
+fn render_ops(ops: &[MicroOp]) -> String {
+    if ops.is_empty() {
+        return "-".into();
+    }
+    ops.iter()
+        .map(|op| op.render())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders the full transition table as the committed
+/// `docs/protocol-table.md` (one section per controller). A test fails
+/// when the committed rendering is stale.
+pub fn render_markdown() -> String {
+    let mut out = String::new();
+    out.push_str("# The MESI+GS/GI transition table\n\n");
+    out.push_str(
+        "*Generated from `crates/core/src/proto.rs` — do not edit by hand.\n\
+         Regenerate with `UPDATE_GOLDEN=1 cargo test -p ghostwriter-core \
+         --test protocol_table_doc`.*\n\n",
+    );
+    out.push_str(
+        "Every transition either controller executes is a named row of\n\
+         these tables. Reach classes: **check** rows are exercised by the\n\
+         tier-1 `gwcheck` sweeps, **bench** rows by the `gwbench --smoke`\n\
+         workloads (they need 3-op sequences, a third sharer, or\n\
+         evictions the pool-sized 2-op checker configs rule out),\n\
+         **unit** rows only by dedicated unit tests,\n\
+         and **never** rows are intentionally unreachable — firing one\n\
+         raises a typed `ProtocolError` that the model checker reports as\n\
+         a shrunk counterexample.\n\n",
+    );
+
+    out.push_str("## L1 controller\n\n");
+    out.push_str("| Row | State | Event | Guard | Actions | Next | Reach |\n");
+    out.push_str("|-----|-------|-------|-------|---------|------|-------|\n");
+    for row in &L1_ROWS {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} | {} |\n",
+            row.name,
+            row.state,
+            row.event,
+            row.guard,
+            render_ops(row.ops),
+            row.next,
+            row.reach.label()
+        ));
+    }
+
+    out.push_str("\n## Directory controller\n\n");
+    out.push_str("| Row | State | Event | Guard | Actions | Next | Reach |\n");
+    out.push_str("|-----|-------|-------|-------|---------|------|-------|\n");
+    for row in &DIR_ROWS {
+        out.push_str(&format!(
+            "| `{}` | {} | {} | {} | {} | {} | {} |\n",
+            row.name,
+            row.state,
+            row.event,
+            row.guard,
+            render_ops(row.ops),
+            row.next,
+            row.reach.label()
+        ));
+    }
+
+    out.push_str("\n## Configuration deltas\n\n");
+    out.push_str(
+        "Protocol variants are row-subset deltas over the full Ghostwriter\n\
+         table, computed by `L1RowSet`/`DirRowSet`:\n\n",
+    );
+    let full = L1RowSet::full();
+    let delta = |set: L1RowSet| {
+        let removed = set.removed_from(full);
+        if removed.is_empty() {
+            "(none)".to_string()
+        } else {
+            removed
+                .iter()
+                .map(|id| format!("`{}`", id.name()))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+    };
+    let gw = GwParams {
+        scribe: crate::scribe::ScribePolicy::Bitwise,
+        enable_gs: true,
+        enable_gi: true,
+        gi_stores: GiStorePolicy::Fallback,
+        max_hidden_writes: None,
+    };
+    out.push_str(&format!(
+        "- pure MESI baseline removes {}\n",
+        delta(L1RowSet::mesi_baseline())
+    ));
+    out.push_str(&format!(
+        "- `ablation_states` GS-only removes {}\n",
+        delta(L1RowSet::ghostwriter(&GwParams {
+            enable_gi: false,
+            ..gw
+        }))
+    ));
+    out.push_str(&format!(
+        "- `ablation_states` GI-only removes {}\n",
+        delta(L1RowSet::ghostwriter(&GwParams {
+            enable_gs: false,
+            ..gw
+        }))
+    ));
+    out.push_str(&format!(
+        "- `GiStorePolicy::Capture` removes {}\n",
+        delta(L1RowSet::ghostwriter(&GwParams {
+            gi_stores: GiStorePolicy::Capture,
+            ..gw
+        }))
+    ));
+    out.push_str(
+        "- the MSI directory removes `gets_np_grant_e`; the MESI directory \
+         removes `gets_np_grant_s`\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scribe::ScribePolicy;
+
+    fn gw() -> GwParams {
+        GwParams {
+            scribe: ScribePolicy::Bitwise,
+            enable_gs: true,
+            enable_gi: true,
+            gi_stores: GiStorePolicy::Fallback,
+            max_hidden_writes: None,
+        }
+    }
+
+    #[test]
+    fn row_tables_are_indexed_by_id() {
+        for (i, row) in L1_ROWS.iter().enumerate() {
+            assert_eq!(row.id as usize, i, "L1 row {} out of order", row.name);
+        }
+        for (i, row) in DIR_ROWS.iter().enumerate() {
+            assert_eq!(row.id as usize, i, "dir row {} out of order", row.name);
+        }
+    }
+
+    #[test]
+    fn row_names_are_unique_across_both_tables() {
+        let mut seen = std::collections::HashSet::new();
+        for row in &L1_ROWS {
+            assert!(seen.insert(row.name), "duplicate row name {}", row.name);
+        }
+        for row in &DIR_ROWS {
+            assert!(seen.insert(row.name), "duplicate row name {}", row.name);
+        }
+    }
+
+    #[test]
+    fn find_row_resolves_both_controllers() {
+        assert_eq!(find_row("gi_timeout"), Some(RowRef::L1(L1RowId::GiTimeout)));
+        assert_eq!(find_row("unblock"), Some(RowRef::Dir(DirRowId::Unblock)));
+        assert_eq!(find_row("no_such_row"), None);
+    }
+
+    #[test]
+    fn error_rows_are_exactly_the_never_class() {
+        for row in &L1_ROWS {
+            assert_eq!(
+                row.ops.contains(&MicroOp::Error),
+                row.reach == Reach::Never,
+                "L1 row {}: Error micro-op must match Reach::Never",
+                row.name
+            );
+        }
+        for row in &DIR_ROWS {
+            assert_eq!(
+                row.ops.contains(&MicroOp::Error),
+                row.reach == Reach::Never,
+                "dir row {}: Error micro-op must match Reach::Never",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn ablations_are_single_row_deltas() {
+        let full = L1RowSet::ghostwriter(&gw());
+        assert_eq!(
+            L1RowSet::ghostwriter(&GwParams {
+                enable_gs: false,
+                ..gw()
+            })
+            .removed_from(full),
+            vec![L1RowId::EnterGs]
+        );
+        assert_eq!(
+            L1RowSet::ghostwriter(&GwParams {
+                enable_gi: false,
+                ..gw()
+            })
+            .removed_from(full),
+            vec![L1RowId::EnterGi]
+        );
+        assert_eq!(
+            L1RowSet::ghostwriter(&GwParams {
+                gi_stores: GiStorePolicy::Capture,
+                ..gw()
+            })
+            .removed_from(full),
+            vec![L1RowId::GiBreak]
+        );
+    }
+
+    #[test]
+    fn mesi_baseline_removes_every_gs_gi_row() {
+        let set = L1RowSet::mesi_baseline();
+        for id in L1RowId::all() {
+            let row = id.row();
+            let touches_gw = row.state.contains('G') || row.name.contains("gi_");
+            if touches_gw && !row.state.contains('|') {
+                assert!(
+                    !set.contains(id),
+                    "MESI baseline must remove GS/GI row {}",
+                    row.name
+                );
+            }
+        }
+        // MESI keeps every conventional row.
+        assert!(set.contains(L1RowId::LoadHit));
+        assert!(set.contains(L1RowId::StoreHitE));
+        assert!(set.contains(L1RowId::UpgradeFromS));
+    }
+
+    #[test]
+    fn dir_row_sets_differ_only_in_the_grant_row() {
+        assert!(DirRowSet::mesi().contains(DirRowId::GetsNpExclusive));
+        assert!(!DirRowSet::mesi().contains(DirRowId::GetsNpShared));
+        assert!(DirRowSet::msi().contains(DirRowId::GetsNpShared));
+        assert!(!DirRowSet::msi().contains(DirRowId::GetsNpExclusive));
+    }
+
+    #[test]
+    fn homing_is_low_order_interleave() {
+        let h = Homing::new(4);
+        assert_eq!(h.banks(), 4);
+        for i in 0..16u64 {
+            let block = ghostwriter_mem::Addr(i * 64).block();
+            assert_eq!(h.home(block), (block.index() % 4) as usize);
+        }
+    }
+
+    #[test]
+    fn coverage_merge_and_reports() {
+        let mut a = Coverage::default();
+        assert!(a.is_empty());
+        let mut b = Coverage::default();
+        b.l1[L1RowId::LoadHit as usize] = 2;
+        b.dir[DirRowId::Unblock as usize] = 1;
+        a.merge(&b);
+        a.merge(&b);
+        assert_eq!(a.l1_hits(L1RowId::LoadHit), 4);
+        assert_eq!(a.dir_hits(DirRowId::Unblock), 2);
+        assert!(!a.is_empty());
+        let (l1_hit, l1_total) = a.l1_reached();
+        assert_eq!(l1_hit, 1);
+        assert!(l1_total > 30);
+        assert!(a.unreached(Reach::Check).contains(&"load_invalid_tag"));
+        assert!(a.fired_never_rows().is_empty());
+    }
+
+    #[test]
+    fn markdown_renders_every_row() {
+        let md = render_markdown();
+        for row in &L1_ROWS {
+            assert!(md.contains(row.name), "docs missing L1 row {}", row.name);
+        }
+        for row in &DIR_ROWS {
+            assert!(md.contains(row.name), "docs missing dir row {}", row.name);
+        }
+    }
+}

@@ -8,6 +8,7 @@
 use ghostwriter_energy::{EnergyBreakdown, EnergyEvents, EnergyModel};
 use ghostwriter_noc::{MessageKind, TrafficStats};
 
+use crate::proto::Coverage;
 use crate::scribe::SimilarityHistogram;
 
 /// Raw counters accumulated during a run.
@@ -79,6 +80,12 @@ pub struct Stats {
     pub energy_events: EnergyEvents,
     /// Fig. 2 store value-similarity histogram.
     pub similarity: SimilarityHistogram,
+
+    // ---- observability ----
+    /// Per-row transition-table hit counters (`core::proto`). Not
+    /// serialized into records: coverage reports which table rows a run
+    /// exercised, it is not part of the run's result.
+    pub coverage: Coverage,
 }
 
 impl Stats {
@@ -145,6 +152,7 @@ impl Stats {
         self.traffic.merge(&other.traffic);
         self.energy_events.merge(&other.energy_events);
         self.similarity.merge(&other.similarity);
+        self.coverage.merge(&other.coverage);
     }
 }
 

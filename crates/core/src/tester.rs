@@ -97,6 +97,7 @@ impl TesterConfig {
             l2_ways: self.l2_ways,
             gw,
             msi: self.msi,
+            disabled_row: None,
         }
     }
 }
@@ -194,7 +195,9 @@ impl ProtocolTester {
             }
             if self.cfg.gi_timeout_prob > 0.0 && self.rng.gen_bool(self.cfg.gi_timeout_prob) {
                 let core = self.rng.gen_range(0..self.cfg.cores);
-                self.sys.gi_timeout(core);
+                if let Err(v) = self.sys.gi_timeout(core) {
+                    panic!("invariant violated in GI-timeout sweep on core {core}: {v}");
+                }
             }
             if self.issued.is_multiple_of(16) {
                 self.checks += 1;

@@ -1,0 +1,30 @@
+//! `docs/protocol-table.md` is generated from the declarative
+//! transition table in `ghostwriter_core::proto` and committed, so the
+//! protocol spec people read is provably the one the controllers run.
+//! This test fails when the committed rendering goes stale.
+
+use std::fs;
+use std::path::PathBuf;
+
+#[test]
+fn protocol_table_doc_is_current() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../docs/protocol-table.md");
+    let want = ghostwriter_core::proto::render_markdown();
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, &want).unwrap();
+        return;
+    }
+    let have = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing {} ({e}); regenerate with UPDATE_GOLDEN=1 cargo test \
+             -p ghostwriter-core --test protocol_table_doc",
+            path.display()
+        )
+    });
+    assert_eq!(
+        have, want,
+        "docs/protocol-table.md is stale; regenerate with UPDATE_GOLDEN=1 \
+         cargo test -p ghostwriter-core --test protocol_table_doc"
+    );
+}

@@ -85,7 +85,7 @@ fn prepare(target: L1State) -> (L1Cache, Stats) {
     let block = Addr(ADDR).block();
     match target {
         L1State::S | L1State::E => {
-            c.access(req(AccessKind::Load, 0), &mut s);
+            c.access(req(AccessKind::Load, 0), &mut s).unwrap();
             let grant = if target == L1State::S {
                 Grant::Shared
             } else {
@@ -97,34 +97,38 @@ fn prepare(target: L1State) -> (L1Cache, Stats) {
                     grant,
                 }),
                 &mut s,
-            );
+            )
+            .unwrap();
         }
         L1State::M => {
-            c.access(req(AccessKind::Store, 0), &mut s);
+            c.access(req(AccessKind::Store, 0), &mut s).unwrap();
             c.handle_msg(
                 dir_msg(Payload::Data {
                     data: BlockData::zeroed(),
                     grant: Grant::Modified,
                 }),
                 &mut s,
-            );
+            )
+            .unwrap();
         }
         L1State::I => {
             let (cc, ss) = prepare(L1State::S);
             let (mut cc, mut ss) = (cc, ss);
-            cc.handle_msg(dir_msg(Payload::Inv), &mut ss);
+            cc.handle_msg(dir_msg(Payload::Inv), &mut ss).unwrap();
             assert_eq!(cc.state_of(block), Some(L1State::I));
             return (cc, ss);
         }
         L1State::Gs => {
             let (mut cc, mut ss) = prepare(L1State::S);
-            cc.access(req(AccessKind::Scribble { d: 4 }, 1), &mut ss);
+            cc.access(req(AccessKind::Scribble { d: 4 }, 1), &mut ss)
+                .unwrap();
             assert_eq!(cc.state_of(block), Some(L1State::Gs));
             return (cc, ss);
         }
         L1State::Gi => {
             let (mut cc, mut ss) = prepare(L1State::I);
-            cc.access(req(AccessKind::Scribble { d: 4 }, 1), &mut ss);
+            cc.access(req(AccessKind::Scribble { d: 4 }, 1), &mut ss)
+                .unwrap();
             assert_eq!(cc.state_of(block), Some(L1State::Gi));
             return (cc, ss);
         }
@@ -176,7 +180,7 @@ fn fig3_transition_table() {
     ];
     for (start, kind, value, want_action, want_state) in rows {
         let (mut c, mut s) = prepare(start);
-        let outs = c.access(req(kind, value), &mut s);
+        let outs = c.access(req(kind, value), &mut s).unwrap();
         let action = classify(&outs);
         assert_eq!(
             action, want_action,
@@ -197,7 +201,7 @@ fn invalidation_rows() {
     use L1State::*;
     for (start, want) in [(S, I), (Gs, I), (I, I)] {
         let (mut c, mut s) = prepare(start);
-        let outs = c.handle_msg(dir_msg(Payload::Inv), &mut s);
+        let outs = c.handle_msg(dir_msg(Payload::Inv), &mut s).unwrap();
         assert!(
             outs.iter().any(|o| matches!(o, L1Out::Send(m)
                 if m.payload.name() == "INV_ACK")),
@@ -213,7 +217,7 @@ fn timeout_rows() {
     use L1State::*;
     for (start, want) in [(Gi, I), (Gs, Gs), (S, S), (M, M), (E, E), (I, I)] {
         let (mut c, mut s) = prepare(start);
-        c.gi_timeout_sweep(&mut s);
+        c.gi_timeout_sweep(&mut s).unwrap();
         assert_eq!(c.state_of(Addr(ADDR).block()), Some(want), "{start:?}");
     }
 }
@@ -230,7 +234,7 @@ fn forward_rows() {
         (E, Payload::FwdGetx, I),
     ] {
         let (mut c, mut s) = prepare(start);
-        let outs = c.handle_msg(dir_msg(fwd.clone()), &mut s);
+        let outs = c.handle_msg(dir_msg(fwd.clone()), &mut s).unwrap();
         assert!(
             outs.iter().any(|o| matches!(o, L1Out::Send(m)
                 if m.payload.name() == "DATA_TO_DIR")),
@@ -268,19 +272,23 @@ fn capture_policy_flips_the_gi_fail_row() {
         Stats::default(),
     );
     // Reach GI: S → INV → I → passing scribble.
-    c.access(req(AccessKind::Load, 0), &mut s);
+    c.access(req(AccessKind::Load, 0), &mut s).unwrap();
     c.handle_msg(
         dir_msg(Payload::Data {
             data: BlockData::zeroed(),
             grant: Grant::Shared,
         }),
         &mut s,
-    );
-    c.handle_msg(dir_msg(Payload::Inv), &mut s);
-    c.access(req(AccessKind::Scribble { d: 4 }, 1), &mut s);
+    )
+    .unwrap();
+    c.handle_msg(dir_msg(Payload::Inv), &mut s).unwrap();
+    c.access(req(AccessKind::Scribble { d: 4 }, 1), &mut s)
+        .unwrap();
     assert_eq!(c.state_of(Addr(ADDR).block()), Some(L1State::Gi));
     // Failing scribble: hits under Capture.
-    let outs = c.access(req(AccessKind::Scribble { d: 4 }, 0x100), &mut s);
+    let outs = c
+        .access(req(AccessKind::Scribble { d: 4 }, 0x100), &mut s)
+        .unwrap();
     assert_eq!(classify(&outs), Action::Hit);
     assert_eq!(c.state_of(Addr(ADDR).block()), Some(L1State::Gi));
 }

@@ -156,6 +156,23 @@ fn run_experiments(experiments: Vec<Experiment>, opts: &Options) -> i32 {
         log.wall_ms
     );
 
+    // Transition-coverage over the cells that actually simulated this
+    // invocation (cache-loaded records carry no coverage counters, so a
+    // fully-warm run prints nothing).
+    let mut coverage = ghostwriter_core::Coverage::default();
+    for r in &records {
+        coverage.merge(&r.stats.coverage);
+    }
+    if !coverage.is_empty() {
+        let (l1_hit, l1_total) = coverage.l1_reached();
+        let (dir_hit, dir_total) = coverage.dir_reached();
+        eprintln!(
+            "gwbench: transition coverage (freshly executed cells): \
+             L1 {l1_hit}/{l1_total} rows, directory {dir_hit}/{dir_total} rows \
+             (see docs/protocol-table.md)"
+        );
+    }
+
     if opts.expect_cached && log.executed > 0 {
         eprintln!(
             "gwbench: --expect-cached but {} cell(s) simulated",
