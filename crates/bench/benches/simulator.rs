@@ -40,10 +40,10 @@ fn l1_hit_path(c: &mut Criterion) {
                 ..MachineConfig::default()
             });
             let a = m.alloc_padded(64);
-            m.add_thread(move |ctx| {
-                ctx.store_u32(a, 1);
+            m.add_thread(move |ctx| async move {
+                ctx.store_u32(a, 1).await;
                 for _ in 0..9_999 {
-                    black_box(ctx.load_u32(a));
+                    black_box(ctx.load_u32(a).await);
                 }
             });
             black_box(m.run().report.cycles)
@@ -60,11 +60,11 @@ fn l1_hit_path(c: &mut Criterion) {
             });
             let a = m.alloc_padded(64);
             for t in 0..2u64 {
-                m.add_thread(move |ctx| {
+                m.add_thread(move |ctx| async move {
                     let slot = a.add(4 * t);
                     for i in 0..1_000u32 {
-                        let v = ctx.load_u32(slot);
-                        ctx.store_u32(slot, v + i);
+                        let v = ctx.load_u32(slot).await;
+                        ctx.store_u32(slot, v + i).await;
                     }
                 });
             }

@@ -1,61 +1,71 @@
 //! The workload-facing thread API.
 //!
-//! A [`ThreadCtx`] is handed to each workload closure; every method is one
-//! simulated instruction. Loads/stores go through the simulated memory
-//! hierarchy (and therefore the coherence protocol); `scribble_*` are the
-//! paper's approximate stores, which take effect only inside an
+//! A [`ThreadCtx`] is handed to each workload body; every `async` method
+//! is one simulated instruction — awaiting it suspends the workload until
+//! the engine has simulated the operation and resumes the core with the
+//! result. Loads/stores go through the simulated memory hierarchy (and
+//! therefore the coherence protocol); `scribble_*` are the paper's
+//! approximate stores, which take effect only inside an
 //! `approx_begin`/`approx_end` region; `work` charges pure compute cycles.
 //!
 //! Floats travel as raw bit patterns, so the scribe comparator sees exactly
 //! the bits a hardware implementation would.
 
+use std::rc::Rc;
+
 use ghostwriter_mem::Addr;
-use ghostwriter_sim::ThreadPort;
+use ghostwriter_sim::OpCell;
 
 use crate::op::{OpKind, ThreadOp, ThreadReply};
 
-/// Per-thread handle to the simulated machine.
-pub struct ThreadCtx<'a> {
-    port: &'a ThreadPort<ThreadOp, ThreadReply>,
+/// Per-thread handle to the simulated machine. Owned by the workload
+/// future; each method awaits one engine round trip.
+pub struct ThreadCtx {
+    cell: Rc<OpCell<ThreadOp, ThreadReply>>,
+    tid: usize,
 }
 
 macro_rules! int_accessors {
     ($load:ident, $store:ident, $scribble:ident, $ty:ty, $size:expr) => {
         /// Loads a value of this width.
-        pub fn $load(&self, addr: Addr) -> $ty {
-            self.access(addr, $size, OpKind::Load, 0) as $ty
+        pub async fn $load(&self, addr: Addr) -> $ty {
+            self.access(addr, $size, OpKind::Load, 0).await as $ty
         }
         /// Conventional (always coherent) store.
-        pub fn $store(&self, addr: Addr, value: $ty) {
-            self.access(addr, $size, OpKind::Store, value as u64);
+        pub async fn $store(&self, addr: Addr, value: $ty) {
+            self.access(addr, $size, OpKind::Store, value as u64).await;
         }
         /// Approximate store: behaves per the Ghostwriter protocol inside
         /// an approximate region, degrades to a conventional store outside
         /// one (or under the MESI baseline).
-        pub fn $scribble(&self, addr: Addr, value: $ty) {
-            self.access(addr, $size, OpKind::Scribble, value as u64);
+        pub async fn $scribble(&self, addr: Addr, value: $ty) {
+            self.access(addr, $size, OpKind::Scribble, value as u64)
+                .await;
         }
     };
 }
 
-impl<'a> ThreadCtx<'a> {
-    /// Wraps a harness port (called by the machine, not by workloads).
-    pub fn new(port: &'a ThreadPort<ThreadOp, ThreadReply>) -> Self {
-        Self { port }
+impl ThreadCtx {
+    /// Wraps a resumable-core op cell (called by the machine, not by
+    /// workloads).
+    pub(crate) fn new(cell: Rc<OpCell<ThreadOp, ThreadReply>>, tid: usize) -> Self {
+        Self { cell, tid }
     }
 
     /// This thread's id (== the core it runs on).
     pub fn tid(&self) -> usize {
-        self.port.tid()
+        self.tid
     }
 
-    fn access(&self, addr: Addr, size: u8, kind: OpKind, value: u64) -> u64 {
-        self.port.call(ThreadOp::Access {
-            addr: addr.0,
-            size,
-            kind,
-            value,
-        })
+    async fn access(&self, addr: Addr, size: u8, kind: OpKind, value: u64) -> u64 {
+        self.cell
+            .call(ThreadOp::Access {
+                addr: addr.0,
+                size,
+                kind,
+                value,
+            })
+            .await
     }
 
     int_accessors!(load_u8, store_u8, scribble_u8, u8, 1);
@@ -64,81 +74,81 @@ impl<'a> ThreadCtx<'a> {
     int_accessors!(load_u64, store_u64, scribble_u64, u64, 8);
 
     /// Loads a signed 32-bit value.
-    pub fn load_i32(&self, addr: Addr) -> i32 {
-        self.load_u32(addr) as i32
+    pub async fn load_i32(&self, addr: Addr) -> i32 {
+        self.load_u32(addr).await as i32
     }
     /// Stores a signed 32-bit value.
-    pub fn store_i32(&self, addr: Addr, value: i32) {
-        self.store_u32(addr, value as u32);
+    pub async fn store_i32(&self, addr: Addr, value: i32) {
+        self.store_u32(addr, value as u32).await;
     }
     /// Scribbles a signed 32-bit value.
-    pub fn scribble_i32(&self, addr: Addr, value: i32) {
-        self.scribble_u32(addr, value as u32);
+    pub async fn scribble_i32(&self, addr: Addr, value: i32) {
+        self.scribble_u32(addr, value as u32).await;
     }
     /// Loads a signed 64-bit value.
-    pub fn load_i64(&self, addr: Addr) -> i64 {
-        self.load_u64(addr) as i64
+    pub async fn load_i64(&self, addr: Addr) -> i64 {
+        self.load_u64(addr).await as i64
     }
     /// Stores a signed 64-bit value.
-    pub fn store_i64(&self, addr: Addr, value: i64) {
-        self.store_u64(addr, value as u64);
+    pub async fn store_i64(&self, addr: Addr, value: i64) {
+        self.store_u64(addr, value as u64).await;
     }
     /// Scribbles a signed 64-bit value.
-    pub fn scribble_i64(&self, addr: Addr, value: i64) {
-        self.scribble_u64(addr, value as u64);
+    pub async fn scribble_i64(&self, addr: Addr, value: i64) {
+        self.scribble_u64(addr, value as u64).await;
     }
 
     /// Loads an `f32` (bit-pattern accurate).
-    pub fn load_f32(&self, addr: Addr) -> f32 {
-        f32::from_bits(self.load_u32(addr))
+    pub async fn load_f32(&self, addr: Addr) -> f32 {
+        f32::from_bits(self.load_u32(addr).await)
     }
     /// Stores an `f32`.
-    pub fn store_f32(&self, addr: Addr, value: f32) {
-        self.store_u32(addr, value.to_bits());
+    pub async fn store_f32(&self, addr: Addr, value: f32) {
+        self.store_u32(addr, value.to_bits()).await;
     }
     /// Scribbles an `f32` — under Ghostwriter, small d-distances reach
     /// only the low mantissa bits (paper §3.4).
-    pub fn scribble_f32(&self, addr: Addr, value: f32) {
-        self.scribble_u32(addr, value.to_bits());
+    pub async fn scribble_f32(&self, addr: Addr, value: f32) {
+        self.scribble_u32(addr, value.to_bits()).await;
     }
     /// Loads an `f64`.
-    pub fn load_f64(&self, addr: Addr) -> f64 {
-        f64::from_bits(self.load_u64(addr))
+    pub async fn load_f64(&self, addr: Addr) -> f64 {
+        f64::from_bits(self.load_u64(addr).await)
     }
     /// Stores an `f64`.
-    pub fn store_f64(&self, addr: Addr, value: f64) {
-        self.store_u64(addr, value.to_bits());
+    pub async fn store_f64(&self, addr: Addr, value: f64) {
+        self.store_u64(addr, value.to_bits()).await;
     }
     /// Scribbles an `f64`.
-    pub fn scribble_f64(&self, addr: Addr, value: f64) {
-        self.scribble_u64(addr, value.to_bits());
+    pub async fn scribble_f64(&self, addr: Addr, value: f64) {
+        self.scribble_u64(addr, value.to_bits()).await;
     }
 
     /// Charges `cycles` of compute time on this core (models the ALU work
     /// between memory accesses).
-    pub fn work(&self, cycles: u64) {
-        self.port.call(ThreadOp::Work(cycles));
+    pub async fn work(&self, cycles: u64) {
+        self.cell.call(ThreadOp::Work(cycles)).await;
     }
 
     /// Blocks until every live thread reaches a barrier (engine-level;
     /// costs `barrier_cost` cycles but no coherence traffic, DESIGN.md
     /// §7.5).
-    pub fn barrier(&self) {
-        self.port.call(ThreadOp::Barrier);
+    pub async fn barrier(&self) {
+        self.cell.call(ThreadOp::Barrier).await;
     }
 
     /// Enters an approximate region with the given d-distance — the
     /// paper's `approx_dist(d)` + `approx_begin(...)` pragmas (`setaprx`).
     /// Subsequent scribbles may transition blocks to `GS`/`GI`.
-    pub fn approx_begin(&self, d: u8) {
+    pub async fn approx_begin(&self, d: u8) {
         assert!(d < 64, "d-distance must fit the widest access");
-        self.port.call(ThreadOp::ApproxBegin { d });
+        self.cell.call(ThreadOp::ApproxBegin { d }).await;
     }
 
     /// Leaves the approximate region — the paper's `approx_end` pragma
     /// (`endaprx`). Blocks already in `GS`/`GI` are *not* flushed (paper
     /// §3.1); only new transitions are disabled.
-    pub fn approx_end(&self) {
-        self.port.call(ThreadOp::ApproxEnd);
+    pub async fn approx_end(&self) {
+        self.cell.call(ThreadOp::ApproxEnd).await;
     }
 }

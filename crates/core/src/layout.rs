@@ -13,12 +13,12 @@
 //! for (i, v) in [5, -3, 7, 0, 1, 2, 4, 6].iter().enumerate() {
 //!     m.backdoor_write_i32s(xs.addr(i), &[*v]);
 //! }
-//! m.add_thread(move |ctx| {
+//! m.add_thread(move |ctx| async move {
 //!     let mut sum = 0;
 //!     for i in 0..xs.len() {
-//!         sum += xs.load(ctx, i);
+//!         sum += xs.load(&ctx, i).await;
 //!     }
-//!     xs.store(ctx, 0, sum);
+//!     xs.store(&ctx, 0, sum).await;
 //! });
 //! let run = m.run();
 //! assert_eq!(run.read_i32(xs.addr(0)), 22);
@@ -73,18 +73,18 @@ macro_rules! array_view {
             }
 
             /// Loads element `i` through the simulated hierarchy.
-            pub fn load(&self, ctx: &ThreadCtx<'_>, i: usize) -> $ty {
-                ctx.$load(self.addr(i))
+            pub async fn load(&self, ctx: &ThreadCtx, i: usize) -> $ty {
+                ctx.$load(self.addr(i)).await
             }
 
             /// Conventional store to element `i`.
-            pub fn store(&self, ctx: &ThreadCtx<'_>, i: usize, v: $ty) {
-                ctx.$store(self.addr(i), v);
+            pub async fn store(&self, ctx: &ThreadCtx, i: usize, v: $ty) {
+                ctx.$store(self.addr(i), v).await;
             }
 
             /// Approximate store to element `i`.
-            pub fn scribble(&self, ctx: &ThreadCtx<'_>, i: usize, v: $ty) {
-                ctx.$scribble(self.addr(i), v);
+            pub async fn scribble(&self, ctx: &ThreadCtx, i: usize, v: $ty) {
+                ctx.$scribble(self.addr(i), v).await;
             }
         }
     };
@@ -156,13 +156,13 @@ mod tests {
         let a = ArrayI32::alloc(&mut m, 4);
         let b = ArrayF64::alloc(&mut m, 4);
         let c = ArrayU8::alloc(&mut m, 4);
-        m.add_thread(move |ctx| {
-            a.store(ctx, 3, -77);
-            b.store(ctx, 2, 2.5);
-            c.store(ctx, 1, 200);
-            assert_eq!(a.load(ctx, 3), -77);
-            assert_eq!(b.load(ctx, 2), 2.5);
-            assert_eq!(c.load(ctx, 1), 200);
+        m.add_thread(move |ctx| async move {
+            a.store(&ctx, 3, -77).await;
+            b.store(&ctx, 2, 2.5).await;
+            c.store(&ctx, 1, 200).await;
+            assert_eq!(a.load(&ctx, 3).await, -77);
+            assert_eq!(b.load(&ctx, 2).await, 2.5);
+            assert_eq!(c.load(&ctx, 1).await, 200);
         });
         let run = m.run();
         assert_eq!(run.read_i32(a.addr(3)), -77);

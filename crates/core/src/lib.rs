@@ -32,14 +32,14 @@
 //! let mut m = Machine::new(MachineConfig::small(2, Protocol::ghostwriter()));
 //! let shared = m.alloc_padded(64);
 //! for t in 0..2usize {
-//!     m.add_thread(move |ctx| {
-//!         ctx.approx_begin(4); // #pragma approx_dist(4) + approx_begin
+//!     m.add_thread(move |ctx| async move {
+//!         ctx.approx_begin(4).await; // #pragma approx_dist(4) + approx_begin
 //!         for i in 0..100u32 {
 //!             let slot = shared.add(4 * t as u64);
-//!             let v = ctx.load_u32(slot);
-//!             ctx.scribble_u32(slot, v + (i & 1)); // approximate store
+//!             let v = ctx.load_u32(slot).await;
+//!             ctx.scribble_u32(slot, v + (i & 1)).await; // approximate store
 //!         }
-//!         ctx.approx_end();
+//!         ctx.approx_end().await;
 //!     });
 //! }
 //! let run = m.run();
@@ -71,7 +71,7 @@ pub use config::{BaseProtocol, GiStorePolicy, MachineConfig, Protocol};
 pub use ctx::ThreadCtx;
 pub use harness::{node_key, Op, System, SystemConfig, Violation};
 pub use json::{Json, JsonError};
-pub use machine::{FinishedRun, Machine, Program};
+pub use machine::{FinishedRun, Machine, Program, ThreadBody};
 pub use proto::{Coverage, DirRowId, Homing, L1RowId, ProtocolError, Reach};
 pub use scribe::{bit_distance, ScribePolicy, SimilarityHistogram};
 pub use stats::{SimReport, Stats};

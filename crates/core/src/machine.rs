@@ -12,10 +12,14 @@
 //! `l2_latency` per access, memory controllers `dram_latency`.
 
 use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
 
 use ghostwriter_mem::{Addr, BlockAddr, Dram, BLOCK_BYTES};
 use ghostwriter_noc::{Mesh, NodeId};
-use ghostwriter_sim::{EventQueue, ThreadHarness};
+#[cfg(feature = "legacy-threads")]
+use ghostwriter_sim::ThreadHarness;
+use ghostwriter_sim::{EventQueue, FutureThread, Resumable, Step};
 
 use crate::config::{MachineConfig, Protocol};
 use crate::ctx::ThreadCtx;
@@ -26,8 +30,15 @@ use crate::op::{OpKind, ThreadOp, ThreadReply};
 use crate::stats::{CoreSummary, SimReport, Stats};
 use ghostwriter_energy::EnergyModel;
 
-/// A workload program: one closure per simulated thread.
-pub type Program = Box<dyn FnOnce(&mut ThreadCtx<'_>) + Send + 'static>;
+/// One simulated thread's body: the future [`Machine::add_thread`]'s
+/// closure returns, suspended at every `ThreadCtx` operation.
+pub type ThreadBody = Pin<Box<dyn Future<Output = ()>>>;
+
+/// A workload program: one closure per simulated thread. The closure is
+/// `Send` (under the `legacy-threads` oracle it is moved into a worker
+/// OS thread before running); the future it returns is single-threaded
+/// — it owns the engine-side op cell and never crosses threads.
+pub type Program = Box<dyn FnOnce(ThreadCtx) -> ThreadBody + Send + 'static>;
 
 /// Builder/owner of one simulation: allocate memory, load inputs, add
 /// threads, then [`Machine::run`].
@@ -38,6 +49,8 @@ pub struct Machine {
     alloc_cursor: u64,
     programs: Vec<Program>,
     trace: bool,
+    #[cfg(feature = "legacy-threads")]
+    legacy: bool,
 }
 
 /// One protocol message as seen by the (optional) trace recorder.
@@ -77,7 +90,19 @@ impl Machine {
             alloc_cursor: 0x1_0000,
             programs: Vec::new(),
             trace: false,
+            #[cfg(feature = "legacy-threads")]
+            legacy: false,
         }
+    }
+
+    /// Runs this machine's threads on the retired OS-thread rendezvous
+    /// engine instead of the resumable-core engine — the differential-
+    /// testing oracle. Both engines must produce byte-identical results;
+    /// nothing about the simulated machine changes (in particular the
+    /// config cache key is unaffected).
+    #[cfg(feature = "legacy-threads")]
+    pub fn use_legacy_engine(&mut self) {
+        self.legacy = true;
     }
 
     /// Records every protocol message into [`FinishedRun::trace`]. Only
@@ -160,19 +185,43 @@ impl Machine {
     }
 
     /// Adds a simulated thread. Thread `i` runs on core `i`.
-    pub fn add_thread(&mut self, f: impl FnOnce(&mut ThreadCtx<'_>) + Send + 'static) {
+    ///
+    /// The closure receives its [`ThreadCtx`] and returns the thread's
+    /// `async` body; every ctx operation is awaited:
+    ///
+    /// ```ignore
+    /// m.add_thread(move |ctx| async move {
+    ///     let v = ctx.load_u32(a).await;
+    ///     ctx.store_u32(a, v + 1).await;
+    /// });
+    /// ```
+    pub fn add_thread<F, Fut>(&mut self, f: F)
+    where
+        F: FnOnce(ThreadCtx) -> Fut + Send + 'static,
+        Fut: Future<Output = ()> + 'static,
+    {
         assert!(
             self.programs.len() < self.config.cores,
             "more threads than cores"
         );
-        self.programs.push(Box::new(f));
+        self.programs.push(Box::new(move |ctx| Box::pin(f(ctx))));
     }
 
     /// Runs the simulation to completion and returns the report plus the
     /// final coherent memory image.
     pub fn run(self) -> FinishedRun {
         assert!(!self.programs.is_empty(), "no threads to run");
-        let mut engine = Engine::new(self.config, self.energy_model, self.dram, self.programs);
+        #[cfg(feature = "legacy-threads")]
+        let legacy = self.legacy;
+        #[cfg(not(feature = "legacy-threads"))]
+        let legacy = false;
+        let mut engine = Engine::new(
+            self.config,
+            self.energy_model,
+            self.dram,
+            self.programs,
+            legacy,
+        );
         engine.trace = self.trace.then(Vec::new);
         engine.run()
     }
@@ -266,13 +315,123 @@ enum Ev {
     ContextSwitch { core: usize },
 }
 
+thread_local! {
+    /// Recycled event queue: `crates/exp` sweeps run thousands of cells
+    /// per worker thread, and handing the drained heap from one machine
+    /// to the next avoids re-growing it every run.
+    static QUEUE_SCRATCH: std::cell::RefCell<Option<EventQueue<Ev>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn take_scratch_queue() -> EventQueue<Ev> {
+    QUEUE_SCRATCH
+        .with(|s| s.borrow_mut().take())
+        .unwrap_or_else(|| EventQueue::with_capacity(1024))
+}
+
+fn recycle_queue(mut q: EventQueue<Ev>) {
+    q.clear();
+    QUEUE_SCRATCH.with(|s| *s.borrow_mut() = Some(q));
+}
+
+/// Diagnostic for a core fetch event surviving into the post-completion
+/// drain (a wedged or double-scheduled thread): names the core, the
+/// drain cycle, and the last operation the core issued, so the report
+/// is actionable rather than just "core N".
+fn post_drain_fetch_report(core: usize, cycle: u64, last_op: &str) -> String {
+    format!(
+        "fetch for core {core} after all threads finished \
+         (at cycle {cycle}; core {core}'s last issued op was `{last_op}`)"
+    )
+}
+
+/// The engine's view of its simulated cores: step one core, get its next
+/// operation (or completion).
+enum Cores {
+    /// Default engine: each thread is a resumable state machine stepped
+    /// with a plain function call — no OS threads, no channels.
+    Resumable(Vec<FutureThread<ThreadOp, ThreadReply>>),
+    /// Differential-testing oracle (`legacy-threads` feature): the same
+    /// workload futures driven by a per-core OS thread rendezvousing
+    /// over the retired channel harness.
+    #[cfg(feature = "legacy-threads")]
+    Legacy(ThreadHarness<Step<ThreadOp>, ThreadReply>),
+}
+
+impl Cores {
+    fn resumable(programs: Vec<Program>) -> Self {
+        Cores::Resumable(
+            programs
+                .into_iter()
+                .enumerate()
+                .map(|(tid, f)| FutureThread::new(move |cell| f(ThreadCtx::new(cell, tid))))
+                .collect(),
+        )
+    }
+
+    #[cfg(feature = "legacy-threads")]
+    fn legacy(programs: Vec<Program>) -> Self {
+        let mut harness = ThreadHarness::new();
+        for (tid, f) in programs.into_iter().enumerate() {
+            harness.spawn(
+                move |port| {
+                    // Mini block-on loop: drive the same workload future
+                    // the resumable engine would, but forward each step
+                    // through the rendezvous channels.
+                    let mut thread = FutureThread::new(move |cell| f(ThreadCtx::new(cell, tid)));
+                    let mut reply = None;
+                    loop {
+                        match thread.resume(reply.take()) {
+                            Step::Op(op) => reply = Some(port.call(Step::Op(op))),
+                            // Re-panic so the harness's unwind capture
+                            // carries the message in the exit marker.
+                            Step::Done(Some(msg)) => std::panic::panic_any(msg),
+                            Step::Done(None) => break,
+                        }
+                    }
+                },
+                Step::Done,
+            );
+        }
+        Cores::Legacy(harness)
+    }
+
+    #[cfg(not(feature = "legacy-threads"))]
+    fn legacy(_: Vec<Program>) -> Self {
+        unreachable!("legacy engine requires the `legacy-threads` feature")
+    }
+
+    /// Feeds `reply` to core `core`'s previous operation and returns its
+    /// next step. Mirrors the old reply-then-next_op rendezvous exactly.
+    fn resume(&mut self, core: usize, reply: Option<ThreadReply>) -> Step<ThreadOp> {
+        match self {
+            Cores::Resumable(threads) => threads[core].resume(reply),
+            #[cfg(feature = "legacy-threads")]
+            Cores::Legacy(harness) => {
+                if let Some(r) = reply {
+                    harness.reply(core, r);
+                }
+                harness.next_op(core)
+            }
+        }
+    }
+
+    fn join(&mut self) {
+        match self {
+            Cores::Resumable(_) => {}
+            #[cfg(feature = "legacy-threads")]
+            Cores::Legacy(harness) => harness.join_all(),
+        }
+    }
+}
+
 struct Engine {
     cfg: MachineConfig,
     energy_model: EnergyModel,
     mesh: Mesh,
     corners: Vec<NodeId>,
     queue: EventQueue<Ev>,
-    harness: ThreadHarness<ThreadOp, ThreadReply>,
+    cores: Cores,
     l1s: Vec<L1Cache>,
     banks: Vec<DirBank>,
     dram: Dram,
@@ -293,9 +452,12 @@ struct Engine {
     barrier_wait: Vec<Option<u64>>,
     gi_timeout: Option<u64>,
     trace: Option<Vec<TraceEntry>>,
-    /// Per directional link (from, to): cycle at which it is next free.
-    /// Only used when `model_contention` is on.
-    link_free: std::collections::HashMap<(usize, usize), u64>,
+    /// Cycle at which each directional link is next free, indexed by the
+    /// mesh's dense link id. Only used when `model_contention` is on.
+    link_free: Vec<u64>,
+    /// Name of the last operation each core issued (wedged-thread
+    /// diagnostics).
+    last_op: Vec<&'static str>,
 }
 
 impl Engine {
@@ -304,6 +466,7 @@ impl Engine {
         energy_model: EnergyModel,
         dram: Dram,
         programs: Vec<Program>,
+        legacy: bool,
     ) -> Self {
         let (w, h) = Mesh::dims_for(cfg.cores);
         let mesh = Mesh::new(w, h, cfg.router_cycles, cfg.link_cycles);
@@ -341,24 +504,20 @@ impl Engine {
             .map(|b| DirBank::with_base(b, l2_sets, cfg.l2_ways, corners.len(), grant_exclusive))
             .collect();
 
-        let mut harness = ThreadHarness::new();
         let threads = programs.len();
-        for f in programs {
-            harness.spawn(
-                move |port| {
-                    let mut ctx = ThreadCtx::new(port);
-                    f(&mut ctx);
-                },
-                |panicked| ThreadOp::Exit { panicked },
-            );
-        }
+        let cores = if legacy {
+            Cores::legacy(programs)
+        } else {
+            Cores::resumable(programs)
+        };
+        let link_free = vec![0u64; mesh.num_links()];
 
         Self {
             energy_model,
             mesh,
             corners,
-            queue: EventQueue::new(),
-            harness,
+            queue: take_scratch_queue(),
+            cores,
             l1s,
             banks,
             dram,
@@ -373,7 +532,8 @@ impl Engine {
             barrier_wait: vec![None; cfg.cores],
             gi_timeout,
             trace: None,
-            link_free: std::collections::HashMap::new(),
+            link_free,
+            last_op: vec!["<none>"; cfg.cores],
             cfg,
         }
     }
@@ -420,14 +580,10 @@ impl Engine {
         let start = self.queue.now() + extra;
         // Injection through the local router.
         let mut head = start + self.cfg.router_cycles;
-        let route = self.mesh.route(src, dst);
-        for hop in route.windows(2) {
-            let link = (hop[0].0, hop[1].0);
-            let free = self.link_free.get(&link).copied().unwrap_or(0);
-            let begin = head.max(free);
+        for link in self.mesh.route_links(src, dst) {
+            let begin = head.max(self.link_free[link]);
             // The link is busy until the tail flit has crossed.
-            self.link_free
-                .insert(link, begin + flits * self.cfg.link_cycles);
+            self.link_free[link] = begin + flits * self.cfg.link_cycles;
             // Head flit reaches the next router and traverses it.
             head = begin + self.cfg.link_cycles + self.cfg.router_cycles;
         }
@@ -484,7 +640,10 @@ impl Engine {
         while let Some((_, ev)) = self.queue.pop() {
             match ev {
                 Ev::GiTick { .. } => {}
-                Ev::Fetch { core } => panic!("fetch for core {core} after all threads finished"),
+                Ev::Fetch { core } => panic!(
+                    "{}",
+                    post_drain_fetch_report(core, self.queue.now(), self.last_op[core])
+                ),
                 other => self.dispatch(other),
             }
         }
@@ -492,7 +651,8 @@ impl Engine {
             assert!(bank.quiescent(), "bank not quiescent after drain");
         }
         self.flush();
-        self.harness.join_all();
+        self.cores.join();
+        recycle_queue(std::mem::take(&mut self.queue));
 
         // Per-core summaries, then fold every core's counters into the
         // machine total.
@@ -568,14 +728,28 @@ impl Engine {
         }
     }
 
-    /// Rendezvous with thread `core`: deliver the owed reply, pull and
-    /// dispatch its next operation.
+    /// Steps thread `core`: feed it the owed reply, pull and dispatch
+    /// its next operation — one plain function call on the default
+    /// engine.
     fn fetch(&mut self, core: usize) {
-        if let Some(value) = self.pending_reply[core].take() {
-            self.harness.reply(core, value);
-        }
+        let reply = self.pending_reply[core].take();
         let now = self.queue.now();
-        match self.harness.next_op(core) {
+        let op = match self.cores.resume(core, reply) {
+            Step::Op(op) => op,
+            Step::Done(panicked) => {
+                if let Some(msg) = panicked {
+                    panic!("simulated thread {core} panicked: {msg}");
+                }
+                self.finished[core] = true;
+                self.finish_time[core] = now;
+                self.n_finished += 1;
+                // A thread exiting may complete a barrier episode.
+                self.try_release_barrier();
+                return;
+            }
+        };
+        self.last_op[core] = op.name();
+        match op {
             ThreadOp::Access {
                 addr,
                 size,
@@ -626,16 +800,6 @@ impl Engine {
                 self.approx_d[core] = None;
                 self.pending_reply[core] = Some(0);
                 self.queue.push_after(1, Ev::Fetch { core });
-            }
-            ThreadOp::Exit { panicked } => {
-                if let Some(msg) = panicked {
-                    panic!("simulated thread {core} panicked: {msg}");
-                }
-                self.finished[core] = true;
-                self.finish_time[core] = now;
-                self.n_finished += 1;
-                // A thread exiting may complete a barrier episode.
-                self.try_release_barrier();
             }
         }
     }
@@ -742,9 +906,9 @@ mod tests {
     fn single_thread_store_load_round_trip() {
         let mut m = small(Protocol::Mesi);
         let a = m.alloc_padded(64);
-        m.add_thread(move |ctx| {
-            ctx.store_u32(a, 0xDEAD_BEEF);
-            let v = ctx.load_u32(a);
+        m.add_thread(move |ctx| async move {
+            ctx.store_u32(a, 0xDEAD_BEEF).await;
+            let v = ctx.load_u32(a).await;
             assert_eq!(v, 0xDEAD_BEEF);
         });
         let run = m.run();
@@ -759,12 +923,12 @@ mod tests {
         let mut m = small(Protocol::Mesi);
         let a = m.alloc_padded(4 * 16);
         m.backdoor_write_i32s(a, &(0..16).collect::<Vec<i32>>());
-        m.add_thread(move |ctx| {
+        m.add_thread(move |ctx| async move {
             let mut sum = 0i64;
             for i in 0..16u64 {
-                sum += ctx.load_i32(a.add(4 * i)) as i64;
+                sum += ctx.load_i32(a.add(4 * i)).await as i64;
             }
-            ctx.store_i64(a.add(64), sum);
+            ctx.store_i64(a.add(64), sum).await;
         });
         let run = m.run();
         assert_eq!(run.read_i64(a.add(64)), 120);
@@ -777,17 +941,17 @@ mod tests {
         let data = m.alloc_padded(64);
         // Producer writes data then flag; consumer spins on flag, reads
         // data. Under MESI this must always observe the new value.
-        m.add_thread(move |ctx| {
-            ctx.store_u64(data, 42);
-            ctx.store_u32(flag, 1);
+        m.add_thread(move |ctx| async move {
+            ctx.store_u64(data, 42).await;
+            ctx.store_u32(flag, 1).await;
         });
-        m.add_thread(move |ctx| {
-            while ctx.load_u32(flag) == 0 {
-                ctx.work(10);
+        m.add_thread(move |ctx| async move {
+            while ctx.load_u32(flag).await == 0 {
+                ctx.work(10).await;
             }
-            let v = ctx.load_u64(data);
+            let v = ctx.load_u64(data).await;
             assert_eq!(v, 42);
-            ctx.store_u64(data.add(8), v + 1);
+            ctx.store_u64(data.add(8), v + 1).await;
         });
         let run = m.run();
         assert_eq!(run.read_u64(data.add(8)), 43);
@@ -798,16 +962,16 @@ mod tests {
         let mut m = small(Protocol::Mesi);
         let out = m.alloc_padded(64 * 4);
         for t in 0..4usize {
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 let slot = out.add(64 * t as u64);
-                ctx.store_u32(slot, (t + 1) as u32);
-                ctx.barrier();
+                ctx.store_u32(slot, (t + 1) as u32).await;
+                ctx.barrier().await;
                 // After the barrier every thread's write is visible.
                 let mut sum = 0;
                 for s in 0..4u64 {
-                    sum += ctx.load_u32(out.add(64 * s));
+                    sum += ctx.load_u32(out.add(64 * s)).await;
                 }
-                ctx.store_u32(slot.add(16), sum);
+                ctx.store_u32(slot.add(16), sum).await;
             });
         }
         let run = m.run();
@@ -823,14 +987,14 @@ mod tests {
             let mut m = small(Protocol::ghostwriter());
             let shared = m.alloc_padded(64);
             for t in 0..4usize {
-                m.add_thread(move |ctx| {
-                    ctx.approx_begin(4);
+                m.add_thread(move |ctx| async move {
+                    ctx.approx_begin(4).await;
                     for i in 0..50u32 {
                         let a = shared.add(4 * t as u64);
-                        let v = ctx.load_u32(a);
-                        ctx.scribble_u32(a, v.wrapping_add(i % 3));
+                        let v = ctx.load_u32(a).await;
+                        ctx.scribble_u32(a, v.wrapping_add(i % 3)).await;
                     }
-                    ctx.approx_end();
+                    ctx.approx_end().await;
                 });
             }
             let r = m.run();
@@ -844,13 +1008,40 @@ mod tests {
         assert_eq!(run(), run());
     }
 
+    #[cfg(feature = "legacy-threads")]
+    #[test]
+    fn legacy_engine_matches_resumable_engine() {
+        let run = |legacy: bool| {
+            let mut m = small(Protocol::ghostwriter());
+            if legacy {
+                m.use_legacy_engine();
+            }
+            let shared = m.alloc_padded(64);
+            for t in 0..4usize {
+                m.add_thread(move |ctx| async move {
+                    ctx.approx_begin(4).await;
+                    for i in 0..50u32 {
+                        let a = shared.add(4 * t as u64);
+                        let v = ctx.load_u32(a).await;
+                        ctx.scribble_u32(a, v.wrapping_add(i % 3)).await;
+                    }
+                    ctx.barrier().await;
+                    ctx.approx_end().await;
+                });
+            }
+            let r = m.run();
+            (r.report.cycles, r.report.stats.to_json().to_pretty())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
     #[test]
     #[should_panic(expected = "simulated thread 0 panicked")]
     fn workload_panic_propagates() {
         let mut m = small(Protocol::Mesi);
         let a = m.alloc_padded(64);
-        m.add_thread(move |ctx| {
-            ctx.store_u32(a, 1);
+        m.add_thread(move |ctx| async move {
+            ctx.store_u32(a, 1).await;
             panic!("intentional");
         });
         m.run();
@@ -860,9 +1051,9 @@ mod tests {
     fn work_advances_time() {
         let mut m = small(Protocol::Mesi);
         let a = m.alloc_padded(64);
-        m.add_thread(move |ctx| {
-            ctx.work(10_000);
-            ctx.store_u32(a, 1);
+        m.add_thread(move |ctx| async move {
+            ctx.work(10_000).await;
+            ctx.store_u32(a, 1).await;
         });
         let run = m.run();
         assert!(run.report.cycles >= 10_000);
@@ -877,11 +1068,11 @@ mod tests {
             cfg.base_protocol = base;
             let mut m = Machine::new(cfg);
             let a = m.alloc_padded(64);
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 // Load-then-store on private data: free under MESI
                 // (E -> silent M), an UPGRADE under MSI.
-                let v = ctx.load_u32(a);
-                ctx.store_u32(a, v + 1);
+                let v = ctx.load_u32(a).await;
+                ctx.store_u32(a, v + 1).await;
             });
             let r = m.run();
             (r.report.stats.traffic.total(), r.read_u32(a))
@@ -907,14 +1098,14 @@ mod tests {
         let mut m = Machine::new(cfg);
         let a = m.alloc_padded(64);
         for t in 0..2u64 {
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(4);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(4).await;
                 let slot = a.add(4 * t);
                 for i in 0..50u32 {
-                    let v = ctx.load_u32(slot);
-                    ctx.scribble_u32(slot, v + (i & 1));
+                    let v = ctx.load_u32(slot).await;
+                    ctx.scribble_u32(slot, v + (i & 1)).await;
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
         let r = m.run();
@@ -925,6 +1116,31 @@ mod tests {
     }
 
     #[test]
+    fn threads_know_their_ids() {
+        let mut m = small(Protocol::Mesi);
+        let out = m.alloc_padded(64 * 4);
+        for _ in 0..4 {
+            m.add_thread(move |ctx| async move {
+                let slot = out.add(64 * ctx.tid() as u64);
+                ctx.store_u32(slot, ctx.tid() as u32 + 1).await;
+            });
+        }
+        let run = m.run();
+        for t in 0..4u64 {
+            assert_eq!(run.read_u32(out.add(64 * t)), t as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn post_drain_fetch_report_names_core_cycle_and_op() {
+        let msg = post_drain_fetch_report(3, 1234, "barrier");
+        assert!(msg.contains("core 3"), "{msg}");
+        assert!(msg.contains("cycle 1234"), "{msg}");
+        assert!(msg.contains("`barrier`"), "{msg}");
+        assert!(msg.contains("after all threads finished"), "{msg}");
+    }
+
+    #[test]
     fn mesi_and_demoted_scribbles_are_identical() {
         // Scribbles outside an approximate region are plain stores, so a
         // Ghostwriter run without approx_begin must match MESI exactly.
@@ -932,11 +1148,11 @@ mod tests {
             let mut m = small(protocol);
             let a = m.alloc_padded(256);
             for t in 0..4usize {
-                m.add_thread(move |ctx| {
+                m.add_thread(move |ctx| async move {
                     for i in 0..40u64 {
                         let addr = a.add(4 * t as u64 + 16 * (i % 4));
-                        let v = ctx.load_u32(addr);
-                        ctx.scribble_u32(addr, v + 1);
+                        let v = ctx.load_u32(addr).await;
+                        ctx.scribble_u32(addr, v + 1).await;
                     }
                 });
             }
@@ -963,11 +1179,11 @@ mod contention_tests {
         });
         let shared = m.alloc_padded(64);
         for t in 0..8u64 {
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 let slot = shared.add(4 * t);
                 for i in 0..50u32 {
-                    let v = ctx.load_u32(slot);
-                    ctx.store_u32(slot, v + i);
+                    let v = ctx.load_u32(slot).await;
+                    ctx.store_u32(slot, v + i).await;
                 }
             });
         }
@@ -1008,9 +1224,9 @@ mod contention_tests {
                 ..MachineConfig::default()
             });
             let a = m.alloc_padded(64 * 16);
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 for b in 0..16u64 {
-                    ctx.store_u32(a.add(64 * b), b as u32);
+                    ctx.store_u32(a.add(64 * b), b as u32).await;
                 }
             });
             let r = m.run();
@@ -1035,15 +1251,15 @@ mod per_core_tests {
         let mut m = Machine::new(MachineConfig::small(4, Protocol::ghostwriter()));
         let shared = m.alloc_padded(64);
         for t in 0..4usize {
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(4);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(4).await;
                 let slot = shared.add(4 * t as u64);
                 // Deliberately unbalanced: core t does (t+1)*30 updates.
                 for i in 0..(t as u32 + 1) * 30 {
-                    let v = ctx.load_u32(slot);
-                    ctx.scribble_u32(slot, v + (i & 1));
+                    let v = ctx.load_u32(slot).await;
+                    ctx.scribble_u32(slot, v + (i & 1)).await;
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
         let run = m.run();
@@ -1079,23 +1295,23 @@ mod context_switch_tests {
         });
         let block = m.alloc_padded(64);
         let probe = m.alloc_padded(64);
-        m.add_thread(move |ctx| {
-            ctx.store_u32(block, 1);
-            ctx.barrier();
-            ctx.barrier();
+        m.add_thread(move |ctx| async move {
+            ctx.store_u32(block, 1).await;
+            ctx.barrier().await;
+            ctx.barrier().await;
         });
-        m.add_thread(move |ctx| {
-            ctx.barrier();
+        m.add_thread(move |ctx| async move {
+            ctx.barrier().await;
             // Enter GS, then idle long enough for a context switch.
-            let v = ctx.load_u32(block.add(4));
-            ctx.approx_begin(4);
-            ctx.scribble_u32(block.add(4), v + 3);
-            ctx.work(5_000);
+            let v = ctx.load_u32(block.add(4)).await;
+            ctx.approx_begin(4).await;
+            ctx.scribble_u32(block.add(4), v + 3).await;
+            ctx.work(5_000).await;
             // Re-read after the (potential) switch.
-            let after = ctx.load_u32(block.add(4));
-            ctx.store_u32(probe, after);
-            ctx.approx_end();
-            ctx.barrier();
+            let after = ctx.load_u32(block.add(4)).await;
+            ctx.store_u32(probe, after).await;
+            ctx.approx_end().await;
+            ctx.barrier().await;
         });
         let run = m.run();
         (

@@ -2,7 +2,9 @@
 //!
 //! Workload code never sees these directly; it uses the typed
 //! [`crate::ctx::ThreadCtx`] API, which encodes each call as one
-//! [`ThreadOp`] rendezvous with the engine.
+//! [`ThreadOp`] step of the resumable workload state machine. Thread
+//! completion is not an op: the engine observes it as
+//! [`ghostwriter_sim::Step::Done`] when the workload future finishes.
 
 /// Access flavour as issued by the thread. The engine demotes `Scribble`
 /// to `Store` when the core is outside an approximate region or the
@@ -35,11 +37,53 @@ pub enum ThreadOp {
     ApproxBegin { d: u8 },
     /// `endaprx` — leave the approximate region (paper `approx_end`).
     ApproxEnd,
-    /// Thread completed; `panicked` carries the panic message if the
-    /// workload closure unwound.
-    Exit { panicked: Option<String> },
+}
+
+impl ThreadOp {
+    /// Short name for diagnostics (wedged-thread reports and traces).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ThreadOp::Access {
+                kind: OpKind::Load, ..
+            } => "load",
+            ThreadOp::Access {
+                kind: OpKind::Store,
+                ..
+            } => "store",
+            ThreadOp::Access {
+                kind: OpKind::Scribble,
+                ..
+            } => "scribble",
+            ThreadOp::Work(_) => "work",
+            ThreadOp::Barrier => "barrier",
+            ThreadOp::ApproxBegin { .. } => "approx_begin",
+            ThreadOp::ApproxEnd => "approx_end",
+        }
+    }
 }
 
 /// Engine reply to a [`ThreadOp`]: the loaded value for loads, 0 for
 /// everything else.
 pub type ThreadReply = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_names_cover_every_variant() {
+        let access = |kind| ThreadOp::Access {
+            addr: 0,
+            size: 4,
+            kind,
+            value: 0,
+        };
+        assert_eq!(access(OpKind::Load).name(), "load");
+        assert_eq!(access(OpKind::Store).name(), "store");
+        assert_eq!(access(OpKind::Scribble).name(), "scribble");
+        assert_eq!(ThreadOp::Work(5).name(), "work");
+        assert_eq!(ThreadOp::Barrier.name(), "barrier");
+        assert_eq!(ThreadOp::ApproxBegin { d: 4 }.name(), "approx_begin");
+        assert_eq!(ThreadOp::ApproxEnd.name(), "approx_end");
+    }
+}

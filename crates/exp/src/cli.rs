@@ -4,6 +4,7 @@
 //! gwbench list
 //! gwbench run <experiment>... [options]
 //! gwbench repro-all [options]
+//! gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--quiet]
 //! gwbench clean
 //!
 //! options:
@@ -14,6 +15,10 @@
 //!   --expect-cached   exit 3 if any cell simulated (CI warm-pass check)
 //!   --quiet           do not print reports to stdout (files only)
 //! ```
+//!
+//! `perf` times the engine-kernel microbenchmarks (see [`crate::perf`])
+//! and writes `BENCH_kernel.json`; with `--baseline` it exits 4 on a >2x
+//! throughput regression against the committed file.
 //!
 //! `run` concatenates the selected experiments' run matrices into ONE
 //! sweep, so the engine's fingerprint dedup works across experiments:
@@ -48,7 +53,8 @@ fn default_jobs() -> usize {
 fn usage() -> String {
     let mut s = String::from(
         "usage: gwbench <list|run <experiment>...|repro-all|clean>\n\
-         \x20      [--jobs N] [--no-cache] [--smoke] [--expect-cached] [--quiet]\n",
+         \x20      [--jobs N] [--no-cache] [--smoke] [--expect-cached] [--quiet]\n\
+         \x20      gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--quiet]\n",
     );
     s.push_str("\nexperiments:\n");
     for e in all_experiments() {
@@ -209,6 +215,38 @@ pub fn main_with_args(args: Vec<String>) -> i32 {
                     1
                 }
             }
+        }
+        "perf" => {
+            let mut smoke = false;
+            let mut quiet = false;
+            let mut out = crate::perf::DEFAULT_OUT.to_string();
+            let mut baseline: Option<String> = None;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--smoke" => smoke = true,
+                    "--quiet" => quiet = true,
+                    "--out" => match it.next() {
+                        Some(v) => out = v.clone(),
+                        None => {
+                            eprintln!("gwbench: --out needs a value");
+                            return 2;
+                        }
+                    },
+                    "--baseline" => match it.next() {
+                        Some(v) => baseline = Some(v.clone()),
+                        None => {
+                            eprintln!("gwbench: --baseline needs a value");
+                            return 2;
+                        }
+                    },
+                    flag => {
+                        eprintln!("gwbench: unknown perf flag `{flag}`\n\n{}", usage());
+                        return 2;
+                    }
+                }
+            }
+            crate::perf::main_perf(smoke, &out, baseline.as_deref(), quiet)
         }
         "run" | "repro-all" => {
             let opts = match parse(rest) {

@@ -16,13 +16,16 @@
 //! - [`experiments`] — the registry of all 21 reports with pure
 //!   renderers over cached records.
 //! - [`cli`] — the `gwbench` command line (list / run / repro-all /
-//!   clean) that the thin `crates/bench` wrappers invoke.
+//!   perf / clean) that the thin `crates/bench` wrappers invoke.
+//! - [`perf`] — the perf-regression kernel harness behind `gwbench perf`
+//!   (`BENCH_kernel.json`).
 
 pub mod cache;
 pub mod cli;
 pub mod engine;
 pub mod experiments;
 pub mod fingerprint;
+pub mod perf;
 pub mod pool;
 pub mod record;
 pub mod render;

@@ -1,0 +1,373 @@
+//! `gwbench perf` — the simulator's perf-regression harness.
+//!
+//! Times a small set of kernels chosen to cover the three hot paths the
+//! resumable-core engine rewrite (PR 4) touched:
+//!
+//! * `event_queue_churn` — raw [`EventQueue`] push/pop traffic, no
+//!   machine: measures the scheduler data structure alone.
+//! * `noc_contention_storm` — an 8-core packed-block invalidation
+//!   ping-pong with `model_contention = true`: every miss walks mesh
+//!   links through the dense `link_free` table.
+//! * one registry workload per class (`histogram`, `kmeans`,
+//!   `blackscholes`) — end-to-end simulation throughput.
+//!
+//! Every entry is keyed `(name, engine, profile)` and reports simulated
+//! ops, wall-clock and ops/sec. A full run (`gwbench perf`) writes BOTH
+//! the `full` and `smoke` profiles so a CI smoke run can gate against the
+//! committed file; `--smoke` runs only the fast profile. When the crate
+//! is built with `--features legacy-threads`, machine kernels are timed
+//! under the legacy OS-thread engine too, giving before/after numbers for
+//! the engine rewrite in one artifact.
+//!
+//! `--baseline <file>` compares against a previous `BENCH_kernel.json`
+//! and exits 4 if any matching kernel regressed by more than 2x —
+//! deliberately loose, to gate engine-level regressions rather than
+//! machine noise.
+
+use std::time::Instant;
+
+use ghostwriter_core::{Json, JsonError, MachineConfig, Protocol};
+use ghostwriter_sim::EventQueue;
+use ghostwriter_workloads::{execute, find_benchmark, ScaleClass, DEFAULT_SEED};
+
+/// Default artifact path (repo root, committed).
+pub const DEFAULT_OUT: &str = "BENCH_kernel.json";
+
+/// One timed kernel run.
+#[derive(Clone, Debug)]
+pub struct PerfEntry {
+    /// Kernel name.
+    pub name: String,
+    /// Execution engine: `resumable`, `legacy`, or `none` for kernels
+    /// that bypass the machine.
+    pub engine: String,
+    /// `smoke` or `full`.
+    pub profile: String,
+    /// Simulated operations performed (queue ops, or loads+stores+
+    /// scribbles for machine kernels).
+    pub ops: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Throughput.
+    pub ops_per_sec: f64,
+}
+
+impl PerfEntry {
+    fn from_run(name: &str, engine: &str, profile: &str, ops: u64, secs: f64) -> Self {
+        Self {
+            name: name.into(),
+            engine: engine.into(),
+            profile: profile.into(),
+            ops,
+            wall_ms: secs * 1e3,
+            ops_per_sec: ops as f64 / secs.max(1e-9),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("name", Json::Str(self.name.clone()));
+        j.push("engine", Json::Str(self.engine.clone()));
+        j.push("profile", Json::Str(self.profile.clone()));
+        j.push("ops", Json::U64(self.ops));
+        j.push("wall_ms", Json::F64(self.wall_ms));
+        j.push("ops_per_sec", Json::F64(self.ops_per_sec));
+        j
+    }
+
+    fn from_json(j: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: j.field("name")?.as_str()?.to_string(),
+            engine: j.field("engine")?.as_str()?.to_string(),
+            profile: j.field("profile")?.as_str()?.to_string(),
+            ops: j.field("ops")?.as_u64()?,
+            wall_ms: j.field("wall_ms")?.as_f64()?,
+            ops_per_sec: j.field("ops_per_sec")?.as_f64()?,
+        })
+    }
+}
+
+/// Serializes a run to the committed artifact format.
+pub fn to_json(entries: &[PerfEntry]) -> Json {
+    let mut j = Json::obj();
+    j.push("format", Json::Str("gwbench-perf-v1".into()));
+    j.push(
+        "entries",
+        Json::Arr(entries.iter().map(PerfEntry::to_json).collect()),
+    );
+    j
+}
+
+/// Parses the committed artifact format.
+pub fn from_json(text: &str) -> Result<Vec<PerfEntry>, JsonError> {
+    let j = Json::parse(text)?;
+    j.field("entries")?
+        .as_arr()?
+        .iter()
+        .map(PerfEntry::from_json)
+        .collect()
+}
+
+/// Event-queue churn: a sliding window of `window` pending events with
+/// `total` push/pop pairs pumped through it, exercising the binary-heap
+/// hot path exactly as the machine does (monotone times, FIFO ties).
+fn event_queue_churn(profile: &str) -> PerfEntry {
+    let (window, total) = match profile {
+        "smoke" => (256usize, 400_000u64),
+        _ => (256usize, 4_000_000u64),
+    };
+    let started = Instant::now();
+    let mut q: EventQueue<u64> = EventQueue::with_capacity(window);
+    for i in 0..window as u64 {
+        q.push(i, i);
+    }
+    let mut sink = 0u64;
+    for i in 0..total {
+        let (t, ev) = q.pop().expect("window never empties");
+        sink = sink.wrapping_add(t ^ ev);
+        q.push(t + 1 + (i % 7), ev);
+    }
+    while let Some((t, ev)) = q.pop() {
+        sink = sink.wrapping_add(t ^ ev);
+    }
+    std::hint::black_box(sink);
+    // One push + one pop per loop iteration, plus the fill/drain tails.
+    let ops = 2 * total + 2 * window as u64;
+    PerfEntry::from_run(
+        "event_queue_churn",
+        "none",
+        profile,
+        ops,
+        started.elapsed().as_secs_f64(),
+    )
+}
+
+/// Builds the 8-core NoC contention storm machine: one packed block of
+/// per-core `u32` slots, every core in a load/store ping-pong on its own
+/// slot, with flit-level link contention modelled.
+fn storm_machine(iters_per_core: u64, legacy: bool) -> ghostwriter_core::Machine {
+    let mut cfg = MachineConfig::small(8, Protocol::Mesi);
+    cfg.model_contention = true;
+    let mut m = ghostwriter_core::Machine::new(cfg);
+    #[cfg(feature = "legacy-threads")]
+    if legacy {
+        m.use_legacy_engine();
+    }
+    #[cfg(not(feature = "legacy-threads"))]
+    let _ = legacy;
+    let base = m.alloc_padded(4 * 8);
+    for t in 0..8usize {
+        let slot = base.add(4 * t as u64);
+        m.add_thread(move |ctx| async move {
+            for i in 0..iters_per_core as u32 {
+                let v = ctx.load_u32(slot).await;
+                ctx.store_u32(slot, v.wrapping_add(i)).await;
+            }
+            ctx.barrier().await;
+        });
+    }
+    m
+}
+
+fn noc_contention_storm(profile: &str, engine: &str) -> PerfEntry {
+    let iters = match profile {
+        "smoke" => 3_000u64,
+        _ => 30_000u64,
+    };
+    let started = Instant::now();
+    let run = storm_machine(iters, engine == "legacy").run();
+    let secs = started.elapsed().as_secs_f64();
+    let s = &run.report.stats;
+    let ops = s.loads + s.stores + s.scribbles + s.barriers;
+    PerfEntry::from_run("noc_contention_storm", engine, profile, ops, secs)
+}
+
+/// End-to-end workload throughput under the Ghostwriter protocol.
+fn workload_kernel(name: &str, profile: &str, engine: &str) -> PerfEntry {
+    let entry = find_benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let scale = match profile {
+        "smoke" => ScaleClass::Test,
+        _ => ScaleClass::Eval,
+    };
+    let mut w = entry.build_seeded(scale, DEFAULT_SEED);
+    let cfg = MachineConfig {
+        cores: 8,
+        protocol: Protocol::ghostwriter(),
+        ..MachineConfig::default()
+    };
+    let started = Instant::now();
+    let out = if engine == "legacy" {
+        #[cfg(feature = "legacy-threads")]
+        {
+            ghostwriter_workloads::execute_legacy(w.as_mut(), cfg, 8, 8)
+        }
+        #[cfg(not(feature = "legacy-threads"))]
+        unreachable!("legacy kernels require the `legacy-threads` feature")
+    } else {
+        execute(w.as_mut(), cfg, 8, 8)
+    };
+    let secs = started.elapsed().as_secs_f64();
+    let s = &out.report.stats;
+    let ops = s.loads + s.stores + s.scribbles + s.barriers;
+    PerfEntry::from_run(name, engine, profile, ops, secs)
+}
+
+fn engines() -> Vec<&'static str> {
+    #[cfg(feature = "legacy-threads")]
+    {
+        vec!["resumable", "legacy"]
+    }
+    #[cfg(not(feature = "legacy-threads"))]
+    {
+        vec!["resumable"]
+    }
+}
+
+/// Runs every kernel for one profile, in a fixed order.
+pub fn run_profile(profile: &str) -> Vec<PerfEntry> {
+    let mut entries = vec![event_queue_churn(profile)];
+    for engine in engines() {
+        entries.push(noc_contention_storm(profile, engine));
+        for w in ["histogram", "kmeans", "blackscholes"] {
+            entries.push(workload_kernel(w, profile, engine));
+        }
+    }
+    entries
+}
+
+/// Compares `current` against `baseline` on matching `(name, engine,
+/// profile)` keys. Returns the list of regressions worse than 2x.
+pub fn regressions(current: &[PerfEntry], baseline: &[PerfEntry]) -> Vec<String> {
+    let mut out = Vec::new();
+    for c in current {
+        let Some(b) = baseline
+            .iter()
+            .find(|b| b.name == c.name && b.engine == c.engine && b.profile == c.profile)
+        else {
+            continue;
+        };
+        if c.ops_per_sec * 2.0 < b.ops_per_sec {
+            out.push(format!(
+                "{}/{}/{}: {:.0} ops/s vs baseline {:.0} ops/s ({:.1}x slower)",
+                c.name,
+                c.engine,
+                c.profile,
+                c.ops_per_sec,
+                b.ops_per_sec,
+                b.ops_per_sec / c.ops_per_sec.max(1e-9)
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the human-readable table.
+pub fn render(entries: &[PerfEntry]) -> String {
+    let mut s = String::from(
+        "kernel                 engine     profile       ops      wall_ms      ops/sec\n",
+    );
+    for e in entries {
+        s.push_str(&format!(
+            "{:<22} {:<10} {:<8} {:>9} {:>12.2} {:>12.0}\n",
+            e.name, e.engine, e.profile, e.ops, e.wall_ms, e.ops_per_sec
+        ));
+    }
+    s
+}
+
+/// `gwbench perf` entry point. Returns the process exit code.
+pub fn main_perf(smoke: bool, out_path: &str, baseline: Option<&str>, quiet: bool) -> i32 {
+    let mut entries = run_profile("smoke");
+    if !smoke {
+        entries.extend(run_profile("full"));
+    }
+
+    if !quiet {
+        print!("{}", render(&entries));
+    }
+
+    let mut code = 0;
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match from_json(&text) {
+                Ok(base) => {
+                    let regs = regressions(&entries, &base);
+                    for r in &regs {
+                        eprintln!("gwbench perf: REGRESSION {r}");
+                    }
+                    if regs.is_empty() {
+                        eprintln!("gwbench perf: no >2x regressions vs {path}");
+                    } else {
+                        code = 4;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("gwbench perf: cannot parse baseline {path}: {e:?}");
+                    code = 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("gwbench perf: cannot read baseline {path}: {e}");
+                code = 1;
+            }
+        }
+    }
+
+    if let Err(e) = std::fs::write(out_path, to_json(&entries).to_pretty()) {
+        eprintln!("gwbench perf: cannot write {out_path}: {e}");
+        return 1;
+    }
+    eprintln!(
+        "gwbench perf: wrote {} entries to {out_path}",
+        entries.len()
+    );
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, ops_per_sec: f64) -> PerfEntry {
+        PerfEntry {
+            name: name.into(),
+            engine: "resumable".into(),
+            profile: "smoke".into(),
+            ops: 100,
+            wall_ms: 1.0,
+            ops_per_sec,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let entries = vec![entry("a", 123.0), entry("b", 456.5)];
+        let text = to_json(&entries).to_pretty();
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].name, "a");
+        assert_eq!(back[1].ops_per_sec, 456.5);
+    }
+
+    #[test]
+    fn regression_gate_is_2x_with_key_matching() {
+        let base = vec![entry("a", 1000.0), entry("b", 1000.0)];
+        // 2.5x slower on `a` trips; 1.8x slower on `b` does not; unknown
+        // kernels are ignored.
+        let cur = vec![entry("a", 400.0), entry("b", 550.0), entry("c", 1.0)];
+        let regs = regressions(&cur, &base);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].starts_with("a/"), "{regs:?}");
+    }
+
+    #[test]
+    fn smoke_kernels_produce_positive_throughput() {
+        let entries = run_profile("smoke");
+        // queue kernel + (storm + 3 workloads) per engine.
+        assert_eq!(entries.len(), 1 + 4 * engines().len());
+        for e in &entries {
+            assert!(e.ops > 0, "{}: no ops", e.name);
+            assert!(e.ops_per_sec > 0.0, "{}: no throughput", e.name);
+        }
+    }
+}

@@ -32,28 +32,28 @@ fn migratory(protocol: Protocol) -> RunRecord {
     let block = m.alloc_padded(64);
     let rounds = 4u32;
     // Core 0: epoch 0 store to offset 0, later loads (Fig. 4 epochs).
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for r in 0..rounds {
-            ctx.store_u32(block, r); // conventional store, offset 0
-            ctx.barrier();
-            ctx.barrier();
-            let _ = ctx.load_u32(block); // re-read own offset
-            ctx.barrier();
+            ctx.store_u32(block, r).await; // conventional store, offset 0
+            ctx.barrier().await;
+            ctx.barrier().await;
+            let _ = ctx.load_u32(block).await; // re-read own offset
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
     // Core 1: loads offset 1, then scribbles a similar value to it.
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for r in 0..rounds {
-            ctx.barrier();
-            let v = ctx.load_u32(block.add(4));
-            ctx.scribble_u32(block.add(4), v + (r & 1));
-            ctx.barrier();
-            ctx.barrier();
+            ctx.barrier().await;
+            let v = ctx.load_u32(block.add(4)).await;
+            ctx.scribble_u32(block.add(4), v + (r & 1)).await;
+            ctx.barrier().await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
     let run = m.run();
     let trace = run
@@ -87,38 +87,38 @@ fn producer_consumer(protocol: Protocol) -> RunRecord {
     let block = m.alloc_padded(64);
     let rounds = 4u32;
     // Core 0: first producer (conventional store to offset 0).
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for r in 0..rounds {
-            ctx.store_u32(block, 100 + r);
-            ctx.barrier(); // epoch 0 -> 1
-            ctx.barrier(); // epoch 1 -> 2
+            ctx.store_u32(block, 100 + r).await;
+            ctx.barrier().await; // epoch 0 -> 1
+            ctx.barrier().await; // epoch 1 -> 2
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
     // Core 1: next producer — holds a stale copy, scribbles offset 1.
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         // Warm core 1's cache so its copy exists (tag present) and is
         // then invalidated by core 0's store.
-        let _ = ctx.load_u32(block.add(4));
+        let _ = ctx.load_u32(block.add(4)).await;
         for r in 0..rounds {
-            ctx.barrier();
-            let v = ctx.load_u32(block.add(4));
-            ctx.scribble_u32(block.add(4), v + (r & 1));
-            ctx.barrier();
+            ctx.barrier().await;
+            let v = ctx.load_u32(block.add(4)).await;
+            ctx.scribble_u32(block.add(4), v + (r & 1)).await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
     // Core 2: consumer — reads offset 0 every epoch.
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for _ in 0..rounds {
-            ctx.barrier();
-            let _ = ctx.load_u32(block);
-            ctx.barrier();
+            ctx.barrier().await;
+            let _ = ctx.load_u32(block).await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
     let run = m.run();
     let trace = run

@@ -13,7 +13,7 @@
 pub mod mesh;
 pub mod traffic;
 
-pub use mesh::{Mesh, NodeId};
+pub use mesh::{Mesh, NodeId, RouteLinks};
 pub use traffic::{MessageKind, TrafficStats};
 
 /// Flits in a short control message (requests, invalidations, acks):

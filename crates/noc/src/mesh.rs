@@ -129,6 +129,48 @@ impl Mesh {
         path
     }
 
+    /// Dense id space for directed links: every node owns four outgoing
+    /// slots (east, west, north, south), so a `Vec` of length
+    /// [`Mesh::num_links`] indexes any link without hashing. Edge nodes
+    /// leave their off-mesh slots unused — the table trades a few empty
+    /// entries for O(1) allocation-free lookup on the contention path.
+    pub fn num_links(&self) -> usize {
+        self.nodes() * 4
+    }
+
+    /// Dense id of the directed link from `src` to an adjacent `dst`.
+    ///
+    /// # Panics
+    /// Panics if `src` and `dst` are not mesh neighbours.
+    pub fn link_id(&self, src: NodeId, dst: NodeId) -> usize {
+        let (sx, sy) = self.coords(src);
+        let (dx, dy) = self.coords(dst);
+        let dir = match (dx as isize - sx as isize, dy as isize - sy as isize) {
+            (1, 0) => 0,
+            (-1, 0) => 1,
+            (0, 1) => 2,
+            (0, -1) => 3,
+            _ => panic!("link_id: {src:?} and {dst:?} are not adjacent"),
+        };
+        src.0 * 4 + dir
+    }
+
+    /// Walks the XY route from `src` to `dst` as a stream of dense link
+    /// ids — the allocation-free twin of [`Mesh::route`] for the
+    /// per-message contention path (`route` builds a `Vec` of visited
+    /// tiles; this yields one `usize` per hop and owns all its state).
+    pub fn route_links(&self, src: NodeId, dst: NodeId) -> RouteLinks {
+        let (x, y) = self.coords(src);
+        let (tx, ty) = self.coords(dst);
+        RouteLinks {
+            width: self.width,
+            x,
+            y,
+            tx,
+            ty,
+        }
+    }
+
     /// The four corner tiles (hosting the memory controllers, mirroring the
     /// paper's "4 directory controllers at mesh corners").
     pub fn corners(&self) -> Vec<NodeId> {
@@ -144,6 +186,49 @@ impl Mesh {
         cs
     }
 }
+
+/// Iterator over the dense link ids of one XY route, x-first then y.
+/// Owns its position/target state by value so the caller can mutate
+/// per-link tables while iterating.
+#[derive(Clone, Debug)]
+pub struct RouteLinks {
+    width: usize,
+    x: usize,
+    y: usize,
+    tx: usize,
+    ty: usize,
+}
+
+impl Iterator for RouteLinks {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        let node = self.y * self.width + self.x;
+        if self.x < self.tx {
+            self.x += 1;
+            Some(node * 4)
+        } else if self.x > self.tx {
+            self.x -= 1;
+            Some(node * 4 + 1)
+        } else if self.y < self.ty {
+            self.y += 1;
+            Some(node * 4 + 2)
+        } else if self.y > self.ty {
+            self.y -= 1;
+            Some(node * 4 + 3)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.x.abs_diff(self.tx) + self.y.abs_diff(self.ty);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RouteLinks {}
 
 #[cfg(test)]
 mod tests {
@@ -212,6 +297,61 @@ mod tests {
                 assert_eq!(*r.last().unwrap(), NodeId(d));
             }
         }
+    }
+
+    #[test]
+    fn link_ids_are_dense_and_unique_per_directed_link() {
+        // Every directed neighbour pair maps to a distinct id inside the
+        // dense table.
+        let m = Mesh::with_paper_timing(6, 4);
+        let mut seen = vec![false; m.num_links()];
+        for n in 0..m.nodes() {
+            let (x, y) = m.coords(NodeId(n));
+            let neighbours = [
+                (x + 1, y, x + 1 < m.width()),
+                (x.wrapping_sub(1), y, x > 0),
+                (x, y + 1, y + 1 < m.height()),
+                (x, y.wrapping_sub(1), y > 0),
+            ];
+            for (nx, ny, ok) in neighbours {
+                if !ok {
+                    continue;
+                }
+                let id = m.link_id(NodeId(n), m.node_at(nx, ny));
+                assert!(id < m.num_links());
+                assert!(!seen[id], "link id {id} assigned twice");
+                seen[id] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn route_links_match_route_hops() {
+        // For every pair, the link-id walk agrees hop-for-hop with the
+        // allocating route() — each window maps to the same unique id,
+        // and no id repeats within a route (XY routes are loop-free).
+        let m = Mesh::with_paper_timing(6, 4);
+        for s in 0..24 {
+            for d in 0..24 {
+                let route = m.route(NodeId(s), NodeId(d));
+                let ids: Vec<usize> = m.route_links(NodeId(s), NodeId(d)).collect();
+                assert_eq!(ids.len(), route.len() - 1);
+                for (hop, &id) in route.windows(2).zip(&ids) {
+                    assert_eq!(id, m.link_id(hop[0], hop[1]));
+                }
+                let mut sorted = ids.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), ids.len(), "route reused a link id");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not adjacent")]
+    fn link_id_rejects_non_neighbours() {
+        let m = Mesh::with_paper_timing(4, 4);
+        m.link_id(NodeId(0), NodeId(2));
     }
 
     #[test]

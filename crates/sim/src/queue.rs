@@ -70,7 +70,32 @@ impl<E> EventQueue<E> {
         }
     }
 
+    /// Creates an empty queue whose heap can hold `capacity` events
+    /// before reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Resets the queue to its initial state (cycle 0, seq 0, no
+    /// events) while keeping the heap's allocation, so a queue can be
+    /// recycled across simulation runs without re-growing.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = 0;
+    }
+
+    /// Number of events the heap can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+
     /// Current simulated time: the timestamp of the last popped event.
+    #[inline]
     pub fn now(&self) -> Cycle {
         self.now
     }
@@ -80,6 +105,7 @@ impl<E> EventQueue<E> {
     /// # Panics
     /// Panics if `time` is in the past (before the last popped event) —
     /// scheduling backwards in time is always a component bug.
+    #[inline]
     pub fn push(&mut self, time: Cycle, event: E) {
         assert!(
             time >= self.now,
@@ -92,11 +118,13 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedules `event` `delay` cycles after the current time.
+    #[inline]
     pub fn push_after(&mut self, delay: Cycle, event: E) {
         self.push(self.now + delay, event);
     }
 
     /// Pops the earliest event, advancing the simulated clock to its time.
+    #[inline]
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
         let Reverse(entry) = self.heap.pop()?;
         debug_assert!(entry.time >= self.now);
@@ -176,6 +204,28 @@ mod tests {
         assert_eq!(q.len(), 2);
         assert!(!q.is_empty());
         assert_eq!(q.peek_time(), Some(1));
+    }
+
+    #[test]
+    fn clear_recycles_the_allocation_and_resets_the_clock() {
+        let mut q = EventQueue::with_capacity(64);
+        let cap = q.capacity();
+        assert!(cap >= 64);
+        for i in 0..50u64 {
+            q.push(i, i);
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.now(), 49);
+        q.clear();
+        assert_eq!(q.now(), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.capacity(), cap, "clear must keep the heap allocation");
+        // A recycled queue behaves like a fresh one: time 0 is pushable
+        // again and FIFO seq numbering restarts.
+        q.push(0, 7);
+        q.push(0, 8);
+        assert_eq!(q.pop(), Some((0, 7)));
+        assert_eq!(q.pop(), Some((0, 8)));
     }
 
     #[test]

@@ -142,21 +142,22 @@ impl Workload for BlackScholes {
         for t in 0..threads {
             let lo = (t * per).min(n);
             let hi = ((t + 1) * per).min(n);
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(d);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(d).await;
                 for i in lo..hi {
                     let o = Option32 {
-                        s: ctx.load_f32(s_base.add((i * 4) as u64)),
-                        k: ctx.load_f32(k_base.add((i * 4) as u64)),
-                        r: ctx.load_f32(r_base.add((i * 4) as u64)),
-                        v: ctx.load_f32(v_base.add((i * 4) as u64)),
-                        t: ctx.load_f32(t_base.add((i * 4) as u64)),
-                        call: ctx.load_u8(c_base.add(i as u64)) != 0,
+                        s: ctx.load_f32(s_base.add((i * 4) as u64)).await,
+                        k: ctx.load_f32(k_base.add((i * 4) as u64)).await,
+                        r: ctx.load_f32(r_base.add((i * 4) as u64)).await,
+                        v: ctx.load_f32(v_base.add((i * 4) as u64)).await,
+                        t: ctx.load_f32(t_base.add((i * 4) as u64)).await,
+                        call: ctx.load_u8(c_base.add(i as u64)).await != 0,
                     };
-                    ctx.work(40); // ln/exp/sqrt pipeline
-                    ctx.scribble_f32(prices_base.add((i * 4) as u64), price(&o));
+                    ctx.work(40).await; // ln/exp/sqrt pipeline
+                    ctx.scribble_f32(prices_base.add((i * 4) as u64), price(&o))
+                        .await;
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
     }

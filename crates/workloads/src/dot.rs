@@ -114,25 +114,25 @@ impl Workload for BadDotProduct {
         let work = self.work_per_point;
         for t in 0..threads {
             let range = chunk(n, threads, t);
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 if approximate {
-                    ctx.approx_begin(d);
+                    ctx.approx_begin(d).await;
                 }
                 let slot = total_base.add(4 * t as u64);
                 for i in range {
-                    let x = ctx.load_i32(a_base.add(4 * i as u64));
-                    let y = ctx.load_i32(b_base.add(4 * i as u64));
-                    ctx.work(work); // the multiply-add + loop body
-                    let acc = ctx.load_i32(slot);
+                    let x = ctx.load_i32(a_base.add(4 * i as u64)).await;
+                    let y = ctx.load_i32(b_base.add(4 * i as u64)).await;
+                    ctx.work(work).await; // the multiply-add + loop body
+                    let acc = ctx.load_i32(slot).await;
                     let v = acc.wrapping_add(x.wrapping_mul(y));
                     if approximate {
-                        ctx.scribble_i32(slot, v);
+                        ctx.scribble_i32(slot, v).await;
                     } else {
-                        ctx.store_i32(slot, v);
+                        ctx.store_i32(slot, v).await;
                     }
                 }
                 if approximate {
-                    ctx.approx_end();
+                    ctx.approx_end().await;
                 }
             });
         }
@@ -205,15 +205,15 @@ impl Workload for GoodDotProduct {
         let total_base = self.total_base;
         for t in 0..threads {
             let range = chunk(n, threads, t);
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 let mut sum = 0i32;
                 for i in range {
-                    let x = ctx.load_i32(a_base.add(4 * i as u64));
-                    let y = ctx.load_i32(b_base.add(4 * i as u64));
-                    ctx.work(1);
+                    let x = ctx.load_i32(a_base.add(4 * i as u64)).await;
+                    let y = ctx.load_i32(b_base.add(4 * i as u64)).await;
+                    ctx.work(1).await;
                     sum = sum.wrapping_add(x.wrapping_mul(y));
                 }
-                ctx.store_i32(total_base.add(64 * t as u64), sum);
+                ctx.store_i32(total_base.add(64 * t as u64), sum).await;
             });
         }
     }

@@ -89,30 +89,31 @@ impl Workload for Histogram {
             let bin_lo = (t * bins_per).min(BINS * CHANNELS);
             let bin_hi = ((t + 1) * bins_per).min(BINS * CHANNELS);
             let my_partial = partials_base.add(partial_stride * t as u64);
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 // Map: count privately (still through simulated memory,
                 // but thread-private padded blocks — M-state hits).
                 for i in (lo..hi).map(|p| p * CHANNELS) {
                     for c in 0..CHANNELS {
-                        let v = ctx.load_u8(img_base.add((i + c) as u64)) as usize;
+                        let v = ctx.load_u8(img_base.add((i + c) as u64)).await as usize;
                         let slot = my_partial.add(((c * BINS + v) * 4) as u64);
-                        let cur = ctx.load_i32(slot);
-                        ctx.store_i32(slot, cur + 1);
+                        let cur = ctx.load_i32(slot).await;
+                        ctx.store_i32(slot, cur + 1).await;
                     }
                 }
-                ctx.barrier();
+                ctx.barrier().await;
                 // Reduce: sum all threads' partials for my bin range into
                 // the shared final histogram.
-                ctx.approx_begin(d);
+                ctx.approx_begin(d).await;
                 for bin in bin_lo..bin_hi {
                     let mut sum = 0i32;
                     for u in 0..threads {
                         let p = partials_base.add(partial_stride * u as u64 + (bin * 4) as u64);
-                        sum += ctx.load_i32(p);
+                        sum += ctx.load_i32(p).await;
                     }
-                    ctx.scribble_i32(final_base.add((bin * 4) as u64), sum);
+                    ctx.scribble_i32(final_base.add((bin * 4) as u64), sum)
+                        .await;
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
     }

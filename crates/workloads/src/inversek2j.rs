@@ -98,17 +98,17 @@ impl Workload for InverseK2J {
             // AxBench kernel parallelised with a static OpenMP schedule of
             // chunk 1).
             let my: Vec<usize> = (t..n).step_by(threads).collect();
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(d);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(d).await;
                 for i in my {
-                    let x = ctx.load_f32(x_base.add((i * 4) as u64));
-                    let y = ctx.load_f32(y_base.add((i * 4) as u64));
-                    ctx.work(30); // acos/atan2 pipeline
+                    let x = ctx.load_f32(x_base.add((i * 4) as u64)).await;
+                    let y = ctx.load_f32(y_base.add((i * 4) as u64)).await;
+                    ctx.work(30).await; // acos/atan2 pipeline
                     let (th1, th2) = inverse(x, y);
-                    ctx.scribble_f32(th1_base.add((i * 4) as u64), th1);
-                    ctx.scribble_f32(th2_base.add((i * 4) as u64), th2);
+                    ctx.scribble_f32(th1_base.add((i * 4) as u64), th1).await;
+                    ctx.scribble_f32(th2_base.add((i * 4) as u64), th2).await;
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
     }

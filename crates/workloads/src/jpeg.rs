@@ -232,7 +232,7 @@ impl Workload for Jpeg {
             let (lo, hi) = range_of(t);
             let (qlo, qhi) = range_of((t + 1) % threads);
             let (rlo, rhi) = range_of((t + 2) % threads);
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 let tile_px = |k: usize, i: usize| -> u64 {
                     let (tx, ty) = (k % tiles_x, k / tiles_x);
                     let (x, y) = (i % TILE, i / TILE);
@@ -247,10 +247,10 @@ impl Workload for Jpeg {
                 for k in lo..hi {
                     let mut tile = [0f32; 64];
                     for (slot, item) in tile.iter_mut().enumerate() {
-                        *item = ctx.load_u8(img_base.add(tile_px(k, slot))) as f32;
+                        *item = ctx.load_u8(img_base.add(tile_px(k, slot))).await as f32;
                     }
                     dct8x8(&tile, &mut coeffs_of[k - lo]);
-                    ctx.work(256);
+                    ctx.work(256).await;
                 }
                 // Plane-major scatter: revisits each contended plane
                 // block once per own tile.
@@ -260,10 +260,11 @@ impl Workload for Jpeg {
                         ctx.store_i32(
                             coeff_base.add(plane_addr(i, k)),
                             coeffs_of[k - lo][i].round() as i32,
-                        );
+                        )
+                        .await;
                     }
                 }
-                ctx.barrier();
+                ctx.barrier().await;
                 // Phase 2 (the annotated approximate region): in-place
                 // quantize/dequantize, plane-major, on the rotated chunk.
                 // Gather-then-scatter: the gather loads warm the tags;
@@ -272,37 +273,38 @@ impl Workload for Jpeg {
                 // scribbles — each within one quantisation step of the
                 // stale value — hit GS on still-shared blocks and GI on
                 // invalidated ones (paper Fig. 5).
-                ctx.approx_begin(d);
+                ctx.approx_begin(d).await;
                 let mut vals = vec![0i32; qhi - qlo];
                 #[allow(clippy::needless_range_loop)] // i indexes QUANT too
                 for i in 0..64 {
                     for k in qlo..qhi {
-                        vals[k - qlo] = ctx.load_i32(coeff_base.add(plane_addr(i, k)));
+                        vals[k - qlo] = ctx.load_i32(coeff_base.add(plane_addr(i, k))).await;
                     }
-                    ctx.work(2 * (qhi - qlo) as u64);
+                    ctx.work(2 * (qhi - qlo) as u64).await;
                     for k in qlo..qhi {
                         ctx.scribble_i32(
                             coeff_base.add(plane_addr(i, k)),
                             quantize(vals[k - qlo], QUANT[i]),
-                        );
+                        )
+                        .await;
                     }
                 }
-                ctx.approx_end();
-                ctx.barrier();
+                ctx.approx_end().await;
+                ctx.barrier().await;
                 // Phase 3: gather + IDCT into the output image
                 // (conventional stores).
                 for k in rlo..rhi {
                     let mut deq = [0f32; 64];
                     for (i, item) in deq.iter_mut().enumerate() {
-                        let q = ctx.load_i32(coeff_base.add(plane_addr(i, k)));
+                        let q = ctx.load_i32(coeff_base.add(plane_addr(i, k))).await;
                         *item = q as f32;
                     }
                     let mut rec = [0f32; 64];
                     idct8x8(&deq, &mut rec);
-                    ctx.work(256);
+                    ctx.work(256).await;
                     for (i, &p) in rec.iter().enumerate() {
                         let px = p.round().clamp(0.0, 255.0) as u8;
-                        ctx.store_u8(out_base.add(tile_px(k, i)), px);
+                        ctx.store_u8(out_base.add(tile_px(k, i)), px).await;
                     }
                 }
             });

@@ -150,25 +150,26 @@ impl Workload for KMeans {
             let klo = (t * kc).min(k);
             let khi = ((t + 1) * kc).min(k);
             let my_partial = partials_base.add(partial_stride * t as u64);
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(d);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(d).await;
                 for _ in 0..iters {
                     // Zero my partials (private blocks, M-state hits).
                     for c in 0..k {
                         for f in 0..3u64 {
-                            ctx.store_i32(my_partial.add((c * 12) as u64 + 4 * f), 0);
+                            ctx.store_i32(my_partial.add((c * 12) as u64 + 4 * f), 0)
+                                .await;
                         }
                     }
                     // Map: assign my points against the shared (possibly
                     // stale) centroids.
                     for i in lo..hi {
-                        let px = ctx.load_i32(px_base.add((i * 4) as u64));
-                        let py = ctx.load_i32(py_base.add((i * 4) as u64));
+                        let px = ctx.load_i32(px_base.add((i * 4) as u64)).await;
+                        let py = ctx.load_i32(py_base.add((i * 4) as u64)).await;
                         let mut best = 0usize;
                         let mut best_d = i64::MAX;
                         for c in 0..k {
-                            let cx = ctx.load_i32(centroid_base.add((c * 8) as u64));
-                            let cy = ctx.load_i32(centroid_base.add((c * 8 + 4) as u64));
+                            let cx = ctx.load_i32(centroid_base.add((c * 8) as u64)).await;
+                            let cy = ctx.load_i32(centroid_base.add((c * 8 + 4) as u64)).await;
                             let dx = (px - cx) as i64;
                             let dy = (py - cy) as i64;
                             let dist = dx * dx + dy * dy;
@@ -177,16 +178,16 @@ impl Workload for KMeans {
                                 best = c;
                             }
                         }
-                        ctx.work(4 * k as u64);
+                        ctx.work(4 * k as u64).await;
                         let slot = my_partial.add((best * 12) as u64);
-                        let sx = ctx.load_i32(slot);
-                        ctx.store_i32(slot, sx + px);
-                        let sy = ctx.load_i32(slot.add(4));
-                        ctx.store_i32(slot.add(4), sy + py);
-                        let cnt = ctx.load_i32(slot.add(8));
-                        ctx.store_i32(slot.add(8), cnt + 1);
+                        let sx = ctx.load_i32(slot).await;
+                        ctx.store_i32(slot, sx + px).await;
+                        let sy = ctx.load_i32(slot.add(4)).await;
+                        ctx.store_i32(slot.add(4), sy + py).await;
+                        let cnt = ctx.load_i32(slot.add(8)).await;
+                        ctx.store_i32(slot.add(8), cnt + 1).await;
                     }
-                    ctx.barrier();
+                    ctx.barrier().await;
                     // Reduce: fold all partials for my centroid range and
                     // scribble the new centroids (bit-wise similar to the
                     // old ones once the clustering stabilises).
@@ -196,21 +197,23 @@ impl Workload for KMeans {
                         let mut cnt = 0i64;
                         for u in 0..threads {
                             let p = partials_base.add(partial_stride * u as u64 + (c * 12) as u64);
-                            sx += ctx.load_i32(p) as i64;
-                            sy += ctx.load_i32(p.add(4)) as i64;
-                            cnt += ctx.load_i32(p.add(8)) as i64;
+                            sx += ctx.load_i32(p).await as i64;
+                            sy += ctx.load_i32(p.add(4)).await as i64;
+                            cnt += ctx.load_i32(p.add(8)).await as i64;
                         }
                         if cnt > 0 {
-                            ctx.scribble_i32(centroid_base.add((c * 8) as u64), (sx / cnt) as i32);
+                            ctx.scribble_i32(centroid_base.add((c * 8) as u64), (sx / cnt) as i32)
+                                .await;
                             ctx.scribble_i32(
                                 centroid_base.add((c * 8 + 4) as u64),
                                 (sy / cnt) as i32,
-                            );
+                            )
+                            .await;
                         }
                     }
-                    ctx.barrier();
+                    ctx.barrier().await;
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
     }

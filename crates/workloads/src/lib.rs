@@ -38,6 +38,8 @@ pub use registry::{
     extended_benchmarks, find_benchmark, micro_benchmarks, paper_benchmarks, BenchmarkEntry,
     ScaleClass, Suite, DEFAULT_SEED,
 };
+#[cfg(feature = "legacy-threads")]
+pub use runner::execute_legacy;
 pub use runner::{compare, compare_default, execute, Comparison, RunOutcome, Workload};
 pub use sobel::Sobel;
 pub use tuner::{autotune, Candidate, TuneResult, DEFAULT_LADDER};

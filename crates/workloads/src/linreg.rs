@@ -158,26 +158,26 @@ impl Workload for LinearRegression {
             // use a strided partition so every thread updates throughout
             // the run (maximising the migratory pattern).
             let my: Vec<usize> = (t..n).step_by(threads).collect();
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(d);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(d).await;
                 let base = args_base.add(STRIDE * t as u64);
                 for i in my {
-                    let x = ctx.load_u16(x_base.add(2 * i as u64)) as i32;
-                    let y = ctx.load_u16(y_base.add(2 * i as u64)) as i32;
+                    let x = ctx.load_u16(x_base.add(2 * i as u64)).await as i32;
+                    let y = ctx.load_u16(y_base.add(2 * i as u64)).await as i32;
                     // Per-point parse cost of the Phoenix kernel (text
                     // parsing + pointer chasing; keeps the accumulator
                     // update rate in the regime of the paper's machine).
-                    ctx.work(64);
+                    ctx.work(64).await;
                     let deltas = [x, y, x * x, y * y, x * y];
                     for (f, &dv) in deltas.iter().enumerate() {
                         let a = base.add(4 * f as u64);
-                        let cur = ctx.load_i32(a);
-                        ctx.scribble_i32(a, cur.wrapping_add(dv));
+                        let cur = ctx.load_i32(a).await;
+                        ctx.scribble_i32(a, cur.wrapping_add(dv)).await;
                         // Arithmetic between the field updates.
-                        ctx.work(12);
+                        ctx.work(12).await;
                     }
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
     }

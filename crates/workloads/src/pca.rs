@@ -104,37 +104,39 @@ impl Workload for Pca {
         for t in 0..threads {
             let lo = (t * rows_per).min(r);
             let hi = ((t + 1) * rows_per).min(r);
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(d);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(d).await;
                 // Phase 1: row means (packed shared mean array).
                 for i in lo..hi {
                     let mut s = 0i64;
                     for k in 0..c {
-                        s += ctx.load_i32(mat_base.add(((i * c + k) * 4) as u64)) as i64;
+                        s += ctx.load_i32(mat_base.add(((i * c + k) * 4) as u64)).await as i64;
                     }
-                    ctx.work(c as u64 / 4 + 1);
-                    ctx.scribble_i32(mean_base.add((i * 4) as u64), (s / c as i64) as i32);
+                    ctx.work(c as u64 / 4 + 1).await;
+                    ctx.scribble_i32(mean_base.add((i * 4) as u64), (s / c as i64) as i32)
+                        .await;
                 }
-                ctx.barrier();
+                ctx.barrier().await;
                 // Phase 2: covariance rows lo..hi (upper triangle).
                 for i in lo..hi {
-                    let mi = ctx.load_i32(mean_base.add((i * 4) as u64));
+                    let mi = ctx.load_i32(mean_base.add((i * 4) as u64)).await;
                     for j in i..r {
-                        let mj = ctx.load_i32(mean_base.add((j * 4) as u64));
+                        let mj = ctx.load_i32(mean_base.add((j * 4) as u64)).await;
                         let mut s = 0i64;
                         for k in 0..c {
-                            let a = ctx.load_i32(mat_base.add(((i * c + k) * 4) as u64));
-                            let b = ctx.load_i32(mat_base.add(((j * c + k) * 4) as u64));
+                            let a = ctx.load_i32(mat_base.add(((i * c + k) * 4) as u64)).await;
+                            let b = ctx.load_i32(mat_base.add(((j * c + k) * 4) as u64)).await;
                             s += (a - mi) as i64 * (b - mj) as i64;
                         }
-                        ctx.work(c as u64 / 2 + 1);
+                        ctx.work(c as u64 / 2 + 1).await;
                         ctx.scribble_i32(
                             cov_base.add(((i * r + j) * 4) as u64),
                             (s / c as i64) as i32,
-                        );
+                        )
+                        .await;
                     }
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
     }

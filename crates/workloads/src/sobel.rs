@@ -109,8 +109,8 @@ impl Workload for Sobel {
         // contended — the false-sharing-rich variant of the kernel.
         for t in 0..threads {
             let my_rows: Vec<usize> = (t..h).step_by(threads).collect();
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(d);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(d).await;
                 for y in my_rows {
                     // Load the three input rows once per row strip
                     // (register-blocked like the real kernel).
@@ -118,7 +118,7 @@ impl Workload for Sobel {
                     for ry in 0..3usize {
                         let sy = (y + ry).saturating_sub(1).min(h - 1);
                         for x in 0..w {
-                            rows[ry * w + x] = ctx.load_u8(img_base.add((sy * w + x) as u64));
+                            rows[ry * w + x] = ctx.load_u8(img_base.add((sy * w + x) as u64)).await;
                         }
                     }
                     for x in 0..w {
@@ -139,11 +139,12 @@ impl Workload for Sobel {
                             ((((gx * gx + gy * gy) as f64).sqrt() * GRAD_SCALE as f64) as i32)
                                 .min(255 * GRAD_SCALE)
                         };
-                        ctx.work(6);
-                        ctx.scribble_i32(out_base.add(((y * w + x) * 4) as u64), g);
+                        ctx.work(6).await;
+                        ctx.scribble_i32(out_base.add(((y * w + x) * 4) as u64), g)
+                            .await;
                     }
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
     }

@@ -1,0 +1,80 @@
+//! Differential determinism: legacy OS-thread engine vs resumable engine.
+//!
+//! The resumable-core engine (PR 4) replaced the original two-way
+//! thread-rendezvous engine on the hot path; the old engine survives
+//! behind the `legacy-threads` feature purely as an oracle. These tests
+//! push the same seeded workload through both engines and require
+//! *byte-identical* results — same final cycle count, same output error,
+//! and the same canonical stats JSON down to the last counter. Any
+//! scheduling divergence between the engines shows up here long before it
+//! would surface as a corrupted experiment cache.
+//!
+//! Compiled only with `--features legacy-threads` (CI runs it that way);
+//! without the feature this file is an empty test binary.
+#![cfg(feature = "legacy-threads")]
+
+use ghostwriter_core::{MachineConfig, Protocol};
+use ghostwriter_workloads::{execute, execute_legacy, find_benchmark, ScaleClass, DEFAULT_SEED};
+
+/// Runs `name` at test scale under both engines and asserts fingerprint
+/// equality for the given protocol.
+fn assert_engines_agree(name: &str, protocol: Protocol, threads: usize, d: u8) {
+    let entry = find_benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let cfg = || MachineConfig {
+        cores: threads,
+        protocol,
+        ..MachineConfig::default()
+    };
+
+    let mut w_new = entry.build_seeded(ScaleClass::Test, DEFAULT_SEED);
+    let new = execute(w_new.as_mut(), cfg(), threads, d);
+    let mut w_old = entry.build_seeded(ScaleClass::Test, DEFAULT_SEED);
+    let old = execute_legacy(w_old.as_mut(), cfg(), threads, d);
+
+    assert_eq!(
+        new.report.cycles, old.report.cycles,
+        "{name}/{protocol:?}: cycle counts diverge"
+    );
+    assert_eq!(
+        new.error_percent, old.error_percent,
+        "{name}/{protocol:?}: output error diverges"
+    );
+    assert_eq!(
+        new.report.stats.to_json().to_pretty(),
+        old.report.stats.to_json().to_pretty(),
+        "{name}/{protocol:?}: stats fingerprints diverge"
+    );
+}
+
+/// One workload per class: Phoenix map-reduce, AxBench compute, and the
+/// §2 false-sharing microbenchmark; each under both protocols.
+#[test]
+fn histogram_engines_agree() {
+    assert_engines_agree("histogram", Protocol::Mesi, 4, 8);
+    assert_engines_agree("histogram", Protocol::ghostwriter(), 4, 8);
+}
+
+#[test]
+fn kmeans_engines_agree() {
+    assert_engines_agree("kmeans", Protocol::Mesi, 4, 8);
+    assert_engines_agree("kmeans", Protocol::ghostwriter(), 4, 8);
+}
+
+#[test]
+fn blackscholes_engines_agree() {
+    assert_engines_agree("blackscholes", Protocol::Mesi, 4, 8);
+    assert_engines_agree("blackscholes", Protocol::ghostwriter(), 4, 8);
+}
+
+#[test]
+fn bad_dot_product_engines_agree() {
+    // The pathological false-sharing microbenchmark exercises barriers,
+    // GS/GI service and the contended NoC path hardest.
+    assert_engines_agree("bad_dot_product", Protocol::Mesi, 8, 4);
+    assert_engines_agree("bad_dot_product", Protocol::ghostwriter(), 8, 4);
+}
+
+#[test]
+fn jpeg_engines_agree() {
+    assert_engines_agree("jpeg", Protocol::ghostwriter(), 4, 8);
+}

@@ -27,24 +27,24 @@ fn build(protocol: Protocol, threads: usize, d: u8, signal: &[i32]) -> (Machine,
     let data = ArrayI32::alloc(&mut m, n);
     m.backdoor_write_i32s(data.base(), signal);
     for t in 0..threads {
-        m.add_thread(move |ctx| {
-            ctx.approx_begin(d);
+        m.add_thread(move |ctx| async move {
+            ctx.approx_begin(d).await;
             for _ in 0..SWEEPS {
                 let mut i = t;
                 while i < n {
-                    let prev = data.load(ctx, i.saturating_sub(1));
-                    let cur = data.load(ctx, i);
-                    let next = data.load(ctx, (i + 1).min(n - 1));
-                    ctx.work(8);
+                    let prev = data.load(&ctx, i.saturating_sub(1)).await;
+                    let cur = data.load(&ctx, i).await;
+                    let next = data.load(&ctx, (i + 1).min(n - 1)).await;
+                    ctx.work(8).await;
                     // Damped update: moves a quarter of the way to the
                     // local mean — small deltas, high similarity.
                     let target = (prev + cur + next) / 3;
-                    data.scribble(ctx, i, cur + (target - cur) / 4);
+                    data.scribble(&ctx, i, cur + (target - cur) / 4).await;
                     i += threads;
                 }
-                ctx.barrier();
+                ctx.barrier().await;
             }
-            ctx.approx_end();
+            ctx.approx_end().await;
         });
     }
     (m, data)

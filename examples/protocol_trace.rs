@@ -18,27 +18,27 @@ fn trace(protocol: Protocol, label: &str) -> u64 {
     let block = m.alloc_padded(64);
     // Epochs of Fig. 4: store by core 0, load+scribble by core 1, re-read
     // by core 0.
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for r in 0..2u32 {
-            ctx.store_u32(block, r + 1); // offset 0
-            ctx.barrier();
-            ctx.barrier();
-            let _ = ctx.load_u32(block);
-            ctx.barrier();
+            ctx.store_u32(block, r + 1).await; // offset 0
+            ctx.barrier().await;
+            ctx.barrier().await;
+            let _ = ctx.load_u32(block).await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for r in 0..2u32 {
-            ctx.barrier();
-            let v = ctx.load_u32(block.add(4)); // offset 1
-            ctx.scribble_u32(block.add(4), v + (r & 1));
-            ctx.barrier();
-            ctx.barrier();
+            ctx.barrier().await;
+            let v = ctx.load_u32(block.add(4)).await; // offset 1
+            ctx.scribble_u32(block.add(4), v + (r & 1)).await;
+            ctx.barrier().await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
     let run = m.run();
     println!("--- {label}: {} messages ---", run.trace.len());

@@ -19,22 +19,22 @@ fn run(protocol: Protocol) -> (u64, u64, u64, Vec<u32>) {
     // One shared block; slot t belongs to thread t (false sharing!).
     let shared: Addr = m.alloc_padded(64);
     for t in 0..4usize {
-        m.add_thread(move |ctx| {
+        m.add_thread(move |ctx| async move {
             // #pragma approx_dist(8); #pragma approx_begin(shared)
-            ctx.approx_begin(8);
+            ctx.approx_begin(8).await;
             let slot = shared.add(4 * t as u64);
             for i in 0..200u32 {
-                let v = ctx.load_u32(slot);
+                let v = ctx.load_u32(slot).await;
                 // Mostly-small updates with an occasional large jump —
                 // the error-tolerant value profile the paper targets. The
                 // small deltas take the Ghostwriter fast path (bit-wise
                 // similar, no coherence actions); the jumps fail the
                 // d-check and publish conventionally, bounding the error.
                 let delta = if i % 16 == 0 { 1 << 12 } else { i % 2 };
-                ctx.scribble_u32(slot, v + delta);
-                ctx.work(16);
+                ctx.scribble_u32(slot, v + delta).await;
+                ctx.work(16).await;
             }
-            ctx.approx_end();
+            ctx.approx_end().await;
         });
     }
     let run = m.run();

@@ -71,20 +71,20 @@ proptest! {
             }
         }
         for (t, steps) in plan.steps.clone().into_iter().enumerate() {
-            m.add_thread(move |ctx| {
+            m.add_thread(move |ctx| async move {
                 let mut counters = vec![0u32; blocks];
                 let mut seen = vec![vec![0u32; threads]; blocks];
                 for (b, w) in steps {
                     let my_slot = base.add(64 * b as u64 + 4 * t as u64);
                     counters[b] += 1;
-                    ctx.store_u32(my_slot, counters[b]);
+                    ctx.store_u32(my_slot, counters[b]).await;
                     if w > 0 {
-                        ctx.work(w as u64);
+                        ctx.work(w as u64).await;
                     }
                     // Read every other writer's slot in this block and
                     // check monotonicity.
                     for u in 0..threads {
-                        let v = ctx.load_u32(base.add(64 * b as u64 + 4 * u as u64));
+                        let v = ctx.load_u32(base.add(64 * b as u64 + 4 * u as u64)).await;
                         assert!(
                             v >= seen[b][u],
                             "reader {t} saw block {b} writer {u} go backwards: {v} < {}",
@@ -125,24 +125,24 @@ proptest! {
             }
         }
         for (t, steps) in plan.steps.clone().into_iter().enumerate() {
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(4);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(4).await;
                 let mut counters = vec![0u32; blocks];
                 for (b, w) in steps {
                     // Approximate chaos: read-modify-scribble a falsely
                     // shared slot.
                     let a_slot = approx.add(64 * b as u64 + 4 * t as u64);
-                    let v = ctx.load_u32(a_slot);
-                    ctx.scribble_u32(a_slot, v.wrapping_add(w as u32));
+                    let v = ctx.load_u32(a_slot).await;
+                    ctx.scribble_u32(a_slot, v.wrapping_add(w as u32)).await;
                     // Conventional ground truth.
                     let e_slot = exact.add(64 * b as u64 + 4 * t as u64);
                     counters[b] += 1;
-                    ctx.store_u32(e_slot, counters[b]);
+                    ctx.store_u32(e_slot, counters[b]).await;
                     if w > 0 {
-                        ctx.work(w as u64);
+                        ctx.work(w as u64).await;
                     }
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
         let run = m.run();

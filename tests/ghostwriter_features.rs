@@ -20,26 +20,26 @@ fn machine(cores: usize, protocol: Protocol) -> Machine {
 fn per_region_d_distances() {
     let mut m = machine(2, Protocol::ghostwriter());
     let block = m.alloc_padded(64);
-    m.add_thread(move |ctx| {
+    m.add_thread(move |ctx| async move {
         for r in 0..8u32 {
-            ctx.store_u32(block, 0x100 * r);
-            ctx.barrier();
-            ctx.barrier();
+            ctx.store_u32(block, 0x100 * r).await;
+            ctx.barrier().await;
+            ctx.barrier().await;
         }
     });
-    m.add_thread(move |ctx| {
+    m.add_thread(move |ctx| async move {
         let mut gs_like_hits = 0u32;
         for r in 0..8u32 {
-            ctx.barrier();
-            let v = ctx.load_u32(block.add(4));
+            ctx.barrier().await;
+            let v = ctx.load_u32(block.add(4)).await;
             // First half: tight region (d=1) — delta 2 always publishes.
             // Second half: loose region (d=4) — delta 2 is absorbed.
             let d = if r < 4 { 1 } else { 4 };
-            ctx.approx_begin(d);
-            ctx.scribble_u32(block.add(4), v + 2);
-            ctx.approx_end();
+            ctx.approx_begin(d).await;
+            ctx.scribble_u32(block.add(4), v + 2).await;
+            ctx.approx_end().await;
             gs_like_hits += 1;
-            ctx.barrier();
+            ctx.barrier().await;
         }
         assert_eq!(gs_like_hits, 8);
     });
@@ -58,23 +58,23 @@ fn approx_end_keeps_gs_blocks_warm() {
     let mut m = machine(2, Protocol::ghostwriter());
     let block = m.alloc_padded(64);
     let result = m.alloc_padded(64);
-    m.add_thread(move |ctx| {
-        ctx.store_u32(block, 5);
-        ctx.barrier();
-        ctx.barrier();
+    m.add_thread(move |ctx| async move {
+        ctx.store_u32(block, 5).await;
+        ctx.barrier().await;
+        ctx.barrier().await;
     });
-    m.add_thread(move |ctx| {
-        ctx.barrier();
+    m.add_thread(move |ctx| async move {
+        ctx.barrier().await;
         // Enter GS with a hidden write...
-        let v = ctx.load_u32(block.add(4));
-        ctx.approx_begin(4);
-        ctx.scribble_u32(block.add(4), v + 3);
-        ctx.approx_end();
+        let v = ctx.load_u32(block.add(4)).await;
+        ctx.approx_begin(4).await;
+        ctx.scribble_u32(block.add(4), v + 3).await;
+        ctx.approx_end().await;
         // ...after approx_end the local copy still serves loads (hit,
         // hidden value visible to this core).
-        let local = ctx.load_u32(block.add(4));
-        ctx.store_u32(result, local);
-        ctx.barrier();
+        let local = ctx.load_u32(block.add(4)).await;
+        ctx.store_u32(result, local).await;
+        ctx.barrier().await;
     });
     let run = m.run();
     assert_eq!(
@@ -152,20 +152,20 @@ fn longer_timeout_means_more_error_under_capture() {
 fn byte_scribbles_at_d8_are_demoted() {
     let mut m = machine(2, Protocol::ghostwriter());
     let block = m.alloc_padded(64);
-    m.add_thread(move |ctx| {
-        ctx.store_u8(block, 1);
-        ctx.barrier();
-        ctx.barrier();
+    m.add_thread(move |ctx| async move {
+        ctx.store_u8(block, 1).await;
+        ctx.barrier().await;
+        ctx.barrier().await;
     });
-    m.add_thread(move |ctx| {
-        ctx.barrier();
-        let _ = ctx.load_u8(block.add(1));
-        ctx.approx_begin(8);
+    m.add_thread(move |ctx| async move {
+        ctx.barrier().await;
+        let _ = ctx.load_u8(block.add(1)).await;
+        ctx.approx_begin(8).await;
         // Byte store at d=8: would admit any value, so it must take the
         // conventional UPGRADE path instead of entering GS.
-        ctx.scribble_u8(block.add(1), 200);
-        ctx.approx_end();
-        ctx.barrier();
+        ctx.scribble_u8(block.add(1), 200).await;
+        ctx.approx_end().await;
+        ctx.barrier().await;
     });
     let run = m.run();
     assert_eq!(run.report.stats.serviced_by_gs, 0);
@@ -183,14 +183,14 @@ fn energy_accounting_is_consistent() {
         let mut m = machine(4, protocol);
         let shared = m.alloc_padded(64);
         for t in 0..4u64 {
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(4);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(4).await;
                 let slot = shared.add(4 * t);
                 for i in 0..100u32 {
-                    let v = ctx.load_u32(slot);
-                    ctx.scribble_u32(slot, v + (i & 1));
+                    let v = ctx.load_u32(slot).await;
+                    ctx.scribble_u32(slot, v + (i & 1)).await;
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
         m.run().report
@@ -227,9 +227,9 @@ fn custom_energy_model_scales_results() {
         model.dram_write_pj *= scale;
         m.set_energy_model(model);
         let a = m.alloc_padded(64);
-        m.add_thread(move |ctx| {
+        m.add_thread(move |ctx| async move {
             for i in 0..50u32 {
-                ctx.store_u32(a, i);
+                ctx.store_u32(a, i).await;
             }
         });
         m.run().report.energy.memory_pj

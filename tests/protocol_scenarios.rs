@@ -20,27 +20,27 @@ fn machine(cores: usize, protocol: Protocol) -> (Machine, Addr) {
 fn migratory(protocol: Protocol) -> (u64, u64, u32, u32) {
     let (mut m, block) = machine(2, protocol);
     let rounds = 5u32;
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for r in 0..rounds {
-            ctx.store_u32(block, r);
-            ctx.barrier();
-            ctx.barrier();
-            let _ = ctx.load_u32(block);
-            ctx.barrier();
+            ctx.store_u32(block, r).await;
+            ctx.barrier().await;
+            ctx.barrier().await;
+            let _ = ctx.load_u32(block).await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for r in 0..rounds {
-            ctx.barrier();
-            let v = ctx.load_u32(block.add(4));
-            ctx.scribble_u32(block.add(4), v + (r & 1));
-            ctx.barrier();
-            ctx.barrier();
+            ctx.barrier().await;
+            let v = ctx.load_u32(block.add(4)).await;
+            ctx.scribble_u32(block.add(4), v + (r & 1)).await;
+            ctx.barrier().await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
     let run = m.run();
     let upgrades = run.trace.iter().filter(|t| t.name == "UPGRADE").count() as u64;
@@ -76,36 +76,36 @@ fn fig4_ghostwriter_eliminates_upgrade_round() {
 fn producer_consumer(protocol: Protocol) -> (u64, u64, u32) {
     let (mut m, block) = machine(3, protocol);
     let rounds = 5u32;
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         for r in 0..rounds {
-            ctx.store_u32(block, 100 + r);
-            ctx.barrier();
-            ctx.barrier();
+            ctx.store_u32(block, 100 + r).await;
+            ctx.barrier().await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
-        let _ = ctx.load_u32(block.add(4));
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
+        let _ = ctx.load_u32(block.add(4)).await;
         for r in 0..rounds {
-            ctx.barrier();
-            let v = ctx.load_u32(block.add(4));
-            ctx.scribble_u32(block.add(4), v + (r & 1));
-            ctx.barrier();
+            ctx.barrier().await;
+            let v = ctx.load_u32(block.add(4)).await;
+            ctx.scribble_u32(block.add(4), v + (r & 1)).await;
+            ctx.barrier().await;
         }
-        ctx.approx_end();
+        ctx.approx_end().await;
     });
-    m.add_thread(move |ctx| {
-        ctx.approx_begin(4);
+    m.add_thread(move |ctx| async move {
+        ctx.approx_begin(4).await;
         let mut last = 0;
         for _ in 0..rounds {
-            ctx.barrier();
-            last = ctx.load_u32(block);
-            ctx.barrier();
+            ctx.barrier().await;
+            last = ctx.load_u32(block).await;
+            ctx.barrier().await;
         }
-        ctx.store_u32(block.add(8), last);
-        ctx.approx_end();
+        ctx.store_u32(block.add(8), last).await;
+        ctx.approx_end().await;
     });
     let run = m.run();
     let exclusive = run
@@ -144,14 +144,14 @@ fn ghostwriter_never_hurts_sharing_free_program() {
         });
         let base = m.alloc_padded(64 * 4);
         for t in 0..4usize {
-            m.add_thread(move |ctx| {
-                ctx.approx_begin(8);
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(8).await;
                 let slot = base.add(64 * t as u64);
                 for i in 0..100u32 {
-                    let v = ctx.load_u32(slot);
-                    ctx.scribble_u32(slot, v.wrapping_add(i));
+                    let v = ctx.load_u32(slot).await;
+                    ctx.scribble_u32(slot, v.wrapping_add(i)).await;
                 }
-                ctx.approx_end();
+                ctx.approx_end().await;
             });
         }
         let r = m.run();
