@@ -35,6 +35,12 @@ use ghostwriter_core::msg::{Msg, Payload};
 use ghostwriter_core::proto::find_row;
 use ghostwriter_core::{Coverage, GiStorePolicy, ScribePolicy};
 
+pub mod shard;
+pub mod trace;
+
+pub use shard::{run_sweep, ShardLog, ShardOptions, SweepOutcome, SweepSpec};
+pub use trace::{decode_trace, encode_trace};
+
 /// One step of a core's access program: an operation against a pool
 /// block index.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -48,16 +54,31 @@ pub type Program = Vec<Vec<Step>>;
 
 /// One scheduling decision of the checker — the alphabet whose
 /// interleavings the search enumerates.
+///
+/// `Issue` carries the step it issues, so a trace alone determines the
+/// access program it exercises: counterexamples from the sharded
+/// unified search ([`shard`]) and from per-program [`Checker`] runs
+/// share one format, one renderer and one replay path.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Action {
-    /// Issue the next program step of `core` (enabled while the core is
-    /// idle and its program unfinished).
-    Issue { core: usize },
+    /// `core` issues `step` (enabled while the core is idle and has
+    /// program budget left).
+    Issue { core: usize, step: Step },
     /// Deliver the head of the (src, dst) FIFO channel.
     Deliver { src: usize, dst: usize },
     /// Fire `core`'s periodic GI-timeout sweep (enabled while the core
     /// holds a GI line).
     GiTimeout { core: usize },
+}
+
+/// Short rendering of one program step (`St b0`, `Ld(w1) b0`,
+/// `Sc(d4) b1`).
+pub fn describe_step(step: Step) -> String {
+    match step.op {
+        Op::Store => format!("St b{}", step.block),
+        Op::Load { writer } => format!("Ld(w{writer}) b{}", step.block),
+        Op::Scribble { d } => format!("Sc(d{d}) b{}", step.block),
+    }
 }
 
 impl Action {
@@ -73,7 +94,9 @@ impl Action {
             }
         };
         match self {
-            Action::Issue { core } => format!("issue   core {core}"),
+            Action::Issue { core, step } => {
+                format!("issue   core {core}: {}", describe_step(*step))
+            }
             Action::Deliver { src, dst } => {
                 format!("deliver {} -> {}", ep(*src), ep(*dst))
             }
@@ -112,6 +135,52 @@ impl Mutation {
             _ => None,
         }
     }
+
+    /// The canonical command-line token, the exact inverse of
+    /// [`Mutation::parse`] (used in cache keys and replay commands).
+    pub fn token(&self) -> String {
+        match self {
+            Self::SkipInvalidation => "skip-inv".into(),
+            Self::DropInvAck => "drop-inv-ack".into(),
+            Self::DeleteRow(name) => format!("delete-row:{name}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Mutation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.token())
+    }
+}
+
+/// Delivers the head of `key`, applying `mutation`'s network-layer
+/// corruption when it matches. The one implementation shared by the
+/// per-program [`Checker`] and the sharded unified search, so a
+/// mutation means exactly the same fault in both engines.
+pub(crate) fn deliver_mutated(
+    sys: &mut System,
+    mutation: Option<Mutation>,
+    key: (usize, usize),
+) -> Result<(), Violation> {
+    match (mutation, sys.peek_channel(key)) {
+        (Some(Mutation::SkipInvalidation), Some(m)) if matches!(m.payload, Payload::Inv) => {
+            // The L1 never sees the INV, but the directory gets the
+            // ack it is waiting for.
+            let lost = sys.drop_message(key).expect("peeked message present");
+            sys.inject(Msg {
+                src: lost.dst,
+                dst: lost.src,
+                block: lost.block,
+                payload: Payload::InvAck,
+            });
+            Ok(())
+        }
+        (Some(Mutation::DropInvAck), Some(m)) if matches!(m.payload, Payload::InvAck) => {
+            sys.drop_message(key).expect("peeked message present");
+            Ok(())
+        }
+        _ => sys.deliver(key),
+    }
 }
 
 /// How an explored trace failed.
@@ -143,14 +212,34 @@ impl std::fmt::Display for Failure {
 pub struct Counterexample {
     pub trace: Vec<Action>,
     pub failure: Failure,
+    /// How many leading actions of `trace` are the shard prefix the
+    /// sharded sweep split the search at (0 for unsharded searches and
+    /// after shrinking, which erases the shard structure).
+    pub prefix_len: usize,
 }
 
 impl Counterexample {
-    /// Pretty multi-line rendering for CLI / panic messages.
+    pub fn new(trace: Vec<Action>, failure: Failure) -> Self {
+        Self {
+            trace,
+            failure,
+            prefix_len: 0,
+        }
+    }
+
+    /// Pretty multi-line rendering for CLI / panic messages. Actions
+    /// inside the shard prefix are marked, so a trace that came out of
+    /// the sharded sweep shows where frontier splitting ended and the
+    /// shard-local search began.
     pub fn render(&self, cores: usize) -> String {
         let mut s = String::new();
         for (i, a) in self.trace.iter().enumerate() {
-            s.push_str(&format!("  {i:>3}. {}\n", a.describe(cores)));
+            let mark = if i < self.prefix_len {
+                "  [shard prefix]"
+            } else {
+                ""
+            };
+            s.push_str(&format!("  {i:>3}. {}{mark}\n", a.describe(cores)));
         }
         s.push_str(&format!("  => {}\n", self.failure));
         s
@@ -212,7 +301,10 @@ impl Checker {
         let mut acts = Vec::new();
         for (core, &pc) in pcs.iter().enumerate() {
             if pc < self.program[core].len() && sys.core_idle(core) {
-                acts.push(Action::Issue { core });
+                acts.push(Action::Issue {
+                    core,
+                    step: self.program[core][pc],
+                });
             }
         }
         for (src, dst) in sys.channels() {
@@ -233,37 +325,11 @@ impl Checker {
     /// [`Failure::Panic`].
     fn apply(&self, sys: &mut System, pcs: &mut [usize], action: Action) -> Result<(), Failure> {
         let step_result = catch_unwind(AssertUnwindSafe(|| match action {
-            Action::Issue { core } => {
-                let step = self.program[core][pcs[core]];
+            Action::Issue { core, step } => {
                 pcs[core] += 1;
                 sys.issue(core, step.block, step.op)
             }
-            Action::Deliver { src, dst } => {
-                let key = (src, dst);
-                match (self.mutation, sys.peek_channel(key)) {
-                    (Some(Mutation::SkipInvalidation), Some(m))
-                        if matches!(m.payload, Payload::Inv) =>
-                    {
-                        // The L1 never sees the INV, but the directory
-                        // gets the ack it is waiting for.
-                        let lost = sys.drop_message(key).expect("peeked message present");
-                        sys.inject(Msg {
-                            src: lost.dst,
-                            dst: lost.src,
-                            block: lost.block,
-                            payload: Payload::InvAck,
-                        });
-                        Ok(())
-                    }
-                    (Some(Mutation::DropInvAck), Some(m))
-                        if matches!(m.payload, Payload::InvAck) =>
-                    {
-                        sys.drop_message(key).expect("peeked message present");
-                        Ok(())
-                    }
-                    _ => sys.deliver(key),
-                }
-            }
+            Action::Deliver { src, dst } => deliver_mutated(sys, self.mutation, (src, dst)),
             Action::GiTimeout { core } => sys.gi_timeout(core),
         }));
         match step_result {
@@ -336,10 +402,7 @@ impl Checker {
         if actions.is_empty() {
             return self
                 .terminal_failure(sys, pcs)
-                .map(|failure| Counterexample {
-                    trace: path.clone(),
-                    failure,
-                });
+                .map(|failure| Counterexample::new(path.clone(), failure));
         }
         if path.len() >= self.max_depth || report.states >= self.max_states {
             report.truncated = true;
@@ -354,10 +417,7 @@ impl Checker {
             report.coverage.merge(&next.stats().coverage);
             match applied {
                 Err(failure) => {
-                    let cex = Counterexample {
-                        trace: path.clone(),
-                        failure,
-                    };
+                    let cex = Counterexample::new(path.clone(), failure);
                     path.pop();
                     return Some(cex);
                 }
@@ -425,11 +485,11 @@ impl Checker {
                 break;
             }
         }
-        Counterexample { trace, failure }
+        Counterexample::new(trace, failure)
     }
 }
 
-fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -459,6 +519,16 @@ impl ProtocolKind {
             "msi" => Some(Self::Msi),
             "gw" | "ghostwriter" => Some(Self::Ghostwriter),
             _ => None,
+        }
+    }
+
+    /// Canonical command-line token (inverse of [`ProtocolKind::parse`],
+    /// used in cache keys and replay commands).
+    pub fn token(&self) -> &'static str {
+        match self {
+            Self::Mesi => "mesi",
+            Self::Msi => "msi",
+            Self::Ghostwriter => "gw",
         }
     }
 }

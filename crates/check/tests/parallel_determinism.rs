@@ -1,0 +1,172 @@
+//! Determinism of the sharded parallel sweep (ISSUE PR 6).
+//!
+//! The contract under test: a sweep report is a pure function of its
+//! [`SweepSpec`] and shard depth. Worker count, scheduling, and cache
+//! state (cold vs warm) must be unobservable — `--jobs 1` and
+//! `--jobs 8` produce fingerprint-identical [`SweepOutcome`]s, and a
+//! warm re-run reproduces the cold run's bytes without searching.
+//! This mirrors the golden-stats determinism suite in `crates/exp`.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use ghostwriter_check::{run_sweep, Mutation, ProtocolKind, ShardOptions, SweepSpec};
+
+fn no_cache(jobs: usize) -> ShardOptions {
+    ShardOptions {
+        jobs,
+        use_cache: false,
+        ..Default::default()
+    }
+}
+
+/// A unique throwaway cache directory per test invocation.
+fn temp_cache_dir(tag: &str) -> PathBuf {
+    static N: AtomicU32 = AtomicU32::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gwcheck-test-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn clean_sweep_is_jobs_invariant() {
+    let spec = SweepSpec::new(ProtocolKind::Mesi, 2, 1, 2);
+    let (seq, _) = run_sweep(&spec, &no_cache(1));
+    let (par, _) = run_sweep(&spec, &no_cache(8));
+    assert!(seq.counterexample.is_none());
+    assert!(!seq.truncated);
+    // Byte-level identity, not just equal fingerprints.
+    assert_eq!(seq.to_json().to_pretty(), par.to_json().to_pretty());
+    assert_eq!(seq.fingerprint(), par.fingerprint());
+}
+
+#[test]
+fn ghostwriter_sweep_with_timeouts_is_jobs_invariant() {
+    let spec = SweepSpec {
+        gi_timeouts: true,
+        ..SweepSpec::new(ProtocolKind::Ghostwriter, 2, 1, 2)
+    };
+    let (seq, _) = run_sweep(&spec, &no_cache(1));
+    let (par, _) = run_sweep(&spec, &no_cache(8));
+    assert!(seq.counterexample.is_none());
+    assert_eq!(seq.to_json().to_pretty(), par.to_json().to_pretty());
+}
+
+#[test]
+fn mutated_sweep_counterexample_is_jobs_invariant() {
+    // The failing case is the interesting one: the counterexample (raw
+    // trace, shard prefix, shrunk trace, failure text) must come out
+    // identical no matter how shards were scheduled.
+    let spec = SweepSpec {
+        mutation: Some(Mutation::SkipInvalidation),
+        ..SweepSpec::new(ProtocolKind::Mesi, 2, 1, 2)
+    };
+    let (seq, _) = run_sweep(&spec, &no_cache(1));
+    let (par, _) = run_sweep(&spec, &no_cache(8));
+    let a = seq.counterexample.as_ref().expect("mutation caught");
+    let b = par.counterexample.as_ref().expect("mutation caught");
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a.failure.to_string(), b.failure.to_string());
+    assert_eq!(seq.to_json().to_pretty(), par.to_json().to_pretty());
+}
+
+#[test]
+fn explicit_shard_depths_are_jobs_invariant_too() {
+    // The auto depth policy is itself deterministic, but pin depths
+    // explicitly as well so a policy change can't mask a regression.
+    let spec = SweepSpec::new(ProtocolKind::Msi, 2, 1, 2);
+    for depth in [0, 1, 3] {
+        let opts = |jobs| ShardOptions {
+            shard_depth: Some(depth),
+            ..no_cache(jobs)
+        };
+        let (seq, _) = run_sweep(&spec, &opts(1));
+        let (par, _) = run_sweep(&spec, &opts(8));
+        assert_eq!(
+            seq.to_json().to_pretty(),
+            par.to_json().to_pretty(),
+            "depth {depth}"
+        );
+    }
+}
+
+#[test]
+fn warm_cache_reproduces_cold_run_without_searching() {
+    let dir = temp_cache_dir("warm");
+    let spec = SweepSpec::new(ProtocolKind::Mesi, 2, 1, 2);
+    let opts = |jobs| ShardOptions {
+        jobs,
+        cache_dir: dir.clone(),
+        ..Default::default()
+    };
+
+    let (cold, cold_log) = run_sweep(&spec, &opts(2));
+    assert!(cold_log.executed > 0, "cold run must search");
+    assert_eq!(cold_log.cache_hits, 0);
+
+    let (warm, warm_log) = run_sweep(&spec, &opts(8));
+    assert_eq!(warm_log.executed, 0, "warm run must be all cache hits");
+    assert_eq!(warm_log.cache_hits, warm.shards);
+    assert_eq!(cold.to_json().to_pretty(), warm.to_json().to_pretty());
+    assert_eq!(cold.fingerprint(), warm.fingerprint());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn warm_cache_reproduces_mutated_counterexample_byte_identically() {
+    // Failures are not serialized into shard records — the merge
+    // replays the recorded trace — so cold and warm runs share one
+    // code path and must agree on every byte of the counterexample.
+    let dir = temp_cache_dir("warm-mut");
+    let spec = SweepSpec {
+        mutation: Some(Mutation::DropInvAck),
+        ..SweepSpec::new(ProtocolKind::Mesi, 2, 1, 2)
+    };
+    let opts = ShardOptions {
+        jobs: 2,
+        cache_dir: dir.clone(),
+        ..Default::default()
+    };
+    let (cold, cold_log) = run_sweep(&spec, &opts);
+    let (warm, warm_log) = run_sweep(&spec, &opts);
+    assert!(cold_log.executed > 0);
+    assert_eq!(warm_log.executed, 0);
+    assert!(cold.counterexample.is_some());
+    assert_eq!(cold.to_json().to_pretty(), warm.to_json().to_pretty());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_cache_entry_is_a_miss_not_a_wrong_answer() {
+    let dir = temp_cache_dir("corrupt");
+    let spec = SweepSpec::new(ProtocolKind::Mesi, 2, 1, 1);
+    let opts = ShardOptions {
+        jobs: 1,
+        cache_dir: dir.clone(),
+        ..Default::default()
+    };
+    let (cold, _) = run_sweep(&spec, &opts);
+
+    // Truncate every cached shard file mid-payload.
+    let mut clobbered = 0;
+    for entry in std::fs::read_dir(&dir).expect("cache dir exists") {
+        let path = entry.unwrap().path();
+        if path.extension().is_some_and(|e| e == "json") {
+            let text = std::fs::read_to_string(&path).unwrap();
+            std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+            clobbered += 1;
+        }
+    }
+    assert!(clobbered > 0);
+
+    let (rerun, log) = run_sweep(&spec, &opts);
+    assert_eq!(log.corrupt, clobbered, "every clobbered entry re-ran");
+    assert_eq!(log.executed, clobbered);
+    assert_eq!(cold.to_json().to_pretty(), rerun.to_json().to_pretty());
+    let _ = std::fs::remove_dir_all(&dir);
+}

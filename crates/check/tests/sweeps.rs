@@ -116,6 +116,84 @@ fn unknown_row_names_do_not_parse() {
     assert!(Mutation::parse("delete-row:").is_none());
 }
 
+// ---- differential: unified sharded search vs per-program sweep -------
+//
+// The sharded engine replaces the per-program outer loop with one
+// unified search (Issue actions choose the step, budgeted per core).
+// The program family is the full cartesian product of the alphabet, so
+// every (program, interleaving) path exists in the unified space and
+// vice versa: both engines must agree that a config is clean and must
+// exercise exactly the same set of transition rows.
+
+fn assert_unified_matches_per_program(kind: ProtocolKind, gi: bool) {
+    use ghostwriter_check::{run_sweep, ShardOptions, SweepSpec};
+    let legacy = sweep(kind, 2, 1, 2, gi, None);
+    assert!(legacy.counterexample.is_none() && !legacy.truncated);
+
+    let spec = SweepSpec {
+        gi_timeouts: gi,
+        ..SweepSpec::new(kind, 2, 1, 2)
+    };
+    // Depth 0 = a single shard with one visited set, so `states` is
+    // the exact distinct-state count of the unified space (deeper
+    // plans deterministically over-count states that sibling shards
+    // both reach; see docs/checking.md).
+    let opts = ShardOptions {
+        jobs: 2,
+        shard_depth: Some(0),
+        use_cache: false,
+        ..Default::default()
+    };
+    let (unified, _) = run_sweep(&spec, &opts);
+    assert!(unified.counterexample.is_none() && !unified.truncated);
+
+    for (i, (a, b)) in legacy
+        .coverage
+        .l1
+        .iter()
+        .zip(&unified.coverage.l1)
+        .enumerate()
+    {
+        assert_eq!(
+            *a > 0,
+            *b > 0,
+            "{kind:?} gi={gi}: engines disagree on reaching L1 row {i}"
+        );
+    }
+    for (i, (a, b)) in legacy
+        .coverage
+        .dir
+        .iter()
+        .zip(&unified.coverage.dir)
+        .enumerate()
+    {
+        assert_eq!(
+            *a > 0,
+            *b > 0,
+            "{kind:?} gi={gi}: engines disagree on reaching dir row {i}"
+        );
+    }
+    // Prefix dedup must actually collapse the search: the unified
+    // engine visits strictly fewer states than the per-program engine's
+    // total across its whole program family.
+    assert!(
+        unified.states < legacy.states as u64,
+        "{kind:?} gi={gi}: unified search ({}) not smaller than per-program ({})",
+        unified.states,
+        legacy.states
+    );
+}
+
+#[test]
+fn unified_search_matches_per_program_sweep_mesi() {
+    assert_unified_matches_per_program(ProtocolKind::Mesi, false);
+}
+
+#[test]
+fn unified_search_matches_per_program_sweep_ghostwriter_with_timeouts() {
+    assert_unified_matches_per_program(ProtocolKind::Ghostwriter, true);
+}
+
 // ---- deeper sweeps, seconds-to-minutes: `cargo test -- --ignored` ----
 
 #[test]

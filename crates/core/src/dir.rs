@@ -726,6 +726,16 @@ impl DirBank {
                 format!("stray INV_ACK for {block:?}"),
             ));
         };
+        // Classify the transaction kind before the phase assert: a GETS
+        // never collects inv acks, so an INV_ACK arriving during one is
+        // the typed defensive error (`inv_ack_gets`), not a phase bug.
+        if txn.kind == TxnKind::Gets {
+            return Err(self.error(
+                DirRowId::InvAckGets,
+                stats,
+                format!("GETS on {block:?} collected an inv ack"),
+            ));
+        }
         assert_eq!(
             txn.phase,
             Phase::InvAcks,
@@ -742,13 +752,7 @@ impl DirBank {
         let row = match kind {
             TxnKind::Getx => DirRowId::InvAckLastGetx,
             TxnKind::Upgrade => DirRowId::InvAckLastUpgrade,
-            TxnKind::Gets => {
-                return Err(self.error(
-                    DirRowId::InvAckGets,
-                    stats,
-                    format!("GETS on {block:?} collected an inv ack"),
-                ))
-            }
+            TxnKind::Gets => unreachable!("GETS rejected above"),
         };
         self.row(row, stats)?;
         let line = self.cache.get_mut(block).expect("line resident");
@@ -806,19 +810,23 @@ impl DirBank {
                 format!("stray owner data for {block:?}"),
             ));
         };
+        // As with INV_ACK: an UPGRADE transaction never waits on owner
+        // data, so classify it as the typed defensive error before the
+        // phase assert can fire.
+        if txn.kind == TxnKind::Upgrade {
+            return Err(self.error(
+                DirRowId::OwnerDataUpgrade,
+                stats,
+                format!("upgrade on {block:?} waited on owner data"),
+            ));
+        }
         assert_eq!(txn.phase, Phase::OwnerData);
         let req = txn.requestor;
         let kind = txn.kind;
         let row = match kind {
             TxnKind::Gets => DirRowId::OwnerDataGets,
             TxnKind::Getx => DirRowId::OwnerDataGetx,
-            TxnKind::Upgrade => {
-                return Err(self.error(
-                    DirRowId::OwnerDataUpgrade,
-                    stats,
-                    format!("upgrade on {block:?} waited on owner data"),
-                ))
-            }
+            TxnKind::Upgrade => unreachable!("UPGRADE rejected above"),
         };
         self.row(row, stats)?;
         let old_owner = match self.cache.get(block).expect("line resident").meta.dir {

@@ -199,6 +199,24 @@ impl L1Cache {
         }
     }
 
+    /// Fault-injection hook for the defensive-row unit tests: plants a
+    /// line for `block` in an arbitrary coherence state without going
+    /// through a demand access, the way a corrupted or byzantine
+    /// controller would leave it. `pending` and the writeback buffer
+    /// stay untouched, so the otherwise-unreachable `Reach::Never`
+    /// rows (e.g. a demand access against a transient line with no
+    /// outstanding request) can be exercised and asserted to produce a
+    /// typed [`ProtocolError`], not a panic.
+    pub fn force_line(&mut self, block: BlockAddr, state: L1State) {
+        let way = match self.cache.lookup_for_insert(block) {
+            LookupResult::Hit { way }
+            | LookupResult::Free { way }
+            | LookupResult::Victim { way, .. } => way,
+        };
+        self.cache
+            .insert_at(way, block, L1Meta::new(state), BlockData::zeroed());
+    }
+
     /// Deletes the named table row (checker mutation support): the next
     /// time the row fires, the controller reports a [`ProtocolError`]
     /// instead of transitioning. Returns false for names that are not L1

@@ -1,0 +1,309 @@
+//! Unit tests for the 16 defensive `Reach::Never` protocol rows
+//! (ISSUE PR 6).
+//!
+//! Each test hand-constructs the malformed event — a demand access
+//! against a transient line, a stray or mistimed message — and asserts
+//! the controller reports a *typed* [`ProtocolError`] naming the row,
+//! rather than panicking. L1 rows are driven directly on an
+//! [`L1Cache`] (using the `force_line` fault-injection hook for states
+//! the harness can never legally reach); directory rows are driven
+//! through a [`System`] with `inject`ed byzantine messages.
+
+use ghostwriter_core::harness::{node_key, Op, System, SystemConfig, Violation};
+use ghostwriter_core::l1::{AccessKind, CoreReq, L1Cache, L1State};
+use ghostwriter_core::msg::{Endpoint, Grant, Msg, Payload};
+use ghostwriter_core::proto::{DirRowId, L1RowId, Reach};
+use ghostwriter_core::{Addr, BlockAddr, ProtocolError, Stats};
+use ghostwriter_mem::BlockData;
+
+// ---------------------------------------------------------------- L1 --
+
+fn l1() -> (L1Cache, Stats) {
+    (L1Cache::new(0, 1, 2, 1, None, false), Stats::default())
+}
+
+fn load(addr: u64) -> CoreReq {
+    CoreReq {
+        addr: Addr(addr),
+        size: 8,
+        value: 0,
+        kind: AccessKind::Load,
+    }
+}
+
+fn store(addr: u64) -> CoreReq {
+    CoreReq {
+        addr: Addr(addr),
+        size: 8,
+        value: 7,
+        kind: AccessKind::Store,
+    }
+}
+
+fn to_l1(payload: Payload) -> Msg {
+    Msg {
+        src: Endpoint::Dir(0),
+        dst: Endpoint::L1(0),
+        block: BlockAddr(0),
+        payload,
+    }
+}
+
+#[track_caller]
+fn assert_row(err: ProtocolError, row: &str) {
+    assert_eq!(err.row, Some(row), "detail: {}", err.detail);
+}
+
+#[test]
+fn load_in_transient_is_a_typed_error() {
+    let (mut l1, mut stats) = l1();
+    l1.force_line(BlockAddr(0), L1State::IsD);
+    let err = l1.access(load(0), &mut stats).unwrap_err();
+    assert_row(err, "load_in_transient");
+}
+
+#[test]
+fn store_in_transient_is_a_typed_error() {
+    let (mut l1, mut stats) = l1();
+    l1.force_line(BlockAddr(0), L1State::SmA);
+    let err = l1.access(store(0), &mut stats).unwrap_err();
+    assert_row(err, "store_in_transient");
+}
+
+#[test]
+fn evict_transient_is_a_typed_error() {
+    // One set × one way: a second block's miss must evict the first —
+    // and the first is stuck mid-transaction.
+    let mut l1 = L1Cache::new(0, 1, 1, 1, None, false);
+    let mut stats = Stats::default();
+    l1.force_line(BlockAddr(0), L1State::ImAd);
+    let err = l1.access(load(64), &mut stats).unwrap_err();
+    assert_row(err, "evict_transient");
+}
+
+#[test]
+fn inv_against_a_writer_is_a_typed_error() {
+    let (mut l1, mut stats) = l1();
+    l1.force_line(BlockAddr(0), L1State::M);
+    let err = l1.handle_msg(to_l1(Payload::Inv), &mut stats).unwrap_err();
+    assert_row(err, "inv_writer");
+}
+
+#[test]
+fn forward_without_owned_line_is_a_typed_error() {
+    let (mut l1, mut stats) = l1();
+    let err = l1
+        .handle_msg(to_l1(Payload::FwdGets), &mut stats)
+        .unwrap_err();
+    assert_row(err, "fwd_bad_state");
+}
+
+#[test]
+fn unexpected_data_is_a_typed_error() {
+    let (mut l1, mut stats) = l1();
+    let err = l1
+        .handle_msg(
+            to_l1(Payload::Data {
+                data: BlockData::zeroed(),
+                grant: Grant::Shared,
+            }),
+            &mut stats,
+        )
+        .unwrap_err();
+    assert_row(err, "data_unexpected");
+}
+
+#[test]
+fn unexpected_upg_ack_is_a_typed_error() {
+    let (mut l1, mut stats) = l1();
+    let err = l1
+        .handle_msg(to_l1(Payload::UpgAck), &mut stats)
+        .unwrap_err();
+    assert_row(err, "upg_ack_unexpected");
+}
+
+#[test]
+fn unexpected_wb_ack_is_a_typed_error() {
+    let (mut l1, mut stats) = l1();
+    let err = l1
+        .handle_msg(to_l1(Payload::WbAck), &mut stats)
+        .unwrap_err();
+    assert_row(err, "wb_ack_unexpected");
+}
+
+#[test]
+fn request_payload_at_an_l1_is_a_typed_error() {
+    // GETS is an L1 → directory request; an L1 must never receive one.
+    let (mut l1, mut stats) = l1();
+    let err = l1.handle_msg(to_l1(Payload::Gets), &mut stats).unwrap_err();
+    assert_row(err, "l1_unexpected_msg");
+}
+
+// --------------------------------------------------------- directory --
+
+fn system(msi: bool) -> System {
+    System::new(SystemConfig {
+        cores: 2,
+        blocks: 1,
+        l1_sets: 1,
+        l1_ways: 2,
+        l2_sets: 1,
+        l2_ways: 2,
+        gw: None,
+        msi,
+        disabled_row: None,
+    })
+}
+
+/// Delivers every in-flight message until the network is quiescent.
+fn drain(sys: &mut System) {
+    loop {
+        let channels = sys.channels();
+        if channels.is_empty() {
+            break;
+        }
+        for key in channels {
+            sys.deliver(key).expect("clean delivery while draining");
+        }
+    }
+}
+
+/// Injects `payload` from `src` to directory bank 0 and delivers it,
+/// returning the protocol error it must raise.
+fn inject_to_dir(sys: &mut System, src: Endpoint, payload: Payload) -> ProtocolError {
+    let block = sys.block_of(0);
+    sys.inject(Msg {
+        src,
+        dst: Endpoint::Dir(0),
+        block,
+        payload,
+    });
+    let key = (node_key(src, 2), node_key(Endpoint::Dir(0), 2));
+    match sys.deliver(key) {
+        Err(Violation::Protocol(e)) => e,
+        other => panic!("expected a protocol error, got {other:?}"),
+    }
+}
+
+#[test]
+fn stray_unblock_is_a_typed_error() {
+    let mut sys = system(false);
+    let err = inject_to_dir(&mut sys, Endpoint::L1(0), Payload::Unblock);
+    assert_row(err, "stray_unblock");
+}
+
+#[test]
+fn command_payload_at_the_directory_is_a_typed_error() {
+    // INV is a directory → L1 command; the directory must never
+    // receive one.
+    let mut sys = system(false);
+    let err = inject_to_dir(&mut sys, Endpoint::L1(0), Payload::Inv);
+    assert_row(err, "dir_unexpected_msg");
+}
+
+#[test]
+fn stray_inv_ack_is_a_typed_error() {
+    let mut sys = system(false);
+    let err = inject_to_dir(&mut sys, Endpoint::L1(1), Payload::InvAck);
+    assert_row(err, "stray_inv_ack");
+}
+
+#[test]
+fn inv_ack_during_gets_is_a_typed_error() {
+    let mut sys = system(false);
+    // Start a GETS transaction and leave it in flight at the directory.
+    sys.issue(0, 0, Op::Load { writer: 0 }).unwrap();
+    sys.deliver((node_key(Endpoint::L1(0), 2), node_key(Endpoint::Dir(0), 2)))
+        .unwrap();
+    let err = inject_to_dir(&mut sys, Endpoint::L1(1), Payload::InvAck);
+    assert_row(err, "inv_ack_gets");
+}
+
+#[test]
+fn stray_owner_data_is_a_typed_error() {
+    let mut sys = system(false);
+    let err = inject_to_dir(
+        &mut sys,
+        Endpoint::L1(0),
+        Payload::DataToDir {
+            data: BlockData::zeroed(),
+            retained: false,
+        },
+    );
+    assert_row(err, "stray_owner_data");
+}
+
+#[test]
+fn owner_data_during_upgrade_is_a_typed_error() {
+    // MSI so the first reader is granted S (not E) and a store must go
+    // through a real UPGRADE transaction.
+    let mut sys = system(true);
+    sys.issue(0, 0, Op::Load { writer: 0 }).unwrap();
+    drain(&mut sys);
+    sys.issue(0, 0, Op::Store).unwrap();
+    // Deliver only the UPGRADE so the transaction stays busy.
+    sys.deliver((node_key(Endpoint::L1(0), 2), node_key(Endpoint::Dir(0), 2)))
+        .unwrap();
+    let err = inject_to_dir(
+        &mut sys,
+        Endpoint::L1(1),
+        Payload::DataToDir {
+            data: BlockData::zeroed(),
+            retained: false,
+        },
+    );
+    assert_row(err, "owner_data_upgrade");
+}
+
+#[test]
+fn stray_mem_data_is_a_typed_error() {
+    let mut sys = system(false);
+    let err = inject_to_dir(
+        &mut sys,
+        Endpoint::Mem(0),
+        Payload::MemData {
+            data: BlockData::zeroed(),
+        },
+    );
+    assert_row(err, "stray_mem_data");
+}
+
+// ------------------------------------------------------------ closure --
+
+#[test]
+fn the_never_rows_are_exactly_the_sixteen_tested_here() {
+    let l1: Vec<&str> = L1RowId::all()
+        .filter(|r| matches!(r.row().reach, Reach::Never))
+        .map(|r| r.name())
+        .collect();
+    assert_eq!(
+        l1,
+        [
+            "load_in_transient",
+            "store_in_transient",
+            "evict_transient",
+            "inv_writer",
+            "fwd_bad_state",
+            "data_unexpected",
+            "upg_ack_unexpected",
+            "wb_ack_unexpected",
+            "l1_unexpected_msg",
+        ]
+    );
+    let dir: Vec<&str> = DirRowId::all()
+        .filter(|r| matches!(r.row().reach, Reach::Never))
+        .map(|r| r.name())
+        .collect();
+    assert_eq!(
+        dir,
+        [
+            "inv_ack_gets",
+            "owner_data_upgrade",
+            "stray_inv_ack",
+            "stray_owner_data",
+            "stray_mem_data",
+            "stray_unblock",
+            "dir_unexpected_msg",
+        ]
+    );
+}

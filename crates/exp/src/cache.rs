@@ -28,7 +28,23 @@ use std::path::{Path, PathBuf};
 use ghostwriter_core::Json;
 
 use crate::fingerprint::{fnv64, Fingerprint};
-use crate::record::RunRecord;
+
+/// A payload the cache can store: any type with a canonical JSON form
+/// whose serializer and parser are strict inverses (re-serializing a
+/// parsed record must reproduce the stored bytes — that is what the
+/// checksum verifies). [`crate::record::RunRecord`] is the experiment
+/// engine's payload; the model checker caches its sweep shards through
+/// the same trait.
+pub trait CacheRecord: Sized {
+    /// Canonical JSON payload.
+    fn to_json(&self) -> Json;
+    /// Strict inverse of [`CacheRecord::to_json`].
+    fn from_json(doc: &Json) -> Result<Self, String>;
+    /// Canonical serialized form (what the cache stores and checksums).
+    fn canonical_text(&self) -> String {
+        self.to_json().to_pretty()
+    }
+}
 
 /// Handle on one cache directory.
 #[derive(Clone, Debug)]
@@ -63,7 +79,7 @@ impl ResultCache {
     }
 
     /// Looks a fingerprint up, verifying integrity.
-    pub fn load(&self, fp: Fingerprint) -> Result<RunRecord, Miss> {
+    pub fn load<R: CacheRecord>(&self, fp: Fingerprint) -> Result<R, Miss> {
         let path = self.path_of(fp);
         let text = match fs::read_to_string(&path) {
             Ok(t) => t,
@@ -73,7 +89,7 @@ impl ResultCache {
         Self::decode(fp, &text).map_err(Miss::Corrupt)
     }
 
-    fn decode(fp: Fingerprint, text: &str) -> Result<RunRecord, String> {
+    fn decode<R: CacheRecord>(fp: Fingerprint, text: &str) -> Result<R, String> {
         let doc = Json::parse(text).map_err(|e| e.to_string())?;
         let stored_fp = doc
             .field("fingerprint")
@@ -86,8 +102,7 @@ impl ResultCache {
             .field("checksum")
             .and_then(|f| f.as_str().map(str::to_string))
             .map_err(|e| e.to_string())?;
-        let record = RunRecord::from_json(doc.field("record").map_err(|e| e.to_string())?)
-            .map_err(|e| e.to_string())?;
+        let record = R::from_json(doc.field("record").map_err(|e| e.to_string())?)?;
         // The checksum was taken over the canonical payload text; the
         // canonical writer makes re-serialization reproduce it exactly,
         // so any in-file tampering (in the payload *or* the checksum)
@@ -104,7 +119,12 @@ impl ResultCache {
     /// Stores a record under its fingerprint. The write goes through a
     /// temp file + rename so a crash mid-write leaves either the old
     /// entry or none — a torn file would anyway be caught as `Corrupt`.
-    pub fn store(&self, fp: Fingerprint, key: &str, record: &RunRecord) -> std::io::Result<()> {
+    pub fn store<R: CacheRecord>(
+        &self,
+        fp: Fingerprint,
+        key: &str,
+        record: &R,
+    ) -> std::io::Result<()> {
         fs::create_dir_all(&self.dir)?;
         let payload = record.canonical_text();
         let mut doc = Json::obj();

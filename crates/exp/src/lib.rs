@@ -32,7 +32,7 @@ pub mod render;
 pub mod scenarios;
 pub mod spec;
 
-pub use cache::{Miss, ResultCache};
+pub use cache::{CacheRecord, Miss, ResultCache};
 pub use engine::{Engine, SweepLog};
 pub use experiments::{all_experiments, find_experiment, Experiment};
 pub use fingerprint::Fingerprint;

@@ -113,6 +113,20 @@ impl RunRecord {
     }
 }
 
+impl crate::cache::CacheRecord for RunRecord {
+    fn to_json(&self) -> Json {
+        RunRecord::to_json(self)
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        RunRecord::from_json(doc).map_err(|e| e.to_string())
+    }
+
+    fn canonical_text(&self) -> String {
+        RunRecord::canonical_text(self)
+    }
+}
+
 /// One combined fingerprint over an ordered record set (the whole-sweep
 /// identity the determinism suite compares across `--jobs` settings).
 pub fn records_fingerprint(records: &[RunRecord]) -> Fingerprint {

@@ -6,7 +6,9 @@ use std::path::PathBuf;
 
 use ghostwriter_core::{MachineConfig, Protocol};
 use ghostwriter_exp::spec::SPEC_REVISION;
-use ghostwriter_exp::{Engine, Fingerprint, Miss, ResultCache, RunKind, RunSpec, WorkloadSpec};
+use ghostwriter_exp::{
+    Engine, Fingerprint, Miss, ResultCache, RunKind, RunRecord, RunSpec, WorkloadSpec,
+};
 use ghostwriter_workloads::ScaleClass;
 
 /// A unique scratch cache directory per test (no Date::now — the test
@@ -115,7 +117,7 @@ fn corrupted_entries_are_detected_and_rerun() {
     bytes[pos] = if bytes[pos] == b'9' { b'8' } else { b'9' };
     fs::write(&path, &bytes).unwrap();
 
-    match engine.cache.load(spec.fingerprint()) {
+    match engine.cache.load::<RunRecord>(spec.fingerprint()) {
         Err(Miss::Corrupt(why)) => assert!(why.contains("checksum"), "{why}"),
         other => panic!("tampered entry must be a corrupt miss, got {other:?}"),
     }
@@ -139,7 +141,7 @@ fn truncated_entries_are_corrupt_misses() {
     let text = fs::read_to_string(&path).unwrap();
     fs::write(&path, &text[..text.len() / 2]).unwrap();
     assert!(matches!(
-        engine.cache.load(spec.fingerprint()),
+        engine.cache.load::<RunRecord>(spec.fingerprint()),
         Err(Miss::Corrupt(_))
     ));
 }
@@ -157,7 +159,7 @@ fn wrong_fingerprint_file_is_rejected() {
         engine.cache.path_of(b.fingerprint()),
     )
     .unwrap();
-    match engine.cache.load(b.fingerprint()) {
+    match engine.cache.load::<RunRecord>(b.fingerprint()) {
         Err(Miss::Corrupt(why)) => assert!(why.contains("fingerprint"), "{why}"),
         other => panic!("expected fingerprint mismatch, got {other:?}"),
     }
