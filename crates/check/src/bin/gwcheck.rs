@@ -39,8 +39,9 @@ SWEEP OPTIONS:
     --cores <N>          cores / L1s / directory banks   [default: 2]
     --blocks <N>         blocks in the address pool      [default: 1]
     --ops <N>            program steps per core          [default: 2]
-    --protocol <P>       mesi | msi | gw (repeatable; when omitted, all
-                         three protocols are swept)
+    --protocol <P>       mesi | msi | moesi | mosi | mesif | gw |
+                         gw-moesi (repeatable; when omitted, every
+                         protocol is swept)
     --gi-timeouts        interleave GI-timeout sweeps (gw only)
     --tight-l1           single-way L1: force evictions/recalls into
                          the explored space
@@ -170,11 +171,7 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if args.protocols.is_empty() {
-        args.protocols = vec![
-            ProtocolKind::Mesi,
-            ProtocolKind::Msi,
-            ProtocolKind::Ghostwriter,
-        ];
+        args.protocols = ProtocolKind::ALL.to_vec();
     }
     if args.cores < 1 || args.blocks < 1 || args.ops < 1 {
         return Err("--cores, --blocks and --ops must be >= 1".into());
@@ -206,7 +203,11 @@ fn run_replay(args: &Args, text: &str) -> i32 {
         args,
         args.protocols[0],
         args.ops,
-        args.gi_timeouts && args.protocols[0] == ProtocolKind::Ghostwriter,
+        args.gi_timeouts
+            && matches!(
+                args.protocols[0],
+                ProtocolKind::Ghostwriter | ProtocolKind::GhostwriterMoesi
+            ),
     );
     let space = Space::new(&spec);
     match space.replay(&trace) {
@@ -254,7 +255,11 @@ fn main() {
         .protocols
         .iter()
         .map(|&kind| {
-            let gi = args.gi_timeouts && kind == ProtocolKind::Ghostwriter;
+            let gi = args.gi_timeouts
+                && matches!(
+                    kind,
+                    ProtocolKind::Ghostwriter | ProtocolKind::GhostwriterMoesi
+                );
             (kind, args.ops, gi)
         })
         .collect();

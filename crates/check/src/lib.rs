@@ -33,7 +33,7 @@ use ghostwriter_core::harness::{Op, System, SystemConfig, Violation};
 use ghostwriter_core::l1::GwParams;
 use ghostwriter_core::msg::{Msg, Payload};
 use ghostwriter_core::proto::find_row;
-use ghostwriter_core::{Coverage, GiStorePolicy, ScribePolicy};
+use ghostwriter_core::{BaseProtocol, Coverage, GiStorePolicy, ScribePolicy};
 
 pub mod shard;
 pub mod trace;
@@ -509,15 +509,35 @@ pub(crate) fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
 pub enum ProtocolKind {
     Mesi,
     Msi,
+    Moesi,
+    Mosi,
+    Mesif,
     Ghostwriter,
+    /// Ghostwriter's GS/GI rows composed over the MOESI base.
+    GhostwriterMoesi,
 }
 
 impl ProtocolKind {
+    /// Every checkable protocol, in sweep order.
+    pub const ALL: [ProtocolKind; 7] = [
+        Self::Mesi,
+        Self::Msi,
+        Self::Moesi,
+        Self::Mosi,
+        Self::Mesif,
+        Self::Ghostwriter,
+        Self::GhostwriterMoesi,
+    ];
+
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "mesi" => Some(Self::Mesi),
             "msi" => Some(Self::Msi),
+            "moesi" => Some(Self::Moesi),
+            "mosi" => Some(Self::Mosi),
+            "mesif" => Some(Self::Mesif),
             "gw" | "ghostwriter" => Some(Self::Ghostwriter),
+            "gw-moesi" | "ghostwriter-moesi" => Some(Self::GhostwriterMoesi),
             _ => None,
         }
     }
@@ -528,7 +548,22 @@ impl ProtocolKind {
         match self {
             Self::Mesi => "mesi",
             Self::Msi => "msi",
+            Self::Moesi => "moesi",
+            Self::Mosi => "mosi",
+            Self::Mesif => "mesif",
             Self::Ghostwriter => "gw",
+            Self::GhostwriterMoesi => "gw-moesi",
+        }
+    }
+
+    /// The base row-set family this kind runs on.
+    pub fn base(&self) -> BaseProtocol {
+        match self {
+            Self::Msi => BaseProtocol::Msi,
+            Self::Moesi | Self::GhostwriterMoesi => BaseProtocol::Moesi,
+            Self::Mosi => BaseProtocol::Mosi,
+            Self::Mesif => BaseProtocol::Mesif,
+            Self::Mesi | Self::Ghostwriter => BaseProtocol::Mesi,
         }
     }
 }
@@ -542,7 +577,11 @@ fn pow2_at_least(n: usize) -> usize {
 /// enough to hold the pool (evictions and recalls are exercised by the
 /// deeper sweeps that shrink the geometry instead).
 pub fn check_config(kind: ProtocolKind, cores: usize, blocks: usize) -> SystemConfig {
-    let gw = matches!(kind, ProtocolKind::Ghostwriter).then_some(GwParams {
+    let gw = matches!(
+        kind,
+        ProtocolKind::Ghostwriter | ProtocolKind::GhostwriterMoesi
+    )
+    .then_some(GwParams {
         scribe: ScribePolicy::Bitwise,
         enable_gs: true,
         enable_gi: true,
@@ -557,7 +596,7 @@ pub fn check_config(kind: ProtocolKind, cores: usize, blocks: usize) -> SystemCo
         l2_sets: 1,
         l2_ways: pow2_at_least(blocks),
         gw,
-        msi: matches!(kind, ProtocolKind::Msi),
+        base: kind.base(),
         disabled_row: None,
     }
 }
@@ -569,7 +608,10 @@ pub fn step_alphabet(kind: ProtocolKind, cores: usize, blocks: usize) -> Vec<Ste
     for writer in 0..cores {
         ops.push(Op::Load { writer });
     }
-    if matches!(kind, ProtocolKind::Ghostwriter) {
+    if matches!(
+        kind,
+        ProtocolKind::Ghostwriter | ProtocolKind::GhostwriterMoesi
+    ) {
         ops.push(Op::Scribble { d: 4 });
     }
     let mut steps = Vec::new();

@@ -64,7 +64,7 @@ use crate::{
 /// Bumped whenever the unified search's semantics change (alphabet,
 /// invariants, bounds): part of every shard cache key, so stale caches
 /// from an older checker can never satisfy a newer sweep.
-pub const CHECK_REVISION: u64 = 1;
+pub const CHECK_REVISION: u64 = 2;
 
 /// Schema version of the cached shard record payload.
 const SHARD_SCHEMA: u64 = 1;

@@ -11,6 +11,11 @@
 //! - `evict_m`            — L1 eviction (forced by `tight_l1`)
 //! - `inv_ack_last_getx`  — directory invalidation collection
 //! - `gi_timeout`         — the Ghostwriter GI timeout path
+//! - `fwd_gets_m_to_o`    — the MOESI owner-data forward (M enters O)
+//! - `evict_o`            — the O-eviction writeback (forced by `tight_l1`)
+//! - `inv_owned`          — O invalidated by an upgrading sharer
+//! - `data_fill_f`        — the MESIF Forward-grant fill
+//! - `fwd_data_gets`      — the MESIF clean-forward chain at the directory
 
 use ghostwriter_check::{run_sweep, Failure, Mutation, ProtocolKind, ShardOptions, SweepSpec};
 use ghostwriter_core::harness::Violation;
@@ -124,6 +129,64 @@ fn deleted_gi_timeout_row_is_caught() {
         ..SweepSpec::new(ProtocolKind::Ghostwriter, 2, 1, 2)
     };
     assert_caught(spec, |f| deleted_row(f, "gi_timeout"));
+}
+
+#[test]
+fn deleted_moesi_owner_forward_row_is_caught() {
+    // First GETS on an M owner must take the M -> O transfer under
+    // MOESI; with the row deleted the forward has nowhere to go.
+    let spec = SweepSpec {
+        mutation: Mutation::parse("delete-row:fwd_gets_m_to_o"),
+        ..SweepSpec::new(ProtocolKind::Moesi, 2, 1, 1)
+    };
+    assert_caught(spec, |f| deleted_row(f, "fwd_gets_m_to_o"));
+}
+
+#[test]
+fn deleted_o_eviction_writeback_row_is_caught() {
+    // An O line holds the only valid bytes, so its eviction must write
+    // back via PUTM; `tight_l1` plus a second block forces the eviction
+    // into the explored space.
+    let spec = SweepSpec {
+        mutation: Mutation::parse("delete-row:evict_o"),
+        tight_l1: true,
+        ..SweepSpec::new(ProtocolKind::Moesi, 2, 2, 2)
+    };
+    assert_caught(spec, |f| deleted_row(f, "evict_o"));
+}
+
+#[test]
+fn deleted_o_invalidation_row_is_caught() {
+    // A sharer upgrading under MOESI invalidates the O owner (its clean
+    // bytes match the owner's dirty ones); the owner needs `inv_owned`
+    // to ack.
+    let spec = SweepSpec {
+        mutation: Mutation::parse("delete-row:inv_owned"),
+        ..SweepSpec::new(ProtocolKind::Moesi, 2, 1, 2)
+    };
+    assert_caught(spec, |f| deleted_row(f, "inv_owned"));
+}
+
+#[test]
+fn deleted_mesif_forward_fill_row_is_caught() {
+    // MESIF answers the second reader with a Forward grant; the L1
+    // needs `data_fill_f` to accept it.
+    let spec = SweepSpec {
+        mutation: Mutation::parse("delete-row:data_fill_f"),
+        ..SweepSpec::new(ProtocolKind::Mesif, 2, 1, 1)
+    };
+    assert_caught(spec, |f| deleted_row(f, "data_fill_f"));
+}
+
+#[test]
+fn deleted_mesif_clean_forward_row_is_caught() {
+    // A third reader is served by the F holder, not the L2: the chain
+    // E -> F -> forward first appears at three cores.
+    let spec = SweepSpec {
+        mutation: Mutation::parse("delete-row:fwd_data_gets"),
+        ..SweepSpec::new(ProtocolKind::Mesif, 3, 1, 1)
+    };
+    assert_caught(spec, |f| deleted_row(f, "fwd_data_gets"));
 }
 
 #[test]

@@ -1,7 +1,8 @@
 //! Exhaustive small-configuration sweeps (the acceptance gate): every
 //! interleaving of every bounded program must be invariant-clean for
-//! MESI, MSI and Ghostwriter. Bounded to seconds; the deeper sweeps
-//! live behind `--ignored`.
+//! every protocol of the family ladder — MESI, MSI, MOESI, MOSI, MESIF,
+//! Ghostwriter and Ghostwriter-over-MOESI. Bounded to seconds-to-tens of
+//! seconds; the deeper sweeps live behind `--ignored`.
 
 use ghostwriter_check::{sweep, Failure, Mutation, ProtocolKind};
 use ghostwriter_core::harness::Violation;
@@ -39,6 +40,32 @@ fn msi_two_core_one_block_exhaustive() {
 #[test]
 fn ghostwriter_two_core_one_block_exhaustive() {
     assert_clean(ProtocolKind::Ghostwriter, 2, 1, 2);
+}
+
+// The O/F protocol regions (dirty sharing, writeback elision, clean
+// forwarding and their races) need a second block in the pool before
+// they fully appear, so the new family members gate at 2c/2b.
+
+#[test]
+fn moesi_two_core_two_block_exhaustive() {
+    assert_clean(ProtocolKind::Moesi, 2, 2, 2);
+}
+
+#[test]
+fn mosi_two_core_two_block_exhaustive() {
+    assert_clean(ProtocolKind::Mosi, 2, 2, 2);
+}
+
+#[test]
+fn mesif_two_core_two_block_exhaustive() {
+    assert_clean(ProtocolKind::Mesif, 2, 2, 2);
+}
+
+#[test]
+fn ghostwriter_over_moesi_two_core_one_block_exhaustive() {
+    // GW-over-MOESI is a configuration, not a fork: the scribble rows
+    // compose with the Owned-state rows in one checked row set.
+    assert_clean(ProtocolKind::GhostwriterMoesi, 2, 1, 2);
 }
 
 #[test]
@@ -212,6 +239,30 @@ fn mesi_three_core_one_block_exhaustive() {
 #[ignore]
 fn ghostwriter_two_core_two_block_exhaustive() {
     assert_clean(ProtocolKind::Ghostwriter, 2, 2, 2);
+}
+
+#[test]
+#[ignore]
+fn moesi_three_core_one_block_exhaustive() {
+    assert_clean(ProtocolKind::Moesi, 3, 1, 2);
+}
+
+#[test]
+#[ignore]
+fn mosi_three_core_one_block_exhaustive() {
+    assert_clean(ProtocolKind::Mosi, 3, 1, 2);
+}
+
+#[test]
+#[ignore]
+fn mesif_three_core_one_block_exhaustive() {
+    assert_clean(ProtocolKind::Mesif, 3, 1, 2);
+}
+
+#[test]
+#[ignore]
+fn ghostwriter_over_moesi_two_core_two_block_exhaustive() {
+    assert_clean(ProtocolKind::GhostwriterMoesi, 2, 2, 2);
 }
 
 #[test]

@@ -25,17 +25,70 @@ pub enum GiStorePolicy {
 
 /// The write-invalidate protocol family the directory implements.
 /// The paper builds Ghostwriter on MESI "without loss of generality"
-/// (§3.2); the MSI variant demonstrates the claim that the approximate
-/// states layer onto other invalidate protocols — without the E state,
-/// a first reader is granted Shared and its first write costs an
-/// UPGRADE.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+/// (§3.2); the other variants demonstrate the claim that the
+/// approximate states layer onto any invalidate protocol. Every family
+/// is a row-set delta over the same declarative table
+/// ([`crate::proto`]): MSI removes the Exclusive grant, MOESI/MOSI add
+/// the dirty-sharing Owned state (the former owner keeps its dirty line
+/// and the L2 fill is elided), and MESIF adds the clean Forward state
+/// (one sharer is designated to answer future GETS from its clean
+/// copy).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
 pub enum BaseProtocol {
     /// MESI: sole readers receive Exclusive and upgrade to M silently.
     #[default]
     Mesi,
     /// MSI: readers always receive Shared.
     Msi,
+    /// MOESI: MESI plus the Owned state — a forwarded owner keeps its
+    /// dirty line in O and keeps supplying later readers, eliding the
+    /// writeback to L2 until eviction.
+    Moesi,
+    /// MOSI: MOESI without the Exclusive grant.
+    Mosi,
+    /// MESIF: MESI plus the Forward state — the most recent reader of a
+    /// shared block holds F and answers later GETS from its clean copy.
+    Mesif,
+}
+
+impl BaseProtocol {
+    /// Families that grant Exclusive to a sole reader (have an E state).
+    pub const fn grant_exclusive(self) -> bool {
+        matches!(
+            self,
+            BaseProtocol::Mesi | BaseProtocol::Moesi | BaseProtocol::Mesif
+        )
+    }
+
+    /// Families with the dirty-sharing Owned state.
+    pub const fn owned_state(self) -> bool {
+        matches!(self, BaseProtocol::Moesi | BaseProtocol::Mosi)
+    }
+
+    /// Families with the clean-forwarding Forward state.
+    pub const fn forward_state(self) -> bool {
+        matches!(self, BaseProtocol::Mesif)
+    }
+
+    /// Canonical lower-case name (CLI / labels).
+    pub const fn name(self) -> &'static str {
+        match self {
+            BaseProtocol::Mesi => "mesi",
+            BaseProtocol::Msi => "msi",
+            BaseProtocol::Moesi => "moesi",
+            BaseProtocol::Mosi => "mosi",
+            BaseProtocol::Mesif => "mesif",
+        }
+    }
+
+    /// Every member of the family, in ladder order.
+    pub const ALL: [BaseProtocol; 5] = [
+        BaseProtocol::Mesi,
+        BaseProtocol::Msi,
+        BaseProtocol::Moesi,
+        BaseProtocol::Mosi,
+        BaseProtocol::Mesif,
+    ];
 }
 
 /// Ghostwriter protocol options (paper Table 1 defaults).
@@ -211,6 +264,14 @@ impl MachineConfig {
         }
     }
 
+    /// [`MachineConfig::small`] on a non-default base protocol family.
+    pub fn small_base(cores: usize, protocol: Protocol, base: BaseProtocol) -> Self {
+        Self {
+            base_protocol: base,
+            ..Self::small(cores, protocol)
+        }
+    }
+
     /// Canonical configuration key for content-addressed result caching.
     ///
     /// Built from the derived `Debug` representation, which covers every
@@ -307,9 +368,34 @@ mod tests {
                 base_protocol: BaseProtocol::Msi,
                 ..MachineConfig::small(4, Protocol::Mesi)
             },
+            MachineConfig::small_base(4, Protocol::Mesi, BaseProtocol::Moesi),
+            MachineConfig::small_base(4, Protocol::Mesi, BaseProtocol::Mosi),
+            MachineConfig::small_base(4, Protocol::Mesi, BaseProtocol::Mesif),
         ];
         for v in &variants {
             assert_ne!(base.cache_key(), v.cache_key(), "{v:?}");
         }
+        // The ladder members are pairwise distinct too.
+        let keys: Vec<String> = BaseProtocol::ALL
+            .iter()
+            .map(|&b| MachineConfig::small_base(4, Protocol::Mesi, b).cache_key())
+            .collect();
+        for i in 0..keys.len() {
+            for j in 0..i {
+                assert_ne!(keys[i], keys[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn base_protocol_family_predicates() {
+        use BaseProtocol::*;
+        for b in BaseProtocol::ALL {
+            assert_eq!(b.grant_exclusive(), matches!(b, Mesi | Moesi | Mesif));
+            assert_eq!(b.owned_state(), matches!(b, Moesi | Mosi));
+            assert_eq!(b.forward_state(), matches!(b, Mesif));
+        }
+        assert_eq!(Moesi.name(), "moesi");
+        assert_eq!(Mesif.name(), "mesif");
     }
 }

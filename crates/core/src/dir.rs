@@ -17,7 +17,8 @@
 use ghostwriter_mem::{BlockAddr, BlockData, LookupResult, SetAssocCache};
 use std::collections::{HashMap, VecDeque};
 
-use crate::msg::{Endpoint, Grant, Msg, Payload};
+use crate::config::BaseProtocol;
+use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
 use crate::proto::{Controller, DirRowId, DirRowSet, Homing, ProtocolError};
 use crate::stats::Stats;
 
@@ -30,6 +31,13 @@ pub enum DirState {
     Shared(u64),
     /// One core holds the block in E or M.
     Owned(usize),
+    /// MOESI/MOSI: `owner` holds the block dirty in O, `sharers` hold
+    /// clean read-only copies of the same bytes. The L2 copy may be
+    /// stale (the fill was elided) — the owner is the data source.
+    OwnedShared { owner: usize, sharers: u64 },
+    /// MESIF: `fwd` holds the designated clean forwarder copy (F),
+    /// `sharers` hold plain S copies. The L2 copy is valid.
+    Forward { fwd: usize, sharers: u64 },
 }
 
 #[derive(Clone, Copy, Debug, Hash)]
@@ -69,6 +77,9 @@ enum Phase {
     InvAcks,
     /// Waiting for the owner's data on the requested block.
     OwnerData,
+    /// MESIF: waiting for the F holder's clean forward (or its
+    /// `FwdNack` if the clean copy was already evicted).
+    FwdData,
     /// Waiting for the requestor's UNBLOCK.
     Unblock,
 }
@@ -140,22 +151,22 @@ impl DirBank {
     /// Builds bank `bank` with `sets × ways` L2 lines, in a machine with
     /// `mem_ctrls` memory controllers.
     pub fn new(bank: usize, sets: usize, ways: usize, mem_ctrls: usize) -> Self {
-        Self::with_base(bank, sets, ways, mem_ctrls, true)
+        Self::with_base(bank, sets, ways, mem_ctrls, BaseProtocol::Mesi)
     }
 
-    /// Like [`DirBank::new`] with an explicit protocol family:
-    /// `grant_exclusive = false` yields MSI behaviour.
+    /// Like [`DirBank::new`] with an explicit protocol family: the base
+    /// protocol selects the live row set (grant policy, O/F handling).
     pub fn with_base(
         bank: usize,
         sets: usize,
         ways: usize,
         mem_ctrls: usize,
-        grant_exclusive: bool,
+        base: BaseProtocol,
     ) -> Self {
         Self {
             bank,
             mem_homing: Homing::new(mem_ctrls),
-            rows: DirRowSet::for_config(grant_exclusive),
+            rows: DirRowSet::for_config(base),
             disabled: None,
             cache: SetAssocCache::new(sets, ways),
             busy: HashMap::new(),
@@ -310,8 +321,11 @@ impl DirBank {
                 };
                 self.inv_ack(block, stats, &mut out)?;
             }
-            Payload::DataToDir { data, retained } => {
-                self.owner_data(block, data, retained, stats, &mut out)?;
+            Payload::DataToDir { data, xfer } => {
+                self.owner_data(block, data, xfer, stats, &mut out)?;
+            }
+            Payload::FwdNack => {
+                self.fwd_nack(block, stats, &mut out)?;
             }
             Payload::MemData { data } => {
                 self.mem_data(block, data, stats, &mut out)?;
@@ -360,26 +374,48 @@ impl DirBank {
     ) -> Result<(), ProtocolError> {
         match req.kind {
             ReqKind::PutS => {
-                let listed = matches!(
-                    self.cache.get(block).map(|l| l.meta.dir),
-                    Some(DirState::Shared(s)) if s & (1 << req.requestor) != 0
-                );
-                let row = if listed {
-                    DirRowId::PutSSharer
-                } else {
-                    DirRowId::PutSStale
-                };
-                self.row(row, stats)?;
-                if listed {
-                    let line = self.cache.get_mut(block).unwrap();
-                    if let DirState::Shared(s) = line.meta.dir {
-                        let s = s & !(1 << req.requestor);
-                        line.meta.dir = if s == 0 {
+                let me = 1u64 << req.requestor;
+                let (row, new_dir) = match self.cache.get(block).map(|l| l.meta.dir) {
+                    Some(DirState::Shared(s)) if s & me != 0 => {
+                        let s = s & !me;
+                        (
+                            DirRowId::PutSSharer,
+                            Some(if s == 0 {
+                                DirState::Np
+                            } else {
+                                DirState::Shared(s)
+                            }),
+                        )
+                    }
+                    Some(DirState::OwnedShared { owner, sharers }) if sharers & me != 0 => (
+                        DirRowId::PutSOwnedSharer,
+                        Some(DirState::OwnedShared {
+                            owner,
+                            sharers: sharers & !me,
+                        }),
+                    ),
+                    // The forwarder evicted its clean copy: the block
+                    // demotes to plain Shared (L2 serves future reads).
+                    Some(DirState::Forward { fwd, sharers }) if fwd == req.requestor => (
+                        DirRowId::PutSFwd,
+                        Some(if sharers == 0 {
                             DirState::Np
                         } else {
-                            DirState::Shared(s)
-                        };
-                    }
+                            DirState::Shared(sharers)
+                        }),
+                    ),
+                    Some(DirState::Forward { fwd, sharers }) if sharers & me != 0 => (
+                        DirRowId::PutSFwdSharer,
+                        Some(DirState::Forward {
+                            fwd,
+                            sharers: sharers & !me,
+                        }),
+                    ),
+                    _ => (DirRowId::PutSStale, None),
+                };
+                self.row(row, stats)?;
+                if let Some(dir) = new_dir {
+                    self.cache.get_mut(block).unwrap().meta.dir = dir;
                 }
                 // No ack; nothing further.
             }
@@ -398,22 +434,32 @@ impl DirBank {
                 out.push(self.to_l1(req.requestor, block, Payload::WbAck));
             }
             ReqKind::PutM(data) => {
-                let owner = self.cache.get(block).map(|l| l.meta.dir)
-                    == Some(DirState::Owned(req.requestor));
                 // A stale PUTM lost a race with a forward; its data was
                 // already supplied from the writeback buffer. Ack either
                 // way so the L1 releases its buffer entry.
-                let row = if owner {
-                    DirRowId::PutMOwner
-                } else {
-                    DirRowId::PutMStale
+                let (row, new_dir) = match self.cache.get(block).map(|l| l.meta.dir) {
+                    Some(DirState::Owned(o)) if o == req.requestor => {
+                        (DirRowId::PutMOwner, Some(DirState::Np))
+                    }
+                    // MOESI/MOSI: the dirty O owner evicted. Its data
+                    // refills the (possibly stale) L2 copy; the clean
+                    // sharers keep their copies.
+                    Some(DirState::OwnedShared { owner, sharers }) if owner == req.requestor => (
+                        DirRowId::PutMOwnedShared,
+                        Some(if sharers == 0 {
+                            DirState::Np
+                        } else {
+                            DirState::Shared(sharers)
+                        }),
+                    ),
+                    _ => (DirRowId::PutMStale, None),
                 };
                 self.row(row, stats)?;
-                if owner {
+                if let Some(dir) = new_dir {
                     let line = self.cache.get_mut(block).unwrap();
                     line.data = data;
                     line.meta.dirty = true;
-                    line.meta.dir = DirState::Np;
+                    line.meta.dir = dir;
                     stats.energy_events.l2_writes += 1;
                 }
                 out.push(self.to_l1(req.requestor, block, Payload::WbAck));
@@ -548,6 +594,46 @@ impl DirBank {
                         out.push(self.to_l1(owner, victim, Payload::FwdGetx));
                         self.busy.insert(block, txn);
                     }
+                    DirState::OwnedShared { owner, sharers } => {
+                        self.row(DirRowId::FillRecallOwnedShared, stats)?;
+                        // MOESI/MOSI recall: the clean sharers are
+                        // invalidated first; the dirty owner is pulled
+                        // last because its bytes are the only valid copy
+                        // (the L2 fill was elided). The victim's dir is
+                        // demoted to Owned so the ack-completion path
+                        // knows an owner pull is still due.
+                        stats.l2_recalls += 1;
+                        txn.recall_victim = Some(victim);
+                        self.recall_of.insert(victim, block);
+                        self.cache.get_mut(victim).unwrap().meta.dir = DirState::Owned(owner);
+                        if sharers == 0 {
+                            txn.phase = Phase::RecallData;
+                            out.push(self.to_l1(owner, victim, Payload::FwdGetx));
+                        } else {
+                            txn.phase = Phase::RecallInv;
+                            txn.acks_pending = sharers.count_ones();
+                            for core in bits(sharers) {
+                                out.push(self.to_l1(core, victim, Payload::Inv));
+                            }
+                        }
+                        self.busy.insert(block, txn);
+                    }
+                    DirState::Forward { fwd, sharers } => {
+                        self.row(DirRowId::FillRecallFwd, stats)?;
+                        // MESIF recall: every L1 copy is clean and the L2
+                        // holds valid data, so all copies (F included)
+                        // are invalidated like plain sharers.
+                        stats.l2_recalls += 1;
+                        let all = sharers | (1 << fwd);
+                        txn.phase = Phase::RecallInv;
+                        txn.recall_victim = Some(victim);
+                        txn.acks_pending = all.count_ones();
+                        self.recall_of.insert(victim, block);
+                        for core in bits(all) {
+                            out.push(self.to_l1(core, victim, Payload::Inv));
+                        }
+                        self.busy.insert(block, txn);
+                    }
                 }
             }
         }
@@ -566,11 +652,19 @@ impl DirBank {
         let line = self.cache.get(block).expect("line resident");
         let dir = line.meta.dir;
         let data = line.data;
-        // Upgrades from a core that is no longer a sharer (it lost an
+        // Upgrades from a core that no longer holds a copy (it lost an
         // invalidation race) are converted to GETX and answered with data.
-        let kind = match (txn.kind, dir) {
-            (TxnKind::Upgrade, DirState::Shared(s)) if s & (1 << req) != 0 => TxnKind::Upgrade,
-            (TxnKind::Upgrade, _) => {
+        // O/F holders and their sharers count as listed: their copies are
+        // valid, so an ack suffices once everyone else is invalidated.
+        let listed = match dir {
+            DirState::Shared(s) => s & (1 << req) != 0,
+            DirState::OwnedShared { owner, sharers } => owner == req || sharers & (1 << req) != 0,
+            DirState::Forward { fwd, sharers } => fwd == req || sharers & (1 << req) != 0,
+            DirState::Np | DirState::Owned(_) => false,
+        };
+        let kind = match (txn.kind, listed) {
+            (TxnKind::Upgrade, true) => TxnKind::Upgrade,
+            (TxnKind::Upgrade, false) => {
                 self.row(DirRowId::UpgradeRace, stats)?;
                 TxnKind::Getx
             }
@@ -634,6 +728,24 @@ impl DirBank {
                 txn.phase = Phase::OwnerData;
                 out.push(self.to_l1(owner, block, Payload::FwdGets));
             }
+            (TxnKind::Gets, DirState::OwnedShared { owner, .. }) => {
+                // MOESI/MOSI: the dirty O owner sources the data; L2 may
+                // be stale, so the read cannot be served locally.
+                assert_ne!(owner, req, "GETS from dirty owner");
+                self.row(DirRowId::GetsOwnedShared, stats)?;
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.phase = Phase::OwnerData;
+                out.push(self.to_l1(owner, block, Payload::FwdGets));
+            }
+            (TxnKind::Gets, DirState::Forward { fwd, .. }) => {
+                // MESIF: the clean forwarder answers instead of L2 (or
+                // bounces with FWD_NACK if its copy is already gone).
+                assert_ne!(fwd, req, "GETS from forwarder");
+                self.row(DirRowId::GetsFwd, stats)?;
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.phase = Phase::FwdData;
+                out.push(self.to_l1(fwd, block, Payload::FwdGets));
+            }
             (TxnKind::Getx, DirState::Np) => {
                 self.row(DirRowId::GetxNp, stats)?;
                 stats.energy_events.l2_reads += 1;
@@ -670,6 +782,41 @@ impl DirBank {
                 txn.phase = Phase::OwnerData;
                 out.push(self.to_l1(owner, block, Payload::FwdGetx));
             }
+            (TxnKind::Getx, DirState::OwnedShared { owner, sharers }) => {
+                // Sequenced: invalidate the clean sharers first, then
+                // pull the dirty owner's data (`inv_ack_last_getx_owned`
+                // fires the FWD_GETX on the last ack).
+                assert_ne!(owner, req, "GETX from dirty owner");
+                self.row(DirRowId::GetxOwnedShared, stats)?;
+                let others = sharers & !(1 << req);
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.kind = TxnKind::Getx;
+                if others == 0 {
+                    txn.phase = Phase::OwnerData;
+                    out.push(self.to_l1(owner, block, Payload::FwdGetx));
+                } else {
+                    txn.phase = Phase::InvAcks;
+                    txn.acks_pending = others.count_ones();
+                    for core in bits(others) {
+                        out.push(self.to_l1(core, block, Payload::Inv));
+                    }
+                }
+            }
+            (TxnKind::Getx, DirState::Forward { fwd, sharers }) => {
+                // MESIF: every copy is clean and L2 is valid, so the F
+                // holder is invalidated like any sharer and the data is
+                // granted from L2 once the acks collect.
+                let others = (sharers | (1 << fwd)) & !(1 << req);
+                assert_ne!(others, 0, "Forward with no copies to invalidate");
+                self.row(DirRowId::GetxFwd, stats)?;
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.kind = TxnKind::Getx;
+                txn.phase = Phase::InvAcks;
+                txn.acks_pending = others.count_ones();
+                for core in bits(others) {
+                    out.push(self.to_l1(core, block, Payload::Inv));
+                }
+            }
             (TxnKind::Upgrade, DirState::Shared(s)) => {
                 let others = s & !(1 << req);
                 let row = if others == 0 {
@@ -687,6 +834,50 @@ impl DirBank {
                     txn.phase = Phase::InvAcks;
                     txn.acks_pending = others.count_ones();
                     for core in bits(others) {
+                        out.push(self.to_l1(core, block, Payload::Inv));
+                    }
+                }
+            }
+            (TxnKind::Upgrade, DirState::OwnedShared { owner, sharers }) => {
+                let (row, targets) = if owner == req {
+                    // The dirty owner publishes: invalidate the sharers.
+                    (DirRowId::UpgradeOwner, sharers)
+                } else {
+                    // A sharer publishes. Its clean bytes match the
+                    // owner's dirty bytes, so the owner's copy can be
+                    // invalidated without a writeback: dirty ownership
+                    // transfers to the upgrading core.
+                    (
+                        DirRowId::UpgradeOwnedSharer,
+                        (sharers & !(1 << req)) | (1 << owner),
+                    )
+                };
+                self.row(row, stats)?;
+                let txn = self.busy.get_mut(&block).unwrap();
+                if targets == 0 {
+                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                    txn.phase = Phase::Unblock;
+                    out.push(self.to_l1(req, block, Payload::UpgAck));
+                } else {
+                    txn.phase = Phase::InvAcks;
+                    txn.acks_pending = targets.count_ones();
+                    for core in bits(targets) {
+                        out.push(self.to_l1(core, block, Payload::Inv));
+                    }
+                }
+            }
+            (TxnKind::Upgrade, DirState::Forward { fwd, sharers }) => {
+                self.row(DirRowId::UpgradeFwd, stats)?;
+                let targets = (sharers | (1 << fwd)) & !(1 << req);
+                let txn = self.busy.get_mut(&block).unwrap();
+                if targets == 0 {
+                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                    txn.phase = Phase::Unblock;
+                    out.push(self.to_l1(req, block, Payload::UpgAck));
+                } else {
+                    txn.phase = Phase::InvAcks;
+                    txn.acks_pending = targets.count_ones();
+                    for core in bits(targets) {
                         out.push(self.to_l1(core, block, Payload::Inv));
                     }
                 }
@@ -715,6 +906,15 @@ impl DirBank {
             assert_eq!(txn.phase, Phase::RecallInv);
             txn.acks_pending -= 1;
             if txn.acks_pending == 0 {
+                // An OwnedShared victim was demoted to Owned when its
+                // sharers were invalidated: with the acks in, pull the
+                // dirty owner's bytes before the eviction completes.
+                if let Some(DirState::Owned(o)) = self.cache.get(block).map(|l| l.meta.dir) {
+                    let txn = self.busy.get_mut(&main).unwrap();
+                    txn.phase = Phase::RecallData;
+                    out.push(self.to_l1(o, block, Payload::FwdGetx));
+                    return Ok(());
+                }
                 self.finish_recall(main, stats, out)?;
             }
             return Ok(());
@@ -749,6 +949,21 @@ impl DirBank {
         }
         let req = txn.requestor;
         let kind = txn.kind;
+        // MOESI GETX on a dirty-shared block: the clean sharers are now
+        // gone, but the O owner still holds the only valid bytes — pull
+        // them before granting (L2 may be stale after an elided fill).
+        if kind == TxnKind::Getx {
+            if let Some(DirState::OwnedShared { owner, .. }) =
+                self.cache.get(block).map(|l| l.meta.dir)
+            {
+                self.row(DirRowId::InvAckLastGetxOwned, stats)?;
+                self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(owner);
+                let txn = self.busy.get_mut(&block).unwrap();
+                txn.phase = Phase::OwnerData;
+                out.push(self.to_l1(owner, block, Payload::FwdGetx));
+                return Ok(());
+            }
+        }
         let row = match kind {
             TxnKind::Getx => DirRowId::InvAckLastGetx,
             TxnKind::Upgrade => DirRowId::InvAckLastUpgrade,
@@ -781,12 +996,13 @@ impl DirBank {
         Ok(())
     }
 
-    /// Owner data arrived — for the main block or a recall victim.
+    /// Owner data arrived — for the main block (OwnerData or FwdData
+    /// phase) or a recall victim.
     fn owner_data(
         &mut self,
         block: BlockAddr,
         data: BlockData,
-        retained: bool,
+        xfer: OwnerXfer,
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
@@ -820,43 +1036,196 @@ impl DirBank {
                 format!("upgrade on {block:?} waited on owner data"),
             ));
         }
-        assert_eq!(txn.phase, Phase::OwnerData);
         let req = txn.requestor;
         let kind = txn.kind;
-        let row = match kind {
-            TxnKind::Gets => DirRowId::OwnerDataGets,
-            TxnKind::Getx => DirRowId::OwnerDataGetx,
-            TxnKind::Upgrade => unreachable!("UPGRADE rejected above"),
-        };
-        self.row(row, stats)?;
-        let old_owner = match self.cache.get(block).expect("line resident").meta.dir {
-            DirState::Owned(o) => o,
-            s => {
+        let phase = txn.phase;
+        if phase == Phase::FwdData {
+            // MESIF: the F holder forwarded its clean copy. L2 was valid
+            // all along, so nothing is written back — the forwarder
+            // downgrades to S and the requestor becomes the new F.
+            assert_eq!(kind, TxnKind::Gets, "FwdData on a {kind:?}");
+            assert_eq!(xfer, OwnerXfer::ToShared, "F holder must downgrade");
+            self.row(DirRowId::FwdDataGets, stats)?;
+            stats.clean_forwards += 1;
+            let dir = self.cache.get(block).expect("line resident").meta.dir;
+            let DirState::Forward { fwd, sharers } = dir else {
                 return Err(ProtocolError::internal(
                     self.ctl(),
-                    format!("owner data for {block:?} but dir state {s:?}"),
-                ))
+                    format!("forward data for {block:?} but dir {dir:?}"),
+                ));
+            };
+            self.cache.get_mut(block).unwrap().meta.dir = DirState::Forward {
+                fwd: req,
+                sharers: sharers | (1 << fwd),
+            };
+            let txn = self.busy.get_mut(&block).unwrap();
+            txn.phase = Phase::Unblock;
+            out.push(self.to_l1(
+                req,
+                block,
+                Payload::Data {
+                    data,
+                    grant: Grant::Forward,
+                },
+            ));
+            return Ok(());
+        }
+        assert_eq!(phase, Phase::OwnerData);
+        let dir = self.cache.get(block).expect("line resident").meta.dir;
+        let (grant, new_dir) = match (kind, xfer) {
+            (TxnKind::Getx, _) => {
+                // The owner invalidated (or answered from its writeback
+                // buffer); the requestor takes over as sole owner.
+                self.row(DirRowId::OwnerDataGetx, stats)?;
+                stats.energy_events.l2_writes += 1;
+                stats.energy_events.l2_reads += 1;
+                let line = self.cache.get_mut(block).unwrap();
+                line.data = data;
+                line.meta.dirty = true;
+                (Grant::Modified, DirState::Owned(req))
             }
-        };
-        stats.energy_events.l2_writes += 1;
-        stats.energy_events.l2_reads += 1;
-        let line = self.cache.get_mut(block).unwrap();
-        line.data = data;
-        line.meta.dirty = true;
-        let (grant, new_dir) = match kind {
-            TxnKind::Gets => {
+            (TxnKind::Gets, OwnerXfer::ToOwned) => {
+                // MOESI/MOSI dirty-sharing writeback elision: the owner
+                // keeps the dirty block in O and stays the data source;
+                // the (possibly stale) L2 copy is NOT refreshed.
+                if !self.rows.contains(DirRowId::OwnerDataGetsOwned) {
+                    return Err(ProtocolError::internal(
+                        self.ctl(),
+                        format!("owner retained O for {block:?} without MOESI rows"),
+                    ));
+                }
+                self.row(DirRowId::OwnerDataGetsOwned, stats)?;
+                stats.wb_elisions += 1;
+                let new_dir = match dir {
+                    DirState::Owned(o) => DirState::OwnedShared {
+                        owner: o,
+                        sharers: 1 << req,
+                    },
+                    DirState::OwnedShared { owner, sharers } => DirState::OwnedShared {
+                        owner,
+                        sharers: sharers | (1 << req),
+                    },
+                    s => {
+                        return Err(ProtocolError::internal(
+                            self.ctl(),
+                            format!("owner data for {block:?} but dir state {s:?}"),
+                        ))
+                    }
+                };
+                (Grant::Shared, new_dir)
+            }
+            (TxnKind::Gets, OwnerXfer::ToShared)
+                if self.rows.contains(DirRowId::OwnerDataGetsFwd) =>
+            {
+                // MESIF: the owner's data refills L2 and the requestor is
+                // designated the clean forwarder for future reads.
+                self.row(DirRowId::OwnerDataGetsFwd, stats)?;
+                stats.energy_events.l2_writes += 1;
+                let line = self.cache.get_mut(block).unwrap();
+                line.data = data;
+                line.meta.dirty = true;
+                let DirState::Owned(o) = dir else {
+                    return Err(ProtocolError::internal(
+                        self.ctl(),
+                        format!("owner data for {block:?} but dir state {dir:?}"),
+                    ));
+                };
+                (
+                    Grant::Forward,
+                    DirState::Forward {
+                        fwd: req,
+                        sharers: 1 << o,
+                    },
+                )
+            }
+            (TxnKind::Gets, _) => {
+                // MESI/MSI (and MOESI race fallbacks): refill L2 and
+                // track everyone still holding a copy as a plain sharer.
+                self.row(DirRowId::OwnerDataGets, stats)?;
+                stats.energy_events.l2_writes += 1;
+                stats.energy_events.l2_reads += 1;
+                let line = self.cache.get_mut(block).unwrap();
+                line.data = data;
+                line.meta.dirty = true;
                 let mut s = 1u64 << req;
-                if retained {
-                    s |= 1 << old_owner;
+                match dir {
+                    DirState::Owned(o) => {
+                        if xfer == OwnerXfer::ToShared {
+                            s |= 1 << o;
+                        }
+                    }
+                    // MOESI: the O holder answered while upgrading (SM_A,
+                    // `fwd_gets_upgrading`) — it still holds valid bytes,
+                    // as do the clean sharers.
+                    DirState::OwnedShared { owner, sharers } => {
+                        s |= sharers;
+                        if xfer == OwnerXfer::ToShared {
+                            s |= 1 << owner;
+                        }
+                    }
+                    d => {
+                        return Err(ProtocolError::internal(
+                            self.ctl(),
+                            format!("owner data for {block:?} but dir state {d:?}"),
+                        ))
+                    }
                 }
                 (Grant::Shared, DirState::Shared(s))
             }
-            _ => (Grant::Modified, DirState::Owned(req)),
+            (TxnKind::Upgrade, _) => unreachable!("UPGRADE rejected above"),
         };
-        line.meta.dir = new_dir;
+        self.cache.get_mut(block).unwrap().meta.dir = new_dir;
         let txn = self.busy.get_mut(&block).unwrap();
         txn.phase = Phase::Unblock;
         out.push(self.to_l1(req, block, Payload::Data { data, grant }));
+        Ok(())
+    }
+
+    /// MESIF `FWD_NACK`: the forwarder's clean copy was already evicted
+    /// (its `PutS` is queued behind this transaction). The copy was clean,
+    /// so the valid L2 block serves the requestor, which becomes the new F.
+    fn fwd_nack(
+        &mut self,
+        block: BlockAddr,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
+        let Some(txn) = self.busy.get_mut(&block) else {
+            return Err(self.error(
+                DirRowId::DirUnexpectedMsg,
+                stats,
+                format!("stray FWD_NACK for {block:?}"),
+            ));
+        };
+        assert_eq!(
+            txn.phase,
+            Phase::FwdData,
+            "FWD_NACK in phase {:?}",
+            txn.phase
+        );
+        let req = txn.requestor;
+        self.row(DirRowId::FwdNackGets, stats)?;
+        stats.energy_events.l2_reads += 1;
+        let dir = self.cache.get(block).expect("line resident").meta.dir;
+        let DirState::Forward { fwd: _, sharers } = dir else {
+            return Err(ProtocolError::internal(
+                self.ctl(),
+                format!("FWD_NACK for {block:?} but dir {dir:?}"),
+            ));
+        };
+        let line = self.cache.get_mut(block).unwrap();
+        line.meta.dir = DirState::Forward { fwd: req, sharers };
+        let data = line.data;
+        let txn = self.busy.get_mut(&block).unwrap();
+        txn.phase = Phase::Unblock;
+        out.push(self.to_l1(
+            req,
+            block,
+            Payload::Data {
+                data,
+                grant: Grant::Forward,
+            },
+        ));
         Ok(())
     }
 
@@ -1035,7 +1404,7 @@ mod tests {
 
     #[test]
     fn msi_bank_grants_shared_to_sole_reader() {
-        let mut bank = DirBank::with_base(0, 16, 4, 1, false);
+        let mut bank = DirBank::with_base(0, 16, 4, 1, BaseProtocol::Msi);
         let mut stats = Stats::default();
         let out = bank
             .handle_msg(req_msg(3, blk(16), Payload::Gets), &mut stats)
@@ -1099,7 +1468,7 @@ mod tests {
                     block: blk(1),
                     payload: Payload::DataToDir {
                         data: BlockData::zeroed(),
-                        retained: true,
+                        xfer: OwnerXfer::ToShared,
                     },
                 },
                 &mut stats,
@@ -1133,7 +1502,7 @@ mod tests {
                     block: blk(2),
                     payload: Payload::DataToDir {
                         data: BlockData::zeroed(),
-                        retained: true,
+                        xfer: OwnerXfer::ToShared,
                     },
                 },
                 &mut stats,
@@ -1185,7 +1554,7 @@ mod tests {
                     block: blk(3),
                     payload: Payload::DataToDir {
                         data: BlockData::zeroed(),
-                        retained: true,
+                        xfer: OwnerXfer::ToShared,
                     },
                 },
                 &mut stats,
@@ -1231,7 +1600,7 @@ mod tests {
                     block: blk(4),
                     payload: Payload::DataToDir {
                         data: BlockData::zeroed(),
-                        retained: false,
+                        xfer: OwnerXfer::Dropped,
                     },
                 },
                 &mut stats,
@@ -1308,7 +1677,7 @@ mod tests {
                 block: blk(7),
                 payload: Payload::DataToDir {
                     data: fresh,
-                    retained: false,
+                    xfer: OwnerXfer::Dropped,
                 },
             },
             &mut stats,
@@ -1393,7 +1762,7 @@ mod tests {
                 block: blk(10),
                 payload: Payload::DataToDir {
                     data: BlockData::zeroed(),
-                    retained: true,
+                    xfer: OwnerXfer::ToShared,
                 },
             },
             &mut stats,
@@ -1465,7 +1834,7 @@ mod tests {
                     block: blk(12),
                     payload: Payload::DataToDir {
                         data: BlockData::zeroed(),
-                        retained: true,
+                        xfer: OwnerXfer::ToShared,
                     },
                 },
                 &mut stats,
@@ -1554,7 +1923,7 @@ mod tests {
                     block: blk(0),
                     payload: Payload::DataToDir {
                         data: BlockData::zeroed(),
-                        retained: true,
+                        xfer: OwnerXfer::ToShared,
                     },
                 },
                 &mut stats,
@@ -1613,7 +1982,7 @@ mod tests {
                     block: blk(0),
                     payload: Payload::DataToDir {
                         data: dirty,
-                        retained: false,
+                        xfer: OwnerXfer::Dropped,
                     },
                 },
                 &mut stats,
@@ -1660,7 +2029,7 @@ mod tests {
                     block: blk(0),
                     payload: Payload::DataToDir {
                         data: BlockData::zeroed(),
-                        retained: false,
+                        xfer: OwnerXfer::Dropped,
                     },
                 },
                 &mut stats,
@@ -1679,5 +2048,75 @@ mod tests {
             .find(|m| matches!(m.payload, Payload::FwdGetx))
             .expect("recall of block 1 to serve queued GETS of block 0");
         assert_eq!(fwd.block, blk(1));
+    }
+
+    #[test]
+    fn mesif_fwd_nack_is_served_from_l2() {
+        // The `fwd_nack_gets` race end-to-end at the directory: E owner
+        // forwards to a second reader (who becomes F), a third reader's
+        // FWD_GETS bounces off the F holder, and the directory serves
+        // the requestor from L2, handing it the F designation.
+        let mut bank = DirBank::with_base(0, 16, 4, 1, BaseProtocol::Mesif);
+        let mut stats = Stats::default();
+        // Core 0: cold GETS -> E.
+        let out = bank
+            .handle_msg(req_msg(0, blk(16), Payload::Gets), &mut stats)
+            .unwrap();
+        let out = drive_mem(&mut bank, out, &mut stats);
+        assert_eq!(data_of(&out[0]).1, Grant::Exclusive);
+        bank.handle_msg(req_msg(0, blk(16), Payload::Unblock), &mut stats)
+            .unwrap();
+        // Core 1: GETS forwards to the owner; the owner's data reply
+        // grants core 1 the F designation.
+        let out = bank
+            .handle_msg(req_msg(1, blk(16), Payload::Gets), &mut stats)
+            .unwrap();
+        assert!(matches!(out[0].payload, Payload::FwdGets));
+        let out = bank
+            .handle_msg(
+                req_msg(
+                    0,
+                    blk(16),
+                    Payload::DataToDir {
+                        data: BlockData::zeroed(),
+                        xfer: OwnerXfer::ToShared,
+                    },
+                ),
+                &mut stats,
+            )
+            .unwrap();
+        assert_eq!(data_of(&out[0]).1, Grant::Forward);
+        bank.handle_msg(req_msg(1, blk(16), Payload::Unblock), &mut stats)
+            .unwrap();
+        assert_eq!(
+            bank.dir_state(blk(16)),
+            Some(DirState::Forward {
+                fwd: 1,
+                sharers: 0b1
+            })
+        );
+        // Core 2: GETS forwards to the F holder... which bounces.
+        let out = bank
+            .handle_msg(req_msg(2, blk(16), Payload::Gets), &mut stats)
+            .unwrap();
+        assert!(matches!(out[0].payload, Payload::FwdGets));
+        let l2_reads = stats.energy_events.l2_reads;
+        let out = bank
+            .handle_msg(req_msg(1, blk(16), Payload::FwdNack), &mut stats)
+            .unwrap();
+        assert_eq!(data_of(&out[0]).1, Grant::Forward, "served from L2");
+        assert_eq!(stats.energy_events.l2_reads, l2_reads + 1);
+        bank.handle_msg(req_msg(2, blk(16), Payload::Unblock), &mut stats)
+            .unwrap();
+        // The stale forwarder is dropped from the sharer set entirely;
+        // its PUTS will be acked as stale.
+        assert_eq!(
+            bank.dir_state(blk(16)),
+            Some(DirState::Forward {
+                fwd: 2,
+                sharers: 0b1
+            })
+        );
+        assert_eq!(stats.coverage.dir[DirRowId::FwdNackGets as usize], 1);
     }
 }

@@ -26,7 +26,7 @@ use std::hash::{Hash, Hasher};
 
 use ghostwriter_mem::{Addr, BlockAddr, Dram};
 
-use crate::config::GiStorePolicy;
+use crate::config::{BaseProtocol, GiStorePolicy};
 use crate::dir::{DirBank, DirState};
 use crate::l1::{home_bank, AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
 use crate::msg::{Endpoint, Msg, Payload};
@@ -50,8 +50,9 @@ pub struct SystemConfig {
     pub l2_ways: usize,
     /// Ghostwriter parameters; `None` runs the precise base protocol.
     pub gw: Option<GwParams>,
-    /// Use the MSI protocol family (no Exclusive grants).
-    pub msi: bool,
+    /// Base protocol family (MESI, MSI, MOESI, MOSI or MESIF) the GS/GI
+    /// rows compose over.
+    pub base: BaseProtocol,
     /// Transition-table row (by name) deleted for mutation testing:
     /// firing it becomes a [`Violation::Protocol`].
     pub disabled_row: Option<&'static str>,
@@ -67,7 +68,7 @@ impl Default for SystemConfig {
             l2_sets: 4,
             l2_ways: 2,
             gw: None,
-            msi: false,
+            base: BaseProtocol::Mesi,
             disabled_row: None,
         }
     }
@@ -327,10 +328,20 @@ impl System {
     pub fn new(cfg: SystemConfig) -> Self {
         assert!(cfg.cores >= 1 && cfg.blocks >= 1);
         let mut l1s: Vec<L1Cache> = (0..cfg.cores)
-            .map(|c| L1Cache::new(c, cfg.l1_sets, cfg.l1_ways, cfg.cores, cfg.gw, false))
+            .map(|c| {
+                L1Cache::new(
+                    c,
+                    cfg.l1_sets,
+                    cfg.l1_ways,
+                    cfg.cores,
+                    cfg.base,
+                    cfg.gw,
+                    false,
+                )
+            })
             .collect();
         let mut banks: Vec<DirBank> = (0..cfg.cores)
-            .map(|b| DirBank::with_base(b, cfg.l2_sets, cfg.l2_ways, 1, !cfg.msi))
+            .map(|b| DirBank::with_base(b, cfg.l2_sets, cfg.l2_ways, 1, cfg.base))
             .collect();
         if let Some(name) = cfg.disabled_row {
             let mut known = false;
@@ -666,26 +677,31 @@ impl System {
     }
 
     /// SWMR: never two writable copies, never writable + readable
-    /// elsewhere. Valid at any instant.
+    /// elsewhere. Valid at any instant. MOESI's O is the distinguished
+    /// dirty owner: at most one may exist, and it excludes E/M copies,
+    /// but it legitimately coexists with clean S readers. MESIF's F is a
+    /// clean read-only copy and counts as a reader.
     pub fn check_swmr(&self) -> Result<(), Violation> {
         for b in 0..self.cfg.blocks {
             let block = self.block_of(b);
-            let mut writable = 0;
+            let mut exclusive = 0;
+            let mut dirty_owned = 0;
             let mut readable_elsewhere = 0;
             for l1 in &self.l1s {
                 match l1.state_of(block) {
-                    Some(L1State::M) | Some(L1State::E) => writable += 1,
-                    Some(L1State::S) => readable_elsewhere += 1,
+                    Some(L1State::M) | Some(L1State::E) => exclusive += 1,
+                    Some(L1State::O) => dirty_owned += 1,
+                    Some(L1State::S) | Some(L1State::F) => readable_elsewhere += 1,
                     _ => {}
                 }
             }
-            if writable > 1 {
+            if exclusive + dirty_owned > 1 {
                 return Err(Violation::MultipleWriters {
                     block: b,
-                    writers: writable,
+                    writers: exclusive + dirty_owned,
                 });
             }
-            if writable == 1 && readable_elsewhere > 0 {
+            if exclusive == 1 && readable_elsewhere > 0 {
                 return Err(Violation::WriterWithSharers {
                     block: b,
                     sharers: readable_elsewhere,
@@ -758,17 +774,24 @@ impl System {
             let dir = self.banks[bank].dir_state(block);
             let mut sharers = 0u64;
             let mut owner = None;
+            let mut o_holder = None;
+            let mut fwd_mask = 0u64;
             for (c, l1) in self.l1s.iter().enumerate() {
                 match l1.state_of(block) {
                     Some(L1State::S) | Some(L1State::Gs) => sharers |= 1 << c,
-                    Some(L1State::M) | Some(L1State::E) => {
-                        if let Some(prev) = owner {
+                    Some(L1State::F) => fwd_mask |= 1 << c,
+                    Some(L1State::M) | Some(L1State::E) | Some(L1State::O) => {
+                        if let Some(prev) = owner.or(o_holder) {
                             return Err(Violation::MultipleWriters {
                                 block: b,
                                 writers: 2 + usize::from(prev == c),
                             });
                         }
-                        owner = Some(c);
+                        if l1.state_of(block) == Some(L1State::O) {
+                            o_holder = Some(c);
+                        } else {
+                            owner = Some(c);
+                        }
                     }
                     Some(L1State::I) | Some(L1State::Gi) | None => {}
                     Some(t) => {
@@ -781,21 +804,57 @@ impl System {
                 }
             }
             match (dir, owner) {
-                (Some(DirState::Owned(o)), Some(c)) => {
-                    if o != c {
+                (Some(DirState::Owned(o)), oc) => {
+                    if oc != Some(o) {
                         return Err(Violation::OwnerMismatch {
                             block: b,
                             dir_owner: o,
-                            l1_owner: Some(c),
+                            l1_owner: oc.or(o_holder),
                         });
                     }
                 }
-                (Some(DirState::Owned(o)), None) => {
-                    return Err(Violation::OwnerMismatch {
-                        block: b,
-                        dir_owner: o,
-                        l1_owner: None,
-                    });
+                (
+                    Some(DirState::OwnedShared {
+                        owner: o,
+                        sharers: s,
+                    }),
+                    _,
+                ) => {
+                    // MOESI/MOSI dirty sharing: the distinguished owner
+                    // must hold O and the sharer list must be exact.
+                    if o_holder != Some(o) || owner.is_some() {
+                        return Err(Violation::OwnerMismatch {
+                            block: b,
+                            dir_owner: o,
+                            l1_owner: owner.or(o_holder),
+                        });
+                    }
+                    if s != sharers {
+                        return Err(Violation::SharerMismatch {
+                            block: b,
+                            dir: s,
+                            actual: sharers,
+                        });
+                    }
+                }
+                (Some(DirState::Forward { fwd, sharers: s }), _) => {
+                    // MESIF: exactly the designated forwarder holds F.
+                    if fwd_mask != 1 << fwd || owner.is_some() || o_holder.is_some() {
+                        return Err(Violation::OwnerMismatch {
+                            block: b,
+                            dir_owner: fwd,
+                            l1_owner: owner
+                                .or(o_holder)
+                                .or((0..64).find(|c| fwd_mask & (1 << c) != 0)),
+                        });
+                    }
+                    if s != sharers {
+                        return Err(Violation::SharerMismatch {
+                            block: b,
+                            dir: s,
+                            actual: sharers,
+                        });
+                    }
                 }
                 (Some(DirState::Shared(s)), _) => {
                     if s != sharers {
@@ -805,7 +864,7 @@ impl System {
                             actual: sharers,
                         });
                     }
-                    if let Some(c) = owner {
+                    if let Some(c) = owner.or(o_holder) {
                         return Err(Violation::OwnerMismatch {
                             block: b,
                             dir_owner: c,
@@ -814,27 +873,48 @@ impl System {
                     }
                 }
                 (Some(DirState::Np), _) | (None, _) => {
-                    if sharers != 0 || owner.is_some() {
+                    if sharers != 0 || fwd_mask != 0 || owner.is_some() || o_holder.is_some() {
                         return Err(Violation::UntrackedCopies {
                             block: b,
-                            sharers,
-                            owner,
+                            sharers: sharers | fwd_mask,
+                            owner: owner.or(o_holder),
                         });
                     }
                 }
             }
-            // Data-value invariant: precise Shared copies equal the L2
-            // data (GS copies are legitimately divergent).
-            if let Some(l2_data) = self.banks[bank].peek_block(block) {
+            // An F copy the directory doesn't know about (every other
+            // stray-copy combination is caught by the arms above).
+            if fwd_mask != 0 && !matches!(dir, Some(DirState::Forward { .. })) {
+                return Err(Violation::UntrackedCopies {
+                    block: b,
+                    sharers: sharers | fwd_mask,
+                    owner,
+                });
+            }
+            // Data-value invariant: precise Shared (and MESIF Forward)
+            // copies equal the L2 data (GS copies are legitimately
+            // divergent). Under MOESI dirty sharing the L2 copy may be
+            // stale — the O owner's bytes are the reference instead.
+            let reference = match o_holder {
+                Some(o) => Some(std::array::from_fn::<_, 8, _>(|w| {
+                    self.l1s[o]
+                        .peek_word(block.base().add(8 * w as u64), 8)
+                        .expect("O line resident")
+                })),
+                None => self.banks[bank]
+                    .peek_block(block)
+                    .map(|d| std::array::from_fn(|w| d.read_word(8 * w, 8))),
+            };
+            if let Some(reference) = reference {
                 for (c, l1) in self.l1s.iter().enumerate() {
-                    if l1.state_of(block) == Some(L1State::S) {
-                        for w in 0..8 {
-                            let a = block.base().add(8 * w);
-                            if l1.peek_word(a, 8) != Some(l2_data.read_word(8 * w as usize, 8)) {
+                    if matches!(l1.state_of(block), Some(L1State::S) | Some(L1State::F)) {
+                        for (w, &expect) in reference.iter().enumerate() {
+                            let a = block.base().add(8 * w as u64);
+                            if l1.peek_word(a, 8) != Some(expect) {
                                 return Err(Violation::SharedDiverges {
                                     core: c,
                                     block: b,
-                                    word: w as usize,
+                                    word: w,
                                 });
                             }
                         }

@@ -15,6 +15,8 @@
 //! | `S`   | read        | sharer         |
 //! | `E`   | read (+silent write→M) | owner |
 //! | `M`   | read/write  | owner          |
+//! | `O`   | read (dirty; MOESI/MOSI) | distinguished owner + sharers |
+//! | `F`   | read (clean forwarder; MESIF) | designated data source |
 //! | `GS`  | read/write *locally* (hidden) | still a sharer |
 //! | `GI`  | read/write *locally* (hidden) | not tracked |
 //!
@@ -25,8 +27,8 @@
 use ghostwriter_mem::{Addr, BlockAddr, BlockData, LookupResult, SetAssocCache};
 use std::collections::HashMap;
 
-use crate::config::GiStorePolicy;
-use crate::msg::{Endpoint, Grant, Msg, Payload};
+use crate::config::{BaseProtocol, GiStorePolicy};
+use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
 use crate::proto::{Controller, Homing, L1RowId, L1RowSet, ProtocolError};
 use crate::scribe::ScribePolicy;
 use crate::stats::Stats;
@@ -43,6 +45,13 @@ pub enum L1State {
     E,
     /// Modified, read/write.
     M,
+    /// MOESI/MOSI Owned: dirty but shared read-only; this cache is the
+    /// distinguished owner and sources the data for later readers,
+    /// eliding the L2 fill.
+    O,
+    /// MESIF Forward: clean shared read-only; this cache is the
+    /// designated forwarder and answers later `FwdGets` instead of L2.
+    F,
     /// Ghostwriter: locally modified *shared* block, hidden from the
     /// global view; still on the directory's sharer list.
     Gs,
@@ -121,11 +130,20 @@ impl L1Meta {
     }
 }
 
-/// Writeback-buffer entry: holds an evicted E/M block until the directory
-/// acknowledges the PUT, and answers forwards that race with the eviction.
+/// Writeback-buffer entry: holds an evicted E/M/O block until the
+/// directory acknowledges the PUT, and answers forwards that race with
+/// the eviction.
 #[derive(Clone, Debug, Hash)]
 struct WbEntry {
     data: BlockData,
+}
+
+/// What an L1 answers a directory forward with.
+enum FwdReply {
+    /// The block's bytes plus what the holder did with its own copy.
+    Data { data: BlockData, xfer: OwnerXfer },
+    /// MESIF only: the clean F copy is already gone (`FwdNack`).
+    Nack,
 }
 
 /// The per-core L1 data-cache controller.
@@ -183,6 +201,7 @@ impl L1Cache {
         sets: usize,
         ways: usize,
         banks: usize,
+        base: BaseProtocol,
         gw: Option<GwParams>,
         collect_similarity: bool,
     ) -> Self {
@@ -194,7 +213,7 @@ impl L1Cache {
             gw,
             collect_similarity,
             homing: Homing::new(banks),
-            rows: L1RowSet::for_config(gw.as_ref()),
+            rows: L1RowSet::for_config(base, gw.as_ref()),
             disabled: None,
         }
     }
@@ -414,6 +433,19 @@ impl L1Cache {
                     let v = self.cache.get(block).unwrap().data.read_word(offset, size);
                     Ok(vec![L1Out::Reply { value: v }])
                 }
+                L1State::O | L1State::F => {
+                    let row = if state == L1State::O {
+                        L1RowId::LoadHitOwned
+                    } else {
+                        L1RowId::LoadHitFwd
+                    };
+                    self.row(row, stats)?;
+                    stats.l1_load_hits += 1;
+                    stats.energy_events.l1_reads += 1;
+                    self.cache.touch(block);
+                    let v = self.cache.get(block).unwrap().data.read_word(offset, size);
+                    Ok(vec![L1Out::Reply { value: v }])
+                }
                 L1State::Gi => {
                     self.row(L1RowId::LoadHitGi, stats)?;
                     stats.l1_load_hits += 1;
@@ -455,6 +487,25 @@ impl L1Cache {
                         self.write_hit(block, offset, size, req.value, stats);
                         self.cache.get_mut(block).unwrap().meta.state = L1State::M;
                         Ok(vec![L1Out::Reply { value: 0 }])
+                    }
+                    L1State::O | L1State::F => {
+                        // Both are read-only shared states: publishing a
+                        // store goes down the conventional UPGRADE path
+                        // (scribbles included — an O line is already
+                        // dirty-global, an F line is a clean copy, so
+                        // neither admits a hidden GS entry).
+                        let row = if state == L1State::O {
+                            L1RowId::UpgradeFromO
+                        } else {
+                            L1RowId::UpgradeFromF
+                        };
+                        self.row(row, stats)?;
+                        stats.upgrades_from_s += 1;
+                        stats.l1_store_misses += 1;
+                        stats.energy_events.l1_tag_probes += 1;
+                        self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
+                        self.pending = Some(req);
+                        Ok(vec![L1Out::Send(self.msg(block, Payload::Upgrade))])
                     }
                     L1State::Gi => {
                         // Fig. 3/Fig. 5: loads, conventional stores and
@@ -637,6 +688,21 @@ impl L1Cache {
                     self.msg(victim, Payload::PutM { data: line.data }),
                 ));
             }
+            L1State::O => {
+                // Owned is dirty: the eviction is a writeback, exactly
+                // like M (the directory refills L2 from it).
+                self.row(L1RowId::EvictO, stats)?;
+                stats.energy_events.l1_reads += 1;
+                assert!(
+                    self.wb_buffer
+                        .insert(victim, WbEntry { data: line.data })
+                        .is_none(),
+                    "double eviction of {victim:?}"
+                );
+                out.push(L1Out::Send(
+                    self.msg(victim, Payload::PutM { data: line.data }),
+                ));
+            }
             L1State::E => {
                 self.row(L1RowId::EvictE, stats)?;
                 assert!(self
@@ -644,6 +710,13 @@ impl L1Cache {
                     .insert(victim, WbEntry { data: line.data })
                     .is_none());
                 out.push(L1Out::Send(self.msg(victim, Payload::PutE)));
+            }
+            L1State::F => {
+                // Forward is clean and L2 is valid: a plain PUTS. A
+                // FwdGets racing this eviction is bounced with FWD_NACK
+                // (`fwd_gets_stale`) and served from L2.
+                self.row(L1RowId::EvictF, stats)?;
+                out.push(L1Out::Send(self.msg(victim, Payload::PutS)));
             }
             L1State::S => {
                 self.row(L1RowId::EvictS, stats)?;
@@ -685,6 +758,11 @@ impl L1Cache {
                 stats.energy_events.l1_tag_probes += 1;
                 let row = match self.cache.get(block).map(|l| l.meta.state) {
                     Some(L1State::S) => L1RowId::InvSharer,
+                    // MOESI: a GETX by one of our sharers invalidates the
+                    // owner too — the upgrading sharer holds identical
+                    // bytes, so the dirty data is not lost.
+                    Some(L1State::O) => L1RowId::InvOwned,
+                    Some(L1State::F) => L1RowId::InvFwd,
                     Some(L1State::Gs) => L1RowId::InvGs,
                     // UPGRADE lost the race: the directory will answer
                     // it with data; wait in IM_AD.
@@ -704,7 +782,7 @@ impl L1Cache {
                 };
                 self.row(row, stats)?;
                 match row {
-                    L1RowId::InvSharer => {
+                    L1RowId::InvSharer | L1RowId::InvOwned | L1RowId::InvFwd => {
                         self.cache.get_mut(block).unwrap().meta.state = L1State::I
                     }
                     L1RowId::InvGs => {
@@ -724,22 +802,35 @@ impl L1Cache {
                 })])
             }
             Payload::FwdGets => {
-                let (data, retained) = self.forward_data(block, true, stats)?;
+                let payload = match self.forward_data(block, true, stats)? {
+                    FwdReply::Data { data, xfer } => Payload::DataToDir { data, xfer },
+                    FwdReply::Nack => Payload::FwdNack,
+                };
                 Ok(vec![L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
-                    payload: Payload::DataToDir { data, retained },
+                    payload,
                 })])
             }
             Payload::FwdGetx => {
-                let (data, retained) = self.forward_data(block, false, stats)?;
-                debug_assert!(!retained);
+                let payload = match self.forward_data(block, false, stats)? {
+                    FwdReply::Data { data, xfer } => {
+                        debug_assert_eq!(xfer, OwnerXfer::Dropped);
+                        Payload::DataToDir { data, xfer }
+                    }
+                    FwdReply::Nack => {
+                        return Err(ProtocolError::internal(
+                            self.ctl(),
+                            format!("FWD_GETX for {block:?} answered with a NACK"),
+                        ))
+                    }
+                };
                 Ok(vec![L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
-                    payload: Payload::DataToDir { data, retained },
+                    payload,
                 })])
             }
             Payload::Data { data, grant } => {
@@ -763,6 +854,11 @@ impl L1Cache {
                 let row = match (self.cache.get(block).map(|l| l.meta.state), grant) {
                     (Some(L1State::IsD), Grant::Shared) => L1RowId::DataFillShared,
                     (Some(L1State::IsD), Grant::Exclusive) => L1RowId::DataFillExcl,
+                    (Some(L1State::IsD), Grant::Forward)
+                        if self.rows.contains(L1RowId::DataFillFwd) =>
+                    {
+                        L1RowId::DataFillFwd
+                    }
                     (Some(L1State::ImAd | L1State::SmA), Grant::Modified) => L1RowId::DataFillM,
                     (t, g) => {
                         return Err(self.error(
@@ -784,6 +880,10 @@ impl L1Cache {
                     }
                     L1RowId::DataFillExcl => {
                         line.meta.state = L1State::E;
+                        line.data.read_word(req.addr.offset(), req.size as usize)
+                    }
+                    L1RowId::DataFillFwd => {
+                        line.meta.state = L1State::F;
                         line.data.read_word(req.addr.offset(), req.size as usize)
                     }
                     _ => {
@@ -876,19 +976,25 @@ impl L1Cache {
     }
 
     /// Supplies block data for a directory forward, from the writeback
-    /// buffer or the live line. `downgrade_to_s` is true for FWD_GETS.
+    /// buffer or the live line. `is_gets` is true for FWD_GETS.
     ///
     /// The buffer is consulted *first*: a pending PUT means the directory
     /// has not yet observed our eviction, so any forward necessarily
     /// targets that old ownership epoch — even if we have meanwhile begun
     /// a brand-new request on the same block (the line can legitimately
     /// sit in IS_D/IM_AD here, queued at the directory behind our PUT).
+    ///
+    /// The per-family rows decide what the holder does with its copy:
+    /// a MESI/MSI owner downgrades to `S`, a MOESI/MOSI `M` owner keeps
+    /// dirty ownership in `O`, a MESIF `F` holder forwards clean, and a
+    /// MESIF holder that already evicted its clean copy bounces the
+    /// forward with `FwdNack` so the directory serves from L2.
     fn forward_data(
         &mut self,
         block: BlockAddr,
-        downgrade_to_s: bool,
+        is_gets: bool,
         stats: &mut Stats,
-    ) -> Result<(BlockData, bool), ProtocolError> {
+    ) -> Result<FwdReply, ProtocolError> {
         if let Some(entry) = self.wb_buffer.get(&block) {
             // The eviction raced with the forward; answer from the buffer
             // and let the queued PUT be acked as stale.
@@ -902,37 +1008,68 @@ impl L1Cache {
                 );
             }
             self.row(L1RowId::FwdWbRace, stats)?;
-            return Ok((data, false));
+            return Ok(FwdReply::Data {
+                data,
+                xfer: OwnerXfer::Dropped,
+            });
         }
-        match self.cache.get(block).map(|l| l.meta.state) {
-            Some(L1State::E | L1State::M) => {
-                let row = if downgrade_to_s {
-                    L1RowId::FwdGetsOwner
-                } else {
-                    L1RowId::FwdGetxOwner
-                };
-                self.row(row, stats)?;
-                stats.energy_events.l1_reads += 1;
-                let line = self.cache.get_mut(block).unwrap();
-                let data = line.data;
-                line.meta.state = if downgrade_to_s {
-                    L1State::S
-                } else {
-                    L1State::I
-                };
-                Ok((data, downgrade_to_s))
+        let state = self.cache.get(block).map(|l| l.meta.state);
+        let (row, next, xfer) = match (state, is_gets) {
+            // MOESI/MOSI: a dirty owner answers a read by *retaining*
+            // ownership in O; the directory elides the L2 fill. When the
+            // row is not live (MESI/MSI/MESIF), M downgrades to S and the
+            // directory refills L2.
+            (Some(L1State::M), true) if self.rows.contains(L1RowId::FwdGetsMToO) => {
+                (L1RowId::FwdGetsMToO, L1State::O, OwnerXfer::ToOwned)
             }
-            Some(t) => Err(self.error(
-                L1RowId::FwdBadState,
-                stats,
-                format!("forward in state {t:?}"),
-            )),
-            None => Err(self.error(
-                L1RowId::FwdBadState,
-                stats,
-                format!("forward for unknown block {block:?}"),
-            )),
-        }
+            (Some(L1State::E | L1State::M), true) => {
+                (L1RowId::FwdGetsOwner, L1State::S, OwnerXfer::ToShared)
+            }
+            (Some(L1State::O), true) => (L1RowId::FwdGetsO, L1State::O, OwnerXfer::ToOwned),
+            // MESIF: the forwarder hands the F designation to the
+            // requestor and keeps a plain shared copy.
+            (Some(L1State::F), true) => (L1RowId::FwdGetsF, L1State::S, OwnerXfer::ToShared),
+            // An O/F holder that is upgrading (SM_A) still has valid
+            // data: forward it clean and stay put (FWD_GETS), or yield
+            // the line and retry the queued UPGRADE as a GETX (FWD_GETX).
+            (Some(L1State::SmA), true) if self.rows.contains(L1RowId::FwdGetsUpgrading) => {
+                (L1RowId::FwdGetsUpgrading, L1State::SmA, OwnerXfer::ToShared)
+            }
+            (Some(L1State::SmA), false) if self.rows.contains(L1RowId::FwdGetxUpgrading) => {
+                (L1RowId::FwdGetxUpgrading, L1State::ImAd, OwnerXfer::Dropped)
+            }
+            (Some(L1State::E | L1State::M | L1State::O), false) => {
+                (L1RowId::FwdGetxOwner, L1State::I, OwnerXfer::Dropped)
+            }
+            // MESIF: our clean F copy is gone (PUTS in flight, or already
+            // invalidated) — bounce so the directory serves from L2.
+            (Some(L1State::I | L1State::IsD | L1State::ImAd) | None, true)
+                if self.rows.contains(L1RowId::FwdGetsStale) =>
+            {
+                self.row(L1RowId::FwdGetsStale, stats)?;
+                return Ok(FwdReply::Nack);
+            }
+            (Some(t), _) => {
+                return Err(self.error(
+                    L1RowId::FwdBadState,
+                    stats,
+                    format!("forward in state {t:?}"),
+                ))
+            }
+            (None, _) => {
+                return Err(self.error(
+                    L1RowId::FwdBadState,
+                    stats,
+                    format!("forward for unknown block {block:?}"),
+                ))
+            }
+        };
+        self.row(row, stats)?;
+        stats.energy_events.l1_reads += 1;
+        let line = self.cache.get_mut(block).unwrap();
+        let data = line.data;
+        line.meta.state = next;
+        Ok(FwdReply::Data { data, xfer })
     }
 
     /// Context-switch / thread-migration forfeit (paper §3.5): the
@@ -996,7 +1133,10 @@ impl L1Cache {
         let mut owned = Vec::new();
         for line in self.cache.iter() {
             match line.meta.state {
-                L1State::E | L1State::M => owned.push((line.block, line.data)),
+                // O is dirty-shared: this cache is still the distinguished
+                // owner and must contribute its bytes (L2 may be stale
+                // after an elided fill). F is clean — L2 already matches.
+                L1State::E | L1State::M | L1State::O => owned.push((line.block, line.data)),
                 L1State::IsD | L1State::ImAd | L1State::SmA => {
                     panic!("flush with outstanding transaction on {:?}", line.block)
                 }
@@ -1053,7 +1193,10 @@ mod tests {
     }
 
     fn l1(gw: Option<GwParams>) -> (L1Cache, Stats) {
-        (L1Cache::new(0, 8, 2, 1, gw, true), Stats::default())
+        (
+            L1Cache::new(0, 8, 2, 1, BaseProtocol::Mesi, gw, true),
+            Stats::default(),
+        )
     }
 
     fn load(addr: u64) -> CoreReq {
@@ -1331,8 +1474,8 @@ mod tests {
             .unwrap();
         let m = expect_send(&outs, "DATA_TO_DIR");
         match m.payload {
-            Payload::DataToDir { retained, ref data } => {
-                assert!(retained);
+            Payload::DataToDir { xfer, ref data } => {
+                assert_eq!(xfer, OwnerXfer::ToShared);
                 assert_eq!(data.read_word(0, 4), 7); // store from bring_to
             }
             ref p => panic!("expected DATA_TO_DIR, got {}", p.name()),
@@ -1373,7 +1516,7 @@ mod tests {
         assert!(matches!(
             m.payload,
             Payload::DataToDir {
-                retained: false,
+                xfer: OwnerXfer::Dropped,
                 ..
             }
         ));
@@ -1530,6 +1673,7 @@ mod error_bound_tests {
                 8,
                 2,
                 1,
+                BaseProtocol::Mesi,
                 Some(GwParams {
                     scribe: ScribePolicy::Bitwise,
                     enable_gs: true,
@@ -1650,6 +1794,7 @@ mod error_bound_tests {
                 8,
                 2,
                 1,
+                BaseProtocol::Mesi,
                 Some(GwParams {
                     scribe: ScribePolicy::Bitwise,
                     enable_gs: true,
@@ -1676,7 +1821,10 @@ mod more_l1_tests {
     use crate::msg::Grant;
 
     fn l1_mesi() -> (L1Cache, Stats) {
-        (L1Cache::new(0, 8, 2, 1, None, true), Stats::default())
+        (
+            L1Cache::new(0, 8, 2, 1, BaseProtocol::Mesi, None, true),
+            Stats::default(),
+        )
     }
 
     fn fill_shared(c: &mut L1Cache, s: &mut Stats, addr: u64, word: u64) {
@@ -1755,7 +1903,7 @@ mod more_l1_tests {
 
     #[test]
     fn similarity_collection_can_be_disabled() {
-        let mut c = L1Cache::new(0, 8, 2, 1, None, false);
+        let mut c = L1Cache::new(0, 8, 2, 1, BaseProtocol::Mesi, None, false);
         let mut s = Stats::default();
         fill_shared(&mut c, &mut s, 0x2000, 5);
         // A store-like access on a present tag would normally record.
@@ -1809,5 +1957,34 @@ mod more_l1_tests {
         let blocks = c.resident_blocks();
         assert_eq!(blocks.len(), 1);
         assert_eq!(blocks[0], (Addr(0x100).block(), L1State::S));
+    }
+
+    #[test]
+    fn mesif_forward_to_evicted_f_holder_bounces_nack() {
+        // The `fwd_gets_stale` race: the directory forwarded a GETS to
+        // the tracked F holder, but the clean copy was already evicted
+        // (a PUTS is in flight). The L1 must bounce with FWD_NACK so
+        // the directory serves the requestor from L2.
+        let mut c = L1Cache::new(0, 8, 2, 1, BaseProtocol::Mesif, None, true);
+        let mut s = Stats::default();
+        let outs = c
+            .handle_msg(
+                Msg {
+                    src: Endpoint::Dir(0),
+                    dst: Endpoint::L1(0),
+                    block: Addr(0x100).block(),
+                    payload: Payload::FwdGets,
+                },
+                &mut s,
+            )
+            .unwrap();
+        assert!(
+            outs.iter().any(|o| matches!(
+                o,
+                L1Out::Send(m) if m.payload.name() == "FWD_NACK"
+            )),
+            "no FWD_NACK in {outs:?}"
+        );
+        assert_eq!(s.coverage.l1[L1RowId::FwdGetsStale as usize], 1);
     }
 }

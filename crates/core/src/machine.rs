@@ -277,6 +277,15 @@ impl FinishedRun {
             .collect()
     }
 
+    /// Canonical fingerprint of the final coherent memory image (see
+    /// [`Dram::image_fingerprint`]): equal fingerprints mean byte-equal
+    /// memory. Used by the cross-protocol differential suite, where
+    /// every base protocol must agree on the image while traffic stats
+    /// may differ.
+    pub fn memory_fingerprint(&self) -> u64 {
+        self.dram.image_fingerprint()
+    }
+
     /// Reads `n` consecutive `i32`s.
     pub fn read_i32s(&self, base: Addr, n: usize) -> Vec<i32> {
         (0..n)
@@ -494,14 +503,14 @@ impl Engine {
                     l1_sets,
                     cfg.l1_ways,
                     cfg.cores,
+                    cfg.base_protocol,
                     gw,
                     cfg.collect_similarity,
                 )
             })
             .collect();
-        let grant_exclusive = cfg.base_protocol == crate::config::BaseProtocol::Mesi;
         let banks = (0..cfg.cores)
-            .map(|b| DirBank::with_base(b, l2_sets, cfg.l2_ways, corners.len(), grant_exclusive))
+            .map(|b| DirBank::with_base(b, l2_sets, cfg.l2_ways, corners.len(), cfg.base_protocol))
             .collect();
 
         let threads = programs.len();

@@ -28,6 +28,25 @@ pub enum Grant {
     Exclusive,
     /// Read-write copy.
     Modified,
+    /// Read-only copy designated as the clean forwarder (MESIF `F`):
+    /// the holder answers future `FwdGets` for the block.
+    Forward,
+}
+
+/// What the former owner did with its copy when answering a
+/// `FwdGets`/`FwdGetx` — the directory uses this to rebuild its sharer
+/// tracking without a second round trip.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum OwnerXfer {
+    /// The owner invalidated (FwdGetx) or answered from its writeback
+    /// buffer — it holds no copy.
+    Dropped,
+    /// The owner downgraded to a clean Shared copy (MESI/MSI FwdGets).
+    ToShared,
+    /// The owner kept a dirty Owned copy (MOESI/MOSI FwdGets): the
+    /// directory must keep it the distinguished owner and may elide the
+    /// L2 fill — the dirty-sharing writeback elision.
+    ToOwned,
 }
 
 /// Message bodies. The comments give the sender → receiver direction.
@@ -65,10 +84,14 @@ pub enum Payload {
     // ---- L1 → directory responses ----
     /// Invalidation acknowledgement.
     InvAck,
-    /// Owner's reply to `FwdGets`/`FwdGetx`. `retained` is true when the
-    /// owner kept a Shared copy (FwdGets on a live line) and false when it
-    /// invalidated or was answering from its writeback buffer.
-    DataToDir { data: BlockData, retained: bool },
+    /// Owner's reply to `FwdGets`/`FwdGetx`. `xfer` records what the
+    /// owner did with its own copy (dropped it, downgraded to Shared,
+    /// or retained dirty ownership under MOESI/MOSI).
+    DataToDir { data: BlockData, xfer: OwnerXfer },
+    /// `FwdGets` bounced: the MESIF forwarder had already evicted its
+    /// clean copy (a `PutS` is in flight). The copy was clean, so the
+    /// directory serves the requestor from the valid L2 block instead.
+    FwdNack,
     /// Transaction complete; the directory may service the next queued
     /// request for this block.
     Unblock,
@@ -111,6 +134,7 @@ impl Payload {
             | Payload::UpgAck
             | Payload::WbAck
             | Payload::InvAck
+            | Payload::FwdNack
             | Payload::Unblock
             | Payload::MemRead => MessageKind::Other,
         }
@@ -132,6 +156,7 @@ impl Payload {
             Payload::UpgAck => "UPG_ACK",
             Payload::WbAck => "WB_ACK",
             Payload::InvAck => "INV_ACK",
+            Payload::FwdNack => "FWD_NACK",
             Payload::DataToDir { .. } => "DATA_TO_DIR",
             Payload::Unblock => "UNBLOCK",
             Payload::MemRead => "MEM_READ",

@@ -28,7 +28,7 @@
 
 use ghostwriter_mem::BlockAddr;
 
-use crate::config::GiStorePolicy;
+use crate::config::{BaseProtocol, GiStorePolicy};
 use crate::l1::GwParams;
 
 /// Bank homing: which L2 bank (or memory controller) a block maps to.
@@ -315,6 +315,12 @@ rows! {
     LoadHitGi: "load_hit_gi" =
         { "GI", "Load", "-", "=",
           [Stat("gi_load_hits"), Touch, Reply], Bench },
+    LoadHitOwned: "load_hit_o" =
+        { "O", "Load", "-", "=",
+          [Stat("l1_load_hits"), Touch, Reply], Check },
+    LoadHitFwd: "load_hit_f" =
+        { "F", "Load", "-", "=",
+          [Stat("l1_load_hits"), Touch, Reply], Check },
     LoadInvalid: "load_invalid_tag" =
         { "I", "Load", "-", "IS_D",
           [Stat("l1_load_misses"), Send("GETS")], Check },
@@ -347,6 +353,12 @@ rows! {
     UpgradeFromGs: "store_gs_upgrade" =
         { "GS", "Store|Scribble", "conventional path (publish)", "SM_A",
           [Stat("upgrades_from_gs"), Send("UPGRADE")], Bench },
+    UpgradeFromO: "store_o_upgrade" =
+        { "O", "Store|Scribble", "conventional path (publish dirty line)", "SM_A",
+          [Stat("upgrades_from_s"), Send("UPGRADE")], Check },
+    UpgradeFromF: "store_f_upgrade" =
+        { "F", "Store|Scribble", "conventional path", "SM_A",
+          [Stat("upgrades_from_s"), Send("UPGRADE")], Check },
     EnterGi: "scribble_i_to_gi" =
         { "I", "Scribble", "GI enabled; budget ok; scribe pass", "GI",
           [ScribeCompare, Stat("serviced_by_gi"), Touch, WriteWord, HiddenWrite, Reply],
@@ -365,6 +377,12 @@ rows! {
     EvictE: "evict_e" =
         { "E", "evict", "-", "-",
           [EvictWay, BufferWb, Send("PUTE")], Bench },
+    EvictO: "evict_o" =
+        { "O", "evict", "-", "-",
+          [EvictWay, BufferWb, Send("PUTM")], Bench },
+    EvictF: "evict_f" =
+        { "F", "evict", "-", "-",
+          [EvictWay, Send("PUTS")], Bench },
     EvictS: "evict_s" =
         { "S", "evict", "-", "-",
           [EvictWay, Send("PUTS")], Bench },
@@ -385,6 +403,12 @@ rows! {
     InvSharer: "inv_s" =
         { "S", "INV", "-", "I",
           [Send("INV_ACK")], Check },
+    InvFwd: "inv_f" =
+        { "F", "INV", "-", "I",
+          [Send("INV_ACK")], Check },
+    InvOwned: "inv_owned" =
+        { "O", "INV", "upgrading sharer holds identical bytes", "I",
+          [Send("INV_ACK")], Check },
     InvGs: "inv_gs" =
         { "GS", "INV", "-", "I",
           [Stat("gs_invalidations"), Send("INV_ACK")], Check },
@@ -400,9 +424,27 @@ rows! {
     FwdGetsOwner: "fwd_gets_owner" =
         { "E|M", "FWD_GETS", "-", "S",
           [Send("DATA_TO_DIR")], Check },
-    FwdGetxOwner: "fwd_getx_owner" =
-        { "E|M", "FWD_GETX", "-", "I",
+    FwdGetsMToO: "fwd_gets_m_to_o" =
+        { "M", "FWD_GETS", "MOESI/MOSI: retain dirty ownership", "O",
           [Send("DATA_TO_DIR")], Check },
+    FwdGetsO: "fwd_gets_o" =
+        { "O", "FWD_GETS", "-", "=",
+          [Send("DATA_TO_DIR")], Bench },
+    FwdGetsF: "fwd_gets_f" =
+        { "F", "FWD_GETS", "clean forward; requestor becomes F", "S",
+          [Send("DATA_TO_DIR")], Bench },
+    FwdGetsUpgrading: "fwd_gets_upgrading" =
+        { "SM_A", "FWD_GETS", "O/F forward target upgrading; data still valid", "=",
+          [Send("DATA_TO_DIR")], Unit },
+    FwdGetsStale: "fwd_gets_stale" =
+        { "I|transient|-", "FWD_GETS", "MESIF: F copy already evicted (PUTS in flight)", "=",
+          [Send("FWD_NACK")], Unit },
+    FwdGetxOwner: "fwd_getx_owner" =
+        { "E|M|O", "FWD_GETX", "-", "I",
+          [Send("DATA_TO_DIR")], Check },
+    FwdGetxUpgrading: "fwd_getx_upgrading" =
+        { "SM_A", "FWD_GETX", "MOESI/MOSI: O holder upgrading; supply data, retry as GETX", "IM_AD",
+          [Send("DATA_TO_DIR")], Unit },
     FwdWbRace: "fwd_wb_race" =
         { "wb buffer", "FWD_GETS|FWD_GETX", "PUT in flight", "=",
           [Send("DATA_TO_DIR")], Unit },
@@ -414,6 +456,9 @@ rows! {
           [ResetBudget, FillLine, Touch, Send("UNBLOCK"), Reply], Check },
     DataFillExcl: "data_fill_e" =
         { "IS_D", "DATA(E)", "-", "E",
+          [ResetBudget, FillLine, Touch, Send("UNBLOCK"), Reply], Check },
+    DataFillFwd: "data_fill_f" =
+        { "IS_D", "DATA(F)", "-", "F",
           [ResetBudget, FillLine, Touch, Send("UNBLOCK"), Reply], Check },
     DataFillM: "data_fill_m" =
         { "IM_AD|SM_A", "DATA(M)", "-", "M",
@@ -476,6 +521,15 @@ rows! {
     PutSSharer: "puts_sharer" =
         { "S(s)", "PUTS", "requestor is a sharer", "S(s-req) or NP",
           [SetDir("drop sharer")], Bench },
+    PutSOwnedSharer: "puts_owned_sharer" =
+        { "O+S(o;s)", "PUTS", "requestor is a sharer", "O+S(o;s-req)",
+          [SetDir("drop sharer")], Bench },
+    PutSFwd: "puts_fwd" =
+        { "F(f;s)", "PUTS", "requestor is the forwarder", "S(s) or NP",
+          [SetDir("demote: no forwarder")], Bench },
+    PutSFwdSharer: "puts_fwd_sharer" =
+        { "F(f;s)", "PUTS", "requestor is a plain sharer", "F(f;s-req)",
+          [SetDir("drop sharer")], Bench },
     PutSStale: "puts_stale" =
         { "*", "PUTS", "requestor not a sharer", "=",
           [], Bench },
@@ -488,6 +542,9 @@ rows! {
     PutMOwner: "putm_owner" =
         { "O(req)", "PUTM", "-", "NP",
           [Stat("l2_writes"), FillLine, SetDir("NP"), Send("WB_ACK")], Bench },
+    PutMOwnedShared: "putm_owned_shared" =
+        { "O+S(o;s)", "PUTM", "requestor is the dirty owner", "S(s) or NP",
+          [Stat("l2_writes"), FillLine, SetDir("S(s)"), Send("WB_ACK")], Bench },
     PutMStale: "putm_stale" =
         { "*", "PUTM", "requestor not owner", "=",
           [Send("WB_ACK")], Unit },
@@ -505,6 +562,12 @@ rows! {
     GetsOwned: "gets_owned" =
         { "O(o)", "GETS", "-", "await owner data",
           [Send("FWD_GETS")], Check },
+    GetsOwnedShared: "gets_owned_shared" =
+        { "O+S(o;s)", "GETS", "-", "await owner data",
+          [Send("FWD_GETS")], Bench },
+    GetsFwd: "gets_fwd" =
+        { "F(f;s)", "GETS", "-", "await forward data",
+          [Send("FWD_GETS")], Bench },
     GetxNp: "getx_np" =
         { "NP", "GETX", "-", "O(req)",
           [Stat("l2_reads"), SetDir("O(req)"), Send("DATA(M)")], Check },
@@ -514,11 +577,26 @@ rows! {
     GetxOwned: "getx_owned" =
         { "O(o)", "GETX", "-", "await owner data",
           [Send("FWD_GETX")], Check },
+    GetxOwnedShared: "getx_owned_shared" =
+        { "O+S(o;s)", "GETX", "-", "collect acks, then owner data",
+          [Send("INV")], Bench },
+    GetxFwd: "getx_fwd" =
+        { "F(f;s)", "GETX", "all copies clean; L2 valid", "collect acks",
+          [Send("INV")], Bench },
     UpgradeSole: "upgrade_sole" =
         { "S({req})", "UPGRADE", "no other sharer", "O(req)",
           [SetDir("O(req)"), Send("UPG_ACK")], Check },
     UpgradeInv: "upgrade_inv" =
         { "S(s)", "UPGRADE", "other sharers", "collect acks",
+          [Send("INV")], Check },
+    UpgradeOwner: "upgrade_owner" =
+        { "O+S(o;s)", "UPGRADE", "requestor is the dirty owner", "collect acks or O(req)",
+          [Send("INV")], Check },
+    UpgradeOwnedSharer: "upgrade_owned_sharer" =
+        { "O+S(o;s)", "UPGRADE", "requestor is a sharer (bytes match owner's)", "collect acks",
+          [Send("INV")], Check },
+    UpgradeFwd: "upgrade_fwd" =
+        { "F(f;s)", "UPGRADE", "requestor holds a copy", "collect acks or O(req)",
           [Send("INV")], Check },
     UpgradeRace: "upgrade_race" =
         { "*", "UPGRADE", "requestor no longer a sharer", "as GETX",
@@ -537,6 +615,12 @@ rows! {
     FillRecallOwned: "fill_recall_owned" =
         { "absent", "GETS|GETX|UPGRADE", "victim O(o)", "recalling",
           [Stat("l2_recalls"), Send("FWD_GETX")], Bench },
+    FillRecallOwnedShared: "fill_recall_owned_shared" =
+        { "absent", "GETS|GETX|UPGRADE", "victim O+S(o;s)", "recalling",
+          [Stat("l2_recalls"), Send("FWD_GETX"), Send("INV")], Bench },
+    FillRecallFwd: "fill_recall_fwd" =
+        { "absent", "GETS|GETX|UPGRADE", "victim F(f;s)", "recalling",
+          [Stat("l2_recalls"), Send("INV")], Bench },
     FillStalled: "fill_stalled" =
         { "absent", "GETS|GETX|UPGRADE", "every way busy", "stalled",
           [], Unit },
@@ -554,6 +638,9 @@ rows! {
     InvAckLastUpgrade: "inv_ack_last_upgrade" =
         { "collect acks", "INV_ACK", "last ack, UPGRADE", "O(req)",
           [CollectAck, SetDir("O(req)"), Send("UPG_ACK")], Check },
+    InvAckLastGetxOwned: "inv_ack_last_getx_owned" =
+        { "collect acks", "INV_ACK", "last ack, GETX, dirty owner outstanding", "await owner data",
+          [CollectAck, Send("FWD_GETX")], Bench },
     InvAckGets: "inv_ack_gets" =
         { "collect acks", "INV_ACK", "GETS transaction", "-",
           [Error], Never },
@@ -566,9 +653,25 @@ rows! {
     OwnerDataGets: "owner_data_gets" =
         { "await owner data", "DATA_TO_DIR", "GETS transaction", "S(o+req) or S{req}",
           [Stat("l2_writes"), FillLine, SetDir("sharers"), Send("DATA(S)")], Check },
+    OwnerDataGetsOwned: "owner_data_gets_owned" =
+        { "await owner data", "DATA_TO_DIR", "owner retained dirty ownership (MOESI/MOSI)",
+          "O+S(o;s+req)",
+          [Stat("wb_elisions"), SetDir("add sharer"), Send("DATA(S)")], Check },
+    OwnerDataGetsFwd: "owner_data_gets_f" =
+        { "await owner data", "DATA_TO_DIR", "MESIF: requestor becomes the forwarder",
+          "F(req;o+s)",
+          [Stat("l2_writes"), FillLine, SetDir("F(req)"), Send("DATA(F)")], Check },
     OwnerDataGetx: "owner_data_getx" =
         { "await owner data", "DATA_TO_DIR", "GETX transaction", "O(req)",
           [Stat("l2_writes"), FillLine, SetDir("O(req)"), Send("DATA(M)")], Check },
+    FwdDataGets: "fwd_data_gets" =
+        { "await forward data", "DATA_TO_DIR", "clean forward from F; no L2 fill",
+          "F(req;f+s)",
+          [Stat("clean_forwards"), SetDir("F(req)"), Send("DATA(F)")], Bench },
+    FwdNackGets: "fwd_nack_gets" =
+        { "await forward data", "FWD_NACK", "forwarder already evicted; serve from L2",
+          "F(req;s)",
+          [Stat("l2_reads"), SetDir("F(req)"), Send("DATA(F)")], Unit },
     OwnerDataUpgrade: "owner_data_upgrade" =
         { "await owner data", "DATA_TO_DIR", "UPGRADE transaction", "-",
           [Error], Never },
@@ -670,12 +773,10 @@ impl L1RowSet {
         set
     }
 
-    /// The pure-MESI baseline: the Ghostwriter table minus every GS/GI
-    /// row. With no scribe configured the GS/GI states can never be
-    /// entered, so all rows touching them are dead.
-    pub const fn mesi_baseline() -> Self {
-        Self::full()
-            .without(L1RowId::EnterGs)
+    /// Removes every GS/GI row. With no scribe configured the GS/GI
+    /// states can never be entered, so all rows touching them are dead.
+    const fn without_gw_rows(self) -> Self {
+        self.without(L1RowId::EnterGs)
             .without(L1RowId::EnterGi)
             .without(L1RowId::GiStoreHit)
             .without(L1RowId::GiBreak)
@@ -690,11 +791,74 @@ impl L1RowSet {
             .without(L1RowId::GiTimeout)
     }
 
-    /// Row set for an optional Ghostwriter configuration.
-    pub fn for_config(gw: Option<&GwParams>) -> Self {
+    /// Removes every Owned-state row (families without `O`).
+    const fn without_owned_rows(self) -> Self {
+        self.without(L1RowId::LoadHitOwned)
+            .without(L1RowId::UpgradeFromO)
+            .without(L1RowId::EvictO)
+            .without(L1RowId::InvOwned)
+            .without(L1RowId::FwdGetsMToO)
+            .without(L1RowId::FwdGetsO)
+            .without(L1RowId::FwdGetxUpgrading)
+    }
+
+    /// Removes every Forward-state row (families without `F`).
+    const fn without_forward_rows(self) -> Self {
+        self.without(L1RowId::LoadHitFwd)
+            .without(L1RowId::UpgradeFromF)
+            .without(L1RowId::EvictF)
+            .without(L1RowId::InvFwd)
+            .without(L1RowId::FwdGetsF)
+            .without(L1RowId::FwdGetsStale)
+            .without(L1RowId::DataFillFwd)
+    }
+
+    /// Applies the base-protocol family delta: O rows live only under
+    /// MOESI/MOSI, F rows only under MESIF, and the upgrading-forward-
+    /// target row only where a forward can target an O/F holder.
+    const fn for_base(self, base: BaseProtocol) -> Self {
+        let mut set = self;
+        if !base.owned_state() {
+            set = set.without_owned_rows();
+        }
+        if !base.forward_state() {
+            set = set.without_forward_rows();
+        }
+        if !base.owned_state() && !base.forward_state() {
+            set = set.without(L1RowId::FwdGetsUpgrading);
+        }
+        set
+    }
+
+    /// The pure-MESI baseline: the Ghostwriter table minus every GS/GI,
+    /// Owned and Forward row.
+    pub const fn mesi_baseline() -> Self {
+        Self::full().without_gw_rows().for_base(BaseProtocol::Mesi)
+    }
+
+    /// MOESI/MOSI: the baseline plus the Owned-state rows. (The two
+    /// share an L1 row set — the E-grant delta lives in the directory.)
+    pub const fn moesi() -> Self {
+        Self::full().without_gw_rows().for_base(BaseProtocol::Moesi)
+    }
+
+    /// MOSI: identical to [`L1RowSet::moesi`] on the L1 side.
+    pub const fn mosi() -> Self {
+        Self::full().without_gw_rows().for_base(BaseProtocol::Mosi)
+    }
+
+    /// MESIF: the baseline plus the Forward-state rows.
+    pub const fn mesif() -> Self {
+        Self::full().without_gw_rows().for_base(BaseProtocol::Mesif)
+    }
+
+    /// Row set for a base family plus an optional Ghostwriter overlay —
+    /// GW-over-MOESI (etc.) is a configuration, not a fork: the GS/GI
+    /// delta and the family delta compose.
+    pub fn for_config(base: BaseProtocol, gw: Option<&GwParams>) -> Self {
         match gw {
-            Some(gw) => Self::ghostwriter(gw),
-            None => Self::mesi_baseline(),
+            Some(gw) => Self::ghostwriter(gw).for_base(base),
+            None => Self::full().without_gw_rows().for_base(base),
         }
     }
 }
@@ -717,25 +881,83 @@ impl DirRowSet {
         self.0 & (1u64 << id as usize) != 0
     }
 
-    /// MESI directory: exclusive grants enabled, so the MSI-only
-    /// shared-grant row is dead.
+    /// Rows removed relative to `other` (for the docs/tests).
+    pub fn removed_from(self, other: Self) -> Vec<DirRowId> {
+        DirRowId::all()
+            .filter(|&id| other.contains(id) && !self.contains(id))
+            .collect()
+    }
+
+    /// Removes the Owned-state (`O+S`) rows.
+    const fn without_owned_rows(self) -> Self {
+        self.without(DirRowId::PutSOwnedSharer)
+            .without(DirRowId::PutMOwnedShared)
+            .without(DirRowId::GetsOwnedShared)
+            .without(DirRowId::GetxOwnedShared)
+            .without(DirRowId::UpgradeOwner)
+            .without(DirRowId::UpgradeOwnedSharer)
+            .without(DirRowId::FillRecallOwnedShared)
+            .without(DirRowId::InvAckLastGetxOwned)
+            .without(DirRowId::OwnerDataGetsOwned)
+    }
+
+    /// Removes the Forward-state (`F`) rows.
+    const fn without_forward_rows(self) -> Self {
+        self.without(DirRowId::PutSFwd)
+            .without(DirRowId::PutSFwdSharer)
+            .without(DirRowId::GetsFwd)
+            .without(DirRowId::GetxFwd)
+            .without(DirRowId::UpgradeFwd)
+            .without(DirRowId::FillRecallFwd)
+            .without(DirRowId::OwnerDataGetsFwd)
+            .without(DirRowId::FwdDataGets)
+            .without(DirRowId::FwdNackGets)
+    }
+
+    /// MESI directory: exclusive grants enabled, no O/F rows.
     pub const fn mesi() -> Self {
-        Self::full().without(DirRowId::GetsNpShared)
+        Self::for_config(BaseProtocol::Mesi)
     }
 
-    /// MSI directory: the MESI table minus the E-grant row (plus the
-    /// shared-grant row it replaces).
+    /// MSI directory: the MESI table with the E-grant row swapped for
+    /// the shared-grant row.
     pub const fn msi() -> Self {
-        Self::full().without(DirRowId::GetsNpExclusive)
+        Self::for_config(BaseProtocol::Msi)
     }
 
-    /// Row set for a directory with/without exclusive grants.
-    pub fn for_config(grant_exclusive: bool) -> Self {
-        if grant_exclusive {
-            Self::mesi()
+    /// MOESI directory: MESI plus the Owned-state rows.
+    pub const fn moesi() -> Self {
+        Self::for_config(BaseProtocol::Moesi)
+    }
+
+    /// MOSI directory: MOESI with the E-grant row swapped for the
+    /// shared-grant row.
+    pub const fn mosi() -> Self {
+        Self::for_config(BaseProtocol::Mosi)
+    }
+
+    /// MESIF directory: MESI plus the Forward-state rows.
+    pub const fn mesif() -> Self {
+        Self::for_config(BaseProtocol::Mesif)
+    }
+
+    /// Row set for a base-protocol family: the grant row follows
+    /// `grant_exclusive`, the O rows `owned_state`, the F rows
+    /// `forward_state`.
+    pub const fn for_config(base: BaseProtocol) -> Self {
+        let mut set = Self::full();
+        if base.grant_exclusive() {
+            set = set.without(DirRowId::GetsNpShared);
         } else {
-            Self::msi()
+            set = set.without(DirRowId::GetsNpExclusive);
         }
+        if !base.owned_state() {
+            set = set.without_owned_rows();
+        }
+        if !base.forward_state() {
+            set = set.without_forward_rows();
+        }
+        set
     }
 }
 
@@ -956,6 +1178,43 @@ pub fn render_markdown() -> String {
         "- the MSI directory removes `gets_np_grant_e`; the MESI directory \
          removes `gets_np_grant_s`\n",
     );
+    out.push_str(
+        "\nThe base-protocol family (MESI/MSI/MOESI/MOSI/MESIF) is a second,\n\
+         orthogonal delta axis — `L1RowSet::for_config(base, gw)` composes\n\
+         both, so Ghostwriter-over-MOESI is a configuration, not a fork:\n\n",
+    );
+    let mesi_l1 = L1RowSet::mesi_baseline();
+    let added_l1 = |set: L1RowSet| {
+        let added = mesi_l1.removed_from(set);
+        added
+            .iter()
+            .map(|id| format!("`{}`", id.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let added_dir = |set: DirRowSet| {
+        let added = DirRowSet::mesi().removed_from(set);
+        added
+            .iter()
+            .filter(|&&id| id != DirRowId::GetsNpShared)
+            .map(|id| format!("`{}`", id.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    out.push_str(&format!(
+        "- MOESI/MOSI add the Owned-state L1 rows {} and directory rows {}\n",
+        added_l1(L1RowSet::moesi()),
+        added_dir(DirRowSet::moesi()),
+    ));
+    out.push_str(&format!(
+        "- MESIF adds the Forward-state L1 rows {} and directory rows {}\n",
+        added_l1(L1RowSet::mesif()),
+        added_dir(DirRowSet::mesif()),
+    ));
+    out.push_str(
+        "- `fwd_gets_upgrading` is live for any family whose forward target \
+         (an `O` or `F` holder) can be mid-upgrade (`SM_A`)\n",
+    );
     out
 }
 
@@ -1077,6 +1336,79 @@ mod tests {
         assert!(!DirRowSet::mesi().contains(DirRowId::GetsNpShared));
         assert!(DirRowSet::msi().contains(DirRowId::GetsNpShared));
         assert!(!DirRowSet::msi().contains(DirRowId::GetsNpExclusive));
+        // MESI vs MSI and MOESI vs MOSI differ *only* in the grant rows.
+        for (e, s) in [
+            (DirRowSet::mesi(), DirRowSet::msi()),
+            (DirRowSet::moesi(), DirRowSet::mosi()),
+        ] {
+            assert_eq!(s.removed_from(e), vec![DirRowId::GetsNpExclusive]);
+            assert_eq!(e.removed_from(s), vec![DirRowId::GetsNpShared]);
+        }
+    }
+
+    #[test]
+    fn family_row_sets_are_owned_forward_deltas() {
+        let o_l1 = [
+            L1RowId::LoadHitOwned,
+            L1RowId::UpgradeFromO,
+            L1RowId::EvictO,
+            L1RowId::InvOwned,
+            L1RowId::FwdGetsMToO,
+            L1RowId::FwdGetsO,
+            L1RowId::FwdGetxUpgrading,
+        ];
+        let f_l1 = [
+            L1RowId::LoadHitFwd,
+            L1RowId::UpgradeFromF,
+            L1RowId::EvictF,
+            L1RowId::InvFwd,
+            L1RowId::FwdGetsF,
+            L1RowId::FwdGetsStale,
+            L1RowId::DataFillFwd,
+        ];
+        for id in o_l1 {
+            assert!(L1RowSet::moesi().contains(id), "{id:?}");
+            assert!(L1RowSet::mosi().contains(id), "{id:?}");
+            assert!(!L1RowSet::mesi_baseline().contains(id), "{id:?}");
+            assert!(!L1RowSet::mesif().contains(id), "{id:?}");
+        }
+        for id in f_l1 {
+            assert!(L1RowSet::mesif().contains(id), "{id:?}");
+            assert!(!L1RowSet::moesi().contains(id), "{id:?}");
+            assert!(!L1RowSet::mesi_baseline().contains(id), "{id:?}");
+        }
+        // The upgrading-forward-target row is live wherever a forward
+        // can land on an upgrading O/F holder.
+        for base in [BaseProtocol::Moesi, BaseProtocol::Mosi, BaseProtocol::Mesif] {
+            assert!(L1RowSet::for_config(base, None).contains(L1RowId::FwdGetsUpgrading));
+        }
+        for base in [BaseProtocol::Mesi, BaseProtocol::Msi] {
+            assert!(!L1RowSet::for_config(base, None).contains(L1RowId::FwdGetsUpgrading));
+        }
+        // GW-over-MOESI composes: the union of the GS/GI rows and the
+        // Owned rows, with no cross-talk between the two deltas.
+        let gw_moesi = L1RowSet::for_config(BaseProtocol::Moesi, Some(&gw()));
+        assert!(gw_moesi.contains(L1RowId::EnterGs));
+        assert!(gw_moesi.contains(L1RowId::FwdGetsMToO));
+        assert!(!gw_moesi.contains(L1RowId::DataFillFwd));
+        let dir_o = [
+            DirRowId::PutSOwnedSharer,
+            DirRowId::PutMOwnedShared,
+            DirRowId::GetsOwnedShared,
+            DirRowId::GetxOwnedShared,
+            DirRowId::UpgradeOwner,
+            DirRowId::UpgradeOwnedSharer,
+            DirRowId::FillRecallOwnedShared,
+            DirRowId::InvAckLastGetxOwned,
+            DirRowId::OwnerDataGetsOwned,
+        ];
+        for id in dir_o {
+            assert!(DirRowSet::moesi().contains(id), "{id:?}");
+            assert!(!DirRowSet::mesi().contains(id), "{id:?}");
+            assert!(!DirRowSet::mesif().contains(id), "{id:?}");
+        }
+        assert!(DirRowSet::mesif().contains(DirRowId::FwdDataGets));
+        assert!(!DirRowSet::moesi().contains(DirRowId::FwdDataGets));
     }
 
     #[test]

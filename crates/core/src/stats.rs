@@ -66,6 +66,15 @@ pub struct Stats {
     /// GS/GI blocks evicted by replacement (updates lost).
     pub approx_evictions: u64,
 
+    // ---- protocol family (MOESI/MOSI/MESIF) ----
+    /// GETS serviced by a dirty owner that retained ownership
+    /// (MOESI/MOSI `O`): the L2 fill was elided — the dirty-sharing
+    /// writeback elision.
+    pub wb_elisions: u64,
+    /// GETS serviced by the clean forwarder (MESIF `F`) without
+    /// touching memory.
+    pub clean_forwards: u64,
+
     // ---- memory system ----
     /// DRAM block reads / writes.
     pub dram_reads: u64,
@@ -146,6 +155,8 @@ impl Stats {
         self.gi_timeouts += other.gi_timeouts;
         self.gi_breaks += other.gi_breaks;
         self.approx_evictions += other.approx_evictions;
+        self.wb_elisions += other.wb_elisions;
+        self.clean_forwards += other.clean_forwards;
         self.dram_reads += other.dram_reads;
         self.dram_writes += other.dram_writes;
         self.l2_recalls += other.l2_recalls;

@@ -25,7 +25,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::GiStorePolicy;
+use crate::config::{BaseProtocol, GiStorePolicy};
 use crate::harness::{Op, System, SystemConfig};
 use crate::l1::GwParams;
 use crate::scribe::ScribePolicy;
@@ -55,8 +55,8 @@ pub struct TesterConfig {
     pub gi_timeout_prob: f64,
     /// Bias towards delivering messages vs issuing new accesses.
     pub deliver_bias: f64,
-    /// Use the MSI protocol family (no Exclusive grants).
-    pub msi: bool,
+    /// Base protocol family (MESI, MSI, MOESI, MOSI or MESIF).
+    pub base: BaseProtocol,
 }
 
 impl Default for TesterConfig {
@@ -73,7 +73,7 @@ impl Default for TesterConfig {
             gi_stores: GiStorePolicy::Fallback,
             gi_timeout_prob: 0.0,
             deliver_bias: 0.7,
-            msi: false,
+            base: BaseProtocol::Mesi,
         }
     }
 }
@@ -96,7 +96,7 @@ impl TesterConfig {
             l2_sets: self.l2_sets,
             l2_ways: self.l2_ways,
             gw,
-            msi: self.msi,
+            base: self.base,
             disabled_row: None,
         }
     }
@@ -266,11 +266,42 @@ mod tests {
     fn msi_fuzz_passes_the_same_invariants() {
         for seed in 0..10 {
             let cfg = TesterConfig {
-                msi: true,
+                base: BaseProtocol::Msi,
                 ..TesterConfig::default()
             };
             let report = ProtocolTester::new(cfg, 3000 + seed).run();
             assert_eq!(report.completed, 400, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn protocol_family_fuzz_passes_the_same_invariants() {
+        // Every base protocol of the ladder survives the same random
+        // walks under the full invariant battery.
+        for base in [BaseProtocol::Moesi, BaseProtocol::Mosi, BaseProtocol::Mesif] {
+            for seed in 0..10 {
+                let cfg = TesterConfig {
+                    base,
+                    ..TesterConfig::default()
+                };
+                let report = ProtocolTester::new(cfg, 6000 + seed).run();
+                assert_eq!(report.completed, 400, "{} seed {seed}", base.name());
+            }
+        }
+    }
+
+    #[test]
+    fn ghostwriter_over_moesi_fuzz_holds() {
+        // GW composes over MOESI: scribbles plus dirty sharing in the
+        // same runs, all structural invariants intact.
+        let cfg = TesterConfig {
+            base: BaseProtocol::Moesi,
+            scribble_prob: 0.5,
+            accesses: 600,
+            ..TesterConfig::default()
+        };
+        for seed in 0..10 {
+            ProtocolTester::new(cfg, 7000 + seed).run();
         }
     }
 
@@ -356,7 +387,7 @@ mod long_fuzz {
                 },
                 gi_timeout_prob: if seed % 5 == 0 { 0.02 } else { 0.0 },
                 deliver_bias: 0.5 + (seed % 5) as f64 * 0.1,
-                msi: seed % 4 == 1,
+                base: BaseProtocol::ALL[(seed % 5) as usize],
             };
             ProtocolTester::new(cfg, seed).run();
         }

@@ -1,5 +1,8 @@
 //! Unit tests for the 16 defensive `Reach::Never` protocol rows
-//! (ISSUE PR 6).
+//! (ISSUE PR 6), plus the malformed-traffic arms the protocol-family
+//! states added (ISSUE PR 7): Forward grants under a base that lacks
+//! MESIF, forwards landing on plain sharers, and stray FWD_NACKs all
+//! route into the same typed error rows.
 //!
 //! Each test hand-constructs the malformed event — a demand access
 //! against a transient line, a stray or mistimed message — and asserts
@@ -9,9 +12,10 @@
 //! the harness can never legally reach); directory rows are driven
 //! through a [`System`] with `inject`ed byzantine messages.
 
+use ghostwriter_core::config::BaseProtocol;
 use ghostwriter_core::harness::{node_key, Op, System, SystemConfig, Violation};
 use ghostwriter_core::l1::{AccessKind, CoreReq, L1Cache, L1State};
-use ghostwriter_core::msg::{Endpoint, Grant, Msg, Payload};
+use ghostwriter_core::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
 use ghostwriter_core::proto::{DirRowId, L1RowId, Reach};
 use ghostwriter_core::{Addr, BlockAddr, ProtocolError, Stats};
 use ghostwriter_mem::BlockData;
@@ -19,7 +23,10 @@ use ghostwriter_mem::BlockData;
 // ---------------------------------------------------------------- L1 --
 
 fn l1() -> (L1Cache, Stats) {
-    (L1Cache::new(0, 1, 2, 1, None, false), Stats::default())
+    (
+        L1Cache::new(0, 1, 2, 1, BaseProtocol::Mesi, None, false),
+        Stats::default(),
+    )
 }
 
 fn load(addr: u64) -> CoreReq {
@@ -74,7 +81,7 @@ fn store_in_transient_is_a_typed_error() {
 fn evict_transient_is_a_typed_error() {
     // One set × one way: a second block's miss must evict the first —
     // and the first is stuck mid-transaction.
-    let mut l1 = L1Cache::new(0, 1, 1, 1, None, false);
+    let mut l1 = L1Cache::new(0, 1, 1, 1, BaseProtocol::Mesi, None, false);
     let mut stats = Stats::default();
     l1.force_line(BlockAddr(0), L1State::ImAd);
     let err = l1.access(load(64), &mut stats).unwrap_err();
@@ -139,9 +146,55 @@ fn request_payload_at_an_l1_is_a_typed_error() {
     assert_row(err, "l1_unexpected_msg");
 }
 
+#[test]
+fn forward_grant_under_mesi_is_a_typed_error() {
+    // A Forward grant only exists in MESIF. A MESI L1 with a pending
+    // load must reject it through `data_unexpected` rather than filling
+    // an F line its table has no rows for.
+    let (mut l1, mut stats) = l1();
+    l1.access(load(0), &mut stats).unwrap();
+    assert!(l1.busy(), "cold load must miss");
+    let err = l1
+        .handle_msg(
+            to_l1(Payload::Data {
+                data: BlockData::zeroed(),
+                grant: Grant::Forward,
+            }),
+            &mut stats,
+        )
+        .unwrap_err();
+    assert_row(err, "data_unexpected");
+}
+
+#[test]
+fn forward_against_a_plain_sharer_is_a_typed_error() {
+    // The MESIF directory only forwards to the tracked F holder; a
+    // FWD_GETS landing on a plain S copy is malformed even when the
+    // stale-bounce row is live.
+    let mut l1 = L1Cache::new(0, 1, 2, 1, BaseProtocol::Mesif, None, false);
+    let mut stats = Stats::default();
+    l1.force_line(BlockAddr(0), L1State::S);
+    let err = l1
+        .handle_msg(to_l1(Payload::FwdGets), &mut stats)
+        .unwrap_err();
+    assert_row(err, "fwd_bad_state");
+}
+
+#[test]
+fn fwd_nack_at_an_l1_is_a_typed_error() {
+    // FWD_NACK is an L1 → directory bounce; an L1 must never receive
+    // one.
+    let mut l1 = L1Cache::new(0, 1, 2, 1, BaseProtocol::Mesif, None, false);
+    let mut stats = Stats::default();
+    let err = l1
+        .handle_msg(to_l1(Payload::FwdNack), &mut stats)
+        .unwrap_err();
+    assert_row(err, "l1_unexpected_msg");
+}
+
 // --------------------------------------------------------- directory --
 
-fn system(msi: bool) -> System {
+fn system(base: BaseProtocol) -> System {
     System::new(SystemConfig {
         cores: 2,
         blocks: 1,
@@ -150,7 +203,7 @@ fn system(msi: bool) -> System {
         l2_sets: 1,
         l2_ways: 2,
         gw: None,
-        msi,
+        base,
         disabled_row: None,
     })
 }
@@ -187,7 +240,7 @@ fn inject_to_dir(sys: &mut System, src: Endpoint, payload: Payload) -> ProtocolE
 
 #[test]
 fn stray_unblock_is_a_typed_error() {
-    let mut sys = system(false);
+    let mut sys = system(BaseProtocol::Mesi);
     let err = inject_to_dir(&mut sys, Endpoint::L1(0), Payload::Unblock);
     assert_row(err, "stray_unblock");
 }
@@ -196,21 +249,21 @@ fn stray_unblock_is_a_typed_error() {
 fn command_payload_at_the_directory_is_a_typed_error() {
     // INV is a directory → L1 command; the directory must never
     // receive one.
-    let mut sys = system(false);
+    let mut sys = system(BaseProtocol::Mesi);
     let err = inject_to_dir(&mut sys, Endpoint::L1(0), Payload::Inv);
     assert_row(err, "dir_unexpected_msg");
 }
 
 #[test]
 fn stray_inv_ack_is_a_typed_error() {
-    let mut sys = system(false);
+    let mut sys = system(BaseProtocol::Mesi);
     let err = inject_to_dir(&mut sys, Endpoint::L1(1), Payload::InvAck);
     assert_row(err, "stray_inv_ack");
 }
 
 #[test]
 fn inv_ack_during_gets_is_a_typed_error() {
-    let mut sys = system(false);
+    let mut sys = system(BaseProtocol::Mesi);
     // Start a GETS transaction and leave it in flight at the directory.
     sys.issue(0, 0, Op::Load { writer: 0 }).unwrap();
     sys.deliver((node_key(Endpoint::L1(0), 2), node_key(Endpoint::Dir(0), 2)))
@@ -221,13 +274,13 @@ fn inv_ack_during_gets_is_a_typed_error() {
 
 #[test]
 fn stray_owner_data_is_a_typed_error() {
-    let mut sys = system(false);
+    let mut sys = system(BaseProtocol::Mesi);
     let err = inject_to_dir(
         &mut sys,
         Endpoint::L1(0),
         Payload::DataToDir {
             data: BlockData::zeroed(),
-            retained: false,
+            xfer: OwnerXfer::Dropped,
         },
     );
     assert_row(err, "stray_owner_data");
@@ -237,7 +290,7 @@ fn stray_owner_data_is_a_typed_error() {
 fn owner_data_during_upgrade_is_a_typed_error() {
     // MSI so the first reader is granted S (not E) and a store must go
     // through a real UPGRADE transaction.
-    let mut sys = system(true);
+    let mut sys = system(BaseProtocol::Msi);
     sys.issue(0, 0, Op::Load { writer: 0 }).unwrap();
     drain(&mut sys);
     sys.issue(0, 0, Op::Store).unwrap();
@@ -249,15 +302,25 @@ fn owner_data_during_upgrade_is_a_typed_error() {
         Endpoint::L1(1),
         Payload::DataToDir {
             data: BlockData::zeroed(),
-            retained: false,
+            xfer: OwnerXfer::Dropped,
         },
     );
     assert_row(err, "owner_data_upgrade");
 }
 
 #[test]
+fn stray_fwd_nack_is_a_typed_error() {
+    // FWD_NACK with no transaction in flight (MESIF's bounce arriving
+    // after its transaction already completed some other way) is
+    // byzantine traffic, not a race.
+    let mut sys = system(BaseProtocol::Mesif);
+    let err = inject_to_dir(&mut sys, Endpoint::L1(1), Payload::FwdNack);
+    assert_row(err, "dir_unexpected_msg");
+}
+
+#[test]
 fn stray_mem_data_is_a_typed_error() {
-    let mut sys = system(false);
+    let mut sys = system(BaseProtocol::Mesi);
     let err = inject_to_dir(
         &mut sys,
         Endpoint::Mem(0),

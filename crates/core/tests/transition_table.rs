@@ -3,7 +3,7 @@
 //! demand/network event, assert the resulting state and the class of
 //! coherence action taken.
 
-use ghostwriter_core::config::GiStorePolicy;
+use ghostwriter_core::config::{BaseProtocol, GiStorePolicy};
 use ghostwriter_core::l1::{AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
 use ghostwriter_core::msg::{Endpoint, Grant, Msg, Payload};
 use ghostwriter_core::scribe::ScribePolicy;
@@ -19,6 +19,7 @@ fn l1() -> (L1Cache, Stats) {
             8,
             2,
             1,
+            BaseProtocol::Mesi,
             Some(GwParams {
                 scribe: ScribePolicy::Bitwise,
                 enable_gs: true,
@@ -260,6 +261,7 @@ fn capture_policy_flips_the_gi_fail_row() {
             8,
             2,
             1,
+            BaseProtocol::Mesi,
             Some(GwParams {
                 scribe: ScribePolicy::Bitwise,
                 enable_gs: true,

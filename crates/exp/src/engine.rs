@@ -13,7 +13,7 @@
 use std::time::Instant;
 
 use ghostwriter_core::tester::{ProtocolTester, TesterConfig};
-use ghostwriter_core::{GiStorePolicy, Json};
+use ghostwriter_core::{BaseProtocol, GiStorePolicy, Json};
 use ghostwriter_workloads::execute;
 
 use crate::cache::{Miss, ResultCache};
@@ -243,7 +243,7 @@ fn run_fuzz(seeds: u64, accesses: usize) -> RunRecord {
             },
             gi_timeout_prob: if seed % 5 == 0 { 0.02 } else { 0.0 },
             deliver_bias: 0.5 + (seed % 5) as f64 * 0.1,
-            msi: seed % 4 == 1,
+            base: BaseProtocol::ALL[(seed % 5) as usize],
         };
         let report = ProtocolTester::new(cfg, seed).run();
         total_msgs += report.messages as u64;

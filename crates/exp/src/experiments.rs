@@ -15,7 +15,7 @@
 use std::fmt::Write as _;
 
 use ghostwriter_core::config::{GiStorePolicy, GwConfig};
-use ghostwriter_core::{MachineConfig, Protocol, ScribePolicy};
+use ghostwriter_core::{BaseProtocol, MachineConfig, Protocol, ScribePolicy};
 use ghostwriter_noc::Mesh;
 use ghostwriter_workloads::{paper_benchmarks, Suite, DEFAULT_SEED};
 
@@ -1301,6 +1301,115 @@ fn fuzz_render(spec: &ExperimentSpec, records: &[RunRecord]) -> String {
 }
 
 // ---------------------------------------------------------------------
+// Protocol ladder: the base-protocol family as an evaluation axis.
+
+/// Applications for the cross-protocol grid — the Phoenix map-reduce
+/// pair plus the streaming AxBench one, all in the Table 2 roster so
+/// the MESI and GW-over-MESI cells alias the evaluation sweep's.
+const LADDER_APPS: [&str; 3] = ["histogram", "linear_regression", "jpeg"];
+
+/// The two bases Ghostwriter composes over in the grid.
+const LADDER_GW_BASES: [BaseProtocol; 2] = [BaseProtocol::Mesi, BaseProtocol::Moesi];
+
+/// `machine(scale, protocol)` with an explicit base protocol.
+fn ladder_machine(scale: Scale, protocol: Protocol, base: BaseProtocol) -> MachineConfig {
+    MachineConfig {
+        base_protocol: base,
+        ..machine(scale, protocol)
+    }
+}
+
+/// The cross-protocol × workload grid: every base protocol exactly
+/// (d = 0), plus Ghostwriter composed over MESI and MOESI (d = 8). The
+/// MESI and gw-over-MESI cells are fingerprint-identical to the
+/// evaluation sweep's baseline/d8 cells, so a warm eval cache serves
+/// them for free.
+fn protocol_ladder_spec(scale: Scale) -> Vec<RunSpec> {
+    let mut runs = Vec::new();
+    for app in LADDER_APPS {
+        for base in BaseProtocol::ALL {
+            runs.push(workload_run(
+                format!("{app}/{}", base.name()),
+                registry_wl(app, scale),
+                ladder_machine(scale, Protocol::Mesi, base),
+                cores(scale),
+                0,
+            ));
+        }
+        for base in LADDER_GW_BASES {
+            runs.push(workload_run(
+                format!("{app}/gw-{}", base.name()),
+                registry_wl(app, scale),
+                ladder_machine(scale, Protocol::ghostwriter(), base),
+                cores(scale),
+                8,
+            ));
+        }
+    }
+    runs
+}
+
+fn protocol_ladder_render(spec: &ExperimentSpec, records: &[RunRecord]) -> String {
+    let mut out = String::new();
+    banner(
+        &mut out,
+        "Ladder",
+        "base-protocol family: cycles, traffic and the new traffic shapes",
+    );
+    let widths = [18usize, 10, 9, 9, 9, 10, 8];
+    push_row(
+        &mut out,
+        &[
+            "app".into(),
+            "protocol".into(),
+            "cycles".into(),
+            "traffic".into(),
+            "elided".into(),
+            "cleanfwd".into(),
+            "error%".into(),
+        ],
+        &widths,
+    );
+    for app in LADDER_APPS {
+        let mesi = &records[spec.index_of(&format!("{app}/mesi"))];
+        let base_traffic = mesi.stats.traffic.total().max(1) as f64;
+        let mut row = |tag: &str| {
+            let r = &records[spec.index_of(&format!("{app}/{tag}"))];
+            push_row(
+                &mut out,
+                &[
+                    app.into(),
+                    tag.into(),
+                    format!("{}", r.cycles),
+                    format!("{:.3}", r.stats.traffic.total() as f64 / base_traffic),
+                    format!("{}", r.stats.wb_elisions),
+                    format!("{}", r.stats.clean_forwards),
+                    format!("{:.4}", r.error_percent),
+                ],
+                &widths,
+            );
+        };
+        for base in BaseProtocol::ALL {
+            row(base.name());
+        }
+        for base in LADDER_GW_BASES {
+            row(&format!("gw-{}", base.name()));
+        }
+    }
+    let _ = writeln!(
+        out,
+        "
+Expected: every exact row has error 0; only MOESI/MOSI elide"
+    );
+    let _ = writeln!(
+        out,
+        "writebacks, only MESIF clean-forwards; traffic is normalized"
+    );
+    let _ = writeln!(out, "to the MESI row of each application.");
+    out
+}
+
+// ---------------------------------------------------------------------
 // Tables 1 and 2: zero-run render-only reports.
 
 fn empty_spec(_scale: Scale) -> Vec<RunSpec> {
@@ -1659,6 +1768,13 @@ pub fn all_experiments() -> Vec<Experiment> {
             render_fn: table2_render,
         },
         Experiment {
+            name: "protocol_ladder",
+            title: "base-protocol family grid (MESI/MSI/MOESI/MOSI/MESIF + GW)",
+            output: "protocol_ladder.txt",
+            spec_fn: protocol_ladder_spec,
+            render_fn: protocol_ladder_render,
+        },
+        Experiment {
             name: "repro_all",
             title: "full evaluation sweep (Figs. 7-11) + CSV",
             output: "repro_all.txt",
@@ -1680,9 +1796,9 @@ mod tests {
 
     #[test]
     fn registry_covers_all_legacy_binaries() {
-        assert_eq!(all_experiments().len(), 21);
+        assert_eq!(all_experiments().len(), 22);
         let names: BTreeSet<_> = all_experiments().iter().map(|e| e.name).collect();
-        assert_eq!(names.len(), 21, "names must be unique");
+        assert_eq!(names.len(), 22, "names must be unique");
         assert!(find_experiment("fig07").is_some());
         assert!(find_experiment("nonesuch").is_none());
     }

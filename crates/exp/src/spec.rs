@@ -172,7 +172,13 @@ impl RunSpec {
             RunKind::Scenario { scenario, protocol } => {
                 format!("scenario|{scenario:?}|{protocol:?}")
             }
-            RunKind::Fuzz { seeds, accesses } => format!("fuzz|seeds={seeds}|accesses={accesses}"),
+            // `family` marks the base-protocol-cycling sweep: the fuzz
+            // run's semantics changed when the tester started rotating
+            // through MESI/MSI/MOESI/MOSI/MESIF per seed, so pre-family
+            // cached cells must not be served for it.
+            RunKind::Fuzz { seeds, accesses } => {
+                format!("fuzz|family|seeds={seeds}|accesses={accesses}")
+            }
         };
         format!("rev={SPEC_REVISION}|{body}")
     }

@@ -62,7 +62,7 @@ fn golden_dir() -> PathBuf {
 
 /// The cheap experiments whose full smoke-scale record sets are
 /// committed as golden JSON.
-const GOLDEN_EXPERIMENTS: [&str; 3] = ["fig01", "fig02", "fig04"];
+const GOLDEN_EXPERIMENTS: [&str; 4] = ["fig01", "fig02", "fig04", "protocol_ladder"];
 
 fn golden_payload(records: &[RunRecord], ids: &[String]) -> String {
     // One concatenated document: stable id header + canonical record

@@ -2,9 +2,11 @@
 //! transition table (`crates/core/src/proto.rs`) the two tier-1 drivers
 //! actually exercise.
 //!
-//! * **sweep** — the union of the four tier-1 `gwcheck` sweeps
-//!   (MESI / MSI / Ghostwriter at 2 cores, 1 block, 2 ops per core,
-//!   plus the Ghostwriter sweep with GI-timeout interleavings);
+//! * **sweep** — the union of the tier-1 `gwcheck` sweeps
+//!   (MESI / MSI / Ghostwriter / GW-over-MOESI at 2 cores, 1 block,
+//!   2 ops per core, the Ghostwriter sweep with GI-timeout
+//!   interleavings, and MOESI / MOSI / MESIF at 2 cores, 2 blocks —
+//!   the O/F regions need a second block);
 //! * **smoke** — the union of every registered experiment's smoke-scale
 //!   grid, run uncached through the real engine (the same cells
 //!   `gwbench repro-all --smoke` simulates).
@@ -27,13 +29,17 @@ use ghostwriter_exp::{all_experiments, Engine, Scale};
 
 fn tier1_sweep_coverage() -> Coverage {
     let mut cov = Coverage::default();
-    for (kind, gi) in [
-        (ProtocolKind::Mesi, false),
-        (ProtocolKind::Msi, false),
-        (ProtocolKind::Ghostwriter, false),
-        (ProtocolKind::Ghostwriter, true),
+    for (kind, blocks, gi) in [
+        (ProtocolKind::Mesi, 1, false),
+        (ProtocolKind::Msi, 1, false),
+        (ProtocolKind::Ghostwriter, 1, false),
+        (ProtocolKind::Ghostwriter, 1, true),
+        (ProtocolKind::GhostwriterMoesi, 1, false),
+        (ProtocolKind::Moesi, 2, false),
+        (ProtocolKind::Mosi, 2, false),
+        (ProtocolKind::Mesif, 2, false),
     ] {
-        let report = sweep(kind, 2, 1, 2, gi, None);
+        let report = sweep(kind, 2, blocks, 2, gi, None);
         assert!(
             report.counterexample.is_none() && !report.truncated,
             "{kind:?} tier-1 sweep must be clean and exhaustive"

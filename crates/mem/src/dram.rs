@@ -75,6 +75,36 @@ impl Dram {
         self.read_block(addr.block()).read_word(addr.offset(), size)
     }
 
+    /// Canonical fingerprint of the memory image: FNV-1a over every
+    /// non-zero block in address order. All-zero blocks hash the same as
+    /// untouched ones, so two runs that produced the same bytes get the
+    /// same fingerprint even when their writeback traffic (and thus the
+    /// set of *touched* blocks) differed — exactly what the
+    /// cross-protocol differential suite needs.
+    pub fn image_fingerprint(&self) -> u64 {
+        let mut keys: Vec<u64> = self
+            .blocks
+            .iter()
+            .filter(|(_, b)| b.as_bytes().iter().any(|&x| x != 0))
+            .map(|(&k, _)| k)
+            .collect();
+        keys.sort_unstable();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        };
+        for k in keys {
+            for byte in k.to_le_bytes() {
+                mix(byte);
+            }
+            for &byte in self.blocks[&k].as_bytes() {
+                mix(byte);
+            }
+        }
+        h
+    }
+
     /// Number of blocks ever touched (for memory-footprint reporting).
     pub fn touched_blocks(&self) -> usize {
         self.blocks.len()

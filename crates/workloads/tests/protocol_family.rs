@@ -1,0 +1,156 @@
+//! Cross-protocol differential suite: the base-protocol family is a
+//! pure performance axis.
+//!
+//! MESI, MSI, MOESI, MOSI and MESIF differ in *where* a line's bytes
+//! live and *who* answers a miss — never in what a load observes. So the
+//! same seeded workload, run under every base protocol, must produce
+//! bit-identical application output, zero output error, and a byte-equal
+//! final coherent memory image. Only traffic/latency statistics may
+//! differ (and for the protocols whose point is new traffic shapes, they
+//! *must*: MOESI elides writebacks, MESIF forwards clean lines). Any
+//! protocol bug that corrupts or loses a byte shows up here as an image
+//! or output divergence against the MESI reference.
+
+use ghostwriter_core::{BaseProtocol, MachineConfig, Protocol};
+use ghostwriter_workloads::{execute, find_benchmark, RunOutcome, ScaleClass, DEFAULT_SEED};
+
+fn run(name: &str, base: BaseProtocol, threads: usize) -> (RunOutcome, u64) {
+    let entry = find_benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let cfg = MachineConfig {
+        cores: threads,
+        protocol: Protocol::Mesi,
+        base_protocol: base,
+        ..MachineConfig::default()
+    };
+    let mut w = entry.build_seeded(ScaleClass::Test, DEFAULT_SEED);
+    let mut m = ghostwriter_core::Machine::new(cfg);
+    w.build(&mut m, threads, 8);
+    let finished = m.run();
+    let fingerprint = finished.memory_fingerprint();
+    let output = w.output(&finished);
+    let reference = w.reference();
+    let error_percent = w.metric().evaluate(&reference, &output);
+    (
+        RunOutcome {
+            report: finished.report,
+            output,
+            error_percent,
+        },
+        fingerprint,
+    )
+}
+
+/// Runs `name` under every base protocol and asserts the MESI run's
+/// output vector (bit-for-bit) and memory image fingerprint everywhere.
+fn assert_family_agrees(name: &str, threads: usize) {
+    let (reference, ref_image) = run(name, BaseProtocol::Mesi, threads);
+    assert_eq!(
+        reference.error_percent, 0.0,
+        "{name}: exact baseline must have zero error"
+    );
+    for base in BaseProtocol::ALL {
+        if base == BaseProtocol::Mesi {
+            continue;
+        }
+        let (out, image) = run(name, base, threads);
+        assert_eq!(
+            out.output.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            reference
+                .output
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            "{name}/{}: per-op output values diverge from MESI",
+            base.name()
+        );
+        assert_eq!(
+            out.error_percent,
+            0.0,
+            "{name}/{}: baseline protocols must be exact",
+            base.name()
+        );
+        assert_eq!(
+            image,
+            ref_image,
+            "{name}/{}: final memory image diverges from MESI",
+            base.name()
+        );
+    }
+}
+
+#[test]
+fn histogram_family_agrees() {
+    assert_family_agrees("histogram", 4);
+}
+
+#[test]
+fn kmeans_family_agrees() {
+    assert_family_agrees("kmeans", 4);
+}
+
+#[test]
+fn linear_regression_family_agrees() {
+    assert_family_agrees("linear_regression", 4);
+}
+
+#[test]
+fn bad_dot_product_family_agrees() {
+    // The false-sharing microbenchmark keeps lines bouncing between
+    // cores, which is exactly where O/F ownership hand-offs live.
+    assert_family_agrees("bad_dot_product", 8);
+}
+
+/// The new traffic shapes actually fire: MOESI's dirty-sharing
+/// writeback elision and MESIF's clean forwarding are observable in the
+/// stats of a contended workload, and absent under protocols that lack
+/// the state.
+#[test]
+fn family_traffic_shapes_differ() {
+    let (mesi, _) = run("bad_dot_product", BaseProtocol::Mesi, 8);
+    let (moesi, _) = run("bad_dot_product", BaseProtocol::Moesi, 8);
+    let (mesif, _) = run("bad_dot_product", BaseProtocol::Mesif, 8);
+    assert_eq!(mesi.report.stats.wb_elisions, 0);
+    assert_eq!(mesi.report.stats.clean_forwards, 0);
+    assert!(
+        moesi.report.stats.wb_elisions > 0,
+        "MOESI never elided a writeback on a contended workload"
+    );
+    assert!(
+        mesif.report.stats.clean_forwards > 0,
+        "MESIF never clean-forwarded on a contended workload"
+    );
+    assert_eq!(mesif.report.stats.wb_elisions, 0);
+    assert_eq!(moesi.report.stats.clean_forwards, 0);
+}
+
+/// Ghostwriter composes with MOESI: GW-over-MOESI is a configuration,
+/// not a fork. Scribbles make the run approximate, so outputs may differ
+/// from exact — the assertion is that the run completes, the error stays
+/// within the workload's tolerance regime, and the GW rows actually
+/// fired on top of the O-state machinery.
+#[test]
+fn ghostwriter_over_moesi_composes() {
+    let entry = find_benchmark("bad_dot_product").unwrap();
+    for base in [BaseProtocol::Mesi, BaseProtocol::Moesi] {
+        let cfg = MachineConfig {
+            cores: 8,
+            protocol: Protocol::ghostwriter(),
+            base_protocol: base,
+            ..MachineConfig::default()
+        };
+        let mut w = entry.build_seeded(ScaleClass::Test, DEFAULT_SEED);
+        let out = execute(w.as_mut(), cfg, 8, 4);
+        assert!(
+            out.error_percent < 50.0,
+            "gw-over-{}: error {}% out of regime",
+            base.name(),
+            out.error_percent
+        );
+        let stats = &out.report.stats;
+        assert!(
+            stats.serviced_by_gs + stats.serviced_by_gi > 0,
+            "gw-over-{}: no GS/GI service — Ghostwriter rows never fired",
+            base.name()
+        );
+    }
+}
