@@ -64,7 +64,11 @@ use crate::{
 /// Bumped whenever the unified search's semantics change (alphabet,
 /// invariants, bounds): part of every shard cache key, so stale caches
 /// from an older checker can never satisfy a newer sweep.
-pub const CHECK_REVISION: u64 = 2;
+///
+/// Revision 3: the harness virtual network became a dense channel grid,
+/// which changed state hashing (empty channels now hash canonically
+/// instead of by insertion history).
+pub const CHECK_REVISION: u64 = 3;
 
 /// Schema version of the cached shard record payload.
 const SHARD_SCHEMA: u64 = 1;

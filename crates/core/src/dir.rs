@@ -15,7 +15,7 @@
 //! before evicting.
 
 use ghostwriter_mem::{BlockAddr, BlockData, LookupResult, SetAssocCache};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use crate::config::BaseProtocol;
 use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
@@ -101,6 +101,154 @@ enum TxnKind {
     Upgrade,
 }
 
+/// Dense per-set transaction tables: the MSHR replacement for the former
+/// per-block `HashMap`s (`busy`, `recall_of`, `queues`).
+///
+/// Every in-flight transaction pins exactly one line of its block's L2
+/// set — resident for `act_on_line` transactions, reserved (placeholder
+/// line) for fills, still-resident victim for recalls — so a set can
+/// never legally host more than `ways` transactions; that associativity
+/// is the fixed MSHR capacity, and exceeding it is a typed
+/// [`ProtocolError`], not a panic. The former `recall_of` map
+/// (victim → main transaction block) is derived by scanning the set for
+/// a transaction whose `recall_victim` matches: an L2 victim always
+/// belongs to the same set as the transaction's main block.
+#[derive(Clone, Debug)]
+struct Mshr {
+    /// Per-set transaction capacity (the L2 associativity).
+    cap: usize,
+    /// `sets - 1`; same power-of-two indexing as the cache array.
+    mask: usize,
+    sets: Vec<MshrSet>,
+}
+
+#[derive(Clone, Debug, Default)]
+struct MshrSet {
+    /// In-flight transactions homed to this set, unordered (all lookups
+    /// key on the block; the checker hash sorts).
+    txns: Vec<(BlockAddr, Txn)>,
+    /// Requests queued behind blocked (busy or being-recalled) blocks of
+    /// this set. Bounded by the blocked blocks: at most `2 × ways`
+    /// distinct keys (transaction mains plus recall victims).
+    queues: Vec<(BlockAddr, VecDeque<Request>)>,
+}
+
+impl Mshr {
+    fn new(sets: usize, ways: usize) -> Self {
+        debug_assert!(sets.is_power_of_two());
+        Self {
+            cap: ways,
+            mask: sets - 1,
+            sets: (0..sets).map(|_| MshrSet::default()).collect(),
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, block: BlockAddr) -> usize {
+        (block.index() as usize) & self.mask
+    }
+
+    /// Inserts a transaction; `Err` reports the full set's index (MSHR
+    /// capacity exhausted — a protocol invariant breach, since every
+    /// transaction must pin a distinct line of the set).
+    fn insert_txn(&mut self, block: BlockAddr, txn: Txn) -> Result<(), usize> {
+        let set = self.set_of(block);
+        let table = &mut self.sets[set];
+        if table.txns.len() >= self.cap {
+            return Err(set);
+        }
+        debug_assert!(table.txns.iter().all(|(b, _)| *b != block));
+        table.txns.push((block, txn));
+        Ok(())
+    }
+
+    fn take_txn(&mut self, block: BlockAddr) -> Option<Txn> {
+        let set = self.set_of(block);
+        let txns = &mut self.sets[set].txns;
+        let i = txns.iter().position(|(b, _)| *b == block)?;
+        Some(txns.swap_remove(i).1)
+    }
+
+    #[inline]
+    fn txn(&self, block: BlockAddr) -> Option<&Txn> {
+        self.sets[self.set_of(block)]
+            .txns
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|(_, t)| t)
+    }
+
+    #[inline]
+    fn txn_mut(&mut self, block: BlockAddr) -> Option<&mut Txn> {
+        let set = self.set_of(block);
+        self.sets[set]
+            .txns
+            .iter_mut()
+            .find(|(b, _)| *b == block)
+            .map(|(_, t)| t)
+    }
+
+    /// Busy (in-flight transaction) or being recalled as an L2 victim.
+    #[inline]
+    fn is_blocked(&self, block: BlockAddr) -> bool {
+        self.sets[self.set_of(block)]
+            .txns
+            .iter()
+            .any(|(b, t)| *b == block || t.recall_victim == Some(block))
+    }
+
+    /// Main transaction block whose recall targets `victim`, if any
+    /// (the former `recall_of` lookup).
+    #[inline]
+    fn recall_main_of(&self, victim: BlockAddr) -> Option<BlockAddr> {
+        self.sets[self.set_of(victim)]
+            .txns
+            .iter()
+            .find(|(_, t)| t.recall_victim == Some(victim))
+            .map(|(b, _)| *b)
+    }
+
+    fn enqueue(&mut self, block: BlockAddr, req: Request) {
+        let set = self.set_of(block);
+        let queues = &mut self.sets[set].queues;
+        match queues.iter_mut().find(|(b, _)| *b == block) {
+            Some((_, q)) => q.push_back(req),
+            None => {
+                let mut q = VecDeque::with_capacity(4);
+                q.push_back(req);
+                queues.push((block, q));
+            }
+        }
+    }
+
+    /// Pops the next queued request for `block`; drops the queue when it
+    /// empties (so stale empty queues never linger in the table).
+    fn dequeue(&mut self, block: BlockAddr) -> Option<Request> {
+        let set = self.set_of(block);
+        let queues = &mut self.sets[set].queues;
+        let i = queues.iter().position(|(b, _)| *b == block)?;
+        let req = queues[i].1.pop_front()?;
+        if queues[i].1.is_empty() {
+            queues.swap_remove(i);
+        }
+        Some(req)
+    }
+
+    fn quiescent(&self) -> bool {
+        self.sets
+            .iter()
+            .all(|s| s.txns.is_empty() && s.queues.iter().all(|(_, q)| q.is_empty()))
+    }
+
+    fn iter_txns(&self) -> impl Iterator<Item = &(BlockAddr, Txn)> {
+        self.sets.iter().flat_map(|s| s.txns.iter())
+    }
+
+    fn iter_queues(&self) -> impl Iterator<Item = &(BlockAddr, VecDeque<Request>)> {
+        self.sets.iter().flat_map(|s| s.queues.iter())
+    }
+}
+
 /// One bank of the shared L2 with its directory slice.
 ///
 /// `Clone` snapshots the full architectural state — the model checker
@@ -116,10 +264,9 @@ pub struct DirBank {
     /// Row deleted by a checker mutation: firing it is a protocol error.
     disabled: Option<DirRowId>,
     cache: SetAssocCache<L2Meta>,
-    busy: HashMap<BlockAddr, Txn>,
-    /// victim block → main transaction block (routes recall responses).
-    recall_of: HashMap<BlockAddr, BlockAddr>,
-    queues: HashMap<BlockAddr, VecDeque<Request>>,
+    /// Dense per-set transaction tables (busy transactions, recall
+    /// routing and per-block request queues — see [`Mshr`]).
+    mshr: Mshr,
     /// Requests that found every line of their set pinned by in-flight
     /// transactions; retried after each transaction completes.
     stalled: VecDeque<(BlockAddr, Request)>,
@@ -134,14 +281,11 @@ impl std::hash::Hash for DirBank {
         self.bank.hash(state);
         self.mem_homing.hash(state);
         self.cache.hash(state);
-        let mut busy: Vec<_> = self.busy.iter().collect();
-        busy.sort_by_key(|(b, _)| **b);
+        let mut busy: Vec<_> = self.mshr.iter_txns().collect();
+        busy.sort_by_key(|(b, _)| *b);
         busy.hash(state);
-        let mut recalls: Vec<_> = self.recall_of.iter().collect();
-        recalls.sort();
-        recalls.hash(state);
-        let mut queues: Vec<_> = self.queues.iter().collect();
-        queues.sort_by_key(|(b, _)| **b);
+        let mut queues: Vec<_> = self.mshr.iter_queues().collect();
+        queues.sort_by_key(|(b, _)| *b);
         queues.hash(state);
         self.stalled.hash(state);
     }
@@ -169,11 +313,17 @@ impl DirBank {
             rows: DirRowSet::for_config(base),
             disabled: None,
             cache: SetAssocCache::new(sets, ways),
-            busy: HashMap::new(),
-            recall_of: HashMap::new(),
-            queues: HashMap::new(),
+            mshr: Mshr::new(sets, ways),
             stalled: VecDeque::new(),
         }
+    }
+
+    /// Test hook: lowers the per-set MSHR capacity below the
+    /// associativity so the capacity-exhaustion path (normally
+    /// unreachable — every transaction pins a set line) can be driven.
+    #[cfg(test)]
+    fn force_mshr_capacity(&mut self, cap: usize) {
+        self.mshr.cap = cap;
     }
 
     /// Deletes the named table row (checker mutation): any access that
@@ -246,9 +396,7 @@ impl DirBank {
 
     /// True if any transaction is in flight at this bank.
     pub fn quiescent(&self) -> bool {
-        self.busy.is_empty()
-            && self.stalled.is_empty()
-            && self.queues.values().all(|q| q.is_empty())
+        self.mshr.quiescent() && self.stalled.is_empty()
     }
 
     /// End-of-run functional view of the L2 data for `block`, if resident.
@@ -284,8 +432,21 @@ impl DirBank {
     /// current directory state — a protocol error the harness surfaces as
     /// a violation.
     pub fn handle_msg(&mut self, msg: Msg, stats: &mut Stats) -> Result<Vec<Msg>, ProtocolError> {
-        let block = msg.block;
         let mut out = Vec::new();
+        self.handle_msg_into(msg, stats, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`DirBank::handle_msg`]: appends the
+    /// bank's outgoing messages to a caller-owned (reusable) buffer. The
+    /// machine's hot path calls this with a scratch vector.
+    pub fn handle_msg_into(
+        &mut self,
+        msg: Msg,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
+        let block = msg.block;
         // L1 requests are decoded up front so the dispatch below needs no
         // second (partial) match on the payload.
         let req_kind = match msg.payload {
@@ -308,30 +469,30 @@ impl DirBank {
             stats.energy_events.l2_tag_probes += 1;
             if self.is_blocked(block) {
                 self.row(DirRowId::ReqQueued, stats)?;
-                self.queues.entry(block).or_default().push_back(req);
+                self.mshr.enqueue(block, req);
             } else {
-                self.start(block, req, stats, &mut out)?;
+                self.start(block, req, stats, out)?;
             }
-            return Ok(out);
+            return Ok(());
         }
         match msg.payload {
             Payload::InvAck => {
                 let Endpoint::L1(_) = msg.src else {
                     panic!("INV_ACK from non-L1")
                 };
-                self.inv_ack(block, stats, &mut out)?;
+                self.inv_ack(block, stats, out)?;
             }
             Payload::DataToDir { data, xfer } => {
-                self.owner_data(block, data, xfer, stats, &mut out)?;
+                self.owner_data(block, data, xfer, stats, out)?;
             }
             Payload::FwdNack => {
-                self.fwd_nack(block, stats, &mut out)?;
+                self.fwd_nack(block, stats, out)?;
             }
             Payload::MemData { data } => {
-                self.mem_data(block, data, stats, &mut out)?;
+                self.mem_data(block, data, stats, out)?;
             }
             Payload::Unblock => {
-                let Some(txn) = self.busy.remove(&block) else {
+                let Some(txn) = self.mshr.take_txn(block) else {
                     return Err(self.error(
                         DirRowId::StrayUnblock,
                         stats,
@@ -345,7 +506,7 @@ impl DirBank {
                     txn.phase
                 );
                 self.row(DirRowId::Unblock, stats)?;
-                self.release(block, stats, &mut out)?;
+                self.release(block, stats, out)?;
             }
             ref p => {
                 return Err(self.error(
@@ -355,13 +516,29 @@ impl DirBank {
                 ))
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// A block is blocked if it has an in-flight transaction or is being
     /// recalled as another transaction's L2 victim.
     fn is_blocked(&self, block: BlockAddr) -> bool {
-        self.busy.contains_key(&block) || self.recall_of.contains_key(&block)
+        self.mshr.is_blocked(block)
+    }
+
+    /// Admits a transaction into the per-set MSHR table; a full set is a
+    /// typed protocol error (every transaction must pin a set line, so
+    /// the table can never legally exceed the associativity).
+    fn admit_txn(&mut self, block: BlockAddr, txn: Txn) -> Result<(), ProtocolError> {
+        let cap = self.mshr.cap;
+        self.mshr.insert_txn(block, txn).map_err(|set| {
+            ProtocolError::internal(
+                self.ctl(),
+                format!(
+                    "MSHR capacity exhausted: set {set} already holds \
+                     {cap} transactions while admitting one for {block:?}"
+                ),
+            )
+        })
     }
 
     /// Begins servicing a request (block known unblocked).
@@ -471,7 +648,7 @@ impl DirBank {
                     _ => TxnKind::Upgrade,
                 };
                 if self.cache.probe(block).is_some() {
-                    self.busy.insert(
+                    self.admit_txn(
                         block,
                         Txn {
                             requestor: req.requestor,
@@ -480,7 +657,7 @@ impl DirBank {
                             acks_pending: 0,
                             recall_victim: None,
                         },
-                    );
+                    )?;
                     self.act_on_line(block, stats, out)?;
                 } else {
                     self.begin_fill(block, req, kind, stats, out)?;
@@ -537,7 +714,7 @@ impl DirBank {
                     BlockData::zeroed(),
                 );
                 out.push(self.to_mem(block, Payload::MemRead));
-                self.busy.insert(block, txn);
+                self.admit_txn(block, txn)?;
             }
             LookupResult::Victim { block: victim, .. } => {
                 let vline = self.cache.get(victim).expect("victim resident");
@@ -569,7 +746,7 @@ impl DirBank {
                             BlockData::zeroed(),
                         );
                         out.push(self.to_mem(block, Payload::MemRead));
-                        self.busy.insert(block, txn);
+                        self.admit_txn(block, txn)?;
                     }
                     DirState::Shared(s) => {
                         self.row(DirRowId::FillRecallShared, stats)?;
@@ -578,11 +755,10 @@ impl DirBank {
                         txn.phase = Phase::RecallInv;
                         txn.recall_victim = Some(victim);
                         txn.acks_pending = s.count_ones();
-                        self.recall_of.insert(victim, block);
                         for core in bits(s) {
                             out.push(self.to_l1(core, victim, Payload::Inv));
                         }
-                        self.busy.insert(block, txn);
+                        self.admit_txn(block, txn)?;
                     }
                     DirState::Owned(owner) => {
                         self.row(DirRowId::FillRecallOwned, stats)?;
@@ -590,9 +766,8 @@ impl DirBank {
                         stats.l2_recalls += 1;
                         txn.phase = Phase::RecallData;
                         txn.recall_victim = Some(victim);
-                        self.recall_of.insert(victim, block);
                         out.push(self.to_l1(owner, victim, Payload::FwdGetx));
-                        self.busy.insert(block, txn);
+                        self.admit_txn(block, txn)?;
                     }
                     DirState::OwnedShared { owner, sharers } => {
                         self.row(DirRowId::FillRecallOwnedShared, stats)?;
@@ -604,7 +779,6 @@ impl DirBank {
                         // knows an owner pull is still due.
                         stats.l2_recalls += 1;
                         txn.recall_victim = Some(victim);
-                        self.recall_of.insert(victim, block);
                         self.cache.get_mut(victim).unwrap().meta.dir = DirState::Owned(owner);
                         if sharers == 0 {
                             txn.phase = Phase::RecallData;
@@ -616,7 +790,7 @@ impl DirBank {
                                 out.push(self.to_l1(core, victim, Payload::Inv));
                             }
                         }
-                        self.busy.insert(block, txn);
+                        self.admit_txn(block, txn)?;
                     }
                     DirState::Forward { fwd, sharers } => {
                         self.row(DirRowId::FillRecallFwd, stats)?;
@@ -628,11 +802,10 @@ impl DirBank {
                         txn.phase = Phase::RecallInv;
                         txn.recall_victim = Some(victim);
                         txn.acks_pending = all.count_ones();
-                        self.recall_of.insert(victim, block);
                         for core in bits(all) {
                             out.push(self.to_l1(core, victim, Payload::Inv));
                         }
-                        self.busy.insert(block, txn);
+                        self.admit_txn(block, txn)?;
                     }
                 }
             }
@@ -647,7 +820,7 @@ impl DirBank {
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
-        let txn = self.busy.get_mut(&block).expect("transaction in flight");
+        let txn = self.mshr.txn_mut(block).expect("transaction in flight");
         let req = txn.requestor;
         let line = self.cache.get(block).expect("line resident");
         let dir = line.meta.dir;
@@ -679,7 +852,7 @@ impl DirBank {
                 };
                 self.row(row, stats)?;
                 stats.energy_events.l2_reads += 1;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::Unblock;
                 if row == DirRowId::GetsNpExclusive {
                     // MESI: no sharers, grant Exclusive.
@@ -710,7 +883,7 @@ impl DirBank {
                 self.row(DirRowId::GetsShared, stats)?;
                 stats.energy_events.l2_reads += 1;
                 self.cache.get_mut(block).unwrap().meta.dir = DirState::Shared(s | (1 << req));
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::Unblock;
                 out.push(self.to_l1(
                     req,
@@ -724,7 +897,7 @@ impl DirBank {
             (TxnKind::Gets, DirState::Owned(owner)) => {
                 assert_ne!(owner, req, "GETS from owner");
                 self.row(DirRowId::GetsOwned, stats)?;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::OwnerData;
                 out.push(self.to_l1(owner, block, Payload::FwdGets));
             }
@@ -733,7 +906,7 @@ impl DirBank {
                 // be stale, so the read cannot be served locally.
                 assert_ne!(owner, req, "GETS from dirty owner");
                 self.row(DirRowId::GetsOwnedShared, stats)?;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::OwnerData;
                 out.push(self.to_l1(owner, block, Payload::FwdGets));
             }
@@ -742,7 +915,7 @@ impl DirBank {
                 // bounces with FWD_NACK if its copy is already gone).
                 assert_ne!(fwd, req, "GETS from forwarder");
                 self.row(DirRowId::GetsFwd, stats)?;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::FwdData;
                 out.push(self.to_l1(fwd, block, Payload::FwdGets));
             }
@@ -750,7 +923,7 @@ impl DirBank {
                 self.row(DirRowId::GetxNp, stats)?;
                 stats.energy_events.l2_reads += 1;
                 self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.kind = TxnKind::Getx;
                 txn.phase = Phase::Unblock;
                 out.push(self.to_l1(
@@ -766,7 +939,7 @@ impl DirBank {
                 let others = s & !(1 << req);
                 assert_ne!(others, 0, "Shared with no sharers");
                 self.row(DirRowId::GetxShared, stats)?;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.kind = TxnKind::Getx;
                 txn.phase = Phase::InvAcks;
                 txn.acks_pending = others.count_ones();
@@ -777,7 +950,7 @@ impl DirBank {
             (TxnKind::Getx, DirState::Owned(owner)) => {
                 assert_ne!(owner, req, "GETX from owner");
                 self.row(DirRowId::GetxOwned, stats)?;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.kind = TxnKind::Getx;
                 txn.phase = Phase::OwnerData;
                 out.push(self.to_l1(owner, block, Payload::FwdGetx));
@@ -789,7 +962,7 @@ impl DirBank {
                 assert_ne!(owner, req, "GETX from dirty owner");
                 self.row(DirRowId::GetxOwnedShared, stats)?;
                 let others = sharers & !(1 << req);
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.kind = TxnKind::Getx;
                 if others == 0 {
                     txn.phase = Phase::OwnerData;
@@ -809,7 +982,7 @@ impl DirBank {
                 let others = (sharers | (1 << fwd)) & !(1 << req);
                 assert_ne!(others, 0, "Forward with no copies to invalidate");
                 self.row(DirRowId::GetxFwd, stats)?;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.kind = TxnKind::Getx;
                 txn.phase = Phase::InvAcks;
                 txn.acks_pending = others.count_ones();
@@ -825,7 +998,7 @@ impl DirBank {
                     DirRowId::UpgradeInv
                 };
                 self.row(row, stats)?;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 if others == 0 {
                     self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
                     txn.phase = Phase::Unblock;
@@ -853,7 +1026,7 @@ impl DirBank {
                     )
                 };
                 self.row(row, stats)?;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 if targets == 0 {
                     self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
                     txn.phase = Phase::Unblock;
@@ -869,7 +1042,7 @@ impl DirBank {
             (TxnKind::Upgrade, DirState::Forward { fwd, sharers }) => {
                 self.row(DirRowId::UpgradeFwd, stats)?;
                 let targets = (sharers | (1 << fwd)) & !(1 << req);
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 if targets == 0 {
                     self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
                     txn.phase = Phase::Unblock;
@@ -900,9 +1073,9 @@ impl DirBank {
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
-        if let Some(&main) = self.recall_of.get(&block) {
+        if let Some(main) = self.mshr.recall_main_of(block) {
             self.row(DirRowId::RecallInvAck, stats)?;
-            let txn = self.busy.get_mut(&main).expect("recall txn in flight");
+            let txn = self.mshr.txn_mut(main).expect("recall txn in flight");
             assert_eq!(txn.phase, Phase::RecallInv);
             txn.acks_pending -= 1;
             if txn.acks_pending == 0 {
@@ -910,7 +1083,7 @@ impl DirBank {
                 // sharers were invalidated: with the acks in, pull the
                 // dirty owner's bytes before the eviction completes.
                 if let Some(DirState::Owned(o)) = self.cache.get(block).map(|l| l.meta.dir) {
-                    let txn = self.busy.get_mut(&main).unwrap();
+                    let txn = self.mshr.txn_mut(main).expect("recall txn");
                     txn.phase = Phase::RecallData;
                     out.push(self.to_l1(o, block, Payload::FwdGetx));
                     return Ok(());
@@ -919,7 +1092,7 @@ impl DirBank {
             }
             return Ok(());
         }
-        let Some(txn) = self.busy.get_mut(&block) else {
+        let Some(txn) = self.mshr.txn_mut(block) else {
             return Err(self.error(
                 DirRowId::StrayInvAck,
                 stats,
@@ -958,7 +1131,7 @@ impl DirBank {
             {
                 self.row(DirRowId::InvAckLastGetxOwned, stats)?;
                 self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(owner);
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::OwnerData;
                 out.push(self.to_l1(owner, block, Payload::FwdGetx));
                 return Ok(());
@@ -976,7 +1149,7 @@ impl DirBank {
             TxnKind::Getx => {
                 stats.energy_events.l2_reads += 1;
                 let data = self.cache.get(block).unwrap().data;
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::Unblock;
                 out.push(self.to_l1(
                     req,
@@ -988,7 +1161,7 @@ impl DirBank {
                 ));
             }
             _ => {
-                let txn = self.busy.get_mut(&block).unwrap();
+                let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::Unblock;
                 out.push(self.to_l1(req, block, Payload::UpgAck));
             }
@@ -1006,9 +1179,9 @@ impl DirBank {
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
-        if let Some(&main) = self.recall_of.get(&block) {
+        if let Some(main) = self.mshr.recall_main_of(block) {
             self.row(DirRowId::RecallOwnerData, stats)?;
-            let txn = self.busy.get_mut(&main).expect("recall txn");
+            let txn = self.mshr.txn_mut(main).expect("recall txn");
             assert_eq!(txn.phase, Phase::RecallData);
             // Fold the owner's data into the victim line before eviction.
             let line = self.cache.get_mut(block).expect("victim resident");
@@ -1019,7 +1192,7 @@ impl DirBank {
             self.finish_recall(main, stats, out)?;
             return Ok(());
         }
-        let Some(txn) = self.busy.get_mut(&block) else {
+        let Some(txn) = self.mshr.txn_mut(block) else {
             return Err(self.error(
                 DirRowId::StrayOwnerData,
                 stats,
@@ -1058,7 +1231,7 @@ impl DirBank {
                 fwd: req,
                 sharers: sharers | (1 << fwd),
             };
-            let txn = self.busy.get_mut(&block).unwrap();
+            let txn = self.mshr.txn_mut(block).expect("transaction in flight");
             txn.phase = Phase::Unblock;
             out.push(self.to_l1(
                 req,
@@ -1175,7 +1348,7 @@ impl DirBank {
             (TxnKind::Upgrade, _) => unreachable!("UPGRADE rejected above"),
         };
         self.cache.get_mut(block).unwrap().meta.dir = new_dir;
-        let txn = self.busy.get_mut(&block).unwrap();
+        let txn = self.mshr.txn_mut(block).expect("transaction in flight");
         txn.phase = Phase::Unblock;
         out.push(self.to_l1(req, block, Payload::Data { data, grant }));
         Ok(())
@@ -1190,7 +1363,7 @@ impl DirBank {
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
-        let Some(txn) = self.busy.get_mut(&block) else {
+        let Some(txn) = self.mshr.txn_mut(block) else {
             return Err(self.error(
                 DirRowId::DirUnexpectedMsg,
                 stats,
@@ -1216,7 +1389,7 @@ impl DirBank {
         let line = self.cache.get_mut(block).unwrap();
         line.meta.dir = DirState::Forward { fwd: req, sharers };
         let data = line.data;
-        let txn = self.busy.get_mut(&block).unwrap();
+        let txn = self.mshr.txn_mut(block).expect("transaction in flight");
         txn.phase = Phase::Unblock;
         out.push(self.to_l1(
             req,
@@ -1237,7 +1410,7 @@ impl DirBank {
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
-        match self.busy.get(&block) {
+        match self.mshr.txn(block) {
             Some(txn) => assert_eq!(txn.phase, Phase::MemFetch),
             None => {
                 return Err(self.error(
@@ -1265,10 +1438,9 @@ impl DirBank {
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
-        let txn = self.busy.get_mut(&main).expect("recall txn");
+        let txn = self.mshr.txn_mut(main).expect("recall txn");
         let victim = txn.recall_victim.take().expect("victim recorded");
         txn.phase = Phase::MemFetch;
-        self.recall_of.remove(&victim);
         let vline = self.cache.remove(victim).expect("victim resident");
         if vline.meta.dirty {
             stats.energy_events.l2_reads += 1;
@@ -1319,13 +1491,10 @@ impl DirBank {
         // Process queued requests until one blocks the line again (or the
         // queue drains). PUTs are synchronous, so several may complete.
         while !self.is_blocked(block) {
-            let Some(req) = self.queues.get_mut(&block).and_then(|q| q.pop_front()) else {
+            let Some(req) = self.mshr.dequeue(block) else {
                 break;
             };
             self.start(block, req, stats, out)?;
-        }
-        if self.queues.get(&block).is_some_and(|q| q.is_empty()) {
-            self.queues.remove(&block);
         }
         Ok(())
     }
@@ -1339,7 +1508,7 @@ impl DirBank {
         for _ in 0..n {
             let (block, req) = self.stalled.pop_front().expect("counted");
             if self.is_blocked(block) {
-                self.queues.entry(block).or_default().push_back(req);
+                self.mshr.enqueue(block, req);
             } else {
                 self.start(block, req, stats, out)?;
             }
@@ -2118,5 +2287,28 @@ mod tests {
             })
         );
         assert_eq!(stats.coverage.dir[DirRowId::FwdNackGets as usize], 1);
+    }
+
+    #[test]
+    fn mshr_capacity_exhaustion_is_a_typed_error_not_a_panic() {
+        let mut bank = DirBank::new(0, 16, 4, 1);
+        bank.force_mshr_capacity(1);
+        let mut stats = Stats::default();
+        // First GETS admits a transaction that stays in flight (memory
+        // never answers, UNBLOCK never arrives), pinning the forced
+        // single MSHR slot of set 1.
+        bank.handle_msg(req_msg(0, blk(1), Payload::Gets), &mut stats)
+            .unwrap();
+        // A second transaction for a different block of the same set
+        // (17 ≡ 1 mod 16 sets) must surface the capacity breach as a
+        // typed protocol error.
+        let err = bank
+            .handle_msg(req_msg(1, blk(17), Payload::Gets), &mut stats)
+            .expect_err("full MSHR set must be a ProtocolError");
+        let text = err.to_string();
+        assert!(
+            text.contains("MSHR capacity exhausted"),
+            "unexpected error text: {text}"
+        );
     }
 }

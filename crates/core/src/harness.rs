@@ -306,9 +306,12 @@ pub struct System {
     banks: Vec<DirBank>,
     dram: Dram,
     stats: Stats,
-    /// Virtual network: per-(src, dst) FIFO channels. A BTreeMap keeps
-    /// channel iteration order deterministic.
-    net: BTreeMap<(usize, usize), VecDeque<Msg>>,
+    /// Virtual network: per-(src, dst) FIFO channels, stored as a dense
+    /// `nodes × nodes` row-major array indexed by the flattened
+    /// [`node_key`]s. Row-major iteration is the same deterministic
+    /// (src, dst) order the former `BTreeMap` gave, without per-channel
+    /// tree nodes on the checker's clone-heavy hot path.
+    net: Vec<VecDeque<Msg>>,
     /// Outstanding access per core.
     pending: Vec<Option<PendingAccess>>,
     /// Single-writer discipline: next sequence number per (core, block).
@@ -358,7 +361,7 @@ impl System {
             banks,
             dram: Dram::new(),
             stats: Stats::default(),
-            net: BTreeMap::new(),
+            net: vec![VecDeque::new(); (2 * cfg.cores + 1) * (2 * cfg.cores + 1)],
             pending: (0..cfg.cores).map(|_| None).collect(),
             next_seq: vec![vec![1; cfg.blocks]; cfg.cores],
             last_seen: vec![vec![0; cfg.blocks * cfg.cores]; cfg.cores],
@@ -421,24 +424,38 @@ impl System {
         self.l1s[core].state_of(self.block_of(b))
     }
 
+    /// Number of virtual-network nodes: L1s, directory banks, then the
+    /// single memory controller (see [`node_key`]).
+    fn nodes(&self) -> usize {
+        2 * self.cfg.cores + 1
+    }
+
+    /// Dense channel index of `key`, if both endpoints are in range.
+    fn chan(&self, key: (usize, usize)) -> Option<usize> {
+        let n = self.nodes();
+        (key.0 < n && key.1 < n).then(|| key.0 * n + key.1)
+    }
+
     /// Non-empty virtual-network channels, in deterministic order.
     pub fn channels(&self) -> Vec<(usize, usize)> {
+        let n = self.nodes();
         self.net
             .iter()
+            .enumerate()
             .filter(|(_, q)| !q.is_empty())
-            .map(|(&k, _)| k)
+            .map(|(i, _)| (i / n, i % n))
             .collect()
     }
 
     /// The message at the head of channel `key`, if any.
     pub fn peek_channel(&self, key: (usize, usize)) -> Option<&Msg> {
-        self.net.get(&key).and_then(|q| q.front())
+        self.chan(key).and_then(|i| self.net[i].front())
     }
 
     /// True when nothing is in flight: no queued messages and no core
     /// has an outstanding access.
     pub fn quiescent(&self) -> bool {
-        self.net.values().all(|q| q.is_empty()) && self.pending.iter().all(|p| p.is_none())
+        self.net.iter().all(|q| q.is_empty()) && self.pending.iter().all(|p| p.is_none())
     }
 
     /// True when `core` holds at least one GI line (a GI-timeout sweep
@@ -455,14 +472,15 @@ impl System {
             node_key(msg.src, self.cfg.cores),
             node_key(msg.dst, self.cfg.cores),
         );
-        self.net.entry(key).or_default().push_back(msg);
+        let i = self.chan(key).expect("endpoint outside the node grid");
+        self.net[i].push_back(msg);
     }
 
     /// Fault-injection hook for the model checker's mutation testing:
     /// removes and returns the head of channel `key` without delivering
     /// it (a lost message).
     pub fn drop_message(&mut self, key: (usize, usize)) -> Option<Msg> {
-        self.net.get_mut(&key).and_then(|q| q.pop_front())
+        self.chan(key).and_then(|i| self.net[i].pop_front())
     }
 
     /// Fault-injection hook: enqueues an arbitrary message, as a buggy
@@ -613,9 +631,8 @@ impl System {
     /// [`System::channels`].
     pub fn deliver(&mut self, key: (usize, usize)) -> Result<(), Violation> {
         let msg = self
-            .net
-            .get_mut(&key)
-            .and_then(|q| q.pop_front())
+            .chan(key)
+            .and_then(|i| self.net[i].pop_front())
             .expect("deliver from empty channel");
         self.messages += 1;
         if std::env::var_os("GW_TESTER_TRACE").is_some() {

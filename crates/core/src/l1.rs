@@ -25,7 +25,6 @@
 //! waiting, in which case the directory answers with data instead).
 
 use ghostwriter_mem::{Addr, BlockAddr, BlockData, LookupResult, SetAssocCache};
-use std::collections::HashMap;
 
 use crate::config::{BaseProtocol, GiStorePolicy};
 use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
@@ -138,6 +137,62 @@ struct WbEntry {
     data: BlockData,
 }
 
+/// Writeback-buffer capacity, in entries. An entry lives for one
+/// PUT→WB_ACK round trip and the in-order core issues at most one miss
+/// (and thus one eviction chain) at a time, so the steady-state
+/// occupancy is tiny; 16 gives generous slack for ack backlog while
+/// keeping the buffer a fixed-width array the hot path scans linearly.
+pub const WB_BUFFER_WAYS: usize = 16;
+
+/// Why a writeback-buffer insertion was refused.
+enum WbInsertError {
+    /// The block already has a buffered writeback (double eviction).
+    Duplicate,
+    /// All [`WB_BUFFER_WAYS`] entries are occupied.
+    Full,
+}
+
+/// Fixed-capacity writeback buffer: a small inline vector scanned
+/// linearly. With at most [`WB_BUFFER_WAYS`] entries a scan beats the
+/// former per-block `HashMap` on every lookup the hot path makes.
+#[derive(Clone, Debug, Default)]
+struct WbBuffer {
+    entries: Vec<(BlockAddr, WbEntry)>,
+}
+
+impl WbBuffer {
+    fn get(&self, block: BlockAddr) -> Option<&WbEntry> {
+        self.entries
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|(_, e)| e)
+    }
+
+    fn insert(&mut self, block: BlockAddr, entry: WbEntry) -> Result<(), WbInsertError> {
+        if self.entries.iter().any(|(b, _)| *b == block) {
+            return Err(WbInsertError::Duplicate);
+        }
+        if self.entries.len() >= WB_BUFFER_WAYS {
+            return Err(WbInsertError::Full);
+        }
+        self.entries.push((block, entry));
+        Ok(())
+    }
+
+    fn remove(&mut self, block: BlockAddr) -> Option<WbEntry> {
+        let i = self.entries.iter().position(|(b, _)| *b == block)?;
+        Some(self.entries.swap_remove(i).1)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn drain(&mut self) -> impl Iterator<Item = (BlockAddr, WbEntry)> + '_ {
+        self.entries.drain(..)
+    }
+}
+
 /// What an L1 answers a directory forward with.
 enum FwdReply {
     /// The block's bytes plus what the holder did with its own copy.
@@ -156,7 +211,7 @@ pub struct L1Cache {
     cache: SetAssocCache<L1Meta>,
     /// The single outstanding demand miss (in-order blocking core).
     pending: Option<CoreReq>,
-    wb_buffer: HashMap<BlockAddr, WbEntry>,
+    wb_buffer: WbBuffer,
     gw: Option<GwParams>,
     collect_similarity: bool,
     homing: Homing,
@@ -180,8 +235,8 @@ impl std::hash::Hash for L1Cache {
         self.core.hash(state);
         self.cache.hash(state);
         self.pending.hash(state);
-        let mut wb: Vec<_> = self.wb_buffer.iter().collect();
-        wb.sort_by_key(|(b, _)| **b);
+        let mut wb: Vec<_> = self.wb_buffer.entries.iter().collect();
+        wb.sort_by_key(|(b, _)| *b);
         wb.hash(state);
         self.gw.hash(state);
         self.homing.hash(state);
@@ -209,7 +264,7 @@ impl L1Cache {
             core,
             cache: SetAssocCache::new(sets, ways),
             pending: None,
-            wb_buffer: HashMap::new(),
+            wb_buffer: WbBuffer::default(),
             gw,
             collect_similarity,
             homing: Homing::new(banks),
@@ -321,6 +376,20 @@ impl L1Cache {
     /// `Err` means the transition table has no row for what happened — a
     /// protocol error the harness surfaces as a violation.
     pub fn access(&mut self, req: CoreReq, stats: &mut Stats) -> Result<Vec<L1Out>, ProtocolError> {
+        let mut out = Vec::new();
+        self.access_into(req, stats, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free form of [`L1Cache::access`]: appends outputs to
+    /// `out` instead of returning a fresh `Vec`. The simulation kernel
+    /// calls this with a reused scratch buffer.
+    pub fn access_into(
+        &mut self,
+        req: CoreReq,
+        stats: &mut Stats,
+        out: &mut Vec<L1Out>,
+    ) -> Result<(), ProtocolError> {
         assert!(
             self.pending.is_none(),
             "core {} issued a second outstanding access",
@@ -355,13 +424,12 @@ impl L1Cache {
                 stats.similarity.record(old, req.value, (size * 8) as u32);
             }
             let state = self.cache.get(block).unwrap().meta.state;
-            return self.access_tagged(req, state, stats);
+            return self.access_tagged(req, state, stats, out);
         }
 
         // True miss: no tag. Allocate a line (evicting if needed) and
         // start the transaction.
         stats.energy_events.l1_tag_probes += 1;
-        let mut out = Vec::new();
         let way = match self.cache.lookup_for_insert(block) {
             LookupResult::Hit { .. } => {
                 return Err(ProtocolError::internal(
@@ -371,7 +439,7 @@ impl L1Cache {
             }
             LookupResult::Free { way } => way,
             LookupResult::Victim { way, block: victim } => {
-                self.evict(victim, stats, &mut out)?;
+                self.evict(victim, stats, out)?;
                 way
             }
         };
@@ -390,7 +458,7 @@ impl L1Cache {
             .insert_at(way, block, L1Meta::new(state), BlockData::zeroed());
         self.pending = Some(req);
         out.push(L1Out::Send(self.msg(block, payload)));
-        Ok(out)
+        Ok(())
     }
 
     /// Demand access when the block's tag is present in state `state`.
@@ -399,7 +467,8 @@ impl L1Cache {
         req: CoreReq,
         state: L1State,
         stats: &mut Stats,
-    ) -> Result<Vec<L1Out>, ProtocolError> {
+        out: &mut Vec<L1Out>,
+    ) -> Result<(), ProtocolError> {
         let block = req.addr.block();
         let offset = req.addr.offset();
         let size = req.size as usize;
@@ -431,7 +500,10 @@ impl L1Cache {
                     stats.energy_events.l1_reads += 1;
                     self.cache.touch(block);
                     let v = self.cache.get(block).unwrap().data.read_word(offset, size);
-                    Ok(vec![L1Out::Reply { value: v }])
+                    {
+                        out.push(L1Out::Reply { value: v });
+                        Ok(())
+                    }
                 }
                 L1State::O | L1State::F => {
                     let row = if state == L1State::O {
@@ -444,7 +516,10 @@ impl L1Cache {
                     stats.energy_events.l1_reads += 1;
                     self.cache.touch(block);
                     let v = self.cache.get(block).unwrap().data.read_word(offset, size);
-                    Ok(vec![L1Out::Reply { value: v }])
+                    {
+                        out.push(L1Out::Reply { value: v });
+                        Ok(())
+                    }
                 }
                 L1State::Gi => {
                     self.row(L1RowId::LoadHitGi, stats)?;
@@ -453,7 +528,10 @@ impl L1Cache {
                     stats.energy_events.l1_reads += 1;
                     self.cache.touch(block);
                     let v = self.cache.get(block).unwrap().data.read_word(offset, size);
-                    Ok(vec![L1Out::Reply { value: v }])
+                    {
+                        out.push(L1Out::Reply { value: v });
+                        Ok(())
+                    }
                 }
                 L1State::I => {
                     // Coherence (or capacity-invalidated) load miss.
@@ -462,7 +540,10 @@ impl L1Cache {
                     stats.energy_events.l1_tag_probes += 1;
                     self.cache.get_mut(block).unwrap().meta.state = L1State::IsD;
                     self.pending = Some(req);
-                    Ok(vec![L1Out::Send(self.msg(block, Payload::Gets))])
+                    {
+                        out.push(L1Out::Send(self.msg(block, Payload::Gets)));
+                        Ok(())
+                    }
                 }
                 t => Err(self.error(
                     L1RowId::LoadTransient,
@@ -480,13 +561,19 @@ impl L1Cache {
                     L1State::M => {
                         self.row(L1RowId::StoreHitM, stats)?;
                         self.write_hit(block, offset, size, req.value, stats);
-                        Ok(vec![L1Out::Reply { value: 0 }])
+                        {
+                            out.push(L1Out::Reply { value: 0 });
+                            Ok(())
+                        }
                     }
                     L1State::E => {
                         self.row(L1RowId::StoreHitE, stats)?;
                         self.write_hit(block, offset, size, req.value, stats);
                         self.cache.get_mut(block).unwrap().meta.state = L1State::M;
-                        Ok(vec![L1Out::Reply { value: 0 }])
+                        {
+                            out.push(L1Out::Reply { value: 0 });
+                            Ok(())
+                        }
                     }
                     L1State::O | L1State::F => {
                         // Both are read-only shared states: publishing a
@@ -505,7 +592,10 @@ impl L1Cache {
                         stats.energy_events.l1_tag_probes += 1;
                         self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
                         self.pending = Some(req);
-                        Ok(vec![L1Out::Send(self.msg(block, Payload::Upgrade))])
+                        {
+                            out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
+                            Ok(())
+                        }
                     }
                     L1State::Gi => {
                         // Fig. 3/Fig. 5: loads, conventional stores and
@@ -547,7 +637,10 @@ impl L1Cache {
                             stats.gi_store_hits += 1;
                             self.write_hit(block, offset, size, req.value, stats);
                             self.cache.get_mut(block).unwrap().meta.hidden_writes += 1;
-                            Ok(vec![L1Out::Reply { value: 0 }])
+                            {
+                                out.push(L1Out::Reply { value: 0 });
+                                Ok(())
+                            }
                         } else {
                             self.row(L1RowId::GiBreak, stats)?;
                             stats.stores_on_invalid_tagged += 1;
@@ -556,7 +649,10 @@ impl L1Cache {
                             stats.gi_breaks += 1;
                             self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd;
                             self.pending = Some(req);
-                            Ok(vec![L1Out::Send(self.msg(block, Payload::Getx))])
+                            {
+                                out.push(L1Out::Send(self.msg(block, Payload::Getx)));
+                                Ok(())
+                            }
                         }
                     }
                     L1State::S => {
@@ -575,7 +671,10 @@ impl L1Cache {
                             let meta = &mut self.cache.get_mut(block).unwrap().meta;
                             meta.state = L1State::Gs;
                             meta.hidden_writes += 1;
-                            Ok(vec![L1Out::Reply { value: 0 }])
+                            {
+                                out.push(L1Out::Reply { value: 0 });
+                                Ok(())
+                            }
                         } else {
                             // Conventional path: UPGRADE.
                             self.row(L1RowId::UpgradeFromS, stats)?;
@@ -584,7 +683,10 @@ impl L1Cache {
                             stats.energy_events.l1_tag_probes += 1;
                             self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
                             self.pending = Some(req);
-                            Ok(vec![L1Out::Send(self.msg(block, Payload::Upgrade))])
+                            {
+                                out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
+                                Ok(())
+                            }
                         }
                     }
                     L1State::Gs => {
@@ -597,7 +699,10 @@ impl L1Cache {
                             stats.gs_hits += 1;
                             self.write_hit(block, offset, size, req.value, stats);
                             self.cache.get_mut(block).unwrap().meta.hidden_writes += 1;
-                            Ok(vec![L1Out::Reply { value: 0 }])
+                            {
+                                out.push(L1Out::Reply { value: 0 });
+                                Ok(())
+                            }
                         } else {
                             // Conventional store from GS publishes the
                             // locally modified block via UPGRADE (Fig. 3:
@@ -608,7 +713,10 @@ impl L1Cache {
                             stats.energy_events.l1_tag_probes += 1;
                             self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
                             self.pending = Some(req);
-                            Ok(vec![L1Out::Send(self.msg(block, Payload::Upgrade))])
+                            {
+                                out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
+                                Ok(())
+                            }
                         }
                     }
                     L1State::I => {
@@ -627,7 +735,10 @@ impl L1Cache {
                             let meta = &mut self.cache.get_mut(block).unwrap().meta;
                             meta.state = L1State::Gi;
                             meta.hidden_writes += 1;
-                            Ok(vec![L1Out::Reply { value: 0 }])
+                            {
+                                out.push(L1Out::Reply { value: 0 });
+                                Ok(())
+                            }
                         } else {
                             self.row(L1RowId::StoreInvalid, stats)?;
                             stats.stores_on_invalid_tagged += 1;
@@ -635,7 +746,10 @@ impl L1Cache {
                             stats.energy_events.l1_tag_probes += 1;
                             self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd;
                             self.pending = Some(req);
-                            Ok(vec![L1Out::Send(self.msg(block, Payload::Getx))])
+                            {
+                                out.push(L1Out::Send(self.msg(block, Payload::Getx)));
+                                Ok(())
+                            }
                         }
                     }
                     t => Err(self.error(
@@ -666,6 +780,27 @@ impl L1Cache {
             .write_word(offset, size, value);
     }
 
+    /// Buffers an evicted dirty/exclusive block until its PUT is acked.
+    /// Capacity exhaustion and double eviction are typed protocol errors,
+    /// not panics — the checker's mutation sweeps drive both.
+    fn wb_insert(&mut self, victim: BlockAddr, data: BlockData) -> Result<(), ProtocolError> {
+        self.wb_buffer
+            .insert(victim, WbEntry { data })
+            .map_err(|e| {
+                ProtocolError::internal(
+                    self.ctl(),
+                    match e {
+                        WbInsertError::Duplicate => {
+                            format!("double eviction of {victim:?}: writeback already buffered")
+                        }
+                        WbInsertError::Full => format!(
+                            "writeback buffer full ({WB_BUFFER_WAYS} entries) evicting {victim:?}"
+                        ),
+                    },
+                )
+            })
+    }
+
     /// Evicts `victim` per its state, appending any protocol messages.
     fn evict(
         &mut self,
@@ -678,12 +813,7 @@ impl L1Cache {
             L1State::M => {
                 self.row(L1RowId::EvictM, stats)?;
                 stats.energy_events.l1_reads += 1;
-                assert!(
-                    self.wb_buffer
-                        .insert(victim, WbEntry { data: line.data })
-                        .is_none(),
-                    "double eviction of {victim:?}"
-                );
+                self.wb_insert(victim, line.data)?;
                 out.push(L1Out::Send(
                     self.msg(victim, Payload::PutM { data: line.data }),
                 ));
@@ -693,22 +823,14 @@ impl L1Cache {
                 // like M (the directory refills L2 from it).
                 self.row(L1RowId::EvictO, stats)?;
                 stats.energy_events.l1_reads += 1;
-                assert!(
-                    self.wb_buffer
-                        .insert(victim, WbEntry { data: line.data })
-                        .is_none(),
-                    "double eviction of {victim:?}"
-                );
+                self.wb_insert(victim, line.data)?;
                 out.push(L1Out::Send(
                     self.msg(victim, Payload::PutM { data: line.data }),
                 ));
             }
             L1State::E => {
                 self.row(L1RowId::EvictE, stats)?;
-                assert!(self
-                    .wb_buffer
-                    .insert(victim, WbEntry { data: line.data })
-                    .is_none());
+                self.wb_insert(victim, line.data)?;
                 out.push(L1Out::Send(self.msg(victim, Payload::PutE)));
             }
             L1State::F => {
@@ -751,6 +873,19 @@ impl L1Cache {
     /// `Err` means the transition table has no row for `(state, payload)`
     /// — a protocol error the harness surfaces as a violation.
     pub fn handle_msg(&mut self, msg: Msg, stats: &mut Stats) -> Result<Vec<L1Out>, ProtocolError> {
+        let mut out = Vec::new();
+        self.handle_msg_into(msg, stats, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free form of [`L1Cache::handle_msg`]: appends outputs
+    /// to `out` instead of returning a fresh `Vec`.
+    pub fn handle_msg_into(
+        &mut self,
+        msg: Msg,
+        stats: &mut Stats,
+        out: &mut Vec<L1Out>,
+    ) -> Result<(), ProtocolError> {
         let block = msg.block;
         let dir = msg.src;
         match msg.payload {
@@ -794,24 +929,26 @@ impl L1Cache {
                     }
                     _ => {}
                 }
-                Ok(vec![L1Out::Send(Msg {
+                out.push(L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
                     payload: Payload::InvAck,
-                })])
+                }));
+                Ok(())
             }
             Payload::FwdGets => {
                 let payload = match self.forward_data(block, true, stats)? {
                     FwdReply::Data { data, xfer } => Payload::DataToDir { data, xfer },
                     FwdReply::Nack => Payload::FwdNack,
                 };
-                Ok(vec![L1Out::Send(Msg {
+                out.push(L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
                     payload,
-                })])
+                }));
+                Ok(())
             }
             Payload::FwdGetx => {
                 let payload = match self.forward_data(block, false, stats)? {
@@ -826,12 +963,13 @@ impl L1Cache {
                         ))
                     }
                 };
-                Ok(vec![L1Out::Send(Msg {
+                out.push(L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
                     payload,
-                })])
+                }));
+                Ok(())
             }
             Payload::Data { data, grant } => {
                 let req = match self.pending.take() {
@@ -894,15 +1032,14 @@ impl L1Cache {
                     }
                 };
                 self.cache.touch(block);
-                Ok(vec![
-                    L1Out::Send(Msg {
-                        src: Endpoint::L1(self.core),
-                        dst: dir,
-                        block,
-                        payload: Payload::Unblock,
-                    }),
-                    L1Out::Reply { value },
-                ])
+                out.push(L1Out::Send(Msg {
+                    src: Endpoint::L1(self.core),
+                    dst: dir,
+                    block,
+                    payload: Payload::Unblock,
+                }));
+                out.push(L1Out::Reply { value });
+                Ok(())
             }
             Payload::UpgAck => {
                 let req = match self.pending.take() {
@@ -946,20 +1083,19 @@ impl L1Cache {
                 line.meta.state = L1State::M;
                 line.meta.hidden_writes = 0;
                 self.cache.touch(block);
-                Ok(vec![
-                    L1Out::Send(Msg {
-                        src: Endpoint::L1(self.core),
-                        dst: dir,
-                        block,
-                        payload: Payload::Unblock,
-                    }),
-                    L1Out::Reply { value: 0 },
-                ])
+                out.push(L1Out::Send(Msg {
+                    src: Endpoint::L1(self.core),
+                    dst: dir,
+                    block,
+                    payload: Payload::Unblock,
+                }));
+                out.push(L1Out::Reply { value: 0 });
+                Ok(())
             }
-            Payload::WbAck => match self.wb_buffer.remove(&block) {
+            Payload::WbAck => match self.wb_buffer.remove(block) {
                 Some(_) => {
                     self.row(L1RowId::WbAck, stats)?;
-                    Ok(vec![])
+                    Ok(())
                 }
                 None => Err(self.error(
                     L1RowId::WbAckUnexpected,
@@ -995,7 +1131,7 @@ impl L1Cache {
         is_gets: bool,
         stats: &mut Stats,
     ) -> Result<FwdReply, ProtocolError> {
-        if let Some(entry) = self.wb_buffer.get(&block) {
+        if let Some(entry) = self.wb_buffer.get(block) {
             // The eviction raced with the forward; answer from the buffer
             // and let the queued PUT be acked as stale.
             let data = entry.data;
@@ -1082,13 +1218,23 @@ impl L1Cache {
         &mut self,
         stats: &mut Stats,
     ) -> Result<Vec<L1Out>, ProtocolError> {
+        let mut out = Vec::new();
+        self.context_switch_forfeit_into(stats, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free form of [`L1Cache::context_switch_forfeit`].
+    pub fn context_switch_forfeit_into(
+        &mut self,
+        stats: &mut Stats,
+        out: &mut Vec<L1Out>,
+    ) -> Result<(), ProtocolError> {
         let approx: Vec<(BlockAddr, L1State)> = self
             .cache
             .iter()
             .filter(|l| matches!(l.meta.state, L1State::Gs | L1State::Gi))
             .map(|l| (l.block, l.meta.state))
             .collect();
-        let mut out = Vec::new();
         for (block, state) in approx {
             let row = if state == L1State::Gs {
                 L1RowId::CtxForfeitGs
@@ -1104,7 +1250,7 @@ impl L1Cache {
                 out.push(L1Out::Send(self.msg(block, Payload::PutS)));
             }
         }
-        Ok(out)
+        Ok(())
     }
 
     /// The periodic GI timeout (paper §3.2): returns every `GI` block to
@@ -1986,5 +2132,49 @@ mod more_l1_tests {
             "no FWD_NACK in {outs:?}"
         );
         assert_eq!(s.coverage.l1[L1RowId::FwdGetsStale as usize], 1);
+    }
+
+    #[test]
+    fn wb_buffer_exhaustion_is_a_typed_error_not_a_panic() {
+        // 1 set × 1 way: every block maps to the same line, so each new
+        // Modified block evicts the previous one into the writeback
+        // buffer. The directory never acks, so the buffer only grows.
+        let mut c = L1Cache::new(0, 1, 1, 1, BaseProtocol::Mesi, None, true);
+        let mut s = Stats::default();
+        let store_req = |addr: u64| CoreReq {
+            addr: Addr(addr),
+            size: 4,
+            value: 7,
+            kind: AccessKind::Store,
+        };
+        let fill_modified = |c: &mut L1Cache, s: &mut Stats, addr: u64| {
+            c.access(store_req(addr), s)?;
+            c.handle_msg(
+                Msg {
+                    src: Endpoint::Dir(0),
+                    dst: Endpoint::L1(0),
+                    block: Addr(addr).block(),
+                    payload: Payload::Data {
+                        data: BlockData::zeroed(),
+                        grant: Grant::Modified,
+                    },
+                },
+                s,
+            )
+            .map(|_| ())
+        };
+        for i in 0..=WB_BUFFER_WAYS as u64 {
+            fill_modified(&mut c, &mut s, 64 * i).unwrap_or_else(|e| panic!("fill {i}: {e}"));
+        }
+        // The buffer now holds WB_BUFFER_WAYS un-acked writebacks; one
+        // more eviction must surface a typed error, not a panic.
+        let err = c
+            .access(store_req(64 * (WB_BUFFER_WAYS as u64 + 1)), &mut s)
+            .expect_err("a full writeback buffer must be a ProtocolError");
+        let text = err.to_string();
+        assert!(
+            text.contains("writeback buffer full"),
+            "unexpected error text: {text}"
+        );
     }
 }

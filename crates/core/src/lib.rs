@@ -61,6 +61,7 @@ pub mod layout;
 pub mod machine;
 pub mod msg;
 pub mod op;
+pub mod prof;
 pub mod proto;
 pub mod scribe;
 pub mod stats;
@@ -72,6 +73,7 @@ pub use ctx::ThreadCtx;
 pub use harness::{node_key, Op, System, SystemConfig, Violation};
 pub use json::{Json, JsonError};
 pub use machine::{FinishedRun, Machine, Program, ThreadBody};
+pub use prof::{Phase, PhaseCounters, Profile, ALL_PHASES};
 pub use proto::{Coverage, DirRowId, Homing, L1RowId, ProtocolError, Reach};
 pub use scribe::{bit_distance, ScribePolicy, SimilarityHistogram};
 pub use stats::{SimReport, Stats};

@@ -27,6 +27,7 @@ use crate::dir::DirBank;
 use crate::l1::{AccessKind, CoreReq, GwParams, L1Cache, L1Out};
 use crate::msg::{Endpoint, Msg, Payload};
 use crate::op::{OpKind, ThreadOp, ThreadReply};
+use crate::prof::{Component, Phase, Profile, Profiler};
 use crate::stats::{CoreSummary, SimReport, Stats};
 use ghostwriter_energy::EnergyModel;
 
@@ -49,6 +50,7 @@ pub struct Machine {
     alloc_cursor: u64,
     programs: Vec<Program>,
     trace: bool,
+    profiling: bool,
     #[cfg(feature = "legacy-threads")]
     legacy: bool,
 }
@@ -76,6 +78,10 @@ pub struct FinishedRun {
     pub report: SimReport,
     /// Message trace, if [`Machine::enable_trace`] was called.
     pub trace: Vec<TraceEntry>,
+    /// Cycle-attribution profile, if [`Machine::enable_profiling`] was
+    /// called. Never feeds into [`FinishedRun::report`] or its stats
+    /// JSON — profiled and unprofiled runs are byte-identical there.
+    pub profile: Option<Profile>,
     dram: Dram,
 }
 
@@ -90,9 +96,18 @@ impl Machine {
             alloc_cursor: 0x1_0000,
             programs: Vec::new(),
             trace: false,
+            profiling: false,
             #[cfg(feature = "legacy-threads")]
             legacy: false,
         }
+    }
+
+    /// Turns on the cycle-attribution profiler (see [`crate::prof`]).
+    /// A runtime switch, not a config field: the machine's cache key is
+    /// derived from its [`MachineConfig`], and profiling must never
+    /// change what a run computes — only observe it.
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
     }
 
     /// Runs this machine's threads on the retired OS-thread rendezvous
@@ -221,6 +236,7 @@ impl Machine {
             self.dram,
             self.programs,
             legacy,
+            self.profiling,
         );
         engine.trace = self.trace.then(Vec::new);
         engine.run()
@@ -316,12 +332,59 @@ impl FinishedRun {
 enum Ev {
     /// Core ready for its thread's next operation.
     Fetch { core: usize },
-    /// Network delivery.
-    Deliver(Msg),
+    /// Network delivery of the pooled message in this slot.
+    ///
+    /// Carrying a slot index instead of the `Msg` itself keeps heap
+    /// entries at a fixed 16-ish bytes: `Msg` embeds a 64-byte
+    /// `BlockData` payload in its `Data`/`MemData`/`PutM` variants,
+    /// and cloning that through every push/pop/sift of the binary heap
+    /// dominated the delivery path.
+    Deliver(u32),
     /// Periodic GI timeout sweep for one L1 controller.
     GiTick { core: usize },
     /// Periodic context switch on one core (§3.5 forfeit).
     ContextSwitch { core: usize },
+}
+
+/// Arena for in-flight protocol messages: `Ev::Deliver` carries an index
+/// into `slots`, and a slot is recycled onto the free list the moment its
+/// message is delivered. In-flight count is bounded by outstanding
+/// transactions, so the arena stays small and hot.
+#[derive(Default)]
+struct MsgPool {
+    slots: Vec<Option<Msg>>,
+    free: Vec<u32>,
+}
+
+impl MsgPool {
+    fn alloc(&mut self, msg: Msg) -> u32 {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(msg);
+                slot
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("message pool overflow");
+                self.slots.push(Some(msg));
+                slot
+            }
+        }
+    }
+
+    fn take(&mut self, slot: u32) -> Msg {
+        let msg = self.slots[slot as usize]
+            .take()
+            .expect("double delivery of pooled message");
+        self.free.push(slot);
+        msg
+    }
+
+    /// Number of live (undelivered) messages.
+    #[cfg(test)]
+    fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
 }
 
 thread_local! {
@@ -467,6 +530,21 @@ struct Engine {
     /// Name of the last operation each core issued (wedged-thread
     /// diagnostics).
     last_op: Vec<&'static str>,
+    /// Arena for in-flight message payloads (see [`MsgPool`]).
+    pool: MsgPool,
+    /// Reusable outbox for L1 controller calls.
+    l1_scratch: Vec<L1Out>,
+    /// Reusable outbox for directory controller calls.
+    dir_scratch: Vec<Msg>,
+    /// Cycle-attribution profiler; `None` unless enabled on the machine.
+    prof: Option<Box<Profiler>>,
+    /// Core currently inside `Cores::resume`, if any. `resume` carries
+    /// no unwind guard of its own (a per-poll `catch_unwind` costs real
+    /// throughput — see `ghostwriter_sim::resume`), so the event loop
+    /// installs one guard per run and uses this to tell a workload
+    /// panic (re-labelled with the core id) from an engine bug
+    /// (re-raised untouched).
+    resuming: Option<usize>,
 }
 
 impl Engine {
@@ -476,6 +554,7 @@ impl Engine {
         dram: Dram,
         programs: Vec<Program>,
         legacy: bool,
+        profiling: bool,
     ) -> Self {
         let (w, h) = Mesh::dims_for(cfg.cores);
         let mesh = Mesh::new(w, h, cfg.router_cycles, cfg.link_cycles);
@@ -543,6 +622,11 @@ impl Engine {
             trace: None,
             link_free,
             last_op: vec!["<none>"; cfg.cores],
+            pool: MsgPool::default(),
+            l1_scratch: Vec::new(),
+            dir_scratch: Vec::new(),
+            prof: profiling.then(|| Box::new(Profiler::new(cfg.cores))),
+            resuming: None,
             cfg,
         }
     }
@@ -556,8 +640,12 @@ impl Engine {
     }
 
     /// Routes a message: records traffic, computes latency, schedules
-    /// delivery `extra_delay` (the sender's access time) later.
+    /// delivery `extra_delay` (the sender's access time) later. The
+    /// message is interned in the pool; the heap only carries its slot.
     fn send(&mut self, msg: Msg, extra_delay: u64) {
+        if let Some(p) = self.prof.as_mut() {
+            p.begin_span(Phase::Routing);
+        }
         if let Some(trace) = &mut self.trace {
             trace.push(TraceEntry {
                 cycle: self.queue.now(),
@@ -578,7 +666,12 @@ impl Engine {
         } else {
             extra_delay + latency
         };
-        self.queue.push_after(delay, Ev::Deliver(msg));
+        let slot = self.pool.alloc(msg);
+        self.queue.push_after(delay, Ev::Deliver(slot));
+        if let Some(p) = self.prof.as_mut() {
+            p.end_span();
+            p.route(delay);
+        }
     }
 
     /// Wormhole-ish contention model: each directional link serializes
@@ -601,8 +694,9 @@ impl Engine {
         done - self.queue.now()
     }
 
-    fn apply_l1_outs(&mut self, core: usize, outs: Vec<L1Out>) {
-        for out in outs {
+    /// Drains `outs` (a reusable scratch buffer) into replies and sends.
+    fn apply_l1_outs(&mut self, core: usize, outs: &mut Vec<L1Out>) {
+        for out in outs.drain(..) {
             match out {
                 L1Out::Reply { value } => {
                     self.pending_reply[core] = Some(value);
@@ -615,53 +709,20 @@ impl Engine {
     }
 
     fn run(mut self) -> FinishedRun {
-        for core in 0..self.threads {
-            self.queue.push(0, Ev::Fetch { core });
-        }
-        if let Some(t) = self.gi_timeout {
-            for core in 0..self.cfg.cores {
-                self.queue.push(t, Ev::GiTick { core });
-            }
-        }
-        if let Some(p) = self.cfg.context_switch_period {
-            for core in 0..self.cfg.cores {
-                // Stagger switches across cores like an OS tick would.
-                self.queue.push(p + core as u64, Ev::ContextSwitch { core });
-            }
-        }
-        while self.n_finished < self.threads {
-            let Some((_, ev)) = self.queue.pop() else {
+        // One unwind guard for the WHOLE run (never per poll — see the
+        // `resuming` field docs): a panic raised while a core was being
+        // resumed is a workload panic and gets re-labelled with the
+        // core; anything else is an engine bug and re-raised as-is.
+        let looped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.event_loop()));
+        if let Err(payload) = looped {
+            if let Some(core) = self.resuming {
                 panic!(
-                    "simulation deadlock: {}/{} threads finished, waiting at barrier: {:?}",
-                    self.n_finished,
-                    self.threads,
-                    self.barrier_wait
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, w)| w.is_some())
-                        .map(|(c, _)| c)
-                        .collect::<Vec<_>>()
+                    "simulated thread {core} panicked: {}",
+                    ghostwriter_sim::panic_message(payload)
                 );
-            };
-            self.dispatch(ev);
-        }
-        // Drain in-flight writebacks and acknowledgements.
-        while let Some((_, ev)) = self.queue.pop() {
-            match ev {
-                Ev::GiTick { .. } => {}
-                Ev::Fetch { core } => panic!(
-                    "{}",
-                    post_drain_fetch_report(core, self.queue.now(), self.last_op[core])
-                ),
-                other => self.dispatch(other),
             }
+            std::panic::resume_unwind(payload);
         }
-        for bank in &self.banks {
-            assert!(bank.quiescent(), "bank not quiescent after drain");
-        }
-        self.flush();
-        self.cores.join();
-        recycle_queue(std::mem::take(&mut self.queue));
 
         // Per-core summaries, then fold every core's counters into the
         // machine total.
@@ -704,34 +765,158 @@ impl Engine {
         FinishedRun {
             report,
             trace: self.trace.take().unwrap_or_default(),
+            profile: self.prof.take().map(|p| p.finish()),
             dram: self.dram,
         }
     }
 
-    fn dispatch(&mut self, ev: Ev) {
+    /// The event loop proper: seeds the initial events, drains the
+    /// queue until every thread finishes, then drains in-flight
+    /// protocol traffic. Split out of [`Engine::run`] so the run-level
+    /// unwind guard wraps exactly the code that can raise a workload
+    /// panic.
+    fn event_loop(&mut self) {
+        for core in 0..self.threads {
+            self.queue.push(0, Ev::Fetch { core });
+        }
+        if let Some(t) = self.gi_timeout {
+            for core in 0..self.cfg.cores {
+                self.queue.push(t, Ev::GiTick { core });
+            }
+        }
+        if let Some(p) = self.cfg.context_switch_period {
+            for core in 0..self.cfg.cores {
+                // Stagger switches across cores like an OS tick would.
+                self.queue.push(p + core as u64, Ev::ContextSwitch { core });
+            }
+        }
+        // Events of one cycle are popped as a batch and dispatched
+        // back-to-back: pushes made while the batch is handled carry
+        // larger seq numbers, so this is exactly the pop-at-a-time
+        // order without a heap query per event. The clock advance into
+        // each batch is charged to the batch's first event when the
+        // profiler is on.
+        let mut batch: Vec<Ev> = Vec::new();
+        while self.n_finished < self.threads {
+            let prev = self.queue.now();
+            let Some(time) = self.queue.pop_batch(&mut batch) else {
+                panic!(
+                    "simulation deadlock: {}/{} threads finished, waiting at barrier: {:?}",
+                    self.n_finished,
+                    self.threads,
+                    self.barrier_wait
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, w)| w.is_some())
+                        .map(|(c, _)| c)
+                        .collect::<Vec<_>>()
+                );
+            };
+            let mut delta = time - prev;
+            for ev in batch.drain(..) {
+                self.dispatch(ev, delta);
+                delta = 0;
+            }
+        }
+        // Drain in-flight writebacks and acknowledgements. A fetch here
+        // means every thread finished yet a core still wants to resume —
+        // a wedged or double-scheduled thread.
+        if let Some(p) = self.prof.as_mut() {
+            p.begin_drain();
+        }
+        loop {
+            let prev = self.queue.now();
+            let Some(time) = self.queue.pop_batch(&mut batch) else {
+                break;
+            };
+            let mut delta = time - prev;
+            for ev in batch.drain(..) {
+                match ev {
+                    Ev::GiTick { .. } => {}
+                    Ev::Fetch { core } => panic!(
+                        "{}",
+                        post_drain_fetch_report(core, self.queue.now(), self.last_op[core])
+                    ),
+                    other => self.dispatch(other, delta),
+                }
+                delta = 0;
+            }
+        }
+        for bank in &self.banks {
+            assert!(bank.quiescent(), "bank not quiescent after drain");
+        }
+        self.flush();
+        self.cores.join();
+        recycle_queue(std::mem::take(&mut self.queue));
+    }
+
+    /// Handles one event. `delta` is the clock advance this event is
+    /// responsible for (nonzero only for the first event of a batch);
+    /// it is consumed by the profiler and nothing else.
+    fn dispatch(&mut self, ev: Ev, delta: u64) {
         match ev {
-            Ev::Fetch { core } => self.fetch(core),
-            Ev::Deliver(msg) => self.deliver(msg),
+            Ev::Fetch { core } => {
+                if let Some(p) = self.prof.as_mut() {
+                    p.begin_span(Phase::CoreStep);
+                }
+                self.fetch(core);
+                if let Some(p) = self.prof.as_mut() {
+                    p.end_span();
+                    p.event(Phase::CoreStep, Component::Core(core), delta);
+                }
+            }
+            Ev::Deliver(slot) => {
+                let msg = self.pool.take(slot);
+                let (phase, component) = match msg.dst {
+                    Endpoint::L1(c) => (Phase::L1Dispatch, Component::Core(c)),
+                    Endpoint::Dir(b) => (Phase::DirDispatch, Component::Bank(b)),
+                    Endpoint::Mem(_) => (Phase::Memory, Component::Mem),
+                };
+                if let Some(p) = self.prof.as_mut() {
+                    p.begin_span(phase);
+                }
+                self.deliver(msg);
+                if let Some(p) = self.prof.as_mut() {
+                    p.end_span();
+                    p.event(phase, component, delta);
+                }
+            }
             Ev::GiTick { core } => {
                 if self.n_finished < self.threads {
+                    if let Some(p) = self.prof.as_mut() {
+                        p.begin_span(Phase::QueueChurn);
+                    }
                     self.l1s[core]
                         .gi_timeout_sweep(&mut self.core_stats[core])
                         .unwrap_or_else(|e| panic!("protocol error: {e}"));
                     let t = self.gi_timeout.expect("tick without timeout");
                     self.queue.push_after(t, Ev::GiTick { core });
+                    if let Some(p) = self.prof.as_mut() {
+                        p.end_span();
+                        p.event(Phase::QueueChurn, Component::Core(core), delta);
+                    }
                 }
             }
             Ev::ContextSwitch { core } => {
                 if self.n_finished < self.threads {
-                    let outs = self.l1s[core]
-                        .context_switch_forfeit(&mut self.core_stats[core])
+                    if let Some(p) = self.prof.as_mut() {
+                        p.begin_span(Phase::QueueChurn);
+                    }
+                    let mut outs = std::mem::take(&mut self.l1_scratch);
+                    self.l1s[core]
+                        .context_switch_forfeit_into(&mut self.core_stats[core], &mut outs)
                         .unwrap_or_else(|e| panic!("protocol error: {e}"));
-                    self.apply_l1_outs(core, outs);
+                    self.apply_l1_outs(core, &mut outs);
+                    self.l1_scratch = outs;
                     let p = self
                         .cfg
                         .context_switch_period
                         .expect("switch without period");
                     self.queue.push_after(p, Ev::ContextSwitch { core });
+                    if let Some(p) = self.prof.as_mut() {
+                        p.end_span();
+                        p.event(Phase::QueueChurn, Component::Core(core), delta);
+                    }
                 }
             }
         }
@@ -743,10 +928,18 @@ impl Engine {
     fn fetch(&mut self, core: usize) {
         let reply = self.pending_reply[core].take();
         let now = self.queue.now();
-        let op = match self.cores.resume(core, reply) {
+        // Two plain stores bracketing the resume tell the run-level
+        // unwind guard which core a workload panic belongs to.
+        self.resuming = Some(core);
+        let step = self.cores.resume(core, reply);
+        self.resuming = None;
+        let op = match step {
             Step::Op(op) => op,
             Step::Done(panicked) => {
                 if let Some(msg) = panicked {
+                    // Legacy engine only: the OS-thread harness catches
+                    // the unwind at thread scope and forwards the
+                    // message through the exit marker.
                     panic!("simulated thread {core} panicked: {msg}");
                 }
                 self.finished[core] = true;
@@ -786,10 +979,12 @@ impl Engine {
                     value,
                     kind,
                 };
-                let outs = self.l1s[core]
-                    .access(req, &mut self.core_stats[core])
+                let mut outs = std::mem::take(&mut self.l1_scratch);
+                self.l1s[core]
+                    .access_into(req, &mut self.core_stats[core], &mut outs)
                     .unwrap_or_else(|e| panic!("protocol error: {e}"));
-                self.apply_l1_outs(core, outs);
+                self.apply_l1_outs(core, &mut outs);
+                self.l1_scratch = outs;
             }
             ThreadOp::Work(cycles) => {
                 self.stats.work_cycles += cycles;
@@ -813,20 +1008,34 @@ impl Engine {
         }
     }
 
-    /// Releases the barrier when every live thread has arrived.
+    /// Releases the barrier when every live thread has arrived. Two
+    /// plain scans over the per-core arrays — this runs on every thread
+    /// exit and barrier arrival, and used to collect the live set into
+    /// a fresh `Vec` each time.
     fn try_release_barrier(&mut self) {
-        let live: Vec<usize> = (0..self.threads).filter(|&c| !self.finished[c]).collect();
-        if live.is_empty() || !live.iter().all(|&c| self.barrier_wait[c].is_some()) {
+        let mut any_live = false;
+        let mut arrive_max = 0;
+        for c in 0..self.threads {
+            if self.finished[c] {
+                continue;
+            }
+            match self.barrier_wait[c] {
+                Some(t) => {
+                    any_live = true;
+                    arrive_max = arrive_max.max(t);
+                }
+                None => return,
+            }
+        }
+        if !any_live {
             return;
         }
-        let arrive_max = live
-            .iter()
-            .map(|&c| self.barrier_wait[c].expect("checked"))
-            .max()
-            .expect("nonempty");
         let release = arrive_max + self.cfg.barrier_cost;
         self.stats.barriers += 1;
-        for &c in &live {
+        for c in 0..self.threads {
+            if self.finished[c] {
+                continue;
+            }
             self.barrier_wait[c] = None;
             self.pending_reply[c] = Some(0);
             self.queue
@@ -837,18 +1046,22 @@ impl Engine {
     fn deliver(&mut self, msg: Msg) {
         match msg.dst {
             Endpoint::L1(core) => {
-                let outs = self.l1s[core]
-                    .handle_msg(msg, &mut self.core_stats[core])
+                let mut outs = std::mem::take(&mut self.l1_scratch);
+                self.l1s[core]
+                    .handle_msg_into(msg, &mut self.core_stats[core], &mut outs)
                     .unwrap_or_else(|e| panic!("protocol error: {e}"));
-                self.apply_l1_outs(core, outs);
+                self.apply_l1_outs(core, &mut outs);
+                self.l1_scratch = outs;
             }
             Endpoint::Dir(bank) => {
-                let outs = self.banks[bank]
-                    .handle_msg(msg, &mut self.stats)
+                let mut outs = std::mem::take(&mut self.dir_scratch);
+                self.banks[bank]
+                    .handle_msg_into(msg, &mut self.stats, &mut outs)
                     .unwrap_or_else(|e| panic!("protocol error: {e}"));
-                for m in outs {
+                for m in outs.drain(..) {
                     self.send(m, self.cfg.l2_latency);
                 }
+                self.dir_scratch = outs;
             }
             Endpoint::Mem(mc) => match msg.payload {
                 Payload::MemRead => {
@@ -1344,5 +1557,101 @@ mod context_switch_tests {
         assert_eq!(gs_sw, 1);
         assert!(forfeits_sw >= 1, "switch must forfeit the GS block");
         assert_eq!(seen_sw, 0, "post-switch read sees the coherent value");
+    }
+
+    /// A small sharing workload used by the profiler tests: four threads
+    /// scribbling adjacent slots of one block under Ghostwriter, with a
+    /// closing barrier — exercises fetches, L1/dir dispatch, memory,
+    /// GI ticks and routing.
+    fn profiler_workload() -> Machine {
+        let mut m = Machine::new(MachineConfig::small(4, Protocol::ghostwriter()));
+        let shared = m.alloc_padded(64);
+        for t in 0..4usize {
+            m.add_thread(move |ctx| async move {
+                ctx.approx_begin(4).await;
+                let slot = shared.add(4 * t as u64);
+                for i in 0..50u32 {
+                    let v = ctx.load_u32(slot).await;
+                    ctx.scribble_u32(slot, v + (i & 1)).await;
+                }
+                ctx.approx_end().await;
+                ctx.barrier().await;
+            });
+        }
+        m
+    }
+
+    #[test]
+    fn profiler_observes_without_perturbing_and_reconciles_exactly() {
+        let off = profiler_workload().run();
+        assert!(off.profile.is_none(), "profiling is opt-in");
+
+        let mut m = profiler_workload();
+        m.enable_profiling();
+        let on = m.run();
+
+        // Identical simulation: same cycle count, byte-identical stats.
+        assert_eq!(off.report.cycles, on.report.cycles);
+        assert_eq!(
+            off.report.stats.to_json().to_pretty(),
+            on.report.stats.to_json().to_pretty(),
+            "profiling must not change any statistic"
+        );
+
+        // Exact attribution: per-phase cycles sum to the machine's cycle
+        // count, and per-component cycles agree with the phase totals.
+        let p = on.profile.expect("profiling was enabled");
+        assert_eq!(p.attributed_cycles(), on.report.cycles);
+        let component_total =
+            p.core_cycles.iter().sum::<u64>() + p.bank_cycles.iter().sum::<u64>() + p.mem_cycles;
+        assert_eq!(component_total, on.report.cycles);
+        assert!(
+            p.phases[Phase::Routing as usize].events > 0,
+            "the workload routes messages"
+        );
+    }
+
+    mod msg_pool_fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn tagged_msg(tag: u64) -> Msg {
+            Msg {
+                src: Endpoint::L1(0),
+                dst: Endpoint::Dir(0),
+                block: BlockAddr(tag),
+                payload: Payload::Gets,
+            }
+        }
+
+        proptest! {
+            /// Random alloc/deliver interleavings: every take returns
+            /// the message its slot was allocated with, the in-flight
+            /// count tracks the model exactly, and freed slots are
+            /// recycled (the arena never outgrows the peak live count).
+            #[test]
+            fn slot_recycling_round_trips(ops in proptest::collection::vec(any::<u64>(), 1..256)) {
+                let mut pool = MsgPool::default();
+                let mut live: Vec<(u32, u64)> = Vec::new();
+                let mut peak = 0usize;
+                for (i, op) in ops.into_iter().enumerate() {
+                    // Low bit picks alloc vs deliver; the rest picks the
+                    // in-flight message to deliver.
+                    let (deliver, pick) = (op & 1 == 1, op >> 1);
+                    if deliver && !live.is_empty() {
+                        let (slot, tag) = live.swap_remove(pick as usize % live.len());
+                        let msg = pool.take(slot);
+                        prop_assert_eq!(msg.block, BlockAddr(tag));
+                    } else {
+                        let tag = i as u64;
+                        let slot = pool.alloc(tagged_msg(tag));
+                        live.push((slot, tag));
+                        peak = peak.max(live.len());
+                    }
+                    prop_assert_eq!(pool.in_flight(), live.len());
+                }
+                prop_assert!(pool.slots.len() <= peak, "arena grew past peak {} > {}", pool.slots.len(), peak);
+            }
+        }
     }
 }

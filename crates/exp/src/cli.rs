@@ -4,7 +4,8 @@
 //! gwbench list
 //! gwbench run <experiment>... [options]
 //! gwbench repro-all [options]
-//! gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--quiet]
+//! gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--reps N] [--quiet]
+//! gwbench profile [--smoke] [--out FILE] [--overhead-check] [--quiet]
 //! gwbench clean
 //!
 //! options:
@@ -19,6 +20,13 @@
 //! `perf` times the engine-kernel microbenchmarks (see [`crate::perf`])
 //! and writes `BENCH_kernel.json`; with `--baseline` it exits 4 on a >2x
 //! throughput regression against the committed file.
+//!
+//! `profile` runs representative kernels with the engine's cycle-
+//! attribution profiler on (see [`crate::profile`]), prints each
+//! kernel's ranked per-phase table, and writes the JSON artifact; it
+//! exits 4 if any kernel's per-phase cycles fail to reconcile with its
+//! simulated cycle count, or — with `--overhead-check` — if profiling
+//! perturbs the simulation's stats.
 //!
 //! `run` concatenates the selected experiments' run matrices into ONE
 //! sweep, so the engine's fingerprint dedup works across experiments:
@@ -54,7 +62,8 @@ fn usage() -> String {
     let mut s = String::from(
         "usage: gwbench <list|run <experiment>...|repro-all|clean>\n\
          \x20      [--jobs N] [--no-cache] [--smoke] [--expect-cached] [--quiet]\n\
-         \x20      gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--quiet]\n",
+         \x20      gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--reps N] [--quiet]\n\
+         \x20      gwbench profile [--smoke] [--out FILE] [--overhead-check] [--quiet]\n",
     );
     s.push_str("\nexperiments:\n");
     for e in all_experiments() {
@@ -221,6 +230,7 @@ pub fn main_with_args(args: Vec<String>) -> i32 {
             let mut quiet = false;
             let mut out = crate::perf::DEFAULT_OUT.to_string();
             let mut baseline: Option<String> = None;
+            let mut reps = 1u32;
             let mut it = rest.iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -240,13 +250,46 @@ pub fn main_with_args(args: Vec<String>) -> i32 {
                             return 2;
                         }
                     },
+                    "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                        Some(v) => reps = v,
+                        None => {
+                            eprintln!("gwbench: --reps needs a positive integer");
+                            return 2;
+                        }
+                    },
                     flag => {
                         eprintln!("gwbench: unknown perf flag `{flag}`\n\n{}", usage());
                         return 2;
                     }
                 }
             }
-            crate::perf::main_perf(smoke, &out, baseline.as_deref(), quiet)
+            crate::perf::main_perf(smoke, &out, baseline.as_deref(), quiet, reps)
+        }
+        "profile" => {
+            let mut smoke = false;
+            let mut quiet = false;
+            let mut check_overhead = false;
+            let mut out = crate::profile::DEFAULT_OUT.to_string();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--smoke" => smoke = true,
+                    "--quiet" => quiet = true,
+                    "--overhead-check" => check_overhead = true,
+                    "--out" => match it.next() {
+                        Some(v) => out = v.clone(),
+                        None => {
+                            eprintln!("gwbench: --out needs a value");
+                            return 2;
+                        }
+                    },
+                    flag => {
+                        eprintln!("gwbench: unknown profile flag `{flag}`\n\n{}", usage());
+                        return 2;
+                    }
+                }
+            }
+            crate::profile::main_profile(smoke, &out, quiet, check_overhead)
         }
         "run" | "repro-all" => {
             let opts = match parse(rest) {

@@ -19,6 +19,8 @@
 //!   perf / clean) that the thin `crates/bench` wrappers invoke.
 //! - [`perf`] — the perf-regression kernel harness behind `gwbench perf`
 //!   (`BENCH_kernel.json`).
+//! - [`profile`] — the cycle-attribution reporter behind
+//!   `gwbench profile` (`results/profile.json`).
 
 pub mod cache;
 pub mod cli;
@@ -27,6 +29,7 @@ pub mod experiments;
 pub mod fingerprint;
 pub mod perf;
 pub mod pool;
+pub mod profile;
 pub mod record;
 pub mod render;
 pub mod scenarios;

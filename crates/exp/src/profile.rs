@@ -1,0 +1,274 @@
+//! `gwbench profile` — the in-simulator cycle-attribution report.
+//!
+//! Runs a small set of representative kernels with the engine's
+//! profiler enabled ([`ghostwriter_core::Machine::enable_profiling`])
+//! and emits, per kernel, a per-phase attribution table ranked by
+//! estimated wall time, plus one machine-readable JSON artifact for all
+//! kernels. The profiler charges every simulated cycle to the phase
+//! whose event advanced the clock, so each kernel's per-phase cycles
+//! sum to *exactly* its simulated cycle count — the subcommand verifies
+//! this reconciliation and exits non-zero if it ever fails.
+//!
+//! With `--overhead-check` the storm kernel is additionally run withOUT
+//! profiling and its stats JSON compared byte-for-byte against the
+//! profiled run's, proving the profiler observes without perturbing the
+//! simulation; the profiled run's wall time is also gated against the
+//! unprofiled run's (a loose 3x bound, CI noise included).
+
+use std::time::Instant;
+
+use ghostwriter_core::{BaseProtocol, Json, MachineConfig, Phase, Profile, Protocol, ALL_PHASES};
+use ghostwriter_workloads::{find_benchmark, ScaleClass, DEFAULT_SEED};
+
+/// Default artifact path (under `results/`, not committed).
+pub const DEFAULT_OUT: &str = "results/profile.json";
+
+/// One profiled kernel run.
+pub struct ProfiledKernel {
+    /// Kernel name.
+    pub name: String,
+    /// `smoke` or `full`.
+    pub scale: String,
+    /// Simulated cycles from the report.
+    pub cycles: u64,
+    /// Wall-clock milliseconds of the profiled run.
+    pub wall_ms: f64,
+    /// The attribution report.
+    pub profile: Profile,
+}
+
+impl ProfiledKernel {
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("name", Json::Str(self.name.clone()));
+        j.push("scale", Json::Str(self.scale.clone()));
+        j.push("cycles", Json::U64(self.cycles));
+        j.push("wall_ms", Json::F64(self.wall_ms));
+        j.push("attribution", self.profile.to_json());
+        j
+    }
+}
+
+/// Serializes a run to the artifact format.
+pub fn to_json(kernels: &[ProfiledKernel]) -> Json {
+    let mut j = Json::obj();
+    j.push("format", Json::Str("gwbench-profile-v1".into()));
+    j.push(
+        "kernels",
+        Json::Arr(kernels.iter().map(ProfiledKernel::to_json).collect()),
+    );
+    j
+}
+
+/// Runs `m` with profiling enabled and packages the attribution.
+fn profiled_run(name: &str, scale: &str, mut m: ghostwriter_core::Machine) -> ProfiledKernel {
+    m.enable_profiling();
+    let started = Instant::now();
+    let run = m.run();
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    ProfiledKernel {
+        name: name.into(),
+        scale: scale.into(),
+        cycles: run.report.cycles,
+        wall_ms,
+        profile: run.profile.expect("profiling was enabled"),
+    }
+}
+
+/// The storm machine at profile scale (shared with `gwbench perf`).
+fn storm(scale: &str) -> ghostwriter_core::Machine {
+    let iters = if scale == "smoke" { 3_000 } else { 30_000 };
+    crate::perf::storm_machine(8, BaseProtocol::Mesi, iters, false)
+}
+
+/// A registry workload built onto a machine we keep control of, so
+/// profiling can be switched on before the run.
+fn workload_machine(name: &str, scale: &str) -> ghostwriter_core::Machine {
+    let entry = find_benchmark(name).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let class = if scale == "smoke" {
+        ScaleClass::Test
+    } else {
+        ScaleClass::Eval
+    };
+    let mut w = entry.build_seeded(class, DEFAULT_SEED);
+    let cfg = MachineConfig {
+        cores: 8,
+        protocol: Protocol::ghostwriter(),
+        ..MachineConfig::default()
+    };
+    let mut m = ghostwriter_core::Machine::new(cfg);
+    w.build(&mut m, 8, 8);
+    m
+}
+
+/// Profiles every kernel at one scale.
+pub fn run_scale(scale: &str) -> Vec<ProfiledKernel> {
+    let mut out = vec![profiled_run("noc_contention_storm", scale, storm(scale))];
+    for w in ["histogram", "kmeans", "blackscholes"] {
+        out.push(profiled_run(w, scale, workload_machine(w, scale)));
+    }
+    out
+}
+
+/// Renders the ranked per-phase table for one kernel.
+pub fn render(k: &ProfiledKernel) -> String {
+    let mut ranked: Vec<Phase> = ALL_PHASES.to_vec();
+    ranked.sort_by_key(|p| std::cmp::Reverse(k.profile.phases[*p as usize].est_wall_ns()));
+    let total_wall: u64 = ranked
+        .iter()
+        .map(|p| k.profile.phases[*p as usize].est_wall_ns())
+        .sum();
+    let mut s = format!(
+        "{} ({}): {} cycles, {:.1} ms wall\n\
+         phase          events        cycles    est_wall_ms  wall%\n",
+        k.name, k.scale, k.cycles, k.wall_ms
+    );
+    for p in ranked {
+        let c = &k.profile.phases[p as usize];
+        let pct = if total_wall == 0 {
+            0.0
+        } else {
+            100.0 * c.est_wall_ns() as f64 / total_wall as f64
+        };
+        s.push_str(&format!(
+            "{:<12} {:>9} {:>13} {:>14.2} {:>6.1}\n",
+            p.name(),
+            c.events,
+            c.cycles,
+            c.est_wall_ns() as f64 / 1e6,
+            pct
+        ));
+    }
+    s.push_str(&format!(
+        "attributed {} / simulated {} cycles; drain: {} cycles / {} events\n",
+        k.profile.attributed_cycles(),
+        k.cycles,
+        k.profile.drain_cycles,
+        k.profile.drain_events
+    ));
+    s
+}
+
+/// Runs the storm twice — profiler off, then on — and checks that the
+/// stats JSON is byte-identical and the profiled run is not absurdly
+/// slower. Returns an error description on failure.
+fn overhead_check(scale: &str) -> Result<String, String> {
+    let started = Instant::now();
+    let off = storm(scale).run();
+    let off_secs = started.elapsed().as_secs_f64();
+
+    let mut m = storm(scale);
+    m.enable_profiling();
+    let started = Instant::now();
+    let on = m.run();
+    let on_secs = started.elapsed().as_secs_f64();
+
+    let off_stats = off.report.stats.to_json().to_pretty();
+    let on_stats = on.report.stats.to_json().to_pretty();
+    if off_stats != on_stats {
+        return Err("stats JSON differs between profiler-off and profiler-on runs".into());
+    }
+    if off.report.cycles != on.report.cycles {
+        return Err(format!(
+            "cycle count differs: {} off vs {} on",
+            off.report.cycles, on.report.cycles
+        ));
+    }
+    // Loose gate: sampled spans should keep the profiled run within a
+    // small factor of the plain run even on a noisy CI box.
+    if on_secs > off_secs * 3.0 + 0.05 {
+        return Err(format!(
+            "profiled run too slow: {on_secs:.3}s vs {off_secs:.3}s unprofiled"
+        ));
+    }
+    Ok(format!(
+        "overhead check: stats identical, {} cycles both runs; wall {:.3}s off vs {:.3}s on",
+        off.report.cycles, off_secs, on_secs
+    ))
+}
+
+/// `gwbench profile` entry point. Returns the process exit code.
+pub fn main_profile(smoke: bool, out_path: &str, quiet: bool, check_overhead: bool) -> i32 {
+    let scale = if smoke { "smoke" } else { "full" };
+    let kernels = run_scale(scale);
+
+    let mut code = 0;
+    for k in &kernels {
+        if !quiet {
+            print!("{}", render(k));
+            println!();
+        }
+        if k.profile.attributed_cycles() != k.cycles {
+            eprintln!(
+                "gwbench profile: RECONCILIATION FAILURE {}: attributed {} != simulated {}",
+                k.name,
+                k.profile.attributed_cycles(),
+                k.cycles
+            );
+            code = 4;
+        }
+    }
+
+    if check_overhead {
+        match overhead_check(scale) {
+            Ok(msg) => eprintln!("gwbench profile: {msg}"),
+            Err(e) => {
+                eprintln!("gwbench profile: OVERHEAD CHECK FAILED: {e}");
+                code = 4;
+            }
+        }
+    }
+
+    if let Some(parent) = std::path::Path::new(out_path).parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(out_path, to_json(&kernels).to_pretty()) {
+        eprintln!("gwbench profile: cannot write {out_path}: {e}");
+        return 1;
+    }
+    eprintln!(
+        "gwbench profile: wrote {} kernels to {out_path}",
+        kernels.len()
+    );
+    code
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storm_attribution_reconciles_and_serializes() {
+        let k = profiled_run("storm", "smoke", storm("smoke"));
+        assert_eq!(k.profile.attributed_cycles(), k.cycles);
+        let text = to_json(&[k]).to_pretty();
+        let back = Json::parse(&text).expect("artifact parses");
+        let kernels = back.field("kernels").unwrap().as_arr().unwrap();
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(
+            kernels[0].field("cycles").unwrap().as_u64().unwrap(),
+            kernels[0]
+                .field("attribution")
+                .unwrap()
+                .field("attributed_cycles")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+        );
+    }
+
+    #[test]
+    fn overhead_check_passes_on_the_smoke_storm() {
+        let msg = overhead_check("smoke").expect("profiler must not perturb the simulation");
+        assert!(msg.contains("stats identical"), "{msg}");
+    }
+
+    #[test]
+    fn render_mentions_every_phase() {
+        let k = profiled_run("storm", "smoke", storm("smoke"));
+        let table = render(&k);
+        for p in ALL_PHASES {
+            assert!(table.contains(p.name()), "missing {}", p.name());
+        }
+    }
+}

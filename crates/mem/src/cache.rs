@@ -31,17 +31,48 @@ pub enum LookupResult {
     Victim { way: usize, block: BlockAddr },
 }
 
+/// Tag-array sentinel for a vacant way. Block numbers are byte addresses
+/// shifted right by the block bits, so `u64::MAX` can never be a real tag.
+const EMPTY_TAG: BlockAddr = BlockAddr(u64::MAX);
+
 /// A set-associative array of `sets × ways` lines.
+///
+/// Tags are mirrored into a packed side array: a [`Line`] is ~80 bytes
+/// (64 of them block data), so probing through `lines` touches one
+/// hardware cache line per way, while the packed `tags` vector fits a
+/// whole 8-way set in a single one. Every lookup on the simulator's hot
+/// path goes through [`SetAssocCache::probe`], which scans only `tags`.
 ///
 /// `Hash` covers the complete replacement-relevant state (tags, data,
 /// metadata, PLRU bits), so equal hashes mean equal future behaviour —
 /// the model checker's state canonicalisation relies on this.
-#[derive(Clone, Debug, Hash)]
+#[derive(Clone, Debug)]
 pub struct SetAssocCache<M> {
     sets: usize,
     ways: usize,
+    /// `tags[slot]` mirrors `lines[slot]`: the resident block, or
+    /// [`EMPTY_TAG`] when the way is vacant.
+    tags: Vec<BlockAddr>,
     lines: Vec<Option<Line<M>>>,
     plru: Vec<TreePlru>,
+    /// One-entry probe memo `(block, way)`: the protocol layers probe the
+    /// same block several times per access (probe → get → touch →
+    /// get_mut), so remembering the last hit skips the tag scan on all
+    /// but the first. Caches hits only; invalidated by [`Self::insert_at`]
+    /// and [`Self::remove`]. Pure lookup state — excluded from `Hash`.
+    probe_memo: std::cell::Cell<(BlockAddr, usize)>,
+}
+
+impl<M: std::hash::Hash> std::hash::Hash for SetAssocCache<M> {
+    /// Manual impl skipping `tags`, which is derivable from `lines`:
+    /// keeps hashes identical to the pre-split layout, so checker caches
+    /// and fingerprints survive the data-layout change.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.sets.hash(state);
+        self.ways.hash(state);
+        self.lines.hash(state);
+        self.plru.hash(state);
+    }
 }
 
 impl<M> SetAssocCache<M> {
@@ -56,8 +87,10 @@ impl<M> SetAssocCache<M> {
         Self {
             sets,
             ways,
+            tags: vec![EMPTY_TAG; sets * ways],
             lines: (0..sets * ways).map(|_| None).collect(),
             plru: vec![TreePlru::new(); sets],
+            probe_memo: std::cell::Cell::new((EMPTY_TAG, 0)),
         }
     }
 
@@ -88,22 +121,36 @@ impl<M> SetAssocCache<M> {
         (block.index() as usize) & (self.sets - 1)
     }
 
+    /// Set index of `block` under this geometry. Public so the directory
+    /// can co-index its per-set MSHR tables with the cache array.
+    #[inline]
+    pub fn set_index(&self, block: BlockAddr) -> usize {
+        self.set_of(block)
+    }
+
     #[inline]
     fn slot(&self, set: usize, way: usize) -> usize {
         set * self.ways + way
     }
 
     /// Looks up `block`; returns its way on hit (does not touch PLRU).
+    /// One linear scan of the packed tag array.
+    #[inline]
     pub fn probe(&self, block: BlockAddr) -> Option<usize> {
-        let set = self.set_of(block);
-        (0..self.ways).find(|&w| {
-            self.lines[self.slot(set, w)]
-                .as_ref()
-                .is_some_and(|l| l.block == block)
-        })
+        let (memo_block, memo_way) = self.probe_memo.get();
+        if memo_block == block {
+            return Some(memo_way);
+        }
+        let base = self.set_of(block) * self.ways;
+        let way = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == block)?;
+        self.probe_memo.set((block, way));
+        Some(way)
     }
 
     /// Immutable access to a resident line.
+    #[inline]
     pub fn get(&self, block: BlockAddr) -> Option<&Line<M>> {
         let way = self.probe(block)?;
         self.lines[self.slot(self.set_of(block), way)].as_ref()
@@ -111,6 +158,11 @@ impl<M> SetAssocCache<M> {
 
     /// Mutable access to a resident line (does not touch PLRU; call
     /// [`SetAssocCache::touch`] for accesses that should update recency).
+    ///
+    /// Callers must not rewrite [`Line::block`] through the returned
+    /// reference — residency changes go through [`SetAssocCache::insert_at`]
+    /// and [`SetAssocCache::remove`], which keep the tag mirror in sync.
+    #[inline]
     pub fn get_mut(&mut self, block: BlockAddr) -> Option<&mut Line<M>> {
         let way = self.probe(block)?;
         let slot = self.slot(self.set_of(block), way);
@@ -132,7 +184,11 @@ impl<M> SetAssocCache<M> {
         if let Some(way) = self.probe(block) {
             return LookupResult::Hit { way };
         }
-        if let Some(way) = (0..self.ways).find(|&w| self.lines[self.slot(set, w)].is_none()) {
+        let base = set * self.ways;
+        if let Some(way) = self.tags[base..base + self.ways]
+            .iter()
+            .position(|&t| t == EMPTY_TAG)
+        {
             return LookupResult::Free { way };
         }
         let way = self.plru[set].victim(self.ways);
@@ -180,9 +236,14 @@ impl<M> SetAssocCache<M> {
         meta: M,
         data: BlockData,
     ) -> Option<Line<M>> {
+        debug_assert!(block != EMPTY_TAG, "block collides with the tag sentinel");
         let set = self.set_of(block);
         let slot = self.slot(set, way);
         let old = self.lines[slot].replace(Line { block, meta, data });
+        self.tags[slot] = block;
+        // The displaced block (if any) no longer maps to this way; the
+        // inserted one does.
+        self.probe_memo.set((block, way));
         self.plru[set].touch(self.ways, way);
         old
     }
@@ -191,6 +252,10 @@ impl<M> SetAssocCache<M> {
     pub fn remove(&mut self, block: BlockAddr) -> Option<Line<M>> {
         let way = self.probe(block)?;
         let slot = self.slot(self.set_of(block), way);
+        self.tags[slot] = EMPTY_TAG;
+        if self.probe_memo.get().0 == block {
+            self.probe_memo.set((EMPTY_TAG, 0));
+        }
         self.lines[slot].take()
     }
 
@@ -304,6 +369,52 @@ mod tests {
             c.lookup_for_insert_excluding(blk(0), |_| true),
             Some(LookupResult::Hit { way: 0 })
         );
+    }
+
+    #[test]
+    fn tag_mirror_stays_in_sync_with_lines() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(2, 2);
+        // Exercise insert, replace-at-way, and remove; after each step the
+        // packed tag probe must agree with a scan of the line array.
+        let check = |c: &SetAssocCache<u8>| {
+            for n in 0..8u64 {
+                let by_tags = c.probe(blk(n));
+                let by_lines = c.iter().any(|l| l.block == blk(n));
+                assert_eq!(by_tags.is_some(), by_lines, "block {n}");
+            }
+        };
+        c.insert_at(0, blk(0), 0, BlockData::zeroed());
+        check(&c);
+        c.insert_at(1, blk(2), 0, BlockData::zeroed());
+        check(&c);
+        // Replace the line at way 0 of set 0 with a different block.
+        c.insert_at(0, blk(4), 0, BlockData::zeroed());
+        check(&c);
+        assert!(c.probe(blk(0)).is_none());
+        c.remove(blk(4)).unwrap();
+        check(&c);
+        assert_eq!(c.lookup_for_insert(blk(6)), LookupResult::Free { way: 0 });
+    }
+
+    #[test]
+    fn probe_memo_never_outlives_residency() {
+        let mut c: SetAssocCache<u8> = SetAssocCache::new(1, 2);
+        c.insert_at(0, blk(0), 0, BlockData::zeroed());
+        // Warm the memo on block 0, then displace it at the same way.
+        assert_eq!(c.probe(blk(0)), Some(0));
+        c.insert_at(0, blk(1), 0, BlockData::zeroed());
+        assert_eq!(c.probe(blk(0)), None);
+        assert_eq!(c.probe(blk(1)), Some(0));
+        // Warm the memo, remove, and make sure the memo dies with it.
+        c.remove(blk(1)).unwrap();
+        assert_eq!(c.probe(blk(1)), None);
+        // Repeated probes of a resident block keep answering through the
+        // memo after unrelated removals.
+        c.insert_at(0, blk(2), 0, BlockData::zeroed());
+        c.insert_at(1, blk(3), 0, BlockData::zeroed());
+        assert_eq!(c.probe(blk(2)), Some(0));
+        c.remove(blk(3)).unwrap();
+        assert_eq!(c.probe(blk(2)), Some(0));
     }
 
     #[test]

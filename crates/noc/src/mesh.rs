@@ -21,6 +21,10 @@ pub struct Mesh {
     height: usize,
     router_cycles: u64,
     link_cycles: u64,
+    /// `(x, y)` per node id. Meshes are tiny (tens of tiles), so a
+    /// lookup table turns every `coords` call — several per routed
+    /// message — from a div/mod pair into one load.
+    xy: Vec<(u16, u16)>,
 }
 
 impl Mesh {
@@ -28,11 +32,15 @@ impl Mesh {
     /// and link traversal latencies (both 1 in the paper's Table 1).
     pub fn new(width: usize, height: usize, router_cycles: u64, link_cycles: u64) -> Self {
         assert!(width >= 1 && height >= 1, "mesh must be at least 1x1");
+        let xy = (0..width * height)
+            .map(|n| ((n % width) as u16, (n / width) as u16))
+            .collect();
         Self {
             width,
             height,
             router_cycles,
             link_cycles,
+            xy,
         }
     }
 
@@ -74,8 +82,8 @@ impl Mesh {
     /// (x, y) coordinates of a node.
     #[inline]
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
-        debug_assert!(node.0 < self.nodes());
-        (node.0 % self.width, node.0 / self.width)
+        let (x, y) = self.xy[node.0];
+        (x as usize, y as usize)
     }
 
     /// Node at (x, y).
@@ -106,7 +114,14 @@ impl Mesh {
     /// (injection/ejection through the local crossbar).
     #[inline]
     pub fn latency(&self, src: NodeId, dst: NodeId) -> u64 {
-        let hops = self.hops(src, dst);
+        self.latency_for_hops(self.hops(src, dst))
+    }
+
+    /// [`Mesh::latency`] for an already-computed hop count, so callers
+    /// that also need the hop count (traffic accounting) pay for the
+    /// route walk once.
+    #[inline]
+    pub fn latency_for_hops(&self, hops: u64) -> u64 {
         (hops + 1) * self.router_cycles + hops * self.link_cycles
     }
 

@@ -83,11 +83,13 @@ impl TrafficStats {
     /// returns the contention-free delivery latency in cycles.
     pub fn record(&mut self, mesh: &Mesh, kind: MessageKind, src: NodeId, dst: NodeId) -> u64 {
         let flits = kind.flits();
+        // One route walk feeds all three derived quantities (XY routing
+        // visits hops + 1 routers, see [`Mesh::routers_on_route`]).
         let hops = mesh.hops(src, dst);
         self.counts[kind.idx()] += 1;
         self.flit_hops += flits * hops;
-        self.router_flits += flits * mesh.routers_on_route(src, dst);
-        mesh.latency(src, dst)
+        self.router_flits += flits * (hops + 1);
+        mesh.latency_for_hops(hops)
     }
 
     /// Message count for one class.

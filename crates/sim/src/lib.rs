@@ -30,7 +30,7 @@ pub mod resume;
 #[cfg(feature = "legacy-threads")]
 pub use harness::{ThreadHarness, ThreadPort};
 pub use queue::EventQueue;
-pub use resume::{FutureThread, OpCell, Resumable, Step};
+pub use resume::{panic_message, FutureThread, OpCell, Resumable, Step};
 
 /// Simulated time, measured in core clock cycles (1 GHz in the paper's
 /// configuration, so one cycle is one nanosecond).

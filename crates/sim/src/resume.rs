@@ -21,10 +21,18 @@
 //! decides exactly when each core resumes, same as it decided when each
 //! rendezvous reply was sent — byte-identical schedules, no OS in the
 //! loop.
+//!
+//! Panic handling is the caller's job: `resume` is a bare poll on the
+//! busiest edge of the simulator, so it carries no per-call
+//! `catch_unwind` (an unwind guard around every poll blocks inlining of
+//! the whole generator descent and measurably caps throughput). A
+//! workload panic simply unwinds out of `resume`; the machine's event
+//! loop installs one guard per *run* and re-labels the payload with the
+//! offending core, and the legacy OS-thread harness catches at thread
+//! scope as it always did.
 
 use std::cell::Cell;
 use std::future::Future;
-use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::pin::Pin;
 use std::rc::Rc;
 use std::task::{Context, Poll, Waker};
@@ -36,8 +44,12 @@ pub enum Step<Op> {
     /// The workload issued `Op` and is suspended until the engine
     /// resumes it with a reply.
     Op(Op),
-    /// The workload finished. `Some(message)` if it panicked; the engine
-    /// decides how to surface that.
+    /// The workload finished. `Some(message)` if a panic was captured on
+    /// its way here — produced by drivers that wrap the workload in
+    /// their own unwind guard (the legacy OS-thread harness); the engine
+    /// decides how to surface that. [`FutureThread::resume`] itself
+    /// never returns `Done(Some(_))`: it lets panics propagate so the
+    /// hot path stays a plain poll (see the module docs).
     Done(Option<String>),
 }
 
@@ -165,6 +177,19 @@ impl<Op, Reply> Resumable for FutureThread<Op, Reply> {
     type Op = Op;
     type Reply = Reply;
 
+    /// Runs the workload to its next suspension point.
+    ///
+    /// # Panics
+    /// A panic inside the workload body propagates to the caller —
+    /// there is deliberately no per-poll unwind guard here. Wrapping
+    /// every poll in `catch_unwind` fenced the optimizer out of the
+    /// whole generator descent (the closure crosses an unwind ABI
+    /// boundary) and cost up to 25% of full-simulation throughput;
+    /// drivers that want captured panics install ONE guard around their
+    /// whole run loop instead (the machine's event loop does exactly
+    /// that, and the legacy OS-thread harness already catches at thread
+    /// scope). After a propagated panic the thread is poisoned and must
+    /// not be resumed again.
     fn resume(&mut self, reply: Option<Reply>) -> Step<Op> {
         let future = self
             .future
@@ -173,25 +198,18 @@ impl<Op, Reply> Resumable for FutureThread<Op, Reply> {
         if let Some(r) = reply {
             self.cell.reply.set(Some(r));
         }
-        let poll = catch_unwind(AssertUnwindSafe(|| {
-            let mut cx = Context::from_waker(Waker::noop());
-            future.as_mut().poll(&mut cx)
-        }));
-        match poll {
-            Ok(Poll::Pending) => {
+        let mut cx = Context::from_waker(Waker::noop());
+        match future.as_mut().poll(&mut cx) {
+            Poll::Pending => {
                 let op = self.cell.op.take().expect(
                     "workload suspended without issuing an operation \
                      (awaited something other than an engine call?)",
                 );
                 Step::Op(op)
             }
-            Ok(Poll::Ready(())) => {
+            Poll::Ready(()) => {
                 self.future = None;
                 Step::Done(None)
-            }
-            Err(payload) => {
-                self.future = None;
-                Step::Done(Some(panic_message(payload)))
             }
         }
     }
@@ -238,30 +256,35 @@ mod tests {
     }
 
     #[test]
-    fn panic_is_captured_as_done_with_message() {
+    fn panic_propagates_to_the_caller_with_its_message() {
+        // resume carries no unwind guard of its own: the workload's
+        // panic unwinds straight out, payload intact, for whoever owns
+        // the run loop to catch and attribute.
         let mut t: FutureThread<u8, u8> = FutureThread::new(|cell| async move {
             cell.call(1).await;
             panic!("workload exploded at op {}", 2);
         });
         assert_eq!(t.resume(None), Step::Op(1));
-        match t.resume(Some(0)) {
-            Step::Done(Some(msg)) => assert_eq!(msg, "workload exploded at op 2"),
-            other => panic!("expected captured panic, got {other:?}"),
-        }
-        assert!(t.is_done());
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.resume(Some(0));
+        }))
+        .expect_err("workload panic must propagate");
+        assert_eq!(panic_message(payload), "workload exploded at op 2");
     }
 
     #[test]
-    fn assert_failure_message_survives() {
+    fn assert_failure_message_survives_propagation() {
         let mut t: FutureThread<u8, u64> = FutureThread::new(|cell| async move {
             let v = cell.call(0).await;
             assert_eq!(v, 7, "reply mismatch");
         });
         t.resume(None);
-        match t.resume(Some(9)) {
-            Step::Done(Some(msg)) => assert!(msg.contains("reply mismatch"), "{msg}"),
-            other => panic!("expected captured assert, got {other:?}"),
-        }
+        let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            t.resume(Some(9));
+        }))
+        .expect_err("assert failure must propagate");
+        let msg = panic_message(payload);
+        assert!(msg.contains("reply mismatch"), "{msg}");
     }
 
     #[test]
