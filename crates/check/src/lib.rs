@@ -31,7 +31,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ghostwriter_core::harness::{Op, System, SystemConfig, Violation};
 use ghostwriter_core::l1::GwParams;
-use ghostwriter_core::msg::{Msg, Payload};
+use ghostwriter_core::msg::{Msg, Payload, PayloadCtl};
 use ghostwriter_core::proto::find_row;
 use ghostwriter_core::{BaseProtocol, Coverage, GiStorePolicy, ScribePolicy};
 
@@ -163,7 +163,7 @@ pub(crate) fn deliver_mutated(
     key: (usize, usize),
 ) -> Result<(), Violation> {
     match (mutation, sys.peek_channel(key)) {
-        (Some(Mutation::SkipInvalidation), Some(m)) if matches!(m.payload, Payload::Inv) => {
+        (Some(Mutation::SkipInvalidation), Some(m)) if matches!(m.payload, PayloadCtl::Inv) => {
             // The L1 never sees the INV, but the directory gets the
             // ack it is waiting for.
             let lost = sys.drop_message(key).expect("peeked message present");
@@ -175,7 +175,7 @@ pub(crate) fn deliver_mutated(
             });
             Ok(())
         }
-        (Some(Mutation::DropInvAck), Some(m)) if matches!(m.payload, Payload::InvAck) => {
+        (Some(Mutation::DropInvAck), Some(m)) if matches!(m.payload, PayloadCtl::InvAck) => {
             sys.drop_message(key).expect("peeked message present");
             Ok(())
         }

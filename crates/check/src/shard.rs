@@ -68,6 +68,16 @@ use crate::{
 /// Revision 3: the harness virtual network became a dense channel grid,
 /// which changed state hashing (empty channels now hash canonically
 /// instead of by insertion history).
+///
+/// Deliberately NOT bumped for the payload/data split: shard cache keys
+/// are built from these textual fields, never from
+/// `System::fingerprint` (see [`SweepSpec::key`]), so the in-process
+/// fingerprint scheme is free to change representation as long as it
+/// still partitions logical states correctly. The split keeps that
+/// property by hashing each queued message's logical form rather than
+/// its pool slot — pinned by
+/// `fingerprint_independent_of_data_slot_assignment` in the core
+/// harness and `check_revision_pinned` below.
 pub const CHECK_REVISION: u64 = 3;
 
 /// Schema version of the cached shard record payload.
@@ -982,6 +992,19 @@ mod tests {
         }
         let distinct: std::collections::HashSet<_> = keys.iter().collect();
         assert_eq!(distinct.len(), keys.len(), "colliding keys: {keys:?}");
+    }
+
+    /// The payload/data split changed the *representation* of in-flight
+    /// messages but not the logical state space, and the fingerprint
+    /// hashes logical messages, so cached shard records stay valid:
+    /// CHECK_REVISION must not silently drift. Anyone bumping it should
+    /// have changed the searched semantics, not just the encoding.
+    #[test]
+    fn check_revision_pinned() {
+        assert_eq!(CHECK_REVISION, 3);
+        assert!(SweepSpec::new(ProtocolKind::Mesi, 2, 1, 2)
+            .key()
+            .starts_with("check-rev=3|"));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! copies, the bank invalidates the sharers (or pulls the owner's data)
 //! before evicting.
 
-use ghostwriter_mem::{BlockAddr, BlockData, LookupResult, SetAssocCache};
+use ghostwriter_mem::{BlockAddr, BlockData, LookupResult, ProbedWay, SetAssocCache, WayLookup};
 use std::collections::VecDeque;
 
 use crate::config::BaseProtocol;
@@ -552,7 +552,8 @@ impl DirBank {
         match req.kind {
             ReqKind::PutS => {
                 let me = 1u64 << req.requestor;
-                let (row, new_dir) = match self.cache.get(block).map(|l| l.meta.dir) {
+                let w = self.cache.probe_way(block);
+                let (row, new_dir) = match w.map(|t| self.cache.line_at(t).meta.dir) {
                     Some(DirState::Shared(s)) if s & me != 0 => {
                         let s = s & !me;
                         (
@@ -592,12 +593,13 @@ impl DirBank {
                 };
                 self.row(row, stats)?;
                 if let Some(dir) = new_dir {
-                    self.cache.get_mut(block).unwrap().meta.dir = dir;
+                    self.cache.line_at_mut(w.unwrap()).meta.dir = dir;
                 }
                 // No ack; nothing further.
             }
             ReqKind::PutE => {
-                let owner = self.cache.get(block).map(|l| l.meta.dir)
+                let w = self.cache.probe_way(block);
+                let owner = w.map(|t| self.cache.line_at(t).meta.dir)
                     == Some(DirState::Owned(req.requestor));
                 let row = if owner {
                     DirRowId::PutEOwner
@@ -606,7 +608,7 @@ impl DirBank {
                 };
                 self.row(row, stats)?;
                 if owner {
-                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Np;
+                    self.cache.line_at_mut(w.unwrap()).meta.dir = DirState::Np;
                 }
                 out.push(self.to_l1(req.requestor, block, Payload::WbAck));
             }
@@ -614,7 +616,8 @@ impl DirBank {
                 // A stale PUTM lost a race with a forward; its data was
                 // already supplied from the writeback buffer. Ack either
                 // way so the L1 releases its buffer entry.
-                let (row, new_dir) = match self.cache.get(block).map(|l| l.meta.dir) {
+                let w = self.cache.probe_way(block);
+                let (row, new_dir) = match w.map(|t| self.cache.line_at(t).meta.dir) {
                     Some(DirState::Owned(o)) if o == req.requestor => {
                         (DirRowId::PutMOwner, Some(DirState::Np))
                     }
@@ -633,7 +636,7 @@ impl DirBank {
                 };
                 self.row(row, stats)?;
                 if let Some(dir) = new_dir {
-                    let line = self.cache.get_mut(block).unwrap();
+                    let line = self.cache.line_at_mut(w.unwrap());
                     line.data = data;
                     line.meta.dirty = true;
                     line.meta.dir = dir;
@@ -647,7 +650,7 @@ impl DirBank {
                     ReqKind::Getx => TxnKind::Getx,
                     _ => TxnKind::Upgrade,
                 };
-                if self.cache.probe(block).is_some() {
+                if let Some(w) = self.cache.probe_way(block) {
                     self.admit_txn(
                         block,
                         Txn {
@@ -658,7 +661,7 @@ impl DirBank {
                             recall_victim: None,
                         },
                     )?;
-                    self.act_on_line(block, stats, out)?;
+                    self.act_on_line(block, w, stats, out)?;
                 } else {
                     self.begin_fill(block, req, kind, stats, out)?;
                 }
@@ -679,7 +682,7 @@ impl DirBank {
     ) -> Result<(), ProtocolError> {
         let lookup = self
             .cache
-            .lookup_for_insert_excluding(block, |b| self.is_blocked(b));
+            .lookup_way_excluding(block, |b| self.is_blocked(b));
         let Some(lookup) = lookup else {
             // Every line in the set is pinned by an in-flight transaction;
             // retry when one completes.
@@ -695,13 +698,13 @@ impl DirBank {
             recall_victim: None,
         };
         match lookup {
-            LookupResult::Hit { .. } => {
+            WayLookup::Hit(_) => {
                 return Err(ProtocolError::internal(
                     self.ctl(),
                     format!("begin_fill on resident block {block:?}"),
                 ))
             }
-            LookupResult::Free { way } => {
+            WayLookup::Free { way } => {
                 self.row(DirRowId::FillFree, stats)?;
                 // Reserve the way with a placeholder line awaiting fill.
                 self.cache.insert_at(
@@ -716,26 +719,19 @@ impl DirBank {
                 out.push(self.to_mem(block, Payload::MemRead));
                 self.admit_txn(block, txn)?;
             }
-            LookupResult::Victim { block: victim, .. } => {
-                let vline = self.cache.get(victim).expect("victim resident");
-                match vline.meta.dir {
+            WayLookup::Victim(v) => {
+                let victim = self.cache.line_at(v).block;
+                match self.cache.line_at(v).meta.dir {
                     DirState::Np => {
                         self.row(DirRowId::FillEvictNp, stats)?;
-                        // Plain L2 eviction.
-                        let vline = self.cache.remove(victim).unwrap();
+                        // Plain L2 eviction; the victim's way (same set as
+                        // `block`) is reused for the placeholder directly.
+                        let way = v.way();
+                        let vline = self.cache.remove_at(v);
                         if vline.meta.dirty {
                             stats.energy_events.l2_reads += 1;
                             out.push(self.to_mem(victim, Payload::MemWrite { data: vline.data }));
                         }
-                        let way = match self.cache.lookup_for_insert(block) {
-                            LookupResult::Free { way } => way,
-                            r => {
-                                return Err(ProtocolError::internal(
-                                    self.ctl(),
-                                    format!("way just freed for {block:?}, got {r:?}"),
-                                ))
-                            }
-                        };
                         self.cache.insert_at(
                             way,
                             block,
@@ -779,7 +775,7 @@ impl DirBank {
                         // knows an owner pull is still due.
                         stats.l2_recalls += 1;
                         txn.recall_victim = Some(victim);
-                        self.cache.get_mut(victim).unwrap().meta.dir = DirState::Owned(owner);
+                        self.cache.line_at_mut(v).meta.dir = DirState::Owned(owner);
                         if sharers == 0 {
                             txn.phase = Phase::RecallData;
                             out.push(self.to_l1(owner, victim, Payload::FwdGetx));
@@ -814,15 +810,17 @@ impl DirBank {
     }
 
     /// Acts on a transaction whose block is resident and stable in the L2.
+    /// `w` is the line's probe token from the dispatching lookup.
     fn act_on_line(
         &mut self,
         block: BlockAddr,
+        w: ProbedWay,
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
         let txn = self.mshr.txn_mut(block).expect("transaction in flight");
         let req = txn.requestor;
-        let line = self.cache.get(block).expect("line resident");
+        let line = self.cache.line_at(w);
         let dir = line.meta.dir;
         let data = line.data;
         // Upgrades from a core that no longer holds a copy (it lost an
@@ -856,7 +854,7 @@ impl DirBank {
                 txn.phase = Phase::Unblock;
                 if row == DirRowId::GetsNpExclusive {
                     // MESI: no sharers, grant Exclusive.
-                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                    self.cache.line_at_mut(w).meta.dir = DirState::Owned(req);
                     out.push(self.to_l1(
                         req,
                         block,
@@ -867,7 +865,7 @@ impl DirBank {
                     ));
                 } else {
                     // MSI: readers always get Shared.
-                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Shared(1 << req);
+                    self.cache.line_at_mut(w).meta.dir = DirState::Shared(1 << req);
                     out.push(self.to_l1(
                         req,
                         block,
@@ -882,7 +880,7 @@ impl DirBank {
                 assert_eq!(s & (1 << req), 0, "GETS from listed sharer {req}");
                 self.row(DirRowId::GetsShared, stats)?;
                 stats.energy_events.l2_reads += 1;
-                self.cache.get_mut(block).unwrap().meta.dir = DirState::Shared(s | (1 << req));
+                self.cache.line_at_mut(w).meta.dir = DirState::Shared(s | (1 << req));
                 let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::Unblock;
                 out.push(self.to_l1(
@@ -922,7 +920,7 @@ impl DirBank {
             (TxnKind::Getx, DirState::Np) => {
                 self.row(DirRowId::GetxNp, stats)?;
                 stats.energy_events.l2_reads += 1;
-                self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                self.cache.line_at_mut(w).meta.dir = DirState::Owned(req);
                 let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.kind = TxnKind::Getx;
                 txn.phase = Phase::Unblock;
@@ -1000,7 +998,7 @@ impl DirBank {
                 self.row(row, stats)?;
                 let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 if others == 0 {
-                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                    self.cache.line_at_mut(w).meta.dir = DirState::Owned(req);
                     txn.phase = Phase::Unblock;
                     out.push(self.to_l1(req, block, Payload::UpgAck));
                 } else {
@@ -1028,7 +1026,7 @@ impl DirBank {
                 self.row(row, stats)?;
                 let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 if targets == 0 {
-                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                    self.cache.line_at_mut(w).meta.dir = DirState::Owned(req);
                     txn.phase = Phase::Unblock;
                     out.push(self.to_l1(req, block, Payload::UpgAck));
                 } else {
@@ -1044,7 +1042,7 @@ impl DirBank {
                 let targets = (sharers | (1 << fwd)) & !(1 << req);
                 let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 if targets == 0 {
-                    self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(req);
+                    self.cache.line_at_mut(w).meta.dir = DirState::Owned(req);
                     txn.phase = Phase::Unblock;
                     out.push(self.to_l1(req, block, Payload::UpgAck));
                 } else {
@@ -1122,15 +1120,14 @@ impl DirBank {
         }
         let req = txn.requestor;
         let kind = txn.kind;
+        let w = self.cache.probe_way(block).expect("line resident");
         // MOESI GETX on a dirty-shared block: the clean sharers are now
         // gone, but the O owner still holds the only valid bytes — pull
         // them before granting (L2 may be stale after an elided fill).
         if kind == TxnKind::Getx {
-            if let Some(DirState::OwnedShared { owner, .. }) =
-                self.cache.get(block).map(|l| l.meta.dir)
-            {
+            if let DirState::OwnedShared { owner, .. } = self.cache.line_at(w).meta.dir {
                 self.row(DirRowId::InvAckLastGetxOwned, stats)?;
-                self.cache.get_mut(block).unwrap().meta.dir = DirState::Owned(owner);
+                self.cache.line_at_mut(w).meta.dir = DirState::Owned(owner);
                 let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::OwnerData;
                 out.push(self.to_l1(owner, block, Payload::FwdGetx));
@@ -1143,12 +1140,12 @@ impl DirBank {
             TxnKind::Gets => unreachable!("GETS rejected above"),
         };
         self.row(row, stats)?;
-        let line = self.cache.get_mut(block).expect("line resident");
+        let line = self.cache.line_at_mut(w);
         line.meta.dir = DirState::Owned(req);
         match kind {
             TxnKind::Getx => {
                 stats.energy_events.l2_reads += 1;
-                let data = self.cache.get(block).unwrap().data;
+                let data = self.cache.line_at(w).data;
                 let txn = self.mshr.txn_mut(block).expect("transaction in flight");
                 txn.phase = Phase::Unblock;
                 out.push(self.to_l1(
@@ -1212,6 +1209,7 @@ impl DirBank {
         let req = txn.requestor;
         let kind = txn.kind;
         let phase = txn.phase;
+        let w = self.cache.probe_way(block).expect("line resident");
         if phase == Phase::FwdData {
             // MESIF: the F holder forwarded its clean copy. L2 was valid
             // all along, so nothing is written back — the forwarder
@@ -1220,14 +1218,14 @@ impl DirBank {
             assert_eq!(xfer, OwnerXfer::ToShared, "F holder must downgrade");
             self.row(DirRowId::FwdDataGets, stats)?;
             stats.clean_forwards += 1;
-            let dir = self.cache.get(block).expect("line resident").meta.dir;
+            let dir = self.cache.line_at(w).meta.dir;
             let DirState::Forward { fwd, sharers } = dir else {
                 return Err(ProtocolError::internal(
                     self.ctl(),
                     format!("forward data for {block:?} but dir {dir:?}"),
                 ));
             };
-            self.cache.get_mut(block).unwrap().meta.dir = DirState::Forward {
+            self.cache.line_at_mut(w).meta.dir = DirState::Forward {
                 fwd: req,
                 sharers: sharers | (1 << fwd),
             };
@@ -1244,7 +1242,7 @@ impl DirBank {
             return Ok(());
         }
         assert_eq!(phase, Phase::OwnerData);
-        let dir = self.cache.get(block).expect("line resident").meta.dir;
+        let dir = self.cache.line_at(w).meta.dir;
         let (grant, new_dir) = match (kind, xfer) {
             (TxnKind::Getx, _) => {
                 // The owner invalidated (or answered from its writeback
@@ -1252,7 +1250,7 @@ impl DirBank {
                 self.row(DirRowId::OwnerDataGetx, stats)?;
                 stats.energy_events.l2_writes += 1;
                 stats.energy_events.l2_reads += 1;
-                let line = self.cache.get_mut(block).unwrap();
+                let line = self.cache.line_at_mut(w);
                 line.data = data;
                 line.meta.dirty = true;
                 (Grant::Modified, DirState::Owned(req))
@@ -1294,7 +1292,7 @@ impl DirBank {
                 // designated the clean forwarder for future reads.
                 self.row(DirRowId::OwnerDataGetsFwd, stats)?;
                 stats.energy_events.l2_writes += 1;
-                let line = self.cache.get_mut(block).unwrap();
+                let line = self.cache.line_at_mut(w);
                 line.data = data;
                 line.meta.dirty = true;
                 let DirState::Owned(o) = dir else {
@@ -1317,7 +1315,7 @@ impl DirBank {
                 self.row(DirRowId::OwnerDataGets, stats)?;
                 stats.energy_events.l2_writes += 1;
                 stats.energy_events.l2_reads += 1;
-                let line = self.cache.get_mut(block).unwrap();
+                let line = self.cache.line_at_mut(w);
                 line.data = data;
                 line.meta.dirty = true;
                 let mut s = 1u64 << req;
@@ -1347,7 +1345,7 @@ impl DirBank {
             }
             (TxnKind::Upgrade, _) => unreachable!("UPGRADE rejected above"),
         };
-        self.cache.get_mut(block).unwrap().meta.dir = new_dir;
+        self.cache.line_at_mut(w).meta.dir = new_dir;
         let txn = self.mshr.txn_mut(block).expect("transaction in flight");
         txn.phase = Phase::Unblock;
         out.push(self.to_l1(req, block, Payload::Data { data, grant }));
@@ -1379,14 +1377,15 @@ impl DirBank {
         let req = txn.requestor;
         self.row(DirRowId::FwdNackGets, stats)?;
         stats.energy_events.l2_reads += 1;
-        let dir = self.cache.get(block).expect("line resident").meta.dir;
+        let w = self.cache.probe_way(block).expect("line resident");
+        let dir = self.cache.line_at(w).meta.dir;
         let DirState::Forward { fwd: _, sharers } = dir else {
             return Err(ProtocolError::internal(
                 self.ctl(),
                 format!("FWD_NACK for {block:?} but dir {dir:?}"),
             ));
         };
-        let line = self.cache.get_mut(block).unwrap();
+        let line = self.cache.line_at_mut(w);
         line.meta.dir = DirState::Forward { fwd: req, sharers };
         let data = line.data;
         let txn = self.mshr.txn_mut(block).expect("transaction in flight");
@@ -1422,11 +1421,12 @@ impl DirBank {
         }
         self.row(DirRowId::MemData, stats)?;
         stats.energy_events.l2_writes += 1;
-        let line = self.cache.get_mut(block).expect("placeholder reserved");
+        let w = self.cache.probe_way(block).expect("placeholder reserved");
+        let line = self.cache.line_at_mut(w);
         line.data = data;
         line.meta.dirty = false;
         line.meta.dir = DirState::Np;
-        self.act_on_line(block, stats, out)
+        self.act_on_line(block, w, stats, out)
     }
 
     /// Recall of a transaction's L2 victim completed: evict the victim,

@@ -29,7 +29,7 @@ use ghostwriter_mem::{Addr, BlockAddr, Dram};
 use crate::config::{BaseProtocol, GiStorePolicy};
 use crate::dir::{DirBank, DirState};
 use crate::l1::{home_bank, AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
-use crate::msg::{Endpoint, Msg, Payload};
+use crate::msg::{CtlMsg, DataPool, Endpoint, Msg, Payload};
 use crate::proto::ProtocolError;
 use crate::stats::Stats;
 
@@ -311,7 +311,15 @@ pub struct System {
     /// [`node_key`]s. Row-major iteration is the same deterministic
     /// (src, dst) order the former `BTreeMap` gave, without per-channel
     /// tree nodes on the checker's clone-heavy hot path.
-    net: Vec<VecDeque<Msg>>,
+    net: Vec<VecDeque<CtlMsg>>,
+    /// Side pool holding the blocks carried by in-flight data messages;
+    /// `net` stores only small fixed-size [`CtlMsg`] control records.
+    /// Cloned with the system so checker forks keep their slots private.
+    /// NOT part of the architectural state: fingerprints hash each
+    /// queued message's *logical* form instead, so two systems with the
+    /// same in-flight traffic but different slot assignments (different
+    /// delivery histories) still collide in the visited set.
+    data: DataPool,
     /// Outstanding access per core.
     pending: Vec<Option<PendingAccess>>,
     /// Single-writer discipline: next sequence number per (core, block).
@@ -362,6 +370,7 @@ impl System {
             dram: Dram::new(),
             stats: Stats::default(),
             net: vec![VecDeque::new(); (2 * cfg.cores + 1) * (2 * cfg.cores + 1)],
+            data: DataPool::default(),
             pending: (0..cfg.cores).map(|_| None).collect(),
             next_seq: vec![vec![1; cfg.blocks]; cfg.cores],
             last_seen: vec![vec![0; cfg.blocks * cfg.cores]; cfg.cores],
@@ -447,8 +456,10 @@ impl System {
             .collect()
     }
 
-    /// The message at the head of channel `key`, if any.
-    pub fn peek_channel(&self, key: (usize, usize)) -> Option<&Msg> {
+    /// The control record at the head of channel `key`, if any. Block
+    /// data lives in the side pool; use [`System::drop_message`] (or a
+    /// delivery) to materialise the logical message.
+    pub fn peek_channel(&self, key: (usize, usize)) -> Option<&CtlMsg> {
         self.chan(key).and_then(|i| self.net[i].front())
     }
 
@@ -473,14 +484,17 @@ impl System {
             node_key(msg.dst, self.cfg.cores),
         );
         let i = self.chan(key).expect("endpoint outside the node grid");
+        let msg = msg.intern(&mut self.data);
         self.net[i].push_back(msg);
     }
 
     /// Fault-injection hook for the model checker's mutation testing:
     /// removes and returns the head of channel `key` without delivering
-    /// it (a lost message).
+    /// it (a lost message). Resolving frees the message's data slot.
     pub fn drop_message(&mut self, key: (usize, usize)) -> Option<Msg> {
-        self.chan(key).and_then(|i| self.net[i].pop_front())
+        let i = self.chan(key)?;
+        let msg = self.net[i].pop_front()?;
+        Some(msg.resolve(&mut self.data))
     }
 
     /// Fault-injection hook: enqueues an arbitrary message, as a buggy
@@ -633,7 +647,8 @@ impl System {
         let msg = self
             .chan(key)
             .and_then(|i| self.net[i].pop_front())
-            .expect("deliver from empty channel");
+            .expect("deliver from empty channel")
+            .resolve(&mut self.data);
         self.messages += 1;
         if std::env::var_os("GW_TESTER_TRACE").is_some() {
             eprintln!(
@@ -962,7 +977,17 @@ impl System {
         salt.hash(&mut h);
         self.l1s.iter().for_each(|l1| l1.hash(&mut h));
         self.banks.iter().for_each(|b| b.hash(&mut h));
-        self.net.hash(&mut h);
+        // Hash each queued message's *logical* form, never its DataRef
+        // slot index (and never the pool itself): slot assignment
+        // depends on delivery history, and two states with identical
+        // in-flight traffic must fingerprint equal regardless of which
+        // slots that traffic happens to occupy.
+        for q in &self.net {
+            q.len().hash(&mut h);
+            for m in q {
+                m.logical(&self.data).hash(&mut h);
+            }
+        }
         self.pending.hash(&mut h);
         self.next_seq.hash(&mut h);
         self.last_seen.hash(&mut h);
@@ -1022,6 +1047,52 @@ mod tests {
         assert_eq!(a.fingerprint(), fork.fingerprint());
         drain(&mut a);
         assert_ne!(a.fingerprint(), fork.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_independent_of_data_slot_assignment() {
+        // Two systems with identical in-flight logical traffic but
+        // different delivery histories — and therefore different data
+        // pool slot assignments — must fingerprint equal. This pins
+        // the payload-split contract: DataRef indices are transport
+        // state, not architectural state.
+        let data_msg = |v: u64| {
+            let mut data = ghostwriter_mem::BlockData::zeroed();
+            data.write_word(0, 8, v);
+            Msg {
+                src: Endpoint::Dir(0),
+                dst: Endpoint::L1(0),
+                block: BlockAddr(0x40),
+                payload: Payload::Data {
+                    data,
+                    grant: crate::msg::Grant::Shared,
+                },
+            }
+        };
+        // A: the payload of interest lands in slot 0.
+        let mut a = System::new(cfg2());
+        a.inject(data_msg(42));
+        // B: a decoy on another channel takes slot 0 first; the payload
+        // of interest gets slot 1; dropping the decoy frees slot 0, so
+        // B's only in-flight message references slot 1.
+        let mut b = System::new(cfg2());
+        let decoy = Msg {
+            dst: Endpoint::L1(1),
+            ..data_msg(7)
+        };
+        let decoy_key = (node_key(decoy.src, 2), node_key(decoy.dst, 2));
+        b.inject(decoy);
+        b.inject(data_msg(42));
+        b.drop_message(decoy_key).unwrap();
+        assert_eq!(
+            a.fingerprint(),
+            b.fingerprint(),
+            "fingerprint must hash logical messages, not slot indices"
+        );
+        // Sanity: the payload itself still matters.
+        let mut c = System::new(cfg2());
+        c.inject(data_msg(43));
+        assert_ne!(a.fingerprint(), c.fingerprint());
     }
 
     #[test]

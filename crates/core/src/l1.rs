@@ -24,7 +24,9 @@
 //! `SM_A` (UPGRADE outstanding; demoted to `IM_AD` if invalidated while
 //! waiting, in which case the directory answers with data instead).
 
-use ghostwriter_mem::{Addr, BlockAddr, BlockData, LookupResult, SetAssocCache};
+use ghostwriter_mem::{
+    Addr, BlockAddr, BlockData, Line, LookupResult, ProbedWay, SetAssocCache, WayLookup,
+};
 
 use crate::config::{BaseProtocol, GiStorePolicy};
 use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
@@ -309,6 +311,18 @@ impl L1Cache {
         Controller::L1 { core: self.core }
     }
 
+    /// Single owner of the modeled tag-probe energy charge (paper energy
+    /// model): the sites that *model* a tag-array probe — transaction-
+    /// starting misses and incoming invalidations — all charge through
+    /// here. The modeled count is deliberately decoupled from the number
+    /// of physical [`SetAssocCache`] lookups the way-threaded
+    /// implementation performs, so layout refactors cannot drift the
+    /// energy statistics.
+    #[inline]
+    fn charge_tag_probe(stats: &mut Stats) {
+        stats.energy_events.l1_tag_probes += 1;
+    }
+
     /// Table dispatch: records the row hit in the coverage counters and
     /// refuses to fire a row deleted by a checker mutation.
     fn row(&self, id: L1RowId, stats: &mut Stats) -> Result<(), ProtocolError> {
@@ -338,6 +352,15 @@ impl L1Cache {
     /// True while a demand miss is outstanding (core blocked).
     pub fn busy(&self) -> bool {
         self.pending.is_some()
+    }
+
+    /// Physical tag lookups performed by this controller's cache array
+    /// (tests only; see [`SetAssocCache::phys_lookups`]). Counts every
+    /// lookup entry point including memo hits, so "one lookup per
+    /// access" is a real claim about the way-threaded paths.
+    #[cfg(debug_assertions)]
+    pub fn phys_lookups(&self) -> u64 {
+        self.cache.phys_lookups()
     }
 
     /// Coherence state of `block`, if resident (for tests and tracing).
@@ -410,39 +433,35 @@ impl L1Cache {
             size
         );
 
-        if self.cache.probe(block).is_some() {
-            // Similarity profiling (Fig. 2): every store-like access that
-            // finds the block's tag compares the incoming word with the
-            // word it overwrites, irrespective of coherence state.
-            if req.kind.is_store_like() && self.collect_similarity {
-                let old = self
-                    .cache
-                    .get(block)
-                    .expect("probed line present")
-                    .data
-                    .read_word(offset, size);
-                stats.similarity.record(old, req.value, (size * 8) as u32);
+        // One physical tag lookup classifies the whole access; the
+        // resulting token is threaded through every helper below.
+        let way = match self.cache.lookup_way(block) {
+            WayLookup::Hit(w) => {
+                // Similarity profiling (Fig. 2): every store-like access
+                // that finds the block's tag compares the incoming word
+                // with the word it overwrites, irrespective of coherence
+                // state.
+                if req.kind.is_store_like() && self.collect_similarity {
+                    let old = self.cache.line_at(w).data.read_word(offset, size);
+                    stats.similarity.record(old, req.value, (size * 8) as u32);
+                }
+                let state = self.cache.line_at(w).meta.state;
+                return self.access_tagged(req, w, state, stats, out);
             }
-            let state = self.cache.get(block).unwrap().meta.state;
-            return self.access_tagged(req, state, stats, out);
-        }
-
-        // True miss: no tag. Allocate a line (evicting if needed) and
-        // start the transaction.
-        stats.energy_events.l1_tag_probes += 1;
-        let way = match self.cache.lookup_for_insert(block) {
-            LookupResult::Hit { .. } => {
-                return Err(ProtocolError::internal(
-                    self.ctl(),
-                    format!("lookup hit on {block:?} after probe said absent"),
-                ))
-            }
-            LookupResult::Free { way } => way,
-            LookupResult::Victim { way, block: victim } => {
-                self.evict(victim, stats, out)?;
+            WayLookup::Free { way } => way,
+            WayLookup::Victim(v) => {
+                // True miss into a full set: evict through the victim's
+                // token, then reuse its way for the fill.
+                let way = v.way();
+                let line = self.cache.remove_at(v);
+                self.evict(line, stats, out)?;
                 way
             }
         };
+
+        // True miss: no tag. The line is allocated below and the
+        // transaction starts.
+        Self::charge_tag_probe(stats);
         let (row, state, payload) = if req.kind.is_store_like() {
             (L1RowId::MissStore, L1State::ImAd, Payload::Getx)
         } else {
@@ -461,10 +480,13 @@ impl L1Cache {
         Ok(())
     }
 
-    /// Demand access when the block's tag is present in state `state`.
+    /// Demand access when the block's tag is present in state `state`;
+    /// `w` is the line's probe token from the access's single physical
+    /// tag lookup.
     fn access_tagged(
         &mut self,
         req: CoreReq,
+        w: ProbedWay,
         state: L1State,
         stats: &mut Stats,
         out: &mut Vec<L1Out>,
@@ -498,8 +520,8 @@ impl L1Cache {
                     self.row(L1RowId::LoadHit, stats)?;
                     stats.l1_load_hits += 1;
                     stats.energy_events.l1_reads += 1;
-                    self.cache.touch(block);
-                    let v = self.cache.get(block).unwrap().data.read_word(offset, size);
+                    self.cache.touch_at(w);
+                    let v = self.cache.line_at(w).data.read_word(offset, size);
                     {
                         out.push(L1Out::Reply { value: v });
                         Ok(())
@@ -514,8 +536,8 @@ impl L1Cache {
                     self.row(row, stats)?;
                     stats.l1_load_hits += 1;
                     stats.energy_events.l1_reads += 1;
-                    self.cache.touch(block);
-                    let v = self.cache.get(block).unwrap().data.read_word(offset, size);
+                    self.cache.touch_at(w);
+                    let v = self.cache.line_at(w).data.read_word(offset, size);
                     {
                         out.push(L1Out::Reply { value: v });
                         Ok(())
@@ -526,8 +548,8 @@ impl L1Cache {
                     stats.l1_load_hits += 1;
                     stats.gi_load_hits += 1;
                     stats.energy_events.l1_reads += 1;
-                    self.cache.touch(block);
-                    let v = self.cache.get(block).unwrap().data.read_word(offset, size);
+                    self.cache.touch_at(w);
+                    let v = self.cache.line_at(w).data.read_word(offset, size);
                     {
                         out.push(L1Out::Reply { value: v });
                         Ok(())
@@ -537,8 +559,8 @@ impl L1Cache {
                     // Coherence (or capacity-invalidated) load miss.
                     self.row(L1RowId::LoadInvalid, stats)?;
                     stats.l1_load_misses += 1;
-                    stats.energy_events.l1_tag_probes += 1;
-                    self.cache.get_mut(block).unwrap().meta.state = L1State::IsD;
+                    Self::charge_tag_probe(stats);
+                    self.cache.line_at_mut(w).meta.state = L1State::IsD;
                     self.pending = Some(req);
                     {
                         out.push(L1Out::Send(self.msg(block, Payload::Gets)));
@@ -560,7 +582,7 @@ impl L1Cache {
                 match state {
                     L1State::M => {
                         self.row(L1RowId::StoreHitM, stats)?;
-                        self.write_hit(block, offset, size, req.value, stats);
+                        self.write_hit(w, offset, size, req.value, stats);
                         {
                             out.push(L1Out::Reply { value: 0 });
                             Ok(())
@@ -568,8 +590,8 @@ impl L1Cache {
                     }
                     L1State::E => {
                         self.row(L1RowId::StoreHitE, stats)?;
-                        self.write_hit(block, offset, size, req.value, stats);
-                        self.cache.get_mut(block).unwrap().meta.state = L1State::M;
+                        self.write_hit(w, offset, size, req.value, stats);
+                        self.cache.line_at_mut(w).meta.state = L1State::M;
                         {
                             out.push(L1Out::Reply { value: 0 });
                             Ok(())
@@ -589,8 +611,8 @@ impl L1Cache {
                         self.row(row, stats)?;
                         stats.upgrades_from_s += 1;
                         stats.l1_store_misses += 1;
-                        stats.energy_events.l1_tag_probes += 1;
-                        self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
+                        Self::charge_tag_probe(stats);
+                        self.cache.line_at_mut(w).meta.state = L1State::SmA;
                         self.pending = Some(req);
                         {
                             out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
@@ -615,13 +637,9 @@ impl L1Cache {
                             // under Capture the table deletes it and the
                             // scribble is captured like a store.
                             (Some(d), Some(gw)) => {
-                                bound_ok(&self.cache.get(block).unwrap().meta, gw)
+                                bound_ok(&self.cache.line_at(w).meta, gw)
                                     && (!self.rows.contains(L1RowId::GiBreak)
-                                        || scribble_pass(
-                                            &self.cache.get(block).unwrap().data,
-                                            d,
-                                            gw,
-                                        ))
+                                        || scribble_pass(&self.cache.line_at(w).data, d, gw))
                             }
                             // Conventional store: Fig. 3 Store self-loop.
                             (None, _) => true,
@@ -635,8 +653,8 @@ impl L1Cache {
                         if pass {
                             self.row(L1RowId::GiStoreHit, stats)?;
                             stats.gi_store_hits += 1;
-                            self.write_hit(block, offset, size, req.value, stats);
-                            self.cache.get_mut(block).unwrap().meta.hidden_writes += 1;
+                            self.write_hit(w, offset, size, req.value, stats);
+                            self.cache.line_at_mut(w).meta.hidden_writes += 1;
                             {
                                 out.push(L1Out::Reply { value: 0 });
                                 Ok(())
@@ -645,9 +663,9 @@ impl L1Cache {
                             self.row(L1RowId::GiBreak, stats)?;
                             stats.stores_on_invalid_tagged += 1;
                             stats.l1_store_misses += 1;
-                            stats.energy_events.l1_tag_probes += 1;
+                            Self::charge_tag_probe(stats);
                             stats.gi_breaks += 1;
-                            self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd;
+                            self.cache.line_at_mut(w).meta.state = L1State::ImAd;
                             self.pending = Some(req);
                             {
                                 out.push(L1Out::Send(self.msg(block, Payload::Getx)));
@@ -661,14 +679,14 @@ impl L1Cache {
                         let gw = self.gw;
                         let pass = self.rows.contains(L1RowId::EnterGs)
                             && matches!((d, &gw), (Some(d), Some(gw))
-                                if bound_ok(&self.cache.get(block).unwrap().meta, gw)
-                                && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
+                                if bound_ok(&self.cache.line_at(w).meta, gw)
+                                && scribble_pass(&self.cache.line_at(w).data, d, gw));
                         if pass {
                             // S → GS: write locally, no coherence actions.
                             self.row(L1RowId::EnterGs, stats)?;
                             stats.serviced_by_gs += 1;
-                            self.write_hit(block, offset, size, req.value, stats);
-                            let meta = &mut self.cache.get_mut(block).unwrap().meta;
+                            self.write_hit(w, offset, size, req.value, stats);
+                            let meta = &mut self.cache.line_at_mut(w).meta;
                             meta.state = L1State::Gs;
                             meta.hidden_writes += 1;
                             {
@@ -680,8 +698,8 @@ impl L1Cache {
                             self.row(L1RowId::UpgradeFromS, stats)?;
                             stats.upgrades_from_s += 1;
                             stats.l1_store_misses += 1;
-                            stats.energy_events.l1_tag_probes += 1;
-                            self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
+                            Self::charge_tag_probe(stats);
+                            self.cache.line_at_mut(w).meta.state = L1State::SmA;
                             self.pending = Some(req);
                             {
                                 out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
@@ -692,13 +710,13 @@ impl L1Cache {
                     L1State::Gs => {
                         let gw = self.gw;
                         let pass = matches!((d, &gw), (Some(d), Some(gw))
-                            if bound_ok(&self.cache.get(block).unwrap().meta, gw)
-                            && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
+                            if bound_ok(&self.cache.line_at(w).meta, gw)
+                            && scribble_pass(&self.cache.line_at(w).data, d, gw));
                         if pass {
                             self.row(L1RowId::GsHit, stats)?;
                             stats.gs_hits += 1;
-                            self.write_hit(block, offset, size, req.value, stats);
-                            self.cache.get_mut(block).unwrap().meta.hidden_writes += 1;
+                            self.write_hit(w, offset, size, req.value, stats);
+                            self.cache.line_at_mut(w).meta.hidden_writes += 1;
                             {
                                 out.push(L1Out::Reply { value: 0 });
                                 Ok(())
@@ -710,8 +728,8 @@ impl L1Cache {
                             self.row(L1RowId::UpgradeFromGs, stats)?;
                             stats.upgrades_from_gs += 1;
                             stats.l1_store_misses += 1;
-                            stats.energy_events.l1_tag_probes += 1;
-                            self.cache.get_mut(block).unwrap().meta.state = L1State::SmA;
+                            Self::charge_tag_probe(stats);
+                            self.cache.line_at_mut(w).meta.state = L1State::SmA;
                             self.pending = Some(req);
                             {
                                 out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
@@ -725,14 +743,14 @@ impl L1Cache {
                         let gw = self.gw;
                         let pass = self.rows.contains(L1RowId::EnterGi)
                             && matches!((d, &gw), (Some(d), Some(gw))
-                                if bound_ok(&self.cache.get(block).unwrap().meta, gw)
-                                && scribble_pass(&self.cache.get(block).unwrap().data, d, gw));
+                                if bound_ok(&self.cache.line_at(w).meta, gw)
+                                && scribble_pass(&self.cache.line_at(w).data, d, gw));
                         if pass {
                             // I → GI: write over the stale data, no GETX.
                             self.row(L1RowId::EnterGi, stats)?;
                             stats.serviced_by_gi += 1;
-                            self.write_hit(block, offset, size, req.value, stats);
-                            let meta = &mut self.cache.get_mut(block).unwrap().meta;
+                            self.write_hit(w, offset, size, req.value, stats);
+                            let meta = &mut self.cache.line_at_mut(w).meta;
                             meta.state = L1State::Gi;
                             meta.hidden_writes += 1;
                             {
@@ -743,8 +761,8 @@ impl L1Cache {
                             self.row(L1RowId::StoreInvalid, stats)?;
                             stats.stores_on_invalid_tagged += 1;
                             stats.l1_store_misses += 1;
-                            stats.energy_events.l1_tag_probes += 1;
-                            self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd;
+                            Self::charge_tag_probe(stats);
+                            self.cache.line_at_mut(w).meta.state = L1State::ImAd;
                             self.pending = Some(req);
                             {
                                 out.push(L1Out::Send(self.msg(block, Payload::Getx)));
@@ -764,7 +782,7 @@ impl L1Cache {
 
     fn write_hit(
         &mut self,
-        block: BlockAddr,
+        w: ProbedWay,
         offset: usize,
         size: usize,
         value: u64,
@@ -772,10 +790,9 @@ impl L1Cache {
     ) {
         stats.l1_store_hits += 1;
         stats.energy_events.l1_writes += 1;
-        self.cache.touch(block);
+        self.cache.touch_at(w);
         self.cache
-            .get_mut(block)
-            .unwrap()
+            .line_at_mut(w)
             .data
             .write_word(offset, size, value);
     }
@@ -801,14 +818,16 @@ impl L1Cache {
             })
     }
 
-    /// Evicts `victim` per its state, appending any protocol messages.
+    /// Evicts the already-removed victim `line` per its state, appending
+    /// any protocol messages. The caller removes the line through its
+    /// probe token so no extra tag lookup happens here.
     fn evict(
         &mut self,
-        victim: BlockAddr,
+        line: Line<L1Meta>,
         stats: &mut Stats,
         out: &mut Vec<L1Out>,
     ) -> Result<(), ProtocolError> {
-        let line = self.cache.remove(victim).expect("victim resident");
+        let victim = line.block;
         match line.meta.state {
             L1State::M => {
                 self.row(L1RowId::EvictM, stats)?;
@@ -890,8 +909,9 @@ impl L1Cache {
         let dir = msg.src;
         match msg.payload {
             Payload::Inv => {
-                stats.energy_events.l1_tag_probes += 1;
-                let row = match self.cache.get(block).map(|l| l.meta.state) {
+                Self::charge_tag_probe(stats);
+                let w = self.cache.probe_way(block);
+                let row = match w.map(|t| self.cache.line_at(t).meta.state) {
                     Some(L1State::S) => L1RowId::InvSharer,
                     // MOESI: a GETX by one of our sharers invalidates the
                     // owner too — the upgrading sharer holds identical
@@ -918,14 +938,14 @@ impl L1Cache {
                 self.row(row, stats)?;
                 match row {
                     L1RowId::InvSharer | L1RowId::InvOwned | L1RowId::InvFwd => {
-                        self.cache.get_mut(block).unwrap().meta.state = L1State::I
+                        self.cache.line_at_mut(w.unwrap()).meta.state = L1State::I
                     }
                     L1RowId::InvGs => {
-                        self.cache.get_mut(block).unwrap().meta.state = L1State::I;
+                        self.cache.line_at_mut(w.unwrap()).meta.state = L1State::I;
                         stats.gs_invalidations += 1;
                     }
                     L1RowId::InvSmA => {
-                        self.cache.get_mut(block).unwrap().meta.state = L1State::ImAd
+                        self.cache.line_at_mut(w.unwrap()).meta.state = L1State::ImAd
                     }
                     _ => {}
                 }
@@ -989,7 +1009,8 @@ impl L1Cache {
                         format!("DATA for {block:?} while missing on {:?}", req.addr.block()),
                     ));
                 }
-                let row = match (self.cache.get(block).map(|l| l.meta.state), grant) {
+                let w = self.cache.probe_way(block);
+                let row = match (w.map(|t| self.cache.line_at(t).meta.state), grant) {
                     (Some(L1State::IsD), Grant::Shared) => L1RowId::DataFillShared,
                     (Some(L1State::IsD), Grant::Exclusive) => L1RowId::DataFillExcl,
                     (Some(L1State::IsD), Grant::Forward)
@@ -1008,7 +1029,8 @@ impl L1Cache {
                 };
                 self.row(row, stats)?;
                 stats.energy_events.l1_writes += 1; // line fill
-                let line = self.cache.get_mut(block).expect("miss line allocated");
+                let w = w.expect("miss line allocated");
+                let line = self.cache.line_at_mut(w);
                 line.meta.hidden_writes = 0;
                 line.data = data;
                 let value = match row {
@@ -1031,7 +1053,7 @@ impl L1Cache {
                         0
                     }
                 };
-                self.cache.touch(block);
+                self.cache.touch_at(w);
                 out.push(L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
@@ -1062,7 +1084,8 @@ impl L1Cache {
                         ),
                     ));
                 }
-                match self.cache.get(block).map(|l| l.meta.state) {
+                let w = self.cache.probe_way(block);
+                match w.map(|t| self.cache.line_at(t).meta.state) {
                     Some(L1State::SmA) => {}
                     t => {
                         return Err(self.error(
@@ -1074,7 +1097,8 @@ impl L1Cache {
                 }
                 self.row(L1RowId::UpgAck, stats)?;
                 stats.energy_events.l1_writes += 1;
-                let line = self.cache.get_mut(block).expect("upgrading line present");
+                let w = w.expect("upgrading line present");
+                let line = self.cache.line_at_mut(w);
                 // Keep the (possibly scribbled) block contents and apply
                 // the store: the locally modified data is published —
                 // a coherent resync for the §3.5 error bound.
@@ -1082,7 +1106,7 @@ impl L1Cache {
                     .write_word(req.addr.offset(), req.size as usize, req.value);
                 line.meta.state = L1State::M;
                 line.meta.hidden_writes = 0;
-                self.cache.touch(block);
+                self.cache.touch_at(w);
                 out.push(L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
@@ -1135,7 +1159,8 @@ impl L1Cache {
             // The eviction raced with the forward; answer from the buffer
             // and let the queued PUT be acked as stale.
             let data = entry.data;
-            if let Some(line) = self.cache.get(block) {
+            #[cfg(debug_assertions)]
+            if let Some(line) = self.cache.probe_way(block).map(|t| self.cache.line_at(t)) {
                 debug_assert!(
                     matches!(line.meta.state, L1State::IsD | L1State::ImAd),
                     "core {}: unexpected state {:?} alongside a writeback buffer entry",
@@ -1149,7 +1174,8 @@ impl L1Cache {
                 xfer: OwnerXfer::Dropped,
             });
         }
-        let state = self.cache.get(block).map(|l| l.meta.state);
+        let w = self.cache.probe_way(block);
+        let state = w.map(|t| self.cache.line_at(t).meta.state);
         let (row, next, xfer) = match (state, is_gets) {
             // MOESI/MOSI: a dirty owner answers a read by *retaining*
             // ownership in O; the directory elides the L2 fill. When the
@@ -1202,7 +1228,7 @@ impl L1Cache {
         };
         self.row(row, stats)?;
         stats.energy_events.l1_reads += 1;
-        let line = self.cache.get_mut(block).unwrap();
+        let line = self.cache.line_at_mut(w.unwrap());
         let data = line.data;
         line.meta.state = next;
         Ok(FwdReply::Data { data, xfer })
@@ -1460,6 +1486,49 @@ mod tests {
             other => panic!("bring_to({other:?}) unsupported"),
         }
         assert_eq!(cache.state_of(block), Some(target));
+    }
+
+    /// Tentpole invariant of the way-threading refactor: each demand
+    /// access performs exactly one physical tag lookup — on hit, true
+    /// miss, and victim-eviction paths alike — because the probe token
+    /// is threaded through every helper instead of re-probing.
+    #[cfg(debug_assertions)]
+    #[test]
+    fn one_physical_tag_lookup_per_access() {
+        let (mut c, mut s) = l1(gw_params());
+        // Hit paths.
+        bring_to(&mut c, &mut s, 0x1000, L1State::M);
+        let base = c.phys_lookups();
+        c.access(load(0x1000), &mut s).unwrap();
+        assert_eq!(c.phys_lookups() - base, 1, "load hit");
+        let base = c.phys_lookups();
+        c.access(store(0x1000, 5), &mut s).unwrap();
+        assert_eq!(c.phys_lookups() - base, 1, "store hit");
+        // True miss into a free way.
+        let base = c.phys_lookups();
+        let outs = c.access(load(0x2040), &mut s).unwrap();
+        expect_send(&outs, "GETS");
+        assert_eq!(c.phys_lookups() - base, 1, "miss via free way");
+        c.handle_msg(
+            dir_msg(
+                Addr(0x2040).block(),
+                Payload::Data {
+                    data: BlockData::zeroed(),
+                    grant: Grant::Shared,
+                },
+            ),
+            &mut s,
+        )
+        .unwrap();
+        // Victim path: set 0 already holds 0x1000 (M); fill the second
+        // way, then a third conflicting block must evict a dirty victim
+        // (PUTM) — still one lookup for the whole access.
+        bring_to(&mut c, &mut s, 0x1200, L1State::M);
+        let base = c.phys_lookups();
+        let outs = c.access(store(0x1400, 9), &mut s).unwrap();
+        expect_send(&outs, "PUTM");
+        expect_send(&outs, "GETX");
+        assert_eq!(c.phys_lookups() - base, 1, "miss via victim eviction");
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::config::{MachineConfig, Protocol};
 use crate::ctx::ThreadCtx;
 use crate::dir::DirBank;
 use crate::l1::{AccessKind, CoreReq, GwParams, L1Cache, L1Out};
-use crate::msg::{Endpoint, Msg, Payload};
+use crate::msg::{CtlMsg, DataPool, Endpoint, Msg, Payload};
 use crate::op::{OpKind, ThreadOp, ThreadReply};
 use crate::prof::{Component, Phase, Profile, Profiler};
 use crate::stats::{CoreSummary, SimReport, Stats};
@@ -51,6 +51,7 @@ pub struct Machine {
     programs: Vec<Program>,
     trace: bool,
     profiling: bool,
+    fuse_replies: bool,
     #[cfg(feature = "legacy-threads")]
     legacy: bool,
 }
@@ -97,9 +98,21 @@ impl Machine {
             programs: Vec::new(),
             trace: false,
             profiling: false,
+            fuse_replies: true,
             #[cfg(feature = "legacy-threads")]
             legacy: false,
         }
+    }
+
+    /// Disables the fused reply→fetch fast path, forcing every core
+    /// resume through the event queue as separate deliver + fetch
+    /// events. A diagnostic switch for differential testing — fused and
+    /// unfused runs must produce byte-identical results. Like
+    /// [`Machine::enable_profiling`], this is deliberately a runtime
+    /// switch rather than a config field so the config cache key is
+    /// unaffected.
+    pub fn disable_reply_fusion(&mut self) {
+        self.fuse_replies = false;
     }
 
     /// Turns on the cycle-attribution profiler (see [`crate::prof`]).
@@ -237,6 +250,7 @@ impl Machine {
             self.programs,
             legacy,
             self.profiling,
+            self.fuse_replies,
         );
         engine.trace = self.trace.then(Vec::new);
         engine.run()
@@ -349,15 +363,17 @@ enum Ev {
 /// Arena for in-flight protocol messages: `Ev::Deliver` carries an index
 /// into `slots`, and a slot is recycled onto the free list the moment its
 /// message is delivered. In-flight count is bounded by outstanding
-/// transactions, so the arena stays small and hot.
+/// transactions, so the arena stays small and hot. Slots hold the
+/// control-plane [`CtlMsg`] form — block data lives in the engine's
+/// [`DataPool`], so control messages cost no data movement here.
 #[derive(Default)]
 struct MsgPool {
-    slots: Vec<Option<Msg>>,
+    slots: Vec<Option<CtlMsg>>,
     free: Vec<u32>,
 }
 
 impl MsgPool {
-    fn alloc(&mut self, msg: Msg) -> u32 {
+    fn alloc(&mut self, msg: CtlMsg) -> u32 {
         match self.free.pop() {
             Some(slot) => {
                 debug_assert!(self.slots[slot as usize].is_none());
@@ -372,7 +388,7 @@ impl MsgPool {
         }
     }
 
-    fn take(&mut self, slot: u32) -> Msg {
+    fn take(&mut self, slot: u32) -> CtlMsg {
         let msg = self.slots[slot as usize]
             .take()
             .expect("double delivery of pooled message");
@@ -514,6 +530,16 @@ struct Engine {
     core_stats: Vec<Stats>,
     /// Reply owed to each thread, delivered at its next Fetch.
     pending_reply: Vec<Option<ThreadReply>>,
+    /// One-slot deferral buffer for the fused reply→fetch fast path:
+    /// the core resume owed to a just-completed operation, held out of
+    /// the event queue. If nothing else is scheduled before it, the
+    /// event loop dispatches it inline (no wheel push/pop); any other
+    /// push flushes it into the queue first, which preserves the exact
+    /// FIFO-within-a-cycle order of the unfused engine (see
+    /// [`Engine::defer_fetch`]).
+    pending_fetch: Option<(u64, usize)>,
+    /// False only under [`Machine::disable_reply_fusion`].
+    fuse_replies: bool,
     /// Active approximate region d-distance per core.
     approx_d: Vec<Option<u8>>,
     threads: usize,
@@ -532,6 +558,8 @@ struct Engine {
     last_op: Vec<&'static str>,
     /// Arena for in-flight message payloads (see [`MsgPool`]).
     pool: MsgPool,
+    /// Side pool of in-flight message block data (see [`DataPool`]).
+    data: DataPool,
     /// Reusable outbox for L1 controller calls.
     l1_scratch: Vec<L1Out>,
     /// Reusable outbox for directory controller calls.
@@ -555,6 +583,7 @@ impl Engine {
         programs: Vec<Program>,
         legacy: bool,
         profiling: bool,
+        fuse_replies: bool,
     ) -> Self {
         let (w, h) = Mesh::dims_for(cfg.cores);
         let mesh = Mesh::new(w, h, cfg.router_cycles, cfg.link_cycles);
@@ -612,6 +641,8 @@ impl Engine {
             stats: Stats::default(),
             core_stats: (0..cfg.cores).map(|_| Stats::default()).collect(),
             pending_reply: vec![None; cfg.cores],
+            pending_fetch: None,
+            fuse_replies,
             approx_d: vec![None; cfg.cores],
             threads,
             finished: vec![false; cfg.cores],
@@ -623,6 +654,7 @@ impl Engine {
             link_free,
             last_op: vec!["<none>"; cfg.cores],
             pool: MsgPool::default(),
+            data: DataPool::default(),
             l1_scratch: Vec::new(),
             dir_scratch: Vec::new(),
             prof: profiling.then(|| Box::new(Profiler::new(cfg.cores))),
@@ -666,8 +698,8 @@ impl Engine {
         } else {
             extra_delay + latency
         };
-        let slot = self.pool.alloc(msg);
-        self.queue.push_after(delay, Ev::Deliver(slot));
+        let slot = self.pool.alloc(msg.intern(&mut self.data));
+        self.sched_after(delay, Ev::Deliver(slot));
         if let Some(p) = self.prof.as_mut() {
             p.end_span();
             p.route(delay);
@@ -694,14 +726,51 @@ impl Engine {
         done - self.queue.now()
     }
 
+    /// Defers `Ev::Fetch { core }` at `now + delay` into the one-slot
+    /// fusion buffer instead of the event queue.
+    ///
+    /// Ordering is preserved exactly: every *other* queue push goes
+    /// through [`Engine::flush_pending_fetch`] first, so by the time
+    /// any event could be pushed after the deferred fetch, the fetch
+    /// has already claimed its place in the queue — its seq relative to
+    /// all other events is the same as an immediate push would have
+    /// produced. The payoff is the common case where nothing else
+    /// happens before the fetch: the event loop dispatches it inline
+    /// and the wheel is never touched.
+    #[inline]
+    fn defer_fetch(&mut self, delay: u64, core: usize) {
+        if !self.fuse_replies {
+            self.queue.push_after(delay, Ev::Fetch { core });
+            return;
+        }
+        self.flush_pending_fetch();
+        self.pending_fetch = Some((self.queue.now() + delay, core));
+    }
+
+    /// Moves the deferred fetch (if any) into the event queue. Must be
+    /// called before any other queue push — see [`Engine::defer_fetch`].
+    #[inline]
+    fn flush_pending_fetch(&mut self) {
+        if let Some((t, core)) = self.pending_fetch.take() {
+            self.queue.push(t, Ev::Fetch { core });
+        }
+    }
+
+    /// Schedules a non-fetch event, flushing the deferred fetch first
+    /// so queue order matches the unfused engine.
+    #[inline]
+    fn sched_after(&mut self, delay: u64, ev: Ev) {
+        self.flush_pending_fetch();
+        self.queue.push_after(delay, ev);
+    }
+
     /// Drains `outs` (a reusable scratch buffer) into replies and sends.
     fn apply_l1_outs(&mut self, core: usize, outs: &mut Vec<L1Out>) {
         for out in outs.drain(..) {
             match out {
                 L1Out::Reply { value } => {
                     self.pending_reply[core] = Some(value);
-                    self.queue
-                        .push_after(self.cfg.l1_latency, Ev::Fetch { core });
+                    self.defer_fetch(self.cfg.l1_latency, core);
                 }
                 L1Out::Send(msg) => self.send(msg, self.cfg.l1_latency),
             }
@@ -798,6 +867,21 @@ impl Engine {
         // profiler is on.
         let mut batch: Vec<Ev> = Vec::new();
         while self.n_finished < self.threads {
+            // Fused reply→fetch fast path: when the deferred core
+            // resume precedes everything queued, dispatch it inline —
+            // the wheel is never pushed or popped for the per-op
+            // round trip. Otherwise restore it to the queue so strict
+            // (time, push-order) dispatch is preserved.
+            if let Some((t, core)) = self.pending_fetch {
+                if self.queue.peek_time().is_none_or(|qt| qt > t) {
+                    self.pending_fetch = None;
+                    let delta = t - self.queue.now();
+                    self.queue.advance_to(t);
+                    self.dispatch(Ev::Fetch { core }, delta);
+                    continue;
+                }
+                self.flush_pending_fetch();
+            }
             let prev = self.queue.now();
             let Some(time) = self.queue.pop_batch(&mut batch) else {
                 panic!(
@@ -820,7 +904,9 @@ impl Engine {
         }
         // Drain in-flight writebacks and acknowledgements. A fetch here
         // means every thread finished yet a core still wants to resume —
-        // a wedged or double-scheduled thread.
+        // a wedged or double-scheduled thread. A deferred fetch is
+        // flushed first so the same diagnostic catches it.
+        self.flush_pending_fetch();
         if let Some(p) = self.prof.as_mut() {
             p.begin_drain();
         }
@@ -866,7 +952,7 @@ impl Engine {
                 }
             }
             Ev::Deliver(slot) => {
-                let msg = self.pool.take(slot);
+                let msg = self.pool.take(slot).resolve(&mut self.data);
                 let (phase, component) = match msg.dst {
                     Endpoint::L1(c) => (Phase::L1Dispatch, Component::Core(c)),
                     Endpoint::Dir(b) => (Phase::DirDispatch, Component::Bank(b)),
@@ -890,7 +976,7 @@ impl Engine {
                         .gi_timeout_sweep(&mut self.core_stats[core])
                         .unwrap_or_else(|e| panic!("protocol error: {e}"));
                     let t = self.gi_timeout.expect("tick without timeout");
-                    self.queue.push_after(t, Ev::GiTick { core });
+                    self.sched_after(t, Ev::GiTick { core });
                     if let Some(p) = self.prof.as_mut() {
                         p.end_span();
                         p.event(Phase::QueueChurn, Component::Core(core), delta);
@@ -912,7 +998,7 @@ impl Engine {
                         .cfg
                         .context_switch_period
                         .expect("switch without period");
-                    self.queue.push_after(p, Ev::ContextSwitch { core });
+                    self.sched_after(p, Ev::ContextSwitch { core });
                     if let Some(p) = self.prof.as_mut() {
                         p.end_span();
                         p.event(Phase::QueueChurn, Component::Core(core), delta);
@@ -989,7 +1075,7 @@ impl Engine {
             ThreadOp::Work(cycles) => {
                 self.stats.work_cycles += cycles;
                 self.pending_reply[core] = Some(0);
-                self.queue.push_after(cycles.max(1), Ev::Fetch { core });
+                self.defer_fetch(cycles.max(1), core);
             }
             ThreadOp::Barrier => {
                 self.barrier_wait[core] = Some(now);
@@ -998,12 +1084,12 @@ impl Engine {
             ThreadOp::ApproxBegin { d } => {
                 self.approx_d[core] = Some(d);
                 self.pending_reply[core] = Some(0);
-                self.queue.push_after(1, Ev::Fetch { core });
+                self.defer_fetch(1, core);
             }
             ThreadOp::ApproxEnd => {
                 self.approx_d[core] = None;
                 self.pending_reply[core] = Some(0);
-                self.queue.push_after(1, Ev::Fetch { core });
+                self.defer_fetch(1, core);
             }
         }
     }
@@ -1032,6 +1118,9 @@ impl Engine {
         }
         let release = arrive_max + self.cfg.barrier_cost;
         self.stats.barriers += 1;
+        // Multiple cores resume at once: the one-slot fusion buffer
+        // cannot hold them all, so these go through the queue.
+        self.flush_pending_fetch();
         for c in 0..self.threads {
             if self.finished[c] {
                 continue;
@@ -1228,6 +1317,48 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fused_reply_fetch_matches_unfused_engine() {
+        // The fusion fast path is pure mechanics: with it disabled,
+        // every core resume rides the event queue as before, and the
+        // run must be byte-identical — cycles, per-core finish times,
+        // and the full stats JSON.
+        let run = |fused: bool| {
+            let mut m = small(Protocol::ghostwriter());
+            if !fused {
+                m.disable_reply_fusion();
+            }
+            let shared = m.alloc_padded(64 * 4);
+            for t in 0..4usize {
+                m.add_thread(move |ctx| async move {
+                    ctx.approx_begin(4).await;
+                    for i in 0..60u32 {
+                        let a = shared.add(4 * t as u64);
+                        let v = ctx.load_u32(a).await;
+                        ctx.scribble_u32(a, v.wrapping_add(i % 5)).await;
+                        if i % 16 == 7 {
+                            ctx.work(3).await;
+                        }
+                        // Cross-core sharing keeps invalidations and
+                        // forwarded data in flight around the fetches.
+                        let b = shared.add(64 * ((t as u64 + 1) % 4));
+                        let w = ctx.load_u32(b).await;
+                        ctx.store_u32(b, w ^ i).await;
+                    }
+                    ctx.barrier().await;
+                    ctx.approx_end().await;
+                });
+            }
+            let r = m.run();
+            (
+                r.report.cycles,
+                r.report.core_finish.clone(),
+                r.report.stats.to_json().to_pretty(),
+            )
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[cfg(feature = "legacy-threads")]
@@ -1615,42 +1746,75 @@ mod context_switch_tests {
         use super::*;
         use proptest::prelude::*;
 
-        fn tagged_msg(tag: u64) -> Msg {
+        fn tagged_msg(tag: u64, with_data: bool) -> Msg {
+            let payload = if with_data {
+                let mut data = ghostwriter_mem::BlockData::zeroed();
+                data.write_word(0, 8, tag);
+                Payload::PutM { data }
+            } else {
+                Payload::Gets
+            };
             Msg {
                 src: Endpoint::L1(0),
                 dst: Endpoint::Dir(0),
                 block: BlockAddr(tag),
-                payload: Payload::Gets,
+                payload,
             }
         }
 
         proptest! {
-            /// Random alloc/deliver interleavings: every take returns
-            /// the message its slot was allocated with, the in-flight
-            /// count tracks the model exactly, and freed slots are
-            /// recycled (the arena never outgrows the peak live count).
+            /// Random alloc/deliver interleavings over a mix of control
+            /// and data-carrying messages: every take returns the
+            /// message its slot was allocated with (data intact), the
+            /// in-flight counts track the model exactly, freed slots
+            /// are recycled (neither arena outgrows its peak live
+            /// count), and — the payload-split invariant — control
+            /// messages allocate zero data slots: the data pool's size
+            /// is bounded by the peak in-flight *data-carrying* count
+            /// alone.
             #[test]
             fn slot_recycling_round_trips(ops in proptest::collection::vec(any::<u64>(), 1..256)) {
                 let mut pool = MsgPool::default();
-                let mut live: Vec<(u32, u64)> = Vec::new();
+                let mut data_pool = DataPool::default();
+                let mut live: Vec<(u32, u64, bool)> = Vec::new();
                 let mut peak = 0usize;
+                let mut data_peak = 0usize;
                 for (i, op) in ops.into_iter().enumerate() {
-                    // Low bit picks alloc vs deliver; the rest picks the
-                    // in-flight message to deliver.
-                    let (deliver, pick) = (op & 1 == 1, op >> 1);
+                    // Low bit picks alloc vs deliver; second bit picks
+                    // control vs data; the rest picks the in-flight
+                    // message to deliver.
+                    let (deliver, with_data, pick) = (op & 1 == 1, op & 2 == 2, op >> 2);
                     if deliver && !live.is_empty() {
-                        let (slot, tag) = live.swap_remove(pick as usize % live.len());
-                        let msg = pool.take(slot);
+                        let (slot, tag, had_data) = live.swap_remove(pick as usize % live.len());
+                        let msg = pool.take(slot).resolve(&mut data_pool);
                         prop_assert_eq!(msg.block, BlockAddr(tag));
+                        if had_data {
+                            let Payload::PutM { data } = msg.payload else {
+                                return Err(TestCaseError::fail("data variant lost"));
+                            };
+                            prop_assert_eq!(data.read_word(0, 8), tag);
+                        }
                     } else {
                         let tag = i as u64;
-                        let slot = pool.alloc(tagged_msg(tag));
-                        live.push((slot, tag));
+                        let before = data_pool.in_flight();
+                        let slot = pool.alloc(tagged_msg(tag, with_data).intern(&mut data_pool));
+                        let allocated = data_pool.in_flight() - before;
+                        prop_assert_eq!(allocated, usize::from(with_data),
+                            "control messages must allocate zero data slots");
+                        live.push((slot, tag, with_data));
                         peak = peak.max(live.len());
+                        data_peak = data_peak.max(data_pool.in_flight());
                     }
                     prop_assert_eq!(pool.in_flight(), live.len());
+                    prop_assert_eq!(
+                        data_pool.in_flight(),
+                        live.iter().filter(|&&(_, _, d)| d).count()
+                    );
                 }
                 prop_assert!(pool.slots.len() <= peak, "arena grew past peak {} > {}", pool.slots.len(), peak);
+                prop_assert!(data_pool.capacity() <= data_peak.max(1),
+                    "data pool grew past peak in-flight data messages: {} > {}",
+                    data_pool.capacity(), data_peak);
             }
         }
     }

@@ -49,9 +49,80 @@ pub enum OwnerXfer {
     ToOwned,
 }
 
-/// Message bodies. The comments give the sender → receiver direction.
+/// Opaque index of an in-flight data block in a [`DataPool`].
+///
+/// A `DataRef` is a *transport* handle, not part of the logical message:
+/// two runs (or two checker states) may assign different slot indices to
+/// the same logical traffic. Anything that compares or hashes messages
+/// must resolve the ref to its block first — see
+/// `System::fingerprint` in `harness.rs`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct DataRef(u32);
+
+/// Side pool of the 64-byte blocks carried by in-flight data messages.
+///
+/// The control-plane form of a message ([`CtlMsg`]) stores a [`DataRef`]
+/// instead of embedding the block, so the message arena and the event
+/// queue move small fixed-size records and zero-data messages (INV,
+/// acks, forwards) are genuinely zero-data. Slots are recycled the
+/// moment a message is resolved back to its logical form, so the pool
+/// never outgrows the peak number of in-flight data-carrying messages.
+#[derive(Clone, Debug, Default)]
+pub struct DataPool {
+    slots: Vec<Option<BlockData>>,
+    free: Vec<u32>,
+}
+
+impl DataPool {
+    /// Interns `data`, returning its slot handle.
+    pub fn alloc(&mut self, data: BlockData) -> DataRef {
+        match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.slots[slot as usize].is_none());
+                self.slots[slot as usize] = Some(data);
+                DataRef(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("data pool overflow");
+                self.slots.push(Some(data));
+                DataRef(slot)
+            }
+        }
+    }
+
+    /// Consumes the slot, returning its block and recycling the slot.
+    pub fn take(&mut self, r: DataRef) -> BlockData {
+        let data = self.slots[r.0 as usize]
+            .take()
+            .expect("data slot consumed twice");
+        self.free.push(r.0);
+        data
+    }
+
+    /// Reads the slot without consuming it (fingerprinting, peeking).
+    pub fn get(&self, r: DataRef) -> &BlockData {
+        self.slots[r.0 as usize]
+            .as_ref()
+            .expect("data slot already consumed")
+    }
+
+    /// Number of live (unresolved) data blocks.
+    pub fn in_flight(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Total slots ever allocated (the pool's high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+/// Message bodies, generic over how block data is carried: the logical
+/// form ([`Payload`]) embeds the 64-byte block inline; the control-plane
+/// form ([`PayloadCtl`]) references a [`DataPool`] slot instead. The
+/// comments give the sender → receiver direction.
 #[derive(Clone, Debug, Hash)]
-pub enum Payload {
+pub enum PayloadOf<D> {
     // ---- L1 → directory requests ----
     /// Read-share request (load miss).
     Gets,
@@ -64,7 +135,7 @@ pub enum Payload {
     /// Clean exclusive-copy eviction (acked with `WbAck`).
     PutE,
     /// Dirty writeback (acked with `WbAck`).
-    PutM { data: BlockData },
+    PutM { data: D },
 
     // ---- directory → L1 commands ----
     /// Invalidate your copy and ack the directory.
@@ -75,7 +146,7 @@ pub enum Payload {
     /// You own this block: send the data to the directory and invalidate.
     FwdGetx,
     /// Demand data with a permission grant.
-    Data { data: BlockData, grant: Grant },
+    Data { data: D, grant: Grant },
     /// Your `Upgrade` succeeded: you now hold M.
     UpgAck,
     /// Your `PutM`/`PutE` completed; release the writeback buffer entry.
@@ -87,7 +158,7 @@ pub enum Payload {
     /// Owner's reply to `FwdGets`/`FwdGetx`. `xfer` records what the
     /// owner did with its own copy (dropped it, downgraded to Shared,
     /// or retained dirty ownership under MOESI/MOSI).
-    DataToDir { data: BlockData, xfer: OwnerXfer },
+    DataToDir { data: D, xfer: OwnerXfer },
     /// `FwdGets` bounced: the MESIF forwarder had already evicted its
     /// clean copy (a `PutS` is in flight). The copy was clean, so the
     /// directory serves the requestor from the valid L2 block instead.
@@ -100,68 +171,190 @@ pub enum Payload {
     /// Fetch a block from DRAM.
     MemRead,
     /// DRAM fill data.
-    MemData { data: BlockData },
+    MemData { data: D },
     /// Write a block back to DRAM (no ack).
-    MemWrite { data: BlockData },
+    MemWrite { data: D },
 }
 
-/// A routed protocol message.
+/// The logical payload: block data carried inline.
+pub type Payload = PayloadOf<BlockData>;
+
+/// The control-plane payload: block data referenced by pool slot.
+pub type PayloadCtl = PayloadOf<DataRef>;
+
+/// A routed protocol message, generic like [`PayloadOf`] over how block
+/// data is carried.
 #[derive(Clone, Debug, Hash)]
-pub struct Msg {
+pub struct MsgOf<D> {
     pub src: Endpoint,
     pub dst: Endpoint,
     pub block: BlockAddr,
-    pub payload: Payload,
+    pub payload: PayloadOf<D>,
 }
 
-impl Payload {
+/// A logical protocol message (inline data) — what controllers produce
+/// and consume.
+pub type Msg = MsgOf<BlockData>;
+
+/// A control-plane message (data by [`DataRef`]) — what transports
+/// store: the machine's message arena and the harness's virtual
+/// network.
+pub type CtlMsg = MsgOf<DataRef>;
+
+impl Msg {
+    /// Interns the payload's data (if any) into `pool`, yielding the
+    /// small fixed-size control record transports store.
+    pub fn intern(self, pool: &mut DataPool) -> CtlMsg {
+        let payload = match self.payload {
+            Payload::PutM { data } => PayloadCtl::PutM {
+                data: pool.alloc(data),
+            },
+            Payload::Data { data, grant } => PayloadCtl::Data {
+                data: pool.alloc(data),
+                grant,
+            },
+            Payload::DataToDir { data, xfer } => PayloadCtl::DataToDir {
+                data: pool.alloc(data),
+                xfer,
+            },
+            Payload::MemData { data } => PayloadCtl::MemData {
+                data: pool.alloc(data),
+            },
+            Payload::MemWrite { data } => PayloadCtl::MemWrite {
+                data: pool.alloc(data),
+            },
+            Payload::Gets => PayloadCtl::Gets,
+            Payload::Getx => PayloadCtl::Getx,
+            Payload::Upgrade => PayloadCtl::Upgrade,
+            Payload::PutS => PayloadCtl::PutS,
+            Payload::PutE => PayloadCtl::PutE,
+            Payload::Inv => PayloadCtl::Inv,
+            Payload::FwdGets => PayloadCtl::FwdGets,
+            Payload::FwdGetx => PayloadCtl::FwdGetx,
+            Payload::UpgAck => PayloadCtl::UpgAck,
+            Payload::WbAck => PayloadCtl::WbAck,
+            Payload::InvAck => PayloadCtl::InvAck,
+            Payload::FwdNack => PayloadCtl::FwdNack,
+            Payload::Unblock => PayloadCtl::Unblock,
+            Payload::MemRead => PayloadCtl::MemRead,
+        };
+        CtlMsg {
+            src: self.src,
+            dst: self.dst,
+            block: self.block,
+            payload,
+        }
+    }
+}
+
+impl CtlMsg {
+    /// Resolves back to the logical message, consuming (and recycling)
+    /// the data slot. The inverse of [`Msg::intern`].
+    pub fn resolve(self, pool: &mut DataPool) -> Msg {
+        let payload = self.payload.resolve_with(|r| pool.take(r));
+        Msg {
+            src: self.src,
+            dst: self.dst,
+            block: self.block,
+            payload,
+        }
+    }
+
+    /// The logical message this record denotes, *without* consuming the
+    /// data slot — for fingerprinting and fault-injection peeking,
+    /// where the message stays in flight.
+    pub fn logical(&self, pool: &DataPool) -> Msg {
+        let payload = self.payload.clone().resolve_with(|r| *pool.get(r));
+        Msg {
+            src: self.src,
+            dst: self.dst,
+            block: self.block,
+            payload,
+        }
+    }
+}
+
+impl PayloadCtl {
+    /// Maps each data slot through `take`, producing the logical form.
+    fn resolve_with(self, mut take: impl FnMut(DataRef) -> BlockData) -> Payload {
+        match self {
+            PayloadCtl::PutM { data } => Payload::PutM { data: take(data) },
+            PayloadCtl::Data { data, grant } => Payload::Data {
+                data: take(data),
+                grant,
+            },
+            PayloadCtl::DataToDir { data, xfer } => Payload::DataToDir {
+                data: take(data),
+                xfer,
+            },
+            PayloadCtl::MemData { data } => Payload::MemData { data: take(data) },
+            PayloadCtl::MemWrite { data } => Payload::MemWrite { data: take(data) },
+            PayloadCtl::Gets => Payload::Gets,
+            PayloadCtl::Getx => Payload::Getx,
+            PayloadCtl::Upgrade => Payload::Upgrade,
+            PayloadCtl::PutS => Payload::PutS,
+            PayloadCtl::PutE => Payload::PutE,
+            PayloadCtl::Inv => Payload::Inv,
+            PayloadCtl::FwdGets => Payload::FwdGets,
+            PayloadCtl::FwdGetx => Payload::FwdGetx,
+            PayloadCtl::UpgAck => Payload::UpgAck,
+            PayloadCtl::WbAck => Payload::WbAck,
+            PayloadCtl::InvAck => Payload::InvAck,
+            PayloadCtl::FwdNack => Payload::FwdNack,
+            PayloadCtl::Unblock => Payload::Unblock,
+            PayloadCtl::MemRead => Payload::MemRead,
+        }
+    }
+}
+
+impl<D> PayloadOf<D> {
     /// The paper's Fig. 8 traffic class for this message.
     pub fn kind(&self) -> MessageKind {
         match self {
-            Payload::Gets => MessageKind::Gets,
-            Payload::Getx => MessageKind::Getx,
-            Payload::Upgrade => MessageKind::Upgrade,
-            Payload::Data { .. }
-            | Payload::DataToDir { .. }
-            | Payload::PutM { .. }
-            | Payload::MemData { .. }
-            | Payload::MemWrite { .. } => MessageKind::Data,
-            Payload::PutS
-            | Payload::PutE
-            | Payload::Inv
-            | Payload::FwdGets
-            | Payload::FwdGetx
-            | Payload::UpgAck
-            | Payload::WbAck
-            | Payload::InvAck
-            | Payload::FwdNack
-            | Payload::Unblock
-            | Payload::MemRead => MessageKind::Other,
+            PayloadOf::Gets => MessageKind::Gets,
+            PayloadOf::Getx => MessageKind::Getx,
+            PayloadOf::Upgrade => MessageKind::Upgrade,
+            PayloadOf::Data { .. }
+            | PayloadOf::DataToDir { .. }
+            | PayloadOf::PutM { .. }
+            | PayloadOf::MemData { .. }
+            | PayloadOf::MemWrite { .. } => MessageKind::Data,
+            PayloadOf::PutS
+            | PayloadOf::PutE
+            | PayloadOf::Inv
+            | PayloadOf::FwdGets
+            | PayloadOf::FwdGetx
+            | PayloadOf::UpgAck
+            | PayloadOf::WbAck
+            | PayloadOf::InvAck
+            | PayloadOf::FwdNack
+            | PayloadOf::Unblock
+            | PayloadOf::MemRead => MessageKind::Other,
         }
     }
 
     /// Short wire name used by the protocol trace example.
     pub fn name(&self) -> &'static str {
         match self {
-            Payload::Gets => "GETS",
-            Payload::Getx => "GETX",
-            Payload::Upgrade => "UPGRADE",
-            Payload::PutS => "PUTS",
-            Payload::PutE => "PUTE",
-            Payload::PutM { .. } => "PUTM",
-            Payload::Inv => "INV",
-            Payload::FwdGets => "FWD_GETS",
-            Payload::FwdGetx => "FWD_GETX",
-            Payload::Data { .. } => "DATA",
-            Payload::UpgAck => "UPG_ACK",
-            Payload::WbAck => "WB_ACK",
-            Payload::InvAck => "INV_ACK",
-            Payload::FwdNack => "FWD_NACK",
-            Payload::DataToDir { .. } => "DATA_TO_DIR",
-            Payload::Unblock => "UNBLOCK",
-            Payload::MemRead => "MEM_READ",
-            Payload::MemData { .. } => "MEM_DATA",
-            Payload::MemWrite { .. } => "MEM_WRITE",
+            PayloadOf::Gets => "GETS",
+            PayloadOf::Getx => "GETX",
+            PayloadOf::Upgrade => "UPGRADE",
+            PayloadOf::PutS => "PUTS",
+            PayloadOf::PutE => "PUTE",
+            PayloadOf::PutM { .. } => "PUTM",
+            PayloadOf::Inv => "INV",
+            PayloadOf::FwdGets => "FWD_GETS",
+            PayloadOf::FwdGetx => "FWD_GETX",
+            PayloadOf::Data { .. } => "DATA",
+            PayloadOf::UpgAck => "UPG_ACK",
+            PayloadOf::WbAck => "WB_ACK",
+            PayloadOf::InvAck => "INV_ACK",
+            PayloadOf::FwdNack => "FWD_NACK",
+            PayloadOf::DataToDir { .. } => "DATA_TO_DIR",
+            PayloadOf::Unblock => "UNBLOCK",
+            PayloadOf::MemRead => "MEM_READ",
+            PayloadOf::MemData { .. } => "MEM_DATA",
+            PayloadOf::MemWrite { .. } => "MEM_WRITE",
         }
     }
 }

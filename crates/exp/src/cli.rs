@@ -5,7 +5,7 @@
 //! gwbench run <experiment>... [options]
 //! gwbench repro-all [options]
 //! gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--reps N] [--quiet]
-//! gwbench profile [--smoke] [--out FILE] [--overhead-check] [--quiet]
+//! gwbench profile [--smoke] [--out FILE] [--overhead-check] [--phases [FILE]] [--quiet]
 //! gwbench clean
 //!
 //! options:
@@ -25,8 +25,10 @@
 //! attribution profiler on (see [`crate::profile`]), prints each
 //! kernel's ranked per-phase table, and writes the JSON artifact; it
 //! exits 4 if any kernel's per-phase cycles fail to reconcile with its
-//! simulated cycle count, or — with `--overhead-check` — if profiling
-//! perturbs the simulation's stats.
+//! simulated cycle count; with `--overhead-check`, if profiling
+//! perturbs the simulation's stats; and with `--phases`, if any phase's
+//! cycle share exceeds its bound in the committed snapshot
+//! (`PROFILE_phases.json`; regen with `UPDATE_GOLDEN=1`).
 //!
 //! `run` concatenates the selected experiments' run matrices into ONE
 //! sweep, so the engine's fingerprint dedup works across experiments:
@@ -63,7 +65,7 @@ fn usage() -> String {
         "usage: gwbench <list|run <experiment>...|repro-all|clean>\n\
          \x20      [--jobs N] [--no-cache] [--smoke] [--expect-cached] [--quiet]\n\
          \x20      gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--reps N] [--quiet]\n\
-         \x20      gwbench profile [--smoke] [--out FILE] [--overhead-check] [--quiet]\n",
+         \x20      gwbench profile [--smoke] [--out FILE] [--overhead-check] [--phases [FILE]] [--quiet]\n",
     );
     s.push_str("\nexperiments:\n");
     for e in all_experiments() {
@@ -270,7 +272,8 @@ pub fn main_with_args(args: Vec<String>) -> i32 {
             let mut quiet = false;
             let mut check_overhead = false;
             let mut out = crate::profile::DEFAULT_OUT.to_string();
-            let mut it = rest.iter();
+            let mut phases: Option<String> = None;
+            let mut it = rest.iter().peekable();
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--smoke" => smoke = true,
@@ -283,13 +286,23 @@ pub fn main_with_args(args: Vec<String>) -> i32 {
                             return 2;
                         }
                     },
+                    // `--phases [FILE]`: assert cycle shares against the
+                    // committed snapshot (default PROFILE_phases.json);
+                    // with UPDATE_GOLDEN=1 the snapshot is regenerated
+                    // instead.
+                    "--phases" => {
+                        phases = Some(match it.peek() {
+                            Some(v) if !v.starts_with('-') => it.next().unwrap().clone(),
+                            _ => crate::profile::DEFAULT_PHASES.to_string(),
+                        });
+                    }
                     flag => {
                         eprintln!("gwbench: unknown profile flag `{flag}`\n\n{}", usage());
                         return 2;
                     }
                 }
             }
-            crate::profile::main_profile(smoke, &out, quiet, check_overhead)
+            crate::profile::main_profile(smoke, &out, quiet, check_overhead, phases.as_deref())
         }
         "run" | "repro-all" => {
             let opts = match parse(rest) {

@@ -38,6 +38,11 @@ use ghostwriter_workloads::{execute, find_benchmark, ScaleClass, DEFAULT_SEED};
 /// Default artifact path (repo root, committed).
 pub const DEFAULT_OUT: &str = "BENCH_kernel.json";
 
+/// Longitudinal record: every `gwbench perf` invocation appends one
+/// dated JSON line here (see EXPERIMENTS.md), in addition to
+/// overwriting the snapshot artifact.
+pub const HISTORY_PATH: &str = "results/bench_history.jsonl";
+
 /// One timed kernel run.
 #[derive(Clone, Debug)]
 pub struct PerfEntry {
@@ -353,6 +358,56 @@ pub fn regressions(current: &[PerfEntry], baseline: &[PerfEntry]) -> Vec<String>
     out
 }
 
+/// Days-since-epoch to `YYYY-MM-DD` (proleptic Gregorian; Howard
+/// Hinnant's `civil_from_days`). No date-time dependency is vendored,
+/// and the history only needs day resolution.
+fn civil_date(days: u64) -> String {
+    let z = days as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// One history record: the invocation's date, settings and entries,
+/// rendered as a single compact JSON line.
+pub fn history_record(entries: &[PerfEntry], reps: u32, smoke: bool) -> String {
+    let unix_secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut j = Json::obj();
+    j.push("date", Json::Str(civil_date(unix_secs / 86_400)));
+    j.push("unix_secs", Json::U64(unix_secs));
+    j.push("reps", Json::U64(u64::from(reps)));
+    j.push("smoke", Json::Bool(smoke));
+    j.push(
+        "entries",
+        Json::Arr(entries.iter().map(PerfEntry::to_json).collect()),
+    );
+    j.to_compact()
+}
+
+/// Appends one [`history_record`] line to `path`, creating the file
+/// (and parent directory) on first use.
+fn append_history(path: &str, line: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{line}")
+}
+
 /// Renders the human-readable table.
 pub fn render(entries: &[PerfEntry]) -> String {
     let mut s = String::from(
@@ -419,6 +474,13 @@ pub fn main_perf(
         "gwbench perf: wrote {} entries to {out_path}",
         entries.len()
     );
+
+    // The longitudinal record is best-effort: a read-only results/
+    // tree must not fail the perf gate.
+    match append_history(HISTORY_PATH, &history_record(&entries, reps, smoke)) {
+        Ok(()) => eprintln!("gwbench perf: appended run to {HISTORY_PATH}"),
+        Err(e) => eprintln!("gwbench perf: cannot append to {HISTORY_PATH}: {e}"),
+    }
     code
 }
 
@@ -456,6 +518,26 @@ mod tests {
         let regs = regressions(&cur, &base);
         assert_eq!(regs.len(), 1);
         assert!(regs[0].starts_with("a/"), "{regs:?}");
+    }
+
+    #[test]
+    fn civil_date_is_gregorian() {
+        assert_eq!(civil_date(0), "1970-01-01");
+        assert_eq!(civil_date(19_723), "2024-01-01"); // leap year start
+        assert_eq!(civil_date(19_782), "2024-02-29"); // leap day
+        assert_eq!(civil_date(20_543), "2026-03-31");
+    }
+
+    #[test]
+    fn history_record_is_one_parseable_json_line() {
+        let line = history_record(&[entry("a", 123.0)], 3, false);
+        assert!(!line.contains('\n'), "must be a single line: {line:?}");
+        let j = Json::parse(&line).unwrap();
+        assert_eq!(j.field("reps").unwrap().as_u64().unwrap(), 3);
+        assert_eq!(j.field("entries").unwrap().as_arr().unwrap().len(), 1);
+        let date = j.field("date").unwrap().as_str().unwrap().to_string();
+        assert_eq!(date.len(), 10, "{date}");
+        assert!(date.starts_with("20"), "{date}");
     }
 
     #[test]

@@ -23,6 +23,17 @@ use ghostwriter_workloads::{find_benchmark, ScaleClass, DEFAULT_SEED};
 /// Default artifact path (under `results/`, not committed).
 pub const DEFAULT_OUT: &str = "results/profile.json";
 
+/// Default phase-share snapshot path (repo root, committed). Regenerate
+/// with `UPDATE_GOLDEN=1 gwbench profile --phases`.
+pub const DEFAULT_PHASES: &str = "PROFILE_phases.json";
+
+/// Headroom added to each measured share when a snapshot is written:
+/// the committed bound is `measured + PHASE_SLACK_PCT` percentage
+/// points. Cycle shares are deterministic for a given binary, so the
+/// slack only absorbs *legitimate* drift from future changes — a phase
+/// silently re-bloating past it fails the gate.
+pub const PHASE_SLACK_PCT: f64 = 5.0;
+
 /// One profiled kernel run.
 pub struct ProfiledKernel {
     /// Kernel name.
@@ -47,6 +58,97 @@ impl ProfiledKernel {
         j.push("attribution", self.profile.to_json());
         j
     }
+}
+
+impl ProfiledKernel {
+    /// Percentage of this kernel's attributed cycles charged to `p`.
+    /// Cycle attribution is deterministic (unlike sampled wall time),
+    /// which is what makes the `--phases` gate reproducible across
+    /// machines.
+    pub fn cycle_share(&self, p: Phase) -> f64 {
+        let total = self.profile.attributed_cycles();
+        if total == 0 {
+            return 0.0;
+        }
+        100.0 * self.profile.phases[p as usize].cycles as f64 / total as f64
+    }
+}
+
+/// Serializes the per-kernel phase-share bounds snapshot: for every
+/// kernel and phase, the measured cycle share plus [`PHASE_SLACK_PCT`]
+/// points of headroom.
+pub fn phases_snapshot(kernels: &[ProfiledKernel]) -> Json {
+    let mut j = Json::obj();
+    j.push("format", Json::Str("gwbench-phases-v1".into()));
+    j.push("slack_pct", Json::F64(PHASE_SLACK_PCT));
+    let mut arr = Vec::new();
+    for k in kernels {
+        let mut kj = Json::obj();
+        kj.push("name", Json::Str(k.name.clone()));
+        kj.push("scale", Json::Str(k.scale.clone()));
+        let mut bounds = Vec::new();
+        for p in ALL_PHASES {
+            let mut bj = Json::obj();
+            bj.push("phase", Json::Str(p.name().into()));
+            // Two decimals keep the file diff-stable. No 100% cap:
+            // routing is an overlap metric (its latency cycles are
+            // charged to the delivery phases too), so its share may
+            // legitimately exceed 100.
+            let bound = k.cycle_share(p) + PHASE_SLACK_PCT;
+            bj.push("max_share_pct", Json::F64((bound * 100.0).round() / 100.0));
+            bounds.push(bj);
+        }
+        kj.push("bounds", Json::Arr(bounds));
+        arr.push(kj);
+    }
+    j.push("kernels", Json::Arr(arr));
+    j
+}
+
+/// Checks measured cycle shares against the committed snapshot at
+/// `path`. Returns the list of violations (empty = pass); `Err` means
+/// the snapshot could not be read or parsed, or covers a different
+/// scale than this run.
+pub fn check_phases(kernels: &[ProfiledKernel], path: &str) -> Result<Vec<String>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read snapshot {path}: {e}"))?;
+    let j = Json::parse(&text).map_err(|e| format!("cannot parse snapshot {path}: {e:?}"))?;
+    let snap_kernels = j
+        .field("kernels")
+        .and_then(|k| k.as_arr())
+        .map_err(|e| format!("malformed snapshot {path}: {e:?}"))?;
+    let mut violations = Vec::new();
+    for sk in snap_kernels {
+        let mut parse = || -> Result<(), ghostwriter_core::JsonError> {
+            let name = sk.field("name")?.as_str()?;
+            let scale = sk.field("scale")?.as_str()?;
+            let Some(k) = kernels.iter().find(|k| k.name == name && k.scale == scale) else {
+                // Scale mismatch (e.g. a full-scale snapshot checked on
+                // a --smoke run) is a configuration error, not a pass.
+                violations.push(format!(
+                    "{name}/{scale}: present in snapshot but not profiled this run"
+                ));
+                return Ok(());
+            };
+            for b in sk.field("bounds")?.as_arr()? {
+                let phase_name = b.field("phase")?.as_str()?;
+                let bound = b.field("max_share_pct")?.as_f64()?;
+                let Some(p) = ALL_PHASES.iter().find(|p| p.name() == phase_name) else {
+                    violations.push(format!("{name}/{scale}: unknown phase `{phase_name}`"));
+                    continue;
+                };
+                let share = k.cycle_share(*p);
+                if share > bound {
+                    violations.push(format!(
+                        "{name}/{scale}: {phase_name} cycle share {share:.2}% exceeds bound {bound:.2}%"
+                    ));
+                }
+            }
+            Ok(())
+        };
+        parse().map_err(|e| format!("malformed snapshot {path}: {e:?}"))?;
+    }
+    Ok(violations)
 }
 
 /// Serializes a run to the artifact format.
@@ -188,7 +290,13 @@ fn overhead_check(scale: &str) -> Result<String, String> {
 }
 
 /// `gwbench profile` entry point. Returns the process exit code.
-pub fn main_profile(smoke: bool, out_path: &str, quiet: bool, check_overhead: bool) -> i32 {
+pub fn main_profile(
+    smoke: bool,
+    out_path: &str,
+    quiet: bool,
+    check_overhead: bool,
+    phases: Option<&str>,
+) -> i32 {
     let scale = if smoke { "smoke" } else { "full" };
     let kernels = run_scale(scale);
 
@@ -215,6 +323,36 @@ pub fn main_profile(smoke: bool, out_path: &str, quiet: bool, check_overhead: bo
             Err(e) => {
                 eprintln!("gwbench profile: OVERHEAD CHECK FAILED: {e}");
                 code = 4;
+            }
+        }
+    }
+
+    if let Some(snap_path) = phases {
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            if let Err(e) = std::fs::write(snap_path, phases_snapshot(&kernels).to_pretty()) {
+                eprintln!("gwbench profile: cannot write {snap_path}: {e}");
+                return 1;
+            }
+            eprintln!("gwbench profile: regenerated phase-share snapshot {snap_path}");
+        } else {
+            match check_phases(&kernels, snap_path) {
+                Ok(violations) if violations.is_empty() => {
+                    eprintln!("gwbench profile: phase shares within {snap_path} bounds");
+                }
+                Ok(violations) => {
+                    for v in &violations {
+                        eprintln!("gwbench profile: PHASE SHARE EXCEEDED {v}");
+                    }
+                    eprintln!(
+                        "gwbench profile: a phase re-bloated past its committed bound; \
+                         if intentional, regen with UPDATE_GOLDEN=1 gwbench profile --phases"
+                    );
+                    code = 4;
+                }
+                Err(e) => {
+                    eprintln!("gwbench profile: {e}");
+                    return 1;
+                }
             }
         }
     }
@@ -261,6 +399,60 @@ mod tests {
     fn overhead_check_passes_on_the_smoke_storm() {
         let msg = overhead_check("smoke").expect("profiler must not perturb the simulation");
         assert!(msg.contains("stats identical"), "{msg}");
+    }
+
+    #[test]
+    fn phase_snapshot_round_trips_and_gates() {
+        let k = profiled_run("storm", "smoke", storm("smoke"));
+        let dir = std::env::temp_dir().join("gw_phases_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("phases.json");
+        let path = path.to_str().unwrap();
+
+        // A snapshot taken from this very run passes with slack to spare.
+        std::fs::write(path, phases_snapshot(std::slice::from_ref(&k)).to_pretty()).unwrap();
+        assert_eq!(
+            check_phases(std::slice::from_ref(&k), path).unwrap(),
+            Vec::<String>::new()
+        );
+
+        // Tighten core_step's bound below its measured share: violation.
+        let share = k.cycle_share(Phase::CoreStep);
+        assert!(share > 1.0, "storm must spend cycles in core_step");
+        let text = std::fs::read_to_string(path).unwrap();
+        let mut j = Json::parse(&text).unwrap();
+        if let Json::Obj(fields) = &mut j {
+            let Json::Arr(kernels) =
+                &mut fields.iter_mut().find(|(k, _)| k == "kernels").unwrap().1
+            else {
+                panic!("kernels not an array")
+            };
+            let Json::Obj(kf) = &mut kernels[0] else {
+                panic!()
+            };
+            let Json::Arr(bounds) = &mut kf.iter_mut().find(|(k, _)| k == "bounds").unwrap().1
+            else {
+                panic!()
+            };
+            for b in bounds {
+                let Json::Obj(bf) = b else { panic!() };
+                if matches!(&bf.iter().find(|(k, _)| k == "phase").unwrap().1,
+                            Json::Str(s) if s == "core_step")
+                {
+                    bf.iter_mut().find(|(k, _)| k == "max_share_pct").unwrap().1 =
+                        Json::F64(share - 1.0);
+                }
+            }
+        }
+        std::fs::write(path, j.to_pretty()).unwrap();
+        let violations = check_phases(std::slice::from_ref(&k), path).unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert!(violations[0].contains("core_step"), "{violations:?}");
+
+        // A kernel in the snapshot that was not profiled is flagged too
+        // (catches scale mismatches in CI).
+        let missing = check_phases(&[], path).unwrap();
+        assert!(!missing.is_empty());
     }
 
     #[test]

@@ -31,6 +31,46 @@ pub enum LookupResult {
     Victim { way: usize, block: BlockAddr },
 }
 
+/// A resident-line handle produced by one physical tag lookup.
+///
+/// The coherence layers thread one of these through an entire access or
+/// message dispatch instead of re-probing the tag array at every helper:
+/// [`SetAssocCache::line_at`], [`SetAssocCache::line_at_mut`],
+/// [`SetAssocCache::touch_at`] and [`SetAssocCache::remove_at`] go
+/// straight to the slot. The `gen` field snapshots the cache's residency
+/// generation; using a token across an insertion or removal is a bug and
+/// trips a debug assertion rather than corrupting an unrelated line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProbedWay {
+    set: u32,
+    way: u32,
+    gen: u32,
+}
+
+impl ProbedWay {
+    /// Way within the set (for callers that insert at the same way after
+    /// evicting through the token).
+    #[inline]
+    pub fn way(self) -> usize {
+        self.way as usize
+    }
+}
+
+/// Token-returning form of [`LookupResult`]: what an insertion of a block
+/// would need, with resident lines handed back as [`ProbedWay`] tokens so
+/// the caller never re-probes.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WayLookup {
+    /// The block is already resident; the token addresses its line.
+    Hit(ProbedWay),
+    /// A free way is available.
+    Free { way: usize },
+    /// The set is full; the token addresses the pseudo-LRU victim line
+    /// (evict through [`SetAssocCache::remove_at`], then insert at the
+    /// same way).
+    Victim(ProbedWay),
+}
+
 /// Tag-array sentinel for a vacant way. Block numbers are byte addresses
 /// shifted right by the block bits, so `u64::MAX` can never be a real tag.
 const EMPTY_TAG: BlockAddr = BlockAddr(u64::MAX);
@@ -55,12 +95,24 @@ pub struct SetAssocCache<M> {
     tags: Vec<BlockAddr>,
     lines: Vec<Option<Line<M>>>,
     plru: Vec<TreePlru>,
-    /// One-entry probe memo `(block, way)`: the protocol layers probe the
-    /// same block several times per access (probe → get → touch →
-    /// get_mut), so remembering the last hit skips the tag scan on all
-    /// but the first. Caches hits only; invalidated by [`Self::insert_at`]
-    /// and [`Self::remove`]. Pure lookup state — excluded from `Hash`.
+    /// One-entry probe memo `(block, way)`: legacy per-block entry points
+    /// (probe → get → touch → get_mut) may still look the same block up
+    /// several times per access, so remembering the last hit skips the
+    /// tag scan on all but the first. Caches hits only; invalidated by
+    /// [`Self::insert_at`] and [`Self::remove`]. Pure lookup state —
+    /// excluded from `Hash`.
     probe_memo: std::cell::Cell<(BlockAddr, usize)>,
+    /// Residency generation: bumped by every insertion/removal so stale
+    /// [`ProbedWay`] tokens are caught by debug assertions. Excluded from
+    /// `Hash`.
+    gen: u32,
+    /// Physical tag-lookup counter for tests: counts every public lookup
+    /// entry point (`probe`/`get`/`get_mut`/`touch`/`lookup_for_insert`/
+    /// `probe_way`/`lookup_way`/`remove`), memo hits included — the
+    /// "exactly one physical lookup per access" tests rely on memo hits
+    /// still counting as lookups. Excluded from `Hash`.
+    #[cfg(debug_assertions)]
+    phys_lookups: std::cell::Cell<u64>,
 }
 
 impl<M: std::hash::Hash> std::hash::Hash for SetAssocCache<M> {
@@ -91,6 +143,9 @@ impl<M> SetAssocCache<M> {
             lines: (0..sets * ways).map(|_| None).collect(),
             plru: vec![TreePlru::new(); sets],
             probe_memo: std::cell::Cell::new((EMPTY_TAG, 0)),
+            gen: 0,
+            #[cfg(debug_assertions)]
+            phys_lookups: std::cell::Cell::new(0),
         }
     }
 
@@ -133,10 +188,25 @@ impl<M> SetAssocCache<M> {
         set * self.ways + way
     }
 
-    /// Looks up `block`; returns its way on hit (does not touch PLRU).
-    /// One linear scan of the packed tag array.
+    /// Bumps the test-only physical-lookup counter. Called once per
+    /// public lookup entry point, memo hits included.
     #[inline]
-    pub fn probe(&self, block: BlockAddr) -> Option<usize> {
+    fn count_lookup(&self) {
+        #[cfg(debug_assertions)]
+        self.phys_lookups.set(self.phys_lookups.get() + 1);
+    }
+
+    /// Physical tag lookups performed so far (tests only): every public
+    /// lookup entry point counts one, memo hits included.
+    #[cfg(debug_assertions)]
+    pub fn phys_lookups(&self) -> u64 {
+        self.phys_lookups.get()
+    }
+
+    /// Uncounted probe core: memo check, then one linear scan of the
+    /// packed tag array (does not touch PLRU).
+    #[inline]
+    fn probe_slot(&self, block: BlockAddr) -> Option<usize> {
         let (memo_block, memo_way) = self.probe_memo.get();
         if memo_block == block {
             return Some(memo_way);
@@ -147,6 +217,86 @@ impl<M> SetAssocCache<M> {
             .position(|&t| t == block)?;
         self.probe_memo.set((block, way));
         Some(way)
+    }
+
+    #[inline]
+    fn token(&self, set: usize, way: usize) -> ProbedWay {
+        ProbedWay {
+            set: set as u32,
+            way: way as u32,
+            gen: self.gen,
+        }
+    }
+
+    /// Looks up `block`; returns its way on hit (does not touch PLRU).
+    /// One linear scan of the packed tag array.
+    #[inline]
+    pub fn probe(&self, block: BlockAddr) -> Option<usize> {
+        self.count_lookup();
+        self.probe_slot(block)
+    }
+
+    /// Looks up `block` and returns a [`ProbedWay`] token for its line.
+    /// One physical tag lookup; every `*_at` accessor on the token is
+    /// lookup-free.
+    #[inline]
+    pub fn probe_way(&self, block: BlockAddr) -> Option<ProbedWay> {
+        self.count_lookup();
+        let way = self.probe_slot(block)?;
+        Some(self.token(self.set_of(block), way))
+    }
+
+    #[inline]
+    fn slot_of(&self, w: ProbedWay) -> usize {
+        debug_assert_eq!(
+            w.gen, self.gen,
+            "stale ProbedWay token used across a residency change"
+        );
+        self.slot(w.set as usize, w.way as usize)
+    }
+
+    /// Immutable access through a probe token (no tag lookup).
+    #[inline]
+    pub fn line_at(&self, w: ProbedWay) -> &Line<M> {
+        self.lines[self.slot_of(w)]
+            .as_ref()
+            .expect("ProbedWay token addresses a resident line")
+    }
+
+    /// Mutable access through a probe token (no tag lookup; does not
+    /// touch PLRU). The same aliasing rule as [`SetAssocCache::get_mut`]
+    /// applies: callers must not rewrite [`Line::block`].
+    #[inline]
+    pub fn line_at_mut(&mut self, w: ProbedWay) -> &mut Line<M> {
+        let slot = self.slot_of(w);
+        self.lines[slot]
+            .as_mut()
+            .expect("ProbedWay token addresses a resident line")
+    }
+
+    /// Marks the tokened line most-recently-used (no tag lookup).
+    #[inline]
+    pub fn touch_at(&mut self, w: ProbedWay) {
+        debug_assert_eq!(
+            w.gen, self.gen,
+            "stale ProbedWay token used across a residency change"
+        );
+        self.plru[w.set as usize].touch(self.ways, w.way as usize);
+    }
+
+    /// Removes the tokened line (no tag lookup). Consumes the token's
+    /// validity: the residency generation is bumped.
+    pub fn remove_at(&mut self, w: ProbedWay) -> Line<M> {
+        let slot = self.slot_of(w);
+        let line = self.lines[slot]
+            .take()
+            .expect("ProbedWay token addresses a resident line");
+        self.tags[slot] = EMPTY_TAG;
+        if self.probe_memo.get().0 == line.block {
+            self.probe_memo.set((EMPTY_TAG, 0));
+        }
+        self.gen = self.gen.wrapping_add(1);
+        line
     }
 
     /// Immutable access to a resident line.
@@ -177,11 +327,11 @@ impl<M> SetAssocCache<M> {
         }
     }
 
-    /// Classifies what an insertion of `block` would need: hit, free way,
-    /// or eviction of the PLRU victim.
-    pub fn lookup_for_insert(&self, block: BlockAddr) -> LookupResult {
+    /// Uncounted classification core shared by [`Self::lookup_for_insert`]
+    /// and [`Self::lookup_way`].
+    fn classify_for_insert(&self, block: BlockAddr) -> LookupResult {
         let set = self.set_of(block);
-        if let Some(way) = self.probe(block) {
+        if let Some(way) = self.probe_slot(block) {
             return LookupResult::Hit { way };
         }
         let base = set * self.ways;
@@ -197,6 +347,26 @@ impl<M> SetAssocCache<M> {
             .expect("full set has a line in every way")
             .block;
         LookupResult::Victim { way, block: victim }
+    }
+
+    /// Classifies what an insertion of `block` would need: hit, free way,
+    /// or eviction of the PLRU victim.
+    pub fn lookup_for_insert(&self, block: BlockAddr) -> LookupResult {
+        self.count_lookup();
+        self.classify_for_insert(block)
+    }
+
+    /// Token-returning form of [`Self::lookup_for_insert`]: one physical
+    /// tag lookup classifying hit / free way / PLRU victim, with resident
+    /// lines handed back as [`ProbedWay`] tokens.
+    pub fn lookup_way(&self, block: BlockAddr) -> WayLookup {
+        self.count_lookup();
+        let set = self.set_of(block);
+        match self.classify_for_insert(block) {
+            LookupResult::Hit { way } => WayLookup::Hit(self.token(set, way)),
+            LookupResult::Free { way } => WayLookup::Free { way },
+            LookupResult::Victim { way, .. } => WayLookup::Victim(self.token(set, way)),
+        }
     }
 
     /// Like [`SetAssocCache::lookup_for_insert`], but never proposes a
@@ -227,6 +397,29 @@ impl<M> SetAssocCache<M> {
         }
     }
 
+    /// Token-returning form of [`Self::lookup_for_insert_excluding`]: one
+    /// physical tag lookup, never proposing a pinned victim. `None` means
+    /// the set is full and every line is pinned — the caller must stall.
+    pub fn lookup_way_excluding(
+        &self,
+        block: BlockAddr,
+        pinned: impl Fn(BlockAddr) -> bool,
+    ) -> Option<WayLookup> {
+        self.count_lookup();
+        let set = self.set_of(block);
+        match self.classify_for_insert(block) {
+            LookupResult::Hit { way } => Some(WayLookup::Hit(self.token(set, way))),
+            LookupResult::Free { way } => Some(WayLookup::Free { way }),
+            LookupResult::Victim { way, block: victim } if !pinned(victim) => {
+                Some(WayLookup::Victim(self.token(set, way)))
+            }
+            LookupResult::Victim { .. } => (0..self.ways).find_map(|w| {
+                let line = self.lines[self.slot(set, w)].as_ref()?;
+                (!pinned(line.block)).then_some(WayLookup::Victim(self.token(set, w)))
+            }),
+        }
+    }
+
     /// Inserts (or replaces) a line for `block` at `way` and touches it.
     /// Returns the displaced line, if any.
     pub fn insert_at(
@@ -244,19 +437,15 @@ impl<M> SetAssocCache<M> {
         // The displaced block (if any) no longer maps to this way; the
         // inserted one does.
         self.probe_memo.set((block, way));
+        self.gen = self.gen.wrapping_add(1);
         self.plru[set].touch(self.ways, way);
         old
     }
 
     /// Removes `block` from the cache, returning its line.
     pub fn remove(&mut self, block: BlockAddr) -> Option<Line<M>> {
-        let way = self.probe(block)?;
-        let slot = self.slot(self.set_of(block), way);
-        self.tags[slot] = EMPTY_TAG;
-        if self.probe_memo.get().0 == block {
-            self.probe_memo.set((EMPTY_TAG, 0));
-        }
-        self.lines[slot].take()
+        let w = self.probe_way(block)?;
+        Some(self.remove_at(w))
     }
 
     /// Iterates over all resident lines.
@@ -415,6 +604,70 @@ mod tests {
         assert_eq!(c.probe(blk(2)), Some(0));
         c.remove(blk(3)).unwrap();
         assert_eq!(c.probe(blk(2)), Some(0));
+    }
+
+    #[test]
+    fn probed_way_accessors_round_trip() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(4, 2);
+        c.insert_at(0, blk(0), 7, BlockData::zeroed());
+        let w = c.probe_way(blk(0)).unwrap();
+        assert_eq!(c.line_at(w).meta, 7);
+        c.line_at_mut(w).meta = 9;
+        c.line_at_mut(w).data.write_word(8, 4, 0x55);
+        c.touch_at(w);
+        assert_eq!(c.line_at(w).data.read_word(8, 4), 0x55);
+        let line = c.remove_at(w);
+        assert_eq!(line.block, blk(0));
+        assert_eq!(line.meta, 9);
+        assert!(c.probe_way(blk(0)).is_none());
+    }
+
+    #[test]
+    fn lookup_way_classifies_like_lookup_for_insert() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(4, 2);
+        assert!(matches!(c.lookup_way(blk(0)), WayLookup::Free { way: 0 }));
+        c.insert_at(0, blk(0), 1, BlockData::zeroed());
+        match c.lookup_way(blk(0)) {
+            WayLookup::Hit(w) => assert_eq!(c.line_at(w).block, blk(0)),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        c.insert_at(1, blk(4), 2, BlockData::zeroed());
+        c.touch(blk(4));
+        // Set full; PLRU victim is the older block 0.
+        match c.lookup_way(blk(8)) {
+            WayLookup::Victim(w) => {
+                assert_eq!(c.line_at(w).block, blk(0));
+                let way = w.way();
+                let line = c.remove_at(w);
+                assert_eq!(line.block, blk(0));
+                c.insert_at(way, blk(8), 3, BlockData::zeroed());
+                assert!(c.get(blk(8)).is_some());
+            }
+            other => panic!("expected victim, got {other:?}"),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn phys_lookup_counter_counts_every_entry_point() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(4, 2);
+        c.insert_at(0, blk(0), 0, BlockData::zeroed());
+        let before = c.phys_lookups();
+        // Each public entry point is one lookup — memo hits included.
+        c.probe(blk(0));
+        c.probe(blk(0));
+        c.get(blk(0));
+        c.get_mut(blk(0));
+        c.touch(blk(0));
+        c.lookup_for_insert(blk(0));
+        let w = c.probe_way(blk(0)).unwrap();
+        assert_eq!(c.phys_lookups() - before, 7);
+        // Token accessors are lookup-free.
+        c.line_at(w);
+        c.line_at_mut(w);
+        c.touch_at(w);
+        c.remove_at(w);
+        assert_eq!(c.phys_lookups() - before, 7);
     }
 
     #[test]

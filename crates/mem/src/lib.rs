@@ -22,6 +22,6 @@ pub mod plru;
 
 pub use addr::{Addr, BlockAddr, BLOCK_BYTES, BLOCK_OFFSET_BITS};
 pub use block::BlockData;
-pub use cache::{Line, LookupResult, SetAssocCache};
+pub use cache::{Line, LookupResult, ProbedWay, SetAssocCache, WayLookup};
 pub use dram::Dram;
 pub use plru::TreePlru;

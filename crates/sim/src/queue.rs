@@ -272,6 +272,30 @@ impl<E> EventQueue<E> {
         Some(time)
     }
 
+    /// Advances the clock to `time` without popping an event.
+    ///
+    /// This exists for callers that keep their own one-event fast path
+    /// beside the queue (the machine's fused reply→fetch slot): when
+    /// the deferred event precedes everything queued, the caller
+    /// dispatches it directly and only the clock needs to move.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if `time` is in the past or would skip
+    /// over an earlier pending event — either breaks time ordering.
+    #[inline]
+    pub fn advance_to(&mut self, time: Cycle) {
+        debug_assert!(
+            time >= self.now,
+            "clock advanced backwards: t={time} < now={}",
+            self.now
+        );
+        debug_assert!(
+            self.peek_time().is_none_or(|t| t >= time),
+            "advance_to({time}) would skip a pending event"
+        );
+        self.now = time;
+    }
+
     /// Peeks at the time of the earliest pending event.
     pub fn peek_time(&self) -> Option<Cycle> {
         let wheel_t = self.next_wheel_time();
