@@ -49,6 +49,12 @@ SWEEP OPTIONS:
                          delete-row:<row> (delete a transition-table row
                          by its name from docs/protocol-table.md, e.g.
                          delete-row:gi_timeout)
+    --fault-budget <K>   bounded-fault mode: enable the recovery rows
+                         and add up to K message faults (drop/duplicate/
+                         corrupt on the unreliable virtual channel) as
+                         explicit schedule actions, proving every
+                         <= K-fault interleaving still completes
+                         [default: 0 — faults off]
     --require-coverage   after sweeping, also run the supplementary
                          gw ops=2 +gi-timeouts sweep, then exit 1 if any
                          checker-reachable table row went unexercised
@@ -83,6 +89,7 @@ struct Args {
     gi_timeouts: bool,
     tight_l1: bool,
     mutation: Option<Mutation>,
+    fault_budget: usize,
     require_coverage: bool,
     jobs: usize,
     shard_depth: Option<usize>,
@@ -107,6 +114,7 @@ fn parse_args() -> Result<Args, String> {
         gi_timeouts: false,
         tight_l1: false,
         mutation: None,
+        fault_budget: 0,
         require_coverage: false,
         jobs: default_jobs(),
         shard_depth: None,
@@ -143,6 +151,14 @@ fn parse_args() -> Result<Args, String> {
                 let m = value("--mutation")?;
                 args.mutation =
                     Some(Mutation::parse(&m).ok_or_else(|| format!("unknown mutation {m:?}"))?);
+            }
+            "--fault-budget" => {
+                args.fault_budget = value("--fault-budget")?
+                    .parse()
+                    .map_err(|e| format!("--fault-budget: {e}"))?;
+                if args.fault_budget > 15 {
+                    return Err("--fault-budget must be <= 15".into());
+                }
             }
             "--jobs" => {
                 args.jobs = value("--jobs")?
@@ -184,6 +200,7 @@ fn spec_for(args: &Args, kind: ProtocolKind, ops: usize, gi: bool) -> SweepSpec 
         gi_timeouts: gi,
         mutation: args.mutation,
         tight_l1: args.tight_l1,
+        fault_budget: args.fault_budget,
         ..SweepSpec::new(kind, args.cores, args.blocks, ops)
     }
 }

@@ -31,9 +31,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use ghostwriter_core::harness::{Op, System, SystemConfig, Violation};
 use ghostwriter_core::l1::GwParams;
-use ghostwriter_core::msg::{Msg, Payload, PayloadCtl};
+use ghostwriter_core::msg::{Msg, Payload, PayloadCtl, WireTag};
 use ghostwriter_core::proto::find_row;
-use ghostwriter_core::{BaseProtocol, Coverage, GiStorePolicy, ScribePolicy};
+use ghostwriter_core::{BaseProtocol, Coverage, GiStorePolicy, RecoveryParams, ScribePolicy};
 
 pub mod shard;
 pub mod trace;
@@ -69,6 +69,20 @@ pub enum Action {
     /// Fire `core`'s periodic GI-timeout sweep (enabled while the core
     /// holds a GI line).
     GiTimeout { core: usize },
+    /// Bounded-fault mode: drop the head of the (src, dst) channel
+    /// (enabled on the unreliable virtual channel while fault budget
+    /// remains).
+    Drop { src: usize, dst: usize },
+    /// Bounded-fault mode: re-enqueue a copy of the head of the
+    /// (src, dst) channel (a network duplicate).
+    Duplicate { src: usize, dst: usize },
+    /// Bounded-fault mode: mark the head of the (src, dst) channel
+    /// corrupt (a payload bit-flip the receiver's ECC detects).
+    Corrupt { src: usize, dst: usize },
+    /// Bounded-fault mode: fire `core`'s retry timeout (enabled while
+    /// the core has an outstanding request and no message for it is in
+    /// flight — i.e. exactly when recovery is the only way forward).
+    Retry { core: usize },
 }
 
 /// Short rendering of one program step (`St b0`, `Ld(w1) b0`,
@@ -101,6 +115,16 @@ impl Action {
                 format!("deliver {} -> {}", ep(*src), ep(*dst))
             }
             Action::GiTimeout { core } => format!("timeout core {core}"),
+            Action::Drop { src, dst } => {
+                format!("drop    {} -> {}", ep(*src), ep(*dst))
+            }
+            Action::Duplicate { src, dst } => {
+                format!("dup     {} -> {}", ep(*src), ep(*dst))
+            }
+            Action::Corrupt { src, dst } => {
+                format!("corrupt {} -> {}", ep(*src), ep(*dst))
+            }
+            Action::Retry { core } => format!("retry   core {core}"),
         }
     }
 }
@@ -172,6 +196,7 @@ pub(crate) fn deliver_mutated(
                 dst: lost.src,
                 block: lost.block,
                 payload: Payload::InvAck,
+                tag: WireTag::default(),
             });
             Ok(())
         }
@@ -180,6 +205,63 @@ pub(crate) fn deliver_mutated(
             Ok(())
         }
         _ => sys.deliver(key),
+    }
+}
+
+/// Appends the bounded-fault actions enabled in `sys`: drop/duplicate
+/// on every faultable channel head and corrupt on every corruptible
+/// head while `budget_left`, plus a retry wherever a core is wedged
+/// (outstanding request, nothing in flight for it — recovery is the
+/// only way forward, so retries are never budget-gated). Shared by the
+/// per-program [`Checker`] and the sharded unified search so a fault
+/// means exactly the same thing in both engines.
+pub(crate) fn fault_actions(sys: &System, cores: usize, budget_left: bool, acts: &mut Vec<Action>) {
+    if budget_left {
+        for (src, dst) in sys.channels() {
+            if sys.head_faultable((src, dst)) {
+                acts.push(Action::Drop { src, dst });
+                acts.push(Action::Duplicate { src, dst });
+            }
+            if sys.head_corruptible((src, dst)) {
+                acts.push(Action::Corrupt { src, dst });
+            }
+        }
+    }
+    for core in 0..cores {
+        if sys.needs_retry(core) {
+            acts.push(Action::Retry { core });
+        }
+    }
+}
+
+/// Applies one bounded-fault action (the caller accounts the budget).
+pub(crate) fn apply_fault(sys: &mut System, action: Action) -> Result<(), Violation> {
+    match action {
+        Action::Drop { src, dst } => {
+            sys.drop_message((src, dst));
+            Ok(())
+        }
+        Action::Duplicate { src, dst } => {
+            sys.duplicate_head((src, dst));
+            Ok(())
+        }
+        Action::Corrupt { src, dst } => {
+            sys.taint_head((src, dst));
+            Ok(())
+        }
+        Action::Retry { core } => sys.retry(core).map(|_| ()),
+        _ => unreachable!("not a fault action"),
+    }
+}
+
+/// The recovery parameters a fault budget of `k` turns on: the checker
+/// profile, with the retry budget widened to cover `k` (every dropped
+/// message may cost one retry, and the exhaustive sweep must not trip
+/// `retry_exhausted` spuriously).
+pub(crate) fn recovery_for_budget(k: usize) -> RecoveryParams {
+    RecoveryParams {
+        max_retries: (k as u32).max(RecoveryParams::checker().max_retries),
+        ..RecoveryParams::checker()
     }
 }
 
@@ -273,6 +355,14 @@ pub struct Checker {
     pub sys: SystemConfig,
     pub program: Program,
     pub mutation: Option<Mutation>,
+    /// Bounded-fault mode: up to this many message faults (drop,
+    /// duplicate, corrupt) become explicit schedule actions, and the
+    /// recovery rows ([`RecoveryParams::checker`], with the retry
+    /// budget widened to cover the fault budget) are enabled so the
+    /// search proves every ≤k-fault trace still completes. `0` (the
+    /// default) leaves the space and the fingerprints exactly as
+    /// before.
+    pub fault_budget: usize,
     /// Also interleave GI-timeout sweeps into the schedule (only does
     /// anything in Ghostwriter configurations).
     pub explore_gi_timeouts: bool,
@@ -291,13 +381,14 @@ impl Checker {
             sys,
             program,
             mutation: None,
+            fault_budget: 0,
             explore_gi_timeouts: false,
             max_depth: 256,
             max_states: 1_000_000,
         }
     }
 
-    fn enabled(&self, sys: &System, pcs: &[usize]) -> Vec<Action> {
+    fn enabled(&self, sys: &System, pcs: &[usize], used: usize) -> Vec<Action> {
         let mut acts = Vec::new();
         for (core, &pc) in pcs.iter().enumerate() {
             if pc < self.program[core].len() && sys.core_idle(core) {
@@ -309,6 +400,9 @@ impl Checker {
         }
         for (src, dst) in sys.channels() {
             acts.push(Action::Deliver { src, dst });
+        }
+        if self.fault_budget > 0 {
+            fault_actions(sys, self.sys.cores, used < self.fault_budget, &mut acts);
         }
         if self.explore_gi_timeouts {
             for core in 0..self.sys.cores {
@@ -323,7 +417,13 @@ impl Checker {
     /// Applies `action` (which must be enabled), running the per-step
     /// invariant checks and converting controller panics into
     /// [`Failure::Panic`].
-    fn apply(&self, sys: &mut System, pcs: &mut [usize], action: Action) -> Result<(), Failure> {
+    fn apply(
+        &self,
+        sys: &mut System,
+        pcs: &mut [usize],
+        used: &mut usize,
+        action: Action,
+    ) -> Result<(), Failure> {
         let step_result = catch_unwind(AssertUnwindSafe(|| match action {
             Action::Issue { core, step } => {
                 pcs[core] += 1;
@@ -331,6 +431,11 @@ impl Checker {
             }
             Action::Deliver { src, dst } => deliver_mutated(sys, self.mutation, (src, dst)),
             Action::GiTimeout { core } => sys.gi_timeout(core),
+            Action::Drop { .. } | Action::Duplicate { .. } | Action::Corrupt { .. } => {
+                *used += 1;
+                apply_fault(sys, action)
+            }
+            Action::Retry { .. } => apply_fault(sys, action),
         }));
         match step_result {
             Ok(Ok(())) => sys.check_swmr().map_err(Failure::Invariant),
@@ -364,6 +469,9 @@ impl Checker {
         if let Some(Mutation::DeleteRow(name)) = self.mutation {
             cfg.disabled_row = Some(name);
         }
+        if self.fault_budget > 0 {
+            cfg.recovery = Some(recovery_for_budget(self.fault_budget));
+        }
         System::new(cfg)
     }
 
@@ -380,11 +488,11 @@ impl Checker {
         };
         let sys = self.initial_system();
         let pcs = vec![0usize; self.sys.cores];
-        let mut visited: HashSet<(u128, Vec<usize>)> = HashSet::new();
-        visited.insert((sys.fingerprint(), pcs.clone()));
+        let mut visited: HashSet<(u128, Vec<usize>, usize)> = HashSet::new();
+        visited.insert((sys.fingerprint(), pcs.clone(), 0));
         report.states = 1;
         let mut path = Vec::new();
-        let found = self.dfs(&sys, &pcs, &mut visited, &mut path, &mut report);
+        let found = self.dfs(&sys, &pcs, 0, &mut visited, &mut path, &mut report);
         report.counterexample = found.map(|cex| self.shrink(cex));
         report
     }
@@ -393,12 +501,13 @@ impl Checker {
         &self,
         sys: &System,
         pcs: &[usize],
-        visited: &mut HashSet<(u128, Vec<usize>)>,
+        used: usize,
+        visited: &mut HashSet<(u128, Vec<usize>, usize)>,
         path: &mut Vec<Action>,
         report: &mut CheckReport,
     ) -> Option<Counterexample> {
         report.max_depth = report.max_depth.max(path.len());
-        let actions = self.enabled(sys, pcs);
+        let actions = self.enabled(sys, pcs, used);
         if actions.is_empty() {
             return self
                 .terminal_failure(sys, pcs)
@@ -411,9 +520,10 @@ impl Checker {
         for action in actions {
             let mut next = sys.clone();
             let mut next_pcs = pcs.to_vec();
+            let mut next_used = used;
             path.push(action);
             report.transitions += 1;
-            let applied = self.apply(&mut next, &mut next_pcs, action);
+            let applied = self.apply(&mut next, &mut next_pcs, &mut next_used, action);
             report.coverage.merge(&next.stats().coverage);
             match applied {
                 Err(failure) => {
@@ -422,9 +532,11 @@ impl Checker {
                     return Some(cex);
                 }
                 Ok(()) => {
-                    if visited.insert((next.fingerprint(), next_pcs.clone())) {
+                    if visited.insert((next.fingerprint(), next_pcs.clone(), next_used)) {
                         report.states += 1;
-                        if let Some(cex) = self.dfs(&next, &next_pcs, visited, path, report) {
+                        if let Some(cex) =
+                            self.dfs(&next, &next_pcs, next_used, visited, path, report)
+                        {
                             path.pop();
                             return Some(cex);
                         }
@@ -443,18 +555,19 @@ impl Checker {
     pub fn replay(&self, trace: &[Action]) -> Option<Failure> {
         let mut sys = self.initial_system();
         let mut pcs = vec![0usize; self.sys.cores];
+        let mut used = 0usize;
         for &action in trace {
-            if !self.enabled(&sys, &pcs).contains(&action) {
+            if !self.enabled(&sys, &pcs, used).contains(&action) {
                 return None;
             }
-            if let Err(failure) = self.apply(&mut sys, &mut pcs, action) {
+            if let Err(failure) = self.apply(&mut sys, &mut pcs, &mut used, action) {
                 return Some(failure);
             }
         }
         // A trace may also fail by *ending* in a bad terminal state
         // (deadlocks are a property of the final state, not of any
         // single action).
-        if self.enabled(&sys, &pcs).is_empty() {
+        if self.enabled(&sys, &pcs, used).is_empty() {
             self.terminal_failure(&sys, &pcs)
         } else {
             None
@@ -598,6 +711,7 @@ pub fn check_config(kind: ProtocolKind, cores: usize, blocks: usize) -> SystemCo
         gw,
         base: kind.base(),
         disabled_row: None,
+        recovery: None,
     }
 }
 

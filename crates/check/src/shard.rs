@@ -105,6 +105,12 @@ pub struct SweepSpec {
     /// (the default geometry holds the whole pool, so eviction rows
     /// would otherwise be unreachable).
     pub tight_l1: bool,
+    /// Bounded-fault mode: up to this many message faults (drop,
+    /// duplicate, corrupt) become explicit schedule actions and the
+    /// recovery rows are enabled, so the sweep proves every ≤k-fault
+    /// interleaving still completes. `0` (the default) leaves the
+    /// space — and every existing cache key — untouched.
+    pub fault_budget: usize,
 }
 
 impl SweepSpec {
@@ -117,6 +123,7 @@ impl SweepSpec {
             gi_timeouts: false,
             mutation: None,
             tight_l1: false,
+            fault_budget: 0,
         }
     }
 
@@ -128,6 +135,9 @@ impl SweepSpec {
         }
         if let Some(Mutation::DeleteRow(name)) = self.mutation {
             cfg.disabled_row = Some(name);
+        }
+        if self.fault_budget > 0 {
+            cfg.recovery = Some(crate::recovery_for_budget(self.fault_budget));
         }
         cfg
     }
@@ -142,7 +152,7 @@ impl SweepSpec {
     /// is not stable across Rust versions (fine in-process, fatal for
     /// an on-disk cache).
     pub fn key(&self) -> String {
-        format!(
+        let mut key = format!(
             "check-rev={CHECK_REVISION}|{}|{}c|{}b|ops={}|gi={}|tight={}|mut={}",
             self.kind.token(),
             self.cores,
@@ -151,7 +161,14 @@ impl SweepSpec {
             self.gi_timeouts as u8,
             self.tight_l1 as u8,
             self.mutation.map_or("none".into(), |m| m.token()),
-        )
+        );
+        // Appended only in bounded-fault mode, so every fault-free key
+        // (and its on-disk cache) is byte-identical to before the
+        // fault dimension existed.
+        if self.fault_budget > 0 {
+            key.push_str(&format!("|faults={}", self.fault_budget));
+        }
+        key
     }
 
     /// Human-readable cell label for CLI output.
@@ -172,7 +189,11 @@ impl SweepSpec {
                 Some(m) => format!(" +mutation({m})"),
                 None => String::new(),
             },
-        )
+        ) + &if self.fault_budget > 0 {
+            format!(" +faults({})", self.fault_budget)
+        } else {
+            String::new()
+        }
     }
 
     /// The exact `gwcheck` invocation that replays `trace` against this
@@ -194,6 +215,9 @@ impl SweepSpec {
         }
         if let Some(m) = self.mutation {
             s.push_str(&format!(" --mutation {}", m.token()));
+        }
+        if self.fault_budget > 0 {
+            s.push_str(&format!(" --fault-budget {}", self.fault_budget));
         }
         s.push_str(&format!(" --replay {}", encode_trace(trace)));
         s
@@ -265,6 +289,10 @@ impl Space {
             spec.cores <= 16 && spec.ops <= 15,
             "state key packs remaining budgets into 4 bits per core"
         );
+        assert!(
+            spec.fault_budget == 0 || (spec.cores < 16 && spec.fault_budget <= 15),
+            "the fault budget packs into one extra state-key nibble"
+        );
         Self {
             cfg: spec.config(),
             alphabet: spec.alphabet(),
@@ -278,8 +306,17 @@ impl Space {
         &self.spec
     }
 
+    /// The initial state. In bounded-fault mode the `remaining` vector
+    /// carries one extra trailing element: the fault budget left. It
+    /// rides the existing per-core-budget plumbing (and state-key
+    /// nibble packing) everywhere — plans, shards, caches — so the
+    /// fault dimension needs no new threading.
     fn initial(&self) -> (System, Vec<usize>) {
-        (System::new(self.cfg), vec![self.spec.ops; self.spec.cores])
+        let mut remaining = vec![self.spec.ops; self.spec.cores];
+        if self.spec.fault_budget > 0 {
+            remaining.push(self.spec.fault_budget);
+        }
+        (System::new(self.cfg), remaining)
     }
 
     /// Enabled actions, in a fixed deterministic order (issues by core
@@ -288,7 +325,7 @@ impl Space {
     /// schedule-independent.
     fn enabled(&self, sys: &System, remaining: &[usize]) -> Vec<Action> {
         let mut acts = Vec::new();
-        for (core, &rem) in remaining.iter().enumerate() {
+        for (core, &rem) in remaining[..self.spec.cores].iter().enumerate() {
             if rem > 0 && sys.core_idle(core) {
                 for &step in &self.alphabet {
                     acts.push(Action::Issue { core, step });
@@ -297,6 +334,14 @@ impl Space {
         }
         for (src, dst) in sys.channels() {
             acts.push(Action::Deliver { src, dst });
+        }
+        if self.spec.fault_budget > 0 {
+            crate::fault_actions(
+                sys,
+                self.spec.cores,
+                remaining[self.spec.cores] > 0,
+                &mut acts,
+            );
         }
         if self.spec.gi_timeouts {
             for core in 0..self.spec.cores {
@@ -321,6 +366,11 @@ impl Space {
             }
             Action::Deliver { src, dst } => deliver_mutated(sys, self.spec.mutation, (src, dst)),
             Action::GiTimeout { core } => sys.gi_timeout(core),
+            Action::Drop { .. } | Action::Duplicate { .. } | Action::Corrupt { .. } => {
+                remaining[self.spec.cores] -= 1;
+                crate::apply_fault(sys, action)
+            }
+            Action::Retry { .. } => crate::apply_fault(sys, action),
         }));
         match step_result {
             Ok(Ok(())) => sys.check_swmr().map_err(Failure::Invariant),
@@ -330,7 +380,9 @@ impl Space {
     }
 
     fn terminal_failure(&self, sys: &System, remaining: &[usize]) -> Option<Failure> {
-        if remaining.iter().all(|&r| r == 0) && sys.quiescent() {
+        // Only the per-core issue budgets must drain: leftover fault
+        // budget is fine (faults are optional adversary moves).
+        if remaining[..self.spec.cores].iter().all(|&r| r == 0) && sys.quiescent() {
             sys.check_quiescent().err().map(Failure::Invariant)
         } else {
             Some(Failure::Deadlock {
@@ -985,6 +1037,14 @@ mod tests {
             },
             SweepSpec {
                 mutation: Some(Mutation::DeleteRow("gi_timeout")),
+                ..base.clone()
+            },
+            SweepSpec {
+                fault_budget: 1,
+                ..base.clone()
+            },
+            SweepSpec {
+                fault_budget: 2,
                 ..base.clone()
             },
         ] {

@@ -11,6 +11,10 @@
 //! i1:0g4     core 1 issues Scribble{d:4} on block 0
 //! d3>5       deliver head of the (3, 5) channel (node keys)
 //! t0         fire core 0's GI-timeout sweep
+//! x3>5       drop the head of the (3, 5) channel (bounded-fault mode)
+//! u3>5       duplicate the head of the (3, 5) channel
+//! c3>5       mark the head of the (3, 5) channel corrupt
+//! r0         fire core 0's retry timeout
 //! ```
 //!
 //! The encoding is injective and [`decode_trace`] is its strict
@@ -34,6 +38,10 @@ pub fn encode_action(action: Action) -> String {
         }
         Action::Deliver { src, dst } => format!("d{src}>{dst}"),
         Action::GiTimeout { core } => format!("t{core}"),
+        Action::Drop { src, dst } => format!("x{src}>{dst}"),
+        Action::Duplicate { src, dst } => format!("u{src}>{dst}"),
+        Action::Corrupt { src, dst } => format!("c{src}>{dst}"),
+        Action::Retry { core } => format!("r{core}"),
     }
 }
 
@@ -79,14 +87,21 @@ pub fn decode_action(token: &str) -> Option<Action> {
                 step: Step { block, op },
             })
         }
-        "d" => {
+        "d" | "x" | "u" | "c" => {
             let (src, dst) = rest.split_once('>')?;
-            Some(Action::Deliver {
-                src: parse_usize(src)?,
-                dst: parse_usize(dst)?,
+            let src = parse_usize(src)?;
+            let dst = parse_usize(dst)?;
+            Some(match kind {
+                "d" => Action::Deliver { src, dst },
+                "x" => Action::Drop { src, dst },
+                "u" => Action::Duplicate { src, dst },
+                _ => Action::Corrupt { src, dst },
             })
         }
         "t" => Some(Action::GiTimeout {
+            core: parse_usize(rest)?,
+        }),
+        "r" => Some(Action::Retry {
             core: parse_usize(rest)?,
         }),
         _ => None,
@@ -132,6 +147,10 @@ mod tests {
             Action::Deliver { src: 3, dst: 5 },
             Action::Deliver { src: 10, dst: 0 },
             Action::GiTimeout { core: 7 },
+            Action::Drop { src: 0, dst: 2 },
+            Action::Duplicate { src: 2, dst: 0 },
+            Action::Corrupt { src: 4, dst: 1 },
+            Action::Retry { core: 1 },
         ]
     }
 
@@ -139,7 +158,7 @@ mod tests {
     fn round_trips_every_action_kind() {
         let actions = sample_actions();
         let text = encode_trace(&actions);
-        assert_eq!(text, "i0:1s,i2:0l1,i1:12g4,d3>5,d10>0,t7");
+        assert_eq!(text, "i0:1s,i2:0l1,i1:12g4,d3>5,d10>0,t7,x0>2,u2>0,c4>1,r1");
         assert_eq!(decode_trace(&text), Some(actions));
     }
 
@@ -162,7 +181,12 @@ mod tests {
             "d3",
             "d3>",
             "d>5",
+            "x3",
+            "u3>",
+            "c>5",
             "t",
+            "r",
+            "q0",
             "i0:1s,",
             ",",
             "i0:1s,,d0>1",

@@ -18,7 +18,8 @@ use ghostwriter_mem::{BlockAddr, BlockData, LookupResult, ProbedWay, SetAssocCac
 use std::collections::VecDeque;
 
 use crate::config::BaseProtocol;
-use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
+use crate::fault::RecoveryParams;
+use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload, WireTag};
 use crate::proto::{Controller, DirRowId, DirRowSet, Homing, ProtocolError};
 use crate::stats::Stats;
 
@@ -52,6 +53,8 @@ struct L2Meta {
 struct Request {
     requestor: usize,
     kind: ReqKind,
+    /// Requestor-assigned sequence number (0 = untagged / recovery off).
+    seq: u32,
 }
 
 #[derive(Clone, Debug, Hash)]
@@ -92,6 +95,13 @@ struct Txn {
     acks_pending: u32,
     /// L2 victim being recalled before this transaction's fill.
     recall_victim: Option<BlockAddr>,
+    /// The request's sequence number (0 = untagged / recovery off).
+    seq: u32,
+    /// Recovery: copy of the grant sent when the transaction reached
+    /// `Unblock`, retained until the requestor's UNBLOCK lands so a
+    /// duplicate request (the grant was lost) can be answered with a
+    /// resend. Always `None` with recovery off.
+    grant: Option<Payload>,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -234,6 +244,15 @@ impl Mshr {
         Some(req)
     }
 
+    /// The pending-request queue for `block`, if one exists.
+    fn queue_of(&self, block: BlockAddr) -> Option<&VecDeque<Request>> {
+        self.sets[self.set_of(block)]
+            .queues
+            .iter()
+            .find(|(b, _)| *b == block)
+            .map(|(_, q)| q)
+    }
+
     fn quiescent(&self) -> bool {
         self.sets
             .iter()
@@ -270,6 +289,15 @@ pub struct DirBank {
     /// Requests that found every line of their set pinned by in-flight
     /// transactions; retried after each transaction completes.
     stalled: VecDeque<(BlockAddr, Request)>,
+    /// Fault-recovery knobs. `None` (the default) keeps the recovery
+    /// rows dead: requests are never classified as duplicates and no
+    /// grant is retained.
+    recovery: Option<RecoveryParams>,
+    /// Recovery: highest sequence number each core has *completed* (its
+    /// UNBLOCK landed) at this bank. A core's sequence numbers complete
+    /// in order (one outstanding transaction), so any request at or
+    /// below this is a duplicate left over from a retry race.
+    last_completed: Vec<u32>,
 }
 
 impl std::hash::Hash for DirBank {
@@ -288,6 +316,11 @@ impl std::hash::Hash for DirBank {
         queues.sort_by_key(|(b, _)| *b);
         queues.hash(state);
         self.stalled.hash(state);
+        // Architectural only when recovery is configured; hashed
+        // conditionally so recovery-off hashes are untouched.
+        if self.recovery.is_some() {
+            self.last_completed.hash(state);
+        }
     }
 }
 
@@ -315,7 +348,31 @@ impl DirBank {
             cache: SetAssocCache::new(sets, ways),
             mshr: Mshr::new(sets, ways),
             stalled: VecDeque::new(),
+            recovery: None,
+            last_completed: Vec::new(),
         }
+    }
+
+    /// Enables the fault-recovery rows: sequence-tagged requests get
+    /// duplicate suppression and grant-resend, tainted DRAM fills are
+    /// refetched, and (if `nack_on_conflict`) fully-pinned sets NACK
+    /// instead of stalling.
+    pub fn set_recovery(&mut self, params: RecoveryParams) {
+        self.recovery = Some(params);
+    }
+
+    /// Recovery: highest completed sequence number for `core`.
+    fn completed_seq(&self, core: usize) -> u32 {
+        self.last_completed.get(core).copied().unwrap_or(0)
+    }
+
+    /// Recovery: records that `core` completed sequence `seq`.
+    fn set_completed(&mut self, core: usize, seq: u32) {
+        if self.last_completed.len() <= core {
+            self.last_completed.resize(core + 1, 0);
+        }
+        let slot = &mut self.last_completed[core];
+        *slot = (*slot).max(seq);
     }
 
     /// Test hook: lowers the per-set MSHR capacity below the
@@ -376,6 +433,7 @@ impl DirBank {
             dst: Endpoint::L1(core),
             block,
             payload,
+            tag: WireTag::default(),
         }
     }
 
@@ -385,6 +443,7 @@ impl DirBank {
             dst: Endpoint::Mem(self.mc_of(block)),
             block,
             payload,
+            tag: WireTag::default(),
         }
     }
 
@@ -446,6 +505,42 @@ impl DirBank {
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
+        let start_len = out.len();
+        let recovery = self.recovery.is_some();
+        self.dispatch_msg(msg, stats, out)?;
+        if recovery {
+            self.stamp_grants(start_len, out);
+        }
+        Ok(())
+    }
+
+    /// Recovery post-pass over the messages this handling step produced:
+    /// every grant (`Data`/`UpgAck`) leaving for the L1 whose transaction
+    /// just reached `Unblock` is stamped with the transaction's sequence
+    /// number, and a copy is retained at the transaction so a duplicate
+    /// request can be answered with a resend if the grant is lost.
+    fn stamp_grants(&mut self, start_len: usize, out: &mut [Msg]) {
+        for m in &mut out[start_len..] {
+            if !matches!(m.payload, Payload::Data { .. } | Payload::UpgAck) {
+                continue;
+            }
+            let Endpoint::L1(core) = m.dst else { continue };
+            let Some(txn) = self.mshr.txn_mut(m.block) else {
+                continue;
+            };
+            if txn.requestor == core && txn.phase == Phase::Unblock && txn.seq != 0 {
+                m.tag.seq = txn.seq;
+                txn.grant = Some(m.payload.clone());
+            }
+        }
+    }
+
+    fn dispatch_msg(
+        &mut self,
+        msg: Msg,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<(), ProtocolError> {
         let block = msg.block;
         // L1 requests are decoded up front so the dispatch below needs no
         // second (partial) match on the payload.
@@ -465,8 +560,12 @@ impl DirBank {
             let req = Request {
                 requestor: core,
                 kind,
+                seq: msg.tag.seq,
             };
             stats.energy_events.l2_tag_probes += 1;
+            if self.suppress_dup(block, &req, stats, out)? {
+                return Ok(());
+            }
             if self.is_blocked(block) {
                 self.row(DirRowId::ReqQueued, stats)?;
                 self.mshr.enqueue(block, req);
@@ -489,7 +588,7 @@ impl DirBank {
                 self.fwd_nack(block, stats, out)?;
             }
             Payload::MemData { data } => {
-                self.mem_data(block, data, stats, out)?;
+                self.mem_data(block, data, msg.tag.tainted, stats, out)?;
             }
             Payload::Unblock => {
                 let Some(txn) = self.mshr.take_txn(block) else {
@@ -506,6 +605,9 @@ impl DirBank {
                     txn.phase
                 );
                 self.row(DirRowId::Unblock, stats)?;
+                if self.recovery.is_some() && txn.seq != 0 {
+                    self.set_completed(txn.requestor, txn.seq);
+                }
                 self.release(block, stats, out)?;
             }
             ref p => {
@@ -541,6 +643,95 @@ impl DirBank {
         })
     }
 
+    /// Recovery-mode duplicate suppression at request admission.
+    ///
+    /// An L1 resend can race its original through the faulty network, so a
+    /// tagged request may arrive while the original is (a) already
+    /// completed, (b) the in-flight transaction, or (c) sitting in a block
+    /// queue or the stall list. Cases (a) and (c) drop the duplicate; case
+    /// (b) drops it too unless the transaction already reached `Unblock`
+    /// and retains its grant, in which case the grant is resent (the
+    /// original grant may have been the dropped message).
+    ///
+    /// Returns `Ok(true)` when the request was consumed here.
+    fn suppress_dup(
+        &mut self,
+        block: BlockAddr,
+        req: &Request,
+        stats: &mut Stats,
+        out: &mut Vec<Msg>,
+    ) -> Result<bool, ProtocolError> {
+        if self.recovery.is_none() || req.seq == 0 {
+            return Ok(false);
+        }
+        if req.seq <= self.completed_seq(req.requestor) {
+            self.row(DirRowId::DupReqDrop, stats)?;
+            stats.dup_reqs_dropped += 1;
+            return Ok(true);
+        }
+        if let Some(txn) = self.mshr.txn(block) {
+            if txn.requestor == req.requestor && txn.seq == req.seq {
+                if txn.phase == Phase::Unblock {
+                    if let Some(grant) = txn.grant.clone() {
+                        self.row(DirRowId::DupReqResend, stats)?;
+                        stats.grant_resends += 1;
+                        let mut m = self.to_l1(req.requestor, block, grant);
+                        m.tag = WireTag::seq(req.seq);
+                        out.push(m);
+                        return Ok(true);
+                    }
+                }
+                self.row(DirRowId::DupReqDrop, stats)?;
+                stats.dup_reqs_dropped += 1;
+                return Ok(true);
+            }
+        }
+        let queued = self.mshr.queue_of(block).is_some_and(|q| {
+            q.iter()
+                .any(|r| r.requestor == req.requestor && r.seq == req.seq)
+        }) || self
+            .stalled
+            .iter()
+            .any(|(b, r)| *b == block && r.requestor == req.requestor && r.seq == req.seq);
+        if queued {
+            self.row(DirRowId::DupReqDrop, stats)?;
+            stats.dup_reqs_dropped += 1;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// True when resending `core`'s outstanding request (tagged `seq`)
+    /// is the only way its transaction can advance at this bank: the
+    /// request left no live trace here (it was lost in the network), or
+    /// its transaction is parked at `Unblock` with the grant retained
+    /// (the grant was lost). While the transaction sits in any earlier
+    /// phase — memory fetch, invalidation gathering, owner forwarding —
+    /// or the request waits in a block queue or the stall list, the bank
+    /// is still working on it and a resend would only be dup-dropped.
+    /// The model checker's retry action keys on this so retries fire
+    /// exactly when recovery is needed, never gratuitously (a gratuitous
+    /// resend would burn the bounded retry budget on healthy traces).
+    pub fn resend_makes_progress(&self, block: BlockAddr, core: usize, seq: u32) -> bool {
+        if self.recovery.is_none() || seq == 0 || seq <= self.completed_seq(core) {
+            return false;
+        }
+        if let Some(txn) = self.mshr.txn(block) {
+            if txn.requestor == core && txn.seq == seq {
+                return txn.phase == Phase::Unblock && txn.grant.is_some();
+            }
+        }
+        let parked = self
+            .mshr
+            .queue_of(block)
+            .is_some_and(|q| q.iter().any(|r| r.requestor == core && r.seq == seq))
+            || self
+                .stalled
+                .iter()
+                .any(|(b, r)| *b == block && r.requestor == core && r.seq == seq);
+        !parked
+    }
+
     /// Begins servicing a request (block known unblocked).
     fn start(
         &mut self,
@@ -549,6 +740,12 @@ impl DirBank {
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
+        if self.recovery.is_some() && req.seq != 0 && req.seq <= self.completed_seq(req.requestor) {
+            // A queued duplicate whose original completed while it waited.
+            self.row(DirRowId::DupReqDrop, stats)?;
+            stats.dup_reqs_dropped += 1;
+            return Ok(());
+        }
         match req.kind {
             ReqKind::PutS => {
                 let me = 1u64 << req.requestor;
@@ -659,6 +856,8 @@ impl DirBank {
                             phase: Phase::Unblock, // placeholder, set by act
                             acks_pending: 0,
                             recall_victim: None,
+                            seq: req.seq,
+                            grant: None,
                         },
                     )?;
                     self.act_on_line(block, w, stats, out)?;
@@ -684,6 +883,16 @@ impl DirBank {
             .cache
             .lookup_way_excluding(block, |b| self.is_blocked(b));
         let Some(lookup) = lookup else {
+            if let Some(rec) = self.recovery {
+                if rec.nack_on_conflict && req.seq != 0 {
+                    // Bounce instead of queueing: the L1 retries with
+                    // backoff, keeping the stall list short under storms.
+                    self.row(DirRowId::NackConflict, stats)?;
+                    stats.conflict_nacks += 1;
+                    out.push(self.to_l1(req.requestor, block, Payload::FwdNack));
+                    return Ok(());
+                }
+            }
             // Every line in the set is pinned by an in-flight transaction;
             // retry when one completes.
             self.row(DirRowId::FillStalled, stats)?;
@@ -696,6 +905,8 @@ impl DirBank {
             phase: Phase::MemFetch,
             acks_pending: 0,
             recall_victim: None,
+            seq: req.seq,
+            grant: None,
         };
         match lookup {
             WayLookup::Hit(_) => {
@@ -1406,6 +1617,7 @@ impl DirBank {
         &mut self,
         block: BlockAddr,
         data: BlockData,
+        tainted: bool,
         stats: &mut Stats,
         out: &mut Vec<Msg>,
     ) -> Result<(), ProtocolError> {
@@ -1418,6 +1630,15 @@ impl DirBank {
                     format!("stray MEM_DATA for {block:?}"),
                 ))
             }
+        }
+        if tainted && self.recovery.is_some() {
+            // The DRAM fill was corrupted in flight. The L2 copy is the
+            // root of the precise hierarchy, so never install it: discard
+            // and fetch again (the reserved placeholder way stays put).
+            self.row(DirRowId::CorruptMemRefetch, stats)?;
+            stats.corrupt_mem_refetches += 1;
+            out.push(self.to_mem(block, Payload::MemRead));
+            return Ok(());
         }
         self.row(DirRowId::MemData, stats)?;
         stats.energy_events.l2_writes += 1;
@@ -1536,6 +1757,7 @@ mod tests {
             dst: Endpoint::Dir(0),
             block,
             payload,
+            tag: WireTag::default(),
         }
     }
 
@@ -1561,6 +1783,7 @@ mod tests {
                         payload: Payload::MemData {
                             data: BlockData::zeroed(),
                         },
+                        tag: WireTag::default(),
                     };
                     pending.extend(bank.handle_msg(reply, stats).unwrap());
                 }
@@ -1639,6 +1862,7 @@ mod tests {
                         data: BlockData::zeroed(),
                         xfer: OwnerXfer::ToShared,
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )
@@ -1673,6 +1897,7 @@ mod tests {
                         data: BlockData::zeroed(),
                         xfer: OwnerXfer::ToShared,
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )
@@ -1725,6 +1950,7 @@ mod tests {
                         data: BlockData::zeroed(),
                         xfer: OwnerXfer::ToShared,
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )
@@ -1771,6 +1997,7 @@ mod tests {
                         data: BlockData::zeroed(),
                         xfer: OwnerXfer::Dropped,
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )
@@ -1848,6 +2075,7 @@ mod tests {
                     data: fresh,
                     xfer: OwnerXfer::Dropped,
                 },
+                tag: WireTag::default(),
             },
             &mut stats,
         )
@@ -1933,6 +2161,7 @@ mod tests {
                     data: BlockData::zeroed(),
                     xfer: OwnerXfer::ToShared,
                 },
+                tag: WireTag::default(),
             },
             &mut stats,
         )
@@ -2005,6 +2234,7 @@ mod tests {
                         data: BlockData::zeroed(),
                         xfer: OwnerXfer::ToShared,
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )
@@ -2051,6 +2281,7 @@ mod tests {
                     payload: Payload::MemData {
                         data: BlockData::zeroed(),
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )
@@ -2094,6 +2325,7 @@ mod tests {
                         data: BlockData::zeroed(),
                         xfer: OwnerXfer::ToShared,
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )
@@ -2153,6 +2385,7 @@ mod tests {
                         data: dirty,
                         xfer: OwnerXfer::Dropped,
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )
@@ -2200,6 +2433,7 @@ mod tests {
                         data: BlockData::zeroed(),
                         xfer: OwnerXfer::Dropped,
                     },
+                    tag: WireTag::default(),
                 },
                 &mut stats,
             )

@@ -28,8 +28,9 @@ use ghostwriter_mem::{Addr, BlockAddr, Dram};
 
 use crate::config::{BaseProtocol, GiStorePolicy};
 use crate::dir::{DirBank, DirState};
+use crate::fault::{self, RecoveryParams};
 use crate::l1::{home_bank, AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
-use crate::msg::{CtlMsg, DataPool, Endpoint, Msg, Payload};
+use crate::msg::{CtlMsg, DataPool, Endpoint, Msg, Payload, WireTag};
 use crate::proto::ProtocolError;
 use crate::stats::Stats;
 
@@ -56,6 +57,10 @@ pub struct SystemConfig {
     /// Transition-table row (by name) deleted for mutation testing:
     /// firing it becomes a [`Violation::Protocol`].
     pub disabled_row: Option<&'static str>,
+    /// Protocol-level fault recovery (sequence tags, retries, duplicate
+    /// suppression). `None` keeps the classic lossless-network model and
+    /// leaves every fingerprint identical to a pre-recovery build.
+    pub recovery: Option<RecoveryParams>,
 }
 
 impl Default for SystemConfig {
@@ -70,6 +75,7 @@ impl Default for SystemConfig {
             gw: None,
             base: BaseProtocol::Mesi,
             disabled_row: None,
+            recovery: None,
         }
     }
 }
@@ -364,6 +370,14 @@ impl System {
             }
             assert!(known, "no protocol row named {name:?}");
         }
+        if let Some(rec) = cfg.recovery {
+            for l1 in &mut l1s {
+                l1.set_recovery(rec);
+            }
+            for bank in &mut banks {
+                bank.set_recovery(rec);
+            }
+        }
         Self {
             l1s,
             banks,
@@ -501,6 +515,98 @@ impl System {
     /// or byzantine controller would.
     pub fn inject(&mut self, msg: Msg) {
         self.enqueue(msg);
+    }
+
+    /// True if the head of channel `key` rides the unreliable virtual
+    /// channel — the only traffic the bounded-fault checker may drop or
+    /// duplicate (requests from an L1; grants from the directory).
+    pub fn head_faultable(&self, key: (usize, usize)) -> bool {
+        self.peek_channel(key)
+            .is_some_and(|m| fault::droppable(m.src, &m.payload))
+    }
+
+    /// True if the head of channel `key` may be marked corrupt: demand
+    /// fills from the directory and DRAM fills to the directory.
+    pub fn head_corruptible(&self, key: (usize, usize)) -> bool {
+        self.peek_channel(key)
+            .is_some_and(|m| fault::corruptible(m.src, &m.payload))
+    }
+
+    /// Fault-injection hook: re-enqueues a copy of the head of channel
+    /// `key` at the back (a network duplicate). The head itself stays.
+    /// Returns `false` if the head is absent or not [`head_faultable`].
+    pub fn duplicate_head(&mut self, key: (usize, usize)) -> bool {
+        if !self.head_faultable(key) {
+            return false;
+        }
+        let copy = {
+            let i = self.chan(key).expect("head_faultable checked");
+            self.net[i]
+                .front()
+                .expect("head_faultable checked")
+                .logical(&self.data)
+        };
+        self.enqueue(copy);
+        true
+    }
+
+    /// Fault-injection hook: sets the taint bit on the head of channel
+    /// `key`, modelling detected payload corruption in flight. The data
+    /// itself is untouched so the value oracles stay valid; receivers see
+    /// only the taint and must absorb (approximate) or refetch (precise).
+    /// Returns `false` if the head is absent or not [`head_corruptible`].
+    pub fn taint_head(&mut self, key: (usize, usize)) -> bool {
+        if !self.head_corruptible(key) {
+            return false;
+        }
+        let i = self.chan(key).expect("head_corruptible checked");
+        self.net[i]
+            .front_mut()
+            .expect("head_corruptible checked")
+            .tag
+            .tainted = true;
+        true
+    }
+
+    /// True if the retry action on `core` is worth scheduling: recovery
+    /// is on, the core has a tagged request outstanding, no message
+    /// touching that core is in flight, and the block's home bank
+    /// confirms a resend would actually advance the transaction
+    /// ([`DirBank::resend_makes_progress`] — the request was lost, or
+    /// the grant was). The last condition keeps retries from firing
+    /// while the directory is legitimately busy on the core's behalf
+    /// (memory fetch, invalidation gathering): those resends would be
+    /// dup-dropped yet still burn the bounded retry budget, and under
+    /// exhaustive search the waste surfaces as a spurious
+    /// `retry_exhausted` on fault-free traces.
+    pub fn needs_retry(&self, core: usize) -> bool {
+        let Some(seq) = self.l1s[core].pending_seq() else {
+            return false;
+        };
+        let in_flight = self.net.iter().enumerate().any(|(i, q)| {
+            let n = self.nodes();
+            (i / n == core || i % n == core) && !q.is_empty()
+        });
+        if in_flight {
+            return false;
+        }
+        let Some(block) = self.l1s[core].pending_block() else {
+            return false;
+        };
+        let bank = home_bank(block, self.cfg.cores);
+        self.banks[bank].resend_makes_progress(block, core, seq)
+    }
+
+    /// Fires the L1 retry timeout on `core`: resends the outstanding
+    /// tagged request, or surfaces `retry_exhausted` once the budget is
+    /// spent. Returns `Ok(false)` if the core has nothing to retry.
+    pub fn retry(&mut self, core: usize) -> Result<bool, Violation> {
+        let mut outs = Vec::new();
+        let fired = self.l1s[core]
+            .retry_pending_into(&mut self.stats, &mut outs)
+            .map_err(Violation::Protocol)?;
+        self.handle_l1_outs(core, outs)?;
+        Ok(fired)
     }
 
     fn handle_l1_outs(&mut self, core: usize, outs: Vec<L1Out>) -> Result<(), Violation> {
@@ -682,6 +788,7 @@ impl System {
                         dst: msg.src,
                         block: msg.block,
                         payload: Payload::MemData { data },
+                        tag: WireTag::seq(msg.tag.seq),
                     });
                 }
                 Payload::MemWrite { data } => self.dram.write_block(msg.block, data),
@@ -1002,6 +1109,8 @@ impl System {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::{DirRowId, L1RowId};
+    use crate::scribe::ScribePolicy;
 
     fn cfg2() -> SystemConfig {
         SystemConfig {
@@ -1019,6 +1128,335 @@ mod tests {
             sys.deliver(key).unwrap();
             guard += 1;
             assert!(guard < 10_000, "network never drained");
+        }
+    }
+
+    fn rec_cfg() -> SystemConfig {
+        SystemConfig {
+            cores: 2,
+            blocks: 1,
+            recovery: Some(RecoveryParams::checker()),
+            ..SystemConfig::default()
+        }
+    }
+
+    /// First channel whose head is a directory-sourced grant, delivering
+    /// everything else until one appears.
+    fn deliver_until_grant(sys: &mut System) -> (usize, usize) {
+        let cores = sys.config().cores;
+        let mut guard = 0;
+        loop {
+            let chans = sys.channels();
+            if let Some(&key) = chans
+                .iter()
+                .find(|&&k| k.0 >= cores && k.0 < 2 * cores && sys.head_faultable(k))
+            {
+                return key;
+            }
+            let &key = chans.first().expect("grant never materialised");
+            sys.deliver(key).unwrap();
+            guard += 1;
+            assert!(guard < 1_000);
+        }
+    }
+
+    /// Drains the network, firing the retry timeout whenever a core is
+    /// stalled with nothing in flight (the recovery schedule a real
+    /// machine's timeout wheel would produce).
+    fn drain_with_retries(sys: &mut System) {
+        let mut guard = 0;
+        while !sys.quiescent() {
+            if let Some(&key) = sys.channels().first() {
+                sys.deliver(key).unwrap();
+            } else {
+                let cores = sys.config().cores;
+                let stalled: Vec<usize> = (0..cores).filter(|&c| sys.needs_retry(c)).collect();
+                assert!(!stalled.is_empty(), "busy but nothing to retry or deliver");
+                for c in stalled {
+                    sys.retry(c).unwrap();
+                }
+            }
+            guard += 1;
+            assert!(guard < 10_000, "network never drained");
+        }
+    }
+
+    #[test]
+    fn dropped_request_recovered_by_retry() {
+        let mut sys = System::new(rec_cfg());
+        sys.issue(0, 0, Op::Store).unwrap();
+        let key = *sys.channels().first().unwrap();
+        assert!(sys.head_faultable(key), "request leg must be faultable");
+        sys.drop_message(key).unwrap();
+        assert!(sys.needs_retry(0), "loss leaves the core stalled");
+        assert!(sys.retry(0).unwrap());
+        drain_with_retries(&mut sys);
+        assert_eq!(sys.completed(), 1);
+        assert_eq!(sys.stats().retries, 1);
+        assert!(sys.stats().coverage.l1_hits(L1RowId::RetryResend) > 0);
+        sys.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn dropped_grant_recovered_by_dup_resend() {
+        let mut sys = System::new(rec_cfg());
+        sys.issue(0, 0, Op::Store).unwrap();
+        let key = deliver_until_grant(&mut sys);
+        sys.drop_message(key).unwrap();
+        drain_with_retries(&mut sys);
+        assert_eq!(sys.completed(), 1);
+        assert_eq!(
+            sys.stats().grant_resends,
+            1,
+            "directory must resend the grant"
+        );
+        assert!(sys.stats().coverage.dir_hits(DirRowId::DupReqResend) > 0);
+        sys.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn duplicated_request_suppressed() {
+        let mut sys = System::new(rec_cfg());
+        sys.issue(0, 0, Op::Store).unwrap();
+        let key = *sys.channels().first().unwrap();
+        assert!(sys.duplicate_head(key));
+        drain_with_retries(&mut sys);
+        assert_eq!(sys.completed(), 1);
+        assert_eq!(sys.stats().dup_reqs_dropped, 1);
+        sys.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn duplicated_grant_stale_dropped() {
+        let mut sys = System::new(rec_cfg());
+        sys.issue(0, 0, Op::Store).unwrap();
+        let key = deliver_until_grant(&mut sys);
+        assert!(sys.duplicate_head(key));
+        drain_with_retries(&mut sys);
+        assert_eq!(sys.completed(), 1);
+        assert_eq!(sys.stats().stale_replies, 1);
+        assert!(sys.stats().coverage.l1_hits(L1RowId::StaleReplyDrop) > 0);
+        sys.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn tainted_precise_grant_refetched() {
+        let mut sys = System::new(rec_cfg());
+        sys.issue(0, 0, Op::Load { writer: 1 }).unwrap();
+        let key = deliver_until_grant(&mut sys);
+        assert!(sys.taint_head(key));
+        drain_with_retries(&mut sys);
+        assert_eq!(sys.completed(), 1);
+        assert_eq!(sys.stats().corrupt_fills_refetched, 1);
+        assert_eq!(
+            sys.stats().grant_resends,
+            1,
+            "refetch answered from the grant copy"
+        );
+        sys.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn tainted_mem_fill_refetched_by_directory() {
+        let mut sys = System::new(rec_cfg());
+        sys.issue(0, 0, Op::Store).unwrap();
+        // GETX then MemRead reach their targets; taint the MemData reply.
+        let mut guard = 0;
+        loop {
+            let chans = sys.channels();
+            let &key = chans.first().unwrap();
+            if sys.head_corruptible(key) {
+                assert!(sys.taint_head(key));
+                break;
+            }
+            sys.deliver(key).unwrap();
+            guard += 1;
+            assert!(guard < 100);
+        }
+        drain_with_retries(&mut sys);
+        assert_eq!(sys.completed(), 1);
+        assert_eq!(sys.stats().corrupt_mem_refetches, 1);
+        assert!(sys.stats().coverage.dir_hits(DirRowId::CorruptMemRefetch) > 0);
+        sys.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn tainted_approx_fill_absorbed() {
+        let mut sys = System::new(SystemConfig {
+            gw: Some(GwParams {
+                scribe: ScribePolicy::Bitwise,
+                enable_gs: true,
+                enable_gi: true,
+                gi_stores: GiStorePolicy::Fallback,
+                max_hidden_writes: None,
+            }),
+            ..rec_cfg()
+        });
+        sys.issue(0, 0, Op::Scribble { d: 8 }).unwrap();
+        let key = deliver_until_grant(&mut sys);
+        assert!(sys.taint_head(key));
+        drain_with_retries(&mut sys);
+        assert_eq!(sys.completed(), 1);
+        assert_eq!(
+            sys.stats().corrupt_fills_absorbed,
+            1,
+            "approximate fills absorb corruption instead of refetching"
+        );
+        assert_eq!(sys.stats().corrupt_fills_refetched, 0);
+        sys.check_quiescent().unwrap();
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_is_typed() {
+        let mut sys = System::new(rec_cfg());
+        sys.issue(0, 0, Op::Store).unwrap();
+        // checker() allows 2 retries; the third timeout must surface the
+        // `retry_exhausted` error row, never a panic.
+        for _ in 0..3 {
+            let key = *sys.channels().first().unwrap();
+            sys.drop_message(key).unwrap();
+            match sys.retry(0) {
+                Ok(fired) => assert!(fired),
+                Err(Violation::Protocol(e)) => {
+                    assert!(e.to_string().contains("retry_exhausted"), "{e}");
+                    return;
+                }
+                Err(v) => panic!("unexpected violation {v:?}"),
+            }
+        }
+        panic!("retry budget never exhausted");
+    }
+
+    #[test]
+    fn nack_on_conflict_bounces_and_recovers() {
+        let cfg = SystemConfig {
+            cores: 2,
+            blocks: 4,
+            l2_sets: 1,
+            l2_ways: 1,
+            recovery: Some(RecoveryParams {
+                nack_on_conflict: true,
+                ..RecoveryParams::default()
+            }),
+            ..SystemConfig::default()
+        };
+        let mut sys = System::new(cfg);
+        // Two blocks homed on the same single-way bank conflict on fill.
+        let b0 = 0;
+        let home = home_bank(sys.block_of(b0), 2);
+        let b1 = (1..4)
+            .find(|&b| home_bank(sys.block_of(b), 2) == home)
+            .expect("pigeonhole");
+        sys.issue(0, b0, Op::Store).unwrap();
+        let key = *sys.channels().first().unwrap();
+        sys.deliver(key).unwrap(); // bank pins its only way for b0
+        sys.issue(1, b1, Op::Store).unwrap();
+        // Drain, but feed the memory controller first: the NACK/resend
+        // ping-pong between core 1 and the bank must not starve block
+        // b0's DRAM fill (the documented livelock caveat).
+        let mem = 2 * sys.config().cores;
+        let mut guard = 0;
+        while !sys.quiescent() {
+            let chans = sys.channels();
+            let key = chans
+                .iter()
+                .copied()
+                .find(|&k| k.0 == mem || k.1 == mem)
+                .or_else(|| chans.first().copied());
+            match key {
+                Some(k) => sys.deliver(k).unwrap(),
+                None => {
+                    for c in 0..2 {
+                        if sys.needs_retry(c) {
+                            sys.retry(c).unwrap();
+                        }
+                    }
+                }
+            }
+            guard += 1;
+            assert!(guard < 10_000, "NACK livelock");
+        }
+        assert_eq!(sys.completed(), 2);
+        assert!(sys.stats().conflict_nacks >= 1);
+        assert!(sys.stats().nack_retries >= 1);
+        assert!(sys.stats().coverage.dir_hits(DirRowId::NackConflict) > 0);
+        assert!(sys.stats().coverage.l1_hits(L1RowId::ReqNacked) > 0);
+        sys.check_quiescent().unwrap();
+    }
+
+    /// Satellite: the data-slot side pool neither leaks nor double-frees
+    /// under seeded drop/duplicate/taint schedules — at quiescence no
+    /// slot is live, and the pool's high-water mark equals the observed
+    /// peak of in-flight data messages (freed slots were recycled).
+    #[test]
+    fn data_pool_leakfree_under_message_faults() {
+        for seed in 0..8u64 {
+            let mut sys = System::new(SystemConfig {
+                cores: 3,
+                blocks: 4,
+                recovery: Some(RecoveryParams {
+                    max_retries: 64,
+                    timeout_cycles: 1,
+                    backoff_base: 1,
+                    nack_on_conflict: false,
+                }),
+                ..SystemConfig::default()
+            });
+            let mut peak = 0usize;
+            for step in 0..600u64 {
+                let r = fault::mix(seed, 0xFA, step);
+                let chans = sys.channels();
+                if r % 100 < 12 {
+                    if let Some(&key) = chans.iter().find(|&&k| sys.head_faultable(k)) {
+                        if r.is_multiple_of(2) {
+                            sys.drop_message(key);
+                        } else {
+                            sys.duplicate_head(key);
+                        }
+                        peak = peak.max(sys.data.in_flight());
+                        continue;
+                    }
+                } else if r % 100 < 16 {
+                    if let Some(&key) = chans.iter().find(|&&k| sys.head_corruptible(k)) {
+                        sys.taint_head(key);
+                        continue;
+                    }
+                }
+                let idle = sys.idle_cores();
+                if (r % 100 < 40 || chans.is_empty()) && !idle.is_empty() {
+                    let core = idle[(r / 100) as usize % idle.len()];
+                    let b = (r / 1000) as usize % 4;
+                    let op = if r.is_multiple_of(3) {
+                        Op::Load {
+                            writer: (r / 7) as usize % 3,
+                        }
+                    } else {
+                        Op::Store
+                    };
+                    sys.issue(core, b, op).unwrap();
+                } else if let Some(&key) = chans.first() {
+                    sys.deliver(key).unwrap();
+                } else {
+                    for c in 0..3 {
+                        if sys.needs_retry(c) {
+                            sys.retry(c).unwrap();
+                        }
+                    }
+                }
+                peak = peak.max(sys.data.in_flight());
+            }
+            drain_with_retries(&mut sys);
+            assert_eq!(
+                sys.data.in_flight(),
+                0,
+                "seed {seed}: live slots at quiescence"
+            );
+            assert_eq!(
+                sys.data.capacity(),
+                peak,
+                "seed {seed}: pool grew past the in-flight peak (leaked slots)"
+            );
+            sys.check_quiescent().unwrap();
         }
     }
 
@@ -1067,6 +1505,7 @@ mod tests {
                     data,
                     grant: crate::msg::Grant::Shared,
                 },
+                tag: WireTag::default(),
             }
         };
         // A: the payload of interest lands in slot 0.
@@ -1116,6 +1555,7 @@ mod tests {
                 data,
                 grant: crate::msg::Grant::Shared,
             },
+            tag: WireTag::default(),
         });
         let key = sys.channels()[0];
         let err = sys.deliver(key).unwrap_err();

@@ -29,7 +29,8 @@ use ghostwriter_mem::{
 };
 
 use crate::config::{BaseProtocol, GiStorePolicy};
-use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
+use crate::fault::RecoveryParams;
+use crate::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload, WireTag};
 use crate::proto::{Controller, Homing, L1RowId, L1RowSet, ProtocolError};
 use crate::scribe::ScribePolicy;
 use crate::stats::Stats;
@@ -224,6 +225,20 @@ pub struct L1Cache {
     /// Row deleted by a checker mutation (`delete-row:<name>`); firing
     /// it raises a [`ProtocolError`].
     disabled: Option<L1RowId>,
+    /// Fault-recovery knobs. `None` (the default) keeps the recovery
+    /// rows dead and every outgoing message on the default wire tag, so
+    /// fault-free hashes and fingerprints are untouched.
+    recovery: Option<RecoveryParams>,
+    /// Next transaction sequence number to assign (starts at 1; 0 is
+    /// the untagged sentinel). Only advanced when recovery is on.
+    next_seq: u32,
+    /// Sequence number of the outstanding transaction (0 = none).
+    cur_seq: u32,
+    /// Request payload of the outstanding transaction (`Gets`/`Getx`/
+    /// `Upgrade`), kept so timeouts and NACKs can resend it verbatim.
+    cur_req: Option<Payload>,
+    /// Retries already spent on the outstanding transaction.
+    retries_used: u32,
 }
 
 impl std::hash::Hash for L1Cache {
@@ -242,6 +257,15 @@ impl std::hash::Hash for L1Cache {
         wb.hash(state);
         self.gw.hash(state);
         self.homing.hash(state);
+        // The recovery bookkeeping is architectural *only* when recovery
+        // is configured; hashing it conditionally keeps every recovery-
+        // off hash byte-identical to the pre-recovery implementation.
+        if self.recovery.is_some() {
+            self.next_seq.hash(state);
+            self.cur_seq.hash(state);
+            self.cur_req.hash(state);
+            self.retries_used.hash(state);
+        }
     }
 }
 
@@ -272,7 +296,43 @@ impl L1Cache {
             homing: Homing::new(banks),
             rows: L1RowSet::for_config(base, gw.as_ref()),
             disabled: None,
+            recovery: None,
+            next_seq: 1,
+            cur_seq: 0,
+            cur_req: None,
+            retries_used: 0,
         }
+    }
+
+    /// Enables the fault-recovery rows: outgoing requests are sequence-
+    /// tagged, stale/duplicate grants are dropped instead of being
+    /// protocol errors, tainted fills are absorbed or refetched, and
+    /// [`L1Cache::retry_pending_into`] becomes live.
+    pub fn set_recovery(&mut self, params: RecoveryParams) {
+        self.recovery = Some(params);
+    }
+
+    /// Sequence number of the outstanding transaction, if recovery is on
+    /// and a demand miss is in flight. The machine's retry timer keys on
+    /// this to detect that the transaction it armed for is still stuck.
+    pub fn pending_seq(&self) -> Option<u32> {
+        match (&self.recovery, &self.pending) {
+            (Some(_), Some(_)) if self.cur_seq != 0 => Some(self.cur_seq),
+            _ => None,
+        }
+    }
+
+    /// Retries already spent on the outstanding transaction (drives the
+    /// machine's exponential backoff).
+    pub fn retries_used(&self) -> u32 {
+        self.retries_used
+    }
+
+    /// Block of the outstanding demand miss, if any (pairs with
+    /// [`L1Cache::pending_seq`] so the harness can ask the block's home
+    /// bank whether a resend would make progress).
+    pub fn pending_block(&self) -> Option<BlockAddr> {
+        self.pending.as_ref().map(|r| r.addr.block())
     }
 
     /// Fault-injection hook for the defensive-row unit tests: plants a
@@ -389,7 +449,132 @@ impl L1Cache {
             dst,
             block,
             payload,
+            tag: WireTag::default(),
         }
+    }
+
+    /// Opens a coherence transaction: records the pending demand access
+    /// and emits its request. With recovery on the request is stamped
+    /// with a fresh sequence number and its payload retained so timeouts
+    /// and conflict NACKs can resend it verbatim; with recovery off this
+    /// is exactly the former two-line `pending = ...; Send(...)` idiom.
+    fn start_txn(
+        &mut self,
+        req: CoreReq,
+        block: BlockAddr,
+        payload: Payload,
+        out: &mut Vec<L1Out>,
+    ) {
+        let mut msg = self.msg(block, payload.clone());
+        if self.recovery.is_some() {
+            self.cur_seq = self.next_seq;
+            // Wrap past 0: sequence 0 is the untagged sentinel.
+            self.next_seq = match self.next_seq.wrapping_add(1) {
+                0 => 1,
+                n => n,
+            };
+            self.cur_req = Some(payload);
+            self.retries_used = 0;
+            msg.tag = WireTag::seq(self.cur_seq);
+        }
+        self.pending = Some(req);
+        out.push(L1Out::Send(msg));
+    }
+
+    /// Resends the outstanding request with its original sequence number
+    /// (same transaction, not a new one). Charges the given retry row:
+    /// `retry_resend` for timeouts, `req_nacked` for conflict NACKs.
+    fn resend_pending(
+        &mut self,
+        row: L1RowId,
+        stats: &mut Stats,
+        out: &mut Vec<L1Out>,
+    ) -> Result<(), ProtocolError> {
+        self.row(row, stats)?;
+        let block = self
+            .pending
+            .as_ref()
+            .expect("resend with a pending transaction")
+            .addr
+            .block();
+        let payload = self.cur_req.clone().expect("request payload recorded");
+        let mut msg = self.msg(block, payload);
+        msg.tag = WireTag::seq(self.cur_seq);
+        out.push(L1Out::Send(msg));
+        Ok(())
+    }
+
+    /// Closes the outstanding transaction's recovery bookkeeping (the
+    /// grant landed). No-op state with recovery off.
+    fn complete_txn(&mut self) {
+        self.cur_seq = 0;
+        self.cur_req = None;
+        self.retries_used = 0;
+    }
+
+    /// Retry-timeout entry point (machine `RetryCheck`, checker `r{core}`
+    /// action): resends the outstanding request, or raises the typed
+    /// `retry_exhausted` error once the budget is spent. Returns `false`
+    /// (no-op) if recovery is off or no transaction is outstanding —
+    /// a stale timer, not an error.
+    pub fn retry_pending_into(
+        &mut self,
+        stats: &mut Stats,
+        out: &mut Vec<L1Out>,
+    ) -> Result<bool, ProtocolError> {
+        let Some(rec) = self.recovery else {
+            return Ok(false);
+        };
+        if self.pending.is_none() || self.cur_seq == 0 {
+            return Ok(false);
+        }
+        if self.retries_used >= rec.max_retries {
+            return Err(self.error(
+                L1RowId::RetryExhausted,
+                stats,
+                format!(
+                    "transaction seq {} lost after {} retries",
+                    self.cur_seq, self.retries_used
+                ),
+            ));
+        }
+        self.retries_used += 1;
+        stats.retries += 1;
+        self.resend_pending(L1RowId::RetryResend, stats, out)?;
+        Ok(true)
+    }
+
+    /// Fault-injection hook (SEU model): flips `bit` of the `nth`
+    /// resident stable line's data, wrapping `nth` over the resident
+    /// population. Transient lines are skipped — their data is garbage
+    /// awaiting a fill. Returns false if nothing is resident.
+    pub fn corrupt_resident(&mut self, nth: u64, bit: u32) -> bool {
+        let stable = |s: L1State| {
+            matches!(
+                s,
+                L1State::S
+                    | L1State::E
+                    | L1State::M
+                    | L1State::O
+                    | L1State::F
+                    | L1State::Gs
+                    | L1State::Gi
+            )
+        };
+        let count = self.cache.iter().filter(|l| stable(l.meta.state)).count();
+        if count == 0 {
+            return false;
+        }
+        let idx = (nth % count as u64) as usize;
+        let line = self
+            .cache
+            .iter_mut()
+            .filter(|l| stable(l.meta.state))
+            .nth(idx)
+            .expect("indexed within resident count");
+        let bit = bit as usize % (line.data.as_bytes().len() * 8);
+        line.data.as_bytes_mut()[bit / 8] ^= 1 << (bit % 8);
+        true
     }
 
     /// Handles a demand access from the core. Returns either a same-cycle
@@ -475,8 +660,7 @@ impl L1Cache {
         }
         self.cache
             .insert_at(way, block, L1Meta::new(state), BlockData::zeroed());
-        self.pending = Some(req);
-        out.push(L1Out::Send(self.msg(block, payload)));
+        self.start_txn(req, block, payload, out);
         Ok(())
     }
 
@@ -561,9 +745,8 @@ impl L1Cache {
                     stats.l1_load_misses += 1;
                     Self::charge_tag_probe(stats);
                     self.cache.line_at_mut(w).meta.state = L1State::IsD;
-                    self.pending = Some(req);
                     {
-                        out.push(L1Out::Send(self.msg(block, Payload::Gets)));
+                        self.start_txn(req, block, Payload::Gets, out);
                         Ok(())
                     }
                 }
@@ -613,9 +796,8 @@ impl L1Cache {
                         stats.l1_store_misses += 1;
                         Self::charge_tag_probe(stats);
                         self.cache.line_at_mut(w).meta.state = L1State::SmA;
-                        self.pending = Some(req);
                         {
-                            out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
+                            self.start_txn(req, block, Payload::Upgrade, out);
                             Ok(())
                         }
                     }
@@ -666,9 +848,8 @@ impl L1Cache {
                             Self::charge_tag_probe(stats);
                             stats.gi_breaks += 1;
                             self.cache.line_at_mut(w).meta.state = L1State::ImAd;
-                            self.pending = Some(req);
                             {
-                                out.push(L1Out::Send(self.msg(block, Payload::Getx)));
+                                self.start_txn(req, block, Payload::Getx, out);
                                 Ok(())
                             }
                         }
@@ -700,9 +881,8 @@ impl L1Cache {
                             stats.l1_store_misses += 1;
                             Self::charge_tag_probe(stats);
                             self.cache.line_at_mut(w).meta.state = L1State::SmA;
-                            self.pending = Some(req);
                             {
-                                out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
+                                self.start_txn(req, block, Payload::Upgrade, out);
                                 Ok(())
                             }
                         }
@@ -730,9 +910,8 @@ impl L1Cache {
                             stats.l1_store_misses += 1;
                             Self::charge_tag_probe(stats);
                             self.cache.line_at_mut(w).meta.state = L1State::SmA;
-                            self.pending = Some(req);
                             {
-                                out.push(L1Out::Send(self.msg(block, Payload::Upgrade)));
+                                self.start_txn(req, block, Payload::Upgrade, out);
                                 Ok(())
                             }
                         }
@@ -763,9 +942,8 @@ impl L1Cache {
                             stats.l1_store_misses += 1;
                             Self::charge_tag_probe(stats);
                             self.cache.line_at_mut(w).meta.state = L1State::ImAd;
-                            self.pending = Some(req);
                             {
-                                out.push(L1Out::Send(self.msg(block, Payload::Getx)));
+                                self.start_txn(req, block, Payload::Getx, out);
                                 Ok(())
                             }
                         }
@@ -954,6 +1132,7 @@ impl L1Cache {
                     dst: dir,
                     block,
                     payload: Payload::InvAck,
+                    tag: WireTag::default(),
                 }));
                 Ok(())
             }
@@ -967,6 +1146,7 @@ impl L1Cache {
                     dst: dir,
                     block,
                     payload,
+                    tag: WireTag::default(),
                 }));
                 Ok(())
             }
@@ -988,10 +1168,50 @@ impl L1Cache {
                     dst: dir,
                     block,
                     payload,
+                    tag: WireTag::default(),
                 }));
                 Ok(())
             }
             Payload::Data { data, grant } => {
+                // Recovery: a grant that cannot belong to the outstanding
+                // transaction (no pending miss, wrong block, stale or
+                // duplicate sequence number) is an *expected* artifact of
+                // retries and duplication — drop it instead of raising
+                // the data_unexpected protocol error.
+                if self.recovery.is_some() {
+                    let matches_pending = self
+                        .pending
+                        .as_ref()
+                        .is_some_and(|r| r.addr.block() == block)
+                        && msg.tag.seq == self.cur_seq;
+                    if !matches_pending {
+                        self.row(L1RowId::StaleReplyDrop, stats)?;
+                        stats.stale_replies += 1;
+                        return Ok(());
+                    }
+                    if msg.tag.tainted {
+                        let approx = matches!(
+                            self.pending.as_ref().expect("matched above").kind,
+                            AccessKind::Scribble { .. }
+                        );
+                        if approx {
+                            // Graceful degradation: the requestor is an
+                            // error-tolerant scribble, so the corrupted
+                            // fill flows into the approximate dataflow
+                            // and is charged to the application's error
+                            // budget (visible in the NRMSE curves).
+                            self.row(L1RowId::CorruptFillAbsorb, stats)?;
+                            stats.corrupt_fills_absorbed += 1;
+                        } else {
+                            // Precise data: quarantine the tainted block
+                            // (it never becomes architecturally visible)
+                            // and refetch under the same sequence number.
+                            stats.corrupt_fills_refetched += 1;
+                            self.resend_pending(L1RowId::CorruptFillRefetch, stats, out)?;
+                            return Ok(());
+                        }
+                    }
+                }
                 let req = match self.pending.take() {
                     Some(req) => req,
                     None => {
@@ -1054,16 +1274,32 @@ impl L1Cache {
                     }
                 };
                 self.cache.touch_at(w);
+                self.complete_txn();
                 out.push(L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
                     payload: Payload::Unblock,
+                    tag: WireTag::default(),
                 }));
                 out.push(L1Out::Reply { value });
                 Ok(())
             }
             Payload::UpgAck => {
+                // Recovery: same stale/duplicate suppression as DATA
+                // (UPG_ACK carries no data, so there is no taint path).
+                if self.recovery.is_some() {
+                    let matches_pending = self
+                        .pending
+                        .as_ref()
+                        .is_some_and(|r| r.addr.block() == block)
+                        && msg.tag.seq == self.cur_seq;
+                    if !matches_pending {
+                        self.row(L1RowId::StaleReplyDrop, stats)?;
+                        stats.stale_replies += 1;
+                        return Ok(());
+                    }
+                }
                 let req = match self.pending.take() {
                     Some(req) => req,
                     None => {
@@ -1107,11 +1343,13 @@ impl L1Cache {
                 line.meta.state = L1State::M;
                 line.meta.hidden_writes = 0;
                 self.cache.touch_at(w);
+                self.complete_txn();
                 out.push(L1Out::Send(Msg {
                     src: Endpoint::L1(self.core),
                     dst: dir,
                     block,
                     payload: Payload::Unblock,
+                    tag: WireTag::default(),
                 }));
                 out.push(L1Out::Reply { value: 0 });
                 Ok(())
@@ -1127,6 +1365,22 @@ impl L1Cache {
                     format!("WB_ACK for {block:?} without buffer entry"),
                 )),
             },
+            // Recovery: the directory NACKed our request (conflict —
+            // every way of its L2 set was pinned). Resend it under the
+            // same sequence number. Without recovery (or without a
+            // matching outstanding request) a dir→L1 FWD_NACK remains
+            // the l1_unexpected_msg protocol error below.
+            Payload::FwdNack
+                if self.recovery.is_some()
+                    && self
+                        .pending
+                        .as_ref()
+                        .is_some_and(|r| r.addr.block() == block) =>
+            {
+                stats.nack_retries += 1;
+                self.resend_pending(L1RowId::ReqNacked, stats, out)?;
+                Ok(())
+            }
             ref p => Err(self.error(
                 L1RowId::L1UnexpectedMsg,
                 stats,
@@ -1404,6 +1658,7 @@ mod tests {
             dst: Endpoint::L1(0),
             block,
             payload,
+            tag: WireTag::default(),
         }
     }
 
@@ -1933,6 +2188,7 @@ mod error_bound_tests {
                     data: BlockData::zeroed(),
                     grant: Grant::Shared,
                 },
+                tag: WireTag::default(),
             },
             s,
         )
@@ -1977,6 +2233,7 @@ mod error_bound_tests {
                 dst: Endpoint::L1(0),
                 block: Addr(0x1000).block(),
                 payload: Payload::UpgAck,
+                tag: WireTag::default(),
             },
             &mut s,
         )
@@ -1989,6 +2246,7 @@ mod error_bound_tests {
                 dst: Endpoint::L1(0),
                 block: Addr(0x1000).block(),
                 payload: Payload::FwdGets,
+                tag: WireTag::default(),
             },
             &mut s,
         )
@@ -2064,6 +2322,7 @@ mod more_l1_tests {
                     data,
                     grant: Grant::Shared,
                 },
+                tag: WireTag::default(),
             },
             s,
         )
@@ -2189,6 +2448,7 @@ mod more_l1_tests {
                     dst: Endpoint::L1(0),
                     block: Addr(0x100).block(),
                     payload: Payload::FwdGets,
+                    tag: WireTag::default(),
                 },
                 &mut s,
             )
@@ -2227,6 +2487,7 @@ mod more_l1_tests {
                         data: BlockData::zeroed(),
                         grant: Grant::Modified,
                     },
+                    tag: WireTag::default(),
                 },
                 s,
             )

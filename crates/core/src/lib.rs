@@ -54,6 +54,7 @@
 pub mod config;
 pub mod ctx;
 pub mod dir;
+pub mod fault;
 pub mod harness;
 pub mod json;
 pub mod l1;
@@ -70,9 +71,10 @@ pub mod tester;
 
 pub use config::{BaseProtocol, GiStorePolicy, MachineConfig, Protocol};
 pub use ctx::ThreadCtx;
+pub use fault::{FaultConfig, RecoveryParams};
 pub use harness::{node_key, Op, System, SystemConfig, Violation};
 pub use json::{Json, JsonError};
-pub use machine::{FinishedRun, Machine, Program, ThreadBody};
+pub use machine::{FinishedRun, Machine, Program, SimAbort, ThreadBody};
 pub use prof::{Phase, PhaseCounters, Profile, ALL_PHASES};
 pub use proto::{Coverage, DirRowId, Homing, L1RowId, ProtocolError, Reach};
 pub use scribe::{bit_distance, ScribePolicy, SimilarityHistogram};

@@ -24,10 +24,12 @@ use ghostwriter_sim::{EventQueue, FutureThread, Resumable, Step};
 use crate::config::{MachineConfig, Protocol};
 use crate::ctx::ThreadCtx;
 use crate::dir::DirBank;
+use crate::fault::{self, Fate, FaultConfig};
 use crate::l1::{AccessKind, CoreReq, GwParams, L1Cache, L1Out};
-use crate::msg::{CtlMsg, DataPool, Endpoint, Msg, Payload};
+use crate::msg::{CtlMsg, DataPool, Endpoint, Msg, Payload, WireTag};
 use crate::op::{OpKind, ThreadOp, ThreadReply};
 use crate::prof::{Component, Phase, Profile, Profiler};
+use crate::proto::ProtocolError;
 use crate::stats::{CoreSummary, SimReport, Stats};
 use ghostwriter_energy::EnergyModel;
 
@@ -45,6 +47,8 @@ pub type Program = Box<dyn FnOnce(ThreadCtx) -> ThreadBody + Send + 'static>;
 /// threads, then [`Machine::run`].
 pub struct Machine {
     config: MachineConfig,
+    faults: FaultConfig,
+    injections: Vec<(u64, Msg)>,
     energy_model: EnergyModel,
     dram: Dram,
     alloc_cursor: u64,
@@ -71,6 +75,34 @@ pub struct TraceEntry {
     pub name: &'static str,
 }
 
+/// A typed protocol-level abort: a controller raised a
+/// [`ProtocolError`] mid-run. Mirrors [`post_drain_fetch_report`]'s
+/// philosophy — the abort names the cycle and the last delivered
+/// message so a fault-campaign failure is actionable, not just
+/// "protocol error".
+#[derive(Debug)]
+pub struct SimAbort {
+    /// The controller's typed error (row, controller, detail).
+    pub error: ProtocolError,
+    /// Cycle at which the error was raised.
+    pub cycle: u64,
+    /// Human-readable form of the last message the engine delivered
+    /// before the abort (`"<none>"` if nothing was delivered yet).
+    pub last_msg: String,
+}
+
+impl std::fmt::Display for SimAbort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "protocol error at cycle {} (last delivered message: {}): {}",
+            self.cycle, self.last_msg, self.error
+        )
+    }
+}
+
+impl std::error::Error for SimAbort {}
+
 /// A completed simulation: the report plus functional access to the final
 /// coherent memory image (owned lines flushed through the protocol's
 /// semantics — GS/GI contents forfeited).
@@ -92,6 +124,8 @@ impl Machine {
         config.validate();
         Self {
             config,
+            faults: FaultConfig::default(),
+            injections: Vec::new(),
             energy_model: EnergyModel::default(),
             dram: Dram::new(),
             alloc_cursor: 0x1_0000,
@@ -113,6 +147,23 @@ impl Machine {
     /// unaffected.
     pub fn disable_reply_fusion(&mut self) {
         self.fuse_replies = false;
+    }
+
+    /// Installs a fault-injection configuration. Like profiling, this
+    /// is a runtime switch, not a [`MachineConfig`] field: the config
+    /// cache key is unaffected, and campaign cache keys append
+    /// [`FaultConfig::key`] themselves. The default (all-off) config
+    /// leaves every run byte-identical to a fault-unaware build.
+    pub fn set_faults(&mut self, faults: FaultConfig) {
+        self.faults = faults;
+    }
+
+    /// Byzantine-injection hook: delivers an arbitrary `msg` to its
+    /// destination at `cycle`, bypassing the network model — as a buggy
+    /// or hostile controller would. Pair with [`Machine::try_run`] to
+    /// observe the typed [`SimAbort`] instead of a panic.
+    pub fn inject_at(&mut self, cycle: u64, msg: Msg) {
+        self.injections.push((cycle, msg));
     }
 
     /// Turns on the cycle-attribution profiler (see [`crate::prof`]).
@@ -237,7 +288,18 @@ impl Machine {
 
     /// Runs the simulation to completion and returns the report plus the
     /// final coherent memory image.
+    ///
+    /// # Panics
+    /// Panics with the [`SimAbort`] report on a protocol error — under
+    /// fault injection prefer [`Machine::try_run`].
     pub fn run(self) -> FinishedRun {
+        self.try_run().unwrap_or_else(|abort| panic!("{abort}"))
+    }
+
+    /// Runs the simulation, surfacing protocol-level aborts as a typed
+    /// [`SimAbort`] (cycle, last delivered message, controller error)
+    /// instead of a panic. Workload panics still unwind.
+    pub fn try_run(self) -> Result<FinishedRun, SimAbort> {
         assert!(!self.programs.is_empty(), "no threads to run");
         #[cfg(feature = "legacy-threads")]
         let legacy = self.legacy;
@@ -251,6 +313,8 @@ impl Machine {
             legacy,
             self.profiling,
             self.fuse_replies,
+            self.faults,
+            self.injections,
         );
         engine.trace = self.trace.then(Vec::new);
         engine.run()
@@ -358,6 +422,14 @@ enum Ev {
     GiTick { core: usize },
     /// Periodic context switch on one core (§3.5 forfeit).
     ContextSwitch { core: usize },
+    /// Recovery timeout check: if core `core` still has request `seq`
+    /// outstanding after `attempt` retries, fire the retry row. Stale
+    /// checks (the request completed, or a newer check superseded this
+    /// one) are no-ops.
+    RetryCheck { core: usize, seq: u32, attempt: u32 },
+    /// Background fault tick: resident-line bit flips and GI-timeout
+    /// storms, every [`FaultConfig::tick_cycles`].
+    FaultTick,
 }
 
 /// Arena for in-flight protocol messages: `Ev::Deliver` carries an index
@@ -566,6 +638,15 @@ struct Engine {
     dir_scratch: Vec<Msg>,
     /// Cycle-attribution profiler; `None` unless enabled on the machine.
     prof: Option<Box<Profiler>>,
+    /// Fault-injection configuration (all-off by default).
+    faults: FaultConfig,
+    /// Counter of faultable/corruptible messages seen, indexing the
+    /// per-message decision streams.
+    msg_n: u64,
+    /// Counter of background fault ticks fired.
+    fault_tick_n: u64,
+    /// Last message delivered, for [`SimAbort`] reports.
+    last_delivered: Option<(&'static str, Endpoint, Endpoint, BlockAddr)>,
     /// Core currently inside `Cores::resume`, if any. `resume` carries
     /// no unwind guard of its own (a per-poll `catch_unwind` costs real
     /// throughput — see `ghostwriter_sim::resume`), so the event loop
@@ -576,6 +657,7 @@ struct Engine {
 }
 
 impl Engine {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         cfg: MachineConfig,
         energy_model: EnergyModel,
@@ -584,6 +666,8 @@ impl Engine {
         legacy: bool,
         profiling: bool,
         fuse_replies: bool,
+        faults: FaultConfig,
+        injections: Vec<(u64, Msg)>,
     ) -> Self {
         let (w, h) = Mesh::dims_for(cfg.cores);
         let mesh = Mesh::new(w, h, cfg.router_cycles, cfg.link_cycles);
@@ -604,7 +688,7 @@ impl Engine {
             Protocol::Ghostwriter(g) => Some(g.gi_timeout),
             Protocol::Mesi => None,
         };
-        let l1s = (0..cfg.cores)
+        let mut l1s: Vec<L1Cache> = (0..cfg.cores)
             .map(|c| {
                 L1Cache::new(
                     c,
@@ -617,9 +701,17 @@ impl Engine {
                 )
             })
             .collect();
-        let banks = (0..cfg.cores)
+        let mut banks: Vec<DirBank> = (0..cfg.cores)
             .map(|b| DirBank::with_base(b, l2_sets, cfg.l2_ways, corners.len(), cfg.base_protocol))
             .collect();
+        if let Some(rec) = faults.recovery {
+            for l1 in &mut l1s {
+                l1.set_recovery(rec);
+            }
+            for bank in &mut banks {
+                bank.set_recovery(rec);
+            }
+        }
 
         let threads = programs.len();
         let cores = if legacy {
@@ -629,7 +721,7 @@ impl Engine {
         };
         let link_free = vec![0u64; mesh.num_links()];
 
-        Self {
+        let mut eng = Self {
             energy_model,
             mesh,
             corners,
@@ -658,9 +750,20 @@ impl Engine {
             l1_scratch: Vec::new(),
             dir_scratch: Vec::new(),
             prof: profiling.then(|| Box::new(Profiler::new(cfg.cores))),
+            faults,
+            msg_n: 0,
+            fault_tick_n: 0,
+            last_delivered: None,
             resuming: None,
             cfg,
+        };
+        // Byzantine injections bypass the network model: the message is
+        // interned and scheduled for direct delivery at its cycle.
+        for (cycle, msg) in injections {
+            let slot = eng.pool.alloc(msg.intern(&mut eng.data));
+            eng.queue.push(cycle, Ev::Deliver(slot));
         }
+        eng
     }
 
     fn node_of(&self, ep: Endpoint) -> NodeId {
@@ -671,10 +774,85 @@ impl Engine {
         }
     }
 
+    /// Wraps a controller's [`ProtocolError`] into the typed abort,
+    /// attaching the cycle and the last delivered message.
+    fn abort(&self, error: ProtocolError) -> SimAbort {
+        let last_msg = match self.last_delivered {
+            Some((name, src, dst, block)) => {
+                format!("{name} {src:?} -> {dst:?} ({block:?})")
+            }
+            None => "<none>".to_string(),
+        };
+        SimAbort {
+            error,
+            cycle: self.queue.now(),
+            last_msg,
+        }
+    }
+
+    /// Fault-injection chokepoint: every message leaves through here.
+    /// Transport faults (drop/duplicate/delay) apply to the unreliable
+    /// request/grant classes; payload corruption to demand and DRAM
+    /// fills, flipping a real bit and setting the taint bit. All draws
+    /// are counter-based, so a given (seed, rates) schedule is
+    /// identical regardless of wall-clock or thread interleaving.
+    fn send(&mut self, mut msg: Msg, mut extra_delay: u64) {
+        if self.faults.perturbs_messages() {
+            // Transport and corruption are independent fault classes: a
+            // directory grant (`Data` from Dir) is on BOTH surfaces, so
+            // the two draws must not shadow each other. One counter
+            // value per faultable message; the decision streams are
+            // independent, so skipping the corruption draw of a dropped
+            // message never perturbs any other message's draws.
+            let droppable = fault::droppable(msg.src, &msg.payload);
+            let corruptible = fault::corruptible(msg.src, &msg.payload);
+            if droppable || corruptible {
+                let n = self.msg_n;
+                self.msg_n += 1;
+                if droppable {
+                    match self.faults.fate(n) {
+                        Fate::Deliver => {}
+                        Fate::Drop => {
+                            self.stats.faults_dropped += 1;
+                            return;
+                        }
+                        Fate::Duplicate => {
+                            // The copy is a separate wire event and is
+                            // delivered unperturbed; only the original
+                            // below can additionally be tainted.
+                            self.stats.faults_duplicated += 1;
+                            self.send_one(msg.clone(), extra_delay);
+                        }
+                        Fate::Delay(d) => {
+                            self.stats.faults_delayed += 1;
+                            extra_delay += d;
+                        }
+                    }
+                }
+                if corruptible {
+                    if let Some(bit) = self.faults.corrupt_bit(n) {
+                        let flipped = match &mut msg.payload {
+                            Payload::Data { data, .. } | Payload::MemData { data } => {
+                                data.as_bytes_mut()[(bit / 8) as usize] ^= 1 << (bit % 8);
+                                true
+                            }
+                            _ => false,
+                        };
+                        if flipped {
+                            msg.tag.tainted = true;
+                            self.stats.faults_corrupted += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.send_one(msg, extra_delay);
+    }
+
     /// Routes a message: records traffic, computes latency, schedules
     /// delivery `extra_delay` (the sender's access time) later. The
     /// message is interned in the pool; the heap only carries its slot.
-    fn send(&mut self, msg: Msg, extra_delay: u64) {
+    fn send_one(&mut self, msg: Msg, extra_delay: u64) {
         if let Some(p) = self.prof.as_mut() {
             p.begin_span(Phase::Routing);
         }
@@ -766,31 +944,59 @@ impl Engine {
 
     /// Drains `outs` (a reusable scratch buffer) into replies and sends.
     fn apply_l1_outs(&mut self, core: usize, outs: &mut Vec<L1Out>) {
+        let mut sent = false;
         for out in outs.drain(..) {
             match out {
                 L1Out::Reply { value } => {
                     self.pending_reply[core] = Some(value);
                     self.defer_fetch(self.cfg.l1_latency, core);
                 }
-                L1Out::Send(msg) => self.send(msg, self.cfg.l1_latency),
+                L1Out::Send(msg) => {
+                    sent = true;
+                    self.send(msg, self.cfg.l1_latency);
+                }
             }
+        }
+        if sent {
+            self.arm_retry(core);
         }
     }
 
-    fn run(mut self) -> FinishedRun {
+    /// Arms the recovery timeout for `core`'s outstanding tagged
+    /// request, if any: a [`Ev::RetryCheck`] fires after the backoff
+    /// deadline and is a no-op unless the same (seq, attempt) is still
+    /// pending — completed or already-retried requests make it stale.
+    fn arm_retry(&mut self, core: usize) {
+        let Some(rec) = self.faults.recovery else {
+            return;
+        };
+        let Some(seq) = self.l1s[core].pending_seq() else {
+            return;
+        };
+        let attempt = self.l1s[core].retries_used();
+        let deadline =
+            rec.timeout_cycles.max(1) * u64::from(rec.backoff_base.max(1)).pow(attempt.min(16));
+        self.sched_after(deadline, Ev::RetryCheck { core, seq, attempt });
+    }
+
+    fn run(mut self) -> Result<FinishedRun, SimAbort> {
         // One unwind guard for the WHOLE run (never per poll — see the
         // `resuming` field docs): a panic raised while a core was being
         // resumed is a workload panic and gets re-labelled with the
         // core; anything else is an engine bug and re-raised as-is.
         let looped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.event_loop()));
-        if let Err(payload) = looped {
-            if let Some(core) = self.resuming {
-                panic!(
-                    "simulated thread {core} panicked: {}",
-                    ghostwriter_sim::panic_message(payload)
-                );
+        match looped {
+            Err(payload) => {
+                if let Some(core) = self.resuming {
+                    panic!(
+                        "simulated thread {core} panicked: {}",
+                        ghostwriter_sim::panic_message(payload)
+                    );
+                }
+                std::panic::resume_unwind(payload);
             }
-            std::panic::resume_unwind(payload);
+            Ok(Err(abort)) => return Err(abort),
+            Ok(Ok(())) => {}
         }
 
         // Per-core summaries, then fold every core's counters into the
@@ -831,12 +1037,12 @@ impl Engine {
             &self.energy_model,
         )
         .with_per_core(per_core);
-        FinishedRun {
+        Ok(FinishedRun {
             report,
             trace: self.trace.take().unwrap_or_default(),
             profile: self.prof.take().map(|p| p.finish()),
             dram: self.dram,
-        }
+        })
     }
 
     /// The event loop proper: seeds the initial events, drains the
@@ -844,9 +1050,12 @@ impl Engine {
     /// protocol traffic. Split out of [`Engine::run`] so the run-level
     /// unwind guard wraps exactly the code that can raise a workload
     /// panic.
-    fn event_loop(&mut self) {
+    fn event_loop(&mut self) -> Result<(), SimAbort> {
         for core in 0..self.threads {
             self.queue.push(0, Ev::Fetch { core });
+        }
+        if self.faults.ticks() {
+            self.queue.push(self.faults.tick_cycles, Ev::FaultTick);
         }
         if let Some(t) = self.gi_timeout {
             for core in 0..self.cfg.cores {
@@ -877,7 +1086,7 @@ impl Engine {
                     self.pending_fetch = None;
                     let delta = t - self.queue.now();
                     self.queue.advance_to(t);
-                    self.dispatch(Ev::Fetch { core }, delta);
+                    self.dispatch(Ev::Fetch { core }, delta)?;
                     continue;
                 }
                 self.flush_pending_fetch();
@@ -898,7 +1107,7 @@ impl Engine {
             };
             let mut delta = time - prev;
             for ev in batch.drain(..) {
-                self.dispatch(ev, delta);
+                self.dispatch(ev, delta)?;
                 delta = 0;
             }
         }
@@ -918,12 +1127,12 @@ impl Engine {
             let mut delta = time - prev;
             for ev in batch.drain(..) {
                 match ev {
-                    Ev::GiTick { .. } => {}
+                    Ev::GiTick { .. } | Ev::FaultTick => {}
                     Ev::Fetch { core } => panic!(
                         "{}",
                         post_drain_fetch_report(core, self.queue.now(), self.last_op[core])
                     ),
-                    other => self.dispatch(other, delta),
+                    other => self.dispatch(other, delta)?,
                 }
                 delta = 0;
             }
@@ -934,18 +1143,19 @@ impl Engine {
         self.flush();
         self.cores.join();
         recycle_queue(std::mem::take(&mut self.queue));
+        Ok(())
     }
 
     /// Handles one event. `delta` is the clock advance this event is
     /// responsible for (nonzero only for the first event of a batch);
     /// it is consumed by the profiler and nothing else.
-    fn dispatch(&mut self, ev: Ev, delta: u64) {
+    fn dispatch(&mut self, ev: Ev, delta: u64) -> Result<(), SimAbort> {
         match ev {
             Ev::Fetch { core } => {
                 if let Some(p) = self.prof.as_mut() {
                     p.begin_span(Phase::CoreStep);
                 }
-                self.fetch(core);
+                self.fetch(core)?;
                 if let Some(p) = self.prof.as_mut() {
                     p.end_span();
                     p.event(Phase::CoreStep, Component::Core(core), delta);
@@ -961,7 +1171,7 @@ impl Engine {
                 if let Some(p) = self.prof.as_mut() {
                     p.begin_span(phase);
                 }
-                self.deliver(msg);
+                self.deliver(msg)?;
                 if let Some(p) = self.prof.as_mut() {
                     p.end_span();
                     p.event(phase, component, delta);
@@ -974,7 +1184,7 @@ impl Engine {
                     }
                     self.l1s[core]
                         .gi_timeout_sweep(&mut self.core_stats[core])
-                        .unwrap_or_else(|e| panic!("protocol error: {e}"));
+                        .map_err(|e| self.abort(e))?;
                     let t = self.gi_timeout.expect("tick without timeout");
                     self.sched_after(t, Ev::GiTick { core });
                     if let Some(p) = self.prof.as_mut() {
@@ -991,7 +1201,7 @@ impl Engine {
                     let mut outs = std::mem::take(&mut self.l1_scratch);
                     self.l1s[core]
                         .context_switch_forfeit_into(&mut self.core_stats[core], &mut outs)
-                        .unwrap_or_else(|e| panic!("protocol error: {e}"));
+                        .map_err(|e| self.abort(e))?;
                     self.apply_l1_outs(core, &mut outs);
                     self.l1_scratch = outs;
                     let p = self
@@ -1005,13 +1215,50 @@ impl Engine {
                     }
                 }
             }
+            Ev::RetryCheck { core, seq, attempt } => {
+                let live = self.faults.recovery.is_some()
+                    && self.l1s[core].pending_seq() == Some(seq)
+                    && self.l1s[core].retries_used() == attempt;
+                if live {
+                    let mut outs = std::mem::take(&mut self.l1_scratch);
+                    let fired = self.l1s[core]
+                        .retry_pending_into(&mut self.core_stats[core], &mut outs)
+                        .map_err(|e| self.abort(e))?;
+                    debug_assert!(fired, "liveness gate implies a pending request");
+                    // apply_l1_outs re-arms the check at the next
+                    // backoff deadline via the resent request.
+                    self.apply_l1_outs(core, &mut outs);
+                    self.l1_scratch = outs;
+                }
+            }
+            Ev::FaultTick => {
+                if self.n_finished < self.threads {
+                    let tick = self.fault_tick_n;
+                    self.fault_tick_n += 1;
+                    for core in 0..self.cfg.cores {
+                        if let Some((nth, bit)) = self.faults.line_flip(tick, core) {
+                            if self.l1s[core].corrupt_resident(nth, bit) {
+                                self.stats.faults_line_flips += 1;
+                            }
+                        }
+                        if self.gi_timeout.is_some() && self.faults.gi_storm(tick, core) {
+                            self.stats.gi_storms += 1;
+                            self.l1s[core]
+                                .gi_timeout_sweep(&mut self.core_stats[core])
+                                .map_err(|e| self.abort(e))?;
+                        }
+                    }
+                    self.sched_after(self.faults.tick_cycles, Ev::FaultTick);
+                }
+            }
         }
+        Ok(())
     }
 
     /// Steps thread `core`: feed it the owed reply, pull and dispatch
     /// its next operation — one plain function call on the default
     /// engine.
-    fn fetch(&mut self, core: usize) {
+    fn fetch(&mut self, core: usize) -> Result<(), SimAbort> {
         let reply = self.pending_reply[core].take();
         let now = self.queue.now();
         // Two plain stores bracketing the resume tell the run-level
@@ -1033,7 +1280,7 @@ impl Engine {
                 self.n_finished += 1;
                 // A thread exiting may complete a barrier episode.
                 self.try_release_barrier();
-                return;
+                return Ok(());
             }
         };
         self.last_op[core] = op.name();
@@ -1068,7 +1315,7 @@ impl Engine {
                 let mut outs = std::mem::take(&mut self.l1_scratch);
                 self.l1s[core]
                     .access_into(req, &mut self.core_stats[core], &mut outs)
-                    .unwrap_or_else(|e| panic!("protocol error: {e}"));
+                    .map_err(|e| self.abort(e))?;
                 self.apply_l1_outs(core, &mut outs);
                 self.l1_scratch = outs;
             }
@@ -1092,6 +1339,7 @@ impl Engine {
                 self.defer_fetch(1, core);
             }
         }
+        Ok(())
     }
 
     /// Releases the barrier when every live thread has arrived. Two
@@ -1132,13 +1380,14 @@ impl Engine {
         }
     }
 
-    fn deliver(&mut self, msg: Msg) {
+    fn deliver(&mut self, msg: Msg) -> Result<(), SimAbort> {
+        self.last_delivered = Some((msg.payload.name(), msg.src, msg.dst, msg.block));
         match msg.dst {
             Endpoint::L1(core) => {
                 let mut outs = std::mem::take(&mut self.l1_scratch);
                 self.l1s[core]
                     .handle_msg_into(msg, &mut self.core_stats[core], &mut outs)
-                    .unwrap_or_else(|e| panic!("protocol error: {e}"));
+                    .map_err(|e| self.abort(e))?;
                 self.apply_l1_outs(core, &mut outs);
                 self.l1_scratch = outs;
             }
@@ -1146,7 +1395,7 @@ impl Engine {
                 let mut outs = std::mem::take(&mut self.dir_scratch);
                 self.banks[bank]
                     .handle_msg_into(msg, &mut self.stats, &mut outs)
-                    .unwrap_or_else(|e| panic!("protocol error: {e}"));
+                    .map_err(|e| self.abort(e))?;
                 for m in outs.drain(..) {
                     self.send(m, self.cfg.l2_latency);
                 }
@@ -1163,6 +1412,7 @@ impl Engine {
                             dst: msg.src,
                             block: msg.block,
                             payload: Payload::MemData { data },
+                            tag: WireTag::seq(msg.tag.seq),
                         },
                         self.cfg.dram_latency,
                     );
@@ -1175,6 +1425,7 @@ impl Engine {
                 ref p => panic!("memory controller got {}", p.name()),
             },
         }
+        Ok(())
     }
 
     /// End-of-run functional flush (DESIGN.md §2): owned L1 lines are
@@ -1759,6 +2010,7 @@ mod context_switch_tests {
                 dst: Endpoint::Dir(0),
                 block: BlockAddr(tag),
                 payload,
+                tag: WireTag::default(),
             }
         }
 

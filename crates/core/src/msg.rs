@@ -49,6 +49,34 @@ pub enum OwnerXfer {
     ToOwned,
 }
 
+/// Transport envelope riding on every message: a per-transaction
+/// sequence number (duplicate/stale-reply suppression) and a taint bit
+/// (the fault injector's stand-in for a detectable ECC/checksum
+/// mismatch on the carried block).
+///
+/// With recovery disabled every message carries the default tag
+/// (`seq = 0`, `tainted = false`), so hashes, fingerprints and the
+/// checker's state partition are exactly what they were before the tag
+/// existed as a *varying* quantity — zero-fault runs stay byte-stable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Default)]
+pub struct WireTag {
+    /// Requestor-assigned transaction sequence number (0 = untagged).
+    pub seq: u32,
+    /// Set when the fault injector corrupted the carried data in a way
+    /// the receiver can detect (models an ECC/checksum mismatch).
+    pub tainted: bool,
+}
+
+impl WireTag {
+    /// A tag carrying only a sequence number.
+    pub fn seq(seq: u32) -> Self {
+        WireTag {
+            seq,
+            tainted: false,
+        }
+    }
+}
+
 /// Opaque index of an in-flight data block in a [`DataPool`].
 ///
 /// A `DataRef` is a *transport* handle, not part of the logical message:
@@ -190,6 +218,9 @@ pub struct MsgOf<D> {
     pub dst: Endpoint,
     pub block: BlockAddr,
     pub payload: PayloadOf<D>,
+    /// Transport envelope (sequence number + taint bit). Always
+    /// [`WireTag::default()`] when recovery is disabled.
+    pub tag: WireTag,
 }
 
 /// A logical protocol message (inline data) — what controllers produce
@@ -243,6 +274,7 @@ impl Msg {
             dst: self.dst,
             block: self.block,
             payload,
+            tag: self.tag,
         }
     }
 }
@@ -257,6 +289,7 @@ impl CtlMsg {
             dst: self.dst,
             block: self.block,
             payload,
+            tag: self.tag,
         }
     }
 
@@ -270,6 +303,7 @@ impl CtlMsg {
             dst: self.dst,
             block: self.block,
             payload,
+            tag: self.tag,
         }
     }
 }

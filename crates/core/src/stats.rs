@@ -82,6 +82,38 @@ pub struct Stats {
     /// L2 recalls (inclusive-victim invalidations of L1 copies).
     pub l2_recalls: u64,
 
+    // ---- fault injection & recovery (`core::fault`) ----
+    // All zero in fault-free runs. Deliberately *not* added to
+    // `stats_io::for_each_stats_counter!` — record JSON stays
+    // byte-identical; campaigns surface these via `RunRecord.extra`.
+    /// Request resends driven by the L1 retry timeout.
+    pub retries: u64,
+    /// Request resends driven by a directory conflict NACK.
+    pub nack_retries: u64,
+    /// Stale/duplicate grants dropped by sequence-number suppression.
+    pub stale_replies: u64,
+    /// Duplicate requests the directory suppressed without a resend.
+    pub dup_reqs_dropped: u64,
+    /// Duplicate requests answered by resending the retained grant.
+    pub grant_resends: u64,
+    /// Fills NACKed by the directory (nack_on_conflict policy).
+    pub conflict_nacks: u64,
+    /// Tainted fills absorbed into the approximate dataflow.
+    pub corrupt_fills_absorbed: u64,
+    /// Tainted fills quarantined and refetched (precise data).
+    pub corrupt_fills_refetched: u64,
+    /// Tainted DRAM fills the directory discarded and refetched.
+    pub corrupt_mem_refetches: u64,
+    /// Messages the injector dropped / duplicated / delayed / corrupted.
+    pub faults_dropped: u64,
+    pub faults_duplicated: u64,
+    pub faults_delayed: u64,
+    pub faults_corrupted: u64,
+    /// Resident-line bits flipped by the SEU injector.
+    pub faults_line_flips: u64,
+    /// GI timeout sweeps forced by the storm injector.
+    pub gi_storms: u64,
+
     // ---- figures ----
     /// NoC traffic by message class.
     pub traffic: TrafficStats,
@@ -160,6 +192,21 @@ impl Stats {
         self.dram_reads += other.dram_reads;
         self.dram_writes += other.dram_writes;
         self.l2_recalls += other.l2_recalls;
+        self.retries += other.retries;
+        self.nack_retries += other.nack_retries;
+        self.stale_replies += other.stale_replies;
+        self.dup_reqs_dropped += other.dup_reqs_dropped;
+        self.grant_resends += other.grant_resends;
+        self.conflict_nacks += other.conflict_nacks;
+        self.corrupt_fills_absorbed += other.corrupt_fills_absorbed;
+        self.corrupt_fills_refetched += other.corrupt_fills_refetched;
+        self.corrupt_mem_refetches += other.corrupt_mem_refetches;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_delayed += other.faults_delayed;
+        self.faults_corrupted += other.faults_corrupted;
+        self.faults_line_flips += other.faults_line_flips;
+        self.gi_storms += other.gi_storms;
         self.traffic.merge(&other.traffic);
         self.energy_events.merge(&other.energy_events);
         self.similarity.merge(&other.similarity);

@@ -98,6 +98,7 @@ impl TesterConfig {
             gw,
             base: self.base,
             disabled_row: None,
+            recovery: None,
         }
     }
 }

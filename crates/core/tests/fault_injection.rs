@@ -1,0 +1,206 @@
+//! Machine-level fault-injection suite.
+//!
+//! The harness-level injector semantics (counter-based draws, class
+//! independence) are covered next to [`ghostwriter_core::fault`]; this
+//! suite checks the *timing machine* integration:
+//!
+//! 1. **Zero-fault preservation** — installing `FaultConfig::default()`
+//!    leaves a run byte-identical (cycles, stats JSON) to a
+//!    fault-unaware run of the same machine.
+//! 2. **Seeded determinism** — the same fault seed reproduces the run
+//!    exactly; a different seed places faults elsewhere.
+//! 3. **Recovery correctness** — under drops, duplicates and delays a
+//!    precise MESI program still completes with the right answer; the
+//!    recovery machinery (retries/resends) did the work.
+//! 4. **Byzantine injection** (ISSUE satellite) — `inject_at` +
+//!    `try_run` surfaces the defensive `Reach::Never` rows as a typed
+//!    [`SimAbort`] with cycle and last-message provenance, never a
+//!    panic, at the full-machine level.
+
+use ghostwriter_core::config::BaseProtocol;
+use ghostwriter_core::msg::{Endpoint, Grant, Msg, Payload, WireTag};
+use ghostwriter_core::{
+    Addr, FaultConfig, FinishedRun, Machine, MachineConfig, Protocol, RecoveryParams, SimAbort,
+};
+use ghostwriter_mem::BlockData;
+
+const ITERS: u32 = 64;
+
+fn storm_config(cores: usize) -> MachineConfig {
+    MachineConfig::small_base(cores, Protocol::Mesi, BaseProtocol::Mesi)
+}
+
+/// A deterministic per-core counter storm: slot `t` ends at
+/// `sum(0..ITERS)` regardless of interleaving, so the final memory image
+/// is a correctness oracle under message loss.
+fn storm_machine(cores: usize, faults: Option<FaultConfig>) -> (Machine, Addr) {
+    let mut m = Machine::new(storm_config(cores));
+    if let Some(f) = faults {
+        m.set_faults(f);
+    }
+    let block = m.alloc_padded(4 * cores as u64);
+    for t in 0..cores {
+        let slot = block.add(4 * t as u64);
+        m.add_thread(move |ctx| async move {
+            for i in 0..ITERS {
+                let v = ctx.load_u32(slot).await;
+                ctx.store_u32(slot, v.wrapping_add(i)).await;
+            }
+            ctx.barrier().await;
+        });
+    }
+    (m, block)
+}
+
+fn run_summary(run: &FinishedRun) -> (u64, String) {
+    (run.report.cycles, run.report.stats.to_json().to_pretty())
+}
+
+fn lossy(seed: u64) -> FaultConfig {
+    FaultConfig {
+        seed,
+        drop_permille: 100,
+        dup_permille: 50,
+        delay_permille: 50,
+        delay_cycles: 32,
+        recovery: Some(RecoveryParams::default()),
+        ..FaultConfig::default()
+    }
+}
+
+#[test]
+fn default_fault_config_is_byte_invisible() {
+    let (plain, _) = storm_machine(2, None);
+    let (armed, _) = storm_machine(2, Some(FaultConfig::default()));
+    let a = run_summary(&plain.run());
+    let b = run_summary(&armed.try_run().expect("no faults, no aborts"));
+    assert_eq!(a, b, "an all-off injector must not perturb the machine");
+}
+
+#[test]
+fn same_seed_reproduces_different_seed_diverges() {
+    let seven = storm_machine(2, Some(lossy(7))).0.try_run().unwrap();
+    let again = storm_machine(2, Some(lossy(7))).0.try_run().unwrap();
+    assert_eq!(
+        run_summary(&seven),
+        run_summary(&again),
+        "fault placement must be a function of the seed"
+    );
+    assert_eq!(seven.report.stats.retries, again.report.stats.retries);
+
+    let eight = storm_machine(2, Some(lossy(8))).0.try_run().unwrap();
+    let shape = |r: &FinishedRun| {
+        (
+            r.report.cycles,
+            r.report.stats.retries,
+            r.report.stats.faults_dropped,
+            r.report.stats.faults_delayed,
+        )
+    };
+    assert_ne!(
+        shape(&seven),
+        shape(&eight),
+        "a different seed must place faults differently"
+    );
+}
+
+#[test]
+fn recovery_restores_precise_results_under_loss() {
+    let (m, block) = storm_machine(2, Some(lossy(3)));
+    let run = m.try_run().expect("recovery must ride out this rate");
+    let s = &run.report.stats;
+    assert!(s.faults_dropped > 0, "the drop class must actually fire");
+    assert!(
+        s.retries > 0 || s.grant_resends > 0,
+        "losses must be repaired by recovery, not coincidence"
+    );
+    let want = (0..ITERS).sum::<u32>();
+    for t in 0..2 {
+        assert_eq!(
+            run.read_u32(block.add(4 * t)),
+            want,
+            "core {t}: recovered run must still be exact"
+        );
+    }
+}
+
+// ------------------------------------------------------- byzantine --
+
+/// One idle-phase machine: the single thread spins on local work before
+/// touching memory, so a message injected at cycle 5 lands on an idle
+/// L1/directory and must hit the defensive row, not a live transaction.
+fn idle_machine() -> (Machine, Addr) {
+    let mut m = Machine::new(storm_config(1));
+    let slot = m.alloc_padded(4);
+    m.add_thread(move |ctx| async move {
+        ctx.work(500).await;
+        let v = ctx.load_u32(slot).await;
+        ctx.store_u32(slot, v + 1).await;
+    });
+    (m, slot)
+}
+
+fn byzantine_abort(src: Endpoint, dst: Endpoint, payload: Payload) -> SimAbort {
+    let (mut m, slot) = idle_machine();
+    m.inject_at(
+        5,
+        Msg {
+            src,
+            dst,
+            block: slot.block(),
+            payload,
+            tag: WireTag::default(),
+        },
+    );
+    match m.try_run() {
+        Err(abort) => abort,
+        Ok(_) => panic!("byzantine traffic must abort"),
+    }
+}
+
+#[test]
+fn byzantine_injection_hits_typed_rows_not_panics() {
+    let l1 = Endpoint::L1(0);
+    let dir = Endpoint::Dir(0);
+    let mem = Endpoint::Mem(0);
+    let cases: Vec<(Endpoint, Endpoint, Payload, &str)> = vec![
+        // Command/request payloads on the wrong node class.
+        (dir, l1, Payload::Gets, "l1_unexpected_msg"),
+        (l1, dir, Payload::Inv, "dir_unexpected_msg"),
+        // Stray completion traffic with no transaction in flight.
+        (l1, dir, Payload::Unblock, "stray_unblock"),
+        (l1, dir, Payload::InvAck, "stray_inv_ack"),
+        (dir, l1, Payload::UpgAck, "upg_ack_unexpected"),
+        (dir, l1, Payload::WbAck, "wb_ack_unexpected"),
+        (
+            dir,
+            l1,
+            Payload::Data {
+                data: BlockData::zeroed(),
+                grant: Grant::Shared,
+            },
+            "data_unexpected",
+        ),
+        (
+            mem,
+            dir,
+            Payload::MemData {
+                data: BlockData::zeroed(),
+            },
+            "stray_mem_data",
+        ),
+    ];
+    for (src, dst, payload, row) in cases {
+        let abort = byzantine_abort(src, dst, payload);
+        assert_eq!(abort.error.row, Some(row), "detail: {}", abort.error.detail);
+        assert!(abort.cycle >= 5, "{row}: abort must carry the cycle");
+        assert!(
+            !abort.last_msg.is_empty(),
+            "{row}: abort must carry the last delivered message"
+        );
+        // And the human-readable form carries all three.
+        let text = abort.to_string();
+        assert!(text.contains("cycle"), "{text}");
+        assert!(text.contains(row), "{text}");
+    }
+}

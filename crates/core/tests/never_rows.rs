@@ -15,7 +15,7 @@
 use ghostwriter_core::config::BaseProtocol;
 use ghostwriter_core::harness::{node_key, Op, System, SystemConfig, Violation};
 use ghostwriter_core::l1::{AccessKind, CoreReq, L1Cache, L1State};
-use ghostwriter_core::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload};
+use ghostwriter_core::msg::{Endpoint, Grant, Msg, OwnerXfer, Payload, WireTag};
 use ghostwriter_core::proto::{DirRowId, L1RowId, Reach};
 use ghostwriter_core::{Addr, BlockAddr, ProtocolError, Stats};
 use ghostwriter_mem::BlockData;
@@ -53,6 +53,7 @@ fn to_l1(payload: Payload) -> Msg {
         dst: Endpoint::L1(0),
         block: BlockAddr(0),
         payload,
+        tag: WireTag::default(),
     }
 }
 
@@ -205,6 +206,7 @@ fn system(base: BaseProtocol) -> System {
         gw: None,
         base,
         disabled_row: None,
+        recovery: None,
     })
 }
 
@@ -230,6 +232,7 @@ fn inject_to_dir(sys: &mut System, src: Endpoint, payload: Payload) -> ProtocolE
         dst: Endpoint::Dir(0),
         block,
         payload,
+        tag: WireTag::default(),
     });
     let key = (node_key(src, 2), node_key(Endpoint::Dir(0), 2));
     match sys.deliver(key) {

@@ -5,7 +5,7 @@
 
 use ghostwriter_core::config::{BaseProtocol, GiStorePolicy};
 use ghostwriter_core::l1::{AccessKind, CoreReq, GwParams, L1Cache, L1Out, L1State};
-use ghostwriter_core::msg::{Endpoint, Grant, Msg, Payload};
+use ghostwriter_core::msg::{Endpoint, Grant, Msg, Payload, WireTag};
 use ghostwriter_core::scribe::ScribePolicy;
 use ghostwriter_core::{Addr, Stats};
 use ghostwriter_mem::BlockData;
@@ -48,6 +48,7 @@ fn dir_msg(payload: Payload) -> Msg {
         dst: Endpoint::L1(0),
         block: Addr(ADDR).block(),
         payload,
+        tag: WireTag::default(),
     }
 }
 

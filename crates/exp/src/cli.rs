@@ -4,6 +4,7 @@
 //! gwbench list
 //! gwbench run <experiment>... [options]
 //! gwbench repro-all [options]
+//! gwbench faults [options]
 //! gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--reps N] [--quiet]
 //! gwbench profile [--smoke] [--out FILE] [--overhead-check] [--phases [FILE]] [--quiet]
 //! gwbench clean
@@ -29,6 +30,14 @@
 //! perturbs the simulation's stats; and with `--phases`, if any phase's
 //! cycle share exceeds its bound in the committed snapshot
 //! (`PROFILE_phases.json`; regen with `UPDATE_GOLDEN=1`).
+//!
+//! `faults` runs the resilience campaign (see [`crate::resilience`]):
+//! the fault-rate × protocol × workload grid under seeded fault
+//! injection, rendered as resilience curves in `RESILIENCE.txt`. It
+//! shares the engine's cache, dedup and `--jobs`-invariance with `run`;
+//! fault cells are addressed by their own keys (the fault configuration
+//! is part of the identity), so campaigns never collide with — or
+//! invalidate — fault-free results.
 //!
 //! `run` concatenates the selected experiments' run matrices into ONE
 //! sweep, so the engine's fingerprint dedup works across experiments:
@@ -62,7 +71,7 @@ fn default_jobs() -> usize {
 
 fn usage() -> String {
     let mut s = String::from(
-        "usage: gwbench <list|run <experiment>...|repro-all|clean>\n\
+        "usage: gwbench <list|run <experiment>...|repro-all|faults|clean>\n\
          \x20      [--jobs N] [--no-cache] [--smoke] [--expect-cached] [--quiet]\n\
          \x20      gwbench perf [--smoke] [--out FILE] [--baseline FILE] [--reps N] [--quiet]\n\
          \x20      gwbench profile [--smoke] [--out FILE] [--overhead-check] [--phases [FILE]] [--quiet]\n",
@@ -303,6 +312,26 @@ pub fn main_with_args(args: Vec<String>) -> i32 {
                 }
             }
             crate::profile::main_profile(smoke, &out, quiet, check_overhead, phases.as_deref())
+        }
+        "faults" => {
+            let opts = match parse(rest) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("gwbench: {e}\n\n{}", usage());
+                    return 2;
+                }
+            };
+            if !opts.names.is_empty() {
+                eprintln!("gwbench: faults takes no experiment names");
+                return 2;
+            }
+            crate::resilience::main_faults(
+                opts.jobs,
+                opts.use_cache,
+                opts.scale,
+                opts.expect_cached,
+                opts.quiet,
+            )
         }
         "run" | "repro-all" => {
             let opts = match parse(rest) {

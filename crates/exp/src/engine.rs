@@ -218,6 +218,13 @@ pub fn execute_spec(spec: &RunSpec) -> RunRecord {
         }
         RunKind::Scenario { scenario, protocol } => run_scenario(*scenario, *protocol),
         RunKind::Fuzz { seeds, accesses } => run_fuzz(*seeds, *accesses),
+        RunKind::Resilience {
+            workload,
+            config,
+            threads,
+            d,
+            faults,
+        } => crate::resilience::run_resilience(workload, config, *threads, *d, faults),
     }
 }
 

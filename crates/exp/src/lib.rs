@@ -32,6 +32,7 @@ pub mod pool;
 pub mod profile;
 pub mod record;
 pub mod render;
+pub mod resilience;
 pub mod scenarios;
 pub mod spec;
 

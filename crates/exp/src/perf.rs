@@ -541,6 +541,25 @@ mod tests {
     }
 
     #[test]
+    fn append_history_reports_io_errors_instead_of_panicking() {
+        // The longitudinal record is best-effort (main_perf only warns
+        // on Err): an unwritable path must surface as Err, never panic.
+        let dir = std::env::temp_dir().join(format!("gw_perf_hist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let blocker = dir.join("not_a_dir");
+        std::fs::write(&blocker, "file, not directory").unwrap();
+        let bad = blocker.join("bench_history.jsonl");
+        assert!(append_history(bad.to_str().unwrap(), "{}").is_err());
+
+        // And the happy path creates parents and appends line by line.
+        let good = dir.join("nested/bench_history.jsonl");
+        append_history(good.to_str().unwrap(), "line1").unwrap();
+        append_history(good.to_str().unwrap(), "line2").unwrap();
+        assert_eq!(std::fs::read_to_string(&good).unwrap(), "line1\nline2\n");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn smoke_kernels_produce_positive_throughput() {
         let entries = run_profile("smoke");
         // queue kernel + (3 storms + ladder pair + 3 workloads) per engine.

@@ -11,7 +11,7 @@
 //! result cache. Two experiments that declare the same cell (the Fig.
 //! 7–11 sweep is shared six ways) therefore share one cached run.
 
-use ghostwriter_core::{MachineConfig, Protocol};
+use ghostwriter_core::{FaultConfig, MachineConfig, Protocol};
 use ghostwriter_workloads::{find_benchmark, ScaleClass, Workload};
 
 use crate::fingerprint::Fingerprint;
@@ -142,6 +142,18 @@ pub enum RunKind {
     /// The random protocol fuzzer (deterministic across its seed range;
     /// records the message count it drove).
     Fuzz { seeds: u64, accesses: usize },
+    /// One workload execution under seeded fault injection: the same
+    /// cell as [`RunKind::Workload`] plus a [`FaultConfig`]. Kept as a
+    /// separate kind (rather than an optional field on `Workload`) so
+    /// every pre-existing cache key stays byte-identical — fault-free
+    /// history is never invalidated by the fault dimension.
+    Resilience {
+        workload: WorkloadSpec,
+        config: MachineConfig,
+        threads: usize,
+        d: u8,
+        faults: FaultConfig,
+    },
 }
 
 /// One cell of a run matrix: a stable experiment-local id plus the work.
@@ -179,6 +191,18 @@ impl RunSpec {
             RunKind::Fuzz { seeds, accesses } => {
                 format!("fuzz|family|seeds={seeds}|accesses={accesses}")
             }
+            RunKind::Resilience {
+                workload,
+                config,
+                threads,
+                d,
+                faults,
+            } => format!(
+                "resilience|{}|{}|threads={threads}|d={d}|faults={}",
+                workload.key(),
+                config.cache_key(),
+                faults.key()
+            ),
         };
         format!("rev={SPEC_REVISION}|{body}")
     }
@@ -256,6 +280,44 @@ mod tests {
         a.id = "first".into();
         b.id = "second".into();
         assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn resilience_identity_covers_the_fault_config() {
+        let cell = |faults: FaultConfig| RunSpec {
+            id: "x".into(),
+            kind: RunKind::Resilience {
+                workload: WorkloadSpec::registry("histogram", ScaleClass::Test, 1),
+                config: MachineConfig::small(4, Protocol::Mesi),
+                threads: 4,
+                d: 4,
+                faults,
+            },
+        };
+        let noop = FaultConfig::default();
+        let dropper = FaultConfig {
+            seed: 3,
+            drop_permille: 10,
+            recovery: Some(ghostwriter_core::RecoveryParams::default()),
+            ..FaultConfig::default()
+        };
+        assert_eq!(cell(noop).fingerprint(), cell(noop).fingerprint());
+        assert_ne!(
+            cell(noop).fingerprint(),
+            cell(dropper).fingerprint(),
+            "fault config must change the fingerprint"
+        );
+        assert_ne!(
+            cell(dropper).fingerprint(),
+            cell(FaultConfig { seed: 4, ..dropper }).fingerprint(),
+            "fault seed must change the fingerprint"
+        );
+        // Even an all-off fault config keeps a resilience cell distinct
+        // from the plain workload cell: the kinds never share history.
+        assert_ne!(
+            cell(noop).fingerprint(),
+            spec(1, 4, MachineConfig::small(4, Protocol::Mesi)).fingerprint()
+        );
     }
 
     #[test]

@@ -40,6 +40,8 @@ pub use registry::{
 };
 #[cfg(feature = "legacy-threads")]
 pub use runner::execute_legacy;
-pub use runner::{compare, compare_default, execute, Comparison, RunOutcome, Workload};
+pub use runner::{
+    compare, compare_default, execute, execute_faulty, Comparison, RunOutcome, Workload,
+};
 pub use sobel::Sobel;
 pub use tuner::{autotune, Candidate, TuneResult, DEFAULT_LADDER};

@@ -6,7 +6,9 @@
 //! configuration; [`compare`] runs the paper's baseline-vs-Ghostwriter
 //! experiment and derives every Fig. 7–11 quantity.
 
-use ghostwriter_core::{FinishedRun, Machine, MachineConfig, Protocol, SimReport};
+use ghostwriter_core::{
+    FaultConfig, FinishedRun, Machine, MachineConfig, Protocol, SimAbort, SimReport,
+};
 
 use crate::metrics::Metric;
 
@@ -72,9 +74,32 @@ pub fn execute_legacy(
     run_built(workload, m, threads, d)
 }
 
+/// [`execute`] under a fault-injection configuration, with the abort
+/// surfaced as a value: a run that exhausts its retry budget (or hits
+/// any other typed protocol error) returns `Err(SimAbort)` instead of
+/// panicking, so a resilience campaign can record the cell as
+/// unrecovered and keep sweeping.
+pub fn execute_faulty(
+    workload: &mut dyn Workload,
+    cfg: MachineConfig,
+    threads: usize,
+    d: u8,
+    faults: FaultConfig,
+) -> Result<RunOutcome, SimAbort> {
+    assert!(threads >= 1 && threads <= cfg.cores);
+    let mut m = Machine::new(cfg);
+    m.set_faults(faults);
+    workload.build(&mut m, threads, d);
+    let run = m.try_run()?;
+    Ok(finish(workload, run))
+}
+
 fn run_built(workload: &mut dyn Workload, mut m: Machine, threads: usize, d: u8) -> RunOutcome {
     workload.build(&mut m, threads, d);
-    let run = m.run();
+    finish(workload, m.run())
+}
+
+fn finish(workload: &dyn Workload, run: FinishedRun) -> RunOutcome {
     let output = workload.output(&run);
     let reference = workload.reference();
     let error_percent = workload.metric().evaluate(&reference, &output);
